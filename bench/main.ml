@@ -1,0 +1,351 @@
+(** Benchmark harness reproducing the paper's evaluation (§5).
+
+    Targets (run all with [dune exec bench/main.exe], or select one by name):
+
+    - [fig2]        — Figure 2: dbonerow, rewrite vs no-rewrite, at four
+                      input sizes (8k/16k/32k/64k rows standing in for the
+                      paper's 8M–64M documents; see DESIGN.md §2);
+    - [fig3]        — Figure 3: avts / chart / metric / total, rewrite vs
+                      no-rewrite at a fixed size;
+    - [inline-stat] — the "23 of 40 test cases compile in full inline mode"
+                      statistic;
+    - [ablation]    — each §3.3–3.7 optimisation toggled off individually:
+                      generated-query size and dynamic evaluation time;
+    - [micro]       — Bechamel micro-benchmarks of the pipeline stages
+                      (one [Test.make] per reproduced figure leg).
+
+    Absolute numbers differ from the paper (Oracle testbed vs this
+    simulator); the reproduced property is the *shape*: who wins, by what
+    factor, and how each side scales. *)
+
+module M = Xdb_xsltmark.Cases
+module D = Xdb_xsltmark.Data
+module PL = Xdb_core.Pipeline
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let t1 = Unix.gettimeofday () in
+  (r, (t1 -. t0) *. 1000.0)
+
+(* median-of-k wall clock, milliseconds *)
+let time_ms ?(repeat = 3) f =
+  let samples = List.init repeat (fun _ -> snd (time_once f)) in
+  let sorted = List.sort compare samples in
+  List.nth sorted (repeat / 2)
+
+let hrule = String.make 72 '-'
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* CSV artifact support: bench results also land in bench/results/ *)
+let csv_out name header rows =
+  (try Unix.mkdir "bench/results" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> () | _ -> ());
+  let path = Filename.concat "bench/results" name in
+  let oc = open_out path in
+  output_string oc (header ^ "\n");
+  List.iter (fun r -> output_string oc (r ^ "\n")) rows;
+  close_out oc;
+  Printf.printf "(written %s)\n" path
+
+let fig2 () =
+  Printf.printf "%s\nFigure 2 — dbonerow: XSLT rewrite vs no-rewrite (value predicate)\n%s\n"
+    hrule hrule;
+  Printf.printf "%8s %14s %14s %10s\n" "rows" "rewrite(ms)" "no-rewrite(ms)" "speedup";
+  let sizes = [ 8_000; 16_000; 32_000; 64_000 ] in
+  let rows =
+    List.map
+      (fun n ->
+        let case = M.dbonerow_for n in
+        let dv = M.dbview_for case n in
+        let comp = PL.compile dv.D.db dv.D.view case.M.stylesheet in
+        assert (comp.PL.sql_plan <> None);
+        (* correctness check once before timing *)
+        let f0 = PL.run_functional dv.D.db comp in
+        let r0 = PL.run_rewrite dv.D.db comp in
+        assert (f0 = r0);
+        let rewrite_ms = time_ms (fun () -> PL.run_rewrite dv.D.db comp) in
+        let norewrite_ms = time_ms (fun () -> PL.run_functional dv.D.db comp) in
+        Printf.printf "%8d %14.3f %14.3f %9.1fx\n" n rewrite_ms norewrite_ms
+          (norewrite_ms /. rewrite_ms);
+        Printf.sprintf "%d,%.4f,%.4f" n rewrite_ms norewrite_ms)
+      sizes
+  in
+  csv_out "fig2.csv" "rows,rewrite_ms,norewrite_ms" rows;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 ?(n = 8_000) () =
+  Printf.printf
+    "%s\nFigure 3 — no-value-predicate cases: rewrite vs no-rewrite (%d rows)\n%s\n" hrule n
+    hrule;
+  Printf.printf "%12s %14s %14s %10s\n" "case" "rewrite(ms)" "no-rewrite(ms)" "speedup";
+  let rows =
+    List.map
+      (fun name ->
+        let case = Option.get (M.find name) in
+        let dv = M.dbview_for case n in
+        let comp = PL.compile dv.D.db dv.D.view case.M.stylesheet in
+        assert (comp.PL.sql_plan <> None);
+        let f0 = PL.run_functional dv.D.db comp in
+        let r0 = PL.run_rewrite dv.D.db comp in
+        assert (f0 = r0);
+        let rewrite_ms = time_ms (fun () -> PL.run_rewrite dv.D.db comp) in
+        let norewrite_ms = time_ms (fun () -> PL.run_functional dv.D.db comp) in
+        Printf.printf "%12s %14.3f %14.3f %9.1fx\n" name rewrite_ms norewrite_ms
+          (norewrite_ms /. rewrite_ms);
+        Printf.sprintf "%s,%.4f,%.4f" name rewrite_ms norewrite_ms)
+      [ "avts"; "chart"; "metric"; "total" ]
+  in
+  csv_out "fig3.csv" "case,rewrite_ms,norewrite_ms" rows;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Inline statistic                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let inline_stat () =
+  Printf.printf "%s\nInline statistic — full-inline XSLT→XQuery compilations (paper: 23/40)\n%s\n"
+    hrule hrule;
+  let inline = ref 0 and noninline = ref 0 in
+  List.iter
+    (fun (c : M.case) ->
+      let doc = M.doc_for c 100 in
+      let dc = PL.compile_for_document c.M.stylesheet ~example_doc:doc in
+      let mode = dc.PL.d_translation.Xdb_core.Xslt2xquery.mode in
+      let is_inline =
+        match mode with
+        | Xdb_core.Xslt2xquery.Mode_inline | Xdb_core.Xslt2xquery.Mode_builtin_compact -> true
+        | Xdb_core.Xslt2xquery.Mode_partial_inline | Xdb_core.Xslt2xquery.Mode_functions -> false
+      in
+      if is_inline then incr inline else incr noninline;
+      Printf.printf "  %-14s %-16s %s\n" c.M.name (PL.mode_name mode) c.M.category)
+    M.all;
+  Printf.printf "\ninline: %d / %d   (paper reports 23/40)\n\n" !inline (!inline + !noninline)
+
+(* ------------------------------------------------------------------ *)
+(* Ablation (§3.3–3.7 options)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let ablation ?(n = 2_000) () =
+  Printf.printf
+    "%s\nAblation — §3.3–3.7 techniques toggled off individually (%d rows)\n%s\n" hrule n hrule;
+  let base = Xdb_core.Options.default in
+  let variants =
+    [
+      ("all-on (paper)", base);
+      ("no-inlining (3.3)", { base with Xdb_core.Options.inline_templates = false });
+      ("no-model-groups (3.4)", { base with Xdb_core.Options.use_model_groups = false });
+      ("no-cardinality (3.4)", { base with Xdb_core.Options.use_cardinality = false });
+      ("no-backward-removal (3.5)", { base with Xdb_core.Options.remove_backward_tests = false });
+      ("no-dead-removal (3.7)", { base with Xdb_core.Options.remove_dead_templates = false });
+      ("straightforward [9]", Xdb_core.Options.straightforward);
+    ]
+  in
+  let cases = List.filter_map M.find [ "dbonerow"; "patterns"; "decoy"; "inventory"; "metric" ] in
+  Printf.printf "%-28s %12s %12s %12s\n" "configuration" "qsize(avg)" "eval(ms)" "sql-capable";
+  List.iter
+    (fun (label, options) ->
+      let sizes = ref 0 and times = ref 0.0 and sqlable = ref 0 in
+      List.iter
+        (fun (c : M.case) ->
+          let c = if c.M.name = "dbonerow" then M.dbonerow_for n else c in
+          let doc = M.doc_for c n in
+          let dc = PL.compile_for_document ~options c.M.stylesheet ~example_doc:doc in
+          let q = dc.PL.d_translation.Xdb_core.Xslt2xquery.query in
+          sizes := !sizes + Xdb_xquery.Ast.size q.Xdb_xquery.Ast.body;
+          times := !times +. time_ms ~repeat:3 (fun () -> PL.transform_via_xquery dc doc);
+          if c.M.db_capable then
+            let dv = M.dbview_for c n in
+            match Xdb_xquery.Sql_rewrite.rewrite_view_plan dv.D.db dv.D.view q with
+            | _ -> incr sqlable
+            | exception Xdb_xquery.Sql_rewrite.Not_rewritable _ -> ())
+        cases;
+      Printf.printf "%-28s %12d %12.2f %9d/%d\n" label
+        (!sizes / List.length cases)
+        !times !sqlable (List.length cases))
+    variants;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Storage-model study (paper §7.4)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let storage ?(n = 8_000) () =
+  Printf.printf
+    "%s\nStorage models (paper §7.4) — dbonerow at %d rows\n%s\n" hrule n hrule;
+  let case = M.dbonerow_for n in
+  let dv = M.dbview_for case n in
+  let comp = PL.compile dv.D.db dv.D.view case.M.stylesheet in
+  (* object-relational: publish from tables, then transform *)
+  let or_ms = time_ms (fun () -> PL.run_functional dv.D.db comp) in
+  (* CLOB: serialized text parsed on access, then transform *)
+  let docs = Xdb_rel.Publish.materialize dv.D.db dv.D.view in
+  let clob_tbl = Xdb_rel.Clob.store dv.D.db ~table:"clob_docs" docs in
+  ignore clob_tbl;
+  let clob_ms =
+    time_ms (fun () ->
+        List.iter
+          (fun doc -> ignore (Xdb_xslt.Vm.transform comp.PL.vm_prog doc))
+          (Xdb_rel.Clob.load dv.D.db ~table:"clob_docs"))
+  in
+  (* tree storage: the DOM is already resident; transformation only *)
+  let tree_ms =
+    time_ms (fun () ->
+        List.iter (fun doc -> ignore (Xdb_xslt.Vm.transform comp.PL.vm_prog doc)) docs)
+  in
+  (* rewrite (object-relational only: structural info required) *)
+  let rewrite_ms = time_ms (fun () -> PL.run_rewrite dv.D.db comp) in
+  Printf.printf "%-34s %12s\n" "storage model" "time(ms)";
+  Printf.printf "%-34s %12.3f\n" "object-relational, no rewrite" or_ms;
+  Printf.printf "%-34s %12.3f\n" "CLOB (parse on access)" clob_ms;
+  Printf.printf "%-34s %12.3f\n" "tree (resident DOM)" tree_ms;
+  Printf.printf "%-34s %12.3f\n" "rewrite (B-tree probe)" rewrite_ms;
+  print_newline ();
+  (* multi-document scenario: one document per record, select-and-transform
+     the single matching document (paper's "CLOB with path/value index") *)
+  let n_docs = 2_000 in
+  Printf.printf "%s\nStorage models, many-document scenario (%d single-record docs)\n%s\n"
+    hrule n_docs hrule;
+  let docs =
+    List.init n_docs (fun i ->
+        let d = D.records_doc 1 in
+        (* make ids unique across documents *)
+        (match Xdb_xml.Parser.document_element d with
+        | { Xdb_xml.Types.children = [ row ]; _ } -> (
+            match row.Xdb_xml.Types.children with
+            | idel :: _ -> Xdb_xml.Types.set_children idel [ Xdb_xml.Builder.text (string_of_int (i + 1)) ]
+            | [] -> ())
+        | _ -> ());
+        Xdb_xml.Types.reindex d;
+        (i + 1, d))
+  in
+  let target = n_docs / 2 in
+  let wanted = string_of_int target in
+  let clob_db = Xdb_rel.Database.create () in
+  let _tbl = Xdb_rel.Clob.store clob_db ~table:"docs" (List.map snd docs) in
+  let t_scan =
+    time_ms (fun () ->
+        (* no index: parse every stored document and test the predicate *)
+        List.iter
+          (fun doc ->
+            let root = Xdb_xml.Parser.document_element doc in
+            ignore (Xdb_xml.Types.string_value root = wanted))
+          (Xdb_rel.Clob.load clob_db ~table:"docs"))
+  in
+  let pidx = Xdb_rel.Pathindex.build docs in
+  let t_indexed =
+    time_ms (fun () ->
+        match Xdb_rel.Pathindex.lookup pidx ~path:"/table/row/id" ~value:wanted with
+        | docid :: _ ->
+            ignore (Xdb_rel.Clob.load_one clob_db ~table:"docs" ~docid)
+        | [] -> ())
+  in
+  Printf.printf "%-34s %12.3f\n" "CLOB scan (parse all, test)" t_scan;
+  Printf.printf "%-34s %12.3f\n" "CLOB + path/value index" t_indexed;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Partial-inline extension (§7.2)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let partial_inline ?(n = 400) () =
+  Printf.printf
+    "%s\nPartial inline (§7.2 extension) — recursive cases at size %d\n%s\n" hrule n hrule;
+  Printf.printf "%-14s %16s %16s %10s %10s\n" "case" "non-inline(ms)" "partial(ms)" "funs(ni)"
+    "funs(pi)";
+  List.iter
+    (fun (c : M.case) ->
+      if not c.M.expect_inline then begin
+        let doc = M.doc_for c n in
+        let ni =
+          PL.compile_for_document ~options:Xdb_core.Options.default c.M.stylesheet
+            ~example_doc:doc
+        in
+        let pi =
+          PL.compile_for_document ~options:Xdb_core.Options.with_partial_inline c.M.stylesheet
+            ~example_doc:doc
+        in
+        (* correctness first *)
+        assert (PL.transform_via_xquery ni doc = PL.transform_via_xquery pi doc);
+        let t_ni = time_ms (fun () -> ignore (PL.transform_via_xquery ni doc)) in
+        let t_pi = time_ms (fun () -> ignore (PL.transform_via_xquery pi doc)) in
+        Printf.printf "%-14s %16.3f %16.3f %10d %10d\n" c.M.name t_ni t_pi
+          (List.length ni.PL.d_translation.Xdb_core.Xslt2xquery.query.Xdb_xquery.Ast.funs)
+          (List.length pi.PL.d_translation.Xdb_core.Xslt2xquery.query.Xdb_xquery.Ast.funs)
+      end)
+    M.all;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let n = 4_000 in
+  let case = M.dbonerow_for n in
+  let dv = M.dbview_for case n in
+  let comp = PL.compile dv.D.db dv.D.view case.M.stylesheet in
+  let docs = Xdb_rel.Publish.materialize dv.D.db dv.D.view in
+  let doc = List.hd docs in
+  let avts = Option.get (M.find "avts") in
+  let dv_avts = M.dbview_for avts n in
+  let comp_avts = PL.compile dv_avts.D.db dv_avts.D.view avts.M.stylesheet in
+  let tests =
+    [
+      (* Figure 2 legs *)
+      Test.make ~name:"fig2/dbonerow/rewrite"
+        (Staged.stage (fun () -> ignore (PL.run_rewrite dv.D.db comp)));
+      Test.make ~name:"fig2/dbonerow/no-rewrite"
+        (Staged.stage (fun () -> ignore (PL.run_functional dv.D.db comp)));
+      (* Figure 3 representative *)
+      Test.make ~name:"fig3/avts/rewrite"
+        (Staged.stage (fun () -> ignore (PL.run_rewrite dv_avts.D.db comp_avts)));
+      Test.make ~name:"fig3/avts/no-rewrite"
+        (Staged.stage (fun () -> ignore (PL.run_functional dv_avts.D.db comp_avts)));
+      (* pipeline stages *)
+      Test.make ~name:"stage/materialize"
+        (Staged.stage (fun () -> ignore (Xdb_rel.Publish.materialize dv.D.db dv.D.view)));
+      Test.make ~name:"stage/vm-transform"
+        (Staged.stage (fun () -> ignore (Xdb_xslt.Vm.transform comp.PL.vm_prog doc)));
+      Test.make ~name:"stage/compile-translate"
+        (Staged.stage (fun () -> ignore (PL.compile dv.D.db dv.D.view case.M.stylesheet)));
+    ]
+  in
+  Printf.printf "%s\nBechamel micro-benchmarks (ns/run, monotonic clock)\n%s\n" hrule hrule;
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) ~kde:(Some 100) () in
+  let results = Benchmark.all cfg instances (Test.make_grouped ~name:"xdb" tests) in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let res = Analyze.all ols Instance.monotonic_clock results in
+  Hashtbl.iter
+    (fun name est ->
+      match Bechamel.Analyze.OLS.estimates est with
+      | Some [ e ] -> Printf.printf "  %-34s %14.0f ns/run\n" name e
+      | _ -> Printf.printf "  %-34s (no estimate)\n" name)
+    res;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let targets = List.tl (Array.to_list Sys.argv) in
+  let run name = targets = [] || List.mem name targets in
+  if run "inline-stat" then inline_stat ();
+  if run "fig2" then fig2 ();
+  if run "fig3" then fig3 ();
+  if run "ablation" then ablation ();
+  if run "storage" then storage ();
+  if run "partial" then partial_inline ();
+  if List.mem "micro" targets then micro ();
+  if targets = [] then
+    print_endline "(micro-benchmarks skipped by default: run `dune exec bench/main.exe -- micro`)"

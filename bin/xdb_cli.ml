@@ -1,0 +1,225 @@
+(** [xdb] — command-line front end.
+
+    Subcommands:
+    - [transform]  — apply a stylesheet to an XML document file
+                     (functional VM, generated XQuery, or both with a
+                     differential check);
+    - [translate]  — print the XQuery generated from a stylesheet
+                     (optionally against a DTD-lite schema file);
+    - [explain]    — run one of the built-in XSLTMark-style cases against
+                     its generated database and print the full pipeline
+                     explanation (execution graph, XQuery, SQL plan);
+    - [cases]      — list the built-in benchmark cases. *)
+
+open Cmdliner
+
+let verbose =
+  let doc = "Enable debug logging of the rewrite pipeline." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let setup_logs v =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if v then Logs.Debug else Logs.Warning))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ------------------------------------------------------------------ *)
+(* transform                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let transform_cmd =
+  let stylesheet = Arg.(required & pos 0 (some file) None & info [] ~docv:"STYLESHEET") in
+  let document = Arg.(required & pos 1 (some file) None & info [] ~docv:"DOCUMENT") in
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("vm", `Vm); ("xquery", `Xquery); ("both", `Both) ]) `Vm
+      & info [ "m"; "mode" ] ~doc:"Evaluation mode: vm (functional), xquery (rewrite), both")
+  in
+  let run stylesheet document mode =
+    let ss_text = read_file stylesheet in
+    let doc = Xdb_xml.Parser.parse (read_file document) in
+    match mode with
+    | `Vm ->
+        let frag = Xdb_xslt.Vm.run_stylesheet ss_text doc in
+        print_endline (Xdb_xml.Serializer.node_list_to_string frag.Xdb_xml.Types.children)
+    | `Xquery ->
+        let dc = Xdb_core.Pipeline.compile_for_document ss_text ~example_doc:doc in
+        print_endline (Xdb_core.Pipeline.transform_via_xquery dc doc)
+    | `Both ->
+        let dc = Xdb_core.Pipeline.compile_for_document ss_text ~example_doc:doc in
+        let f = Xdb_core.Pipeline.transform_functional dc doc in
+        let x = Xdb_core.Pipeline.transform_via_xquery dc doc in
+        print_endline f;
+        if f = x then prerr_endline "(rewrite output identical)"
+        else (
+          prerr_endline "!! rewrite output DIFFERS:";
+          print_endline x;
+          exit 1)
+  in
+  Cmd.v
+    (Cmd.info "transform" ~doc:"Apply an XSLT stylesheet to a document")
+    Term.(const run $ stylesheet $ document $ mode)
+
+(* ------------------------------------------------------------------ *)
+(* translate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let translate_cmd =
+  let stylesheet = Arg.(required & pos 0 (some file) None & info [] ~docv:"STYLESHEET") in
+  let document =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "d"; "document" ] ~doc:"Representative document (structural info inferred)")
+  in
+  let dtd =
+    Arg.(value & opt (some file) None & info [ "s"; "schema" ] ~doc:"DTD-lite schema file")
+  in
+  let xsd =
+    Arg.(value & opt (some file) None & info [ "x"; "xsd" ] ~doc:"XML Schema (XSD subset) file")
+  in
+  let straightforward =
+    Arg.(
+      value & flag
+      & info [ "straightforward" ]
+          ~doc:"Use the straightforward translation of Fokoue et al. [9] (no structural info)")
+  in
+  let run stylesheet document dtd xsd straightforward =
+    let ss_text = read_file stylesheet in
+    let prog = Xdb_xslt.Compile.compile (Xdb_xslt.Parser.parse ss_text) in
+    let schema =
+      match (xsd, dtd, document) with
+      | Some path, _, _ -> Xdb_schema.Xsd.parse (read_file path)
+      | None, Some path, _ -> Xdb_schema.Dtd.parse (read_file path)
+      | None, None, Some path -> Xdb_schema.Infer.infer [ Xdb_xml.Parser.parse (read_file path) ]
+      | None, None, None ->
+          prerr_endline
+            "translate: provide --xsd, --schema or --document for structural information";
+          exit 2
+    in
+    let result =
+      if straightforward then Xdb_core.Xslt2xquery.translate_straightforward prog ~schema
+      else Xdb_core.Xslt2xquery.translate prog ~schema
+    in
+    Printf.printf "(: mode: %s :)\n" (Xdb_core.Pipeline.mode_name result.Xdb_core.Xslt2xquery.mode);
+    print_endline (Xdb_xquery.Pretty.prog_syntax result.Xdb_core.Xslt2xquery.query)
+  in
+  Cmd.v
+    (Cmd.info "translate" ~doc:"Print the XQuery generated from a stylesheet")
+    Term.(const run $ stylesheet $ document $ dtd $ xsd $ straightforward)
+
+(* ------------------------------------------------------------------ *)
+(* explain / cases                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let explain_cmd =
+  let case = Arg.(required & pos 0 (some string) None & info [] ~docv:"CASE") in
+  let size = Arg.(value & opt int 100 & info [ "n"; "size" ] ~doc:"Workload size (rows)") in
+  let run verbose name size =
+    setup_logs verbose;
+    match Xdb_xsltmark.Cases.find name with
+    | None ->
+        Printf.eprintf "unknown case %S (see `xdb_cli cases`)\n" name;
+        exit 2
+    | Some case ->
+        let case =
+          if case.Xdb_xsltmark.Cases.name = "dbonerow" then Xdb_xsltmark.Cases.dbonerow_for size
+          else case
+        in
+        if case.Xdb_xsltmark.Cases.db_capable then (
+          let dv = Xdb_xsltmark.Cases.dbview_for case size in
+          let c =
+            Xdb_core.Pipeline.compile dv.Xdb_xsltmark.Data.db dv.Xdb_xsltmark.Data.view
+              case.Xdb_xsltmark.Cases.stylesheet
+          in
+          print_endline (Xdb_core.Pipeline.explain c))
+        else
+          let doc = Xdb_xsltmark.Cases.doc_for case size in
+          let dc =
+            Xdb_core.Pipeline.compile_for_document case.Xdb_xsltmark.Cases.stylesheet
+              ~example_doc:doc
+          in
+          Printf.printf "-- translation mode: %s\n-- generated XQuery:\n%s\n"
+            (Xdb_core.Pipeline.mode_name dc.Xdb_core.Pipeline.d_translation.Xdb_core.Xslt2xquery.mode)
+            (Xdb_xquery.Pretty.prog_syntax
+               dc.Xdb_core.Pipeline.d_translation.Xdb_core.Xslt2xquery.query)
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Explain the pipeline for a built-in benchmark case")
+    Term.(const run $ verbose $ case $ size)
+
+let shell_cmd =
+  let workload =
+    Arg.(
+      value
+      & opt (enum [ ("dept-emp", `Dept_emp); ("records", `Records); ("sales", `Sales) ]) `Dept_emp
+      & info [ "w"; "workload" ] ~doc:"Demo database to load (dept-emp, records, sales)")
+  in
+  let size = Arg.(value & opt int 100 & info [ "n"; "size" ] ~doc:"Workload size") in
+  let run workload size =
+    let dv =
+      match workload with
+      | `Dept_emp -> Xdb_xsltmark.Data.dept_emp_db (max 1 (size / 10)) 10
+      | `Records -> Xdb_xsltmark.Data.records_db size
+      | `Sales -> Xdb_xsltmark.Data.sales_db (max 1 (size / 20)) 20
+    in
+    let session =
+      Xdb_sql.Engine.make_session ~views:[ dv.Xdb_xsltmark.Data.view ] dv.Xdb_xsltmark.Data.db
+    in
+    Printf.printf
+      "xdb SQL shell — tables: %s; XMLType view: %s(%s)\nStatements end with ';'. Ctrl-D to quit.\n"
+      (String.concat ", " (Xdb_rel.Database.table_names dv.Xdb_xsltmark.Data.db))
+      dv.Xdb_xsltmark.Data.view.Xdb_rel.Publish.view_name
+      dv.Xdb_xsltmark.Data.view.Xdb_rel.Publish.column;
+    let buf = Buffer.create 256 in
+    (try
+       while true do
+         if Buffer.length buf = 0 then print_string "sql> " else print_string "...> ";
+         flush stdout;
+         let line = input_line stdin in
+         Buffer.add_string buf line;
+         Buffer.add_char buf '\n';
+         let text = Buffer.contents buf in
+         (* a statement is complete when a ';' appears outside strings *)
+         let complete =
+           let in_str = ref false and found = ref false in
+           String.iter
+             (fun c ->
+               if c = '\'' then in_str := not !in_str
+               else if c = ';' && not !in_str then found := true)
+             text;
+           !found
+         in
+         if complete then (
+           Buffer.clear buf;
+           match Xdb_sql.Engine.execute session text with
+           | r -> print_string (Xdb_sql.Engine.render r)
+           | exception Xdb_sql.Engine.Sql_error m -> Printf.printf "error: %s\n" m
+           | exception Xdb_sql.Parser.Parse_error m -> Printf.printf "parse error: %s\n" m
+           | exception e -> Printf.printf "error: %s\n" (Printexc.to_string e))
+       done
+     with End_of_file -> print_newline ())
+  in
+  Cmd.v
+    (Cmd.info "shell" ~doc:"Interactive SQL/XML shell over a demo database")
+    Term.(const run $ workload $ size)
+
+let cases_cmd =
+  let run () =
+    List.iter
+      (fun (c : Xdb_xsltmark.Cases.case) ->
+        Printf.printf "%-14s %-12s db:%-5b %s\n" c.Xdb_xsltmark.Cases.name
+          c.Xdb_xsltmark.Cases.category c.Xdb_xsltmark.Cases.db_capable
+          c.Xdb_xsltmark.Cases.description)
+      (Xdb_xsltmark.Cases.all @ Xdb_xsltmark.Cases.extras)
+  in
+  Cmd.v (Cmd.info "cases" ~doc:"List the built-in benchmark cases") Term.(const run $ const ())
+
+let () =
+  let info = Cmd.info "xdb_cli" ~doc:"XSLT processing in a relational database (VLDB'06 repro)" in
+  exit (Cmd.eval (Cmd.group info [ transform_cmd; translate_cmd; explain_cmd; cases_cmd; shell_cmd ]))

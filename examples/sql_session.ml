@@ -1,0 +1,67 @@
+(* The whole paper through its own SQL interface.
+
+   This example sets up the dept/emp database with the dept_emp publishing
+   view (paper Tables 1-3) and then executes the paper's SQL statements
+   verbatim: Table 5's XMLTransform (rewritten to the Table 7 plan),
+   Table 9's CREATE VIEW, and Table 10's XMLQuery over the XSLT view
+   (combined-optimised to the Table 11 plan).
+
+   Run with: dune exec examples/sql_session.exe *)
+
+module SQL = Xdb_sql.Engine
+
+let session () =
+  let dv = Xdb_xsltmark.Data.dept_emp_db 2 3 in
+  SQL.make_session ~views:[ dv.Xdb_xsltmark.Data.view ] dv.Xdb_xsltmark.Data.db
+
+let run s sql =
+  Printf.printf "SQL> %s\n" (String.trim sql);
+  (match SQL.execute s sql with
+  | r -> print_string (SQL.render r)
+  | exception SQL.Sql_error m -> Printf.printf "error: %s\n" m);
+  print_newline ()
+
+let stylesheet_literal =
+  (* a compact variant of paper Table 5, quoted for SQL string syntax *)
+  {|'<?xml version="1.0"?><xsl:stylesheet version="1.0"
+xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+<xsl:template match="dept">
+<H1>REPORT</H1><xsl:apply-templates/>
+</xsl:template>
+<xsl:template match="dname"><H2><xsl:value-of select="."/></H2></xsl:template>
+<xsl:template match="loc"/>
+<xsl:template match="employees">
+<table><xsl:apply-templates select="emp[sal &gt; 2000]"/></table>
+</xsl:template>
+<xsl:template match="emp">
+<tr><td><xsl:value-of select="ename"/></td><td><xsl:value-of select="sal"/></td></tr>
+</xsl:template>
+<xsl:template match="text()"/>
+</xsl:stylesheet>'|}
+
+let () =
+  let s = session () in
+
+  (* plain relational access with index selection *)
+  run s "SELECT ename, sal FROM emp WHERE sal > 4000";
+
+  (* paper Table 5: XSLT through XMLTransform — the XSLT rewrite kicks in *)
+  run s
+    (Printf.sprintf "SELECT XMLTransform(dept_emp.dept_content, %s) FROM dept_emp"
+       stylesheet_literal);
+
+  (* XQuery directly over the publishing view *)
+  run s
+    {|SELECT dname, XMLQuery('fn:string(sum(./dept/employees/emp/sal))'
+PASSING dept_emp.dept_content RETURNING CONTENT) AS payroll FROM dept_emp|};
+
+  (* paper Table 9: wrap the transformation as an XSLT view *)
+  run s
+    (Printf.sprintf
+       "CREATE VIEW xslt_vu AS SELECT XMLTransform(dept_emp.dept_content, %s) AS xslt_rslt FROM dept_emp"
+       stylesheet_literal);
+
+  (* paper Table 10: query the XSLT view — combined optimisation (Table 11) *)
+  run s
+    {|SELECT XMLQuery('for $tr in ./table/tr return $tr'
+PASSING xslt_vu.xslt_rslt RETURNING CONTENT) FROM xslt_vu|}

@@ -1,0 +1,60 @@
+(** Rewrite option toggles.
+
+    Each flag corresponds to one of the paper's §3.3–3.7 techniques, so the
+    ablation bench can measure the contribution of each ("although each one
+    of the rewrite techniques alone is quite simple, their combined
+    optimisation effect is drastic"). *)
+
+type t = {
+  inline_templates : bool;  (** §3.3 template instantiation inlining *)
+  use_model_groups : bool;  (** §3.4 children instantiation by model group *)
+  use_cardinality : bool;  (** §3.4 LET vs FOR from cardinality *)
+  remove_backward_tests : bool;  (** §3.5 parent-axis test elimination *)
+  builtin_compaction : bool;  (** §3.6 built-in-template-only compaction *)
+  remove_dead_templates : bool;  (** §3.7 non-instantiated template removal *)
+  partial_inline : bool;
+      (** §4.4/§7.2 future-work extension: inline the acyclic portion of a
+          recursive stylesheet and generate functions only for the
+          templates on cycles.  Off by default — the paper's
+          configuration has only the two modes. *)
+}
+
+(** Everything on — the paper's configuration. *)
+let default =
+  {
+    inline_templates = true;
+    use_model_groups = true;
+    use_cardinality = true;
+    remove_backward_tests = true;
+    builtin_compaction = true;
+    remove_dead_templates = true;
+    partial_inline = false;
+  }
+
+(** The paper's configuration plus the §7.2 partial-inline extension. *)
+let with_partial_inline = { default with partial_inline = true }
+
+(** The straightforward translation of [9]: no structural information. *)
+let straightforward =
+  {
+    inline_templates = false;
+    use_model_groups = false;
+    use_cardinality = false;
+    remove_backward_tests = false;
+    builtin_compaction = false;
+    remove_dead_templates = false;
+    partial_inline = false;
+  }
+
+let to_string o =
+  let f n b = Printf.sprintf "%s=%b" n b in
+  String.concat " "
+    [
+      f "inline" o.inline_templates;
+      f "model-groups" o.use_model_groups;
+      f "cardinality" o.use_cardinality;
+      f "no-backward" o.remove_backward_tests;
+      f "builtin-compaction" o.builtin_compaction;
+      f "dead-removal" o.remove_dead_templates;
+      f "partial-inline" o.partial_inline;
+    ]

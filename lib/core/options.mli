@@ -1,0 +1,26 @@
+(** Rewrite option toggles — one flag per §3.3–3.7 technique plus the §7.2
+    partial-inline extension, so the ablation bench can measure each
+    contribution. *)
+
+type t = {
+  inline_templates : bool;  (** §3.3 template instantiation inlining *)
+  use_model_groups : bool;  (** §3.4 children instantiation by model group *)
+  use_cardinality : bool;  (** §3.4 LET vs FOR from cardinality *)
+  remove_backward_tests : bool;  (** §3.5 parent-axis test elimination *)
+  builtin_compaction : bool;  (** §3.6 built-in-template-only compaction *)
+  remove_dead_templates : bool;  (** §3.7 non-instantiated template removal *)
+  partial_inline : bool;
+      (** §4.4/§7.2 extension: inline the acyclic portion of a recursive
+          stylesheet; off by default (the paper has only two modes) *)
+}
+
+val default : t
+(** Everything on, partial-inline off — the paper's configuration. *)
+
+val with_partial_inline : t
+(** {!default} plus the §7.2 partial-inline extension. *)
+
+val straightforward : t
+(** The straightforward translation of [9]: no structural information. *)
+
+val to_string : t -> string

@@ -1,0 +1,182 @@
+(** End-to-end XSLT processing pipelines (paper Figure 1).
+
+    Three evaluation strategies over an XMLType view:
+
+    - {b Functional} ("XSLT no rewrite"): materialise each view document
+      from the relational tables, then run the XSLTVM over the DOM — the
+      paper's baseline;
+    - {b XQuery stage}: run the XSLT→XQuery translation result dynamically
+      over the materialised documents (used for differential testing of the
+      translation itself);
+    - {b Rewrite} ("XSLT rewrite"): XSLT→XQuery→SQL/XML; execute the
+      relational plan with index access, never materialising the input.
+      When the generated XQuery leaves the SQL-rewritable fragment the
+      pipeline records the reason and falls back to the XQuery stage.
+
+    [transform_document] covers the no-database case (standalone document +
+    schema), and [compose] implements Example 2's combined optimisation. *)
+
+let log_src = Logs.Src.create "xdb.pipeline" ~doc:"XSLT rewrite pipeline"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+module X = Xdb_xml.Types
+module S = Xdb_schema.Types
+module Q = Xdb_xquery.Ast
+module A = Xdb_rel.Algebra
+module P = Xdb_rel.Publish
+module V = Xdb_rel.Value
+
+type compiled = {
+  stylesheet : Xdb_xslt.Ast.stylesheet;
+  vm_prog : Xdb_xslt.Compile.program;
+  view : P.view;
+  schema : S.t;
+  translation : Xslt2xquery.result;
+  sql_plan : A.plan option;
+  sql_fallback_reason : string option;
+}
+
+(** [compile ?options db view stylesheet_text] — full compilation:
+    stylesheet → bytecode → (partial evaluation over the view's structural
+    info) → XQuery → SQL/XML plan. *)
+let compile ?(options = Options.default) db (view : P.view) stylesheet_text : compiled =
+  let stylesheet = Xdb_xslt.Parser.parse stylesheet_text in
+  let vm_prog = Xdb_xslt.Compile.compile stylesheet in
+  Log.debug (fun m ->
+      m "compiled stylesheet for view %s: %d templates, %d bytecode ops" view.P.view_name
+        (Array.length vm_prog.Xdb_xslt.Compile.templates)
+        (Xdb_xslt.Compile.program_size vm_prog));
+  let schema = P.to_schema view in
+  let translation = Xslt2xquery.translate ~options vm_prog ~schema in
+  Log.info (fun m ->
+      m "XSLT→XQuery translation: %s mode, %d user functions"
+        (match translation.Xslt2xquery.mode with
+        | Xslt2xquery.Mode_inline -> "inline"
+        | Xslt2xquery.Mode_partial_inline -> "partial-inline"
+        | Xslt2xquery.Mode_functions -> "non-inline"
+        | Xslt2xquery.Mode_builtin_compact -> "builtin-compact")
+        (List.length translation.Xslt2xquery.query.Q.funs));
+  let sql_plan, sql_fallback_reason =
+    match Xdb_xquery.Sql_rewrite.rewrite_view_plan db view translation.Xslt2xquery.query with
+    | plan ->
+        Log.info (fun m -> m "XQuery→SQL/XML rewrite succeeded");
+        (Some plan, None)
+    | exception Xdb_xquery.Sql_rewrite.Not_rewritable reason ->
+        Log.info (fun m -> m "not SQL-rewritable (%s); dynamic fallback armed" reason);
+        (None, Some reason)
+  in
+  { stylesheet; vm_prog; view; schema; translation; sql_plan; sql_fallback_reason }
+
+(** Functional evaluation: materialise + XSLTVM (the no-rewrite baseline). *)
+let run_functional db (c : compiled) : string list =
+  let docs = P.materialize db c.view in
+  List.map
+    (fun doc ->
+      let frag = Xdb_xslt.Vm.transform c.vm_prog doc in
+      Xdb_xml.Serializer.node_list_to_string frag.X.children)
+    docs
+
+(** Dynamic evaluation of the generated XQuery over materialised documents
+    (whitespace stripping applied, mirroring the VM). *)
+let run_xquery_stage db (c : compiled) : string list =
+  let docs = P.materialize db c.view in
+  List.map
+    (fun doc ->
+      let doc = Xdb_xslt.Strip.apply c.vm_prog.Xdb_xslt.Compile.space doc in
+      let nodes = Xdb_xquery.Eval.run_to_nodes c.translation.Xslt2xquery.query ~context:doc in
+      Xdb_xml.Serializer.node_list_to_string nodes)
+    docs
+
+(** Rewrite evaluation: the SQL/XML plan when available, XQuery stage
+    otherwise. *)
+let run_rewrite db (c : compiled) : string list =
+  match c.sql_plan with
+  | Some plan ->
+      Xdb_rel.Exec.run db plan
+      |> List.map (fun row -> V.to_string (List.assoc "result" row))
+  | None -> run_xquery_stage db c
+
+(** Example 2: compose an XQuery child path over the XSLT view result and
+    rewrite the composition down to one relational plan (paper Table 11). *)
+let compose db (c : compiled) (steps : Xdb_xpath.Ast.step list) :
+    A.plan option * Q.prog =
+  let composed = Xdb_xquery.Compose.navigate c.translation.Xslt2xquery.query steps in
+  match Xdb_xquery.Sql_rewrite.rewrite_view_plan db c.view composed with
+  | plan -> (Some plan, composed)
+  | exception Xdb_xquery.Sql_rewrite.Not_rewritable _ -> (None, composed)
+
+(** Evaluate a composed query dynamically (fallback / differential check). *)
+let run_composed_dynamic db (c : compiled) (composed : Q.prog) : string list =
+  let docs = P.materialize db c.view in
+  List.map
+    (fun doc ->
+      Xdb_xml.Serializer.node_list_to_string (Xdb_xquery.Eval.run_to_nodes composed ~context:doc))
+    docs
+
+(* ------------------------------------------------------------------ *)
+(* Standalone documents (no database)                                   *)
+(* ------------------------------------------------------------------ *)
+
+type doc_compiled = {
+  d_prog : Xdb_xslt.Compile.program;
+  d_schema : S.t;
+  d_translation : Xslt2xquery.result;
+}
+
+(** [compile_for_document ?options ?schema stylesheet_text ~example_doc] —
+    partial evaluation against a registered schema, or against structural
+    information inferred from a representative document. *)
+let compile_for_document ?(options = Options.default) ?schema stylesheet_text ~example_doc :
+    doc_compiled =
+  let stylesheet = Xdb_xslt.Parser.parse stylesheet_text in
+  let d_prog = Xdb_xslt.Compile.compile stylesheet in
+  let d_schema =
+    match schema with Some s -> s | None -> Xdb_schema.Infer.infer [ example_doc ]
+  in
+  let d_translation = Xslt2xquery.translate ~options d_prog ~schema:d_schema in
+  { d_prog; d_schema; d_translation }
+
+(** Functional transformation of one document. *)
+let transform_functional (dc : doc_compiled) doc =
+  let frag = Xdb_xslt.Vm.transform dc.d_prog doc in
+  Xdb_xml.Serializer.node_list_to_string frag.X.children
+
+(** Transformation through the generated XQuery (whitespace stripping
+    applied, mirroring the VM). *)
+let transform_via_xquery (dc : doc_compiled) doc =
+  let doc = Xdb_xslt.Strip.apply dc.d_prog.Xdb_xslt.Compile.space doc in
+  Xdb_xml.Serializer.node_list_to_string
+    (Xdb_xquery.Eval.run_to_nodes dc.d_translation.Xslt2xquery.query ~context:doc)
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let mode_name = function
+  | Xslt2xquery.Mode_inline -> "inline"
+  | Xslt2xquery.Mode_partial_inline -> "partial-inline"
+  | Xslt2xquery.Mode_functions -> "non-inline"
+  | Xslt2xquery.Mode_builtin_compact -> "builtin-compact"
+
+(** Multi-section EXPLAIN: generated XQuery, execution graph, SQL plan. *)
+let explain (c : compiled) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "-- translation mode: %s\n" (mode_name c.translation.Xslt2xquery.mode));
+  (match c.translation.Xslt2xquery.graph with
+  | Some g ->
+      Buffer.add_string buf "-- template execution graph:\n";
+      Buffer.add_string buf (Trace.to_string g)
+  | None -> ());
+  Buffer.add_string buf "-- generated XQuery:\n";
+  Buffer.add_string buf (Xdb_xquery.Pretty.prog_syntax c.translation.Xslt2xquery.query);
+  Buffer.add_string buf "\n";
+  (match (c.sql_plan, c.sql_fallback_reason) with
+  | Some plan, _ ->
+      Buffer.add_string buf "-- SQL/XML plan:\n";
+      Buffer.add_string buf (A.explain plan)
+  | None, Some reason ->
+      Buffer.add_string buf (Printf.sprintf "-- not SQL-rewritable: %s\n" reason)
+  | None, None -> ());
+  Buffer.contents buf

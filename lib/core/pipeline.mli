@@ -1,0 +1,70 @@
+(** End-to-end XSLT processing pipelines (paper Figure 1). *)
+
+(** A stylesheet compiled against an XMLType view: bytecode for the
+    functional baseline, the XSLT→XQuery translation, and (when the
+    generated query stays in the rewritable fragment) the SQL/XML plan. *)
+type compiled = {
+  stylesheet : Xdb_xslt.Ast.stylesheet;
+  vm_prog : Xdb_xslt.Compile.program;
+  view : Xdb_rel.Publish.view;
+  schema : Xdb_schema.Types.t;
+  translation : Xslt2xquery.result;
+  sql_plan : Xdb_rel.Algebra.plan option;
+  sql_fallback_reason : string option;  (** why [sql_plan] is [None] *)
+}
+
+val compile :
+  ?options:Options.t -> Xdb_rel.Database.t -> Xdb_rel.Publish.view -> string -> compiled
+(** Full compilation: stylesheet text → bytecode → partial evaluation over
+    the view's structural information → XQuery → SQL/XML plan. *)
+
+val run_functional : Xdb_rel.Database.t -> compiled -> string list
+(** "XSLT no rewrite": materialise each view document, run the XSLTVM.
+    One serialized result per base-table row. *)
+
+val run_xquery_stage : Xdb_rel.Database.t -> compiled -> string list
+(** Evaluate the generated XQuery dynamically over materialised documents
+    (differential testing of the translation itself). *)
+
+val run_rewrite : Xdb_rel.Database.t -> compiled -> string list
+(** "XSLT rewrite": execute the SQL/XML plan (B-tree access, no input
+    materialisation); falls back to {!run_xquery_stage} when no plan
+    exists. *)
+
+val compose :
+  Xdb_rel.Database.t ->
+  compiled ->
+  Xdb_xpath.Ast.step list ->
+  Xdb_rel.Algebra.plan option * Xdb_xquery.Ast.prog
+(** Example 2: compose an XQuery child path over the XSLT view result and
+    rewrite the composition down to one relational plan (paper Table 11). *)
+
+val run_composed_dynamic :
+  Xdb_rel.Database.t -> compiled -> Xdb_xquery.Ast.prog -> string list
+(** Evaluate a composed query dynamically (fallback / differential). *)
+
+(** Standalone documents (no database): *)
+
+type doc_compiled = {
+  d_prog : Xdb_xslt.Compile.program;
+  d_schema : Xdb_schema.Types.t;
+  d_translation : Xslt2xquery.result;
+}
+
+val compile_for_document :
+  ?options:Options.t ->
+  ?schema:Xdb_schema.Types.t ->
+  string ->
+  example_doc:Xdb_xml.Types.node ->
+  doc_compiled
+(** Partial evaluation against a registered schema, or against structural
+    information inferred from a representative document. *)
+
+val transform_functional : doc_compiled -> Xdb_xml.Types.node -> string
+val transform_via_xquery : doc_compiled -> Xdb_xml.Types.node -> string
+
+val mode_name : Xslt2xquery.mode_used -> string
+
+val explain : compiled -> string
+(** Multi-section EXPLAIN: translation mode, execution graph, generated
+    XQuery, SQL/XML plan (or the fallback reason). *)

@@ -1,0 +1,26 @@
+(** Compiled-stylesheet registry with automatic recompilation on schema
+    evolution (paper §7.3): compilations are cached per (view, stylesheet)
+    together with a fingerprint of the view's structural information;
+    re-registering a view with a different shape invalidates the entry. *)
+
+type t
+
+exception Registry_error of string
+
+val create : Xdb_rel.Database.t -> t
+
+val register_view : t -> Xdb_rel.Publish.view -> unit
+(** (Re)register a view; replacing a view of the same name models schema
+    evolution. *)
+
+val compile :
+  ?options:Options.t -> t -> view_name:string -> stylesheet:string -> Pipeline.compiled
+(** Cached compilation; recompiles when the view's structural fingerprint
+    changed since the cached compile.
+    @raise Registry_error for unknown views. *)
+
+val run : ?options:Options.t -> t -> view_name:string -> stylesheet:string -> string list
+(** Rewrite-evaluate with auto-recompile. *)
+
+val recompilations : t -> int
+(** Number of (re)compilations performed — observability for tests. *)

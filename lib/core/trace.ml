@@ -1,0 +1,101 @@
+(** Partial evaluation of a stylesheet over a sample document (paper §4.3):
+    run the trace-instrumented XSLTVM on the structural sample and build the
+    {e template execution graph} and the per-site {e trace-call-lists}.
+
+    Graph states correspond to template instantiations; a transition records
+    the apply/call site and the sample node that caused the activation.
+    Recursion (a template re-entered while still on the activation stack)
+    switches query generation to non-inline mode (§4.4). *)
+
+module X = Xdb_xml.Types
+module C = Xdb_xslt.Compile
+module V = Xdb_xslt.Vm
+
+type gstate = {
+  id : int;
+  template : int option;  (** [None] = built-in rule *)
+  context : X.node;  (** sample-document node this instantiation ran on *)
+  mutable transitions : transition list;  (** in activation order *)
+}
+
+and transition = {
+  site : int option;  (** apply/call site; [None] = built-in implicit apply *)
+  target : gstate;
+}
+
+type t = {
+  root : gstate;  (** initial activation on the sample document root *)
+  states : gstate list;  (** all states, in creation order *)
+  recursive : bool;  (** template re-entered while active *)
+  instantiated : int list;  (** user template ids that fired, sorted *)
+  n_states : int;
+}
+
+exception Trace_error of string
+
+(** [run prog sample_doc] — execute the VM over the sample document with
+    trace instructions enabled and assemble the graph. *)
+let run (prog : C.program) (sample_doc : X.node) : t =
+  let counter = ref 0 in
+  let states = ref [] in
+  let stack : gstate list ref = ref [] in
+  let root_state = ref None in
+  let recursive = ref false in
+  let sink = function
+    | V.Ev_enter { template; node; site } ->
+        (* recursion check: same user template already on the stack *)
+        (match template with
+        | Some tid ->
+            if List.exists (fun s -> s.template = Some tid) !stack then recursive := true
+        | None -> ());
+        let state =
+          { id = !counter; template; context = node; transitions = [] }
+        in
+        incr counter;
+        states := state :: !states;
+        (match !stack with
+        | parent :: _ -> parent.transitions <- parent.transitions @ [ { site; target = state } ]
+        | [] -> root_state := Some state);
+        stack := state :: !stack
+    | V.Ev_exit -> (
+        match !stack with
+        | _ :: rest -> stack := rest
+        | [] -> raise (Trace_error "unbalanced trace events"))
+  in
+  ignore (V.transform ~trace:sink prog sample_doc);
+  let root =
+    match !root_state with
+    | Some s -> s
+    | None -> raise (Trace_error "no template was activated on the sample document")
+  in
+  let instantiated =
+    List.filter_map (fun s -> s.template) !states |> List.sort_uniq compare
+  in
+  { root; states = List.rev !states; recursive = !recursive; instantiated; n_states = !counter }
+
+(** Transitions of [state] grouped by site, preserving activation order
+    within each site (the §4.3 trace-call-list of an apply-templates). *)
+let call_list state ~site =
+  List.filter (fun tr -> tr.site = site) state.transitions
+
+(** Pretty-printer for debugging and EXPERIMENTS.md extracts. *)
+let to_string (g : t) =
+  let buf = Buffer.create 256 in
+  let rec go depth s =
+    let name =
+      match s.template with None -> "builtin" | Some i -> Printf.sprintf "template#%d" i
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s on <%s>\n"
+         (String.make (2 * depth) ' ')
+         name
+         (match s.context.X.kind with
+         | X.Element q -> q.local
+         | X.Document -> "#document"
+         | X.Text _ -> "#text"
+         | _ -> "#other"));
+    List.iter (fun tr -> go (depth + 1) tr.target) s.transitions
+  in
+  go 0 g.root;
+  if g.recursive then Buffer.add_string buf "(recursive)\n";
+  Buffer.contents buf

@@ -1,0 +1,37 @@
+(** Partial evaluation of a stylesheet over a sample document (paper §4.3):
+    run the trace-instrumented XSLTVM on the structural sample and build
+    the template execution graph and the per-site trace-call-lists. *)
+
+type gstate = {
+  id : int;
+  template : int option;  (** [None] = built-in rule *)
+  context : Xdb_xml.Types.node;  (** sample node this instantiation ran on *)
+  mutable transitions : transition list;  (** in activation order *)
+}
+
+and transition = {
+  site : int option;  (** apply/call site; [None] = built-in implicit apply *)
+  target : gstate;
+}
+
+type t = {
+  root : gstate;  (** initial activation on the sample document root *)
+  states : gstate list;  (** all states, in creation order *)
+  recursive : bool;  (** a template was re-entered while active *)
+  instantiated : int list;  (** user template ids that fired, sorted *)
+  n_states : int;
+}
+
+exception Trace_error of string
+
+val run : Xdb_xslt.Compile.program -> Xdb_xml.Types.node -> t
+(** Execute the VM over the sample document with trace instructions
+    enabled and assemble the graph.
+    @raise Trace_error on unbalanced trace events. *)
+
+val call_list : gstate -> site:int option -> transition list
+(** Transitions of a state for one site, in activation order — the §4.3
+    trace-call-list of an [apply-templates]. *)
+
+val to_string : t -> string
+(** Indented rendering of the execution graph. *)

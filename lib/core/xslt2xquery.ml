@@ -1,0 +1,1087 @@
+(** XSLT → XQuery translation (the paper's core contribution, §3–§4).
+
+    Two generation strategies share one instruction translator:
+
+    - {b Optimised (partial evaluation)} — uses the template execution graph
+      from {!Trace} plus the structural information ({!Xdb_schema.Types.t})
+      to produce an inline query (no user functions) when the graph is
+      acyclic, applying the §3.3–3.7 techniques: template inlining,
+      model-group/cardinality-driven children instantiation (LET vs FOR,
+      conditional-test elimination), backward-axis test removal,
+      built-in-only compaction, and dead-template removal.
+    - {b Non-inline / straightforward} — one XQuery function per template
+      with conditional dispatch at each apply site, the [9]-style
+      translation used when the graph is recursive or when inlining is
+      disabled for ablation.
+
+    The generated query expects the input document as its context item
+    ([declare variable $var000 := .]). *)
+
+module X = Xdb_xml.Types
+module XP = Xdb_xpath.Ast
+module Pat = Xdb_xpath.Pattern
+module S = Xdb_schema.Types
+module Q = Xdb_xquery.Ast
+module C = Xdb_xslt.Compile
+module A = Xdb_xslt.Ast
+
+exception Not_translatable of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Not_translatable m)) fmt
+
+let root_var = "var000"
+
+type gen = {
+  prog : C.program;
+  schema : S.t;
+  options : Options.t;
+  graph : Trace.t option;  (** [None] in pure straightforward mode *)
+  cycles : int list;  (** template ids on static call-template cycles *)
+  allow_partial : bool;  (** partial-inline mode (§7.2 extension) *)
+  mutable counter : int;
+  mutable needed_funs : int list;  (** template ids requiring functions *)
+  mutable needs_builtin_fun : bool;
+}
+
+(* template ids reachable from themselves through call-template edges *)
+let call_cycles (prog : C.program) : int list =
+  let n = Array.length prog.C.templates in
+  let edges = Array.make n [] in
+  let rec collect_code src (code : C.code) =
+    Array.iter
+      (fun op ->
+        match op with
+        | C.O_call { target; params; _ } ->
+            edges.(src) <- target :: edges.(src);
+            List.iter
+              (fun (_, v) -> match v with C.C_tree c -> collect_code src c | C.C_select _ -> ())
+              params
+        | C.O_apply { params; _ } ->
+            List.iter
+              (fun (_, v) -> match v with C.C_tree c -> collect_code src c | C.C_select _ -> ())
+              params
+        | C.O_literal_elem (_, _, c)
+        | C.O_elem (_, c)
+        | C.O_attr (_, c)
+        | C.O_comment c
+        | C.O_pi (_, c)
+        | C.O_copy c
+        | C.O_if (_, c)
+        | C.O_message c
+        | C.O_for_each (_, _, c) ->
+            collect_code src c
+        | C.O_choose bs -> List.iter (fun (_, c) -> collect_code src c) bs
+        | C.O_var (_, C.C_tree c) -> collect_code src c
+        | C.O_text _ | C.O_value_of _ | C.O_copy_of _ | C.O_number _
+        | C.O_var (_, C.C_select _) ->
+            ())
+      code
+  in
+  Array.iteri (fun i ct -> collect_code i ct.C.tcode) prog.C.templates;
+  let reaches_self start =
+    let seen = Array.make n false in
+    let rec go i =
+      List.exists (fun j -> j = start || ((not seen.(j)) && (seen.(j) <- true; go j))) edges.(i)
+    in
+    go start
+  in
+  List.filter reaches_self (List.init n (fun i -> i))
+
+let fresh g =
+  g.counter <- g.counter + 1;
+  Printf.sprintf "var%03d" g.counter
+
+(* ------------------------------------------------------------------ *)
+(* XPath → XQuery expression relocation                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* fresh names for key() expansions (module-level: xp_to_q has no state) *)
+let key_var_counter = ref 0
+
+(* Translate an XSLT-side XPath to an XQuery expression with the context
+   node held in variable [cur].  [pos_var] substitutes position();
+   [keys] enables the semantic expansion of key(name, value) into a
+   document search with the key's use expression as a predicate. *)
+let rec xp_to_q ~cur ?pos_var ?last_var ?(keys = []) (e : XP.expr) : Q.expr =
+  let recur e = xp_to_q ~cur ?pos_var ?last_var ~keys e in
+  match e with
+  | XP.Call ("key", [ XP.Literal kname; value ]) -> (
+      match List.find_opt (fun (d : A.key_decl) -> d.A.key_name = kname) keys with
+      | None -> fail "key(): no xsl:key named %S" kname
+      | Some decl ->
+          incr key_var_counter;
+          let kv = Printf.sprintf "__key%d" !key_var_counter in
+          (* one descendant search per pattern alternative, united *)
+          let alt_path (alt : Xdb_xpath.Pattern.pattern_path) =
+            match alt.Xdb_xpath.Pattern.rev_steps with
+            | [ ({ XP.test = XP.Name_test (_, local); predicates = []; _ }, _) ] ->
+                Q.Path
+                  ( Q.Var root_var,
+                    [
+                      { XP.axis = XP.Descendant_or_self;
+                        test = XP.Node_type_test XP.Any_node;
+                        predicates = [] };
+                      { XP.axis = XP.Child;
+                        test = XP.Name_test (None, local);
+                        predicates = [ XP.Binop (XP.Eq, decl.A.key_use, XP.Var kv) ] };
+                    ] )
+            | _ -> fail "key(): only single-step name-test match patterns are translatable"
+          in
+          let search =
+            match List.map alt_path (decl.A.key_match).Xdb_xpath.Pattern.alternatives with
+            | [] -> Q.Seq []
+            | first :: rest ->
+                List.fold_left (fun acc p -> Q.Binop (XP.Union, acc, p)) first rest
+          in
+          Q.Flwor ([ Q.Let { var = kv; value = recur value } ], search))
+  | XP.Literal s -> Q.Literal (Q.Str s)
+  | XP.Number f -> Q.Literal (Q.Num f)
+  | XP.Var v -> Q.Var v
+  | XP.Neg e -> Q.Neg (recur e)
+  | XP.Binop (op, a, b) -> Q.Binop (op, recur a, recur b)
+  | XP.Path { absolute = false; steps } -> (
+      (* drop leading predicate-free self::node() steps ("." syntax) *)
+      let steps =
+        let rec strip = function
+          | { XP.axis = XP.Self; test = XP.Node_type_test XP.Any_node; predicates = [] } :: rest
+            ->
+              strip rest
+          | steps -> steps
+        in
+        strip steps
+      in
+      match steps with [] -> Q.Var cur | steps -> Q.Path (Q.Var cur, steps))
+  | XP.Path { absolute = true; steps } -> Q.Path (Q.Var root_var, steps)
+  | XP.Filter (base, preds, steps) ->
+      let base_q = recur base in
+      if preds = [] && steps = [] then base_q
+      else
+        let pred_step =
+          if preds = [] then []
+          else [ { XP.axis = XP.Self; test = XP.Node_type_test XP.Any_node; predicates = preds } ]
+        in
+        Q.Path (base_q, pred_step @ steps)
+  | XP.Call ("position", []) -> (
+      match pos_var with
+      | Some pv -> Q.Var pv
+      | None -> fail "position() outside an iteration cannot be translated")
+  | XP.Call ("last", []) -> (
+      match last_var with
+      | Some lv -> Q.Var lv
+      | None -> fail "last() outside an iteration cannot be translated")
+  | XP.Call ("current", []) -> Q.Var cur
+  | XP.Call (f, args) -> Q.Fn_call (f, List.map recur args)
+
+(* does an expression (or nested predicate) use position() / last() at the
+   top level (outside step predicates, which XPath handles itself)? *)
+let rec uses_fn fname (e : XP.expr) =
+  match e with
+  | XP.Call (f, []) when f = fname -> true
+  | XP.Call (_, args) -> List.exists (uses_fn fname) args
+  | XP.Binop (_, a, b) -> uses_fn fname a || uses_fn fname b
+  | XP.Neg e -> uses_fn fname e
+  | XP.Literal _ | XP.Number _ | XP.Var _ | XP.Path _ | XP.Filter _ -> false
+
+let uses_position = uses_fn "position"
+let uses_last = uses_fn "last"
+
+(* ------------------------------------------------------------------ *)
+(* Pattern → XQuery dispatch condition (§3.5, Tables 16–19)             *)
+(* ------------------------------------------------------------------ *)
+
+(* element names that can be the parent of [child] according to the schema *)
+let schema_parents g child =
+  List.filter_map
+    (fun (pname, d) ->
+      if List.exists (fun p -> p.S.child = child) d.S.particles then Some pname else None)
+    g.schema.S.decls
+
+let test_condition x (test : XP.node_test) : Q.expr =
+  match test with
+  | XP.Name_test (_, local) -> Q.Instance_of (Q.Var x, Q.It_element (Some local))
+  | XP.Star | XP.Prefix_star _ -> Q.Instance_of (Q.Var x, Q.It_element None)
+  | XP.Node_type_test XP.Text_node -> Q.Instance_of (Q.Var x, Q.It_text)
+  | XP.Node_type_test XP.Comment_node -> Q.Instance_of (Q.Var x, Q.It_comment)
+  | XP.Node_type_test XP.Any_node -> Q.Instance_of (Q.Var x, Q.It_node)
+  | XP.Node_type_test (XP.Pi_node _) -> Q.Literal (Q.Bool false)
+
+let conj = function
+  | [] -> Q.Literal (Q.Bool true)
+  | c :: rest -> List.fold_left (fun acc x -> Q.Binop (XP.And, acc, x)) c rest
+
+(** Condition under which the node in [$x] matches one pattern alternative.
+    With [remove_backward_tests] the parent-axis [fn:exists] checks that the
+    structural information proves redundant are dropped (Table 17 → 19). *)
+let alternative_condition g x (alt : Pat.pattern_path) : Q.expr =
+  match alt.Pat.rev_steps with
+  | [] -> Q.Literal (Q.Bool false) (* "/" matches only the root; handled separately *)
+  | (last_step, _) :: ancestors ->
+      let head = test_condition x last_step.XP.test in
+      let pred_checks =
+        if last_step.XP.predicates = [] then []
+        else
+          [ Q.Fn_call
+              ( "exists",
+                [ Q.Path
+                    ( Q.Var x,
+                      [ { XP.axis = XP.Self;
+                          test = XP.Node_type_test XP.Any_node;
+                          predicates = last_step.XP.predicates } ] ) ] ) ]
+      in
+      (* parent-axis checks for the remaining steps, innermost first *)
+      let child_name_of_test = function
+        | XP.Name_test (_, l) -> Some l
+        | _ -> None
+      in
+      (* each rev_steps entry carries the link joining it to the step on its
+         LEFT; so the axis used to test an ancestor step comes from the link
+         of the step to its right ([prev_link]) *)
+      let rec backward (current_child : string option) prev_link steps acc_steps checks =
+        match steps with
+        | [] -> checks
+        | ((step : XP.step), link) :: rest ->
+            let axis =
+              match (prev_link : Pat.step_link) with
+              | Pat.Direct_child -> XP.Parent
+              | Pat.Any_ancestor -> XP.Ancestor
+            in
+            let removable =
+              g.options.Options.remove_backward_tests
+              && step.XP.predicates = []
+              && prev_link = Pat.Direct_child
+              &&
+              match (current_child, child_name_of_test step.XP.test) with
+              | Some child, Some parent -> schema_parents g child = [ parent ]
+              | _ -> false
+            in
+            let acc_steps' = acc_steps @ [ { step with XP.axis } ] in
+            let checks' =
+              if removable then checks
+              else checks @ [ Q.Fn_call ("exists", [ Q.Path (Q.Var x, acc_steps') ]) ]
+            in
+            backward (child_name_of_test step.XP.test) link rest acc_steps' checks'
+      in
+      let last_link = snd (List.hd alt.Pat.rev_steps) in
+      ignore last_link;
+      let checks =
+        match alt.Pat.rev_steps with
+        | (_, first_link) :: _ ->
+            backward (child_name_of_test last_step.XP.test) first_link ancestors [] []
+        | [] -> []
+      in
+      conj ((head :: pred_checks) @ checks)
+
+let pattern_condition g x (pat : Pat.t) : Q.expr =
+  match List.map (alternative_condition g x) pat.Pat.alternatives with
+  | [] -> Q.Literal (Q.Bool false)
+  | [ c ] -> c
+  | c :: rest -> List.fold_left (fun acc d -> Q.Binop (XP.Or, acc, d)) c rest
+
+(* ------------------------------------------------------------------ *)
+(* Instruction translation                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* how apply/call sites are expanded *)
+type strategy =
+  | Inline of Trace.gstate  (** current graph state: targets from the trace *)
+  | Functions  (** conditional dispatch on function calls *)
+
+type tctx = {
+  cur : string;  (** variable holding the context node *)
+  pos_var : string option;  (** substitutes position() *)
+  last_var : string option;  (** substitutes last() *)
+  strategy : strategy;
+}
+
+let merge_adjacent_texts content =
+  (* cosmetic: <H2>Department name: {fn:string(..)}</H2> as one concat *)
+  let as_text = function
+    | Q.Comp_text inner -> Some inner
+    | Q.Literal (Q.Str s) -> Some (Q.Literal (Q.Str s))
+    | _ -> None
+  in
+  let rec go acc pending = function
+    | [] -> List.rev (flush acc pending)
+    | e :: rest -> (
+        match as_text e with
+        | Some t -> go acc (t :: pending) rest
+        | None -> go (e :: flush acc pending) [] rest)
+  and flush acc pending =
+    match List.rev pending with
+    | [] -> acc
+    | [ Q.Literal (Q.Str s) ] -> Q.Literal (Q.Str s) :: acc
+    | [ one ] -> Q.Comp_text one :: acc
+    | many -> Q.Comp_text (Q.Fn_call ("concat", many)) :: acc
+  in
+  go [] [] content
+
+let rec gen_body g (t : tctx) (code : C.code) : Q.expr =
+  (* sequential ops; O_var introduces a let over the remainder *)
+  let rec seq i acc =
+    if i >= Array.length code then List.rev acc
+    else
+      match code.(i) with
+      | C.O_var (name, v) ->
+          let value = gen_cvalue g t v in
+          let rest = seq (i + 1) [] in
+          List.rev (Q.Flwor ([ Q.Let { var = name; value } ], Q.Seq rest) :: acc)
+      | op -> seq (i + 1) (gen_op g t op :: acc)
+  in
+  match merge_adjacent_texts (seq 0 []) with
+  | [ e ] -> e
+  | es -> Q.Seq es
+
+and gen_xp g t e = xp_to_q ~cur:t.cur ?pos_var:t.pos_var ?last_var:t.last_var ~keys:g.prog.C.keys e
+
+and gen_cvalue g t = function
+  | C.C_select e -> gen_xp g t e
+  | C.C_tree code -> gen_body g t code
+
+and gen_avt g t (a : A.avt) : Q.attr_piece list =
+  List.map
+    (function
+      | A.Avt_str s -> Q.Attr_str s
+      | A.Avt_expr e -> Q.Attr_expr (Q.Fn_call ("string", [ gen_xp g t e ])))
+    a
+
+and gen_op g (t : tctx) (op : C.op) : Q.expr =
+  let xq e = gen_xp g t e in
+  match op with
+  | C.O_text s -> Q.Literal (Q.Str s)
+  | C.O_value_of e -> Q.Comp_text (Q.Fn_call ("string", [ xq e ]))
+  | C.O_copy_of e -> xq e
+  | C.O_literal_elem (name, attrs, body) ->
+      Q.Direct_elem (name, List.map (fun (n, a) -> (n, gen_avt g t a)) attrs, [ gen_body g t body ])
+  | C.O_elem (name_avt, body) -> (
+      match gen_avt g t name_avt with
+      | [ Q.Attr_str s ] -> Q.Direct_elem (s, [], [ gen_body g t body ])
+      | pieces ->
+          let name_expr =
+            Q.Fn_call
+              ( "concat",
+                List.map
+                  (function Q.Attr_str s -> Q.Literal (Q.Str s) | Q.Attr_expr e -> e)
+                  pieces
+                @ [ Q.Literal (Q.Str "") ] )
+          in
+          Q.Comp_elem (name_expr, gen_body g t body))
+  | C.O_attr (name_avt, body) -> (
+      match gen_avt g t name_avt with
+      | [ Q.Attr_str s ] -> Q.Comp_attr (s, gen_body g t body)
+      | _ -> fail "computed attribute names are not supported")
+  | C.O_comment body -> Q.Comp_comment (Q.Fn_call ("string-join",
+      [ gen_body g t body; Q.Literal (Q.Str "") ]))
+  | C.O_pi _ -> fail "processing-instruction constructors are not supported in the subset"
+  | C.O_copy body -> (
+      match t.strategy with
+      | Inline state -> (
+          match state.Trace.context.X.kind with
+          | X.Element q -> Q.Direct_elem (q.X.local, [], [ gen_body g t body ])
+          | X.Document -> gen_body g t body
+          | X.Text _ -> Q.Comp_text (Q.Fn_call ("string", [ Q.Var t.cur ]))
+          | _ -> fail "xsl:copy on this node kind is not supported")
+      | Functions ->
+          (* node kind unknown statically: dispatch at run time *)
+          let inner = gen_body g t body in
+          Q.If
+            ( Q.Instance_of (Q.Var t.cur, Q.It_element None),
+              Q.Comp_elem (Q.Fn_call ("local-name", [ Q.Var t.cur ]), inner),
+              Q.If
+                ( Q.Instance_of (Q.Var t.cur, Q.It_text),
+                  Q.Comp_text (Q.Fn_call ("string", [ Q.Var t.cur ])),
+                  inner ) ))
+  | C.O_if (test, body) -> Q.If (xq test, gen_body g t body, Q.Seq [])
+  | C.O_choose branches ->
+      let rec chain = function
+        | [] -> Q.Seq []
+        | (None, body) :: _ -> gen_body g t body
+        | (Some c, body) :: rest -> Q.If (xq c, gen_body g t body, chain rest)
+      in
+      chain branches
+  | C.O_for_each (select, sorts, body) ->
+      let v = fresh g in
+      let pv = if body_uses_position body then Some (fresh g) else None in
+      let lv = if body_uses_last body then Some (fresh g) else None in
+      let order =
+        List.map
+          (fun (s : A.sort_spec) ->
+            let k = xp_to_q ~cur:v ?pos_var:pv ?last_var:lv ~keys:g.prog.C.keys s.A.sort_key in
+            let k = if s.A.numeric then Q.Fn_call ("number", [ k ]) else Q.Fn_call ("string", [ k ]) in
+            (k, s.A.descending))
+          sorts
+      in
+      let source = xq select in
+      let lets =
+        match lv with
+        | Some lvn -> [ Q.Let { var = lvn; value = Q.Fn_call ("count", [ source ]) } ]
+        | None -> []
+      in
+      let clauses =
+        lets
+        @ (Q.For { var = v; pos_var = pv; source }
+          :: (if order = [] then [] else [ Q.Order_by order ]))
+      in
+      Q.Flwor (clauses, gen_body g { t with cur = v; pos_var = pv; last_var = lv } body)
+  | C.O_number _format ->
+      (* level="single": count preceding siblings of the same name, +1 *)
+      let count_siblings test predicates =
+        Q.Comp_text
+          (Q.Fn_call
+             ( "string",
+               [ Q.Binop
+                   ( XP.Plus,
+                     Q.Fn_call
+                       ( "count",
+                         [ Q.Path
+                             ( Q.Var t.cur,
+                               [ { XP.axis = XP.Preceding_sibling; test; predicates } ] ) ] ),
+                     Q.Literal (Q.Num 1.) ) ] ))
+      in
+      (match t.strategy with
+      | Inline state -> (
+          match state.Trace.context.X.kind with
+          | X.Element q -> count_siblings (XP.Name_test (None, q.X.local)) []
+          | _ -> fail "xsl:number outside an element context")
+      | Functions ->
+          (* element name unknown statically: compare names dynamically *)
+          count_siblings XP.Star
+            [ XP.Binop
+                ( XP.Eq,
+                  XP.Call ("name", []),
+                  XP.Call ("name", [ XP.Var t.cur ]) ) ])
+  | C.O_message _ -> Q.Seq []
+  | C.O_var _ -> assert false (* handled by gen_body's sequencing *)
+  | C.O_call { site; target; params } -> gen_call g t ~site ~target ~params
+  | C.O_apply { site; select; mode; sort; params } ->
+      gen_apply g t ~site ~select ~mode ~sort ~params
+
+and body_uses_fn pred (code : C.code) =
+  Array.exists
+    (fun op ->
+      match op with
+      | C.O_value_of e | C.O_copy_of e -> pred e
+      | C.O_if (e, body) -> pred e || body_uses_fn pred body
+      | C.O_choose bs ->
+          List.exists
+            (fun (c, b) ->
+              (match c with Some c -> pred c | None -> false) || body_uses_fn pred b)
+            bs
+      | C.O_literal_elem (_, attrs, body) ->
+          List.exists
+            (fun (_, a) ->
+              List.exists (function A.Avt_expr e -> pred e | A.Avt_str _ -> false) a)
+            attrs
+          || body_uses_fn pred body
+      | C.O_elem (_, body) | C.O_attr (_, body) | C.O_comment body | C.O_copy body
+      | C.O_message body ->
+          body_uses_fn pred body
+      | C.O_var (_, C.C_select e) -> pred e
+      | C.O_var (_, C.C_tree body) -> body_uses_fn pred body
+      | C.O_apply { select; _ } -> ( match select with Some e -> pred e | None -> false)
+      | C.O_for_each (e, _, _) -> pred e
+      | C.O_text _ | C.O_number _ | C.O_pi _ | C.O_call _ -> false)
+    code
+
+and body_uses_position code = body_uses_fn uses_position code
+
+and body_uses_last code = body_uses_fn uses_last code
+
+(* ------------------------------------------------------------------ *)
+(* Apply/call expansion                                                *)
+(* ------------------------------------------------------------------ *)
+
+and gen_params g t params =
+  List.map (fun (n, v) -> Q.Let { var = n; value = gen_cvalue g t v }) params
+
+and default_params g t (ct : C.ctemplate) passed =
+  (* defaults for parameters not passed at the call site *)
+  List.filter_map
+    (fun (n, d) ->
+      if List.mem_assoc n passed then None
+      else
+        let value =
+          match d with Some v -> gen_cvalue g t v | None -> Q.Literal (Q.Str "")
+        in
+        Some (Q.Let { var = n; value }))
+    ct.C.tparams
+
+and gen_call g t ~site ~target ~params =
+  match t.strategy with
+  | Inline _ when g.allow_partial && List.mem target g.cycles ->
+      (* partial inline (§7.2 extension): the target is on a call cycle —
+         emit a function call instead of unbounded inlining *)
+      gen_function_call g t ~target ~params
+  | Inline state -> (
+      (* the trace recorded the instantiation; inline the body *)
+      let entries = Trace.call_list state ~site:(Some site) in
+      match entries with
+      | [ { Trace.target = tstate; _ } ] ->
+          let ct = g.prog.C.templates.(target) in
+          let lets = gen_params g t params @ default_params g t ct params in
+          let body = gen_state ?pos_var:t.pos_var ?last_var:t.last_var g tstate t.cur in
+          if lets = [] then body else Q.Flwor (lets, body)
+      | [] -> Q.Seq [] (* call never executed on the sample: dead code *)
+      | _ -> fail "multiple trace entries for one call site")
+  | Functions -> gen_function_call g t ~target ~params
+
+(* emit a call to the XQuery function for template [target]; arguments are
+   with-param values (caller context), else declared defaults evaluated with
+   the same context node — call-template does not change the current node,
+   so caller-side evaluation is exact *)
+and gen_function_call g t ~target ~params =
+  let ct = g.prog.C.templates.(target) in
+  if not (List.mem target g.needed_funs) then g.needed_funs <- target :: g.needed_funs;
+  let args =
+    List.map
+      (fun (pname, default) ->
+        match List.assoc_opt pname params with
+        | Some v -> gen_cvalue g t v
+        | None -> (
+            match default with
+            | Some d -> gen_cvalue g t d
+            | None -> Q.Literal (Q.Str "")))
+      ct.C.tparams
+  in
+  let pos = match t.pos_var with Some p -> Q.Var p | None -> Q.Literal (Q.Num 1.) in
+  let last = match t.last_var with Some l -> Q.Var l | None -> Q.Literal (Q.Num 1.) in
+  Q.User_call (fun_name g target, Q.Var t.cur :: pos :: last :: args)
+
+and fun_name g id =
+  let ct = g.prog.C.templates.(id) in
+  match ct.C.tname with
+  | Some n -> Printf.sprintf "tmpl-%s" n
+  | None -> Printf.sprintf "tmpl%d" id
+
+(* path (list of child names) from ancestor [anc] to node [n] in the sample
+   document; None if [n] is not in [anc]'s subtree *)
+and sample_path anc n =
+  let rec climb n acc =
+    if n == anc then Some acc
+    else
+      match n.X.parent with
+      | None -> None
+      | Some p -> (
+          match n.X.kind with
+          | X.Element q -> climb p (q.X.local :: acc)
+          | X.Text _ -> climb p ("#text" :: acc)
+          | _ -> None)
+  in
+  climb n []
+
+and occurs_of_sample_node n =
+  match n.X.kind with
+  | X.Element _ -> Xdb_schema.Sample.occurs_of_element n
+  | _ -> S.many
+
+and gen_apply g t ~site ~select ~mode ~sort ~params =
+  ignore mode;
+  match t.strategy with
+  | Inline state -> gen_apply_inline g t state ~site ~select ~sort ~params
+  | Functions -> gen_apply_functions g t ~site ~select ~sort ~params
+
+(* ---- non-inline dispatch ------------------------------------------ *)
+
+and gen_apply_functions g t ~site ~select ~sort ~params =
+  ignore site;
+  let site_args = List.map (fun (n, v) -> (n, gen_cvalue g t v)) params in
+  let v = fresh g in
+  let source =
+    match select with
+    | Some e -> gen_xp g t e
+    | None ->
+        Q.Path (Q.Var t.cur, [ { XP.axis = XP.Child; test = XP.Node_type_test XP.Any_node; predicates = [] } ])
+  in
+  let order =
+    List.map
+      (fun (s : A.sort_spec) ->
+        let k = xp_to_q ~cur:v ~keys:g.prog.C.keys s.A.sort_key in
+        let k = if s.A.numeric then Q.Fn_call ("number", [ k ]) else Q.Fn_call ("string", [ k ]) in
+        (k, s.A.descending))
+      sort
+  in
+  let pv = fresh g in
+  let lv = fresh g in
+  let dispatch = gen_dispatch_chain g v ~pos_arg:(Q.Var pv) ~last_arg:(Q.Var lv) ~site_args () in
+  let clauses =
+    Q.Let { var = lv; value = Q.Fn_call ("count", [ source ]) }
+    :: Q.For { var = v; pos_var = Some pv; source }
+    :: (if order = [] then [] else [ Q.Order_by order ])
+  in
+  Q.Flwor (clauses, dispatch)
+
+(* conditional chain testing every template pattern (mode-less subset),
+   ordered by priority then document order — the [9] translation.
+   [site_args] are the apply site's with-param values (caller-evaluated);
+   parameter defaults are evaluated with the dispatched node as context,
+   matching XSLT's callee-side semantics *)
+and gen_dispatch_chain g v ?(site_args = []) ?(pos_arg = Q.Literal (Q.Num 1.))
+    ?(last_arg = Q.Literal (Q.Num 1.)) () : Q.expr =
+  let candidates =
+    Array.to_list g.prog.C.templates
+    |> List.filter_map (fun (ct : C.ctemplate) ->
+           match ct.C.pattern with
+           | Some (pat, prio) when ct.C.tmode = None -> Some (ct, pat, prio)
+           | _ -> None)
+  in
+  let candidates =
+    (* keep only instantiated templates when the option is on and we have a trace *)
+    match (g.graph, g.options.Options.remove_dead_templates) with
+    | Some graph, true ->
+        List.filter (fun ((ct : C.ctemplate), _, _) -> List.mem ct.C.t_id graph.Trace.instantiated) candidates
+    | _ -> candidates
+  in
+  let ordered =
+    List.stable_sort
+      (fun ((a : C.ctemplate), _, pa) ((b : C.ctemplate), _, pb) ->
+        match compare pb pa with 0 -> compare b.C.source_index a.C.source_index | c -> c)
+      candidates
+  in
+  g.needs_builtin_fun <- true;
+  let builtin_call = Q.User_call ("builtin", [ Q.Var v ]) in
+  let callee_ctx =
+    { cur = v; pos_var = None; last_var = None; strategy = Functions }
+  in
+  List.fold_right
+    (fun ((ct : C.ctemplate), pat, _) rest ->
+      if not (List.mem ct.C.t_id g.needed_funs) then g.needed_funs <- ct.C.t_id :: g.needed_funs;
+      let args =
+        List.map
+          (fun (pname, default) ->
+            match List.assoc_opt pname site_args with
+            | Some e -> e
+            | None -> (
+                match default with
+                | Some d -> gen_cvalue g callee_ctx d
+                | None -> Q.Literal (Q.Str "")))
+          ct.C.tparams
+      in
+      Q.If
+        ( pattern_condition g v pat,
+          Q.User_call (fun_name g ct.C.t_id, Q.Var v :: pos_arg :: last_arg :: args),
+          rest ))
+    ordered builtin_call
+
+(* ---- inline expansion from the trace (§3.3, 3.4) ------------------- *)
+
+and gen_apply_inline g t state ~site ~select ~sort ~params =
+  let entries = Trace.call_list state ~site:(Some site) in
+  if entries = [] then (
+    (* a multi-step select over a recursive structure can pass through the
+       unexpanded repeat and look empty on the sample: dispatch at run time
+       under partial inline, fall back to functions otherwise *)
+    if S.is_recursive g.schema then
+      if g.allow_partial then gen_partial_site g t ~select ~sort ~params
+      else fail "selection crosses an unexpanded recursive structure"
+    else Q.Seq [])
+  else begin
+    (* group consecutive entries by their sample node *)
+    let groups =
+      let tbl = ref [] in
+      List.iter
+        (fun (tr : Trace.transition) ->
+          let node = tr.Trace.target.Trace.context in
+          match List.assq_opt node !tbl with
+          | Some cell -> cell := tr :: !cell
+          | None -> tbl := !tbl @ [ (node, ref [ tr ]) ])
+        entries;
+      List.map (fun (n, cell) -> (n, List.rev !cell)) !tbl
+    in
+    (* recursion marks on targets: the whole site switches to run-time
+       dispatch under partial inline (the select may cover the boundary and
+       the inlined groups alike); without the extension, inline mode fails *)
+    if List.exists (fun (n, _) -> is_recursive_sample_node n) groups then
+      if g.allow_partial then gen_partial_site g t ~select ~sort ~params
+      else fail "recursive structure reached in inline mode"
+    else
+    let parent_group =
+      match state.Trace.context.X.kind with
+      | X.Element _ when select = None -> Xdb_schema.Sample.group_of_element state.Trace.context
+      | _ -> S.Sequence
+    in
+    let effective_group =
+      if not g.options.Options.use_model_groups then S.All
+      else if select <> None then S.Sequence (* explicit select fixes the nodes *)
+      else parent_group
+    in
+    match effective_group with
+    | S.Sequence ->
+        (* Table 14/15: one binding per distinct sample node, in order *)
+        Q.Seq (List.map (fun (node, group) -> gen_group g t state ~select ~sort ~params node group) groups)
+    | S.Choice ->
+        (* Table 13: if/else on child existence *)
+        let rec chain = function
+          | [] -> Q.Seq []
+          | (node, group) :: rest ->
+              let path = sample_step_path g t state node ~select in
+              Q.If
+                ( Q.Fn_call ("exists", [ path ]),
+                  gen_group g t state ~select ~sort ~params node group,
+                  chain rest )
+        in
+        chain groups
+    | S.All ->
+        (* Table 12: iterate node() with instance-of tests *)
+        let v = fresh g in
+        let source =
+          match select with
+          | Some e -> gen_xp g t e
+          | None ->
+              Q.Path
+                (Q.Var t.cur, [ { XP.axis = XP.Child; test = XP.Node_type_test XP.Any_node; predicates = [] } ])
+        in
+        let rec chain = function
+          | [] -> Q.Seq []
+          | (node, group) :: rest ->
+              let test =
+                match node.X.kind with
+                | X.Element q -> Q.Instance_of (Q.Var v, Q.It_element (Some q.X.local))
+                | X.Text _ -> Q.Instance_of (Q.Var v, Q.It_text)
+                | _ -> Q.Literal (Q.Bool false)
+              in
+              Q.If (test, gen_targets g t ~params ~cur:v group, chain rest)
+        in
+        Q.Flwor ([ Q.For { var = v; pos_var = None; source } ], chain groups)
+  end
+
+(* the XQuery path selecting the sample node [node] from the current
+   context, honouring an explicit select expression *)
+and sample_step_path g t state node ~select : Q.expr =
+  match select with
+  | Some e -> gen_xp g t e
+  | None -> (
+      match sample_path state.Trace.context node with
+      | Some names ->
+          let steps =
+            List.map
+              (fun n ->
+                if n = "#text" then
+                  { XP.axis = XP.Child; test = XP.Node_type_test XP.Text_node; predicates = [] }
+                else { XP.axis = XP.Child; test = XP.Name_test (None, n); predicates = [] })
+              names
+          in
+          Q.Path (Q.Var t.cur, steps)
+      | None -> fail "trace target is not inside the current context")
+
+and is_recursive_sample_node node =
+  match node.X.kind with
+  | X.Element _ -> Xdb_schema.Sample.is_recursive_element node
+  | _ -> false
+
+(* partial inline (§7.2 extension): run-time dispatch over an apply site
+   whose selection crosses a recursion boundary *)
+and gen_partial_site g t ~select ~sort ~params =
+  let source =
+    match select with
+    | Some e -> gen_xp g t e
+    | None ->
+        Q.Path
+          (Q.Var t.cur, [ { XP.axis = XP.Child; test = XP.Node_type_test XP.Any_node; predicates = [] } ])
+  in
+  let site_args = List.map (fun (n, v) -> (n, gen_cvalue g t v)) params in
+  let v = fresh g in
+  let order =
+    List.map
+      (fun (sp : A.sort_spec) ->
+        let k = xp_to_q ~cur:v ~keys:g.prog.C.keys sp.A.sort_key in
+        let k = if sp.A.numeric then Q.Fn_call ("number", [ k ]) else Q.Fn_call ("string", [ k ]) in
+        (k, sp.A.descending))
+      sort
+  in
+  Q.Flwor
+    ( Q.For { var = v; pos_var = None; source }
+      :: (if order = [] then [] else [ Q.Order_by order ]),
+      gen_dispatch_chain g v ~site_args () )
+
+(* one sample node: bind with LET (cardinality one) or FOR, then inline the
+   target template body (Table 15) *)
+and gen_group g t state ~select ~sort ~params node group =
+  let path = sample_step_path g t state node ~select in
+  let occurs = occurs_of_sample_node node in
+  let many = not (S.at_most_one occurs) || sort <> [] || not g.options.Options.use_cardinality in
+  let v = fresh g in
+  (* position()/last() inside the applied templates refer to the current
+     node list of this apply site *)
+  let target_codes =
+    List.filter_map
+      (fun (tr : Trace.transition) ->
+        match tr.Trace.target.Trace.template with
+        | Some id -> Some g.prog.C.templates.(id).C.tcode
+        | None -> None)
+      group
+  in
+  let pv =
+    if List.exists body_uses_position target_codes then Some (fresh g) else None
+  in
+  let lv = if List.exists body_uses_last target_codes then Some (fresh g) else None in
+  let body = gen_targets g { t with pos_var = pv; last_var = lv } ~params ~cur:v group in
+  if many then
+    let order =
+      List.map
+        (fun (s : A.sort_spec) ->
+          let k = xp_to_q ~cur:v ~keys:g.prog.C.keys s.A.sort_key in
+          let k = if s.A.numeric then Q.Fn_call ("number", [ k ]) else Q.Fn_call ("string", [ k ]) in
+          (k, s.A.descending))
+        sort
+    in
+    let lets =
+      match lv with
+      | Some lvn -> [ Q.Let { var = lvn; value = Q.Fn_call ("count", [ path ]) } ]
+      | None -> []
+    in
+    Q.Flwor
+      ( lets
+        @ (Q.For { var = v; pos_var = pv; source = path }
+          :: (if order = [] then [] else [ Q.Order_by order ])),
+        body )
+  else
+    let lets =
+      (match lv with
+      | Some lvn -> [ Q.Let { var = lvn; value = Q.Fn_call ("count", [ path ]) } ]
+      | None -> [])
+      @ (match pv with
+        | Some pvn -> [ Q.Let { var = pvn; value = Q.Literal (Q.Num 1.) } ]
+        | None -> [])
+    in
+    Q.Flwor (lets @ [ Q.Let { var = v; value = path } ], body)
+
+(* all trace targets for one sample node: distinct templates mean the
+   pattern predicates discriminate at runtime (Table 18/19) *)
+and gen_targets g t ~params ~cur group =
+  let distinct =
+    List.fold_left
+      (fun acc (tr : Trace.transition) ->
+        if List.exists (fun (s : Trace.gstate) -> s.Trace.template = tr.Trace.target.Trace.template) acc then acc
+        else acc @ [ tr.Trace.target ])
+      [] group
+  in
+  match distinct with
+  | [] -> Q.Seq []
+  | [ target ] -> gen_target g t ~params ~cur target
+  | targets ->
+      (* several templates fired for the same structural node: emit the
+         pattern conditions to pick at runtime (conservative §4.1) *)
+      let rec chain = function
+        | [] -> Q.Seq []
+        | (target : Trace.gstate) :: rest -> (
+            match target.Trace.template with
+            | None -> gen_target g t ~params ~cur target
+            | Some id -> (
+                let ct = g.prog.C.templates.(id) in
+                match ct.C.pattern with
+                | Some (pat, _) ->
+                    Q.If (pattern_condition g cur pat, gen_target g t ~params ~cur target, chain rest)
+                | None -> gen_target g t ~params ~cur target))
+      in
+      chain targets
+
+and gen_target g t ~params ~cur (target : Trace.gstate) : Q.expr =
+  match target.Trace.template with
+  | None -> gen_state ?pos_var:t.pos_var ?last_var:t.last_var g target cur
+  | Some id ->
+      let ct = g.prog.C.templates.(id) in
+      let lets = gen_params g t params @ default_params g t ct params in
+      let body = gen_state ?pos_var:t.pos_var ?last_var:t.last_var g target cur in
+      if lets = [] then body else Q.Flwor (lets, body)
+
+(* ------------------------------------------------------------------ *)
+(* State generation (inline mode)                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Generate the XQuery for one execution-graph state with the context node
+    in variable [cur]. *)
+and gen_state ?pos_var ?last_var g (state : Trace.gstate) (cur : string) : Q.expr =
+  match state.Trace.template with
+  | Some id ->
+      let ct = g.prog.C.templates.(id) in
+      gen_body g { cur; pos_var; last_var; strategy = Inline state } ct.C.tcode
+  | None -> (
+      (* built-in rule *)
+      match state.Trace.context.X.kind with
+      | X.Text _ | X.Attribute _ -> Q.Comp_text (Q.Fn_call ("string", [ Q.Var cur ]))
+      | X.Comment _ | X.Pi _ -> Q.Seq []
+      | X.Document | X.Element _ ->
+          (* children dispatch recorded under site None *)
+          let fake_apply =
+            C.O_apply { site = -1; select = None; mode = None; sort = []; params = [] }
+          in
+          ignore fake_apply;
+          gen_builtin_children g state cur)
+
+and gen_builtin_children g state cur : Q.expr =
+  let entries = Trace.call_list state ~site:None in
+  if entries = [] then Q.Seq []
+  else
+    let t = { cur; pos_var = None; last_var = None; strategy = Inline state } in
+    (* reuse the inline apply machinery with select = None *)
+    let groups =
+      let tbl = ref [] in
+      List.iter
+        (fun (tr : Trace.transition) ->
+          let node = tr.Trace.target.Trace.context in
+          match List.assq_opt node !tbl with
+          | Some cell -> cell := tr :: !cell
+          | None -> tbl := !tbl @ [ (node, ref [ tr ]) ])
+        entries;
+      List.map (fun (n, cell) -> (n, List.rev !cell)) !tbl
+    in
+    if List.exists (fun (n, _) -> is_recursive_sample_node n) groups then
+      if g.allow_partial then gen_partial_site g t ~select:None ~sort:[] ~params:[]
+      else fail "recursive structure reached in inline mode"
+    else
+      Q.Seq
+        (List.map
+           (fun (node, group) -> gen_group g t state ~select:None ~sort:[] ~params:[] node group)
+           groups)
+
+(* ------------------------------------------------------------------ *)
+(* Built-in-only compaction (§3.6, Tables 20–21)                        *)
+(* ------------------------------------------------------------------ *)
+
+let all_builtin (graph : Trace.t) =
+  List.for_all (fun (s : Trace.gstate) -> s.Trace.template = None) graph.Trace.states
+
+(** The compact query for a stylesheet where every node uses the built-in
+    template: concatenate all descendant text values.  (The paper's Table
+    21 prints a space separator; the XSLT built-in rules concatenate
+    without one, so we join on the empty string for exact equivalence and
+    note the difference in EXPERIMENTS.md.) *)
+let builtin_only_query () : Q.expr =
+  let v = "var002" in
+  Q.Fn_call
+    ( "string-join",
+      [ Q.Flwor
+          ( [ Q.For
+                { var = v;
+                  pos_var = None;
+                  source =
+                    Q.Path
+                      ( Q.Var root_var,
+                        [ { XP.axis = XP.Descendant_or_self;
+                            test = XP.Node_type_test XP.Any_node;
+                            predicates = [] };
+                          { XP.axis = XP.Self; test = XP.Node_type_test XP.Text_node; predicates = [] } ] )
+                } ],
+            Q.Fn_call ("string", [ Q.Var v ]) );
+        Q.Literal (Q.Str "") ] )
+
+(* ------------------------------------------------------------------ *)
+(* Function (non-inline) mode                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_functions g : Q.fundef list =
+  (* iterate to a fixpoint: generating bodies may demand more functions *)
+  let produced : (int, Q.fundef) Hashtbl.t = Hashtbl.create 16 in
+  let rec drain () =
+    let pending = List.filter (fun id -> not (Hashtbl.mem produced id)) g.needed_funs in
+    match pending with
+    | [] -> ()
+    | _ ->
+        List.iter
+          (fun id ->
+            let ct = g.prog.C.templates.(id) in
+            (* reserved parameter names ("__*") cannot collide with
+               stylesheet variables *)
+            let cur = "__ctx" in
+            let body =
+              gen_body g
+                { cur; pos_var = Some "__pos"; last_var = Some "__last"; strategy = Functions }
+                ct.C.tcode
+            in
+            let params = cur :: "__pos" :: "__last" :: List.map fst ct.C.tparams in
+            Hashtbl.replace produced id { Q.fname = fun_name g id; params; body })
+          pending;
+        drain ()
+  in
+  drain ();
+  let funs = Hashtbl.fold (fun _ f acc -> f :: acc) produced [] in
+  let funs = List.sort (fun a b -> compare a.Q.fname b.Q.fname) funs in
+  if g.needs_builtin_fun then
+    let v = "__ctx" in
+    let children =
+      Q.Path (Q.Var v, [ { XP.axis = XP.Child; test = XP.Node_type_test XP.Any_node; predicates = [] } ])
+    in
+    let c = fresh g in
+    let pv = fresh g in
+    let lv = fresh g in
+    let builtin_body =
+      Q.If
+        ( Q.Instance_of (Q.Var v, Q.It_text),
+          Q.Comp_text (Q.Fn_call ("string", [ Q.Var v ])),
+          Q.Flwor
+            ( [
+                Q.Let { var = lv; value = Q.Fn_call ("count", [ children ]) };
+                Q.For { var = c; pos_var = Some pv; source = children };
+              ],
+              gen_dispatch_chain g c ~pos_arg:(Q.Var pv) ~last_arg:(Q.Var lv) () ) )
+    in
+    funs @ [ { Q.fname = "builtin"; params = [ v ]; body = builtin_body } ]
+  else funs
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type mode_used = Mode_inline | Mode_partial_inline | Mode_functions | Mode_builtin_compact
+
+type result = {
+  query : Q.prog;
+  mode : mode_used;
+  graph : Trace.t option;
+}
+
+let gen_dispatch_chain_root g =
+  (* initial application to the document root *)
+  let v = fresh g in
+  Q.Flwor ([ Q.Let { var = v; value = Q.Var root_var } ], gen_dispatch_chain g v ())
+
+(** [translate ?options prog ~schema] — partial-evaluate the compiled
+    stylesheet [prog] over [schema]'s sample document and generate XQuery. *)
+let translate ?(options = Options.default) (prog : C.program) ~(schema : S.t) : result =
+  let sample = Xdb_schema.Sample.generate schema in
+  let graph = Trace.run prog sample in
+  let cycles = call_cycles prog in
+  let fresh_gen ~allow_partial =
+    { prog; schema; options; graph = Some graph; cycles; allow_partial; counter = 0;
+      needed_funs = []; needs_builtin_fun = false }
+  in
+  let functions_translation () =
+    let g = fresh_gen ~allow_partial:false in
+    let body = gen_dispatch_chain_root g in
+    let funs = gen_functions g in
+    { query = { Q.var_decls = [ (root_var, Q.Context_item) ]; funs; body };
+      mode = Mode_functions; graph = Some graph }
+  in
+  let recursive_structure = S.is_recursive schema in
+  let recursive = graph.Trace.recursive || recursive_structure in
+  if options.Options.builtin_compaction && all_builtin graph && not recursive then
+    {
+      query = Q.with_context_var root_var (builtin_only_query ());
+      mode = Mode_builtin_compact;
+      graph = Some graph;
+    }
+  else if options.Options.inline_templates
+          && ((not recursive) || options.Options.partial_inline) then (
+    try
+      let g = fresh_gen ~allow_partial:options.Options.partial_inline in
+      let body = gen_state g graph.Trace.root root_var in
+      let body = Xdb_xquery.Compose.simplify body in
+      let funs = gen_functions g in
+      let mode = if funs = [] then Mode_inline else Mode_partial_inline in
+      { query = { Q.var_decls = [ (root_var, Q.Context_item) ]; funs; body };
+        mode; graph = Some graph }
+    with Not_translatable _ -> functions_translation ())
+  else functions_translation ()
+
+(** The straightforward [9]-style translation: no sample document, no
+    structural information — every template becomes a function. *)
+let translate_straightforward (prog : C.program) ~(schema : S.t) : result =
+  let g =
+    { prog; schema; options = Options.straightforward; graph = None;
+      cycles = []; allow_partial = false; counter = 0;
+      needed_funs = []; needs_builtin_fun = false }
+  in
+  let body = gen_dispatch_chain_root g in
+  let funs = gen_functions g in
+  { query = { Q.var_decls = [ (root_var, Q.Context_item) ]; funs; body };
+    mode = Mode_functions;
+    graph = None }

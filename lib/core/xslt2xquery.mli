@@ -1,0 +1,42 @@
+(** XSLT → XQuery translation (the paper's core contribution, §3–§4).
+
+    Generation modes:
+    - {b inline} — acyclic execution graph: one main expression, templates
+      inlined with the §3.3–3.7 techniques;
+    - {b builtin-compact} — §3.6: every node uses the built-in rules, so
+      the whole stylesheet compacts to a [string-join] over text nodes;
+    - {b non-inline} — recursion (or inlining disabled): one XQuery
+      function per template with conditional dispatch at apply sites —
+      also the shape of the straightforward [9] translation;
+    - {b partial-inline} — the §7.2 future-work extension
+      ({!Options.with_partial_inline}): only templates on call cycles (and
+      apply sites crossing a recursive structure boundary) leave the
+      inline expansion. *)
+
+exception Not_translatable of string
+
+val root_var : string
+(** Name of the context variable the generated queries declare
+    ([declare variable $var000 := .]). *)
+
+type mode_used = Mode_inline | Mode_partial_inline | Mode_functions | Mode_builtin_compact
+
+type result = {
+  query : Xdb_xquery.Ast.prog;
+  mode : mode_used;
+  graph : Trace.t option;  (** [None] for the straightforward translation *)
+}
+
+val translate :
+  ?options:Options.t ->
+  Xdb_xslt.Compile.program ->
+  schema:Xdb_schema.Types.t ->
+  result
+(** Partially evaluate the compiled stylesheet over [schema]'s sample
+    document and generate XQuery. *)
+
+val translate_straightforward :
+  Xdb_xslt.Compile.program -> schema:Xdb_schema.Types.t -> result
+(** The straightforward translation of Fokoue et al. [9]: no sample
+    document, no structural information — every template becomes a
+    function, dispatch is a conditional chain testing every pattern. *)

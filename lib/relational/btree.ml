@@ -1,0 +1,189 @@
+(** In-memory B-tree index: {!Value.t} keys to row-id lists.
+
+    Classic order-[b] B-tree with node splitting on insert.  Duplicate keys
+    accumulate their row ids in the leaf entry.  Supports point lookup and
+    inclusive/exclusive range scans — the access paths the optimiser uses
+    for sargable predicates (paper §2.1: "uses B-tree index to compute the
+    predicate"). *)
+
+type key = Value.t
+
+let branching = 32 (* max keys per node *)
+
+type node =
+  | Leaf of { mutable keys : key array; mutable rows : int list array }
+  | Internal of { mutable keys : key array; mutable kids : node array }
+
+type t = {
+  mutable root : node;
+  mutable count : int;  (** number of (key, row) insertions *)
+}
+
+let create () = { root = Leaf { keys = [||]; rows = [||] }; count = 0 }
+
+let cmp = Value.compare_key
+
+(* position of the first key >= k (lower bound) *)
+let lower_bound keys k =
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cmp keys.(mid) k < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+type split = No_split | Split of key * node
+
+let array_insert a i x =
+  let n = Array.length a in
+  Array.init (n + 1) (fun j -> if j < i then a.(j) else if j = i then x else a.(j - 1))
+
+let rec insert_node node k row : split =
+  match node with
+  | Leaf l ->
+      let i = lower_bound l.keys k in
+      if i < Array.length l.keys && cmp l.keys.(i) k = 0 then (
+        l.rows.(i) <- row :: l.rows.(i);
+        No_split)
+      else (
+        l.keys <- array_insert l.keys i k;
+        l.rows <- array_insert l.rows i [ row ];
+        if Array.length l.keys <= branching then No_split
+        else
+          let mid = Array.length l.keys / 2 in
+          let rkeys = Array.sub l.keys mid (Array.length l.keys - mid) in
+          let rrows = Array.sub l.rows mid (Array.length l.rows - mid) in
+          l.keys <- Array.sub l.keys 0 mid;
+          l.rows <- Array.sub l.rows 0 mid;
+          Split (rkeys.(0), Leaf { keys = rkeys; rows = rrows }))
+  | Internal n ->
+      let i = lower_bound n.keys k in
+      let i = if i < Array.length n.keys && cmp n.keys.(i) k <= 0 then i + 1 else i in
+      (match insert_node n.kids.(i) k row with
+      | No_split -> No_split
+      | Split (sep, right) ->
+          n.keys <- array_insert n.keys i sep;
+          n.kids <- array_insert n.kids (i + 1) right;
+          if Array.length n.kids <= branching then No_split
+          else
+            let mid = Array.length n.keys / 2 in
+            let sep = n.keys.(mid) in
+            let rkeys = Array.sub n.keys (mid + 1) (Array.length n.keys - mid - 1) in
+            let rkids = Array.sub n.kids (mid + 1) (Array.length n.kids - mid - 1) in
+            n.keys <- Array.sub n.keys 0 mid;
+            n.kids <- Array.sub n.kids 0 (mid + 1);
+            Split (sep, Internal { keys = rkeys; kids = rkids }))
+
+let insert t k row =
+  t.count <- t.count + 1;
+  match insert_node t.root k row with
+  | No_split -> ()
+  | Split (sep, right) -> t.root <- Internal { keys = [| sep |]; kids = [| t.root; right |] }
+
+(** [find t k] — row ids with key exactly [k], in insertion order. *)
+let find t k =
+  let rec go = function
+    | Leaf l ->
+        let i = lower_bound l.keys k in
+        if i < Array.length l.keys && cmp l.keys.(i) k = 0 then List.rev l.rows.(i) else []
+    | Internal n ->
+        let i = lower_bound n.keys k in
+        let i = if i < Array.length n.keys && cmp n.keys.(i) k <= 0 then i + 1 else i in
+        go n.kids.(i)
+  in
+  go t.root
+
+type bound = Unbounded | Inclusive of key | Exclusive of key
+
+let above_lo lo k =
+  match lo with
+  | Unbounded -> true
+  | Inclusive b -> cmp k b >= 0
+  | Exclusive b -> cmp k b > 0
+
+let below_hi hi k =
+  match hi with
+  | Unbounded -> true
+  | Inclusive b -> cmp k b <= 0
+  | Exclusive b -> cmp k b < 0
+
+(** [range t ~lo ~hi] — (key, row-id) pairs in key order within the bounds.
+    Row ids under one key come back in insertion order. *)
+let range t ~lo ~hi =
+  let out = ref [] in
+  let rec go = function
+    | Leaf l ->
+        Array.iteri
+          (fun i k ->
+            if above_lo lo k && below_hi hi k then
+              List.iter (fun r -> out := (k, r) :: !out) (List.rev l.rows.(i)))
+          l.keys
+    | Internal n ->
+        (* visit only children that can intersect the range *)
+        Array.iteri
+          (fun i kid ->
+            let lo_ok =
+              i = Array.length n.keys
+              ||
+              match lo with
+              | Unbounded -> true
+              | Inclusive b | Exclusive b -> cmp n.keys.(i) b >= 0
+            in
+            let hi_ok =
+              i = 0
+              ||
+              match hi with
+              | Unbounded -> true
+              | Inclusive b | Exclusive b -> cmp n.keys.(i - 1) b <= 0
+            in
+            if lo_ok && hi_ok then go kid)
+          n.kids
+  in
+  go t.root;
+  List.rev !out
+
+(** All entries in key order. *)
+let to_list t = range t ~lo:Unbounded ~hi:Unbounded
+
+let size t = t.count
+
+(** Tree height, for tests and EXPLAIN cost estimates. *)
+let height t =
+  let rec go = function Leaf _ -> 1 | Internal n -> 1 + go n.kids.(0) in
+  go t.root
+
+(** Structural invariant check (tests): keys sorted in every node, separator
+    keys bound subtrees, all leaves at equal depth. *)
+let check_invariants t =
+  let rec sorted keys =
+    let ok = ref true in
+    for i = 0 to Array.length keys - 2 do
+      if cmp keys.(i) keys.(i + 1) >= 0 then ok := false
+    done;
+    !ok
+  and go lo hi = function
+    | Leaf l ->
+        sorted l.keys && Array.for_all (fun k -> above_lo lo k && below_hi hi k) l.keys
+    | Internal n ->
+        sorted n.keys
+        && Array.length n.kids = Array.length n.keys + 1
+        && Array.for_all (fun k -> above_lo lo k && below_hi hi k) n.keys
+        && Array.length n.kids > 0
+        &&
+        let ok = ref true in
+        Array.iteri
+          (fun i kid ->
+            let lo' = if i = 0 then lo else Inclusive n.keys.(i - 1) in
+            let hi' = if i = Array.length n.keys then hi else Exclusive n.keys.(i) in
+            (* separators may equal the first key of the right subtree *)
+            let hi' = match hi' with Exclusive k -> Inclusive k | x -> x in
+            if not (go lo' hi' kid) then ok := false)
+          n.kids;
+        !ok
+  in
+  let rec depth = function Leaf _ -> 1 | Internal n -> 1 + depth n.kids.(0) in
+  let rec uniform d = function
+    | Leaf _ -> d = 1
+    | Internal n -> Array.for_all (uniform (d - 1)) n.kids
+  in
+  go Unbounded Unbounded t.root && uniform (depth t.root) t.root

@@ -1,0 +1,35 @@
+(** In-memory B-tree index: {!Value.t} keys to row-id lists.
+
+    Duplicate keys accumulate their row ids in insertion order.  Point
+    lookups and inclusive/exclusive range scans are the access paths the
+    optimiser uses for sargable predicates (paper §2.1). *)
+
+type key = Value.t
+
+type t
+
+val create : unit -> t
+
+val insert : t -> key -> int -> unit
+(** [insert t key row_id] — O(log n); splits nodes as needed. *)
+
+val find : t -> key -> int list
+(** Row ids stored under exactly [key], in insertion order. *)
+
+type bound = Unbounded | Inclusive of key | Exclusive of key
+
+val range : t -> lo:bound -> hi:bound -> (key * int) list
+(** Entries within the bounds, in key order (row ids under one key in
+    insertion order).  Only subtrees intersecting the range are visited. *)
+
+val to_list : t -> (key * int) list
+(** All entries in key order. *)
+
+val size : t -> int
+(** Number of insertions performed. *)
+
+val height : t -> int
+(** Tree height (≥ 1), for tests and cost estimates. *)
+
+val check_invariants : t -> bool
+(** Structural check: sorted keys, separator bounds, uniform leaf depth. *)

@@ -1,0 +1,64 @@
+(** CLOB/BLOB XMLType storage (paper Figure 1, §7.4).
+
+    Documents are stored as serialized text in an ordinary table
+    ([docid INT, content VARCHAR]).  Functional access parses the text back
+    into a DOM on every fetch — the storage model with the cheapest loads
+    and the most expensive reads, the counterpoint to object-relational
+    publishing in the §7.4 storage study (bench target [storage]).
+
+    No structural information survives serialization, so the XSLT rewrite
+    cannot push work below the parse for this model; the pipeline treats
+    CLOB-stored XMLType functionally (which is exactly the trade-off the
+    paper's future-work section wants quantified). *)
+
+module X = Xdb_xml.Types
+
+let content_column = "content"
+let id_column = "docid"
+
+(** [store db ~table docs] — create [table] and serialize [docs] into it. *)
+let store db ~table (docs : X.node list) : Table.t =
+  let t =
+    Database.create_table db table
+      [
+        { Table.col_name = id_column; col_type = Value.Tint };
+        { Table.col_name = content_column; col_type = Value.Tstr };
+      ]
+  in
+  List.iteri
+    (fun i doc ->
+      Table.insert_values t [ Value.Int (i + 1); Value.Str (Xdb_xml.Serializer.to_string doc) ])
+    docs;
+  t
+
+(** [load db ~table] — fetch and parse every stored document, in id order. *)
+let load db ~table : X.node list =
+  let t = Database.table db table in
+  Table.fold
+    (fun acc _ row ->
+      match row.(Table.column_pos t content_column) with
+      | Value.Str text -> Xdb_xml.Parser.parse text :: acc
+      | _ -> acc)
+    [] t
+  |> List.rev
+
+(** [load_one db ~table ~docid] — point fetch (uses an index on [docid]
+    when one exists). *)
+let load_one db ~table ~docid : X.node option =
+  let t = Database.table db table in
+  let rows =
+    match Table.find_index t id_column with
+    | Some idx -> Btree.find idx.Table.tree (Value.Int docid)
+    | None ->
+        Table.fold
+          (fun acc rid row ->
+            if row.(Table.column_pos t id_column) = Value.Int docid then rid :: acc else acc)
+          [] t
+  in
+  match rows with
+  | rid :: _ -> (
+      let row = Table.row t rid in
+      match row.(Table.column_pos t content_column) with
+      | Value.Str text -> Some (Xdb_xml.Parser.parse text)
+      | _ -> None)
+  | [] -> None

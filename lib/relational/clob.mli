@@ -1,0 +1,16 @@
+(** CLOB/BLOB XMLType storage (paper Figure 1, §7.4): documents stored as
+    serialized text, parsed back into a DOM on every fetch.  No structural
+    information survives, so the XSLT rewrite cannot apply — exactly the
+    trade-off the §7.4 storage study quantifies. *)
+
+val content_column : string
+val id_column : string
+
+val store : Database.t -> table:string -> Xdb_xml.Types.node list -> Table.t
+(** Create [table] and serialize the documents into it (ids 1..n). *)
+
+val load : Database.t -> table:string -> Xdb_xml.Types.node list
+(** Fetch and parse every stored document, in id order. *)
+
+val load_one : Database.t -> table:string -> docid:int -> Xdb_xml.Types.node option
+(** Point fetch; probes a B-tree on the id column when one exists. *)

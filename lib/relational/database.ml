@@ -1,0 +1,21 @@
+(** Table catalog. *)
+
+type t = { tables : (string, Table.t) Hashtbl.t }
+
+exception Unknown_table of string
+
+let create () = { tables = Hashtbl.create 8 }
+
+let create_table db name columns =
+  let t = Table.create name columns in
+  Hashtbl.replace db.tables name t;
+  t
+
+let table db name =
+  match Hashtbl.find_opt db.tables name with
+  | Some t -> t
+  | None -> raise (Unknown_table name)
+
+let table_opt db name = Hashtbl.find_opt db.tables name
+
+let table_names db = Hashtbl.fold (fun k _ acc -> k :: acc) db.tables [] |> List.sort compare

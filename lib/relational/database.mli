@@ -1,0 +1,18 @@
+(** Table catalog. *)
+
+type t
+
+exception Unknown_table of string
+
+val create : unit -> t
+
+val create_table : t -> string -> Table.column list -> Table.t
+(** Create (or replace) a table in the catalog. *)
+
+val table : t -> string -> Table.t
+(** @raise Unknown_table when absent. *)
+
+val table_opt : t -> string -> Table.t option
+
+val table_names : t -> string list
+(** Sorted list of registered table names. *)

@@ -1,0 +1,352 @@
+(** Plan and expression evaluation.
+
+    Rows at runtime are association lists from column names to values; each
+    scan binds both the bare column name and the [alias.column] qualified
+    form, so correlated subqueries can reference outer tables the way
+    paper Table 7 does ([DEPTNO = DEPT.DEPTNO]). *)
+
+module X = Xdb_xml.Types
+open Algebra
+
+type row = (string * Value.t) list
+
+exception Exec_error of string
+
+let err fmt = Printf.ksprintf (fun m -> raise (Exec_error m)) fmt
+
+let lookup (env : row) alias name =
+  match alias with
+  | Some a -> (
+      match List.assoc_opt (a ^ "." ^ name) env with
+      | Some v -> v
+      | None -> err "unknown column %s.%s" a name)
+  | None -> (
+      match List.assoc_opt name env with
+      | Some v -> v
+      | None -> err "unknown column %s" name)
+
+let bool_of_value = function
+  | Value.Null -> false
+  | Value.Int i -> i <> 0
+  | Value.Float f -> f <> 0.0
+  | Value.Str s -> s <> ""
+  | Value.Xml ns -> ns <> []
+
+(* scalar value → XML content node list (SQL/XML: scalars become text) *)
+let xml_content = function
+  | Value.Null -> []
+  | Value.Xml nodes -> List.map X.deep_copy nodes
+  | v -> [ X.make (X.Text (Value.to_string v)) ]
+
+let rec eval_expr db (env : row) (e : expr) : Value.t =
+  match e with
+  | Const v -> v
+  | Col (alias, name) -> lookup env alias name
+  | Not e -> Value.Int (if bool_of_value (eval_expr db env e) then 0 else 1)
+  | Is_null e -> Value.Int (if Value.is_null (eval_expr db env e) then 1 else 0)
+  | Binop (op, a, b) -> eval_binop db env op a b
+  | Fn (f, args) -> eval_fn db env f args
+  | Case (whens, els) -> (
+      let rec go = function
+        | [] -> ( match els with Some e -> eval_expr db env e | None -> Value.Null)
+        | (c, r) :: rest -> if bool_of_value (eval_expr db env c) then eval_expr db env r else go rest
+      in
+      go whens)
+  | Xml_element (name, attrs, kids) ->
+      let el = X.make (X.Element (X.qname name)) in
+      List.iter
+        (fun (an, ae) ->
+          match eval_expr db env ae with
+          | Value.Null -> ()
+          | v -> X.add_attribute el (X.make (X.Attribute (X.qname an, Value.to_string v))))
+        attrs;
+      X.set_children el (List.concat_map (fun ke -> xml_content (eval_expr db env ke)) kids);
+      Value.Xml [ el ]
+  | Xml_forest fields ->
+      Value.Xml
+        (List.concat_map
+           (fun (n, fe) ->
+             match eval_expr db env fe with
+             | Value.Null -> []
+             | v ->
+                 let el = X.make (X.Element (X.qname n)) in
+                 X.set_children el (xml_content v);
+                 [ el ])
+           fields)
+  | Xml_concat es ->
+      Value.Xml
+        (List.concat_map
+           (fun e -> match eval_expr db env e with Value.Null -> [] | v -> xml_content v)
+           es)
+  | Xml_text e -> (
+      match eval_expr db env e with
+      | Value.Null -> Value.Xml []
+      | v -> Value.Xml [ X.make (X.Text (Value.to_string v)) ])
+  | Xml_comment e -> Value.Xml [ X.make (X.Comment (Value.to_string (eval_expr db env e))) ]
+  | Xml_pi (t, e) -> Value.Xml [ X.make (X.Pi (t, Value.to_string (eval_expr db env e))) ]
+  | Scalar_subquery p -> (
+      match run db ~outer:env p with
+      | [] -> Value.Null
+      | r :: _ -> ( match r with [] -> Value.Null | (_, v) :: _ -> v))
+  | Exists p -> Value.Int (if run db ~outer:env p = [] then 0 else 1)
+
+and eval_binop db env op a b =
+  match op with
+  | And ->
+      Value.Int
+        (if bool_of_value (eval_expr db env a) && bool_of_value (eval_expr db env b) then 1 else 0)
+  | Or ->
+      Value.Int
+        (if bool_of_value (eval_expr db env a) || bool_of_value (eval_expr db env b) then 1 else 0)
+  | Concat ->
+      Value.Str (Value.to_string (eval_expr db env a) ^ Value.to_string (eval_expr db env b))
+  | Fdiv ->
+      let va = eval_expr db env a and vb = eval_expr db env b in
+      (match (va, vb) with
+      | Value.Null, _ | _, Value.Null -> Value.Null
+      | _ -> Value.Float (Value.to_float va /. Value.to_float vb))
+  | Add | Sub | Mul | Div | Mod -> (
+      let va = eval_expr db env a and vb = eval_expr db env b in
+      match (va, vb) with
+      | Value.Null, _ | _, Value.Null -> Value.Null
+      | Value.Int x, Value.Int y -> (
+          match op with
+          | Add -> Value.Int (x + y)
+          | Sub -> Value.Int (x - y)
+          | Mul -> Value.Int (x * y)
+          | Div -> if y = 0 then err "division by zero" else Value.Int (x / y)
+          | Mod -> if y = 0 then err "division by zero" else Value.Int (x mod y)
+          | _ -> assert false)
+      | _ ->
+          let x = Value.to_float va and y = Value.to_float vb in
+          let f =
+            match op with
+            | Add -> x +. y
+            | Sub -> x -. y
+            | Mul -> x *. y
+            | Div -> x /. y
+            | Mod -> Float.rem x y
+            | _ -> assert false
+          in
+          Value.Float f)
+  | Eq | Neq | Lt | Leq | Gt | Geq -> (
+      let va = eval_expr db env a and vb = eval_expr db env b in
+      match Value.compare_sql va vb with
+      | None -> Value.Null
+      | Some c ->
+          let b =
+            match op with
+            | Eq -> c = 0
+            | Neq -> c <> 0
+            | Lt -> c < 0
+            | Leq -> c <= 0
+            | Gt -> c > 0
+            | Geq -> c >= 0
+            | _ -> assert false
+          in
+          Value.Int (if b then 1 else 0))
+
+and eval_fn db env f args =
+  let v i = eval_expr db env (List.nth args i) in
+  match (String.lowercase_ascii f, List.length args) with
+  | "concat", _ -> Value.Str (String.concat "" (List.map (fun a -> Value.to_string (eval_expr db env a)) args))
+  | "upper", 1 -> Value.Str (String.uppercase_ascii (Value.to_string (v 0)))
+  | "lower", 1 -> Value.Str (String.lowercase_ascii (Value.to_string (v 0)))
+  | "length", 1 -> Value.Int (String.length (Value.to_string (v 0)))
+  | "abs", 1 -> (
+      match v 0 with
+      | Value.Int i -> Value.Int (abs i)
+      | x -> Value.Float (Float.abs (Value.to_float x)))
+  | "round", 1 -> (
+      match v 0 with
+      | Value.Null -> Value.Null
+      | x ->
+          let f = Value.to_float x in
+          Value.Float (if Float.is_nan f then f else Float.floor (f +. 0.5)))
+  | "floor", 1 -> (
+      match v 0 with Value.Null -> Value.Null | x -> Value.Float (Float.floor (Value.to_float x)))
+  | "ceiling", 1 -> (
+      match v 0 with Value.Null -> Value.Null | x -> Value.Float (Float.ceil (Value.to_float x)))
+  | "coalesce", _ ->
+      let rec go = function
+        | [] -> Value.Null
+        | a :: rest -> ( match eval_expr db env a with Value.Null -> go rest | x -> x)
+      in
+      go args
+  | name, n -> err "unknown scalar function %s/%d" name n
+
+(* ------------------------------------------------------------------ *)
+(* Plan execution                                                      *)
+(* ------------------------------------------------------------------ *)
+
+and scan_bindings (tbl : Table.t) alias (r : Value.t array) : row =
+  let out = ref [] in
+  Array.iteri
+    (fun i c ->
+      let v = r.(i) in
+      out := (alias ^ "." ^ c.Table.col_name, v) :: (c.Table.col_name, v) :: !out)
+    tbl.Table.columns;
+  List.rev !out
+
+and run db ?(outer = []) (p : plan) : row list =
+  match p with
+  | Seq_scan { table; alias } ->
+      let tbl = Database.table db table in
+      Table.fold (fun acc _ r -> (scan_bindings tbl alias r @ outer) :: acc) [] tbl |> List.rev
+  | Index_scan { table; alias; index_column; lo; hi } -> (
+      let tbl = Database.table db table in
+      match Table.find_index tbl index_column with
+      | None -> err "no index on %s.%s" table index_column
+      | Some idx ->
+          let bound = function
+            | Unbounded -> Btree.Unbounded
+            | Incl e -> Btree.Inclusive (eval_expr db outer e)
+            | Excl e -> Btree.Exclusive (eval_expr db outer e)
+          in
+          Btree.range idx.Table.tree ~lo:(bound lo) ~hi:(bound hi)
+          |> List.map (fun (_, rid) -> scan_bindings tbl alias (Table.row tbl rid) @ outer))
+  | Filter (cond, input) ->
+      List.filter (fun r -> bool_of_value (eval_expr db r cond)) (run db ~outer input)
+  | Project (fields, input) ->
+      List.map
+        (fun r -> List.map (fun (e, n) -> (n, eval_expr db r e)) fields @ outer)
+        (run db ~outer input)
+  | Nested_loop { outer = op; inner = ip; join_cond } ->
+      let outer_rows = run db ~outer op in
+      List.concat_map
+        (fun orow ->
+          let inner_rows = run db ~outer:orow ip in
+          let joined = List.map (fun irow -> irow @ orow) inner_rows in
+          match join_cond with
+          | None -> joined
+          | Some c -> List.filter (fun r -> bool_of_value (eval_expr db r c)) joined)
+        outer_rows
+  | Aggregate { group_by; aggs; input } ->
+      let rows = run db ~outer input in
+      if group_by = [] then [ eval_agg_group db outer group_by aggs rows [] ]
+      else
+        let groups = Hashtbl.create 16 in
+        let order = ref [] in
+        List.iter
+          (fun r ->
+            let key = List.map (fun (e, _) -> Value.to_string (eval_expr db r e)) group_by in
+            (match Hashtbl.find_opt groups key with
+            | None ->
+                order := key :: !order;
+                Hashtbl.add groups key (ref [ r ])
+            | Some cell -> cell := r :: !cell))
+          rows;
+        List.rev_map
+          (fun key ->
+            let members = List.rev !(Hashtbl.find groups key) in
+            eval_agg_group db outer group_by aggs members key)
+          !order
+  | Sort (keys, input) ->
+      let rows = run db ~outer input in
+      let decorated =
+        List.map (fun r -> (List.map (fun (k, d) -> (eval_expr db r k, d)) keys, r)) rows
+      in
+      let cmp (ka, _) (kb, _) =
+        let rec go = function
+          | [] -> 0
+          | ((va, d), (vb, _)) :: rest -> (
+              let c = Value.compare_key va vb in
+              let c = match d with Asc -> c | Desc -> -c in
+              match c with 0 -> go rest | c -> c)
+        in
+        go (List.combine ka kb)
+      in
+      List.map snd (List.stable_sort cmp decorated)
+  | Limit (n, input) ->
+      let rec take n = function [] -> [] | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest in
+      take n (run db ~outer input)
+  | Values { cols; rows } ->
+      List.map (fun vs -> List.combine cols vs @ outer) rows
+
+and eval_agg_group db outer group_by aggs members key =
+  (* group columns: re-evaluate on a member row to keep value types; fall
+     back to the string key for an (impossible in practice) empty group *)
+  let group_cols =
+    match members with
+    | m :: _ -> List.map (fun (e, n) -> (n, eval_expr db m e)) group_by
+    | [] -> List.map2 (fun (_, n) k -> (n, Value.Str k)) group_by key
+  in
+  let agg_cols =
+    List.map
+      (fun (a, n) ->
+        let value =
+          match a with
+          | Count_star -> Value.Int (List.length members)
+          | Count e ->
+              Value.Int
+                (List.length
+                   (List.filter (fun r -> not (Value.is_null (eval_expr db r e))) members))
+          | Sum e ->
+              let vs = List.filter_map (fun r -> match eval_expr db r e with Value.Null -> None | v -> Some v) members in
+              if vs = [] then Value.Null
+              else if List.for_all (function Value.Int _ -> true | _ -> false) vs then
+                Value.Int (List.fold_left (fun acc v -> acc + Value.to_int v) 0 vs)
+              else Value.Float (List.fold_left (fun acc v -> acc +. Value.to_float v) 0.0 vs)
+          | Min e ->
+              List.fold_left
+                (fun acc r ->
+                  let v = eval_expr db r e in
+                  match (acc, v) with
+                  | _, Value.Null -> acc
+                  | Value.Null, v -> v
+                  | acc, v -> if Value.compare_key v acc < 0 then v else acc)
+                Value.Null members
+          | Max e ->
+              List.fold_left
+                (fun acc r ->
+                  let v = eval_expr db r e in
+                  match (acc, v) with
+                  | _, Value.Null -> acc
+                  | Value.Null, v -> v
+                  | acc, v -> if Value.compare_key v acc > 0 then v else acc)
+                Value.Null members
+          | Avg e ->
+              let vs = List.filter_map (fun r -> match eval_expr db r e with Value.Null -> None | v -> Some (Value.to_float v)) members in
+              if vs = [] then Value.Null
+              else Value.Float (List.fold_left ( +. ) 0.0 vs /. float_of_int (List.length vs))
+          | Xml_agg (e, order) ->
+              let members =
+                if order = [] then members
+                else
+                  let decorated =
+                    List.map (fun r -> (List.map (fun (k, d) -> (eval_expr db r k, d)) order, r)) members
+                  in
+                  let cmp (ka, _) (kb, _) =
+                    let rec go = function
+                      | [] -> 0
+                      | ((va, d), (vb, _)) :: rest -> (
+                          let c = Value.compare_key va vb in
+                          let c = match d with Asc -> c | Desc -> -c in
+                          match c with 0 -> go rest | c -> c)
+                    in
+                    go (List.combine ka kb)
+                  in
+                  List.map snd (List.stable_sort cmp decorated)
+              in
+              Value.Xml
+                (List.concat_map
+                   (fun r -> match eval_expr db r e with Value.Null -> [] | v -> xml_content v)
+                   members)
+          | String_agg (e, sep) ->
+              Value.Str
+                (String.concat sep
+                   (List.filter_map
+                      (fun r ->
+                        match eval_expr db r e with
+                        | Value.Null -> None
+                        | v -> Some (Value.to_string v))
+                      members))
+        in
+        (n, value))
+      aggs
+  in
+  group_cols @ agg_cols @ outer
+
+(** First column of each result row — convenient for single-column queries. *)
+let run_column db ?(outer = []) p =
+  List.map (function [] -> Value.Null | (_, v) :: _ -> v) (run db ~outer p)

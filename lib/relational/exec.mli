@@ -1,0 +1,31 @@
+(** Plan and expression evaluation.
+
+    Rows at runtime are association lists from column names to values;
+    each scan binds both the bare column name and the [alias.column]
+    qualified form, so correlated subqueries can reference outer tables
+    the way paper Table 7 does. *)
+
+type row = (string * Value.t) list
+
+exception Exec_error of string
+
+val bool_of_value : Value.t -> bool
+(** SQL truthiness: NULL/0/""/empty-XML are false. *)
+
+val xml_content : Value.t -> Xdb_xml.Types.node list
+(** SQL/XML content conversion: XML values are deep-copied, scalars become
+    text nodes, NULL vanishes. *)
+
+val eval_expr : Database.t -> row -> Algebra.expr -> Value.t
+(** Evaluate a scalar/XML expression against a row environment.  Correlated
+    subqueries run with the row as their outer environment.
+    @raise Exec_error on unknown columns or type errors. *)
+
+val scan_bindings : Table.t -> string -> Value.t array -> row
+(** Row bindings a scan produces: bare and alias-qualified names. *)
+
+val run : Database.t -> ?outer:row -> Algebra.plan -> row list
+(** Execute a plan; [outer] supplies correlation bindings. *)
+
+val run_column : Database.t -> ?outer:row -> Algebra.plan -> Value.t list
+(** First column of each result row. *)

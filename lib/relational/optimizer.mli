@@ -1,0 +1,24 @@
+(** Rule-based plan optimisation: B-tree index selection for sargable
+    predicates (paper §2.1) and conjunct splitting / filter merging. *)
+
+val conjuncts : Algebra.expr -> Algebra.expr list
+(** Split a conjunction into its conjuncts. *)
+
+val conjoin : Algebra.expr list -> Algebra.expr
+(** Rebuild a conjunction; [conjoin [] ] is the constant true. *)
+
+val estimate_rows : Database.t -> Algebra.plan -> float
+(** Coarse cardinality estimate (System-R default selectivities); used by
+    EXPLAIN output and tests. *)
+
+val optimize : Database.t -> Algebra.plan -> Algebra.plan
+(** Apply the rewrite rules bottom-up to one plan tree (does not descend
+    into expressions). *)
+
+val optimize_deep : Database.t -> Algebra.plan -> Algebra.plan
+(** [optimize] plus recursion into correlated subqueries nested inside
+    expressions — what the XQuery→SQL/XML rewrite output needs. *)
+
+val explain_with_estimates : Database.t -> Algebra.plan -> string
+(** {!Algebra.explain} output prefixed with the root cardinality
+    estimate. *)

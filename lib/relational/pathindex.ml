@@ -1,0 +1,64 @@
+(** Path/value index over a collection of XML documents (paper Figure 1 and
+    §7.4: "CLOB or BLOB storage with path/value index, tree storage with
+    path/value index").
+
+    The index maps (rooted simple path, leaf string value) pairs to the
+    documents containing such a leaf: text content indexes under
+    [/a/b/leaf], attributes under [/a/b/@name].  It answers the
+    document-selection half of a value predicate — which documents can
+    contain a match — so only those need to be fetched/parsed and
+    transformed. *)
+
+module X = Xdb_xml.Types
+
+type t = {
+  entries : (string * string, int list ref) Hashtbl.t;  (** (path, value) → doc ids (reversed) *)
+  mutable n_docs : int;
+  mutable n_entries : int;
+}
+
+let create () = { entries = Hashtbl.create 1024; n_docs = 0; n_entries = 0 }
+
+let add_entry t key docid =
+  (match Hashtbl.find_opt t.entries key with
+  | Some cell -> if (match !cell with d :: _ -> d <> docid | [] -> true) then cell := docid :: !cell
+  | None -> Hashtbl.add t.entries key (ref [ docid ]));
+  t.n_entries <- t.n_entries + 1
+
+(** [index t docid doc] — index every text leaf and attribute of [doc]. *)
+let index t docid (doc : X.node) =
+  t.n_docs <- t.n_docs + 1;
+  let rec go path n =
+    match n.X.kind with
+    | X.Document -> List.iter (go path) n.X.children
+    | X.Element q ->
+        let path = path ^ "/" ^ q.X.local in
+        List.iter
+          (fun a ->
+            match a.X.kind with
+            | X.Attribute (aq, v) -> add_entry t (path ^ "/@" ^ aq.X.local, v) docid
+            | _ -> ())
+          n.X.attributes;
+        (* a text-only element indexes its string value under its path *)
+        (match n.X.children with
+        | [ { X.kind = X.Text s; _ } ] -> add_entry t (path, s) docid
+        | _ -> ());
+        List.iter (go path) n.X.children
+    | X.Text _ | X.Comment _ | X.Pi _ | X.Attribute _ -> ()
+  in
+  go "" doc
+
+(** [build docs] — index a numbered document collection. *)
+let build (docs : (int * X.node) list) : t =
+  let t = create () in
+  List.iter (fun (docid, doc) -> index t docid doc) docs;
+  t
+
+(** [lookup t ~path ~value] — ids of documents with a leaf [path = value],
+    in ascending id order. *)
+let lookup t ~path ~value =
+  match Hashtbl.find_opt t.entries (path, value) with
+  | Some cell -> List.sort_uniq compare !cell
+  | None -> []
+
+let stats t = (t.n_docs, t.n_entries)

@@ -1,0 +1,20 @@
+(** Path/value index over a collection of XML documents (paper Figure 1 and
+    §7.4): maps (rooted simple path, leaf string value) to the documents
+    containing such a leaf, answering the document-selection half of a
+    value predicate for CLOB/tree-stored collections. *)
+
+type t
+
+val create : unit -> t
+
+val index : t -> int -> Xdb_xml.Types.node -> unit
+(** [index t docid doc] — index every text-only element (under its rooted
+    path) and every attribute (under [path/@name]). *)
+
+val build : (int * Xdb_xml.Types.node) list -> t
+
+val lookup : t -> path:string -> value:string -> int list
+(** Ids of documents with a leaf [path = value], ascending, deduplicated. *)
+
+val stats : t -> int * int
+(** (documents indexed, entries added). *)

@@ -1,0 +1,234 @@
+(** SQL/XML publishing specs and XMLType views.
+
+    A publishing spec is the declarative description of how an XMLType view
+    column is generated from relational data (paper Table 3: nested
+    [XMLElement] / [XMLAgg] over master-detail tables).  It serves three
+    roles:
+
+    + {b Materialisation} — building the XML documents, which is exactly
+      what the functional (no-rewrite) evaluation must do first;
+    + {b Structural information} — deriving an {!Xdb_schema.Types.t} for
+      the partial evaluator: scalar-bound elements have cardinality one,
+      [Agg] children are unbounded, and children of an element form a
+      [sequence] model group (paper §3.2, bullet 2);
+    + {b Rewrite target} — the XQuery→SQL/XML rewriter navigates the spec
+      to map path steps to columns and nested scans (paper Tables 7/11). *)
+
+module X = Xdb_xml.Types
+module S = Xdb_schema.Types
+
+type spec =
+  | Elem of { name : string; attrs : (string * Algebra.expr) list; content : spec list }
+      (** [XMLElement(name, XMLAttributes(...), content...)] *)
+  | Text_col of string  (** text content from a column of the current scope *)
+  | Text_expr of Algebra.expr  (** computed text content *)
+  | Text_const of string
+  | Agg of {
+      table : string;
+      alias : string;
+      correlate : (string * string) list;
+          (** (inner column, outer column) equi-correlations *)
+      where : Algebra.expr option;  (** extra uncorrelated predicate *)
+      order_by : (string * Algebra.order_dir) list;
+      body : spec;  (** one body instance per detail row *)
+    }  (** correlated scalar subquery with [XMLAgg] (paper Table 3) *)
+
+type view = {
+  view_name : string;
+  base_table : string;
+  base_alias : string;
+  column : string;  (** name of the XMLType output column *)
+  spec : spec;  (** one document per base-table row *)
+}
+
+exception Publish_error of string
+
+let err fmt = Printf.ksprintf (fun m -> raise (Publish_error m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Materialisation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec materialize_spec db (env : Exec.row) spec : X.node list =
+  match spec with
+  | Text_const s -> [ X.make (X.Text s) ]
+  | Text_col c -> (
+      match List.assoc_opt c env with
+      | None -> err "publishing spec references unknown column %s" c
+      | Some Value.Null -> []
+      | Some v -> [ X.make (X.Text (Value.to_string v)) ])
+  | Text_expr e -> (
+      match Exec.eval_expr db env e with
+      | Value.Null -> []
+      | v -> [ X.make (X.Text (Value.to_string v)) ])
+  | Elem { name; attrs; content } ->
+      let el = X.make (X.Element (X.qname name)) in
+      List.iter
+        (fun (an, ae) ->
+          match Exec.eval_expr db env ae with
+          | Value.Null -> ()
+          | v -> X.add_attribute el (X.make (X.Attribute (X.qname an, Value.to_string v))))
+        attrs;
+      X.set_children el (List.concat_map (fun c -> materialize_spec db env c) content);
+      [ el ]
+  | Agg { table; alias; correlate; where; order_by; body } ->
+      let tbl = Database.table db table in
+      (* correlated detail access: probe a B-tree on a correlation column
+         when one exists (what the RDBMS does when evaluating the view),
+         fall back to a scan + filter *)
+      let indexed_correlation =
+        List.find_map
+          (fun (inner_col, outer_col) ->
+            match Table.find_index tbl inner_col with
+            | Some idx -> Some (idx, inner_col, outer_col)
+            | None -> None)
+          correlate
+      in
+      let rows =
+        match indexed_correlation with
+        | Some (idx, _, outer_col) ->
+            let key =
+              match List.assoc_opt outer_col env with
+              | Some v -> v
+              | None -> err "correlation column missing (outer %s)" outer_col
+            in
+            List.map
+              (fun rid -> Exec.scan_bindings tbl alias (Table.row tbl rid))
+              (Btree.find idx.Table.tree key)
+        | None ->
+            List.rev (Table.fold (fun acc _ r -> Exec.scan_bindings tbl alias r :: acc) [] tbl)
+      in
+      let rows =
+        List.filter
+          (fun irow ->
+            List.for_all
+              (fun (inner_col, outer_col) ->
+                match (List.assoc_opt inner_col irow, List.assoc_opt outer_col env) with
+                | Some iv, Some ov -> Value.equal_sql iv ov
+                | _ -> err "correlation column missing (%s = outer %s)" inner_col outer_col)
+              correlate)
+          rows
+      in
+      let rows =
+        match where with
+        | None -> rows
+        | Some cond ->
+            List.filter (fun irow -> Exec.bool_of_value (Exec.eval_expr db (irow @ env) cond)) rows
+      in
+      let rows =
+        if order_by = [] then rows
+        else
+          let key r = List.map (fun (c, d) -> (List.assoc c r, d)) order_by in
+          List.stable_sort
+            (fun a b ->
+              let rec go = function
+                | [] -> 0
+                | ((va, d), (vb, _)) :: rest -> (
+                    let c = Value.compare_key va vb in
+                    let c = match d with Algebra.Asc -> c | Algebra.Desc -> -c in
+                    match c with 0 -> go rest | c -> c)
+              in
+              go (List.combine (key a) (key b)))
+            rows
+      in
+      List.concat_map (fun irow -> materialize_spec db (irow @ env) body) rows
+
+(** [materialize db view] — one XML document (as a document node) per base
+    table row, in table order.  This is the input the functional XSLT
+    evaluation consumes. *)
+let materialize db view =
+  let tbl = Database.table db view.base_table in
+  Table.fold
+    (fun acc _ r ->
+      let env = Exec.scan_bindings tbl view.base_alias r in
+      let nodes = materialize_spec db env view.spec in
+      let doc = X.make X.Document in
+      List.iter (X.append_child doc) nodes;
+      X.reindex doc;
+      doc :: acc)
+    [] tbl
+  |> List.rev
+
+(* ------------------------------------------------------------------ *)
+(* Structural information                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Derive the element declarations for the documents [materialize]
+    produces.  Scalar content ⇒ exactly-one text leaf; [Agg] bodies ⇒
+    unbounded cardinality; element children form a [sequence] group. *)
+let to_schema view : S.t =
+  let decls : (string, S.element_decl) Hashtbl.t = Hashtbl.create 16 in
+  let add_decl d =
+    match Hashtbl.find_opt decls d.S.name with
+    | None -> Hashtbl.add decls d.S.name d
+    | Some existing ->
+        if existing <> d then err "element %s published with two different shapes" d.S.name
+  in
+  let rec walk spec ~(occurs : S.occurs) : S.particle list * bool =
+    match spec with
+    | Text_const _ | Text_col _ | Text_expr _ -> ([], true)
+    | Elem { name; attrs; content } ->
+        let parts, has_text =
+          List.fold_left
+            (fun (ps, txt) c ->
+              let ps', txt' = walk c ~occurs:S.exactly_one in
+              (ps @ ps', txt || txt'))
+            ([], false) content
+        in
+        add_decl
+          {
+            S.name;
+            group = S.Sequence;
+            particles = parts;
+            has_text;
+            attrs = List.map fst attrs;
+          };
+        ([ { S.child = name; occurs } ], false)
+    | Agg { body; _ } ->
+        let parts, _ = walk body ~occurs:S.many in
+        (parts, false)
+  in
+  let root_particles, _ = walk view.spec ~occurs:S.exactly_one in
+  match root_particles with
+  | [ { S.child = root; _ } ] ->
+      S.make ~root (Hashtbl.fold (fun _ d acc -> d :: acc) decls [])
+  | _ -> err "view %s must publish exactly one root element" view.view_name
+
+(* ------------------------------------------------------------------ *)
+(* Spec navigation (used by the XQuery→SQL/XML rewriter)               *)
+(* ------------------------------------------------------------------ *)
+
+let spec_elem_name = function
+  | Elem { name; _ } -> Some name
+  | Agg { body = Elem { name; _ }; _ } -> Some name
+  | _ -> None
+
+(** Children of a located element that are themselves elements or aggs. *)
+let child_specs = function
+  | Elem { content; _ } -> content
+  | Agg { body = Elem { content; _ }; _ } -> content
+  | _ -> []
+
+(** [navigate spec name] finds the child spec publishing element [name]. *)
+let navigate spec name =
+  List.find_opt (fun c -> spec_elem_name c = Some name) (child_specs spec)
+
+(** The scalar column bound as the text content of a located element, if its
+    content is a single [Text_col]. *)
+let scalar_column = function
+  | Elem { content = [ Text_col c ]; _ } | Agg { body = Elem { content = [ Text_col c ]; _ }; _ }
+    ->
+      Some c
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Catalog of views                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type catalog = { db : Database.t; mutable views : view list }
+
+let create_catalog db = { db; views = [] }
+
+let register cat view = cat.views <- cat.views @ [ view ]
+
+let find_view cat name = List.find_opt (fun v -> String.equal v.view_name name) cat.views

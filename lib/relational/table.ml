@@ -1,0 +1,88 @@
+(** Heap tables: a growable array of rows plus secondary B-tree indexes. *)
+
+type column = { col_name : string; col_type : Value.column_type }
+
+type index = {
+  idx_name : string;
+  idx_column : string;
+  idx_pos : int;  (** column position *)
+  tree : Btree.t;
+}
+
+type t = {
+  tbl_name : string;
+  columns : column array;
+  mutable rows : Value.t array array;
+  mutable nrows : int;
+  mutable indexes : index list;
+}
+
+exception Table_error of string
+
+let err fmt = Printf.ksprintf (fun m -> raise (Table_error m)) fmt
+
+let create name columns =
+  {
+    tbl_name = name;
+    columns = Array.of_list columns;
+    rows = Array.make 16 [||];
+    nrows = 0;
+    indexes = [];
+  }
+
+let column_pos t name =
+  let rec go i =
+    if i >= Array.length t.columns then err "table %s has no column %s" t.tbl_name name
+    else if String.equal t.columns.(i).col_name name then i
+    else go (i + 1)
+  in
+  go 0
+
+let column_names t = Array.to_list (Array.map (fun c -> c.col_name) t.columns)
+
+let insert t (row : Value.t array) =
+  if Array.length row <> Array.length t.columns then
+    err "row arity %d does not match table %s arity %d" (Array.length row) t.tbl_name
+      (Array.length t.columns);
+  if t.nrows = Array.length t.rows then (
+    let bigger = Array.make (2 * Array.length t.rows) [||] in
+    Array.blit t.rows 0 bigger 0 t.nrows;
+    t.rows <- bigger);
+  t.rows.(t.nrows) <- row;
+  let rid = t.nrows in
+  t.nrows <- t.nrows + 1;
+  List.iter (fun idx -> Btree.insert idx.tree row.(idx.idx_pos) rid) t.indexes;
+  rid
+
+let insert_values t values = ignore (insert t (Array.of_list values))
+
+let row t rid =
+  if rid < 0 || rid >= t.nrows then err "row id %d out of range for table %s" rid t.tbl_name;
+  t.rows.(rid)
+
+let size t = t.nrows
+
+(** [create_index t ~name ~column] builds a B-tree over existing rows and
+    keeps it maintained on subsequent inserts. *)
+let create_index t ~name ~column =
+  let pos = column_pos t column in
+  let tree = Btree.create () in
+  for rid = 0 to t.nrows - 1 do
+    Btree.insert tree t.rows.(rid).(pos) rid
+  done;
+  let idx = { idx_name = name; idx_column = column; idx_pos = pos; tree } in
+  t.indexes <- t.indexes @ [ idx ];
+  idx
+
+let find_index t column =
+  List.find_opt (fun i -> String.equal i.idx_column column) t.indexes
+
+let iter f t =
+  for rid = 0 to t.nrows - 1 do
+    f rid t.rows.(rid)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun rid r -> acc := f !acc rid r) t;
+  !acc

@@ -1,0 +1,48 @@
+(** Heap tables: a growable array of rows plus secondary B-tree indexes. *)
+
+type column = { col_name : string; col_type : Value.column_type }
+
+type index = {
+  idx_name : string;
+  idx_column : string;
+  idx_pos : int;  (** column position *)
+  tree : Btree.t;
+}
+
+type t = {
+  tbl_name : string;
+  columns : column array;
+  mutable rows : Value.t array array;
+  mutable nrows : int;
+  mutable indexes : index list;
+}
+
+exception Table_error of string
+
+val create : string -> column list -> t
+
+val column_pos : t -> string -> int
+(** @raise Table_error for an unknown column. *)
+
+val column_names : t -> string list
+
+val insert : t -> Value.t array -> int
+(** Append a row, maintain all indexes, return the row id.
+    @raise Table_error on arity mismatch. *)
+
+val insert_values : t -> Value.t list -> unit
+(** [insert] with a list, discarding the row id. *)
+
+val row : t -> int -> Value.t array
+(** @raise Table_error when the row id is out of range. *)
+
+val size : t -> int
+
+val create_index : t -> name:string -> column:string -> index
+(** Build a B-tree over existing rows; maintained on subsequent inserts. *)
+
+val find_index : t -> string -> index option
+(** Index on a column, if one exists. *)
+
+val iter : (int -> Value.t array -> unit) -> t -> unit
+val fold : ('a -> int -> Value.t array -> 'a) -> 'a -> t -> 'a

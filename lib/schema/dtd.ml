@@ -1,0 +1,167 @@
+(** DTD-lite parser: a practical subset of XML 1.0 element declarations,
+    enough to register structural information the way the paper's §3.2
+    sources it from DTDs.
+
+    Supported syntax:
+    {v
+      <!ELEMENT dept (dname, loc?, employees)>
+      <!ELEMENT employees (emp* )>
+      <!ELEMENT emp (empno, ename, sal)>
+      <!ELEMENT empno (#PCDATA)>
+      <!ELEMENT choice-el (a | b | c)>
+      <!ATTLIST emp id CDATA #REQUIRED>
+    v}
+    The first ELEMENT declaration names the root.  Mixed content
+    "(#PCDATA | a)" with a star suffix sets both [has_text] and child
+    particles with unbounded cardinality. *)
+
+open Types
+
+exception Dtd_error of string
+
+type tok = Word of string | Lparen | Rparen | Comma | Pipe | Star | Plus | Quest
+
+let tokenize s =
+  let n = String.length s in
+  let out = ref [] in
+  let i = ref 0 in
+  let is_word c =
+    match c with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' | '#' -> true
+    | _ -> false
+  in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_word c then (
+      let start = !i in
+      while !i < n && is_word s.[!i] do
+        incr i
+      done;
+      out := Word (String.sub s start (!i - start)) :: !out)
+    else (
+      (match c with
+      | '(' -> out := Lparen :: !out
+      | ')' -> out := Rparen :: !out
+      | ',' -> out := Comma :: !out
+      | '|' -> out := Pipe :: !out
+      | '*' -> out := Star :: !out
+      | '+' -> out := Plus :: !out
+      | '?' -> out := Quest :: !out
+      | c -> raise (Dtd_error (Printf.sprintf "unexpected character %C in content model" c)));
+      incr i)
+  done;
+  List.rev !out
+
+let occurs_of_suffix toks =
+  match toks with
+  | Star :: rest -> (many, rest)
+  | Plus :: rest -> (one_or_more, rest)
+  | Quest :: rest -> (optional, rest)
+  | rest -> (exactly_one, rest)
+
+(* Parse "(a, b*, c?)" or "(a | b)" or "(#PCDATA)" or "(#PCDATA | a)*" *)
+let parse_content_model model =
+  let toks = tokenize model in
+  match toks with
+  | [ Word "EMPTY" ] -> (Sequence, [], false)
+  | [ Word "ANY" ] -> (Sequence, [], true)
+  | Lparen :: rest ->
+      let items = ref [] in
+      let seps = ref [] in
+      let rec go toks =
+        match toks with
+        | Word w :: rest ->
+            let occurs, rest = occurs_of_suffix rest in
+            items := (w, occurs) :: !items;
+            continue rest
+        | _ -> raise (Dtd_error ("cannot parse content model: " ^ model))
+      and continue = function
+        | Comma :: rest ->
+            seps := `Seq :: !seps;
+            go rest
+        | Pipe :: rest ->
+            seps := `Choice :: !seps;
+            go rest
+        | Rparen :: rest -> (
+            (* optional occurrence suffix on the whole group, then EOF *)
+            match snd (occurs_of_suffix rest) with
+            | [] -> ()
+            | _ -> raise (Dtd_error ("trailing tokens in content model: " ^ model)))
+        | [] -> raise (Dtd_error ("unterminated content model: " ^ model))
+        | _ -> raise (Dtd_error ("cannot parse content model: " ^ model))
+      in
+      go rest;
+      let items = List.rev !items in
+      let seps = List.rev !seps in
+      let group =
+        if List.exists (( = ) `Choice) seps then
+          if List.exists (( = ) `Seq) seps then
+            raise (Dtd_error "mixed ',' and '|' in one group is not supported")
+          else Choice
+        else Sequence
+      in
+      let has_text = List.exists (fun (w, _) -> w = "#PCDATA") items in
+      let outer_star =
+        (* "(#PCDATA | a)*" — repeated mixed group means children are many *)
+        String.length (String.trim model) > 0 && String.trim model <> "" &&
+        (let t = String.trim model in
+         t.[String.length t - 1] = '*')
+      in
+      let particles =
+        List.filter_map
+          (fun (w, occurs) ->
+            if w = "#PCDATA" then None
+            else Some { child = w; occurs = (if outer_star then many else occurs) })
+          items
+      in
+      (group, particles, has_text)
+  | _ -> raise (Dtd_error ("cannot parse content model: " ^ model))
+
+(** [parse s] parses a DTD-lite string into a {!Types.t}.  The first
+    [<!ELEMENT …>] names the root. *)
+let parse s =
+  let decls = ref [] in
+  let attlists : (string, string list) Hashtbl.t = Hashtbl.create 8 in
+  let root = ref None in
+  let len = String.length s in
+  let i = ref 0 in
+  let read_decl () =
+    (* s.[!i] is at "<!" *)
+    match String.index_from_opt s !i '>' with
+    | None -> raise (Dtd_error "unterminated declaration")
+    | Some close ->
+        let body = String.sub s !i (close - !i + 1) in
+        i := close + 1;
+        body
+  in
+  while !i < len do
+    if !i + 1 < len && s.[!i] = '<' && s.[!i + 1] = '!' then (
+      let body = read_decl () in
+      let words =
+        String.split_on_char ' '
+          (String.map (function '\n' | '\t' | '\r' -> ' ' | c -> c) body)
+        |> List.filter (fun w -> w <> "")
+      in
+      match words with
+      | "<!ELEMENT" :: name :: rest ->
+          let model = String.concat " " rest in
+          let model = String.sub model 0 (String.length model - 1) (* drop '>' *) in
+          let group, particles, has_text = parse_content_model (String.trim model) in
+          if !root = None then root := Some name;
+          decls := { name; group; particles; has_text; attrs = [] } :: !decls
+      | "<!ATTLIST" :: name :: attr :: _ ->
+          let existing = Option.value ~default:[] (Hashtbl.find_opt attlists name) in
+          Hashtbl.replace attlists name (existing @ [ attr ])
+      | _ -> raise (Dtd_error ("unrecognised declaration: " ^ body)))
+    else incr i
+  done;
+  match !root with
+  | None -> raise (Dtd_error "no <!ELEMENT> declarations found")
+  | Some root ->
+      let decls =
+        List.rev_map
+          (fun d -> { d with attrs = Option.value ~default:[] (Hashtbl.find_opt attlists d.name) })
+          !decls
+      in
+      make ~root decls

@@ -1,0 +1,11 @@
+(** DTD-lite parser: a practical subset of XML 1.0 element declarations —
+    the paper's §3.2 "XML schema or DTD" structural-information source.
+
+    Supports [<!ELEMENT n (children)>] with [,]/[|] groups and [*]/[+]/[?]
+    occurrence suffixes, [#PCDATA], [EMPTY], [ANY], and [<!ATTLIST>]
+    attribute names.  The first element declaration names the root. *)
+
+exception Dtd_error of string
+
+val parse : string -> Types.t
+(** @raise Dtd_error on unsupported or malformed declarations. *)

@@ -1,0 +1,136 @@
+(** Schema inference from instance documents.
+
+    Used for the paper's "XMLType table or column without registered
+    schema" fallback and heavily in tests: scan one or more documents and
+    derive element declarations with observed model groups and
+    cardinalities.  Inference is conservative: child order differences
+    demote [Sequence] to [All]; multiple occurrences of a child under one
+    parent promote its cardinality to [many]. *)
+
+module X = Xdb_xml.Types
+open Types
+
+type acc = {
+  mutable child_order : string list;  (** first-seen child name order *)
+  mutable maxima : (string * int) list;  (** max occurrences seen per child *)
+  mutable minima : (string * int) list;  (** min occurrences seen per child *)
+  mutable saw_text : bool;
+  mutable ordered : bool;  (** children always appeared in first-seen order *)
+  mutable attrs : string list;
+  mutable instances : int;
+}
+
+let fresh () =
+  {
+    child_order = [];
+    maxima = [];
+    minima = [];
+    saw_text = false;
+    ordered = true;
+    attrs = [];
+    instances = 0;
+  }
+
+let bump assoc key v combine =
+  match List.assoc_opt key assoc with
+  | None -> (key, v) :: assoc
+  | Some old -> (key, combine old v) :: List.remove_assoc key assoc
+
+let is_subsequence sub full =
+  let rec go sub full =
+    match (sub, full) with
+    | [], _ -> true
+    | _, [] -> false
+    | s :: sr, f :: fr -> if s = f then go sr fr else go sub fr
+  in
+  go sub full
+
+(** [infer ~root docs] scans element trees and produces a schema. *)
+let infer ?root docs =
+  let table : (string, acc) Hashtbl.t = Hashtbl.create 16 in
+  let get name =
+    match Hashtbl.find_opt table name with
+    | Some a -> a
+    | None ->
+        let a = fresh () in
+        Hashtbl.add table name a;
+        a
+  in
+  let first_root = ref None in
+  let rec scan el =
+    match el.X.kind with
+    | X.Element q ->
+        if !first_root = None then first_root := Some q.local;
+        let a = get q.local in
+        a.instances <- a.instances + 1;
+        let child_elems =
+          List.filter_map
+            (fun c -> match c.X.kind with X.Element cq -> Some cq.local | _ -> None)
+            el.X.children
+        in
+        let counts =
+          List.fold_left (fun acc n -> bump acc n 1 ( + )) [] child_elems
+        in
+        (* record first-seen order *)
+        List.iter
+          (fun n -> if not (List.mem n a.child_order) then a.child_order <- a.child_order @ [ n ])
+          child_elems;
+        (* order check: de-duplicated child sequence must be a subsequence of
+           the canonical order *)
+        let dedup =
+          List.fold_left (fun acc n -> if List.mem n acc then acc else acc @ [ n ]) [] child_elems
+        in
+        if not (is_subsequence dedup a.child_order) then a.ordered <- false;
+        List.iter (fun (n, c) -> a.maxima <- bump a.maxima n c max) counts;
+        (* minima: children absent in this instance get 0 *)
+        a.minima <-
+          List.map
+            (fun n ->
+              let c = Option.value ~default:0 (List.assoc_opt n counts) in
+              match List.assoc_opt n a.minima with
+              | None -> (n, c)
+              | Some old -> (n, min old c))
+            a.child_order;
+        if List.exists (fun c -> match c.X.kind with
+             | X.Text t -> String.trim t <> ""
+             | _ -> false) el.X.children
+        then a.saw_text <- true;
+        List.iter
+          (fun at ->
+            match at.X.kind with
+            | X.Attribute (aq, _) when aq.uri <> X.xmlns_uri ->
+                if not (List.mem aq.local a.attrs) then a.attrs <- a.attrs @ [ aq.local ]
+            | _ -> ())
+          el.X.attributes;
+        List.iter scan el.X.children
+    | X.Document -> List.iter scan el.X.children
+    | _ -> ()
+  in
+  List.iter scan docs;
+  let root =
+    match (root, !first_root) with
+    | Some r, _ -> r
+    | None, Some r -> r
+    | None, None -> raise (Schema_error "cannot infer a schema from no elements")
+  in
+  let decls =
+    Hashtbl.fold
+      (fun name a acc ->
+        let particles =
+          List.map
+            (fun child ->
+              let mx = Option.value ~default:1 (List.assoc_opt child a.maxima) in
+              let mn = Option.value ~default:0 (List.assoc_opt child a.minima) in
+              let occurs =
+                if mx > 1 then if mn >= 1 then one_or_more else many
+                else if mn >= 1 then exactly_one
+                else optional
+              in
+              { child; occurs })
+            a.child_order
+        in
+        let group = if a.ordered then Sequence else All in
+        { name; group; particles; has_text = a.saw_text; attrs = a.attrs } :: acc)
+      table []
+  in
+  make ~root decls

@@ -1,0 +1,11 @@
+(** Schema inference from instance documents — the fallback structural
+    information source when no schema/DTD/publishing view is registered.
+
+    Conservative: out-of-order children demote [Sequence] to [All];
+    repeated children promote cardinality to unbounded; children missing
+    from some instances become optional. *)
+
+val infer : ?root:string -> Xdb_xml.Types.node list -> Types.t
+(** Scan element trees (documents or elements) and derive declarations.
+    [root] overrides the root name (default: first element seen).
+    @raise Types.Schema_error when no elements are present. *)

@@ -1,0 +1,65 @@
+(** Sample XML document generation (paper §4.2).
+
+    From the structural information we build one XML document that captures
+    structure but no content values.  Elements are annotated with attributes
+    in the Oracle-XDB-style namespace so the partial evaluator can read the
+    model group, cardinality and recursion marks off the instance:
+
+    - [xdb:group]     — "sequence" | "choice" | "all"
+    - [xdb:occurs]    — "one" | "optional" | "many" | "one-or-more"
+    - [xdb:recursive] — "true" on the repeat of a recursive element
+
+    Recursive structures are expanded exactly once and the repeat is marked
+    (the paper's §7.2 future-work item, implemented here). *)
+
+module X = Xdb_xml.Types
+open Types
+
+let annot = "structural sample"
+
+let xdb_attr name value =
+  X.make (X.Attribute ({ X.prefix = "xdb"; uri = X.xdb_uri; local = name }, value))
+
+(** [generate schema] builds the annotated sample document. *)
+let generate (schema : t) : X.node =
+  let recursive = recursive_names schema in
+  let rec build ~path name occurs =
+    let decl = find_exn schema name in
+    let el = X.make (X.Element (X.qname name)) in
+    X.add_attribute el (xdb_attr "group" (model_group_name decl.group));
+    X.add_attribute el (xdb_attr "occurs" (occurs_name occurs));
+    List.iter (fun a -> X.add_attribute el (X.make (X.Attribute (X.qname a, annot)))) decl.attrs;
+    if List.mem name path then
+      (* repeat of a recursive element: mark and stop expanding *)
+      X.add_attribute el (xdb_attr "recursive" "true")
+    else (
+      if List.mem name recursive then X.add_attribute el (xdb_attr "cyclic" "true");
+      List.iter
+        (fun p ->
+          let child = build ~path:(name :: path) p.child p.occurs in
+          X.append_child el child)
+        decl.particles;
+      if decl.has_text then X.append_child el (X.make (X.Text annot)));
+    el
+  in
+  let root = build ~path:[] schema.root exactly_one in
+  let doc = X.make X.Document in
+  X.append_child doc root;
+  X.reindex doc;
+  doc
+
+(** Read the annotations back from a sample-document element. *)
+let group_of_element el =
+  match X.attribute ~uri:X.xdb_uri el "group" with
+  | Some "choice" -> Choice
+  | Some "all" -> All
+  | _ -> Sequence
+
+let occurs_of_element el =
+  match X.attribute ~uri:X.xdb_uri el "occurs" with
+  | Some "one" -> exactly_one
+  | Some "optional" -> optional
+  | Some "one-or-more" -> one_or_more
+  | _ -> many
+
+let is_recursive_element el = X.attribute ~uri:X.xdb_uri el "recursive" = Some "true"

@@ -1,0 +1,20 @@
+(** Sample XML document generation (paper §4.2): one document capturing
+    structure but no content values, annotated in the Oracle-XDB-style
+    namespace with [xdb:group], [xdb:occurs] and [xdb:recursive] so the
+    partial evaluator reads model groups, cardinality and recursion marks
+    off the instance.  Recursive structures expand exactly once. *)
+
+val annot : string
+(** Placeholder text/attribute value used for content slots. *)
+
+val generate : Types.t -> Xdb_xml.Types.node
+(** The annotated sample document (a document node). *)
+
+val group_of_element : Xdb_xml.Types.node -> Types.model_group
+(** Read the [xdb:group] annotation back (defaults to [Sequence]). *)
+
+val occurs_of_element : Xdb_xml.Types.node -> Types.occurs
+(** Read the [xdb:occurs] annotation back (defaults to [many]). *)
+
+val is_recursive_element : Xdb_xml.Types.node -> bool
+(** Is this element the unexpanded repeat of a recursive structure? *)

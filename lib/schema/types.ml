@@ -1,0 +1,115 @@
+(** Structural information about XML documents (paper §3.2, §4.2).
+
+    This is the "X" of the partial evaluation [F(X, Y)]: element
+    declarations with model groups (sequence / choice / all), child
+    cardinalities, text-content flags and recursion marks.  It abstracts
+    over the three concrete sources the paper lists: registered XML
+    Schemas / DTDs, relational publishing specs, and static types of
+    upstream XQuery/XSLT stages. *)
+
+type model_group = Sequence | Choice | All
+
+let model_group_name = function Sequence -> "sequence" | Choice -> "choice" | All -> "all"
+
+type occurs = {
+  min_occurs : int;
+  max_occurs : int option;  (** [None] = unbounded *)
+}
+
+let exactly_one = { min_occurs = 1; max_occurs = Some 1 }
+let optional = { min_occurs = 0; max_occurs = Some 1 }
+let many = { min_occurs = 0; max_occurs = None }
+let one_or_more = { min_occurs = 1; max_occurs = None }
+
+(** At most one occurrence — drives LET vs FOR generation (paper §3.4). *)
+let at_most_one o = match o.max_occurs with Some n -> n <= 1 | None -> false
+
+let occurs_name o =
+  match (o.min_occurs, o.max_occurs) with
+  | 1, Some 1 -> "one"
+  | 0, Some 1 -> "optional"
+  | 1, None -> "one-or-more"
+  | _ -> "many"
+
+type particle = { child : string; occurs : occurs }
+
+type element_decl = {
+  name : string;
+  group : model_group;
+  particles : particle list;  (** child elements, in declared order *)
+  has_text : bool;  (** may contain character data *)
+  attrs : string list;  (** declared attribute names *)
+}
+
+type t = {
+  root : string;  (** name of the document element *)
+  decls : (string * element_decl) list;
+}
+
+exception Schema_error of string
+
+let find schema name = List.assoc_opt name schema.decls
+
+let find_exn schema name =
+  match find schema name with
+  | Some d -> d
+  | None -> raise (Schema_error (Printf.sprintf "no declaration for element %S" name))
+
+(** Build a schema from a declaration list, checking that every referenced
+    child is declared and that the root exists. *)
+let make ~root decls =
+  let schema = { root; decls = List.map (fun d -> (d.name, d)) decls } in
+  ignore (find_exn schema root);
+  List.iter
+    (fun (_, d) -> List.iter (fun p -> ignore (find_exn schema p.child)) d.particles)
+    schema.decls;
+  schema
+
+(** Leaf declaration: text content only. *)
+let leaf ?(attrs = []) name =
+  { name; group = Sequence; particles = []; has_text = true; attrs }
+
+(** Interior declaration. *)
+let node ?(group = Sequence) ?(has_text = false) ?(attrs = []) name particles =
+  { name; group; particles; has_text; attrs }
+
+let particle ?(occurs = exactly_one) child = { child; occurs }
+
+(** Names of elements involved in a cycle (self-reachable through particles). *)
+let recursive_names schema =
+  let reaches_from start =
+    let seen = Hashtbl.create 16 in
+    let rec go name =
+      if not (Hashtbl.mem seen name) then (
+        Hashtbl.add seen name ();
+        match find schema name with
+        | Some d -> List.iter (fun p -> go p.child) d.particles
+        | None -> ())
+    in
+    (match find schema start with
+    | Some d -> List.iter (fun p -> go p.child) d.particles
+    | None -> ());
+    seen
+  in
+  List.filter_map
+    (fun (name, _) -> if Hashtbl.mem (reaches_from name) name then Some name else None)
+    schema.decls
+
+let is_recursive schema = recursive_names schema <> []
+
+(** Pretty print, one line per declaration. *)
+let to_string schema =
+  let b = Buffer.create 128 in
+  Buffer.add_string b (Printf.sprintf "root: %s\n" schema.root);
+  List.iter
+    (fun (_, d) ->
+      let kids =
+        String.concat ", "
+          (List.map (fun p -> Printf.sprintf "%s{%s}" p.child (occurs_name p.occurs)) d.particles)
+      in
+      Buffer.add_string b
+        (Printf.sprintf "%s: %s(%s)%s%s\n" d.name (model_group_name d.group) kids
+           (if d.has_text then " +text" else "")
+           (if d.attrs = [] then "" else " @" ^ String.concat ",@" d.attrs)))
+    schema.decls;
+  Buffer.contents b

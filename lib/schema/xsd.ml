@@ -1,0 +1,190 @@
+(** XML Schema (XSD) subset parser — the paper's first structural
+    information source (§3.2: "If the input XMLType is from XMLType table
+    or columns with XML schema or DTD information").
+
+    Supported constructs:
+    - global and local [xs:element] with [name]/[type]/[ref],
+      [minOccurs]/[maxOccurs];
+    - [xs:complexType] (global named or anonymous inline) with one
+      [xs:sequence], [xs:choice] or [xs:all] model group — the exact
+      §3.4 distinction driving Tables 12–14;
+    - [xs:attribute] declarations (names only);
+    - [xs:simpleType] / built-in [xs:*] types ⇒ text content;
+    - [mixed="true"] ⇒ text content alongside children.
+
+    The first global element declaration is the root.  Identity
+    constraints, substitution groups, facets, namespaces-per-element and
+    imports are out of scope. *)
+
+module X = Xdb_xml.Types
+open Types
+
+exception Xsd_error of string
+
+let err fmt = Printf.ksprintf (fun m -> raise (Xsd_error m)) fmt
+
+let xs_uri = "http://www.w3.org/2001/XMLSchema"
+
+let is_xs el name =
+  match el.X.kind with
+  | X.Element q -> String.equal q.X.uri xs_uri && String.equal q.X.local name
+  | _ -> false
+
+let xs_local el =
+  match el.X.kind with
+  | X.Element q when String.equal q.X.uri xs_uri -> Some q.X.local
+  | _ -> None
+
+let attr = X.attribute
+
+let strip_prefix name =
+  match String.index_opt name ':' with
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+  | None -> name
+
+let occurs_of el =
+  let min_occurs =
+    match attr el "minOccurs" with
+    | Some s -> ( try int_of_string s with _ -> err "bad minOccurs %S" s)
+    | None -> 1
+  in
+  let max_occurs =
+    match attr el "maxOccurs" with
+    | Some "unbounded" -> None
+    | Some s -> ( try Some (int_of_string s) with _ -> err "bad maxOccurs %S" s)
+    | None -> Some 1
+  in
+  { min_occurs; max_occurs }
+
+type ct_body = {
+  ct_group : model_group;
+  ct_particles : (string (* element name *) * occurs * X.node option (* inline decl *)) list;
+  ct_text : bool;
+  ct_attrs : string list;
+}
+
+(* parse the body of a complexType element *)
+let parse_complex_type ct_el : ct_body =
+  let mixed = attr ct_el "mixed" = Some "true" in
+  let group = ref Sequence in
+  let particles = ref [] in
+  let attrs = ref [] in
+  List.iter
+    (fun child ->
+      match xs_local child with
+      | Some (("sequence" | "choice" | "all") as g) ->
+          group := (match g with "choice" -> Choice | "all" -> All | _ -> Sequence);
+          List.iter
+            (fun p ->
+              if is_xs p "element" then
+                let name =
+                  match (attr p "name", attr p "ref") with
+                  | Some n, _ -> n
+                  | None, Some r -> strip_prefix r
+                  | None, None -> err "xs:element needs name or ref"
+                in
+                particles := (name, occurs_of p, Some p) :: !particles
+              else
+                match xs_local p with
+                | Some other -> err "unsupported particle xs:%s" other
+                | None -> ())
+            child.X.children
+      | Some "attribute" -> (
+          match attr child "name" with
+          | Some n -> attrs := n :: !attrs
+          | None -> ())
+      | Some ("annotation" | "anyAttribute") -> ()
+      | Some other -> err "unsupported xs:complexType child xs:%s" other
+      | None -> ())
+    ct_el.X.children;
+  {
+    ct_group = !group;
+    ct_particles = List.rev !particles;
+    ct_text = mixed;
+    ct_attrs = List.rev !attrs;
+  }
+
+(** [parse s] — schema from XSD source text. *)
+let parse (s : string) : t =
+  let doc = Xdb_xml.Parser.parse s in
+  let root_el = Xdb_xml.Parser.document_element doc in
+  if not (is_xs root_el "schema") then err "document element must be xs:schema";
+  (* named complex types *)
+  let named_types : (string, ct_body) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun child ->
+      if is_xs child "complexType" then
+        match attr child "name" with
+        | Some n -> Hashtbl.replace named_types n (parse_complex_type child)
+        | None -> err "top-level xs:complexType needs a name")
+    root_el.X.children;
+  let decls : (string, element_decl) Hashtbl.t = Hashtbl.create 16 in
+  let rec declare_element el =
+    let name =
+      match attr el "name" with Some n -> n | None -> err "xs:element needs a name here"
+    in
+    if Hashtbl.mem decls name then ()
+    else begin
+      (* reserve the slot to terminate recursive references *)
+      Hashtbl.replace decls name (leaf name);
+      let body =
+        match attr el "type" with
+        | Some t -> (
+            let t' = strip_prefix t in
+            match Hashtbl.find_opt named_types t' with
+            | Some ct -> Some ct
+            | None ->
+                (* xs:string etc. — simple content *)
+                None)
+        | None -> (
+            match List.find_opt (fun c -> is_xs c "complexType") el.X.children with
+            | Some ct -> Some (parse_complex_type ct)
+            | None -> None)
+      in
+      match body with
+      | None -> Hashtbl.replace decls name (leaf name)
+      | Some ct ->
+          let particles =
+            List.map
+              (fun (child_name, occurs, inline) ->
+                (match inline with
+                | Some p when attr p "name" <> None -> declare_element p
+                | _ ->
+                    (* reference to a global element: declared in the loop *)
+                    ());
+                { child = child_name; occurs })
+              ct.ct_particles
+          in
+          Hashtbl.replace decls name
+            {
+              name;
+              group = ct.ct_group;
+              particles;
+              has_text = ct.ct_text;
+              attrs = ct.ct_attrs;
+            }
+    end
+  in
+  let root = ref None in
+  List.iter
+    (fun child ->
+      if is_xs child "element" then (
+        (match attr child "name" with
+        | Some n -> if !root = None then root := Some n
+        | None -> err "global xs:element needs a name");
+        declare_element child))
+    root_el.X.children;
+  match !root with
+  | None -> err "no global element declarations"
+  | Some root ->
+      (* validate references *)
+      let all = Hashtbl.fold (fun _ d acc -> d :: acc) decls [] in
+      List.iter
+        (fun d ->
+          List.iter
+            (fun p ->
+              if not (Hashtbl.mem decls p.child) then
+                err "element %s references undeclared element %s" d.name p.child)
+            d.particles)
+        all;
+      make ~root all

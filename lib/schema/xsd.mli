@@ -1,0 +1,10 @@
+(** XML Schema (XSD) subset parser — the paper's primary structural
+    information source (§3.2): global/local [xs:element] with
+    [minOccurs]/[maxOccurs], named and anonymous [xs:complexType] with one
+    [xs:sequence]/[xs:choice]/[xs:all] group, [xs:attribute] names,
+    [mixed] content.  The first global element is the root. *)
+
+exception Xsd_error of string
+
+val parse : string -> Types.t
+(** @raise Xsd_error on unsupported constructs or dangling references. *)

@@ -1,0 +1,44 @@
+(** Abstract syntax of the SQL/XML surface.
+
+    The fragment is the one the paper's examples are written in (Tables 5,
+    9 and 10): single-table SELECTs over tables and XMLType views, the
+    SQL/XML query functions [XMLTransform] and [XMLQuery … PASSING …
+    RETURNING CONTENT], and [CREATE VIEW] for wrapping a transformation as
+    an XSLT view (Example 2). *)
+
+type expr =
+  | Col of string option * string  (** [alias.column] or [column] *)
+  | Str_lit of string
+  | Int_lit of int
+  | Star  (** [*] in a select list *)
+  | Binop of binop * expr * expr
+  | Xml_transform of expr * string  (** [XMLTransform(xmltype, 'stylesheet')] *)
+  | Xml_query of { query : string; passing : expr }
+      (** [XMLQuery('q' PASSING e RETURNING CONTENT)] *)
+
+and binop = Eq | Neq | Lt | Leq | Gt | Geq | And | Or | Add | Sub | Mul | Div
+
+type select = {
+  items : (expr * string option) list;  (** select list with optional AS *)
+  from_name : string;
+  from_alias : string option;
+  where : expr option;
+}
+
+type statement =
+  | Select of select
+  | Create_view of string * select  (** [CREATE VIEW name AS SELECT …] *)
+
+let binop_name = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Leq -> "<="
+  | Gt -> ">"
+  | Geq -> ">="
+  | And -> "AND"
+  | Or -> "OR"
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"

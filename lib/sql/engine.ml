@@ -1,0 +1,364 @@
+(** Execution of the SQL/XML surface.
+
+    A {!session} wraps a database, its registered XMLType publishing views
+    and the XSLT views created at run time.  Execution routes every
+    statement through the paper's machinery:
+
+    - [SELECT XMLTransform(v.col, '…') FROM v] over a publishing view runs
+      the full XSLT rewrite (stylesheet → XQuery → SQL/XML expression over
+      the base tables, B-tree probes included) and falls back to
+      functional evaluation only when the generated query leaves the
+      rewritable fragment;
+    - [XMLQuery('…' PASSING v.col RETURNING CONTENT)] over a publishing
+      view runs the XQuery→SQL/XML rewrite directly;
+    - the same over an {e XSLT view} (Example 2) applies the combined
+      optimisation: the outer path composes statically over the generated
+      constructor tree and the composition is rewritten to one plan;
+    - plain selects over base tables run on the Volcano executor with
+      index selection. *)
+
+module A = Xdb_rel.Algebra
+module V = Xdb_rel.Value
+module P = Xdb_rel.Publish
+module E = Xdb_rel.Exec
+module Q = Xdb_xquery.Ast
+open Ast
+
+exception Sql_error of string
+
+let err fmt = Printf.ksprintf (fun m -> raise (Sql_error m)) fmt
+
+type xslt_view = {
+  xv_name : string;
+  xv_column : string;  (** name of the transformed output column *)
+  xv_compiled : Xdb_core.Pipeline.compiled;
+}
+
+type session = {
+  db : Xdb_rel.Database.t;
+  mutable xml_views : P.view list;
+  mutable xslt_views : xslt_view list;
+}
+
+type result = {
+  columns : string list;
+  rows : V.t list list;
+  note : string option;  (** execution-strategy remark (rewrite/fallback) *)
+}
+
+let make_session ?(views = []) db = { db; xml_views = views; xslt_views = [] }
+
+let register_view session view = session.xml_views <- view :: session.xml_views
+
+let find_xml_view session name =
+  List.find_opt (fun v -> String.lowercase_ascii v.P.view_name = String.lowercase_ascii name)
+    session.xml_views
+
+let find_xslt_view session name =
+  List.find_opt (fun v -> String.lowercase_ascii v.xv_name = String.lowercase_ascii name)
+    session.xslt_views
+
+(* ------------------------------------------------------------------ *)
+(* Scalar translation to the relational algebra                        *)
+(* ------------------------------------------------------------------ *)
+
+let algebra_binop = function
+  | Eq -> A.Eq
+  | Neq -> A.Neq
+  | Lt -> A.Lt
+  | Leq -> A.Leq
+  | Gt -> A.Gt
+  | Geq -> A.Geq
+  | And -> A.And
+  | Or -> A.Or
+  | Add -> A.Add
+  | Sub -> A.Sub
+  | Mul -> A.Mul
+  | Div -> A.Div
+
+let rec plain_expr = function
+  | Col (a, c) -> A.Col (a, c)
+  | Str_lit s -> A.Const (V.Str s)
+  | Int_lit i -> A.Const (V.Int i)
+  | Binop (op, a, b) -> A.Binop (algebra_binop op, plain_expr a, plain_expr b)
+  | Star -> err "* is only allowed alone in a select list"
+  | Xml_transform _ | Xml_query _ -> err "XML functions are only supported over XMLType views"
+
+let item_name i (e, alias) =
+  match alias with
+  | Some a -> a
+  | None -> (
+      match e with
+      | Col (_, c) -> c
+      | _ -> Printf.sprintf "col%d" (i + 1))
+
+(* ------------------------------------------------------------------ *)
+(* Base-table selects                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_table_select session (tbl : Xdb_rel.Table.t) (sel : select) : result =
+  let alias = Option.value ~default:sel.from_name sel.from_alias in
+  let scan = A.Seq_scan { table = sel.from_name; alias } in
+  let filtered =
+    match sel.where with None -> scan | Some w -> A.Filter (plain_expr w, scan)
+  in
+  let fields =
+    match sel.items with
+    | [ (Star, _) ] ->
+        List.map (fun c -> (A.Col (None, c), c)) (Xdb_rel.Table.column_names tbl)
+    | items -> List.mapi (fun i (e, alias) -> (plain_expr e, item_name i (e, alias))) items
+  in
+  let plan = Xdb_rel.Optimizer.optimize_deep session.db (A.Project (fields, filtered)) in
+  let rows = E.run session.db plan in
+  {
+    columns = List.map snd fields;
+    rows = List.map (fun r -> List.map (fun (_, n) -> List.assoc n r) fields) rows;
+    note = Some (A.plan_sql plan);
+  }
+
+(* interpret [r] using projection names *)
+
+(* ------------------------------------------------------------------ *)
+(* XMLType-view selects                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Is [e] a reference to the view's XMLType column? *)
+let is_view_column (view : P.view) alias e =
+  match e with
+  | Col (None, c) -> String.lowercase_ascii c = String.lowercase_ascii view.P.column
+  | Col (Some a, c) ->
+      String.lowercase_ascii c = String.lowercase_ascii view.P.column
+      && (String.lowercase_ascii a = String.lowercase_ascii alias
+         || String.lowercase_ascii a = String.lowercase_ascii view.P.view_name)
+  | _ -> false
+
+let run_xml_view_select session (view : P.view) (sel : select) : result =
+  let alias = Option.value ~default:sel.from_name sel.from_alias in
+  let notes = ref [] in
+  (* translate each select item into a per-base-row SQL/XML expression; when
+     a translation is impossible, fall back to functional evaluation for
+     that item *)
+  let translate_item i (e, item_alias) :
+      string * [ `Sql of A.expr | `Functional of Xdb_xml.Types.node -> string ] =
+    let name = item_name i (e, item_alias) in
+    match e with
+    | Xml_transform (input, stylesheet) when is_view_column view alias input -> (
+        let compiled = Xdb_core.Pipeline.compile session.db view stylesheet in
+        match compiled.Xdb_core.Pipeline.sql_plan with
+        | Some _ ->
+            notes :=
+              Printf.sprintf "%s: XSLT rewrite (%s mode)" name
+                (Xdb_core.Pipeline.mode_name
+                   compiled.Xdb_core.Pipeline.translation.Xdb_core.Xslt2xquery.mode)
+              :: !notes;
+            ( name,
+              `Sql
+                (Xdb_xquery.Sql_rewrite.rewrite_prog view
+                   compiled.Xdb_core.Pipeline.translation.Xdb_core.Xslt2xquery.query) )
+        | None ->
+            notes :=
+              Printf.sprintf "%s: functional fallback (%s)" name
+                (Option.value ~default:"?" compiled.Xdb_core.Pipeline.sql_fallback_reason)
+              :: !notes;
+            ( name,
+              `Functional
+                (fun doc ->
+                  let frag = Xdb_xslt.Vm.transform compiled.Xdb_core.Pipeline.vm_prog doc in
+                  Xdb_xml.Serializer.node_list_to_string frag.Xdb_xml.Types.children) ))
+    | Xml_query { query; passing } when is_view_column view alias passing -> (
+        let prog = Xdb_xquery.Parser.parse_prog query in
+        match Xdb_xquery.Sql_rewrite.rewrite_prog view prog with
+        | sql ->
+            notes := Printf.sprintf "%s: XQuery rewrite" name :: !notes;
+            (name, `Sql sql)
+        | exception Xdb_xquery.Sql_rewrite.Not_rewritable reason ->
+            notes := Printf.sprintf "%s: dynamic XQuery (%s)" name reason :: !notes;
+            ( name,
+              `Functional
+                (fun doc ->
+                  Xdb_xml.Serializer.node_list_to_string
+                    (Xdb_xquery.Eval.run_to_nodes prog ~context:doc)) ))
+    | Col _ -> (name, `Sql (plain_expr e))
+    | _ -> err "unsupported select item over an XMLType view"
+  in
+  let items = List.mapi translate_item sel.items in
+  let scan = A.Seq_scan { table = view.P.base_table; alias = view.P.base_alias } in
+  let filtered =
+    match sel.where with None -> scan | Some w -> A.Filter (plain_expr w, scan)
+  in
+  let sql_fields =
+    List.filter_map (function n, `Sql e -> Some (e, n) | _, `Functional _ -> None) items
+  in
+  let plan =
+    Xdb_rel.Optimizer.optimize_deep session.db (A.Project (sql_fields, filtered))
+  in
+  let sql_rows = E.run session.db plan in
+  (* functional items evaluate over materialised documents, row-aligned *)
+  let functional_items =
+    List.filter_map (function n, `Functional f -> Some (n, f) | _ -> None) items
+  in
+  let docs =
+    if functional_items = [] then []
+    else
+      if sel.where <> None then
+        err "WHERE is not supported together with non-rewritable XML select items"
+      else P.materialize session.db view
+  in
+  let columns = List.map fst items in
+  let rows =
+    List.mapi
+      (fun row_idx sql_row ->
+        List.map
+          (fun (n, kind) ->
+            match kind with
+            | `Sql _ -> List.assoc n sql_row
+            | `Functional f -> V.Str (f (List.nth docs row_idx)))
+          items)
+      sql_rows
+  in
+  { columns; rows; note = Some (String.concat "; " (List.rev !notes)) }
+
+(* ------------------------------------------------------------------ *)
+(* XSLT-view selects (Example 2)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* extract a child-step path from "for $x in ./steps return $x" or "./steps" *)
+let forwarding_steps (prog : Q.prog) : Xdb_xpath.Ast.step list option =
+  let plain_child_steps steps =
+    if
+      List.for_all
+        (fun (s : Xdb_xpath.Ast.step) ->
+          s.Xdb_xpath.Ast.axis = Xdb_xpath.Ast.Child && s.Xdb_xpath.Ast.predicates = [])
+        steps
+    then Some steps
+    else None
+  in
+  match (prog.Q.var_decls, prog.Q.funs, prog.Q.body) with
+  | [], [], Q.Path (Q.Context_item, steps) -> plain_child_steps steps
+  | [], [], Q.Flwor ([ Q.For { var; source = Q.Path (Q.Context_item, steps); _ } ], Q.Var v)
+    when v = var ->
+      plain_child_steps steps
+  | _ -> None
+
+let run_xslt_view_select session (xv : xslt_view) (sel : select) : result =
+  if sel.where <> None then err "WHERE over an XSLT view is not supported";
+  let alias = Option.value ~default:sel.from_name sel.from_alias in
+  let item =
+    match sel.items with
+    | [ (e, alias_opt) ] -> (e, item_name 0 (e, alias_opt))
+    | _ -> err "exactly one select item is supported over an XSLT view"
+  in
+  match item with
+  | Xml_query { query; passing }, name
+    when (match passing with
+         | Col (None, c) -> String.lowercase_ascii c = String.lowercase_ascii xv.xv_column
+         | Col (Some a, c) ->
+             String.lowercase_ascii c = String.lowercase_ascii xv.xv_column
+             && (String.lowercase_ascii a = String.lowercase_ascii alias
+                || String.lowercase_ascii a = String.lowercase_ascii xv.xv_name)
+         | _ -> false) -> (
+      let prog = Xdb_xquery.Parser.parse_prog query in
+      let combined_plan, composed, note =
+        match forwarding_steps prog with
+        | Some steps ->
+            let plan, composed = Xdb_core.Pipeline.compose session.db xv.xv_compiled steps in
+            (plan, Some composed, "combined XSLT+XQuery optimisation")
+        | None -> (None, None, "dynamic evaluation over the XSLT view result")
+      in
+      match (combined_plan, composed) with
+      | Some plan, _ ->
+          let rows = E.run session.db plan in
+          {
+            columns = [ name ];
+            rows = List.map (fun r -> [ List.assoc "result" r ]) rows;
+            note = Some (note ^ " (paper Table 11 plan)");
+          }
+      | None, Some composed ->
+          let outs =
+            Xdb_core.Pipeline.run_composed_dynamic session.db xv.xv_compiled composed
+          in
+          { columns = [ name ]; rows = List.map (fun s -> [ V.Str s ]) outs; note = Some note }
+      | None, None ->
+          (* evaluate the XSLT view, then the outer query on each result *)
+          let inner = Xdb_core.Pipeline.run_rewrite session.db xv.xv_compiled in
+          let outs =
+            List.map
+              (fun text ->
+                let doc = Xdb_xml.Parser.parse_fragment text in
+                let wrapper = Xdb_xml.Parser.document_element doc in
+                V.Str
+                  (Xdb_xml.Serializer.node_list_to_string
+                     (Xdb_xquery.Eval.run_to_nodes prog ~context:wrapper)))
+              inner
+          in
+          { columns = [ name ]; rows = List.map (fun v -> [ v ]) outs; note = Some note })
+  | Col (_, c), name when String.lowercase_ascii c = String.lowercase_ascii xv.xv_column ->
+      let outs = Xdb_core.Pipeline.run_rewrite session.db xv.xv_compiled in
+      {
+        columns = [ name ];
+        rows = List.map (fun s -> [ V.Str s ]) outs;
+        note = Some "XSLT view evaluated through the rewrite";
+      }
+  | _ -> err "unsupported select item over an XSLT view"
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_select session (sel : select) : result =
+  match find_xslt_view session sel.from_name with
+  | Some xv -> run_xslt_view_select session xv sel
+  | None -> (
+      match find_xml_view session sel.from_name with
+      | Some view -> run_xml_view_select session view sel
+      | None -> (
+          match Xdb_rel.Database.table_opt session.db sel.from_name with
+          | Some tbl -> run_table_select session tbl sel
+          | None -> err "unknown table or view %S" sel.from_name))
+
+(** [execute session statement_text] — parse and run one statement. *)
+let execute session (text : string) : result =
+  match Parser.parse text with
+  | Select sel -> run_select session sel
+  | Create_view (name, sel) -> (
+      (* only XSLT views (a single XMLTransform over a publishing view) can
+         be created from SQL; publishing views are registered via the API *)
+      match find_xml_view session sel.from_name with
+      | None -> err "CREATE VIEW: FROM must name a registered XMLType view"
+      | Some view -> (
+          match sel.items with
+          | [ (Xml_transform (input, stylesheet), alias) ]
+            when is_view_column view (Option.value ~default:sel.from_name sel.from_alias) input
+            ->
+              if sel.where <> None then err "CREATE VIEW: WHERE is not supported";
+              let compiled = Xdb_core.Pipeline.compile session.db view stylesheet in
+              let column = Option.value ~default:"xslt_rslt" alias in
+              session.xslt_views <-
+                { xv_name = name; xv_column = column; xv_compiled = compiled }
+                :: session.xslt_views;
+              {
+                columns = [];
+                rows = [];
+                note =
+                  Some
+                    (Printf.sprintf "XSLT view %s(%s) created (%s mode)" name column
+                       (Xdb_core.Pipeline.mode_name
+                          compiled.Xdb_core.Pipeline.translation.Xdb_core.Xslt2xquery.mode));
+              }
+          | _ -> err "CREATE VIEW: body must be a single XMLTransform over the view column"))
+
+(** Fixed-width rendering of a result for CLI/example output. *)
+let render (r : result) : string =
+  let buf = Buffer.create 256 in
+  (match r.note with Some n -> Buffer.add_string buf ("-- " ^ n ^ "\n") | None -> ());
+  if r.columns <> [] then (
+    Buffer.add_string buf (String.concat " | " r.columns);
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (String.make 40 '-');
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun row ->
+        Buffer.add_string buf (String.concat " | " (List.map V.to_string row));
+        Buffer.add_char buf '\n')
+      r.rows);
+  Buffer.contents buf

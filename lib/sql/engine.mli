@@ -1,0 +1,37 @@
+(** Execution of the SQL/XML surface: routes [XMLTransform] through the
+    XSLT rewrite, [XMLQuery … PASSING] through the XQuery rewrite, and
+    queries over XSLT views through the combined optimisation (Example 2),
+    with functional fallbacks where the rewrites do not apply. *)
+
+exception Sql_error of string
+
+(** An XSLT view created by [CREATE VIEW … AS SELECT XMLTransform(…)]. *)
+type xslt_view = {
+  xv_name : string;
+  xv_column : string;
+  xv_compiled : Xdb_core.Pipeline.compiled;
+}
+
+type session = {
+  db : Xdb_rel.Database.t;
+  mutable xml_views : Xdb_rel.Publish.view list;
+  mutable xslt_views : xslt_view list;
+}
+
+type result = {
+  columns : string list;
+  rows : Xdb_rel.Value.t list list;
+  note : string option;  (** execution-strategy remark (rewrite/fallback) *)
+}
+
+val make_session : ?views:Xdb_rel.Publish.view list -> Xdb_rel.Database.t -> session
+
+val register_view : session -> Xdb_rel.Publish.view -> unit
+(** Register an XMLType publishing view (the SQL surface cannot create
+    publishing views; they come from the API, like Oracle's DBMS views). *)
+
+val execute : session -> string -> result
+(** Parse and run one statement. @raise Sql_error / {!Parser.Parse_error}. *)
+
+val render : result -> string
+(** Fixed-width rendering for CLI/example output, note included. *)

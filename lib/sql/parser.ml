@@ -1,0 +1,279 @@
+(** Parser for the SQL/XML fragment.
+
+    Keywords are case-insensitive; strings use single quotes with ['']
+    escaping (so complete XSLT stylesheets paste in verbatim, as in paper
+    Table 5).  Statements may end with an optional [;]. *)
+
+open Ast
+
+exception Parse_error of string
+
+let err fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+type token =
+  | Ident of string  (** original case preserved; keywords match case-insensitively *)
+  | Str of string
+  | Num of int
+  | Punct of string
+
+let is_ident_start = function 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false
+let is_ident_char c = is_ident_start c || (match c with '0' .. '9' | '$' | '#' -> true | _ -> false)
+let is_digit = function '0' .. '9' -> true | _ -> false
+
+let tokenize (s : string) : token list =
+  let n = String.length s in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '-' && !i + 1 < n && s.[!i + 1] = '-' then (
+      (* line comment *)
+      while !i < n && s.[!i] <> '\n' do
+        incr i
+      done)
+    else if is_ident_start c then (
+      let start = !i in
+      while !i < n && is_ident_char s.[!i] do
+        incr i
+      done;
+      let word = String.sub s start (!i - start) in
+      out := Ident word :: !out)
+    else if is_digit c then (
+      let start = !i in
+      while !i < n && is_digit s.[!i] do
+        incr i
+      done;
+      out := Num (int_of_string (String.sub s start (!i - start))) :: !out)
+    else if c = '\'' then (
+      incr i;
+      let buf = Buffer.create 64 in
+      let rec go () =
+        if !i >= n then err "unterminated string literal"
+        else if s.[!i] = '\'' then
+          if !i + 1 < n && s.[!i + 1] = '\'' then (
+            Buffer.add_char buf '\'';
+            i := !i + 2;
+            go ())
+          else incr i
+        else (
+          Buffer.add_char buf s.[!i];
+          incr i;
+          go ())
+      in
+      go ();
+      out := Str (Buffer.contents buf) :: !out)
+    else (
+      let two = if !i + 1 < n then String.sub s !i 2 else "" in
+      match two with
+      | "<>" | "<=" | ">=" | "!=" | "||" ->
+          out := Punct two :: !out;
+          i := !i + 2
+      | _ ->
+          (match c with
+          | '(' | ')' | ',' | '.' | ';' | '*' | '=' | '<' | '>' | '+' | '-' | '/' ->
+              out := Punct (String.make 1 c) :: !out
+          | c -> err "unexpected character %C" c);
+          incr i)
+  done;
+  List.rev !out
+
+type stream = { mutable toks : token list }
+
+let upper = String.uppercase_ascii
+
+let peek st = match st.toks with [] -> None | t :: _ -> Some t
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let at_kw st kw =
+  match peek st with Some (Ident w) -> upper w = kw | _ -> false
+
+let eat_kw st kw =
+  if at_kw st kw then advance st else err "expected keyword %s" kw
+
+let at_punct st p = match peek st with Some (Punct q) -> q = p | _ -> false
+
+let eat_punct st p = if at_punct st p then advance st else err "expected %S" p
+
+let ident st =
+  match peek st with
+  | Some (Ident w) ->
+      advance st;
+      w
+  | _ -> err "expected an identifier"
+
+let string_lit st =
+  match peek st with
+  | Some (Str s) ->
+      advance st;
+      s
+  | _ -> err "expected a string literal"
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_or st =
+  let lhs = parse_and st in
+  if at_kw st "OR" then (
+    advance st;
+    Binop (Or, lhs, parse_or st))
+  else lhs
+
+and parse_and st =
+  let lhs = parse_cmp st in
+  if at_kw st "AND" then (
+    advance st;
+    Binop (And, lhs, parse_and st))
+  else lhs
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match peek st with
+    | Some (Punct "=") -> Some Eq
+    | Some (Punct ("<>" | "!=")) -> Some Neq
+    | Some (Punct "<") -> Some Lt
+    | Some (Punct "<=") -> Some Leq
+    | Some (Punct ">") -> Some Gt
+    | Some (Punct ">=") -> Some Geq
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      advance st;
+      Binop (op, lhs, parse_add st)
+
+and parse_add st =
+  let lhs = parse_mul st in
+  let rec loop lhs =
+    match peek st with
+    | Some (Punct "+") ->
+        advance st;
+        loop (Binop (Add, lhs, parse_mul st))
+    | Some (Punct "-") ->
+        advance st;
+        loop (Binop (Sub, lhs, parse_mul st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_mul st =
+  let lhs = parse_primary st in
+  let rec loop lhs =
+    match peek st with
+    | Some (Punct "*") ->
+        advance st;
+        loop (Binop (Mul, lhs, parse_primary st))
+    | Some (Punct "/") ->
+        advance st;
+        loop (Binop (Div, lhs, parse_primary st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_primary st =
+  match peek st with
+  | Some (Str s) ->
+      advance st;
+      Str_lit s
+  | Some (Num n) ->
+      advance st;
+      Int_lit n
+  | Some (Punct "(") ->
+      advance st;
+      let e = parse_or st in
+      eat_punct st ")";
+      e
+  | Some (Punct "*") ->
+      advance st;
+      Star
+  | Some (Ident w) when upper w = "XMLTRANSFORM" ->
+      advance st;
+      eat_punct st "(";
+      let input = parse_or st in
+      eat_punct st ",";
+      let ss = string_lit st in
+      eat_punct st ")";
+      Xml_transform (input, ss)
+  | Some (Ident w) when upper w = "XMLQUERY" ->
+      advance st;
+      eat_punct st "(";
+      let q = string_lit st in
+      eat_kw st "PASSING";
+      let passing = parse_or st in
+      (* RETURNING CONTENT is the only supported clause *)
+      eat_kw st "RETURNING";
+      eat_kw st "CONTENT";
+      eat_punct st ")";
+      Xml_query { query = q; passing }
+  | Some (Ident _) -> (
+      let first = ident st in
+      if at_punct st "." then (
+        advance st;
+        let second = ident st in
+        Col (Some first, second))
+      else Col (None, first))
+  | _ -> err "expected an expression"
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let parse_select st =
+  eat_kw st "SELECT";
+  let rec items acc =
+    let e = parse_or st in
+    let alias =
+      if at_kw st "AS" then (
+        advance st;
+        Some (ident st))
+      else
+        match peek st with
+        | Some (Ident w) when upper w <> "FROM" ->
+            advance st;
+            Some w
+        | _ -> None
+    in
+    let acc = (e, alias) :: acc in
+    if at_punct st "," then (
+      advance st;
+      items acc)
+    else List.rev acc
+  in
+  let items = items [] in
+  eat_kw st "FROM";
+  let from_name = ident st in
+  let from_alias =
+    match peek st with
+    | Some (Ident w) when upper w <> "WHERE" ->
+        advance st;
+        Some w
+    | _ -> None
+  in
+  let where =
+    if at_kw st "WHERE" then (
+      advance st;
+      Some (parse_or st))
+    else None
+  in
+  { items; from_name; from_alias; where }
+
+(** [parse s] — one statement, optionally [;]-terminated. *)
+let parse (s : string) : statement =
+  let st = { toks = tokenize s } in
+  let stmt =
+    if at_kw st "CREATE" then (
+      advance st;
+      eat_kw st "VIEW";
+      let name = ident st in
+      eat_kw st "AS";
+      Create_view (name, parse_select st))
+    else Select (parse_select st)
+  in
+  if at_punct st ";" then advance st;
+  (match peek st with
+  | None -> ()
+  | Some _ -> err "trailing tokens after statement");
+  stmt

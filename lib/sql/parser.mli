@@ -1,0 +1,9 @@
+(** Parser for the SQL/XML fragment (see {!Ast}).  Keywords are
+    case-insensitive; strings use single quotes with [''] escaping so
+    complete stylesheets paste in verbatim (paper Table 5). *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.statement
+(** One statement, optionally [;]-terminated.
+    @raise Parse_error on malformed input or trailing tokens. *)

@@ -1,0 +1,37 @@
+(** Convenience construction API for node trees.
+
+    {[
+      let tree =
+        Builder.(
+          elem "dept"
+            [ elem "dname" [ text "ACCOUNTING" ];
+              elem "loc" [ text "NEW YORK" ] ])
+    ]} *)
+
+open Types
+
+(** [elem name ?attrs children] builds an element node. *)
+let elem ?(uri = "") ?(prefix = "") ?(attrs = []) name children =
+  let e = make (Element { prefix; uri; local = name }) in
+  List.iter (fun (an, av) -> add_attribute e (make (Attribute (qname an, av)))) attrs;
+  set_children e children;
+  e
+
+let text s = make (Text s)
+let comment s = make (Comment s)
+let pi target data = make (Pi (target, data))
+let attr name value = make (Attribute (qname name, value))
+
+(** [document root] wraps [root] in a document node and stamps the tree. *)
+let document root =
+  let d = make Document in
+  append_child d root;
+  reindex d;
+  d
+
+(** [document_of_nodes nodes] wraps several top-level nodes. *)
+let document_of_nodes nodes =
+  let d = make Document in
+  List.iter (append_child d) nodes;
+  reindex d;
+  d

@@ -1,0 +1,25 @@
+(** Convenience construction API for node trees. *)
+
+val elem :
+  ?uri:string ->
+  ?prefix:string ->
+  ?attrs:(string * string) list ->
+  string ->
+  Types.node list ->
+  Types.node
+(** [elem name children] builds an element node with the given attributes
+    and children (parent links are set). *)
+
+val text : string -> Types.node
+val comment : string -> Types.node
+val pi : string -> string -> Types.node
+
+val attr : string -> string -> Types.node
+(** [attr name value] builds a detached attribute node. *)
+
+val document : Types.node -> Types.node
+(** [document root] wraps [root] in a document node and stamps the tree
+    with document-order ordinals. *)
+
+val document_of_nodes : Types.node list -> Types.node
+(** Wrap several top-level nodes in one document node. *)

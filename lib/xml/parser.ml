@@ -1,0 +1,401 @@
+(** Hand-written XML 1.0 parser with namespace expansion.
+
+    Supported: prolog ([<?xml …?>]), DOCTYPE (skipped), elements, attributes,
+    character data, CDATA sections, comments, processing instructions, the
+    five predefined entities plus decimal/hexadecimal character references,
+    and [xmlns]/[xmlns:p] namespace declarations.
+
+    Errors raise {!exception:Parse_error} with a 1-based line/column. *)
+
+open Types
+
+exception Parse_error of { line : int; col : int; message : string }
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error { line; col; message } ->
+        Some (Printf.sprintf "XML parse error at %d:%d: %s" line col message)
+    | _ -> None)
+
+type state = {
+  input : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+  mutable ns_stack : (string * string) list list;
+      (** in-scope prefix→uri bindings, innermost frame first *)
+}
+
+let error st message = raise (Parse_error { line = st.line; col = st.col; message })
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let advance st =
+  (if st.pos < String.length st.input then
+     match st.input.[st.pos] with
+     | '\n' ->
+         st.line <- st.line + 1;
+         st.col <- 1
+     | _ -> st.col <- st.col + 1);
+  st.pos <- st.pos + 1
+
+let next st =
+  match peek st with
+  | None -> error st "unexpected end of input"
+  | Some c ->
+      advance st;
+      c
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.input && String.sub st.input st.pos n = s
+
+let expect st s =
+  if looking_at st s then String.iter (fun _ -> advance st) s
+  else error st (Printf.sprintf "expected %S" s)
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_space st =
+  let rec go () =
+    match peek st with
+    | Some c when is_space c ->
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let is_name_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+  | c -> Char.code c >= 0x80
+
+let is_name_char c =
+  is_name_start c || match c with '0' .. '9' | '-' | '.' -> true | _ -> false
+
+let read_name st =
+  let start = st.pos in
+  (match peek st with
+  | Some c when is_name_start c -> advance st
+  | _ -> error st "expected a name");
+  let rec go () =
+    match peek st with
+    | Some c when is_name_char c ->
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  String.sub st.input start (st.pos - start)
+
+(** Split [p:l] into (prefix, local). *)
+let split_colon name =
+  match String.index_opt name ':' with
+  | None -> ("", name)
+  | Some i -> (String.sub name 0 i, String.sub name (i + 1) (String.length name - i - 1))
+
+let resolve_prefix st prefix =
+  if prefix = "xml" then Some xml_uri
+  else if prefix = "xmlns" then Some xmlns_uri
+  else
+    let rec scan = function
+      | [] -> if prefix = "" then Some "" else None
+      | frame :: rest -> ( match List.assoc_opt prefix frame with Some u -> Some u | None -> scan rest)
+    in
+    scan st.ns_stack
+
+let decode_entity st name =
+  match name with
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "amp" -> "&"
+  | "apos" -> "'"
+  | "quot" -> "\""
+  | _ ->
+      if String.length name > 1 && name.[0] = '#' then (
+        let code =
+          try
+            if name.[1] = 'x' || name.[1] = 'X' then
+              int_of_string ("0x" ^ String.sub name 2 (String.length name - 2))
+            else int_of_string (String.sub name 1 (String.length name - 1))
+          with _ -> error st (Printf.sprintf "bad character reference &%s;" name)
+        in
+        (* UTF-8 encode *)
+        let b = Buffer.create 4 in
+        if code < 0x80 then Buffer.add_char b (Char.chr code)
+        else if code < 0x800 then (
+          Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+          Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F))))
+        else if code < 0x10000 then (
+          Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+          Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F))))
+        else (
+          Buffer.add_char b (Char.chr (0xF0 lor (code lsr 18)));
+          Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+          Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F))));
+        Buffer.contents b)
+      else error st (Printf.sprintf "unknown entity &%s;" name)
+
+let read_entity st =
+  expect st "&";
+  let start = st.pos in
+  let rec go () =
+    match peek st with
+    | Some ';' -> ()
+    | Some _ ->
+        advance st;
+        go ()
+    | None -> error st "unterminated entity reference"
+  in
+  go ();
+  let name = String.sub st.input start (st.pos - start) in
+  expect st ";";
+  decode_entity st name
+
+(** Attribute value: quoted string with entity expansion. *)
+let read_attr_value st =
+  let quote = next st in
+  if quote <> '"' && quote <> '\'' then error st "expected quoted attribute value";
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated attribute value"
+    | Some c when c = quote -> advance st
+    | Some '&' ->
+        Buffer.add_string buf (read_entity st);
+        go ()
+    | Some '<' -> error st "'<' not allowed in attribute value"
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let read_comment st =
+  expect st "<!--";
+  let start = st.pos in
+  let rec go () =
+    if looking_at st "-->" then (
+      let s = String.sub st.input start (st.pos - start) in
+      expect st "-->";
+      s)
+    else if peek st = None then error st "unterminated comment"
+    else (
+      advance st;
+      go ())
+  in
+  go ()
+
+let read_cdata st =
+  expect st "<![CDATA[";
+  let start = st.pos in
+  let rec go () =
+    if looking_at st "]]>" then (
+      let s = String.sub st.input start (st.pos - start) in
+      expect st "]]>";
+      s)
+    else if peek st = None then error st "unterminated CDATA section"
+    else (
+      advance st;
+      go ())
+  in
+  go ()
+
+let read_pi st =
+  expect st "<?";
+  let target = read_name st in
+  skip_space st;
+  let start = st.pos in
+  let rec go () =
+    if looking_at st "?>" then (
+      let s = String.sub st.input start (st.pos - start) in
+      expect st "?>";
+      s)
+    else if peek st = None then error st "unterminated processing instruction"
+    else (
+      advance st;
+      go ())
+  in
+  let data = go () in
+  (target, data)
+
+let skip_doctype st =
+  expect st "<!DOCTYPE";
+  (* skip until the matching '>' allowing one level of [...] *)
+  let rec go depth =
+    match next st with
+    | '[' -> go (depth + 1)
+    | ']' -> go (depth - 1)
+    | '>' when depth = 0 -> ()
+    | _ -> go depth
+  in
+  go 0
+
+(** Raw attribute list: [(name, value)] pairs, pre namespace expansion. *)
+let read_raw_attributes st =
+  let rec go acc =
+    skip_space st;
+    match peek st with
+    | Some c when is_name_start c ->
+        let aname = read_name st in
+        skip_space st;
+        expect st "=";
+        skip_space st;
+        let v = read_attr_value st in
+        go ((aname, v) :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+let rec read_element st =
+  expect st "<";
+  let raw_name = read_name st in
+  let raw_attrs = read_raw_attributes st in
+  (* collect namespace declarations into a new scope frame *)
+  let decls =
+    List.filter_map
+      (fun (n, v) ->
+        if n = "xmlns" then Some ("", v)
+        else
+          let p, l = split_colon n in
+          if p = "xmlns" then Some (l, v) else None)
+      raw_attrs
+  in
+  st.ns_stack <- decls :: st.ns_stack;
+  let prefix, local = split_colon raw_name in
+  let uri =
+    match resolve_prefix st prefix with
+    | Some u -> u
+    | None -> error st (Printf.sprintf "undeclared namespace prefix %S" prefix)
+  in
+  let el = make (Element { prefix; uri; local }) in
+  List.iter
+    (fun (n, v) ->
+      let p, l = split_colon n in
+      if n = "xmlns" || p = "xmlns" then
+        (* keep declarations as attributes for round-tripping *)
+        add_attribute el (make (Attribute ({ prefix = p; uri = xmlns_uri; local = l }, v)))
+      else
+        let auri =
+          if p = "" then "" (* default ns does not apply to attributes *)
+          else
+            match resolve_prefix st p with
+            | Some u -> u
+            | None -> error st (Printf.sprintf "undeclared namespace prefix %S" p)
+        in
+        add_attribute el (make (Attribute ({ prefix = p; uri = auri; local = l }, v))))
+    raw_attrs;
+  skip_space st;
+  (if looking_at st "/>" then expect st "/>"
+   else (
+     expect st ">";
+     read_content st el;
+     expect st "</";
+     let close = read_name st in
+     if close <> raw_name then
+       error st (Printf.sprintf "mismatched closing tag </%s>, expected </%s>" close raw_name);
+     skip_space st;
+     expect st ">"));
+  st.ns_stack <- (match st.ns_stack with _ :: rest -> rest | [] -> []);
+  el
+
+and read_content st parent =
+  (* children accumulate in reverse and are attached once: keeps document
+     loading linear in size *)
+  let buf = Buffer.create 32 in
+  let acc = ref [] in
+  let flush_text () =
+    if Buffer.length buf > 0 then (
+      acc := make (Text (Buffer.contents buf)) :: !acc;
+      Buffer.clear buf)
+  in
+  let rec go () =
+    match peek st with
+    | None -> error st "unexpected end of input inside element"
+    | Some '<' ->
+        if looking_at st "</" then flush_text ()
+        else if looking_at st "<!--" then (
+          flush_text ();
+          let c = read_comment st in
+          acc := make (Comment c) :: !acc;
+          go ())
+        else if looking_at st "<![CDATA[" then (
+          Buffer.add_string buf (read_cdata st);
+          go ())
+        else if looking_at st "<?" then (
+          flush_text ();
+          let t, d = read_pi st in
+          acc := make (Pi (t, d)) :: !acc;
+          go ())
+        else (
+          flush_text ();
+          let child = read_element st in
+          acc := child :: !acc;
+          go ())
+    | Some '&' ->
+        Buffer.add_string buf (read_entity st);
+        go ()
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  set_children parent (List.rev !acc)
+
+(** [parse s] parses a complete document and returns its document node.
+    Whitespace-only text between the prolog and the root is dropped. *)
+let parse s =
+  let st = { input = s; pos = 0; line = 1; col = 1; ns_stack = [] } in
+  let doc = make Document in
+  skip_space st;
+  if looking_at st "<?xml" then ignore (read_pi st);
+  let rec prolog () =
+    skip_space st;
+    if looking_at st "<!--" then (
+      append_child doc (make (Comment (read_comment st)));
+      prolog ())
+    else if looking_at st "<!DOCTYPE" then (
+      skip_doctype st;
+      prolog ())
+    else if looking_at st "<?" then (
+      let t, d = read_pi st in
+      append_child doc (make (Pi (t, d)));
+      prolog ())
+  in
+  prolog ();
+  skip_space st;
+  if not (looking_at st "<") then error st "expected root element";
+  let root = read_element st in
+  append_child doc root;
+  skip_space st;
+  (* trailing comments / PIs *)
+  let rec epilogue () =
+    skip_space st;
+    if looking_at st "<!--" then (
+      append_child doc (make (Comment (read_comment st)));
+      epilogue ())
+    else if looking_at st "<?" then (
+      let t, d = read_pi st in
+      append_child doc (make (Pi (t, d)));
+      epilogue ())
+  in
+  epilogue ();
+  skip_space st;
+  if st.pos <> String.length st.input then error st "trailing content after document element";
+  reindex doc;
+  doc
+
+(** [parse_fragment s] parses content that may have several top-level nodes
+    (wraps it in a synthetic document node). *)
+let parse_fragment s = parse ("<xdb-fragment-wrapper>" ^ s ^ "</xdb-fragment-wrapper>")
+
+(** Root element of a parsed document. *)
+let document_element doc =
+  match List.find_opt is_element doc.children with
+  | Some e -> e
+  | None -> invalid_arg "document_element: no element child"

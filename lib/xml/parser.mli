@@ -1,0 +1,23 @@
+(** Hand-written XML 1.0 parser with namespace expansion.
+
+    Supported: prolog, DOCTYPE (skipped), elements, attributes, character
+    data, CDATA sections, comments, processing instructions, the five
+    predefined entities plus character references, and namespace
+    declarations. *)
+
+exception Parse_error of { line : int; col : int; message : string }
+(** Raised with a 1-based line/column on malformed input. *)
+
+val parse : string -> Types.node
+(** [parse s] parses a complete document and returns its document node.
+    The tree is stamped with document-order ordinals.
+    @raise Parse_error on malformed input. *)
+
+val parse_fragment : string -> Types.node
+(** [parse_fragment s] parses content that may have several top-level
+    nodes by wrapping it in a synthetic element; the returned document's
+    single child is that wrapper. *)
+
+val document_element : Types.node -> Types.node
+(** Root element of a parsed document.
+    @raise Invalid_argument if the document has no element child. *)

@@ -1,0 +1,101 @@
+(** Serialization of node trees: XML, HTML and text output methods
+    (mirroring the XSLT 1.0 [xsl:output method] values). *)
+
+open Types
+
+type output_method = Xml | Html | Text_output
+
+let escape_text buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape_attr buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\n' -> Buffer.add_string buf "&#10;"
+      | c -> Buffer.add_char buf c)
+    s
+
+(* HTML void elements: no closing tag, no self-closing slash. *)
+let html_void = [ "br"; "hr"; "img"; "input"; "meta"; "link"; "area"; "base"; "col"; "embed" ]
+
+let is_html_void name = List.mem (String.lowercase_ascii name) html_void
+
+let rec emit ~meth ~indent ~depth buf n =
+  let pad () =
+    if indent then (
+      if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (2 * depth) ' '))
+  in
+  match n.kind with
+  | Document -> List.iter (emit ~meth ~indent ~depth buf) n.children
+  | Text s -> ( match meth with Text_output -> Buffer.add_string buf s | _ -> escape_text buf s)
+  | Comment s ->
+      if meth <> Text_output then (
+        pad ();
+        Buffer.add_string buf "<!--";
+        Buffer.add_string buf s;
+        Buffer.add_string buf "-->")
+  | Pi (t, d) ->
+      if meth <> Text_output then (
+        pad ();
+        Buffer.add_string buf "<?";
+        Buffer.add_string buf t;
+        if d <> "" then (
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf d);
+        Buffer.add_string buf "?>")
+  | Attribute (q, v) ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_qname q);
+      Buffer.add_string buf "=\"";
+      escape_attr buf v;
+      Buffer.add_char buf '"'
+  | Element q ->
+      if meth = Text_output then List.iter (emit ~meth ~indent ~depth buf) n.children
+      else (
+        pad ();
+        Buffer.add_char buf '<';
+        Buffer.add_string buf (string_of_qname q);
+        List.iter (emit ~meth ~indent ~depth buf) n.attributes;
+        let name = string_of_qname q in
+        if n.children = [] then
+          match meth with
+          | Html when is_html_void q.local -> Buffer.add_char buf '>'
+          | Html ->
+              Buffer.add_string buf "></";
+              Buffer.add_string buf name;
+              Buffer.add_char buf '>'
+          | Xml | Text_output -> Buffer.add_string buf "/>"
+        else (
+          Buffer.add_char buf '>';
+          let kids_are_elements = List.for_all (fun c -> not (is_text c)) n.children in
+          List.iter
+            (emit ~meth ~indent:(indent && kids_are_elements) ~depth:(depth + 1) buf)
+            n.children;
+          if indent && kids_are_elements then (
+            Buffer.add_char buf '\n';
+            Buffer.add_string buf (String.make (2 * depth) ' '));
+          Buffer.add_string buf "</";
+          Buffer.add_string buf name;
+          Buffer.add_char buf '>'))
+
+(** [to_string ?meth ?indent n] serializes the subtree at [n]. *)
+let to_string ?(meth = Xml) ?(indent = false) n =
+  let buf = Buffer.create 256 in
+  emit ~meth ~indent ~depth:0 buf n;
+  Buffer.contents buf
+
+(** [node_list_to_string nodes] serializes a flat sequence of nodes. *)
+let node_list_to_string ?(meth = Xml) ?(indent = false) nodes =
+  String.concat "" (List.map (to_string ~meth ~indent) nodes)

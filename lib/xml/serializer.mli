@@ -1,0 +1,22 @@
+(** Serialization of node trees: XML, HTML and text output methods
+    (mirroring the XSLT 1.0 [xsl:output method] values). *)
+
+type output_method =
+  | Xml  (** escaped markup, self-closing empty elements *)
+  | Html  (** void elements without [/>], otherwise like XML *)
+  | Text_output  (** text nodes only, unescaped *)
+
+val escape_text : Buffer.t -> string -> unit
+(** Escape [<], [>] and [&] for element content. *)
+
+val escape_attr : Buffer.t -> string -> unit
+(** Escape angle brackets, ampersands, double quotes and newlines for
+    attribute values. *)
+
+val to_string : ?meth:output_method -> ?indent:bool -> Types.node -> string
+(** [to_string n] serializes the subtree at [n]. [indent] pretty-prints
+    element-only content (text-bearing content is never re-indented). *)
+
+val node_list_to_string :
+  ?meth:output_method -> ?indent:bool -> Types.node list -> string
+(** Serialize a flat sequence of nodes (e.g. a result fragment's children). *)

@@ -1,0 +1,216 @@
+(** Core XML node model.
+
+    A single mutable record represents every node kind (document, element,
+    attribute, text, comment, processing instruction).  Parent pointers plus
+    per-tree ordinal stamps ([order]) give O(1) document-order comparison
+    once {!val:reindex} has been run on the root.
+
+    Names are namespace-expanded {!type:qname}s: [prefix] is kept only for
+    serialization fidelity; equality and matching use [(uri, local)]. *)
+
+type qname = {
+  prefix : string;  (** original prefix, "" if none; serialization only *)
+  uri : string;  (** namespace URI, "" if unqualified *)
+  local : string;  (** local part *)
+}
+
+(** Well-known namespace URIs. *)
+let xsl_uri = "http://www.w3.org/1999/XSL/Transform"
+
+let xml_uri = "http://www.w3.org/XML/1998/namespace"
+let xmlns_uri = "http://www.w3.org/2000/xmlns/"
+let xdb_uri = "http://xmlns.oracle.com/xdb"
+
+(** [qname local] is an unqualified name. *)
+let qname ?(prefix = "") ?(uri = "") local = { prefix; uri; local }
+
+(** Name equality: namespace URI + local part (prefix is ignored). *)
+let qname_equal a b = String.equal a.uri b.uri && String.equal a.local b.local
+
+(** [string_of_qname n] prints [prefix:local] or [local]. *)
+let string_of_qname n =
+  if n.prefix = "" then n.local else n.prefix ^ ":" ^ n.local
+
+type node_kind =
+  | Document
+  | Element of qname
+  | Attribute of qname * string
+  | Text of string
+  | Comment of string
+  | Pi of string * string  (** target, data *)
+
+type node = {
+  mutable kind : node_kind;
+  mutable parent : node option;
+  mutable children : node list;  (** child nodes in document order *)
+  mutable attributes : node list;  (** attribute nodes (elements only) *)
+  mutable order : int;  (** document-order stamp; see {!val:reindex} *)
+}
+
+(** [make kind] is a fresh parentless node. *)
+let make kind = { kind; parent = None; children = []; attributes = []; order = 0 }
+
+let is_element n = match n.kind with Element _ -> true | _ -> false
+let is_text n = match n.kind with Text _ -> true | _ -> false
+let is_attribute n = match n.kind with Attribute _ -> true | _ -> false
+let is_document n = match n.kind with Document -> true | _ -> false
+
+(** [name n] is the expanded name of an element or attribute node. *)
+let name n =
+  match n.kind with
+  | Element q | Attribute (q, _) -> Some q
+  | Document | Text _ | Comment _ | Pi _ -> None
+
+(** [local_name n] is the local part of the node name, "" for unnamed kinds
+    (the XPath [local-name()] convention). *)
+let local_name n =
+  match n.kind with
+  | Element q | Attribute (q, _) -> q.local
+  | Pi (target, _) -> target
+  | Document | Text _ | Comment _ -> ""
+
+(** [string_value n] is the XPath string-value: concatenated descendant text
+    for documents and elements; the literal value otherwise. *)
+let string_value n =
+  match n.kind with
+  | Text s | Comment s | Attribute (_, s) | Pi (_, s) -> s
+  | Document | Element _ ->
+      let buf = Buffer.create 64 in
+      let rec go m =
+        match m.kind with
+        | Text s -> Buffer.add_string buf s
+        | Element _ | Document -> List.iter go m.children
+        | Attribute _ | Comment _ | Pi _ -> ()
+      in
+      go n;
+      Buffer.contents buf
+
+(** [append_child parent child] attaches [child] as the last child. *)
+let append_child parent child =
+  child.parent <- Some parent;
+  parent.children <- parent.children @ [ child ]
+
+(** [set_children parent kids] replaces all children of [parent]. *)
+let set_children parent kids =
+  List.iter (fun k -> k.parent <- Some parent) kids;
+  parent.children <- kids
+
+(** [add_attribute el attr] attaches attribute node [attr] to element [el],
+    replacing any existing attribute with the same expanded name. *)
+let add_attribute el attr =
+  let aname = match attr.kind with Attribute (q, _) -> q | _ -> invalid_arg "add_attribute" in
+  attr.parent <- Some el;
+  let others =
+    List.filter
+      (fun a -> match a.kind with Attribute (q, _) -> not (qname_equal q aname) | _ -> true)
+      el.attributes
+  in
+  el.attributes <- others @ [ attr ]
+
+(** [attribute el name] looks an attribute value up by local name (any
+    namespace with matching local part when [uri] is omitted). *)
+let attribute ?uri el aname =
+  let matches q =
+    String.equal q.local aname
+    && match uri with None -> true | Some u -> String.equal q.uri u
+  in
+  let rec find = function
+    | [] -> None
+    | a :: rest -> (
+        match a.kind with
+        | Attribute (q, v) when matches q -> Some v
+        | _ -> find rest)
+  in
+  find el.attributes
+
+(** [reindex root] stamps the subtree under [root] (attributes included) with
+    consecutive document-order ordinals. *)
+let reindex root =
+  let counter = ref 0 in
+  let next () =
+    incr counter;
+    !counter
+  in
+  let rec go n =
+    n.order <- next ();
+    List.iter (fun a -> a.order <- next ()) n.attributes;
+    List.iter go n.children
+  in
+  go root
+
+(** [root_of n] walks parent links to the top of the tree containing [n]. *)
+let rec root_of n = match n.parent with None -> n | Some p -> root_of p
+
+(** Document-order comparison.  Falls back to structural path comparison when
+    ordinal stamps are absent or the nodes live in different trees. *)
+let compare_order a b =
+  if a == b then 0
+  else if a.order <> 0 && b.order <> 0 && root_of a == root_of b then
+    compare a.order b.order
+  else
+    (* path-based: position of each ancestor among its siblings *)
+    let rec path n acc =
+      match n.parent with
+      | None -> acc
+      | Some p ->
+          let rec idx i = function
+            | [] ->
+                (* attribute nodes: order after the element itself *)
+                let rec aidx i = function
+                  | [] -> -1
+                  | x :: rest -> if x == n then i else aidx (i + 1) rest
+                in
+                1000000 + aidx 0 p.attributes
+            | x :: rest -> if x == n then i else idx (i + 1) rest
+          in
+          path p (idx 0 p.children :: acc)
+    in
+    compare (path a []) (path b [])
+
+(** [descendants n] is the list of all descendant nodes (not self),
+    in document order, excluding attributes. *)
+let descendants n =
+  let rec go acc m = List.fold_left (fun acc c -> go (c :: acc) c) acc m.children in
+  List.rev (go [] n)
+
+(** [deep_copy n] clones the subtree rooted at [n]; the copy is parentless. *)
+let rec deep_copy n =
+  let copy = make n.kind in
+  copy.attributes <-
+    List.map
+      (fun a ->
+        let a' = make a.kind in
+        a'.parent <- Some copy;
+        a')
+      n.attributes;
+  copy.children <-
+    List.map
+      (fun c ->
+        let c' = deep_copy c in
+        c'.parent <- Some copy;
+        c')
+      n.children;
+  copy
+
+(** [deep_equal a b] compares two subtrees structurally (kind, name, value,
+    attributes as sets by name, children in order). *)
+let rec deep_equal a b =
+  let attr_list n =
+    List.filter_map
+      (fun x -> match x.kind with Attribute (q, v) -> Some ((q.uri, q.local), v) | _ -> None)
+      n.attributes
+    |> List.sort compare
+  in
+  let kind_eq =
+    match (a.kind, b.kind) with
+    | Document, Document -> true
+    | Element qa, Element qb -> qname_equal qa qb
+    | Attribute (qa, va), Attribute (qb, vb) -> qname_equal qa qb && String.equal va vb
+    | Text sa, Text sb | Comment sa, Comment sb -> String.equal sa sb
+    | Pi (ta, da), Pi (tb, db) -> String.equal ta tb && String.equal da db
+    | _ -> false
+  in
+  kind_eq
+  && attr_list a = attr_list b
+  && List.length a.children = List.length b.children
+  && List.for_all2 deep_equal a.children b.children

@@ -1,0 +1,89 @@
+(** Core XML node model: a single mutable record for every node kind, with
+    parent pointers and per-tree document-order stamps.
+
+    Names are namespace-expanded {!qname}s; [prefix] is kept only for
+    serialization fidelity, equality uses [(uri, local)]. *)
+
+type qname = {
+  prefix : string;  (** original prefix, "" if none; serialization only *)
+  uri : string;  (** namespace URI, "" if unqualified *)
+  local : string;
+}
+
+val xsl_uri : string
+val xml_uri : string
+val xmlns_uri : string
+val xdb_uri : string
+
+val qname : ?prefix:string -> ?uri:string -> string -> qname
+val qname_equal : qname -> qname -> bool
+val string_of_qname : qname -> string
+
+type node_kind =
+  | Document
+  | Element of qname
+  | Attribute of qname * string
+  | Text of string
+  | Comment of string
+  | Pi of string * string  (** target, data *)
+
+type node = {
+  mutable kind : node_kind;
+  mutable parent : node option;
+  mutable children : node list;  (** child nodes in document order *)
+  mutable attributes : node list;  (** attribute nodes (elements only) *)
+  mutable order : int;  (** document-order stamp; see {!reindex} *)
+}
+
+val make : node_kind -> node
+(** Fresh parentless node. *)
+
+val is_element : node -> bool
+val is_text : node -> bool
+val is_attribute : node -> bool
+val is_document : node -> bool
+
+val name : node -> qname option
+(** Expanded name of an element or attribute node. *)
+
+val local_name : node -> string
+(** Local part ("" for unnamed kinds — the XPath [local-name()] rule). *)
+
+val string_value : node -> string
+(** XPath string-value: concatenated descendant text for documents and
+    elements; the literal value otherwise. *)
+
+val append_child : node -> node -> unit
+(** O(existing children); prefer {!set_children} in bulk construction. *)
+
+val set_children : node -> node list -> unit
+(** Replace all children, setting parent links. *)
+
+val add_attribute : node -> node -> unit
+(** Attach an attribute node, replacing one with the same expanded name.
+    @raise Invalid_argument when the node is not an attribute. *)
+
+val attribute : ?uri:string -> node -> string -> string option
+(** Attribute value by local name (restricted to [uri] when given). *)
+
+val reindex : node -> unit
+(** Stamp the subtree (attributes included) with consecutive document-order
+    ordinals; enables O(1) {!compare_order}. *)
+
+val root_of : node -> node
+(** Walk parent links to the top of the tree. *)
+
+val compare_order : node -> node -> int
+(** Document-order comparison.  Uses ordinal stamps when available, falls
+    back to structural path comparison otherwise; 0 only for the same
+    physical node. *)
+
+val descendants : node -> node list
+(** All descendants (not self), document order, attributes excluded. *)
+
+val deep_copy : node -> node
+(** Clone a subtree; the copy is parentless. *)
+
+val deep_equal : node -> node -> bool
+(** Structural comparison: kind, name, value, attribute sets, ordered
+    children. *)

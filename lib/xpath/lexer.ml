@@ -1,0 +1,204 @@
+(** XPath 1.0 lexer.
+
+    Implements the disambiguation rules of XPath 1.0 §3.7: [*] is the
+    multiply operator when preceded by an operand token; a name followed by
+    [(] is a function name (or node-type test); a name followed by [::] is an
+    axis name; keyword operators ([and], [or], [div], [mod]) are recognised
+    only in operator position. *)
+
+exception Lex_error of string
+
+type token =
+  | Tname of string  (** NCName or QName, colon included *)
+  | Tnumber of float
+  | Tliteral of string
+  | Tvar of string
+  | Tlparen
+  | Trparen
+  | Tlbracket
+  | Trbracket
+  | Tdot
+  | Tdotdot
+  | Tat
+  | Tcomma
+  | Tcoloncolon
+  | Tslash
+  | Tslashslash
+  | Tpipe
+  | Tplus
+  | Tminus
+  | Teq
+  | Tneq
+  | Tlt
+  | Tleq
+  | Tgt
+  | Tgeq
+  | Tstar
+  | Tand
+  | Tor
+  | Tdiv
+  | Tmod
+  | Teof
+
+let token_name = function
+  | Tname s -> Printf.sprintf "name %S" s
+  | Tnumber f -> Printf.sprintf "number %g" f
+  | Tliteral s -> Printf.sprintf "literal %S" s
+  | Tvar v -> Printf.sprintf "variable $%s" v
+  | Tlparen -> "'('"
+  | Trparen -> "')'"
+  | Tlbracket -> "'['"
+  | Trbracket -> "']'"
+  | Tdot -> "'.'"
+  | Tdotdot -> "'..'"
+  | Tat -> "'@'"
+  | Tcomma -> "','"
+  | Tcoloncolon -> "'::'"
+  | Tslash -> "'/'"
+  | Tslashslash -> "'//'"
+  | Tpipe -> "'|'"
+  | Tplus -> "'+'"
+  | Tminus -> "'-'"
+  | Teq -> "'='"
+  | Tneq -> "'!='"
+  | Tlt -> "'<'"
+  | Tleq -> "'<='"
+  | Tgt -> "'>'"
+  | Tgeq -> "'>='"
+  | Tstar -> "'*'"
+  | Tand -> "'and'"
+  | Tor -> "'or'"
+  | Tdiv -> "'div'"
+  | Tmod -> "'mod'"
+  | Teof -> "end of input"
+
+let is_name_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' -> true
+  | c -> Char.code c >= 0x80
+
+let is_name_char c =
+  is_name_start c || match c with '0' .. '9' | '-' | '.' -> true | _ -> false
+
+let is_digit = function '0' .. '9' -> true | _ -> false
+
+(** A token after which [*] and the keyword operators are *operators*
+    (XPath 1.0 §3.7: any token that can end an operand). *)
+let ends_operand = function
+  | Tname _ | Tnumber _ | Tliteral _ | Tvar _ | Trparen | Trbracket | Tdot | Tdotdot | Tstar ->
+      true
+  | _ -> false
+
+let tokenize input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let toks = ref [] in
+  let prev () = match !toks with [] -> None | t :: _ -> Some t in
+  let push t = toks := t :: !toks in
+  while !pos < n do
+    let c = input.[!pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    else if is_digit c || (c = '.' && !pos + 1 < n && is_digit input.[!pos + 1]) then (
+      (* Number ::= Digits ('.' Digits?)? | '.' Digits — at most one dot *)
+      let start = !pos in
+      let seen_dot = ref false in
+      while
+        !pos < n
+        && (is_digit input.[!pos] || (input.[!pos] = '.' && not !seen_dot))
+      do
+        if input.[!pos] = '.' then seen_dot := true;
+        incr pos
+      done;
+      let text = String.sub input start (!pos - start) in
+      match float_of_string_opt text with
+      | Some f -> push (Tnumber f)
+      | None -> raise (Lex_error (Printf.sprintf "malformed number %S" text)))
+    else if c = '"' || c = '\'' then (
+      let quote = c in
+      incr pos;
+      let start = !pos in
+      while !pos < n && input.[!pos] <> quote do
+        incr pos
+      done;
+      if !pos >= n then raise (Lex_error "unterminated string literal");
+      push (Tliteral (String.sub input start (!pos - start)));
+      incr pos)
+    else if c = '$' then (
+      incr pos;
+      let start = !pos in
+      while !pos < n && (is_name_char input.[!pos] || input.[!pos] = ':') do
+        incr pos
+      done;
+      if !pos = start then raise (Lex_error "expected variable name after '$'");
+      push (Tvar (String.sub input start (!pos - start))))
+    else if is_name_start c then (
+      let start = !pos in
+      while !pos < n && is_name_char input.[!pos] do
+        incr pos
+      done;
+      (* QName: allow one ':' not followed by ':' *)
+      if !pos < n && input.[!pos] = ':' && !pos + 1 < n && input.[!pos + 1] <> ':'
+         && is_name_start input.[!pos + 1] then (
+        incr pos;
+        while !pos < n && is_name_char input.[!pos] do
+          incr pos
+        done)
+      else if !pos + 1 < n && input.[!pos] = ':' && input.[!pos + 1] = '*' then
+        (* prefix wildcard: p:* *)
+        pos := !pos + 2;
+      let word = String.sub input start (!pos - start) in
+      let tok =
+        if match prev () with Some t -> ends_operand t | None -> false then
+          match word with
+          | "and" -> Tand
+          | "or" -> Tor
+          | "div" -> Tdiv
+          | "mod" -> Tmod
+          | _ -> Tname word
+        else Tname word
+      in
+      push tok)
+    else (
+      let two = if !pos + 1 < n then String.sub input !pos 2 else "" in
+      match two with
+      | "//" ->
+          push Tslashslash;
+          pos := !pos + 2
+      | "::" ->
+          push Tcoloncolon;
+          pos := !pos + 2
+      | "!=" ->
+          push Tneq;
+          pos := !pos + 2
+      | "<=" ->
+          push Tleq;
+          pos := !pos + 2
+      | ">=" ->
+          push Tgeq;
+          pos := !pos + 2
+      | ".." ->
+          push Tdotdot;
+          pos := !pos + 2
+      | _ -> (
+          incr pos;
+          match c with
+          | '(' -> push Tlparen
+          | ')' -> push Trparen
+          | '[' -> push Tlbracket
+          | ']' -> push Trbracket
+          | '.' -> push Tdot
+          | '@' -> push Tat
+          | ',' -> push Tcomma
+          | '/' -> push Tslash
+          | '|' -> push Tpipe
+          | '+' -> push Tplus
+          | '-' -> push Tminus
+          | '=' -> push Teq
+          | '<' -> push Tlt
+          | '>' -> push Tgt
+          | '*' ->
+              (* operator vs name-test star, §3.7 *)
+              push (if match prev () with Some t -> ends_operand t | None -> false then Tstar
+                    else Tname "*")
+          | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c))))
+  done;
+  List.rev (Teof :: !toks)

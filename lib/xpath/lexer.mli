@@ -1,0 +1,44 @@
+(** XPath 1.0 lexer with the §3.7 disambiguation rules: [*] is the multiply
+    operator only in operand position; [and]/[or]/[div]/[mod] are operators
+    only in operand position; a name before [(] is a function name, before
+    [::] an axis name. *)
+
+exception Lex_error of string
+
+type token =
+  | Tname of string  (** NCName/QName; also ["*"] and ["p:*"] name tests *)
+  | Tnumber of float
+  | Tliteral of string
+  | Tvar of string
+  | Tlparen
+  | Trparen
+  | Tlbracket
+  | Trbracket
+  | Tdot
+  | Tdotdot
+  | Tat
+  | Tcomma
+  | Tcoloncolon
+  | Tslash
+  | Tslashslash
+  | Tpipe
+  | Tplus
+  | Tminus
+  | Teq
+  | Tneq
+  | Tlt
+  | Tleq
+  | Tgt
+  | Tgeq
+  | Tstar  (** multiplication *)
+  | Tand
+  | Tor
+  | Tdiv
+  | Tmod
+  | Teof
+
+val token_name : token -> string
+
+val tokenize : string -> token list
+(** Always ends with {!Teof}.  @raise Lex_error on illegal characters or
+    unterminated literals. *)

@@ -1,0 +1,328 @@
+(** Recursive-descent parser for XPath 1.0 expressions.
+
+    Grammar follows the W3C XPath 1.0 recommendation; precedence from
+    loosest to tightest: [or], [and], equality, relational, additive,
+    multiplicative, unary minus, union, path. *)
+
+open Ast
+
+exception Parse_error of string
+
+type stream = { mutable toks : Lexer.token list }
+
+let peek st = match st.toks with [] -> Lexer.Teof | t :: _ -> t
+
+let peek2 st = match st.toks with _ :: t :: _ -> t | _ -> Lexer.Teof
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    raise
+      (Parse_error
+         (Printf.sprintf "expected %s but found %s" (Lexer.token_name tok)
+            (Lexer.token_name (peek st))))
+
+let axis_of_name = function
+  | "child" -> Some Child
+  | "descendant" -> Some Descendant
+  | "parent" -> Some Parent
+  | "ancestor" -> Some Ancestor
+  | "following-sibling" -> Some Following_sibling
+  | "preceding-sibling" -> Some Preceding_sibling
+  | "following" -> Some Following
+  | "preceding" -> Some Preceding
+  | "attribute" -> Some Attribute
+  | "namespace" -> Some Namespace
+  | "self" -> Some Self
+  | "descendant-or-self" -> Some Descendant_or_self
+  | "ancestor-or-self" -> Some Ancestor_or_self
+  | _ -> None
+
+let node_type_of_name = function
+  | "node" -> Some Any_node
+  | "text" -> Some Text_node
+  | "comment" -> Some Comment_node
+  | "processing-instruction" -> Some (Pi_node None)
+  | _ -> None
+
+let split_qname name =
+  match String.index_opt name ':' with
+  | None -> (None, name)
+  | Some i -> (Some (String.sub name 0 i), String.sub name (i + 1) (String.length name - i - 1))
+
+(* A token that can begin a step. *)
+let starts_step = function
+  | Lexer.Tname _ | Lexer.Tat | Lexer.Tdot | Lexer.Tdotdot | Lexer.Tstar -> true
+  | _ -> false
+
+let rec parse_or st =
+  let lhs = parse_and st in
+  if peek st = Lexer.Tor then (
+    advance st;
+    Binop (Or, lhs, parse_or st))
+  else lhs
+
+and parse_and st =
+  let lhs = parse_equality st in
+  if peek st = Lexer.Tand then (
+    advance st;
+    Binop (And, lhs, parse_and st))
+  else lhs
+
+and parse_equality st =
+  let lhs = parse_relational st in
+  let rec loop lhs =
+    match peek st with
+    | Lexer.Teq ->
+        advance st;
+        loop (Binop (Eq, lhs, parse_relational st))
+    | Lexer.Tneq ->
+        advance st;
+        loop (Binop (Neq, lhs, parse_relational st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_relational st =
+  let lhs = parse_additive st in
+  let rec loop lhs =
+    match peek st with
+    | Lexer.Tlt ->
+        advance st;
+        loop (Binop (Lt, lhs, parse_additive st))
+    | Lexer.Tleq ->
+        advance st;
+        loop (Binop (Leq, lhs, parse_additive st))
+    | Lexer.Tgt ->
+        advance st;
+        loop (Binop (Gt, lhs, parse_additive st))
+    | Lexer.Tgeq ->
+        advance st;
+        loop (Binop (Geq, lhs, parse_additive st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_additive st =
+  let lhs = parse_multiplicative st in
+  let rec loop lhs =
+    match peek st with
+    | Lexer.Tplus ->
+        advance st;
+        loop (Binop (Plus, lhs, parse_multiplicative st))
+    | Lexer.Tminus ->
+        advance st;
+        loop (Binop (Minus, lhs, parse_multiplicative st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_multiplicative st =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    match peek st with
+    | Lexer.Tstar ->
+        advance st;
+        loop (Binop (Mul, lhs, parse_unary st))
+    | Lexer.Tdiv ->
+        advance st;
+        loop (Binop (Div, lhs, parse_unary st))
+    | Lexer.Tmod ->
+        advance st;
+        loop (Binop (Mod, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  if peek st = Lexer.Tminus then (
+    advance st;
+    Neg (parse_unary st))
+  else parse_union st
+
+and parse_union st =
+  let lhs = parse_path_expr st in
+  if peek st = Lexer.Tpipe then (
+    advance st;
+    Binop (Union, lhs, parse_union st))
+  else lhs
+
+(* PathExpr ::= LocationPath | FilterExpr (('/'|'//') RelativeLocationPath)? *)
+and parse_path_expr st =
+  match peek st with
+  | Lexer.Tslash | Lexer.Tslashslash -> Path (parse_location_path st)
+  | Lexer.Tname name when node_type_of_name (snd (split_qname name)) <> None
+                          && peek2 st = Lexer.Tlparen ->
+      (* node-type test starts a relative location path, not a function call *)
+      Path (parse_location_path st)
+  | Lexer.Tname name when peek2 st = Lexer.Tlparen -> parse_filter_expr st name
+  | Lexer.Tname _ | Lexer.Tat | Lexer.Tdot | Lexer.Tdotdot -> Path (parse_location_path st)
+  | Lexer.Tvar _ | Lexer.Tliteral _ | Lexer.Tnumber _ | Lexer.Tlparen ->
+      parse_filter_with_primary st
+  | t -> raise (Parse_error ("unexpected token " ^ Lexer.token_name t))
+
+and parse_filter_expr st _fname =
+  (* function call possibly followed by predicates and a path *)
+  parse_filter_with_primary st
+
+and parse_filter_with_primary st =
+  let primary = parse_primary st in
+  let preds = parse_predicates st in
+  let steps =
+    match peek st with
+    | Lexer.Tslash ->
+        advance st;
+        parse_relative_steps st
+    | Lexer.Tslashslash ->
+        advance st;
+        { axis = Descendant_or_self; test = Node_type_test Any_node; predicates = [] }
+        :: parse_relative_steps st
+    | _ -> []
+  in
+  match (primary, preds, steps) with
+  | e, [], [] -> e
+  | e, preds, steps -> Filter (e, preds, steps)
+
+and parse_primary st =
+  match peek st with
+  | Lexer.Tvar v ->
+      advance st;
+      Var v
+  | Lexer.Tliteral s ->
+      advance st;
+      Literal s
+  | Lexer.Tnumber f ->
+      advance st;
+      Number f
+  | Lexer.Tlparen ->
+      advance st;
+      let e = parse_or st in
+      expect st Lexer.Trparen;
+      e
+  | Lexer.Tname fname when peek2 st = Lexer.Tlparen ->
+      advance st;
+      advance st;
+      let args =
+        if peek st = Lexer.Trparen then []
+        else
+          let rec loop acc =
+            let e = parse_or st in
+            if peek st = Lexer.Tcomma then (
+              advance st;
+              loop (e :: acc))
+            else List.rev (e :: acc)
+          in
+          loop []
+      in
+      expect st Lexer.Trparen;
+      Call (fname, args)
+  | t -> raise (Parse_error ("unexpected token in primary expression: " ^ Lexer.token_name t))
+
+and parse_predicates st =
+  let rec loop acc =
+    if peek st = Lexer.Tlbracket then (
+      advance st;
+      let e = parse_or st in
+      expect st Lexer.Trbracket;
+      loop (e :: acc))
+    else List.rev acc
+  in
+  loop []
+
+and parse_location_path st =
+  match peek st with
+  | Lexer.Tslash ->
+      advance st;
+      if starts_step (peek st) then { absolute = true; steps = parse_relative_steps st }
+      else { absolute = true; steps = [] }
+  | Lexer.Tslashslash ->
+      advance st;
+      let steps =
+        { axis = Descendant_or_self; test = Node_type_test Any_node; predicates = [] }
+        :: parse_relative_steps st
+      in
+      { absolute = true; steps }
+  | _ -> { absolute = false; steps = parse_relative_steps st }
+
+and parse_relative_steps st =
+  let step = parse_step st in
+  match peek st with
+  | Lexer.Tslash ->
+      advance st;
+      step :: parse_relative_steps st
+  | Lexer.Tslashslash ->
+      advance st;
+      step
+      :: { axis = Descendant_or_self; test = Node_type_test Any_node; predicates = [] }
+      :: parse_relative_steps st
+  | _ -> [ step ]
+
+and parse_step st =
+  match peek st with
+  | Lexer.Tdot ->
+      advance st;
+      { axis = Self; test = Node_type_test Any_node; predicates = [] }
+  | Lexer.Tdotdot ->
+      advance st;
+      { axis = Parent; test = Node_type_test Any_node; predicates = [] }
+  | Lexer.Tat ->
+      advance st;
+      let test = parse_node_test st in
+      let predicates = parse_predicates st in
+      { axis = Attribute; test; predicates }
+  | Lexer.Tname name when peek2 st = Lexer.Tcoloncolon -> (
+      match axis_of_name name with
+      | Some axis ->
+          advance st;
+          advance st;
+          let test = parse_node_test st in
+          let predicates = parse_predicates st in
+          { axis; test; predicates }
+      | None -> raise (Parse_error (Printf.sprintf "unknown axis %S" name)))
+  | _ ->
+      let test = parse_node_test st in
+      let predicates = parse_predicates st in
+      { axis = Child; test; predicates }
+
+and parse_node_test st =
+  match peek st with
+  | Lexer.Tname "*" ->
+      advance st;
+      Star
+  | Lexer.Tname name when peek2 st = Lexer.Tlparen -> (
+      let _, local = split_qname name in
+      match node_type_of_name local with
+      | Some nt ->
+          advance st;
+          advance st;
+          let nt =
+            match (nt, peek st) with
+            | Pi_node None, Lexer.Tliteral target ->
+                advance st;
+                Pi_node (Some target)
+            | _ -> nt
+          in
+          expect st Lexer.Trparen;
+          Node_type_test nt
+      | None -> raise (Parse_error (Printf.sprintf "unknown node type %S" name)))
+  | Lexer.Tname name ->
+      advance st;
+      if String.length name > 2 && String.sub name (String.length name - 2) 2 = ":*" then
+        Prefix_star (String.sub name 0 (String.length name - 2))
+      else
+        let p, l = split_qname name in
+        Name_test (p, l)
+  | t -> raise (Parse_error ("expected a node test, found " ^ Lexer.token_name t))
+
+(** [parse s] parses a complete XPath 1.0 expression. *)
+let parse s =
+  let st = { toks = Lexer.tokenize s } in
+  let e = parse_or st in
+  (match peek st with
+  | Lexer.Teof -> ()
+  | t ->
+      raise
+        (Parse_error (Printf.sprintf "trailing tokens after expression: %s" (Lexer.token_name t))));
+  e

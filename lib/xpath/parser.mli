@@ -1,0 +1,12 @@
+(** Recursive-descent parser for XPath 1.0 expressions (W3C grammar;
+    precedence from loosest to tightest: or, and, equality, relational,
+    additive, multiplicative, unary minus, union, path). *)
+
+exception Parse_error of string
+
+val axis_of_name : string -> Ast.axis option
+(** Axis by its XPath name ("child", "ancestor-or-self", …). *)
+
+val parse : string -> Ast.expr
+(** Parse a complete expression.
+    @raise Parse_error (or {!Lexer.Lex_error}) on malformed input. *)

@@ -1,0 +1,123 @@
+(** XPath 1.0 value model and type conversions (XPath 1.0 §3.2, §4). *)
+
+module T = Xdb_xml.Types
+
+type t =
+  | Nodes of T.node list  (** node-set in document order, duplicates removed *)
+  | Bool of bool
+  | Num of float
+  | Str of string
+
+let type_name = function
+  | Nodes _ -> "node-set"
+  | Bool _ -> "boolean"
+  | Num _ -> "number"
+  | Str _ -> "string"
+
+(** Document-order sort + physical dedup of a node list. *)
+let sort_nodes nodes =
+  let sorted = List.stable_sort T.compare_order nodes in
+  let rec dedup = function
+    | a :: (b :: _ as rest) when a == b -> dedup rest
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  dedup sorted
+
+let nodes ns = Nodes (sort_nodes ns)
+
+(** XPath number→string conversion: integers print without a decimal point,
+    [NaN] prints as "NaN", infinities as "Infinity"/"-Infinity". *)
+let string_of_number f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "Infinity"
+  else if f = Float.neg_infinity then "-Infinity"
+  else if Float.is_integer f && Float.abs f < 1e16 then
+    Printf.sprintf "%.0f" f
+  else
+    (* shortest representation that round-trips *)
+    let s = Printf.sprintf "%.12g" f in
+    s
+
+let number_of_string s =
+  let s = String.trim s in
+  if s = "" then Float.nan
+  else
+    match float_of_string_opt s with
+    | Some f -> f
+    | None -> Float.nan
+
+(** [string_value v] — the XPath [string()] conversion. *)
+let string_value = function
+  | Str s -> s
+  | Num f -> string_of_number f
+  | Bool b -> if b then "true" else "false"
+  | Nodes [] -> ""
+  | Nodes (n :: _) -> T.string_value n
+
+(** [number_value v] — the XPath [number()] conversion. *)
+let number_value = function
+  | Num f -> f
+  | Str s -> number_of_string s
+  | Bool b -> if b then 1.0 else 0.0
+  | Nodes _ as v -> number_of_string (string_value v)
+
+(** [boolean_value v] — the XPath [boolean()] conversion. *)
+let boolean_value = function
+  | Bool b -> b
+  | Num f -> f <> 0.0 && not (Float.is_nan f)
+  | Str s -> String.length s > 0
+  | Nodes ns -> ns <> []
+
+let node_set = function
+  | Nodes ns -> ns
+  | v -> invalid_arg (Printf.sprintf "expected a node-set, got a %s" (type_name v))
+
+(** XPath 1.0 §3.4 comparison semantics, handling node-set operands by
+    existential quantification. *)
+let compare_values op a b =
+  let num_cmp op x y =
+    match op with
+    | `Eq -> x = y
+    | `Neq -> x <> y
+    | `Lt -> x < y
+    | `Leq -> x <= y
+    | `Gt -> x > y
+    | `Geq -> x >= y
+  in
+  let str_cmp op (x : string) (y : string) =
+    match op with
+    | `Eq -> String.equal x y
+    | `Neq -> not (String.equal x y)
+    | `Lt | `Leq | `Gt | `Geq ->
+        (* relational operators always compare as numbers *)
+        num_cmp op (number_of_string x) (number_of_string y)
+  in
+  let flip = function
+    | `Lt -> `Gt
+    | `Leq -> `Geq
+    | `Gt -> `Lt
+    | `Geq -> `Leq
+    | (`Eq | `Neq) as e -> e
+  in
+  (* one node-set operand vs a primitive; [op] oriented node-set-first *)
+  let one_side op ns other =
+    match other with
+    | Num f -> List.exists (fun n -> num_cmp op (number_of_string (T.string_value n)) f) ns
+    | Str s -> List.exists (fun n -> str_cmp op (T.string_value n) s) ns
+    | Bool b -> num_cmp op (if ns <> [] then 1.0 else 0.0) (if b then 1.0 else 0.0)
+    | Nodes _ -> assert false
+  in
+  match (a, b) with
+  | Nodes ns1, Nodes ns2 ->
+      List.exists
+        (fun n1 ->
+          let s1 = T.string_value n1 in
+          List.exists (fun n2 -> str_cmp op s1 (T.string_value n2)) ns2)
+        ns1
+  | Nodes ns, other -> one_side op ns other
+  | other, Nodes ns -> one_side (flip op) ns other
+  | Bool _, _ | _, Bool _ ->
+      num_cmp op (if boolean_value a then 1. else 0.) (if boolean_value b then 1. else 0.)
+  | Num _, _ | _, Num _ -> num_cmp op (number_value a) (number_value b)
+  | Str s1, Str s2 -> str_cmp op s1 s2

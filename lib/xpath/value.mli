@@ -1,0 +1,37 @@
+(** XPath 1.0 value model and type conversions (XPath 1.0 §3.2, §4). *)
+
+type t =
+  | Nodes of Xdb_xml.Types.node list
+      (** node-set in document order, duplicates removed *)
+  | Bool of bool
+  | Num of float
+  | Str of string
+
+val type_name : t -> string
+
+val sort_nodes : Xdb_xml.Types.node list -> Xdb_xml.Types.node list
+(** Document-order sort + physical deduplication. *)
+
+val nodes : Xdb_xml.Types.node list -> t
+(** Node-set constructor ({!sort_nodes} applied). *)
+
+val string_of_number : float -> string
+(** XPath number→string: integers bare, NaN/Infinity spelled out. *)
+
+val number_of_string : string -> float
+(** XPath string→number: trimmed; NaN on failure. *)
+
+val string_value : t -> string
+(** The [string()] conversion (first node's string-value for node-sets). *)
+
+val number_value : t -> float
+(** The [number()] conversion. *)
+
+val boolean_value : t -> bool
+(** The [boolean()] conversion. *)
+
+val node_set : t -> Xdb_xml.Types.node list
+(** @raise Invalid_argument when the value is not a node-set. *)
+
+val compare_values : [ `Eq | `Neq | `Lt | `Leq | `Gt | `Geq ] -> t -> t -> bool
+(** XPath 1.0 §3.4 comparison semantics, existential over node-sets. *)

@@ -1,0 +1,191 @@
+(** Static composition of an XQuery path over the result of another XQuery
+    (paper §2.2, Example 2: an [XMLQuery] over an XSLT view).
+
+    [navigate prog steps] pushes child steps through the constructor tree of
+    [prog]'s body without materialising the intermediate result: selecting
+    [table/tr] over a query that builds [<table>…{for … return <tr>…}…</table>]
+    yields just the [for … return <tr>…] part, wrapped in whatever FLWOR
+    scaffolding it needs.  Where navigation cannot be decided statically the
+    residual step is applied dynamically (still correct, no longer
+    "combined-optimal").
+
+    A {!val:simplify} pass then drops empty branches and unused [let]s so
+    the composed query matches the shape of paper Table 11's input. *)
+
+open Ast
+module XP = Xdb_xpath.Ast
+
+let name_test_matches test name =
+  match test with
+  | XP.Name_test (_, local) -> String.equal local name
+  | XP.Star | XP.Prefix_star _ -> true
+  | XP.Node_type_test XP.Any_node -> true
+  | XP.Node_type_test _ -> false
+
+(* top-level items of [e] matching [test] *)
+let rec select_top test e =
+  match e with
+  | Direct_elem (name, _, _) -> if name_test_matches test name then e else Seq []
+  | Comp_elem (Literal (Str name), _) -> if name_test_matches test name then e else Seq []
+  | Literal _ | Comp_text _ -> (
+      match test with XP.Node_type_test (XP.Text_node | XP.Any_node) -> e | _ -> Seq [])
+  | Comp_comment _ -> (
+      match test with XP.Node_type_test (XP.Comment_node | XP.Any_node) -> e | _ -> Seq [])
+  | Comp_attr _ -> Seq []
+  | Seq es -> Seq (List.map (select_top test) es)
+  | Flwor (cl, ret) -> Flwor (cl, select_top test ret)
+  | If (c, t, f) -> If (c, select_top test t, select_top test f)
+  | e ->
+      (* dynamic fallback: keep only items matching the test *)
+      Path (e, [ { XP.axis = XP.Self; test; predicates = [] } ])
+
+(* children of the element(s) denoted by [e] matching [test] *)
+let rec select_children test e =
+  match e with
+  | Direct_elem (_, _, content) -> Seq (List.map (select_top test) content)
+  | Comp_elem (Literal (Str _), content) -> select_top test content
+  | Seq es -> Seq (List.map (select_children test) es)
+  | Flwor (cl, ret) -> Flwor (cl, select_children test ret)
+  | If (c, t, f) -> If (c, select_children test t, select_children test f)
+  | Literal _ | Comp_text _ | Comp_comment _ | Comp_attr _ -> Seq []
+  | e -> Path (e, [ { XP.axis = XP.Child; test; predicates = [] } ])
+
+module SS = Set.Make (String)
+
+(** Free variables of an expression. *)
+let free_vars e =
+  let rec go bound acc = function
+    | Var v -> if SS.mem v bound then acc else SS.add v acc
+    | Seq es -> List.fold_left (go bound) acc es
+    | Flwor (clauses, ret) ->
+        let bound, acc =
+          List.fold_left
+            (fun (bound, acc) c ->
+              match c with
+              | Let { var; value } -> (SS.add var bound, go bound acc value)
+              | For { var; pos_var; source } ->
+                  let acc = go bound acc source in
+                  let bound = SS.add var bound in
+                  let bound = match pos_var with Some p -> SS.add p bound | None -> bound in
+                  (bound, acc)
+              | Where e -> (bound, go bound acc e)
+              | Order_by keys -> (bound, List.fold_left (fun a (e, _) -> go bound a e) acc keys))
+            (bound, acc) clauses
+        in
+        go bound acc ret
+    | If (c, t, f) -> go bound (go bound (go bound acc c) t) f
+    | Literal _ | Context_item | Root -> acc
+    | Fn_call (_, args) | User_call (_, args) -> List.fold_left (go bound) acc args
+    | Path (b, steps) ->
+        let acc = go bound acc b in
+        (* predicates may reference variables *)
+        let rec xp_vars acc = function
+          | XP.Var v -> if SS.mem v bound then acc else SS.add v acc
+          | XP.Binop (_, a, b) -> xp_vars (xp_vars acc a) b
+          | XP.Neg e -> xp_vars acc e
+          | XP.Call (_, args) -> List.fold_left xp_vars acc args
+          | XP.Literal _ | XP.Number _ -> acc
+          | XP.Path p -> List.fold_left step_vars acc p.XP.steps
+          | XP.Filter (e, preds, steps) ->
+              let acc = xp_vars acc e in
+              let acc = List.fold_left xp_vars acc preds in
+              List.fold_left step_vars acc steps
+        and step_vars acc (s : XP.step) = List.fold_left xp_vars acc s.XP.predicates in
+        List.fold_left step_vars acc steps
+    | Direct_elem (_, attrs, content) ->
+        let acc =
+          List.fold_left
+            (fun acc (_, ps) ->
+              List.fold_left
+                (fun acc p -> match p with Attr_expr e -> go bound acc e | Attr_str _ -> acc)
+                acc ps)
+            acc attrs
+        in
+        List.fold_left (go bound) acc content
+    | Comp_elem (n, c) -> go bound (go bound acc n) c
+    | Comp_attr (_, e) | Comp_text e | Comp_comment e | Neg e -> go bound acc e
+    | Binop (_, a, b) -> go bound (go bound acc a) b
+    | Instance_of (e, _) -> go bound acc e
+    | Quantified { var; source; satisfies; _ } ->
+        let acc = go bound acc source in
+        go (SS.add var bound) acc satisfies
+  in
+  go SS.empty SS.empty e
+
+(** Simplification: flatten/drop empty sequences, collapse trivial FLWORs,
+    drop [let]s whose variable is never used. *)
+let rec simplify e =
+  match e with
+  | Seq es -> (
+      let es =
+        List.concat_map
+          (fun e -> match simplify e with Seq inner -> inner | e -> [ e ])
+          es
+      in
+      match es with [ e ] -> e | es -> Seq es)
+  | Flwor (clauses, ret) -> (
+      let ret = simplify ret in
+      let clauses =
+        List.filter_map
+          (fun c ->
+            match c with
+            | Let { var; value } ->
+                let value = simplify value in
+                let used =
+                  SS.mem var (free_vars ret)
+                  || List.exists
+                       (function
+                         | Let { value = v; _ } -> SS.mem var (free_vars v)
+                         | For { source; _ } -> SS.mem var (free_vars source)
+                         | Where w -> SS.mem var (free_vars w)
+                         | Order_by ks -> List.exists (fun (k, _) -> SS.mem var (free_vars k)) ks)
+                       clauses
+                in
+                if used then Some (Let { var; value }) else None
+            | For f -> Some (For { f with source = simplify f.source })
+            | Where w -> Some (Where (simplify w))
+            | Order_by ks -> Some (Order_by (List.map (fun (k, d) -> (simplify k, d)) ks)))
+          clauses
+      in
+      match (clauses, ret) with
+      | [], ret -> ret
+      | clauses, Seq [] -> (
+          (* a FLWOR returning nothing is nothing — unless a for clause could
+             still have effects; it cannot, the language is pure *)
+          ignore clauses;
+          Seq [])
+      | clauses, ret -> Flwor (clauses, ret))
+  | If (c, t, f) -> (
+      match (simplify t, simplify f) with
+      | Seq [], Seq [] -> Seq []
+      | t, f -> If (simplify c, t, f))
+  | Path (b, steps) -> Path (simplify b, steps)
+  | Direct_elem (n, attrs, content) -> Direct_elem (n, attrs, List.map simplify content)
+  | Comp_elem (n, c) -> Comp_elem (simplify n, simplify c)
+  | Comp_attr (n, e) -> Comp_attr (n, simplify e)
+  | Comp_text e -> Comp_text (simplify e)
+  | Comp_comment e -> Comp_comment (simplify e)
+  | Binop (op, a, b) -> Binop (op, simplify a, simplify b)
+  | Neg e -> Neg (simplify e)
+  | Instance_of (e, t) -> Instance_of (simplify e, t)
+  | Quantified q ->
+      Quantified { q with source = simplify q.source; satisfies = simplify q.satisfies }
+  | Fn_call (f, args) -> Fn_call (f, List.map simplify args)
+  | User_call (f, args) -> User_call (f, List.map simplify args)
+  | Literal _ | Var _ | Context_item | Root -> e
+
+(** [navigate prog steps] — compose a child-path over [prog]'s result. *)
+let navigate (p : prog) (steps : XP.step list) : prog =
+  let body =
+    List.fold_left
+      (fun acc (i, step) ->
+        match (step.XP.axis, step.XP.predicates) with
+        | XP.Child, [] ->
+            if i = 0 then select_top step.XP.test acc else select_children step.XP.test acc
+        | _ ->
+            (* non-child axis or predicated step: residual dynamic step *)
+            Path (acc, [ step ]))
+      p.body
+      (List.mapi (fun i s -> (i, s)) steps)
+  in
+  { p with body = simplify body }

@@ -1,0 +1,15 @@
+(** Static composition of an XQuery child path over the result of another
+    XQuery (paper §2.2, Example 2): push steps through the constructor
+    tree without materialising the intermediate result. *)
+
+val free_vars : Ast.expr -> Set.Make(String).t
+
+val simplify : Ast.expr -> Ast.expr
+(** Flatten/drop empty sequences, collapse trivial FLWORs, drop unused
+    [let] bindings. *)
+
+val navigate : Ast.prog -> Xdb_xpath.Ast.step list -> Ast.prog
+(** [navigate prog steps] — compose a child path over [prog]'s result.
+    The first step selects among top-level items; later steps select
+    children.  Steps that cannot be decided statically are applied
+    dynamically (still correct, no longer "combined-optimal"). *)

@@ -1,0 +1,37 @@
+(** Dynamic evaluation of the XQuery subset over XML trees.
+
+    Constructed content copies input nodes; adjacent atomic values join
+    with single spaces and become text nodes (XQuery content semantics).
+    Path steps are delegated to the XPath engine with the XQuery variable
+    environment injected. *)
+
+exception Eval_error of string
+
+module Smap : Map.S with type key = string
+
+type env = {
+  vars : Value.t Smap.t;
+  funs : Ast.fundef Smap.t;
+  context : Xdb_xml.Types.node option;  (** the context item if any *)
+  depth : int;  (** recursion guard *)
+}
+
+val empty_env : env
+val env_with_context : Xdb_xml.Types.node -> env
+val bind : env -> string -> Value.t -> env
+
+val content_nodes : Value.t -> Xdb_xml.Types.node list
+(** Sequence → constructed content: nodes deep-copied, adjacent atoms
+    space-joined into text nodes. *)
+
+val eval : env -> Ast.expr -> Value.t
+(** @raise Eval_error on unbound variables, undefined functions, or
+    exceeding the recursion guard. *)
+
+val run : Ast.prog -> context:Xdb_xml.Types.node -> Value.t
+(** Evaluate a full program (prolog declarations then body) against a
+    context node. *)
+
+val run_to_nodes : Ast.prog -> context:Xdb_xml.Types.node -> Xdb_xml.Types.node list
+(** [run] followed by {!content_nodes} — the shape
+    [XMLQuery(... RETURNING CONTENT)] yields. *)

@@ -1,0 +1,932 @@
+(** Parser for the XQuery subset.
+
+    Char-level recursive descent with backtracking at a few decision
+    points.  Handles the grammar the XSLT rewriter emits and the paper's
+    printed queries (Table 8): [declare variable]/[declare function]
+    prologs, FLWOR, conditionals, [instance of] tests, direct constructors
+    with enclosed expressions, computed text/element/attribute
+    constructors, path expressions, and nestable [(: … :)] comments.
+
+    Path steps are built on the shared XPath AST; step predicates are
+    parsed as XQuery expressions and then lowered to XPath via
+    {!val:to_xpath}, which rejects constructs XPath 1.0 cannot express. *)
+
+open Ast
+module XP = Xdb_xpath.Ast
+
+exception Parse_error of string
+
+let err fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+type state = { input : string; mutable pos : int }
+
+let peek_at st k = if st.pos + k < String.length st.input then Some st.input.[st.pos + k] else None
+let peek st = peek_at st 0
+let advance st = st.pos <- st.pos + 1
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.input && String.sub st.input st.pos n = s
+
+let eat st s = if looking_at st s then st.pos <- st.pos + String.length s else err "expected %S" s
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let rec skip_ws st =
+  (match peek st with
+  | Some c when is_space c ->
+      advance st;
+      skip_ws st
+  | _ -> ());
+  if looking_at st "(:" then (
+    (* nestable XQuery comment *)
+    let depth = ref 0 in
+    let continue = ref true in
+    while !continue do
+      if looking_at st "(:" then (
+        incr depth;
+        st.pos <- st.pos + 2)
+      else if looking_at st ":)" then (
+        decr depth;
+        st.pos <- st.pos + 2;
+        if !depth = 0 then continue := false)
+      else if peek st = None then err "unterminated comment"
+      else advance st
+    done;
+    skip_ws st)
+
+let is_name_start = function 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | c -> Char.code c >= 0x80
+let is_name_char c = is_name_start c || (match c with '0' .. '9' | '-' | '.' -> true | _ -> false)
+let is_digit = function '0' .. '9' -> true | _ -> false
+
+let read_name st =
+  (match peek st with
+  | Some c when is_name_start c -> ()
+  | _ -> err "expected a name at offset %d" st.pos);
+  let start = st.pos in
+  while (match peek st with Some c when is_name_char c -> true | _ -> false) do
+    advance st
+  done;
+  String.sub st.input start (st.pos - start)
+
+(* QName possibly with one ':' *)
+let read_qname st =
+  let n1 = read_name st in
+  if peek st = Some ':' && (match peek_at st 1 with Some c -> is_name_start c | None -> false)
+  then (
+    advance st;
+    let n2 = read_name st in
+    n1 ^ ":" ^ n2)
+  else n1
+
+(* does a keyword occur here as a whole word? (no consume) *)
+let at_keyword st kw =
+  looking_at st kw
+  &&
+  match peek_at st (String.length kw) with
+  | Some c -> not (is_name_char c)
+  | None -> true
+
+let eat_keyword st kw = if at_keyword st kw then st.pos <- st.pos + String.length kw else err "expected keyword %S" kw
+
+let read_string_literal st =
+  let quote = match peek st with Some ('"' as q) | Some ('\'' as q) -> q | _ -> err "expected string literal" in
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> err "unterminated string literal"
+    | Some c when c = quote ->
+        advance st;
+        (* doubled quote = escaped quote *)
+        if peek st = Some quote then (
+          Buffer.add_char buf quote;
+          advance st;
+          go ())
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let read_number st =
+  (* at most one decimal point *)
+  let start = st.pos in
+  let seen_dot = ref false in
+  while
+    (match peek st with
+    | Some c when is_digit c -> true
+    | Some '.' when not !seen_dot -> true
+    | _ -> false)
+  do
+    if peek st = Some '.' then seen_dot := true;
+    advance st
+  done;
+  let text = String.sub st.input start (st.pos - start) in
+  match float_of_string_opt text with
+  | Some f -> f
+  | None -> err "malformed number %S" text
+
+(* ------------------------------------------------------------------ *)
+(* XQuery → XPath lowering for step predicates                          *)
+(* ------------------------------------------------------------------ *)
+
+let strip_fn name =
+  if String.length name > 3 && String.sub name 0 3 = "fn:" then
+    String.sub name 3 (String.length name - 3)
+  else name
+
+let rec to_xpath (e : expr) : XP.expr =
+  match e with
+  | Literal (Str s) -> XP.Literal s
+  | Literal (Num f) -> XP.Number f
+  | Literal (Bool b) -> XP.Call ((if b then "true" else "false"), [])
+  | Var v -> XP.Var v
+  | Context_item -> XP.Path { absolute = false; steps = [] }
+  | Root -> XP.Path { absolute = true; steps = [] }
+  | Binop (op, a, b) -> XP.Binop (op, to_xpath a, to_xpath b)
+  | Neg e -> XP.Neg (to_xpath e)
+  | Fn_call (name, args) -> XP.Call (name, List.map to_xpath args)
+  | Path (Context_item, steps) -> XP.Path { absolute = false; steps }
+  | Path (Root, steps) -> XP.Path { absolute = true; steps }
+  | Path (base, steps) -> XP.Filter (to_xpath base, [], steps)
+  | Seq [ e ] -> to_xpath e
+  | e ->
+      err "expression %s cannot appear inside a path predicate"
+        (match e with
+        | Flwor _ -> "FLWOR"
+        | If _ -> "if"
+        | Direct_elem _ -> "constructor"
+        | _ -> "of this kind")
+
+(* ------------------------------------------------------------------ *)
+(* Expression grammar                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr st =
+  (* comma sequence *)
+  let first = parse_expr_single st in
+  skip_ws st;
+  if peek st = Some ',' then (
+    advance st;
+    skip_ws st;
+    match parse_expr st with Seq rest -> Seq (first :: rest) | e -> Seq [ first; e ])
+  else first
+
+and parse_expr_single st =
+  skip_ws st;
+  if at_keyword st "for" || at_keyword st "let" then parse_flwor st
+  else if at_keyword st "some" || at_keyword st "every" then parse_quantified st
+  else if at_keyword st "if" then parse_if st
+  else if at_keyword st "element" then parse_comp_elem st
+  else if at_keyword st "attribute" then parse_comp_attr st
+  else if at_keyword st "text" && not (looking_at st "text()") then parse_comp_text st
+  else if at_keyword st "comment" && not (looking_at st "comment()") then parse_comp_comment st
+  else parse_or st
+
+and parse_flwor st =
+  let clauses = ref [] in
+  let rec clause_loop () =
+    skip_ws st;
+    if at_keyword st "for" then (
+      eat_keyword st "for";
+      let rec vars () =
+        skip_ws st;
+        eat st "$";
+        let v = read_qname st in
+        skip_ws st;
+        let pos_var =
+          if at_keyword st "at" then (
+            eat_keyword st "at";
+            skip_ws st;
+            eat st "$";
+            let pv = read_qname st in
+            Some pv)
+          else None
+        in
+        skip_ws st;
+        eat_keyword st "in";
+        skip_ws st;
+        let src = parse_expr_single st in
+        clauses := For { var = v; pos_var; source = src } :: !clauses;
+        skip_ws st;
+        if peek st = Some ',' then (
+          advance st;
+          vars ())
+      in
+      vars ();
+      clause_loop ())
+    else if at_keyword st "let" then (
+      eat_keyword st "let";
+      let rec vars () =
+        skip_ws st;
+        eat st "$";
+        let v = read_qname st in
+        skip_ws st;
+        eat st ":=";
+        skip_ws st;
+        let value = parse_expr_single st in
+        clauses := Let { var = v; value } :: !clauses;
+        skip_ws st;
+        if peek st = Some ',' then (
+          advance st;
+          vars ())
+      in
+      vars ();
+      clause_loop ())
+    else if at_keyword st "where" then (
+      eat_keyword st "where";
+      skip_ws st;
+      let e = parse_expr_single st in
+      clauses := Where e :: !clauses;
+      clause_loop ())
+    else if at_keyword st "order" then (
+      eat_keyword st "order";
+      skip_ws st;
+      eat_keyword st "by";
+      let rec keys acc =
+        skip_ws st;
+        let k = parse_expr_single st in
+        skip_ws st;
+        let desc =
+          if at_keyword st "descending" then (
+            eat_keyword st "descending";
+            true)
+          else if at_keyword st "ascending" then (
+            eat_keyword st "ascending";
+            false)
+          else false
+        in
+        let acc = (k, desc) :: acc in
+        skip_ws st;
+        if peek st = Some ',' then (
+          advance st;
+          keys acc)
+        else List.rev acc
+      in
+      clauses := Order_by (keys []) :: !clauses;
+      clause_loop ())
+  in
+  clause_loop ();
+  skip_ws st;
+  eat_keyword st "return";
+  skip_ws st;
+  let body = parse_expr_single st in
+  Flwor (List.rev !clauses, body)
+
+and parse_quantified st =
+  let every =
+    if at_keyword st "every" then (
+      eat_keyword st "every";
+      true)
+    else (
+      eat_keyword st "some";
+      false)
+  in
+  skip_ws st;
+  eat st "$";
+  let var = read_qname st in
+  skip_ws st;
+  eat_keyword st "in";
+  skip_ws st;
+  let source = parse_expr_single st in
+  skip_ws st;
+  eat_keyword st "satisfies";
+  skip_ws st;
+  let satisfies = parse_expr_single st in
+  Quantified { every; var; source; satisfies }
+
+and parse_if st =
+  eat_keyword st "if";
+  skip_ws st;
+  eat st "(";
+  let cond = parse_expr st in
+  skip_ws st;
+  eat st ")";
+  skip_ws st;
+  eat_keyword st "then";
+  let t = parse_expr_single st in
+  skip_ws st;
+  eat_keyword st "else";
+  let f = parse_expr_single st in
+  If (cond, t, f)
+
+and parse_comp_elem st =
+  eat_keyword st "element";
+  skip_ws st;
+  let name_e =
+    if peek st = Some '{' then (
+      eat st "{";
+      let e = parse_expr st in
+      skip_ws st;
+      eat st "}";
+      e)
+    else Literal (Str (read_qname st))
+  in
+  skip_ws st;
+  eat st "{";
+  let content = if (skip_ws st; peek st = Some '}') then Seq [] else parse_expr st in
+  skip_ws st;
+  eat st "}";
+  Comp_elem (name_e, content)
+
+and parse_comp_attr st =
+  eat_keyword st "attribute";
+  skip_ws st;
+  let name = read_qname st in
+  skip_ws st;
+  eat st "{";
+  let e = parse_expr st in
+  skip_ws st;
+  eat st "}";
+  Comp_attr (name, e)
+
+and parse_comp_text st =
+  eat_keyword st "text";
+  skip_ws st;
+  eat st "{";
+  let e = parse_expr st in
+  skip_ws st;
+  eat st "}";
+  Comp_text e
+
+and parse_comp_comment st =
+  eat_keyword st "comment";
+  skip_ws st;
+  eat st "{";
+  let e = parse_expr st in
+  skip_ws st;
+  eat st "}";
+  Comp_comment e
+
+(* precedence chain *)
+and parse_or st =
+  let lhs = parse_and st in
+  skip_ws st;
+  if at_keyword st "or" then (
+    eat_keyword st "or";
+    Binop (XP.Or, lhs, parse_or st))
+  else lhs
+
+and parse_and st =
+  let lhs = parse_comparison st in
+  skip_ws st;
+  if at_keyword st "and" then (
+    eat_keyword st "and";
+    Binop (XP.And, lhs, parse_and st))
+  else lhs
+
+and parse_comparison st =
+  let lhs = parse_additive st in
+  skip_ws st;
+  let op =
+    if looking_at st "!=" then Some XP.Neq
+    else if looking_at st "<=" then Some XP.Leq
+    else if looking_at st ">=" then Some XP.Geq
+    else if looking_at st "=" then Some XP.Eq
+    else if looking_at st "<" && peek_at st 1 <> Some '/' && not (match peek_at st 1 with Some c -> is_name_start c | None -> false)
+    then Some XP.Lt
+    else if looking_at st ">" then Some XP.Gt
+    else if at_keyword st "eq" then Some XP.Eq
+    else if at_keyword st "ne" then Some XP.Neq
+    else if at_keyword st "lt" then Some XP.Lt
+    else if at_keyword st "le" then Some XP.Leq
+    else if at_keyword st "gt" then Some XP.Gt
+    else if at_keyword st "ge" then Some XP.Geq
+    else None
+  in
+  match op with
+  | None ->
+      if at_keyword st "instance" then (
+        eat_keyword st "instance";
+        skip_ws st;
+        eat_keyword st "of";
+        skip_ws st;
+        Instance_of (lhs, parse_item_type st))
+      else lhs
+  | Some op ->
+      (match op with
+      | XP.Neq | XP.Leq | XP.Geq -> st.pos <- st.pos + 2
+      | XP.Eq | XP.Lt | XP.Gt -> (
+          if looking_at st "=" || looking_at st "<" || looking_at st ">" then advance st
+          else
+            (* keyword comparators: eq ne lt le gt ge *)
+            let kw = String.sub st.input st.pos 2 in
+            ignore kw;
+            st.pos <- st.pos + 2)
+      | _ -> ());
+      skip_ws st;
+      Binop (op, lhs, parse_additive st)
+
+and parse_item_type st =
+  skip_ws st;
+  let kind = read_name st in
+  skip_ws st;
+  eat st "(";
+  skip_ws st;
+  let arg = if peek st = Some ')' then None else Some (read_qname st) in
+  skip_ws st;
+  eat st ")";
+  match kind with
+  | "element" -> It_element arg
+  | "attribute" -> It_attribute arg
+  | "text" -> It_text
+  | "comment" -> It_comment
+  | "node" -> It_node
+  | k -> err "unsupported item type %s()" k
+
+and parse_additive st =
+  let lhs = parse_multiplicative st in
+  let rec loop lhs =
+    skip_ws st;
+    if looking_at st "+" then (
+      advance st;
+      loop (Binop (XP.Plus, lhs, parse_multiplicative st)))
+    else if looking_at st "-" && (match peek_at st 1 with Some c -> not (is_name_char c) | None -> true)
+    then (
+      advance st;
+      loop (Binop (XP.Minus, lhs, parse_multiplicative st)))
+    else lhs
+  in
+  loop lhs
+
+and parse_multiplicative st =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    skip_ws st;
+    if looking_at st "*" then (
+      advance st;
+      loop (Binop (XP.Mul, lhs, parse_unary st)))
+    else if at_keyword st "div" then (
+      eat_keyword st "div";
+      loop (Binop (XP.Div, lhs, parse_unary st)))
+    else if at_keyword st "mod" then (
+      eat_keyword st "mod";
+      loop (Binop (XP.Mod, lhs, parse_unary st)))
+    else lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  skip_ws st;
+  if looking_at st "-" then (
+    advance st;
+    Neg (parse_unary st))
+  else parse_union st
+
+and parse_union st =
+  let lhs = parse_path st in
+  skip_ws st;
+  if looking_at st "|" then (
+    advance st;
+    skip_ws st;
+    Binop (XP.Union, lhs, parse_union st))
+  else lhs
+
+and parse_path st =
+  skip_ws st;
+  if looking_at st "//" then (
+    st.pos <- st.pos + 2;
+    let steps =
+      { XP.axis = XP.Descendant_or_self; test = XP.Node_type_test XP.Any_node; predicates = [] }
+      :: parse_steps st
+    in
+    Path (Root, steps))
+  else if looking_at st "/" && not (looking_at st "/>") then (
+    advance st;
+    skip_ws st;
+    if starts_step st then Path (Root, parse_steps st) else Root)
+  else
+    let base = parse_step_or_primary st in
+    continue_path st base
+
+and continue_path st base =
+  skip_ws st;
+  if looking_at st "//" then (
+    st.pos <- st.pos + 2;
+    let steps =
+      { XP.axis = XP.Descendant_or_self; test = XP.Node_type_test XP.Any_node; predicates = [] }
+      :: parse_steps st
+    in
+    match base with
+    | Path (b, s) -> Path (b, s @ steps)
+    | b -> Path (b, steps))
+  else if looking_at st "/" && not (looking_at st "/>") then (
+    advance st;
+    let steps = parse_steps st in
+    match base with
+    | Path (b, s) -> Path (b, s @ steps)
+    | b -> Path (b, steps))
+  else base
+
+and starts_step st =
+  match peek st with
+  | Some c when is_name_start c -> true
+  | Some '@' | Some '*' -> true
+  | Some '.' -> true
+  | _ -> false
+
+and parse_steps st =
+  let step = parse_one_step st in
+  skip_ws st;
+  if looking_at st "//" then (
+    st.pos <- st.pos + 2;
+    step
+    :: { XP.axis = XP.Descendant_or_self; test = XP.Node_type_test XP.Any_node; predicates = [] }
+    :: parse_steps st)
+  else if looking_at st "/" && not (looking_at st "/>") then (
+    advance st;
+    skip_ws st;
+    step :: parse_steps st)
+  else [ step ]
+
+and parse_one_step st =
+  skip_ws st;
+  if looking_at st ".." then (
+    st.pos <- st.pos + 2;
+    { XP.axis = XP.Parent; test = XP.Node_type_test XP.Any_node; predicates = parse_step_predicates st })
+  else if looking_at st "." then (
+    advance st;
+    { XP.axis = XP.Self; test = XP.Node_type_test XP.Any_node; predicates = parse_step_predicates st })
+  else if looking_at st "@" then (
+    advance st;
+    let test = parse_node_test st in
+    { XP.axis = XP.Attribute; test; predicates = parse_step_predicates st })
+  else
+    (* possible axis:: prefix *)
+    let save = st.pos in
+    match peek st with
+    | Some c when is_name_start c -> (
+        let name = read_name st in
+        if looking_at st "::" then (
+          st.pos <- st.pos + 2;
+          let axis =
+            match Xdb_xpath.Parser.axis_of_name name with
+            | Some a -> a
+            | None -> err "unknown axis %s" name
+          in
+          let test = parse_node_test st in
+          { XP.axis; test; predicates = parse_step_predicates st })
+        else (
+          st.pos <- save;
+          let test = parse_node_test st in
+          { XP.axis = XP.Child; test; predicates = parse_step_predicates st }))
+    | Some '*' ->
+        advance st;
+        { XP.axis = XP.Child; test = XP.Star; predicates = parse_step_predicates st }
+    | _ -> err "expected a path step at offset %d" st.pos
+
+and parse_node_test st =
+  skip_ws st;
+  if looking_at st "*" then (
+    advance st;
+    XP.Star)
+  else
+    let name = read_qname st in
+    if looking_at st "(" then (
+      advance st;
+      skip_ws st;
+      (match name with
+      | "node" ->
+          eat st ")";
+          XP.Node_type_test XP.Any_node
+      | "text" ->
+          eat st ")";
+          XP.Node_type_test XP.Text_node
+      | "comment" ->
+          eat st ")";
+          XP.Node_type_test XP.Comment_node
+      | "processing-instruction" ->
+          if peek st = Some ')' then (
+            advance st;
+            XP.Node_type_test (XP.Pi_node None))
+          else
+            let t = read_string_literal st in
+            skip_ws st;
+            eat st ")";
+            XP.Node_type_test (XP.Pi_node (Some t))
+      | n -> err "unknown node test %s()" n))
+    else
+      match String.index_opt name ':' with
+      | Some i ->
+          XP.Name_test
+            (Some (String.sub name 0 i), String.sub name (i + 1) (String.length name - i - 1))
+      | None -> XP.Name_test (None, name)
+
+and parse_step_predicates st =
+  skip_ws st;
+  if looking_at st "[" then (
+    advance st;
+    let e = parse_expr st in
+    skip_ws st;
+    eat st "]";
+    to_xpath e :: parse_step_predicates st)
+  else []
+
+and parse_step_or_primary st =
+  skip_ws st;
+  match peek st with
+  | Some '$' ->
+      advance st;
+      let v = read_qname st in
+      with_primary_predicates st (Var v)
+  | Some ('"' | '\'') -> Literal (Str (read_string_literal st))
+  | Some c when is_digit c -> Literal (Num (read_number st))
+  | Some '.' when peek_at st 1 = Some '.' ->
+      (* parent step as a path start *)
+      Path (Context_item, parse_steps st)
+  | Some '.' when not (match peek_at st 1 with Some c -> is_digit c | None -> false) ->
+      advance st;
+      with_primary_predicates st Context_item
+  | Some '(' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some ')' then (
+        advance st;
+        with_primary_predicates st (Seq []))
+      else
+        let e = parse_expr st in
+        skip_ws st;
+        eat st ")";
+        with_primary_predicates st e
+  | Some '<' -> parse_direct_constructor st
+  | Some '@' -> Path (Context_item, parse_steps st)
+  | Some '*' -> Path (Context_item, parse_steps st)
+  | Some c when is_name_start c -> (
+      (* function call, keyword literal, or a path starting with a name step *)
+      let save = st.pos in
+      let name = read_qname st in
+      skip_ws st;
+      if peek st = Some '(' && name <> "node" && name <> "text" && name <> "comment"
+         && name <> "processing-instruction" then (
+        advance st;
+        skip_ws st;
+        let args =
+          if peek st = Some ')' then (
+            advance st;
+            [])
+          else
+            let rec loop acc =
+              let e = parse_expr_single st in
+              skip_ws st;
+              if peek st = Some ',' then (
+                advance st;
+                skip_ws st;
+                loop (e :: acc))
+              else (
+                eat st ")";
+                List.rev (e :: acc))
+            in
+            loop []
+        in
+        let call =
+          match name with
+          | "fn:true" | "true" when args = [] -> Literal (Bool true)
+          | "fn:false" | "false" when args = [] -> Literal (Bool false)
+          | _ ->
+              if String.length name > 6 && String.sub name 0 6 = "local:" then
+                User_call (String.sub name 6 (String.length name - 6), args)
+              else Fn_call (strip_fn name, args)
+        in
+        with_primary_predicates st call)
+      else (
+        st.pos <- save;
+        Path (Context_item, parse_steps st)))
+  | _ -> err "unexpected character at offset %d" st.pos
+
+(* trailing [pred] on a primary: lower into a Path over self with predicates
+   is wrong for positional preds on sequences; we only support boolean use *)
+and with_primary_predicates st primary =
+  skip_ws st;
+  if looking_at st "[" then (
+    advance st;
+    let p = parse_expr st in
+    skip_ws st;
+    eat st "]";
+    (* model as a self::node() step with the predicate *)
+    let step = { XP.axis = XP.Self; test = XP.Node_type_test XP.Any_node; predicates = [ to_xpath p ] } in
+    with_primary_predicates st (Path (primary, [ step ])))
+  else primary
+
+(* ------------------------------------------------------------------ *)
+(* Direct constructors                                                 *)
+(* ------------------------------------------------------------------ *)
+
+and parse_direct_constructor st =
+  eat st "<";
+  let name = read_qname st in
+  (* attributes *)
+  let attrs = ref [] in
+  let rec attr_loop () =
+    skip_ws st;
+    match peek st with
+    | Some c when is_name_start c ->
+        let an = read_qname st in
+        skip_ws st;
+        eat st "=";
+        skip_ws st;
+        let quote = match peek st with Some ('"' as q) | Some ('\'' as q) -> q | _ -> err "expected attribute value" in
+        advance st;
+        let pieces = ref [] in
+        let buf = Buffer.create 16 in
+        let flush () =
+          if Buffer.length buf > 0 then (
+            pieces := Attr_str (Buffer.contents buf) :: !pieces;
+            Buffer.clear buf)
+        in
+        let rec val_loop () =
+          match peek st with
+          | None -> err "unterminated attribute value"
+          | Some c when c = quote ->
+              advance st;
+              flush ()
+          | Some '{' when peek_at st 1 = Some '{' ->
+              st.pos <- st.pos + 2;
+              Buffer.add_char buf '{';
+              val_loop ()
+          | Some '{' ->
+              advance st;
+              flush ();
+              let e = parse_expr st in
+              skip_ws st;
+              eat st "}";
+              pieces := Attr_expr e :: !pieces;
+              val_loop ()
+          | Some c ->
+              advance st;
+              Buffer.add_char buf c;
+              val_loop ()
+        in
+        val_loop ();
+        attrs := (an, List.rev !pieces) :: !attrs;
+        attr_loop ()
+    | _ -> ()
+  in
+  attr_loop ();
+  skip_ws st;
+  if looking_at st "/>" then (
+    st.pos <- st.pos + 2;
+    Direct_elem (name, List.rev !attrs, []))
+  else (
+    eat st ">";
+    let content = parse_elem_content st name in
+    Direct_elem (name, List.rev !attrs, content))
+
+and parse_elem_content st close_name =
+  let out = ref [] in
+  let buf = Buffer.create 32 in
+  let flush () =
+    if Buffer.length buf > 0 then (
+      let s = Buffer.contents buf in
+      (* boundary-space strip: drop whitespace-only literal text *)
+      if String.trim s <> "" then out := Literal (Str s) :: !out;
+      Buffer.clear buf)
+  in
+  let rec go () =
+    match peek st with
+    | None -> err "unterminated element <%s>" close_name
+    | Some '<' when looking_at st "</" ->
+        flush ();
+        st.pos <- st.pos + 2;
+        let n = read_qname st in
+        if n <> close_name then err "mismatched </%s>, expected </%s>" n close_name;
+        skip_ws st;
+        eat st ">"
+    | Some '<' when looking_at st "<!--" ->
+        flush ();
+        st.pos <- st.pos + 4;
+        let start = st.pos in
+        while not (looking_at st "-->") && peek st <> None do
+          advance st
+        done;
+        let c = String.sub st.input start (st.pos - start) in
+        eat st "-->";
+        out := Comp_comment (Literal (Str c)) :: !out;
+        go ()
+    | Some '<' ->
+        flush ();
+        out := parse_direct_constructor st :: !out;
+        go ()
+    | Some '{' when peek_at st 1 = Some '{' ->
+        st.pos <- st.pos + 2;
+        Buffer.add_char buf '{';
+        go ()
+    | Some '}' when peek_at st 1 = Some '}' ->
+        st.pos <- st.pos + 2;
+        Buffer.add_char buf '}';
+        go ()
+    | Some '{' ->
+        advance st;
+        flush ();
+        let e = parse_expr st in
+        skip_ws st;
+        eat st "}";
+        out := e :: !out;
+        go ()
+    | Some '&' ->
+        (* minimal entity support in constructor content *)
+        advance st;
+        let ent = read_name st in
+        eat st ";";
+        Buffer.add_string buf
+          (match ent with
+          | "lt" -> "<"
+          | "gt" -> ">"
+          | "amp" -> "&"
+          | "apos" -> "'"
+          | "quot" -> "\""
+          | e -> err "unknown entity &%s;" e);
+        go ()
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Prolog + program                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let parse_prolog st =
+  let var_decls = ref [] and funs = ref [] in
+  let rec loop () =
+    skip_ws st;
+    if at_keyword st "declare" then (
+      eat_keyword st "declare";
+      skip_ws st;
+      if at_keyword st "variable" then (
+        eat_keyword st "variable";
+        skip_ws st;
+        eat st "$";
+        let v = read_qname st in
+        skip_ws st;
+        eat st ":=";
+        skip_ws st;
+        let e = parse_expr_single st in
+        skip_ws st;
+        eat st ";";
+        var_decls := (v, e) :: !var_decls;
+        loop ())
+      else if at_keyword st "function" then (
+        eat_keyword st "function";
+        skip_ws st;
+        let raw = read_qname st in
+        let fname =
+          if String.length raw > 6 && String.sub raw 0 6 = "local:" then
+            String.sub raw 6 (String.length raw - 6)
+          else raw
+        in
+        skip_ws st;
+        eat st "(";
+        skip_ws st;
+        let params =
+          if peek st = Some ')' then (
+            advance st;
+            [])
+          else
+            let rec ps acc =
+              skip_ws st;
+              eat st "$";
+              let p = read_qname st in
+              skip_ws st;
+              if peek st = Some ',' then (
+                advance st;
+                ps (p :: acc))
+              else (
+                eat st ")";
+                List.rev (p :: acc))
+            in
+            ps []
+        in
+        skip_ws st;
+        eat st "{";
+        let body = parse_expr st in
+        skip_ws st;
+        eat st "}";
+        skip_ws st;
+        eat st ";";
+        funs := { fname; params; body } :: !funs;
+        loop ())
+      else err "expected 'variable' or 'function' after 'declare'")
+  in
+  loop ();
+  (List.rev !var_decls, List.rev !funs)
+
+(** [parse_prog s] parses a complete query (prolog + body). *)
+let parse_prog s =
+  let st = { input = s; pos = 0 } in
+  let var_decls, funs = parse_prolog st in
+  let body = parse_expr st in
+  skip_ws st;
+  if st.pos <> String.length s then err "trailing input at offset %d" st.pos;
+  { var_decls; funs; body }
+
+(** [parse s] parses a single expression (no prolog). *)
+let parse s =
+  let p = parse_prog s in
+  if p.var_decls <> [] || p.funs <> [] then err "unexpected prolog in expression";
+  p.body

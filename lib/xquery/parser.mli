@@ -1,0 +1,17 @@
+(** Parser for the XQuery subset (the target language of the XSLT rewrite;
+    see {!Ast}).  Path steps build on the shared XPath AST; predicates
+    inside steps are lowered with {!to_xpath}. *)
+
+exception Parse_error of string
+
+val to_xpath : Ast.expr -> Xdb_xpath.Ast.expr
+(** Lower an XQuery expression to XPath 1.0 where possible (used for step
+    predicates). @raise Parse_error for constructs XPath cannot express
+    (FLWOR, constructors, …). *)
+
+val parse_prog : string -> Ast.prog
+(** Parse a complete query: [declare variable]/[declare function] prolog
+    followed by the body expression. *)
+
+val parse : string -> Ast.expr
+(** Parse a single expression (no prolog allowed). *)

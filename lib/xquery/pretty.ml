@@ -1,0 +1,143 @@
+(** Pretty-printer: XQuery AST back to concrete syntax.
+
+    Output is valid input for {!Parser.parse_prog} (round-trip tested) and
+    is what the CLI's [--show-xquery] prints — the artifact paper Table 8
+    displays. *)
+
+open Ast
+module XP = Xdb_xpath.Ast
+
+let escape_string s =
+  let buf = Buffer.create (String.length s) in
+  String.iter (fun c -> if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c) s;
+  Buffer.contents buf
+
+let atom_syntax = function
+  | Str s -> "\"" ^ escape_string s ^ "\""
+  | Num f ->
+      if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+      else string_of_float f
+  | Bool b -> if b then "fn:true()" else "fn:false()"
+
+let item_type_syntax = function
+  | It_element None -> "element()"
+  | It_element (Some n) -> Printf.sprintf "element(%s)" n
+  | It_text -> "text()"
+  | It_comment -> "comment()"
+  | It_node -> "node()"
+  | It_attribute None -> "attribute()"
+  | It_attribute (Some n) -> Printf.sprintf "attribute(%s)" n
+
+let indent depth = String.make (2 * depth) ' '
+
+let rec expr_syntax depth e =
+  let ind = indent depth in
+  match e with
+  | Seq [] -> "()"
+  | Seq es ->
+      "(\n"
+      ^ String.concat ",\n" (List.map (fun e -> indent (depth + 1) ^ expr_syntax (depth + 1) e) es)
+      ^ "\n" ^ ind ^ ")"
+  | Literal a -> atom_syntax a
+  | Var v -> "$" ^ v
+  | Context_item -> "."
+  | Root -> "/"
+  | If (c, t, Seq []) ->
+      Printf.sprintf "if (%s) then %s else ()" (expr_syntax depth c) (expr_syntax depth t)
+  | If (c, t, f) ->
+      Printf.sprintf "if (%s) then\n%s%s\n%selse\n%s%s" (expr_syntax depth c)
+        (indent (depth + 1))
+        (expr_syntax (depth + 1) t)
+        ind
+        (indent (depth + 1))
+        (expr_syntax (depth + 1) f)
+  | Neg e -> "-" ^ expr_syntax depth e
+  | Binop (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_syntax depth a) (XP.binop_name op) (expr_syntax depth b)
+  | Instance_of (e, it) ->
+      Printf.sprintf "(%s instance of %s)" (expr_syntax depth e) (item_type_syntax it)
+  | Fn_call (name, args) ->
+      Printf.sprintf "fn:%s(%s)" name (String.concat ", " (List.map (expr_syntax depth) args))
+  | User_call (name, args) ->
+      Printf.sprintf "local:%s(%s)" name (String.concat ", " (List.map (expr_syntax depth) args))
+  | Path (base, steps) ->
+      let base_s =
+        match base with
+        | Var v -> "$" ^ v
+        | Context_item -> "."
+        | Root -> ""
+        | e -> "(" ^ expr_syntax depth e ^ ")"
+      in
+      base_s ^ "/" ^ String.concat "/" (List.map XP.step_to_string steps)
+  | Direct_elem (name, attrs, content) ->
+      let attr_s =
+        String.concat ""
+          (List.map
+             (fun (an, pieces) ->
+               let val_s =
+                 String.concat ""
+                   (List.map
+                      (function
+                        | Attr_str s -> s
+                        | Attr_expr e -> "{" ^ expr_syntax depth e ^ "}")
+                      pieces)
+               in
+               Printf.sprintf " %s=\"%s\"" an val_s)
+             attrs)
+      in
+      if content = [] then Printf.sprintf "<%s%s/>" name attr_s
+      else
+        let body =
+          String.concat ""
+            (List.map
+               (fun c ->
+                 match c with
+                 | Literal (Str s) -> s
+                 | e -> "{" ^ expr_syntax (depth + 1) e ^ "}")
+               content)
+        in
+        Printf.sprintf "<%s%s>%s</%s>" name attr_s body name
+  | Comp_elem (n, c) ->
+      Printf.sprintf "element {%s} {%s}" (expr_syntax depth n) (expr_syntax depth c)
+  | Comp_attr (n, e) -> Printf.sprintf "attribute %s {%s}" n (expr_syntax depth e)
+  | Comp_text e -> Printf.sprintf "text {%s}" (expr_syntax depth e)
+  | Comp_comment e -> Printf.sprintf "comment {%s}" (expr_syntax depth e)
+  | Quantified { every; var; source; satisfies } ->
+      Printf.sprintf "(%s $%s in %s satisfies %s)"
+        (if every then "every" else "some")
+        var (expr_syntax depth source) (expr_syntax depth satisfies)
+  | Flwor (clauses, return_) ->
+      let clause_s c =
+        match c with
+        | For { var; pos_var = None; source } ->
+            Printf.sprintf "for $%s in %s" var (expr_syntax depth source)
+        | For { var; pos_var = Some pv; source } ->
+            Printf.sprintf "for $%s at $%s in %s" var pv (expr_syntax depth source)
+        | Let { var; value } -> Printf.sprintf "let $%s := %s" var (expr_syntax depth value)
+        | Where e -> "where " ^ expr_syntax depth e
+        | Order_by keys ->
+            "order by "
+            ^ String.concat ", "
+                (List.map
+                   (fun (k, desc) -> expr_syntax depth k ^ if desc then " descending" else "")
+                   keys)
+      in
+      String.concat ("\n" ^ ind) (List.map clause_s clauses)
+      ^ "\n" ^ ind ^ "return\n"
+      ^ indent (depth + 1)
+      ^ expr_syntax (depth + 1) return_
+
+let fundef_syntax (f : fundef) =
+  Printf.sprintf "declare function local:%s(%s) {\n  %s\n};" f.fname
+    (String.concat ", " (List.map (fun p -> "$" ^ p) f.params))
+    (expr_syntax 1 f.body)
+
+(** [prog_syntax p] — full query text with declarations. *)
+let prog_syntax (p : prog) =
+  let decls =
+    List.map
+      (fun (v, e) -> Printf.sprintf "declare variable $%s := %s;" v (expr_syntax 0 e))
+      p.var_decls
+  in
+  let funs = List.map fundef_syntax p.funs in
+  String.concat "\n" (decls @ funs @ [ expr_syntax 0 p.body ])

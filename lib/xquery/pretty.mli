@@ -1,0 +1,11 @@
+(** Pretty-printer: XQuery AST back to concrete syntax.  Output parses
+    back with {!Parser.parse_prog} (round-trip tested) — it is the
+    artifact paper Table 8 displays. *)
+
+val expr_syntax : int -> Ast.expr -> string
+(** [expr_syntax depth e] — expression at an indentation depth. *)
+
+val fundef_syntax : Ast.fundef -> string
+
+val prog_syntax : Ast.prog -> string
+(** Full query text with prolog declarations. *)

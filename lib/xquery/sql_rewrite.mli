@@ -1,0 +1,21 @@
+(** XQuery → SQL/XML rewrite over a published XMLType view (paper §2.1,
+    Tables 7 and 11; the [3,4] machinery the paper builds on).
+
+    Path steps resolve statically into the publishing spec; crossing an
+    [XMLAgg] introduces a correlated subquery over the detail table; XPath
+    value predicates become relational predicates eligible for B-tree
+    probes.  Queries outside the supported fragment raise
+    {!Not_rewritable}; the pipeline then falls back to dynamic XQuery
+    evaluation over the materialised document. *)
+
+exception Not_rewritable of string
+
+val rewrite_prog : Xdb_rel.Publish.view -> Ast.prog -> Xdb_rel.Algebra.expr
+(** The per-row SQL/XML expression equivalent to running the program with
+    one view document as context item.
+    @raise Not_rewritable outside the supported fragment. *)
+
+val rewrite_view_plan :
+  Xdb_rel.Database.t -> Xdb_rel.Publish.view -> Ast.prog -> Xdb_rel.Algebra.plan
+(** Full relational plan: one [result] XML column per base-table row,
+    optimised (index selection on pushed-down predicates). *)

@@ -1,0 +1,264 @@
+(** Static structural typing of XQuery results (paper §3.2, bullets 3–4:
+    "If the input XMLType is computed from another XQuery/XPath, then we can
+    derive the structural information based on the static typing result").
+
+    The typer computes, for a query, the element declarations of everything
+    the query can construct or forward from its input, together with the
+    top-level particle list.  The result is an {!Xdb_schema.Types.t} whose
+    synthetic root ["#result"] stands for the constructed forest — exactly
+    what the next stage's partial evaluator needs. *)
+
+module S = Xdb_schema.Types
+module XP = Xdb_xpath.Ast
+open Ast
+
+exception Typing_error of string
+
+let err fmt = Printf.ksprintf (fun m -> raise (Typing_error m)) fmt
+
+module Smap = Map.Make (String)
+
+(** A static "type": which input-schema elements a value can range over
+    (by name), or constructed content. *)
+type ty = {
+  elems : (string * S.occurs) list;  (** possible element names + cardinality *)
+  text : bool;  (** may contain text/atomic items *)
+}
+
+let empty_ty = { elems = []; text = false }
+let text_ty = { elems = []; text = true }
+
+let union_ty a b = { elems = a.elems @ b.elems; text = a.text || b.text }
+
+let scale_occurs (outer : S.occurs) (inner : S.occurs) : S.occurs =
+  let mul_opt a b = match (a, b) with Some x, Some y -> Some (x * y) | _ -> None in
+  { S.min_occurs = outer.S.min_occurs * inner.S.min_occurs;
+    max_occurs = mul_opt outer.S.max_occurs inner.S.max_occurs }
+
+let scale ty occurs = { ty with elems = List.map (fun (n, o) -> (n, scale_occurs occurs o)) ty.elems }
+
+type env = {
+  input : S.t option;  (** structural info of the context item *)
+  var_tys : ty Smap.t;
+  decls : (string, S.element_decl) Hashtbl.t;  (** output declarations *)
+}
+
+let copy_input_decl env name =
+  (* forward an input element declaration (and its reachable subtree) into
+     the output declaration table *)
+  match env.input with
+  | None -> ()
+  | Some schema ->
+      let rec go name =
+        if not (Hashtbl.mem env.decls name) then
+          match S.find schema name with
+          | None -> ()
+          | Some d ->
+              Hashtbl.replace env.decls name d;
+              List.iter (fun p -> go p.S.child) d.S.particles
+      in
+      go name
+
+(* static evaluation of a path step against the input/declared structure *)
+let step_ty env (base : ty) (step : XP.step) : ty =
+  let lookup name =
+    match Hashtbl.find_opt env.decls name with
+    | Some d -> Some d
+    | None -> ( match env.input with Some s -> S.find s name | None -> None)
+  in
+  let child_particles parent_name =
+    match lookup parent_name with Some d -> d.S.particles | None -> []
+  in
+  match step.XP.axis with
+  | XP.Child -> (
+      match step.XP.test with
+      | XP.Name_test (_, local) ->
+          let hits =
+            List.concat_map
+              (fun (pname, pocc) ->
+                List.filter_map
+                  (fun p ->
+                    if p.S.child = local then (
+                      copy_input_decl env local;
+                      Some (local, scale_occurs pocc p.S.occurs))
+                    else None)
+                  (child_particles pname))
+              base.elems
+          in
+          { elems = hits; text = false }
+      | XP.Star | XP.Prefix_star _ ->
+          let hits =
+            List.concat_map
+              (fun (pname, pocc) ->
+                List.map
+                  (fun p ->
+                    copy_input_decl env p.S.child;
+                    (p.S.child, scale_occurs pocc p.S.occurs))
+                  (child_particles pname))
+              base.elems
+          in
+          { elems = hits; text = false }
+      | XP.Node_type_test XP.Any_node ->
+          let hits =
+            List.concat_map
+              (fun (pname, pocc) ->
+                List.map
+                  (fun p ->
+                    copy_input_decl env p.S.child;
+                    (p.S.child, scale_occurs pocc p.S.occurs))
+                  (child_particles pname))
+              base.elems
+          in
+          let has_text =
+            List.exists
+              (fun (pname, _) -> match lookup pname with Some d -> d.S.has_text | None -> false)
+              base.elems
+          in
+          { elems = hits; text = has_text }
+      | XP.Node_type_test XP.Text_node ->
+          { elems = [];
+            text =
+              List.exists
+                (fun (pname, _) -> match lookup pname with Some d -> d.S.has_text | None -> false)
+                base.elems }
+      | XP.Node_type_test _ -> empty_ty)
+  | XP.Descendant | XP.Descendant_or_self ->
+      (* conservative: all reachable declarations *)
+      let seen = Hashtbl.create 16 in
+      let rec reach name =
+        if not (Hashtbl.mem seen name) then (
+          Hashtbl.add seen name ();
+          copy_input_decl env name;
+          List.iter (fun p -> reach p.S.child) (child_particles name))
+      in
+      List.iter (fun (n, _) -> reach n) base.elems;
+      let names = Hashtbl.fold (fun k () acc -> k :: acc) seen [] in
+      let names =
+        match step.XP.test with
+        | XP.Name_test (_, local) -> List.filter (( = ) local) names
+        | _ -> names
+      in
+      { elems = List.map (fun n -> (n, S.many)) names; text = true }
+  | XP.Attribute -> text_ty
+  | XP.Self -> base
+  | XP.Parent | XP.Ancestor | XP.Ancestor_or_self ->
+      (* rarely used in generated queries; be conservative *)
+      { elems = []; text = true }
+  | _ -> empty_ty
+
+let rec infer env (e : expr) : ty =
+  match e with
+  | Seq es -> List.fold_left (fun acc e -> union_ty acc (infer env e)) empty_ty es
+  | Literal _ -> text_ty
+  | Var v -> ( match Smap.find_opt v env.var_tys with Some t -> t | None -> empty_ty)
+  | Context_item | Root -> (
+      match env.input with
+      | Some s ->
+          copy_input_decl env s.S.root;
+          (* the context item is the document node wrapping the root *)
+          Hashtbl.replace env.decls "#doc"
+            {
+              S.name = "#doc";
+              group = S.Sequence;
+              particles = [ { S.child = s.S.root; occurs = S.exactly_one } ];
+              has_text = false;
+              attrs = [];
+            };
+          { elems = [ ("#doc", S.exactly_one) ]; text = false }
+      | None -> empty_ty)
+  | If (_, t, f) ->
+      let tt = infer env t and tf = infer env f in
+      (* either branch: demote minima to 0 *)
+      let opt t = { t with elems = List.map (fun (n, o) -> (n, { o with S.min_occurs = 0 })) t.elems } in
+      union_ty (opt tt) (opt tf)
+  | Neg _ | Binop _ | Instance_of _ | Quantified _ -> text_ty
+  | Fn_call _ -> text_ty
+  | User_call _ ->
+      (* calls appear only in non-inline mode; treated opaquely *)
+      { elems = []; text = true }
+  | Path (base, steps) ->
+      let base_ty = infer env base in
+      List.fold_left (fun t s -> step_ty env t s) base_ty steps
+  | Direct_elem (name, attrs, content) ->
+      let content_ty =
+        List.fold_left (fun acc c -> union_ty acc (infer env c)) empty_ty content
+      in
+      let particles =
+        List.map (fun (n, o) -> { S.child = n; occurs = o }) (dedup_elems content_ty.elems)
+      in
+      Hashtbl.replace env.decls name
+        {
+          S.name;
+          group = S.Sequence;
+          particles;
+          has_text = content_ty.text;
+          attrs = List.map fst attrs;
+        };
+      { elems = [ (name, S.exactly_one) ]; text = false }
+  | Comp_elem (name_e, content) -> (
+      match name_e with
+      | Literal (Str name) -> infer env (Direct_elem (name, [], [ content ]))
+      | _ -> err "cannot statically type a computed element name")
+  | Comp_attr _ -> empty_ty
+  | Comp_text _ | Comp_comment _ -> text_ty
+  | Flwor (clauses, return_) ->
+      let env, multiplier =
+        List.fold_left
+          (fun (env, mult) clause ->
+            match clause with
+            | Let { var; value } ->
+                ({ env with var_tys = Smap.add var (infer env value) env.var_tys }, mult)
+            | For { var; pos_var; source } ->
+                let src_ty = infer env source in
+                (* the bound variable is a single item from the source *)
+                let item_ty =
+                  { src_ty with elems = List.map (fun (n, _) -> (n, S.exactly_one)) src_ty.elems }
+                in
+                let env = { env with var_tys = Smap.add var item_ty env.var_tys } in
+                let env =
+                  match pos_var with
+                  | None -> env
+                  | Some pv -> { env with var_tys = Smap.add pv text_ty env.var_tys }
+                in
+                (env, S.many)
+            | Where _ ->
+                (env, { mult with S.min_occurs = 0 })
+            | Order_by _ -> (env, mult))
+          (env, S.exactly_one) clauses
+      in
+      scale (infer env return_) multiplier
+
+and dedup_elems elems =
+  (* merge duplicate names, summing cardinalities *)
+  let add acc (n, o) =
+    match List.assoc_opt n acc with
+    | None -> acc @ [ (n, o) ]
+    | Some o0 ->
+        let sum =
+          {
+            S.min_occurs = o0.S.min_occurs + o.S.min_occurs;
+            max_occurs =
+              (match (o0.S.max_occurs, o.S.max_occurs) with
+              | Some a, Some b -> Some (a + b)
+              | _ -> None);
+          }
+        in
+        List.map (fun (n', o') -> if n' = n then (n', sum) else (n', o')) acc
+  in
+  List.fold_left add [] elems
+
+(** [result_schema ?input prog] — structural info of the program's result,
+    rooted at the synthetic ["#result"] element. *)
+let result_schema ?input (p : prog) : S.t =
+  let env = { input; var_tys = Smap.empty; decls = Hashtbl.create 16 } in
+  let env =
+    List.fold_left
+      (fun env (v, e) -> { env with var_tys = Smap.add v (infer env e) env.var_tys })
+      env p.var_decls
+  in
+  let top = infer env p.body in
+  let particles = List.map (fun (n, o) -> { S.child = n; occurs = o }) (dedup_elems top.elems) in
+  let root_decl =
+    { S.name = "#result"; group = S.Sequence; particles; has_text = top.text; attrs = [] }
+  in
+  S.make ~root:"#result" (root_decl :: Hashtbl.fold (fun _ d acc -> d :: acc) env.decls [])

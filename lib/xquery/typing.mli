@@ -1,0 +1,10 @@
+(** Static structural typing of XQuery results (paper §3.2, bullets 3–4):
+    derive the element declarations of everything a query can construct or
+    forward from its input. *)
+
+exception Typing_error of string
+
+val result_schema : ?input:Xdb_schema.Types.t -> Ast.prog -> Xdb_schema.Types.t
+(** Structural information of the program's result, rooted at the
+    synthetic ["#result"] element — the input for a downstream partial
+    evaluation stage (Example 2 chaining). *)

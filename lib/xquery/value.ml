@@ -1,0 +1,97 @@
+(** XQuery value model: sequences of items (nodes or atomics), with
+    conversions to and from the XPath 1.0 value model so path predicates can
+    be delegated to the XPath engine. *)
+
+module X = Xdb_xml.Types
+module XV = Xdb_xpath.Value
+
+type item = Node of X.node | Atom of Ast.atom
+
+type t = item list
+
+exception Xquery_type_error of string
+
+let err fmt = Printf.ksprintf (fun m -> raise (Xquery_type_error m)) fmt
+
+let of_nodes ns = List.map (fun n -> Node n) ns
+
+let singleton_string s = [ Atom (Ast.Str s) ]
+let singleton_num f = [ Atom (Ast.Num f) ]
+let singleton_bool b = [ Atom (Ast.Bool b) ]
+let empty : t = []
+
+let atom_string = function
+  | Ast.Str s -> s
+  | Ast.Num f -> XV.string_of_number f
+  | Ast.Bool b -> if b then "true" else "false"
+
+let item_string = function Node n -> X.string_value n | Atom a -> atom_string a
+
+(** [string_value v] — string of the first item ("" when empty); matches
+    fn:string on a single item and XPath 1.0 semantics on node-sets. *)
+let string_value = function [] -> "" | item :: _ -> item_string item
+
+let number_value = function
+  | [] -> Float.nan
+  | [ Atom (Ast.Num f) ] -> f
+  | [ Atom (Ast.Bool b) ] -> if b then 1.0 else 0.0
+  | item :: _ -> XV.number_of_string (item_string item)
+
+(** Effective boolean value (XQuery: empty=false, first-node=true,
+    singleton atoms by type). *)
+let boolean_value = function
+  | [] -> false
+  | Node _ :: _ -> true
+  | [ Atom (Ast.Bool b) ] -> b
+  | [ Atom (Ast.Num f) ] -> f <> 0.0 && not (Float.is_nan f)
+  | [ Atom (Ast.Str s) ] -> s <> ""
+  | _ -> err "effective boolean value of a multi-item atomic sequence"
+
+let nodes_of = function
+  | v ->
+      List.map
+        (function Node n -> n | Atom a -> err "expected nodes, found atomic %S" (atom_string a))
+        v
+
+(** Convert to the XPath 1.0 value model (for predicate delegation). *)
+let to_xpath_value (v : t) : XV.t =
+  if List.for_all (function Node _ -> true | Atom _ -> false) v then
+    XV.Nodes (List.map (function Node n -> n | Atom _ -> assert false) v)
+  else
+    match v with
+    | [ Atom (Ast.Str s) ] -> XV.Str s
+    | [ Atom (Ast.Num f) ] -> XV.Num f
+    | [ Atom (Ast.Bool b) ] -> XV.Bool b
+    | _ -> err "cannot pass a mixed/multi-item atomic sequence to XPath"
+
+let of_xpath_value : XV.t -> t = function
+  | XV.Nodes ns -> of_nodes ns
+  | XV.Str s -> singleton_string s
+  | XV.Num f -> singleton_num f
+  | XV.Bool b -> singleton_bool b
+
+(** Item-type test ([instance of]). *)
+let item_matches (it : Ast.item_type) = function
+  | Atom _ -> false
+  | Node n -> (
+      match (it, n.X.kind) with
+      | Ast.It_node, _ -> true
+      | Ast.It_text, X.Text _ -> true
+      | Ast.It_comment, X.Comment _ -> true
+      | Ast.It_element None, X.Element _ -> true
+      | Ast.It_element (Some name), X.Element q -> String.equal q.local name
+      | Ast.It_attribute None, X.Attribute _ -> true
+      | Ast.It_attribute (Some name), X.Attribute (q, _) -> String.equal q.local name
+      | _ -> false)
+
+(** Sequence equality for tests: nodes by deep structural equality, atoms by
+    string/number identity. *)
+let equal (a : t) (b : t) =
+  List.length a = List.length b
+  && List.for_all2
+       (fun x y ->
+         match (x, y) with
+         | Node nx, Node ny -> X.deep_equal nx ny
+         | Atom ax, Atom ay -> ax = ay
+         | _ -> false)
+       a b

@@ -1,0 +1,40 @@
+(** XQuery value model: sequences of items (nodes or atomics), with
+    conversions to and from the XPath 1.0 value model so path predicates
+    can be delegated to the XPath engine. *)
+
+type item = Node of Xdb_xml.Types.node | Atom of Ast.atom
+
+type t = item list
+
+exception Xquery_type_error of string
+
+val of_nodes : Xdb_xml.Types.node list -> t
+val singleton_string : string -> t
+val singleton_num : float -> t
+val singleton_bool : bool -> t
+val empty : t
+
+val atom_string : Ast.atom -> string
+val item_string : item -> string
+
+val string_value : t -> string
+(** String of the first item ("" when empty) — [fn:string] semantics. *)
+
+val number_value : t -> float
+val boolean_value : t -> bool
+(** Effective boolean value.  @raise Xquery_type_error on multi-item
+    atomic sequences. *)
+
+val nodes_of : t -> Xdb_xml.Types.node list
+(** @raise Xquery_type_error when an atomic item is present. *)
+
+val to_xpath_value : t -> Xdb_xpath.Value.t
+(** @raise Xquery_type_error for mixed/multi-item atomic sequences. *)
+
+val of_xpath_value : Xdb_xpath.Value.t -> t
+
+val item_matches : Ast.item_type -> item -> bool
+(** [instance of] item-type test. *)
+
+val equal : t -> t -> bool
+(** Sequence equality for tests: nodes by deep structural equality. *)

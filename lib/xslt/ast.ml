@@ -1,0 +1,124 @@
+(** XSLT 1.0 abstract syntax (the subset exercised by XSLTMark-style
+    workloads and the paper's examples).
+
+    Supported instructions: [template], [apply-templates] (with [select],
+    [mode], [sort], [with-param]), [call-template], [value-of], [copy-of],
+    [copy], [element], [attribute], [text], [comment],
+    [processing-instruction], [if], [choose/when/otherwise], [for-each]
+    (with [sort]), [variable], [param], [number] (level="single",
+    format="1"), [message], plus literal result elements with attribute
+    value templates.
+
+    XSLT 2.0 constructs such as [for-each-group] are recognised by the
+    parser and rejected with {!Unsupported} — the paper's §7.1 open
+    issue. *)
+
+module XP = Xdb_xpath.Ast
+
+exception Unsupported of string
+
+(** Attribute value template: literal pieces and [{expr}] holes. *)
+type avt_piece = Avt_str of string | Avt_expr of XP.expr
+
+type avt = avt_piece list
+
+type sort_spec = {
+  sort_key : XP.expr;
+  numeric : bool;  (** [data-type="number"] *)
+  descending : bool;
+}
+
+type instruction =
+  | Apply_templates of {
+      select : XP.expr option;  (** default: [child::node()] *)
+      mode : string option;
+      sort : sort_spec list;
+      with_params : (string * value_spec) list;
+    }
+  | Call_template of { name : string; with_params : (string * value_spec) list }
+  | Value_of of { select : XP.expr }
+  | Copy_of of XP.expr
+  | Copy of instruction list
+  | Element_cons of { name : avt; content : instruction list }
+  | Attribute_cons of { name : avt; content : instruction list }
+  | Text_cons of string
+  | Comment_cons of instruction list
+  | Pi_cons of { target : avt; content : instruction list }
+  | Literal_element of { name : string; attrs : (string * avt) list; content : instruction list }
+  | If_cond of XP.expr * instruction list
+  | Choose of (XP.expr option * instruction list) list
+      (** [when] branches; [None] condition = [otherwise] *)
+  | For_each of { select : XP.expr; sort : sort_spec list; body : instruction list }
+  | Variable_def of string * value_spec
+  | Number_ins of { format : string }
+      (** [xsl:number level="single"] counting preceding siblings of the
+          same name *)
+  | Message of instruction list
+
+(** How a variable/parameter value is produced. *)
+and value_spec =
+  | Select_expr of XP.expr
+  | Content of instruction list  (** result tree fragment *)
+
+type template = {
+  match_pattern : Xdb_xpath.Pattern.t option;
+  template_name : string option;
+  mode : string option;
+  priority : float option;
+  params : (string * value_spec option) list;  (** name, default *)
+  body : instruction list;
+}
+
+type output_method = Out_xml | Out_html | Out_text
+
+(** [<xsl:key name match use>] declaration: nodes matching [key_match] are
+    indexed under the string value(s) of [key_use]. *)
+type key_decl = {
+  key_name : string;
+  key_match : Xdb_xpath.Pattern.t;
+  key_use : XP.expr;
+}
+
+(** Whitespace stripping declared by [xsl:strip-space] /
+    [xsl:preserve-space]. *)
+type space_spec = {
+  strip_all : bool;  (** [<xsl:strip-space elements="*"/>] seen *)
+  strip : string list;  (** element names listed for stripping *)
+  preserve : string list;  (** element names exempted *)
+}
+
+let no_stripping = { strip_all = false; strip = []; preserve = [] }
+
+type stylesheet = {
+  templates : template list;  (** in document order *)
+  global_vars : (string * value_spec) list;
+  global_params : (string * value_spec option) list;
+  keys : key_decl list;
+  space : space_spec;
+  output : output_method;
+  indent : bool;
+}
+
+(** Names of templates referenced by [call-template] in a body. *)
+let rec called_names body =
+  let param_names ps =
+    List.concat_map
+      (fun (_, v) -> match v with Content is -> called_names is | Select_expr _ -> [])
+      ps
+  in
+  List.concat_map
+    (function
+      | Call_template { name; with_params } -> name :: param_names with_params
+      | Apply_templates { with_params; _ } -> param_names with_params
+      | Copy is | Comment_cons is | If_cond (_, is) | Message is -> called_names is
+      | Element_cons { content; _ }
+      | Attribute_cons { content; _ }
+      | Pi_cons { content; _ }
+      | Literal_element { content; _ } ->
+          called_names content
+      | Choose branches -> List.concat_map (fun (_, is) -> called_names is) branches
+      | For_each { body; _ } -> called_names body
+      | Variable_def (_, Content is) -> called_names is
+      | Variable_def (_, Select_expr _) | Value_of _ | Copy_of _ | Text_cons _ | Number_ins _ ->
+          [])
+    body

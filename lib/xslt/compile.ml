@@ -1,0 +1,270 @@
+(** Compilation of a stylesheet into XSLTVM bytecode (paper §4.3: "we
+    compile the stylesheet into XSLTVM byte-code along with the special
+    'trace-instructions'").
+
+    Union match patterns are split so each alternative carries its own
+    default priority (XSLT 1.0 §5.5).  Every [apply-templates] and
+    [call-template] occurrence receives a unique {e site id}; when the VM
+    runs with a trace sink attached these sites report which templates fire
+    for which nodes — the trace-table architecture of §4.3. *)
+
+module XP = Xdb_xpath.Ast
+module Pat = Xdb_xpath.Pattern
+open Ast
+
+type cvalue = C_select of XP.expr | C_tree of code
+
+and op =
+  | O_text of string
+  | O_literal_elem of string * (string * avt) list * code
+  | O_elem of avt * code
+  | O_attr of avt * code
+  | O_comment of code
+  | O_pi of avt * code
+  | O_value_of of XP.expr
+  | O_copy_of of XP.expr
+  | O_copy of code
+  | O_apply of {
+      site : int;
+      select : XP.expr option;
+      mode : string option;
+      sort : sort_spec list;
+      params : (string * cvalue) list;
+    }
+  | O_call of { site : int; target : int; params : (string * cvalue) list }
+  | O_if of XP.expr * code
+  | O_choose of (XP.expr option * code) list
+  | O_for_each of XP.expr * sort_spec list * code
+  | O_var of string * cvalue
+  | O_number of string
+  | O_message of code
+
+and code = op array
+
+type ctemplate = {
+  t_id : int;  (** index into {!program.templates} *)
+  pattern : (Pat.t * float) option;  (** single-alternative pattern + priority *)
+  tname : string option;
+  tmode : string option;
+  tparams : (string * cvalue option) list;
+  tcode : code;
+  source_index : int;  (** document order of the source template *)
+}
+
+(** Dispatch buckets for one mode (hash-table template lookup — the
+    "aggressive optimisations of locating the right template" §3.1). *)
+type mode_dispatch = {
+  by_elem_name : (string, int list ref) Hashtbl.t;
+  any_element : int list ref;
+  text_bucket : int list ref;
+  comment_bucket : int list ref;
+  pi_bucket : int list ref;
+  root_bucket : int list ref;
+  untyped : int list ref;  (** patterns whose last step could match anything *)
+}
+
+type program = {
+  templates : ctemplate array;
+  by_name : (string, int) Hashtbl.t;
+  dispatch : (string option * mode_dispatch) list ref;
+  globals : (string * cvalue) list;
+  keys : key_decl list;
+  space : space_spec;
+  out_method : output_method;
+  out_indent : bool;
+  n_apply_sites : int;
+  apply_site_info : (int * string option) array;
+      (** per apply site: owning template id, mode *)
+}
+
+exception Compile_error of string
+
+type state = {
+  mutable next_site : int;
+  mutable sites : (int * string option) list;  (** apply site → (template, mode), reversed *)
+  mutable current_template : int;
+  name_ids : (string, int) Hashtbl.t;
+}
+
+let rec compile_value st = function
+  | Select_expr e -> C_select e
+  | Content is -> C_tree (compile_body st is)
+
+and compile_body st (is : instruction list) : code =
+  Array.of_list (List.map (compile_ins st) is)
+
+and compile_ins st = function
+  | Text_cons s -> O_text s
+  | Literal_element { name; attrs; content } ->
+      O_literal_elem (name, attrs, compile_body st content)
+  | Element_cons { name; content } -> O_elem (name, compile_body st content)
+  | Attribute_cons { name; content } -> O_attr (name, compile_body st content)
+  | Comment_cons is -> O_comment (compile_body st is)
+  | Pi_cons { target; content } -> O_pi (target, compile_body st content)
+  | Value_of { select } -> O_value_of select
+  | Copy_of e -> O_copy_of e
+  | Copy is -> O_copy (compile_body st is)
+  | If_cond (test, is) -> O_if (test, compile_body st is)
+  | Choose branches ->
+      O_choose (List.map (fun (t, is) -> (t, compile_body st is)) branches)
+  | For_each { select; sort; body } -> O_for_each (select, sort, compile_body st body)
+  | Variable_def (name, v) -> O_var (name, compile_value st v)
+  | Number_ins { format } -> O_number format
+  | Message is -> O_message (compile_body st is)
+  | Apply_templates { select; mode; sort; with_params } ->
+      let site = st.next_site in
+      st.next_site <- site + 1;
+      st.sites <- (st.current_template, mode) :: st.sites;
+      O_apply
+        {
+          site;
+          select;
+          mode;
+          sort;
+          params = List.map (fun (n, v) -> (n, compile_value st v)) with_params;
+        }
+  | Call_template { name; with_params } ->
+      let target =
+        match Hashtbl.find_opt st.name_ids name with
+        | Some id -> id
+        | None -> raise (Compile_error (Printf.sprintf "call-template: no template named %S" name))
+      in
+      let site = st.next_site in
+      st.next_site <- site + 1;
+      st.sites <- (st.current_template, None) :: st.sites;
+      O_call
+        { site; target; params = List.map (fun (n, v) -> (n, compile_value st v)) with_params }
+
+(** [compile stylesheet] — bytecode program with dispatch tables. *)
+let compile (ss : stylesheet) : program =
+  (* split union patterns into one compiled template per alternative *)
+  let split =
+    List.concat
+      (List.mapi
+         (fun src_idx (t : template) ->
+           match t.match_pattern with
+           | None -> [ (src_idx, t, None) ]
+           | Some pat ->
+               List.map
+                 (fun (alt, default_prio) ->
+                   let prio = Option.value ~default:default_prio t.priority in
+                   (src_idx, t, Some (alt, prio)))
+                 (Pat.split pat))
+         ss.templates)
+  in
+  let name_ids = Hashtbl.create 8 in
+  List.iteri
+    (fun i (_, (t : template), _) ->
+      match t.template_name with
+      | Some n -> if not (Hashtbl.mem name_ids n) then Hashtbl.add name_ids n i
+      | None -> ())
+    split;
+  let st = { next_site = 0; sites = []; current_template = 0; name_ids } in
+  let templates =
+    Array.of_list
+      (List.mapi
+         (fun i (src_idx, (t : template), pat) ->
+           st.current_template <- i;
+           {
+             t_id = i;
+             pattern = pat;
+             tname = t.template_name;
+             tmode = t.mode;
+             tparams = List.map (fun (n, d) -> (n, Option.map (compile_value st) d)) t.params;
+             tcode = compile_body st t.body;
+             source_index = src_idx;
+           })
+         split)
+  in
+  let fresh_mode_dispatch () =
+    {
+      by_elem_name = Hashtbl.create 16;
+      any_element = ref [];
+      text_bucket = ref [];
+      comment_bucket = ref [];
+      pi_bucket = ref [];
+      root_bucket = ref [];
+      untyped = ref [];
+    }
+  in
+  let dispatch = ref [] in
+  let mode_table mode =
+    match List.assoc_opt mode !dispatch with
+    | Some t -> t
+    | None ->
+        let t = fresh_mode_dispatch () in
+        dispatch := (mode, t) :: !dispatch;
+        t
+  in
+  Array.iter
+    (fun ct ->
+      match ct.pattern with
+      | None -> ()
+      | Some (pat, _) -> (
+          let table = mode_table ct.tmode in
+          let push bucket = bucket := ct.t_id :: !bucket in
+          match Pat.dispatch_key pat with
+          | Some (`Name n) ->
+              let bucket =
+                match Hashtbl.find_opt table.by_elem_name n with
+                | Some b -> b
+                | None ->
+                    let b = ref [] in
+                    Hashtbl.add table.by_elem_name n b;
+                    b
+              in
+              push bucket
+          | Some `Any_element -> push table.any_element
+          | Some `Text -> push table.text_bucket
+          | Some `Comment -> push table.comment_bucket
+          | Some `Pi -> push table.pi_bucket
+          | Some `Root -> push table.root_bucket
+          | None -> push table.untyped))
+    templates;
+  let globals =
+    List.map (fun (n, v) -> (n, compile_value st v)) ss.global_vars
+    @ List.filter_map
+        (fun (n, d) -> match d with Some v -> Some (n, compile_value st v) | None -> None)
+        ss.global_params
+  in
+  {
+    templates;
+    by_name = name_ids;
+    dispatch;
+    globals;
+    keys = ss.keys;
+    space = ss.space;
+    out_method = ss.output;
+    out_indent = ss.indent;
+    n_apply_sites = st.next_site;
+    apply_site_info = Array.of_list (List.rev st.sites);
+  }
+
+(** Instruction count of a program — rough bytecode size metric. *)
+let program_size (p : program) =
+  let rec code_size code =
+    Array.fold_left
+      (fun acc op ->
+        acc + 1
+        +
+        match op with
+        | O_literal_elem (_, _, c)
+        | O_elem (_, c)
+        | O_attr (_, c)
+        | O_comment c
+        | O_pi (_, c)
+        | O_copy c
+        | O_if (_, c)
+        | O_message c
+        | O_for_each (_, _, c) ->
+            code_size c
+        | O_choose bs -> List.fold_left (fun a (_, c) -> a + code_size c) 0 bs
+        | O_var (_, C_tree c) -> code_size c
+        | O_apply { params; _ } | O_call { params; _ } ->
+            List.fold_left
+              (fun a (_, v) -> a + match v with C_tree c -> code_size c | C_select _ -> 0)
+              0 params
+        | O_text _ | O_value_of _ | O_copy_of _ | O_number _ | O_var (_, C_select _) -> 0)
+      0 code
+  in
+  Array.fold_left (fun acc t -> acc + code_size t.tcode) 0 p.templates

@@ -1,0 +1,80 @@
+(** Compilation of a stylesheet into XSLTVM bytecode (paper §4.3).
+
+    Union match patterns split into one compiled template per alternative
+    (each with its own default priority); every [apply-templates] /
+    [call-template] occurrence receives a unique trace {e site id}. *)
+
+module XP = Xdb_xpath.Ast
+module Pat = Xdb_xpath.Pattern
+
+type cvalue = C_select of XP.expr | C_tree of code
+
+and op =
+  | O_text of string
+  | O_literal_elem of string * (string * Ast.avt) list * code
+  | O_elem of Ast.avt * code
+  | O_attr of Ast.avt * code
+  | O_comment of code
+  | O_pi of Ast.avt * code
+  | O_value_of of XP.expr
+  | O_copy_of of XP.expr
+  | O_copy of code
+  | O_apply of {
+      site : int;
+      select : XP.expr option;
+      mode : string option;
+      sort : Ast.sort_spec list;
+      params : (string * cvalue) list;
+    }
+  | O_call of { site : int; target : int; params : (string * cvalue) list }
+  | O_if of XP.expr * code
+  | O_choose of (XP.expr option * code) list
+  | O_for_each of XP.expr * Ast.sort_spec list * code
+  | O_var of string * cvalue
+  | O_number of string
+  | O_message of code
+
+and code = op array
+
+type ctemplate = {
+  t_id : int;  (** index into {!program.templates} *)
+  pattern : (Pat.t * float) option;  (** single-alternative pattern + priority *)
+  tname : string option;
+  tmode : string option;
+  tparams : (string * cvalue option) list;
+  tcode : code;
+  source_index : int;  (** document order of the source template *)
+}
+
+(** Per-mode dispatch buckets (hash-table template lookup, §3.1). *)
+type mode_dispatch = {
+  by_elem_name : (string, int list ref) Hashtbl.t;
+  any_element : int list ref;
+  text_bucket : int list ref;
+  comment_bucket : int list ref;
+  pi_bucket : int list ref;
+  root_bucket : int list ref;
+  untyped : int list ref;
+}
+
+type program = {
+  templates : ctemplate array;
+  by_name : (string, int) Hashtbl.t;
+  dispatch : (string option * mode_dispatch) list ref;
+  globals : (string * cvalue) list;
+  keys : Ast.key_decl list;
+  space : Ast.space_spec;
+  out_method : Ast.output_method;
+  out_indent : bool;
+  n_apply_sites : int;
+  apply_site_info : (int * string option) array;
+      (** per site: owning template id, mode *)
+}
+
+exception Compile_error of string
+
+val compile : Ast.stylesheet -> program
+(** @raise Compile_error e.g. for calls to undeclared templates. *)
+
+val program_size : program -> int
+(** Instruction count — rough bytecode size metric. *)

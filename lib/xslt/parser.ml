@@ -1,0 +1,356 @@
+(** Stylesheet parser: XML document → {!Ast.stylesheet}.
+
+    Elements in the XSLT namespace become instructions; anything else is a
+    literal result element whose attributes are attribute value templates.
+    XSLT 2.0-only instructions raise {!Ast.Unsupported} (paper §7.1). *)
+
+module X = Xdb_xml.Types
+open Ast
+
+exception Stylesheet_error of string
+
+let err fmt = Printf.ksprintf (fun m -> raise (Stylesheet_error m)) fmt
+
+let is_xsl el name =
+  match el.X.kind with
+  | X.Element q -> String.equal q.uri X.xsl_uri && String.equal q.local name
+  | _ -> false
+
+let xsl_local el =
+  match el.X.kind with
+  | X.Element q when String.equal q.uri X.xsl_uri -> Some q.local
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Attribute value templates                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** [parse_avt s] splits ["a{expr}b"] into pieces; [{{]/[}}] escape. *)
+let parse_avt s : avt =
+  let n = String.length s in
+  let pieces = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then (
+      pieces := Avt_str (Buffer.contents buf) :: !pieces;
+      Buffer.clear buf)
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = '{' && !i + 1 < n && s.[!i + 1] = '{' then (
+      Buffer.add_char buf '{';
+      i := !i + 2)
+    else if c = '}' && !i + 1 < n && s.[!i + 1] = '}' then (
+      Buffer.add_char buf '}';
+      i := !i + 2)
+    else if c = '{' then (
+      flush ();
+      let close =
+        match String.index_from_opt s (!i + 1) '}' with
+        | Some j -> j
+        | None -> err "unterminated { in attribute value template %S" s
+      in
+      let expr_src = String.sub s (!i + 1) (close - !i - 1) in
+      pieces := Avt_expr (Xdb_xpath.Parser.parse expr_src) :: !pieces;
+      i := close + 1)
+    else if c = '}' then err "stray } in attribute value template %S" s
+    else (
+      Buffer.add_char buf c;
+      incr i)
+  done;
+  flush ();
+  List.rev !pieces
+
+let avt_is_constant avt =
+  List.for_all (function Avt_str _ -> true | Avt_expr _ -> false) avt
+
+let attr el name = X.attribute el name
+
+let required_attr el name what =
+  match attr el name with Some v -> v | None -> err "%s requires a %s attribute" what name
+
+let parse_xpath_attr el name what =
+  let src = required_attr el name what in
+  try Xdb_xpath.Parser.parse src
+  with Xdb_xpath.Parser.Parse_error m -> err "%s: bad XPath in %s=%S: %s" what name src m
+
+(* ------------------------------------------------------------------ *)
+(* Instructions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_sorts children =
+  List.filter_map
+    (fun c ->
+      if is_xsl c "sort" then
+        let key =
+          match attr c "select" with
+          | Some s -> Xdb_xpath.Parser.parse s
+          | None -> Xdb_xpath.Parser.parse "."
+        in
+        Some
+          {
+            sort_key = key;
+            numeric = attr c "data-type" = Some "number";
+            descending = attr c "order" = Some "descending";
+          }
+      else None)
+    children
+
+and parse_with_params children =
+  List.filter_map
+    (fun c ->
+      if is_xsl c "with-param" then
+        let name = required_attr c "name" "xsl:with-param" in
+        let v =
+          match attr c "select" with
+          | Some s -> Select_expr (Xdb_xpath.Parser.parse s)
+          | None -> Content (parse_body c.X.children)
+        in
+        Some (name, v)
+      else None)
+    children
+
+and parse_body (nodes : X.node list) : instruction list =
+  List.concat_map parse_node nodes
+
+and parse_node (node : X.node) : instruction list =
+  match node.X.kind with
+  | X.Text s -> if String.trim s = "" then [] else [ Text_cons s ]
+  | X.Comment _ | X.Pi _ -> []
+  | X.Document -> parse_body node.X.children
+  | X.Attribute _ -> []
+  | X.Element q when String.equal q.X.uri X.xsl_uri -> parse_instruction node q.X.local
+  | X.Element q ->
+      let attrs =
+        List.filter_map
+          (fun a ->
+            match a.X.kind with
+            | X.Attribute (aq, v) when aq.X.uri <> X.xmlns_uri -> Some (X.string_of_qname aq, parse_avt v)
+            | _ -> None)
+          node.X.attributes
+      in
+      [ Literal_element { name = X.string_of_qname q; attrs; content = parse_body node.X.children } ]
+
+and parse_instruction node local : instruction list =
+  match local with
+  | "apply-templates" ->
+      [ Apply_templates
+          {
+            select = Option.map Xdb_xpath.Parser.parse (attr node "select");
+            mode = attr node "mode";
+            sort = parse_sorts node.X.children;
+            with_params = parse_with_params node.X.children;
+          } ]
+  | "call-template" ->
+      [ Call_template
+          {
+            name = required_attr node "name" "xsl:call-template";
+            with_params = parse_with_params node.X.children;
+          } ]
+  | "value-of" -> [ Value_of { select = parse_xpath_attr node "select" "xsl:value-of" } ]
+  | "copy-of" -> [ Copy_of (parse_xpath_attr node "select" "xsl:copy-of") ]
+  | "copy" -> [ Copy (parse_body node.X.children) ]
+  | "element" ->
+      [ Element_cons
+          {
+            name = parse_avt (required_attr node "name" "xsl:element");
+            content = parse_body node.X.children;
+          } ]
+  | "attribute" ->
+      [ Attribute_cons
+          {
+            name = parse_avt (required_attr node "name" "xsl:attribute");
+            content = parse_body node.X.children;
+          } ]
+  | "text" -> [ Text_cons (X.string_value node) ]
+  | "comment" -> [ Comment_cons (parse_body node.X.children) ]
+  | "processing-instruction" ->
+      [ Pi_cons
+          {
+            target = parse_avt (required_attr node "name" "xsl:processing-instruction");
+            content = parse_body node.X.children;
+          } ]
+  | "if" ->
+      [ If_cond (parse_xpath_attr node "test" "xsl:if", parse_body node.X.children) ]
+  | "choose" ->
+      let branches =
+        List.filter_map
+          (fun c ->
+            if is_xsl c "when" then
+              Some (Some (parse_xpath_attr c "test" "xsl:when"), parse_body c.X.children)
+            else if is_xsl c "otherwise" then Some (None, parse_body c.X.children)
+            else None)
+          node.X.children
+      in
+      if branches = [] then err "xsl:choose requires at least one xsl:when";
+      [ Choose branches ]
+  | "for-each" ->
+      [ For_each
+          {
+            select = parse_xpath_attr node "select" "xsl:for-each";
+            sort = parse_sorts node.X.children;
+            body = parse_body node.X.children;
+          } ]
+  | "variable" ->
+      let name = required_attr node "name" "xsl:variable" in
+      let v =
+        match attr node "select" with
+        | Some s -> Select_expr (Xdb_xpath.Parser.parse s)
+        | None -> Content (parse_body node.X.children)
+      in
+      [ Variable_def (name, v) ]
+  | "number" -> [ Number_ins { format = Option.value ~default:"1" (attr node "format") } ]
+  | "message" -> [ Message (parse_body node.X.children) ]
+  | "sort" | "with-param" -> [] (* handled by their parents *)
+  | "param" -> err "xsl:param is only allowed at the start of a template"
+  | "for-each-group" | "analyze-string" | "result-document" | "sequence" | "perform-sort" ->
+      raise (Unsupported (Printf.sprintf "xsl:%s is an XSLT 2.0 instruction (paper §7.1)" local))
+  | other -> err "unknown XSLT instruction xsl:%s" other
+
+(* ------------------------------------------------------------------ *)
+(* Templates and the stylesheet element                                *)
+(* ------------------------------------------------------------------ *)
+
+let parse_template node : template =
+  let match_pattern =
+    match attr node "match" with
+    | None -> None
+    | Some src -> (
+        try Some (Xdb_xpath.Pattern.parse src)
+        with
+        | Xdb_xpath.Pattern.Invalid_pattern m | Xdb_xpath.Parser.Parse_error m ->
+            err "bad match pattern %S: %s" src m)
+  in
+  let template_name = attr node "name" in
+  if match_pattern = None && template_name = None then
+    err "a template needs a match or a name attribute";
+  let priority =
+    match attr node "priority" with
+    | None -> None
+    | Some p -> (
+        match float_of_string_opt p with
+        | Some f -> Some f
+        | None -> err "bad priority %S" p)
+  in
+  (* leading xsl:param children *)
+  let rec split_params acc = function
+    | c :: rest when is_xsl c "param" ->
+        let name = required_attr c "name" "xsl:param" in
+        let default =
+          match attr c "select" with
+          | Some s -> Some (Select_expr (Xdb_xpath.Parser.parse s))
+          | None ->
+              if c.X.children = [] then None else Some (Content (parse_body c.X.children))
+        in
+        split_params ((name, default) :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  let params, body_nodes =
+    split_params [] (List.filter (fun c -> not (X.is_text c) || String.trim (X.string_value c) <> "") node.X.children)
+  in
+  {
+    match_pattern;
+    template_name;
+    mode = attr node "mode";
+    priority;
+    params;
+    body = parse_body body_nodes;
+  }
+
+(** [parse_stylesheet_node root] — [root] must be [xsl:stylesheet] or
+    [xsl:transform]. *)
+let parse_stylesheet_node root : stylesheet =
+  (match xsl_local root with
+  | Some ("stylesheet" | "transform") -> ()
+  | _ -> err "document element must be xsl:stylesheet or xsl:transform");
+  (match attr root "version" with
+  | Some ("1.0" | "1.1" | "2.0") | None -> ()
+  | Some v -> err "unsupported XSLT version %S" v);
+  let templates = ref [] in
+  let global_vars = ref [] in
+  let global_params = ref [] in
+  let keys = ref [] in
+  let space = ref no_stripping in
+  let output = ref Out_xml in
+  let indent = ref false in
+  List.iter
+    (fun child ->
+      match xsl_local child with
+      | Some "template" -> templates := parse_template child :: !templates
+      | Some "output" ->
+          (match attr child "method" with
+          | Some "html" -> output := Out_html
+          | Some "text" -> output := Out_text
+          | Some "xml" | None -> output := Out_xml
+          | Some m -> err "unknown output method %S" m);
+          if attr child "indent" = Some "yes" then indent := true
+      | Some "variable" ->
+          let name = required_attr child "name" "top-level xsl:variable" in
+          let v =
+            match attr child "select" with
+            | Some s -> Select_expr (Xdb_xpath.Parser.parse s)
+            | None -> Content (parse_body child.X.children)
+          in
+          global_vars := (name, v) :: !global_vars
+      | Some "param" ->
+          let name = required_attr child "name" "top-level xsl:param" in
+          let default =
+            match attr child "select" with
+            | Some s -> Some (Select_expr (Xdb_xpath.Parser.parse s))
+            | None ->
+                if child.X.children = [] then None else Some (Content (parse_body child.X.children))
+          in
+          global_params := (name, default) :: !global_params
+      | Some "key" ->
+          let key_name = required_attr child "name" "xsl:key" in
+          let match_src = required_attr child "match" "xsl:key" in
+          let key_match =
+            try Xdb_xpath.Pattern.parse match_src
+            with Xdb_xpath.Pattern.Invalid_pattern m | Xdb_xpath.Parser.Parse_error m ->
+              err "xsl:key: bad match pattern %S: %s" match_src m
+          in
+          let key_use = parse_xpath_attr child "use" "xsl:key" in
+          keys := { key_name; key_match; key_use } :: !keys
+      | Some "strip-space" ->
+          let names =
+            String.split_on_char ' ' (required_attr child "elements" "xsl:strip-space")
+            |> List.filter (fun w -> w <> "")
+          in
+          space :=
+            List.fold_left
+              (fun sp n ->
+                if n = "*" then { sp with strip_all = true }
+                else { sp with strip = n :: sp.strip })
+              !space names
+      | Some "preserve-space" ->
+          let names =
+            String.split_on_char ' ' (required_attr child "elements" "xsl:preserve-space")
+            |> List.filter (fun w -> w <> "")
+          in
+          space := { !space with preserve = names @ !space.preserve }
+      | Some ("decimal-format" | "namespace-alias" | "attribute-set" | "include" | "import") ->
+          (* accepted and ignored or rejected: imports change semantics *)
+          if xsl_local child = Some "import" || xsl_local child = Some "include" then
+            raise (Unsupported "xsl:import/xsl:include are not supported in this subset")
+      | Some other -> err "unexpected top-level element xsl:%s" other
+      | None -> (
+          match child.X.kind with
+          | X.Text s when String.trim s = "" -> ()
+          | X.Comment _ -> ()
+          | _ -> err "unexpected non-XSLT top-level node"))
+    root.X.children;
+  {
+    templates = List.rev !templates;
+    global_vars = List.rev !global_vars;
+    global_params = List.rev !global_params;
+    keys = List.rev !keys;
+    space = !space;
+    output = !output;
+    indent = !indent;
+  }
+
+(** [parse s] — stylesheet from source text. *)
+let parse s =
+  let doc = Xdb_xml.Parser.parse s in
+  parse_stylesheet_node (Xdb_xml.Parser.document_element doc)

@@ -1,0 +1,21 @@
+(** Stylesheet parser: XML document → {!Ast.stylesheet}.
+
+    Elements in the XSLT namespace become instructions; anything else is a
+    literal result element whose attributes are attribute value templates.
+    XSLT 2.0-only instructions raise {!Ast.Unsupported} (paper §7.1). *)
+
+exception Stylesheet_error of string
+
+val parse_avt : string -> Ast.avt
+(** Split an attribute value template into literal pieces and [{expr}]
+    holes ([{{]/[}}] escape).  @raise Stylesheet_error on unbalanced
+    braces. *)
+
+val avt_is_constant : Ast.avt -> bool
+
+val parse_stylesheet_node : Xdb_xml.Types.node -> Ast.stylesheet
+(** The node must be [xsl:stylesheet] or [xsl:transform]. *)
+
+val parse : string -> Ast.stylesheet
+(** Parse stylesheet source text.
+    @raise Stylesheet_error / {!Ast.Unsupported} / {!Xdb_xml.Parser.Parse_error}. *)

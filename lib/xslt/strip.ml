@@ -1,0 +1,42 @@
+(** Source-tree whitespace stripping ([xsl:strip-space] /
+    [xsl:preserve-space], XSLT 1.0 §3.4).
+
+    Whitespace-only text nodes whose parent element matches the stylesheet's
+    strip list (and is not on the preserve list) are removed before the
+    transformation runs — both evaluation strategies consume the same
+    stripped tree, so differential equivalence is preserved. *)
+
+module X = Xdb_xml.Types
+open Ast
+
+let is_ws_only s = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r') s
+
+let strips (spec : space_spec) (q : X.qname) =
+  (not (List.mem q.X.local spec.preserve))
+  && (spec.strip_all || List.mem q.X.local spec.strip)
+
+(** [apply spec doc] — a fresh tree with the declared whitespace removed.
+    Returns [doc] itself when the spec strips nothing. *)
+let apply (spec : space_spec) (doc : X.node) : X.node =
+  if (not spec.strip_all) && spec.strip = [] then doc
+  else
+    let rec copy n =
+      let fresh = X.make n.X.kind in
+      fresh.X.attributes <-
+        List.map
+          (fun a ->
+            let a' = X.make a.X.kind in
+            a'.X.parent <- Some fresh;
+            a')
+          n.X.attributes;
+      let keep_child c =
+        match (c.X.kind, n.X.kind) with
+        | X.Text s, X.Element q -> not (is_ws_only s && strips spec q)
+        | _ -> true
+      in
+      X.set_children fresh (List.map copy (List.filter keep_child n.X.children));
+      fresh
+    in
+    let stripped = copy doc in
+    X.reindex stripped;
+    stripped

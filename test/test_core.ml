@@ -1,0 +1,580 @@
+(* Tests for xdb_core: the paper's contribution — partial evaluation,
+   execution graph, the §3.3–3.7 rewrite techniques, the pipeline, and the
+   Example 1 / Example 2 reproductions. *)
+
+module S = Xdb_schema.Types
+module Q = Xdb_xquery.Ast
+module A = Xdb_rel.Algebra
+module P = Xdb_rel.Publish
+module V = Xdb_rel.Value
+module T = Xdb_rel.Table
+module X = Xdb_xml.Types
+module C = Xdb_xslt.Compile
+module TR = Xdb_core.Trace
+module GEN = Xdb_core.Xslt2xquery
+module O = Xdb_core.Options
+module PL = Xdb_core.Pipeline
+
+let check = Alcotest.check
+let cs = Alcotest.string
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+let contains sub s =
+  let rec go i =
+    i + String.length sub <= String.length s
+    && (String.sub s i (String.length sub) = sub || go (i + 1))
+  in
+  go 0
+
+let compile_ss body =
+  C.compile
+    (Xdb_xslt.Parser.parse
+       (Printf.sprintf
+          {|<?xml version="1.0"?><xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">%s</xsl:stylesheet>|}
+          body))
+
+let dept_schema =
+  S.make ~root:"dept"
+    [
+      S.node "dept" [ S.particle "dname"; S.particle "loc"; S.particle "employees" ];
+      S.node "employees" [ S.particle ~occurs:S.many "emp" ];
+      S.node "emp" [ S.particle "empno"; S.particle "ename"; S.particle "sal" ];
+      S.leaf "dname";
+      S.leaf "loc";
+      S.leaf "empno";
+      S.leaf "ename";
+      S.leaf "sal";
+    ]
+
+let example1_body =
+  {|<xsl:template match="dept">
+<H1>HIGHLY PAID DEPT EMPLOYEES</H1>
+<xsl:apply-templates/>
+</xsl:template>
+<xsl:template match="dname">
+<H2>Department name: <xsl:value-of select="."/></H2>
+</xsl:template>
+<xsl:template match="loc">
+<H2>Department location: <xsl:value-of select="."/></H2>
+</xsl:template>
+<xsl:template match="employees">
+<H2>Employees Table</H2>
+<table border="2">
+<td><b>EmpNo</b></td>
+<td><b>Name</b></td>
+<td><b>Weekly Salary</b></td>
+<xsl:apply-templates select="emp[sal &gt; 2000]"/>
+</table>
+</xsl:template>
+<xsl:template match = "emp">
+<tr>
+<td><xsl:value-of select="empno"/></td>
+<td><xsl:value-of select="ename"/></td>
+<td><xsl:value-of select="sal"/></td>
+</tr>
+</xsl:template>
+<xsl:template match="text()">
+<xsl:value-of select="."/>
+</xsl:template>|}
+
+(* ------------------------------------------------------------------ *)
+(* trace / execution graph (§4.3)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_execution_graph () =
+  let prog = compile_ss example1_body in
+  let sample = Xdb_schema.Sample.generate dept_schema in
+  let graph = TR.run prog sample in
+  check cb "acyclic" false graph.TR.recursive;
+  (* root state is the builtin on the document, then dept template *)
+  check cb "root is builtin" true (graph.TR.root.TR.template = None);
+  check ci "root has one transition" 1 (List.length graph.TR.root.TR.transitions);
+  (* conservative predicate assumption dispatched emp despite [sal > 2000] *)
+  let printed = TR.to_string graph in
+  check cb "emp reached" true (contains "on <emp>" printed);
+  (* 5 user templates instantiated (text() never fires: no sample text under
+     matched elements appears via apply with select) *)
+  check cb "several instantiated" true (List.length graph.TR.instantiated >= 4)
+
+let test_recursion_detected () =
+  let prog =
+    compile_ss
+      {|<xsl:template match="numbers">
+<xsl:call-template name="go"><xsl:with-param name="n" select="3"/></xsl:call-template>
+</xsl:template>
+<xsl:template name="go">
+<xsl:param name="n" select="0"/>
+<xsl:if test="$n &gt; 0">
+<v/><xsl:call-template name="go"><xsl:with-param name="n" select="$n - 1"/></xsl:call-template>
+</xsl:if>
+</xsl:template>|}
+  in
+  let schema = S.make ~root:"numbers" [ S.leaf "numbers" ] in
+  let sample = Xdb_schema.Sample.generate schema in
+  let graph = TR.run prog sample in
+  check cb "recursion flagged" true graph.TR.recursive
+
+(* ------------------------------------------------------------------ *)
+(* translation modes                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_inline_mode_selected () =
+  let prog = compile_ss example1_body in
+  let result = GEN.translate prog ~schema:dept_schema in
+  check cb "inline" true (result.GEN.mode = GEN.Mode_inline);
+  check cb "no user functions" true (result.GEN.query.Q.funs = []);
+  check cb "no calls in body" false (Q.has_user_calls result.GEN.query.Q.body);
+  (* residual predicate survives (conservative §4.1) *)
+  let printed = Xdb_xquery.Pretty.prog_syntax result.GEN.query in
+  check cb "predicate residual" true (contains "sal > 2000" printed);
+  (* cardinality: LET for dname (one), FOR for emp (many) — Table 15 *)
+  check cb "let for singleton" true (contains "let $" printed);
+  check cb "for over emp" true (contains "for $" printed)
+
+let test_builtin_compaction () =
+  (* paper §3.6, Tables 20–21: the empty stylesheet *)
+  let prog = compile_ss "" in
+  let result = GEN.translate prog ~schema:dept_schema in
+  check cb "compact mode" true (result.GEN.mode = GEN.Mode_builtin_compact);
+  let printed = Xdb_xquery.Pretty.prog_syntax result.GEN.query in
+  check cb "string-join over //text()" true (contains "string-join" printed);
+  (* equivalence with the VM on a real document *)
+  let doc =
+    Xdb_xml.Parser.parse
+      "<dept><dname>A</dname><loc>B</loc><employees><emp><empno>1</empno><ename>N</ename><sal>2</sal></emp></employees></dept>"
+  in
+  let vm_out =
+    Xdb_xml.Serializer.node_list_to_string (Xdb_xslt.Vm.transform prog doc).X.children
+  in
+  let q_out =
+    Xdb_xml.Serializer.node_list_to_string
+      (Xdb_xquery.Eval.run_to_nodes result.GEN.query ~context:doc)
+  in
+  check cs "compact ≡ builtin rules" vm_out q_out
+
+let test_recursive_schema_forces_functions () =
+  let tree_schema =
+    S.make ~root:"tree"
+      [
+        S.node "tree" [ S.particle "node" ];
+        S.node "node" [ S.particle "label"; S.particle ~occurs:S.many "node" ];
+        S.leaf "label";
+      ]
+  in
+  let prog =
+    compile_ss
+      {|<xsl:template match="node"><n><xsl:apply-templates select="node"/></n></xsl:template>
+<xsl:template match="text()"/>|}
+  in
+  let result = GEN.translate prog ~schema:tree_schema in
+  check cb "non-inline for recursive structure" true (result.GEN.mode = GEN.Mode_functions)
+
+let test_dead_template_removal () =
+  (* §3.7: ghost templates produce no code in inline mode *)
+  let prog =
+    compile_ss
+      ({|<xsl:template match="ghost"><never/></xsl:template>|} ^ example1_body)
+  in
+  let result = GEN.translate prog ~schema:dept_schema in
+  let printed = Xdb_xquery.Pretty.prog_syntax result.GEN.query in
+  check cb "ghost template dropped" false (contains "never" printed)
+
+let test_partial_inline_extension () =
+  (* §7.2 extension: recursive stylesheets keep the acyclic part inline *)
+  let body =
+    {|<xsl:template match="numbers">
+<wrap>
+<xsl:call-template name="go"><xsl:with-param name="n" select="3"/></xsl:call-template>
+</wrap>
+</xsl:template>
+<xsl:template name="go">
+<xsl:param name="n" select="0"/>
+<xsl:if test="$n &gt; 0">
+<v><xsl:value-of select="$n"/></v>
+<xsl:call-template name="go"><xsl:with-param name="n" select="$n - 1"/></xsl:call-template>
+</xsl:if>
+</xsl:template>
+<xsl:template match="text()"/>|}
+  in
+  let schema =
+    S.make ~root:"numbers" [ S.node "numbers" [ S.particle ~occurs:S.many "num" ]; S.leaf "num" ]
+  in
+  let prog = compile_ss body in
+  (* paper configuration: recursion → full functions mode *)
+  let default = GEN.translate prog ~schema in
+  check cb "paper config: non-inline" true (default.GEN.mode = GEN.Mode_functions);
+  (* extension: only the recursive template becomes a function *)
+  let partial = GEN.translate ~options:O.with_partial_inline prog ~schema in
+  check cb "partial-inline mode" true (partial.GEN.mode = GEN.Mode_partial_inline);
+  check ci "only the cycle template is a function" 1
+    (List.length partial.GEN.query.Q.funs);
+  let printed = Xdb_xquery.Pretty.prog_syntax partial.GEN.query in
+  check cb "wrap element inlined" true (contains "<wrap>" printed);
+  (* both agree with the VM *)
+  let doc = Xdb_xml.Parser.parse "<numbers><num>1</num><num>2</num></numbers>" in
+  let vm = Xdb_xml.Serializer.node_list_to_string (Xdb_xslt.Vm.transform prog doc).X.children in
+  let run q = Xdb_xml.Serializer.node_list_to_string (Xdb_xquery.Eval.run_to_nodes q ~context:doc) in
+  check cs "functions ≡ VM" vm (run default.GEN.query);
+  check cs "partial ≡ VM" vm (run partial.GEN.query)
+
+let test_strip_space_pipeline () =
+  (* both evaluation strategies consume the same stripped tree *)
+  let ss =
+    Printf.sprintf
+      {|<?xml version="1.0"?><xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+<xsl:strip-space elements="*"/>
+<xsl:template match="doc"><out><xsl:apply-templates/></out></xsl:template>
+<xsl:template match="a"><v><xsl:value-of select="."/></v></xsl:template>
+</xsl:stylesheet>|}
+  in
+  let doc = Xdb_xml.Parser.parse "<doc>\n  <a>x</a>\n  <a>y</a>\n</doc>" in
+  let dc = PL.compile_for_document ss ~example_doc:doc in
+  let f = PL.transform_functional dc doc in
+  let x = PL.transform_via_xquery dc doc in
+  check cs "stripped equivalence" f x;
+  check cs "whitespace gone" "<out><v>x</v><v>y</v></out>" f
+
+let test_position_last_translation () =
+  (* position() and last() inside an applied template translate via a
+     positional FLWOR variable and a pre-bound count *)
+  let body =
+    {|<xsl:template match="employees"><xsl:apply-templates select="emp"/></xsl:template>
+<xsl:template match="emp">
+<e p="{position()}" n="{last()}"><xsl:value-of select="ename"/></e>
+</xsl:template>
+<xsl:template match="text()"/>|}
+  in
+  let prog = compile_ss body in
+  let result = GEN.translate prog ~schema:dept_schema in
+  check cb "still inline" true (result.GEN.mode = GEN.Mode_inline);
+  let doc =
+    Xdb_xml.Parser.parse
+      "<dept><dname>D</dname><loc>L</loc><employees><emp><empno>1</empno><ename>A</ename><sal>1</sal></emp><emp><empno>2</empno><ename>B</ename><sal>2</sal></emp><emp><empno>3</empno><ename>C</ename><sal>3</sal></emp></employees></dept>"
+  in
+  let vm = Xdb_xml.Serializer.node_list_to_string (Xdb_xslt.Vm.transform prog doc).X.children in
+  let q =
+    Xdb_xml.Serializer.node_list_to_string
+      (Xdb_xquery.Eval.run_to_nodes result.GEN.query ~context:doc)
+  in
+  check cs "position/last ≡ VM" vm q;
+  check cs "expected shape"
+    "<e p=\"1\" n=\"3\">A</e><e p=\"2\" n=\"3\">B</e><e p=\"3\" n=\"3\">C</e>" q
+
+let test_key_translation () =
+  (* key(name, v) expands to a document search with the use-predicate *)
+  let body =
+    {|<xsl:key name="byno" match="emp" use="empno"/>
+<xsl:template match="dept">
+<found><xsl:value-of select="count(key('byno', 7782))"/></found>
+</xsl:template>
+<xsl:template match="text()"/>|}
+  in
+  let prog = compile_ss body in
+  let result = GEN.translate prog ~schema:dept_schema in
+  let doc =
+    Xdb_xml.Parser.parse
+      "<dept><dname>D</dname><loc>L</loc><employees><emp><empno>7782</empno><ename>A</ename><sal>1</sal></emp><emp><empno>9</empno><ename>B</ename><sal>2</sal></emp></employees></dept>"
+  in
+  let vm = Xdb_xml.Serializer.node_list_to_string (Xdb_xslt.Vm.transform prog doc).X.children in
+  let q =
+    Xdb_xml.Serializer.node_list_to_string
+      (Xdb_xquery.Eval.run_to_nodes result.GEN.query ~context:doc)
+  in
+  check cs "key expansion ≡ VM" vm q;
+  check cs "one emp found" "<found>1</found>" q
+
+let test_straightforward_translation () =
+  (* [9]-style: functions + dispatch conditionals, no structural info *)
+  let prog = compile_ss example1_body in
+  let result = GEN.translate_straightforward prog ~schema:dept_schema in
+  check cb "functions mode" true (result.GEN.mode = GEN.Mode_functions);
+  check cb "has functions" true (List.length result.GEN.query.Q.funs > 0);
+  let printed = Xdb_xquery.Pretty.prog_syntax result.GEN.query in
+  check cb "instance-of dispatch" true (contains "instance of" printed);
+  check cb "builtin function" true (contains "local:builtin" printed)
+
+let test_backward_axis_removal () =
+  (* §3.5, Tables 16–19: match="emp/empno" parent test removable because the
+     schema proves empno only occurs under emp *)
+  let body =
+    {|<xsl:template match="dept"><xsl:apply-templates select="employees/emp/empno"/></xsl:template>
+<xsl:template match="emp/empno"><e><xsl:value-of select="."/></e></xsl:template>
+<xsl:template match="text()"/>|}
+  in
+  let prog = compile_ss body in
+  let with_removal =
+    GEN.translate ~options:{ O.straightforward with O.remove_backward_tests = true } prog
+      ~schema:dept_schema
+  in
+  let without_removal =
+    GEN.translate ~options:O.straightforward prog ~schema:dept_schema
+  in
+  let p_with = Xdb_xquery.Pretty.prog_syntax with_removal.GEN.query in
+  let p_without = Xdb_xquery.Pretty.prog_syntax without_removal.GEN.query in
+  check cb "parent test present without removal" true (contains "parent::emp" p_without);
+  check cb "parent test removed" false (contains "parent::emp" p_with);
+  (* both still compute the same result *)
+  let doc =
+    Xdb_xml.Parser.parse
+      "<dept><dname>D</dname><loc>L</loc><employees><emp><empno>7</empno><ename>N</ename><sal>1</sal></emp></employees></dept>"
+  in
+  let run q = Xdb_xml.Serializer.node_list_to_string (Xdb_xquery.Eval.run_to_nodes q ~context:doc) in
+  check cs "equivalent" (run without_removal.GEN.query) (run with_removal.GEN.query)
+
+let test_model_group_variants () =
+  (* §3.4, Tables 12–14: choice vs sequence generation *)
+  let body =
+    {|<xsl:template match="pick"><xsl:apply-templates/></xsl:template>
+<xsl:template match="a"><A/></xsl:template>
+<xsl:template match="b"><B/></xsl:template>
+<xsl:template match="text()"/>|}
+  in
+  let prog = compile_ss body in
+  let choice_schema =
+    S.make ~root:"pick"
+      [ S.node ~group:S.Choice "pick" [ S.particle ~occurs:S.optional "a"; S.particle ~occurs:S.optional "b" ];
+        S.leaf "a"; S.leaf "b" ]
+  in
+  let seq_schema =
+    S.make ~root:"pick"
+      [ S.node "pick" [ S.particle "a"; S.particle "b" ]; S.leaf "a"; S.leaf "b" ]
+  in
+  let p_choice =
+    Xdb_xquery.Pretty.prog_syntax (GEN.translate prog ~schema:choice_schema).GEN.query
+  in
+  let p_seq = Xdb_xquery.Pretty.prog_syntax (GEN.translate prog ~schema:seq_schema).GEN.query in
+  (* choice: existence conditionals (Table 13); sequence: none (Table 14) *)
+  check cb "choice uses exists" true (contains "exists" p_choice);
+  check cb "sequence has no conditional" false (contains "if (" p_seq);
+  (* all-group: instance-of tests over node() (Table 12) *)
+  let all_schema =
+    S.make ~root:"pick"
+      [ S.node ~group:S.All "pick" [ S.particle "a"; S.particle "b" ]; S.leaf "a"; S.leaf "b" ]
+  in
+  let p_all = Xdb_xquery.Pretty.prog_syntax (GEN.translate prog ~schema:all_schema).GEN.query in
+  check cb "all uses instance-of" true (contains "instance of" p_all)
+
+let test_cardinality_let_vs_for () =
+  let body =
+    {|<xsl:template match="dept"><xsl:apply-templates select="dname"/></xsl:template>
+<xsl:template match="dname"><d><xsl:value-of select="."/></d></xsl:template>
+<xsl:template match="text()"/>|}
+  in
+  let prog = compile_ss body in
+  let with_card = GEN.translate prog ~schema:dept_schema in
+  let without_card =
+    GEN.translate ~options:{ O.default with O.use_cardinality = false } prog ~schema:dept_schema
+  in
+  let p1 = Xdb_xquery.Pretty.prog_syntax with_card.GEN.query in
+  let p2 = Xdb_xquery.Pretty.prog_syntax without_card.GEN.query in
+  check cb "cardinality one uses let" true (contains "let $var" p1);
+  check cb "option off uses for" true (contains "for $var" p2)
+
+(* ------------------------------------------------------------------ *)
+(* full pipeline (Example 1 / Example 2)                                *)
+(* ------------------------------------------------------------------ *)
+
+let setup_example1 () =
+  let db = Xdb_rel.Database.create () in
+  let dept =
+    Xdb_rel.Database.create_table db "dept"
+      [
+        { T.col_name = "deptno"; col_type = V.Tint };
+        { T.col_name = "dname"; col_type = V.Tstr };
+        { T.col_name = "loc"; col_type = V.Tstr };
+      ]
+  in
+  let emp =
+    Xdb_rel.Database.create_table db "emp"
+      [
+        { T.col_name = "empno"; col_type = V.Tint };
+        { T.col_name = "ename"; col_type = V.Tstr };
+        { T.col_name = "sal"; col_type = V.Tint };
+        { T.col_name = "deptno"; col_type = V.Tint };
+      ]
+  in
+  T.insert_values dept [ V.Int 10; V.Str "ACCOUNTING"; V.Str "NEW YORK" ];
+  T.insert_values dept [ V.Int 40; V.Str "OPERATIONS"; V.Str "BOSTON" ];
+  T.insert_values emp [ V.Int 7782; V.Str "CLARK"; V.Int 2450; V.Int 10 ];
+  T.insert_values emp [ V.Int 7934; V.Str "MILLER"; V.Int 1300; V.Int 10 ];
+  T.insert_values emp [ V.Int 7954; V.Str "SMITH"; V.Int 4900; V.Int 40 ];
+  ignore (T.create_index emp ~name:"emp_sal_idx" ~column:"sal");
+  let leaf name col = P.Elem { name; attrs = []; content = [ P.Text_col col ] } in
+  let view =
+    {
+      P.view_name = "dept_emp";
+      base_table = "dept";
+      base_alias = "dept";
+      column = "dept_content";
+      spec =
+        P.Elem
+          {
+            name = "dept";
+            attrs = [];
+            content =
+              [
+                leaf "dname" "dname";
+                leaf "loc" "loc";
+                P.Elem
+                  {
+                    name = "employees";
+                    attrs = [];
+                    content =
+                      [
+                        P.Agg
+                          {
+                            table = "emp";
+                            alias = "emp";
+                            correlate = [ ("deptno", "deptno") ];
+                            where = None;
+                            order_by = [ ("empno", A.Asc) ];
+                            body =
+                              P.Elem
+                                {
+                                  name = "emp";
+                                  attrs = [];
+                                  content =
+                                    [ leaf "empno" "empno"; leaf "ename" "ename"; leaf "sal" "sal" ];
+                                };
+                          };
+                      ];
+                  };
+              ];
+          };
+    }
+  in
+  (db, view)
+
+let example1_stylesheet =
+  Printf.sprintf
+    {|<?xml version="1.0"?><xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">%s</xsl:stylesheet>|}
+    example1_body
+
+let test_example1_pipeline () =
+  let db, view = setup_example1 () in
+  let c = PL.compile db view example1_stylesheet in
+  check cb "SQL plan produced" true (c.PL.sql_plan <> None);
+  let f = PL.run_functional db c in
+  let x = PL.run_xquery_stage db c in
+  let r = PL.run_rewrite db c in
+  check Alcotest.(list string) "functional = xquery stage" f x;
+  check Alcotest.(list string) "functional = rewrite" f r;
+  (* the first row reproduces paper Table 6 *)
+  check cs "paper Table 6"
+    "<H1>HIGHLY PAID DEPT EMPLOYEES</H1><H2>Department name: ACCOUNTING</H2><H2>Department location: NEW YORK</H2><H2>Employees Table</H2><table border=\"2\"><td><b>EmpNo</b></td><td><b>Name</b></td><td><b>Weekly Salary</b></td><tr><td>7782</td><td>CLARK</td><td>2450</td></tr></table>"
+    (List.hd f);
+  (* plan shape of paper Table 7: index scan on sal inside the subquery *)
+  let explain = A.explain (Option.get c.PL.sql_plan) in
+  check cb "B-tree probe on sal" true (contains "IndexScan emp" explain);
+  check cb "residual correlation" true (contains "deptno" explain)
+
+let test_example2_combined () =
+  let db, view = setup_example1 () in
+  let c = PL.compile db view example1_stylesheet in
+  let steps = [ Xdb_xpath.Ast.child_step "table"; Xdb_xpath.Ast.child_step "tr" ] in
+  let plan_opt, composed = PL.compose db c steps in
+  check cb "combined plan produced" true (plan_opt <> None);
+  (* the composed query keeps only the tr-producing FLWOR (paper Table 11) *)
+  let printed = Xdb_xquery.Pretty.prog_syntax composed in
+  check cb "H1 eliminated" false (contains "H1" printed);
+  check cb "emp iteration kept" true (contains "emp[sal > 2000]" printed);
+  (* results: one row set per dept *)
+  let rows = Xdb_rel.Exec.run db (Option.get plan_opt) in
+  let out = List.map (fun r -> V.to_string (List.assoc "result" r)) rows in
+  check Alcotest.(list string) "paper Table 11 result"
+    [
+      "<tr><td>7782</td><td>CLARK</td><td>2450</td></tr>";
+      "<tr><td>7954</td><td>SMITH</td><td>4900</td></tr>";
+    ]
+    out;
+  (* dynamic evaluation agrees *)
+  let dyn = PL.run_composed_dynamic db c composed in
+  check Alcotest.(list string) "composition differential" dyn out
+
+let test_explain_sections () =
+  let db, view = setup_example1 () in
+  let c = PL.compile db view example1_stylesheet in
+  let text = PL.explain c in
+  check cb "mode section" true (contains "translation mode: inline" text);
+  check cb "graph section" true (contains "template execution graph" text);
+  check cb "xquery section" true (contains "declare variable $var000" text);
+  check cb "plan section" true (contains "SQL/XML plan" text)
+
+let test_schema_evolution_registry () =
+  (* paper §7.3: re-registering an evolved view triggers recompilation *)
+  let db, view = setup_example1 () in
+  let reg = Xdb_core.Registry.create db in
+  Xdb_core.Registry.register_view reg view;
+  let out1 =
+    Xdb_core.Registry.run reg ~view_name:"dept_emp" ~stylesheet:example1_stylesheet
+  in
+  check ci "one compilation" 1 (Xdb_core.Registry.recompilations reg);
+  (* reuse: same view, same stylesheet → cached *)
+  let out1' =
+    Xdb_core.Registry.run reg ~view_name:"dept_emp" ~stylesheet:example1_stylesheet
+  in
+  check ci "cache hit" 1 (Xdb_core.Registry.recompilations reg);
+  check Alcotest.(list string) "stable output" out1 out1';
+  (* evolve the schema: drop <loc> from the published shape *)
+  let evolved =
+    match view.P.spec with
+    | P.Elem ({ content = dname :: _loc :: rest; _ } as e) ->
+        { view with P.spec = P.Elem { e with content = dname :: rest } }
+    | _ -> Alcotest.fail "unexpected spec shape"
+  in
+  Xdb_core.Registry.register_view reg evolved;
+  let out2 =
+    Xdb_core.Registry.run reg ~view_name:"dept_emp" ~stylesheet:example1_stylesheet
+  in
+  check ci "recompiled after evolution" 2 (Xdb_core.Registry.recompilations reg);
+  check cb "output reflects new schema" true (out1 <> out2);
+  check cb "loc gone from output" false (contains "Department location" (List.hd out2));
+  (* unknown views are reported *)
+  match Xdb_core.Registry.run reg ~view_name:"ghost" ~stylesheet:example1_stylesheet with
+  | exception Xdb_core.Registry.Registry_error _ -> ()
+  | _ -> Alcotest.fail "unknown view must raise"
+
+(* property: pipeline equivalence across random dept/emp instances *)
+let prop_pipeline_equivalence =
+  QCheck.Test.make ~name:"functional = rewrite on random instances" ~count:20
+    QCheck.(pair (int_range 1 4) (int_range 0 6))
+    (fun (n_depts, emps_per) ->
+      let dv = Xdb_xsltmark.Data.dept_emp_db n_depts (max 1 emps_per) in
+      let c =
+        PL.compile dv.Xdb_xsltmark.Data.db dv.Xdb_xsltmark.Data.view example1_stylesheet
+      in
+      PL.run_functional dv.Xdb_xsltmark.Data.db c = PL.run_rewrite dv.Xdb_xsltmark.Data.db c)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "execution graph" `Quick test_execution_graph;
+          Alcotest.test_case "recursion detection" `Quick test_recursion_detected;
+        ] );
+      ( "translation",
+        [
+          Alcotest.test_case "inline mode" `Quick test_inline_mode_selected;
+          Alcotest.test_case "builtin compaction (§3.6)" `Quick test_builtin_compaction;
+          Alcotest.test_case "recursive schema (§7.2)" `Quick test_recursive_schema_forces_functions;
+          Alcotest.test_case "dead templates (§3.7)" `Quick test_dead_template_removal;
+          Alcotest.test_case "straightforward [9]" `Quick test_straightforward_translation;
+          Alcotest.test_case "partial inline (§7.2 extension)" `Quick test_partial_inline_extension;
+          Alcotest.test_case "key() expansion" `Quick test_key_translation;
+          Alcotest.test_case "position()/last() translation" `Quick test_position_last_translation;
+          Alcotest.test_case "strip-space through the pipeline" `Quick test_strip_space_pipeline;
+          Alcotest.test_case "backward axis removal (§3.5)" `Quick test_backward_axis_removal;
+          Alcotest.test_case "model groups (§3.4)" `Quick test_model_group_variants;
+          Alcotest.test_case "cardinality LET/FOR (§3.4)" `Quick test_cardinality_let_vs_for;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "Example 1 end-to-end" `Quick test_example1_pipeline;
+          Alcotest.test_case "Example 2 combined optimisation" `Quick test_example2_combined;
+          Alcotest.test_case "explain" `Quick test_explain_sections;
+          Alcotest.test_case "schema evolution registry (§7.3)" `Quick test_schema_evolution_registry;
+          QCheck_alcotest.to_alcotest prop_pipeline_equivalence;
+        ] );
+    ]

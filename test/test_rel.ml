@@ -1,0 +1,523 @@
+(* Tests for xdb_rel: values, B-tree, tables, executor, optimizer,
+   publishing. *)
+
+module V = Xdb_rel.Value
+module BT = Xdb_rel.Btree
+module T = Xdb_rel.Table
+module DB = Xdb_rel.Database
+module A = Xdb_rel.Algebra
+module E = Xdb_rel.Exec
+module O = Xdb_rel.Optimizer
+module P = Xdb_rel.Publish
+module X = Xdb_xml.Types
+
+let check = Alcotest.check
+let cs = Alcotest.string
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* values                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_value_casts () =
+  check ci "str to int" 42 (V.to_int (V.Str " 42 "));
+  check (Alcotest.float 1e-9) "int to float" 3.0 (V.to_float (V.Int 3));
+  check cs "float integral prints bare" "4" (V.to_string (V.Float 4.0));
+  check cs "float fraction" "2.5" (V.to_string (V.Float 2.5));
+  check cs "null prints empty" "" (V.to_string V.Null);
+  match V.to_int (V.Str "nope") with
+  | exception V.Type_error _ -> ()
+  | _ -> Alcotest.fail "bad cast must raise"
+
+let test_value_compare () =
+  check cb "null incomparable" true (V.compare_sql V.Null (V.Int 1) = None);
+  check cb "mixed numeric" true (V.compare_sql (V.Int 2) (V.Float 2.0) = Some 0);
+  check cb "string coerced" true (V.compare_sql (V.Str "10") (V.Int 9) = Some 1);
+  check cb "key order total" true (V.compare_key V.Null (V.Int 0) < 0)
+
+(* ------------------------------------------------------------------ *)
+(* B-tree                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_btree_basic () =
+  let t = BT.create () in
+  for i = 0 to 999 do
+    BT.insert t (V.Int ((i * 37) mod 1000)) i
+  done;
+  check cb "invariants" true (BT.check_invariants t);
+  check ci "size" 1000 (BT.size t);
+  check cb "height grew" true (BT.height t > 1);
+  (* each key inserted exactly once with rid = i where key = (i*37) mod 1000;
+     37 is coprime with 1000 so every key in 0..999 appears once *)
+  check ci "find point" 1 (List.length (BT.find t (V.Int 500)));
+  check ci "find missing" 0 (List.length (BT.find t (V.Int 12345)))
+
+let test_btree_duplicates () =
+  let t = BT.create () in
+  List.iter (fun i -> BT.insert t (V.Int 7) i) [ 1; 2; 3 ];
+  BT.insert t (V.Int 9) 4;
+  check Alcotest.(list int) "dup rows in insert order" [ 1; 2; 3 ] (BT.find t (V.Int 7))
+
+let test_btree_range () =
+  let t = BT.create () in
+  for i = 1 to 100 do
+    BT.insert t (V.Int i) i
+  done;
+  let r = BT.range t ~lo:(BT.Inclusive (V.Int 10)) ~hi:(BT.Exclusive (V.Int 13)) in
+  check Alcotest.(list int) "range [10,13)" [ 10; 11; 12 ] (List.map snd r);
+  let r = BT.range t ~lo:(BT.Exclusive (V.Int 98)) ~hi:BT.Unbounded in
+  check Alcotest.(list int) "open top" [ 99; 100 ] (List.map snd r);
+  check ci "full scan" 100 (List.length (BT.to_list t))
+
+let test_btree_strings () =
+  let t = BT.create () in
+  List.iteri (fun i s -> BT.insert t (V.Str s) i) [ "pear"; "apple"; "fig" ];
+  let keys = List.map fst (BT.to_list t) in
+  check Alcotest.(list string) "sorted keys" [ "apple"; "fig"; "pear" ]
+    (List.map V.to_string keys)
+
+(* qcheck: B-tree vs sorted association list model *)
+let prop_btree_model =
+  QCheck.Test.make ~name:"btree matches assoc model" ~count:100
+    QCheck.(list (pair (int_bound 50) (int_bound 1000)))
+    (fun pairs ->
+      let t = BT.create () in
+      List.iteri (fun rid (k, _) -> BT.insert t (V.Int k) rid) pairs;
+      BT.check_invariants t
+      && List.for_all
+           (fun (k, _) ->
+             let expected =
+               List.filteri (fun _ (k', _) -> k' = k) (List.mapi (fun i p -> (fst p, i)) pairs)
+               |> List.map snd
+             in
+             BT.find t (V.Int k) = expected)
+           pairs)
+
+(* ------------------------------------------------------------------ *)
+(* tables and executor                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let setup_db () =
+  let db = DB.create () in
+  let dept =
+    DB.create_table db "dept"
+      [
+        { T.col_name = "deptno"; col_type = V.Tint };
+        { T.col_name = "dname"; col_type = V.Tstr };
+      ]
+  in
+  let emp =
+    DB.create_table db "emp"
+      [
+        { T.col_name = "empno"; col_type = V.Tint };
+        { T.col_name = "ename"; col_type = V.Tstr };
+        { T.col_name = "sal"; col_type = V.Tint };
+        { T.col_name = "deptno"; col_type = V.Tint };
+      ]
+  in
+  T.insert_values dept [ V.Int 10; V.Str "ACCOUNTING" ];
+  T.insert_values dept [ V.Int 40; V.Str "OPERATIONS" ];
+  T.insert_values emp [ V.Int 7782; V.Str "CLARK"; V.Int 2450; V.Int 10 ];
+  T.insert_values emp [ V.Int 7934; V.Str "MILLER"; V.Int 1300; V.Int 10 ];
+  T.insert_values emp [ V.Int 7954; V.Str "SMITH"; V.Int 4900; V.Int 40 ];
+  ignore (T.create_index emp ~name:"emp_sal" ~column:"sal");
+  db
+
+let test_table_errors () =
+  let db = setup_db () in
+  let dept = DB.table db "dept" in
+  (match T.insert_values dept [ V.Int 1 ] with
+  | exception T.Table_error _ -> ()
+  | _ -> Alcotest.fail "arity mismatch must raise");
+  (match DB.table db "ghost" with
+  | exception DB.Unknown_table _ -> ()
+  | _ -> Alcotest.fail "unknown table must raise");
+  match T.column_pos dept "ghost" with
+  | exception T.Table_error _ -> ()
+  | _ -> Alcotest.fail "unknown column must raise"
+
+let test_scan_filter_project () =
+  let db = setup_db () in
+  let plan =
+    A.Project
+      ( [ (A.col "ename", "ename") ],
+        A.Filter (A.(col "sal" >. const_int 2000), A.Seq_scan { table = "emp"; alias = "e" }) )
+  in
+  let names = List.map (fun r -> V.to_string (List.assoc "ename" r)) (E.run db plan) in
+  check Alcotest.(list string) "filtered names" [ "CLARK"; "SMITH" ] names
+
+let test_index_scan () =
+  let db = setup_db () in
+  let plan =
+    A.Index_scan
+      {
+        table = "emp";
+        alias = "e";
+        index_column = "sal";
+        lo = A.Incl (A.const_int 2000);
+        hi = A.Unbounded;
+      }
+  in
+  let rows = E.run db plan in
+  check ci "two rows" 2 (List.length rows);
+  (* index scan returns key order *)
+  let sals = List.map (fun r -> V.to_int (List.assoc "sal" r)) rows in
+  check Alcotest.(list int) "key order" [ 2450; 4900 ] sals
+
+let test_join () =
+  let db = setup_db () in
+  let plan =
+    A.Nested_loop
+      {
+        outer = A.Seq_scan { table = "dept"; alias = "d" };
+        inner = A.Seq_scan { table = "emp"; alias = "e" };
+        join_cond = Some A.(qcol "e" "deptno" =. qcol "d" "deptno");
+      }
+  in
+  check ci "join cardinality" 3 (List.length (E.run db plan))
+
+let test_aggregate () =
+  let db = setup_db () in
+  let plan =
+    A.Aggregate
+      {
+        group_by = [ (A.col "deptno", "deptno") ];
+        aggs =
+          [
+            (A.Count_star, "n");
+            (A.Sum (A.col "sal"), "total");
+            (A.Min (A.col "sal"), "lo");
+            (A.Max (A.col "sal"), "hi");
+            (A.Avg (A.col "sal"), "avg");
+          ];
+        input = A.Seq_scan { table = "emp"; alias = "e" };
+      }
+  in
+  let rows = E.run db plan in
+  check ci "two groups" 2 (List.length rows);
+  let g10 = List.find (fun r -> List.assoc "deptno" r = V.Int 10) rows in
+  check ci "count" 2 (V.to_int (List.assoc "n" g10));
+  check ci "sum" 3750 (V.to_int (List.assoc "total" g10));
+  check ci "min" 1300 (V.to_int (List.assoc "lo" g10));
+  check ci "max" 2450 (V.to_int (List.assoc "hi" g10))
+
+let test_sort_limit () =
+  let db = setup_db () in
+  let plan =
+    A.Limit
+      (2, A.Sort ([ (A.col "sal", A.Desc) ], A.Seq_scan { table = "emp"; alias = "e" }))
+  in
+  let sals = List.map (fun r -> V.to_int (List.assoc "sal" r)) (E.run db plan) in
+  check Alcotest.(list int) "top 2 by sal" [ 4900; 2450 ] sals
+
+let test_scalar_subquery_correlated () =
+  let db = setup_db () in
+  (* per dept: count of its employees *)
+  let sub =
+    A.Aggregate
+      {
+        group_by = [];
+        aggs = [ (A.Count_star, "n") ];
+        input =
+          A.Filter
+            ( A.(qcol "e" "deptno" =. qcol "d" "deptno"),
+              A.Seq_scan { table = "emp"; alias = "e" } );
+      }
+  in
+  let plan = A.Project ([ (A.Scalar_subquery sub, "n") ], A.Seq_scan { table = "dept"; alias = "d" }) in
+  let counts = List.map (fun r -> V.to_int (List.assoc "n" r)) (E.run db plan) in
+  check Alcotest.(list int) "correlated counts" [ 2; 1 ] counts
+
+let test_exists_case_nulls () =
+  let db = setup_db () in
+  let plan =
+    A.Project
+      ( [
+          ( A.Case
+              ( [ (A.(col "sal" >. const_int 2000), A.const_str "high") ],
+                Some (A.const_str "low") ),
+            "band" );
+          (A.Is_null (A.Const V.Null), "isnull");
+        ],
+        A.Seq_scan { table = "emp"; alias = "e" } )
+  in
+  let bands = List.map (fun r -> V.to_string (List.assoc "band" r)) (E.run db plan) in
+  check Alcotest.(list string) "case bands" [ "high"; "low"; "high" ] bands
+
+let test_xml_publishing_exprs () =
+  let db = setup_db () in
+  let plan =
+    A.Project
+      ( [
+          ( A.Xml_element
+              ( "e",
+                [ ("no", A.col "empno") ],
+                [ A.Xml_element ("name", [], [ A.col "ename" ]) ] ),
+            "x" );
+        ],
+        A.Filter (A.(col "sal" >. const_int 4000), A.Seq_scan { table = "emp"; alias = "e" }) )
+  in
+  match E.run db plan with
+  | [ row ] ->
+      check cs "published xml" "<e no=\"7954\"><name>SMITH</name></e>"
+        (V.to_string (List.assoc "x" row))
+  | _ -> Alcotest.fail "expected one row"
+
+let test_division_semantics () =
+  let db = setup_db () in
+  let one r = List.hd (E.run db (A.Project ([ (r, "v") ], A.Values { cols = [ "dummy" ]; rows = [ [ V.Int 0 ] ] }))) in
+  check ci "integer div" 3 (V.to_int (List.assoc "v" (one A.(Binop (Div, const_int 7, const_int 2)))));
+  check cs "float div" "3.5"
+    (V.to_string (List.assoc "v" (one A.(Binop (Fdiv, const_int 7, const_int 2)))));
+  match E.run db (A.Project ([ (A.(Binop (Div, const_int 1, const_int 0)), "v") ],
+                             A.Values { cols = [ "d" ]; rows = [ [ V.Int 0 ] ] })) with
+  | exception E.Exec_error _ -> ()
+  | _ -> Alcotest.fail "division by zero must raise"
+
+(* ------------------------------------------------------------------ *)
+(* optimizer                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_optimizer_index_selection () =
+  let db = setup_db () in
+  let plan =
+    A.Filter (A.(col "sal" >. const_int 2000), A.Seq_scan { table = "emp"; alias = "e" })
+  in
+  (match O.optimize db plan with
+  | A.Index_scan { index_column = "sal"; lo = A.Excl _; hi = A.Unbounded; _ } -> ()
+  | p -> Alcotest.failf "expected index scan, got %s" (A.plan_sql p));
+  (* conjunct splitting leaves a residual filter *)
+  let plan2 =
+    A.Filter
+      ( A.(Binop (And, col "sal" >. const_int 2000, col "deptno" =. const_int 10)),
+        A.Seq_scan { table = "emp"; alias = "e" } )
+  in
+  (match O.optimize db plan2 with
+  | A.Filter (_, A.Index_scan { index_column = "sal"; _ }) -> ()
+  | p -> Alcotest.failf "expected residual filter over index scan, got %s" (A.plan_sql p));
+  (* flipped comparison still sargable *)
+  let plan3 =
+    A.Filter (A.(const_int 2000 <. col "sal"), A.Seq_scan { table = "emp"; alias = "e" })
+  in
+  (match O.optimize db plan3 with
+  | A.Index_scan { lo = A.Excl _; _ } -> ()
+  | p -> Alcotest.failf "flipped comparison: %s" (A.plan_sql p));
+  (* no index on dname: stays a filter *)
+  let plan4 =
+    A.Filter (A.(col "dname" =. const_str "X"), A.Seq_scan { table = "dept"; alias = "d" })
+  in
+  match O.optimize db plan4 with
+  | A.Filter (_, A.Seq_scan _) -> ()
+  | p -> Alcotest.failf "expected plain filter, got %s" (A.plan_sql p)
+
+let test_cardinality_estimates () =
+  let db = setup_db () in
+  let scan = A.Seq_scan { table = "emp"; alias = "e" } in
+  let eq_scan =
+    A.Index_scan
+      { table = "emp"; alias = "e"; index_column = "sal";
+        lo = A.Incl (A.const_int 2450); hi = A.Incl (A.const_int 2450) }
+  in
+  let range_scan =
+    A.Index_scan
+      { table = "emp"; alias = "e"; index_column = "sal";
+        lo = A.Excl (A.const_int 2000); hi = A.Unbounded }
+  in
+  let n = O.estimate_rows db scan in
+  check cb "scan = table size" true (n = 3.0);
+  check cb "eq <= range" true (O.estimate_rows db eq_scan <= O.estimate_rows db range_scan);
+  check cb "range < scan" true (O.estimate_rows db range_scan < n);
+  let filtered = A.Filter (A.(col "sal" >. const_int 0), scan) in
+  check cb "filter shrinks" true (O.estimate_rows db filtered < n);
+  check cb "grouped aggregate" true
+    (O.estimate_rows db
+       (A.Aggregate { group_by = [ (A.col "deptno", "d") ]; aggs = []; input = scan })
+    < n);
+  check cb "global aggregate = 1" true
+    (O.estimate_rows db (A.Aggregate { group_by = []; aggs = []; input = scan }) = 1.0)
+
+let test_optimizer_preserves_results () =
+  let db = setup_db () in
+  let plan =
+    A.Project
+      ( [ (A.col "ename", "ename") ],
+        A.Filter (A.(col "sal" >. const_int 1500), A.Seq_scan { table = "emp"; alias = "e" }) )
+  in
+  let before = E.run db plan |> List.map (fun r -> List.assoc "ename" r) |> List.sort compare in
+  let after =
+    E.run db (O.optimize_deep db plan) |> List.map (fun r -> List.assoc "ename" r) |> List.sort compare
+  in
+  check cb "same result set" true (before = after)
+
+(* ------------------------------------------------------------------ *)
+(* publishing                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let dept_view =
+  {
+    P.view_name = "dept_emp";
+    base_table = "dept";
+    base_alias = "dept";
+    column = "dept_content";
+    spec =
+      P.Elem
+        {
+          name = "dept";
+          attrs = [];
+          content =
+            [
+              P.Elem { name = "dname"; attrs = []; content = [ P.Text_col "dname" ] };
+              P.Elem
+                {
+                  name = "employees";
+                  attrs = [];
+                  content =
+                    [
+                      P.Agg
+                        {
+                          table = "emp";
+                          alias = "emp";
+                          correlate = [ ("deptno", "deptno") ];
+                          where = None;
+                          order_by = [ ("empno", A.Asc) ];
+                          body =
+                            P.Elem
+                              {
+                                name = "emp";
+                                attrs = [];
+                                content =
+                                  [
+                                    P.Elem { name = "ename"; attrs = []; content = [ P.Text_col "ename" ] };
+                                    P.Elem { name = "sal"; attrs = []; content = [ P.Text_col "sal" ] };
+                                  ];
+                              };
+                        };
+                    ];
+                };
+            ];
+        };
+  }
+
+let test_materialize () =
+  let db = setup_db () in
+  let docs = P.materialize db dept_view in
+  check ci "one doc per dept row" 2 (List.length docs);
+  let first = Xdb_xml.Serializer.to_string (List.hd docs) in
+  check cs "paper Table 4 shape"
+    "<dept><dname>ACCOUNTING</dname><employees><emp><ename>CLARK</ename><sal>2450</sal></emp><emp><ename>MILLER</ename><sal>1300</sal></emp></employees></dept>"
+    first
+
+let test_view_schema () =
+  let db = setup_db () in
+  ignore db;
+  let schema = P.to_schema dept_view in
+  check cs "root" "dept" schema.Xdb_schema.Types.root;
+  let employees = Xdb_schema.Types.find_exn schema "employees" in
+  check cs "emp cardinality many" "many"
+    (Xdb_schema.Types.occurs_name (List.hd employees.Xdb_schema.Types.particles).Xdb_schema.Types.occurs);
+  let dept = Xdb_schema.Types.find_exn schema "dept" in
+  check cs "dname cardinality one" "one"
+    (Xdb_schema.Types.occurs_name (List.hd dept.Xdb_schema.Types.particles).Xdb_schema.Types.occurs)
+
+let test_spec_navigation () =
+  (match P.navigate dept_view.P.spec "employees" with
+  | Some (P.Elem { name = "employees"; _ } as employees) -> (
+      match P.navigate employees "emp" with
+      | Some (P.Agg _ as emp) -> (
+          match P.navigate emp "sal" with
+          | Some sal -> check cb "sal scalar column" true (P.scalar_column sal = Some "sal")
+          | None -> Alcotest.fail "sal not found")
+      | _ -> Alcotest.fail "emp should be an Agg")
+  | _ -> Alcotest.fail "employees not found");
+  check cb "missing child" true (P.navigate dept_view.P.spec "ghost" = None)
+
+let test_materialize_index_probe_consistency () =
+  (* adding an index on the correlation column must not change results *)
+  let db = setup_db () in
+  let without = List.map Xdb_xml.Serializer.to_string (P.materialize db dept_view) in
+  let emp = DB.table db "emp" in
+  ignore (T.create_index emp ~name:"emp_deptno" ~column:"deptno");
+  let with_idx = List.map Xdb_xml.Serializer.to_string (P.materialize db dept_view) in
+  check cb "index-probe materialisation identical" true (without = with_idx)
+
+let test_clob_roundtrip () =
+  let db = setup_db () in
+  let docs =
+    [ Xdb_xml.Parser.parse "<a><b>1</b></a>"; Xdb_xml.Parser.parse "<c x=\"y\">2</c>" ]
+  in
+  ignore (Xdb_rel.Clob.store db ~table:"docs" docs);
+  let back = Xdb_rel.Clob.load db ~table:"docs" in
+  check ci "two docs" 2 (List.length back);
+  check cb "roundtrip equal" true
+    (List.for_all2 (fun a b -> X.deep_equal a b) docs back);
+  (match Xdb_rel.Clob.load_one db ~table:"docs" ~docid:2 with
+  | Some d -> check cs "point fetch" "<c x=\"y\">2</c>"
+      (Xdb_xml.Serializer.to_string (Xdb_xml.Parser.document_element d))
+  | None -> Alcotest.fail "doc 2 missing");
+  check cb "missing doc" true (Xdb_rel.Clob.load_one db ~table:"docs" ~docid:99 = None)
+
+let test_pathindex () =
+  let doc1 = Xdb_xml.Parser.parse "<t><r><id>1</id><v a=\"x\">hello</v></r></t>" in
+  let doc2 = Xdb_xml.Parser.parse "<t><r><id>2</id><v a=\"y\">hello</v></r></t>" in
+  let idx = Xdb_rel.Pathindex.build [ (1, doc1); (2, doc2) ] in
+  check Alcotest.(list int) "value lookup" [ 1 ]
+    (Xdb_rel.Pathindex.lookup idx ~path:"/t/r/id" ~value:"1");
+  check Alcotest.(list int) "shared value" [ 1; 2 ]
+    (Xdb_rel.Pathindex.lookup idx ~path:"/t/r/v" ~value:"hello");
+  check Alcotest.(list int) "attribute path" [ 2 ]
+    (Xdb_rel.Pathindex.lookup idx ~path:"/t/r/v/@a" ~value:"y");
+  check Alcotest.(list int) "no match" []
+    (Xdb_rel.Pathindex.lookup idx ~path:"/t/r/id" ~value:"42");
+  let n_docs, n_entries = Xdb_rel.Pathindex.stats idx in
+  check ci "docs indexed" 2 n_docs;
+  check cb "entries counted" true (n_entries >= 6)
+
+let () =
+  Alcotest.run "relational"
+    [
+      ( "values",
+        [
+          Alcotest.test_case "casts" `Quick test_value_casts;
+          Alcotest.test_case "comparisons" `Quick test_value_compare;
+        ] );
+      ( "btree",
+        [
+          Alcotest.test_case "insert/find" `Quick test_btree_basic;
+          Alcotest.test_case "duplicates" `Quick test_btree_duplicates;
+          Alcotest.test_case "range scans" `Quick test_btree_range;
+          Alcotest.test_case "string keys" `Quick test_btree_strings;
+          QCheck_alcotest.to_alcotest prop_btree_model;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "table errors" `Quick test_table_errors;
+          Alcotest.test_case "scan/filter/project" `Quick test_scan_filter_project;
+          Alcotest.test_case "index scan" `Quick test_index_scan;
+          Alcotest.test_case "join" `Quick test_join;
+          Alcotest.test_case "aggregate" `Quick test_aggregate;
+          Alcotest.test_case "sort/limit" `Quick test_sort_limit;
+          Alcotest.test_case "correlated subquery" `Quick test_scalar_subquery_correlated;
+          Alcotest.test_case "case/exists/null" `Quick test_exists_case_nulls;
+          Alcotest.test_case "SQL/XML publishing" `Quick test_xml_publishing_exprs;
+          Alcotest.test_case "division semantics" `Quick test_division_semantics;
+        ] );
+      ( "optimizer",
+        [
+          Alcotest.test_case "index selection" `Quick test_optimizer_index_selection;
+          Alcotest.test_case "plan equivalence" `Quick test_optimizer_preserves_results;
+          Alcotest.test_case "cardinality estimates" `Quick test_cardinality_estimates;
+        ] );
+      ( "publishing",
+        [
+          Alcotest.test_case "materialize" `Quick test_materialize;
+          Alcotest.test_case "derived schema" `Quick test_view_schema;
+          Alcotest.test_case "spec navigation" `Quick test_spec_navigation;
+          Alcotest.test_case "index-probe consistency" `Quick test_materialize_index_probe_consistency;
+        ] );
+      ( "storage",
+        [
+          Alcotest.test_case "CLOB roundtrip" `Quick test_clob_roundtrip;
+          Alcotest.test_case "path/value index" `Quick test_pathindex;
+        ] );
+    ]

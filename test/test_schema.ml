@@ -1,0 +1,327 @@
+(* Tests for xdb_schema: structural info model, DTD-lite, sample docs,
+   inference. *)
+
+module S = Xdb_schema.Types
+module D = Xdb_schema.Dtd
+module Sam = Xdb_schema.Sample
+module I = Xdb_schema.Infer
+module X = Xdb_xml.Types
+
+let check = Alcotest.check
+let cs = Alcotest.string
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* model                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let dept_schema =
+  S.make ~root:"dept"
+    [
+      S.node "dept" [ S.particle "dname"; S.particle "loc"; S.particle "employees" ];
+      S.node "employees" [ S.particle ~occurs:S.many "emp" ];
+      S.node "emp" [ S.particle "empno"; S.particle "ename"; S.particle "sal" ];
+      S.leaf "dname";
+      S.leaf "loc";
+      S.leaf "empno";
+      S.leaf "ename";
+      S.leaf "sal";
+    ]
+
+let test_make_validates () =
+  (match S.make ~root:"missing" [ S.leaf "a" ] with
+  | exception S.Schema_error _ -> ()
+  | _ -> Alcotest.fail "missing root must be rejected");
+  match S.make ~root:"a" [ S.node "a" [ S.particle "ghost" ] ] with
+  | exception S.Schema_error _ -> ()
+  | _ -> Alcotest.fail "dangling particle must be rejected"
+
+let test_occurs () =
+  check cb "one is at most one" true (S.at_most_one S.exactly_one);
+  check cb "optional is at most one" true (S.at_most_one S.optional);
+  check cb "many is not" false (S.at_most_one S.many);
+  check cs "occurs names" "one" (S.occurs_name S.exactly_one);
+  check cs "many name" "many" (S.occurs_name S.many)
+
+let test_recursion_detection () =
+  check cb "dept not recursive" false (S.is_recursive dept_schema);
+  let tree =
+    S.make ~root:"tree"
+      [
+        S.node "tree" [ S.particle "node" ];
+        S.node "node" [ S.particle "label"; S.particle ~occurs:S.many "node" ];
+        S.leaf "label";
+      ]
+  in
+  check cb "tree recursive" true (S.is_recursive tree);
+  check Alcotest.(list string) "cycle members" [ "node" ] (S.recursive_names tree);
+  let mutual =
+    S.make ~root:"a"
+      [
+        S.node "a" [ S.particle ~occurs:S.optional "b" ];
+        S.node "b" [ S.particle ~occurs:S.optional "a" ];
+      ]
+  in
+  check ci "mutual cycle" 2 (List.length (S.recursive_names mutual))
+
+(* ------------------------------------------------------------------ *)
+(* DTD-lite                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_dtd_parse () =
+  let schema =
+    D.parse
+      {|<!ELEMENT dept (dname, loc?, employees)>
+<!ELEMENT employees (emp*)>
+<!ELEMENT emp (empno, ename, sal)>
+<!ELEMENT dname (#PCDATA)>
+<!ELEMENT loc (#PCDATA)>
+<!ELEMENT empno (#PCDATA)>
+<!ELEMENT ename (#PCDATA)>
+<!ELEMENT sal (#PCDATA)>
+<!ATTLIST emp id CDATA #REQUIRED>|}
+  in
+  check cs "root is first" "dept" schema.S.root;
+  let dept = S.find_exn schema "dept" in
+  check ci "three particles" 3 (List.length dept.S.particles);
+  let loc_p = List.nth dept.S.particles 1 in
+  check cs "loc optional" "optional" (S.occurs_name loc_p.S.occurs);
+  let employees = S.find_exn schema "employees" in
+  check cs "emp many" "many" (S.occurs_name (List.hd employees.S.particles).S.occurs);
+  let dname = S.find_exn schema "dname" in
+  check cb "pcdata leaf" true dname.S.has_text;
+  let emp = S.find_exn schema "emp" in
+  check Alcotest.(list string) "attlist" [ "id" ] emp.S.attrs
+
+let test_dtd_choice () =
+  let schema =
+    D.parse
+      {|<!ELEMENT pick (a | b | c)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT b (#PCDATA)>
+<!ELEMENT c (#PCDATA)>|}
+  in
+  check cb "choice group" true ((S.find_exn schema "pick").S.group = S.Choice)
+
+let test_dtd_empty_any () =
+  let schema = D.parse {|<!ELEMENT wrap (leaf)>
+<!ELEMENT leaf EMPTY>|} in
+  let leaf = S.find_exn schema "leaf" in
+  check cb "EMPTY has no text" false leaf.S.has_text;
+  check ci "EMPTY no children" 0 (List.length leaf.S.particles)
+
+let test_dtd_errors () =
+  (match D.parse "no declarations" with
+  | exception D.Dtd_error _ -> ()
+  | _ -> Alcotest.fail "expected Dtd_error");
+  match D.parse "<!ELEMENT a (b, c | d)>" with
+  | exception D.Dtd_error _ -> ()
+  | _ -> Alcotest.fail "mixed separators must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* XSD subset                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let dept_xsd =
+  {|<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="dept">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="dname" type="xs:string"/>
+        <xs:element name="loc" type="xs:string" minOccurs="0"/>
+        <xs:element name="employees">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="emp" type="EmpType" minOccurs="0" maxOccurs="unbounded"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+      <xs:attribute name="id"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:complexType name="EmpType">
+    <xs:sequence>
+      <xs:element name="empno" type="xs:int"/>
+      <xs:element name="ename" type="xs:string"/>
+      <xs:element name="sal" type="xs:int"/>
+    </xs:sequence>
+  </xs:complexType>
+</xs:schema>|}
+
+let test_xsd_parse () =
+  let schema = Xdb_schema.Xsd.parse dept_xsd in
+  check cs "root" "dept" schema.S.root;
+  let dept = S.find_exn schema "dept" in
+  check ci "three particles" 3 (List.length dept.S.particles);
+  check Alcotest.(list string) "attributes" [ "id" ] dept.S.attrs;
+  let loc = List.nth dept.S.particles 1 in
+  check cs "loc optional" "optional" (S.occurs_name loc.S.occurs);
+  let employees = S.find_exn schema "employees" in
+  check cs "emp unbounded" "many" (S.occurs_name (List.hd employees.S.particles).S.occurs);
+  (* named type resolved *)
+  let emp = S.find_exn schema "emp" in
+  check ci "EmpType children" 3 (List.length emp.S.particles);
+  check cb "leaf text" true (S.find_exn schema "dname").S.has_text
+
+let test_xsd_choice_all () =
+  let schema =
+    Xdb_schema.Xsd.parse
+      {|<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+<xs:element name="pick"><xs:complexType><xs:choice>
+<xs:element name="a" type="xs:string"/>
+<xs:element name="b" type="xs:string"/>
+</xs:choice></xs:complexType></xs:element>
+</xs:schema>|}
+  in
+  check cb "choice group" true ((S.find_exn schema "pick").S.group = S.Choice)
+
+let test_xsd_recursive () =
+  let schema =
+    Xdb_schema.Xsd.parse
+      {|<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+<xs:element name="tree"><xs:complexType><xs:sequence>
+<xs:element ref="node"/>
+</xs:sequence></xs:complexType></xs:element>
+<xs:element name="node"><xs:complexType><xs:sequence>
+<xs:element name="label" type="xs:string"/>
+<xs:element ref="node" minOccurs="0" maxOccurs="unbounded"/>
+</xs:sequence></xs:complexType></xs:element>
+</xs:schema>|}
+  in
+  check cb "recursion detected" true (S.is_recursive schema)
+
+let test_xsd_errors () =
+  let fails s = match Xdb_schema.Xsd.parse s with exception Xdb_schema.Xsd.Xsd_error _ -> true | _ -> false in
+  check cb "non-schema root" true (fails "<not-a-schema/>");
+  check cb "dangling ref" true
+    (fails
+       {|<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+<xs:element name="a"><xs:complexType><xs:sequence><xs:element ref="ghost"/></xs:sequence></xs:complexType></xs:element>
+</xs:schema>|})
+
+let test_xsd_drives_translation () =
+  (* the XSD feeds partial evaluation exactly like the publishing view *)
+  let schema = Xdb_schema.Xsd.parse dept_xsd in
+  let prog =
+    Xdb_xslt.Compile.compile
+      (Xdb_xslt.Parser.parse
+         {|<?xml version="1.0"?><xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+<xsl:template match="dept"><out><xsl:apply-templates select="employees/emp"/></out></xsl:template>
+<xsl:template match="emp"><e><xsl:value-of select="ename"/></e></xsl:template>
+<xsl:template match="text()"/>
+</xsl:stylesheet>|})
+  in
+  let result = Xdb_core.Xslt2xquery.translate prog ~schema in
+  check cb "inline from XSD info" true
+    (result.Xdb_core.Xslt2xquery.mode = Xdb_core.Xslt2xquery.Mode_inline)
+
+(* ------------------------------------------------------------------ *)
+(* sample documents                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_sample_generation () =
+  let doc = Sam.generate dept_schema in
+  let root = Xdb_xml.Parser.document_element doc in
+  check cs "root element" "dept" (X.local_name root);
+  check ci "three children" 3 (List.length root.X.children);
+  let employees = List.nth root.X.children 2 in
+  let emp = List.hd employees.X.children in
+  check cs "emp occurs annotation" "many" (Option.get (X.attribute ~uri:X.xdb_uri emp "occurs"));
+  check cs "group annotation" "sequence" (Option.get (X.attribute ~uri:X.xdb_uri emp "group"));
+  check cb "occurs readback" false (S.at_most_one (Sam.occurs_of_element emp));
+  let dname = List.hd root.X.children in
+  check cb "placeholder text" true (X.string_value dname <> "")
+
+let test_sample_recursive () =
+  let tree =
+    S.make ~root:"tree"
+      [
+        S.node "tree" [ S.particle "node" ];
+        S.node "node" [ S.particle "label"; S.particle ~occurs:S.many "node" ];
+        S.leaf "label";
+      ]
+  in
+  let doc = Sam.generate tree in
+  let root = Xdb_xml.Parser.document_element doc in
+  let level1 = List.hd root.X.children in
+  check cb "level1 expanded" true (List.length level1.X.children > 0);
+  let level2 = List.nth level1.X.children 1 in
+  check cb "repeat marked recursive" true (Sam.is_recursive_element level2);
+  check ci "repeat not expanded" 0 (List.length level2.X.children)
+
+(* ------------------------------------------------------------------ *)
+(* inference                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_infer_basic () =
+  let doc =
+    Xdb_xml.Parser.parse
+      "<t><r><a>1</a><b>2</b></r><r><a>3</a><b>4</b></r><r><a>5</a></r></t>"
+  in
+  let schema = I.infer [ doc ] in
+  check cs "root" "t" schema.S.root;
+  let t = S.find_exn schema "t" in
+  check cs "r many" "one-or-more" (S.occurs_name (List.hd t.S.particles).S.occurs);
+  let r = S.find_exn schema "r" in
+  check ci "two children" 2 (List.length r.S.particles);
+  let b = List.nth r.S.particles 1 in
+  check cs "b optional (absent once)" "optional" (S.occurs_name b.S.occurs);
+  check cb "a leaf has text" true (S.find_exn schema "a").S.has_text
+
+let test_infer_unordered () =
+  let doc = Xdb_xml.Parser.parse "<t><r><a/><b/></r><r><b/><a/></r></t>" in
+  let schema = I.infer [ doc ] in
+  check cb "order violation -> All group" true ((S.find_exn schema "r").S.group = S.All)
+
+let test_infer_attributes () =
+  let doc = Xdb_xml.Parser.parse "<t><r id=\"1\" x=\"y\"/></t>" in
+  let schema = I.infer [ doc ] in
+  check Alcotest.(list string) "attrs recorded" [ "id"; "x" ] (S.find_exn schema "r").S.attrs
+
+let test_infer_matches_sample_roundtrip () =
+  let doc = Sam.generate dept_schema in
+  let inferred = I.infer [ doc ] in
+  check cs "root survives" "dept" inferred.S.root;
+  let emp = S.find_exn inferred "emp" in
+  check ci "emp children survive" 3 (List.length emp.S.particles)
+
+let () =
+  Alcotest.run "schema"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "validation" `Quick test_make_validates;
+          Alcotest.test_case "occurs" `Quick test_occurs;
+          Alcotest.test_case "recursion detection" `Quick test_recursion_detection;
+        ] );
+      ( "dtd",
+        [
+          Alcotest.test_case "parse" `Quick test_dtd_parse;
+          Alcotest.test_case "choice" `Quick test_dtd_choice;
+          Alcotest.test_case "EMPTY/ANY" `Quick test_dtd_empty_any;
+          Alcotest.test_case "errors" `Quick test_dtd_errors;
+        ] );
+      ( "xsd",
+        [
+          Alcotest.test_case "parse" `Quick test_xsd_parse;
+          Alcotest.test_case "choice/all" `Quick test_xsd_choice_all;
+          Alcotest.test_case "recursion" `Quick test_xsd_recursive;
+          Alcotest.test_case "errors" `Quick test_xsd_errors;
+          Alcotest.test_case "drives translation" `Quick test_xsd_drives_translation;
+        ] );
+      ( "sample",
+        [
+          Alcotest.test_case "generation" `Quick test_sample_generation;
+          Alcotest.test_case "recursive marking" `Quick test_sample_recursive;
+        ] );
+      ( "infer",
+        [
+          Alcotest.test_case "basic" `Quick test_infer_basic;
+          Alcotest.test_case "unordered" `Quick test_infer_unordered;
+          Alcotest.test_case "attributes" `Quick test_infer_attributes;
+          Alcotest.test_case "sample roundtrip" `Quick test_infer_matches_sample_roundtrip;
+        ] );
+    ]

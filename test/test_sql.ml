@@ -1,0 +1,277 @@
+(* Tests for xdb_sql: the SQL/XML surface running the paper's statements. *)
+
+module V = Xdb_rel.Value
+module P = Xdb_rel.Publish
+module T = Xdb_rel.Table
+module A = Xdb_rel.Algebra
+module SQL = Xdb_sql.Engine
+
+let check = Alcotest.check
+let cs = Alcotest.string
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+let contains sub s =
+  let rec go i =
+    i + String.length sub <= String.length s
+    && (String.sub s i (String.length sub) = sub || go (i + 1))
+  in
+  go 0
+
+(* the paper's dept/emp schema, tables 1-3 *)
+let make_session () =
+  let db = Xdb_rel.Database.create () in
+  let dept =
+    Xdb_rel.Database.create_table db "dept"
+      [
+        { T.col_name = "deptno"; col_type = V.Tint };
+        { T.col_name = "dname"; col_type = V.Tstr };
+        { T.col_name = "loc"; col_type = V.Tstr };
+      ]
+  in
+  let emp =
+    Xdb_rel.Database.create_table db "emp"
+      [
+        { T.col_name = "empno"; col_type = V.Tint };
+        { T.col_name = "ename"; col_type = V.Tstr };
+        { T.col_name = "sal"; col_type = V.Tint };
+        { T.col_name = "deptno"; col_type = V.Tint };
+      ]
+  in
+  T.insert_values dept [ V.Int 10; V.Str "ACCOUNTING"; V.Str "NEW YORK" ];
+  T.insert_values dept [ V.Int 40; V.Str "OPERATIONS"; V.Str "BOSTON" ];
+  T.insert_values emp [ V.Int 7782; V.Str "CLARK"; V.Int 2450; V.Int 10 ];
+  T.insert_values emp [ V.Int 7934; V.Str "MILLER"; V.Int 1300; V.Int 10 ];
+  T.insert_values emp [ V.Int 7954; V.Str "SMITH"; V.Int 4900; V.Int 40 ];
+  ignore (T.create_index emp ~name:"emp_sal_idx" ~column:"sal");
+  let leaf name col = P.Elem { name; attrs = []; content = [ P.Text_col col ] } in
+  let view =
+    {
+      P.view_name = "dept_emp";
+      base_table = "dept";
+      base_alias = "dept";
+      column = "dept_content";
+      spec =
+        P.Elem
+          {
+            name = "dept";
+            attrs = [];
+            content =
+              [
+                leaf "dname" "dname";
+                leaf "loc" "loc";
+                P.Elem
+                  {
+                    name = "employees";
+                    attrs = [];
+                    content =
+                      [
+                        P.Agg
+                          {
+                            table = "emp";
+                            alias = "emp";
+                            correlate = [ ("deptno", "deptno") ];
+                            where = None;
+                            order_by = [ ("empno", A.Asc) ];
+                            body =
+                              P.Elem
+                                {
+                                  name = "emp";
+                                  attrs = [];
+                                  content =
+                                    [ leaf "empno" "empno"; leaf "ename" "ename"; leaf "sal" "sal" ];
+                                };
+                          };
+                      ];
+                  };
+              ];
+          };
+    }
+  in
+  SQL.make_session ~views:[ view ] db
+
+(* paper Table 5, quoted for SQL ('' escapes) *)
+let table5_sql =
+  {|SELECT
+XMLTransform(dept_emp.dept_content,
+'<?xml version="1.0"?><xsl:stylesheet version="1.0"
+xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+<xsl:template match="dept">
+<H1>HIGHLY PAID DEPT EMPLOYEES</H1>
+<xsl:apply-templates/>
+</xsl:template>
+<xsl:template match="dname">
+<H2>Department name: <xsl:value-of select="."/></H2>
+</xsl:template>
+<xsl:template match="loc">
+<H2>Department location: <xsl:value-of select="."/></H2>
+</xsl:template>
+<xsl:template match="employees">
+<H2>Employees Table</H2>
+<table border="2">
+<td><b>EmpNo</b></td>
+<td><b>Name</b></td>
+<td><b>Weekly Salary</b></td>
+<xsl:apply-templates select="emp[sal &gt; 2000]"/>
+</table>
+</xsl:template>
+<xsl:template match = "emp">
+<tr>
+<td><xsl:value-of select="empno"/></td>
+<td><xsl:value-of select="ename"/></td>
+<td><xsl:value-of select="sal"/></td>
+</tr>
+</xsl:template>
+<xsl:template match="text()">
+<xsl:value-of select="."/>
+</xsl:template>
+</xsl:stylesheet>')
+FROM dept_emp|}
+
+(* ------------------------------------------------------------------ *)
+(* parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_parser () =
+  (match Xdb_sql.Parser.parse "SELECT a, t.b AS x FROM t WHERE a > 3;" with
+  | Xdb_sql.Ast.Select { items = [ _; _ ]; from_name = "t"; where = Some _; _ } -> ()
+  | _ -> Alcotest.fail "basic select shape");
+  (match Xdb_sql.Parser.parse "select * from emp" with
+  | Xdb_sql.Ast.Select { items = [ (Xdb_sql.Ast.Star, None) ]; _ } -> ()
+  | _ -> Alcotest.fail "star select");
+  (* string escaping: '' inside strings *)
+  (match Xdb_sql.Parser.parse "SELECT 'it''s' FROM t" with
+  | Xdb_sql.Ast.Select { items = [ (Xdb_sql.Ast.Str_lit "it's", None) ]; _ } -> ()
+  | _ -> Alcotest.fail "quote escaping");
+  let fails s =
+    match Xdb_sql.Parser.parse s with
+    | exception Xdb_sql.Parser.Parse_error _ -> true
+    | _ -> false
+  in
+  check cb "missing FROM" true (fails "SELECT 1");
+  check cb "trailing garbage" true (fails "SELECT a FROM t extra tokens here")
+
+let test_tokenizer_comments () =
+  match Xdb_sql.Parser.parse "SELECT a -- comment\nFROM t" with
+  | Xdb_sql.Ast.Select { from_name = "t"; _ } -> ()
+  | _ -> Alcotest.fail "line comment"
+
+(* ------------------------------------------------------------------ *)
+(* execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_select () =
+  let s = make_session () in
+  let r = SQL.execute s "SELECT ename, sal FROM emp WHERE sal > 2000" in
+  check Alcotest.(list string) "columns" [ "ename"; "sal" ] r.SQL.columns;
+  check ci "two rows" 2 (List.length r.SQL.rows);
+  (* index got used *)
+  check cb "index scan in note" true (contains "INDEX SCAN" (Option.get r.SQL.note))
+
+let test_star_select () =
+  let s = make_session () in
+  let r = SQL.execute s "SELECT * FROM dept" in
+  check Alcotest.(list string) "all columns" [ "deptno"; "dname"; "loc" ] r.SQL.columns;
+  check ci "two rows" 2 (List.length r.SQL.rows)
+
+let test_xmltransform_table5 () =
+  let s = make_session () in
+  let r = SQL.execute s table5_sql in
+  check ci "one row per dept" 2 (List.length r.SQL.rows);
+  check cb "rewrite engaged" true (contains "XSLT rewrite" (Option.get r.SQL.note));
+  let first = V.to_string (List.hd (List.hd r.SQL.rows)) in
+  (* paper Table 6 *)
+  check cs "Table 6 output"
+    "<H1>HIGHLY PAID DEPT EMPLOYEES</H1><H2>Department name: ACCOUNTING</H2><H2>Department location: NEW YORK</H2><H2>Employees Table</H2><table border=\"2\"><td><b>EmpNo</b></td><td><b>Name</b></td><td><b>Weekly Salary</b></td><tr><td>7782</td><td>CLARK</td><td>2450</td></tr></table>"
+    first
+
+let test_xmlquery_over_view () =
+  let s = make_session () in
+  let r =
+    SQL.execute s
+      {|SELECT XMLQuery('for $e in ./dept/employees/emp[sal > 4000] return <top>{fn:string($e/ename)}</top>'
+PASSING dept_emp.dept_content RETURNING CONTENT) FROM dept_emp|}
+  in
+  check cb "xquery rewrite engaged" true (contains "XQuery rewrite" (Option.get r.SQL.note));
+  let outs = List.map (fun row -> V.to_string (List.hd row)) r.SQL.rows in
+  check Alcotest.(list string) "per-dept results" [ ""; "<top>SMITH</top>" ] outs
+
+let test_example2_combined () =
+  let s = make_session () in
+  (* paper Table 9: wrap the transformation as an XSLT view *)
+  let with_alias =
+    (* paper Table 9 aliases the item: ... AS xslt_rslt FROM dept_emp *)
+    let suffix = "\nFROM dept_emp" in
+    let prefix = String.sub table5_sql 0 (String.length table5_sql - String.length suffix) in
+    prefix ^ " AS xslt_rslt" ^ suffix
+  in
+  let create = SQL.execute s ("CREATE VIEW xslt_vu AS " ^ with_alias) in
+  ignore create;
+  (* paper Table 10: query the view result *)
+  let r =
+    SQL.execute s
+      {|SELECT XMLQuery('for $tr in ./table/tr return $tr'
+PASSING xslt_vu.xslt_rslt RETURNING CONTENT) FROM xslt_vu|}
+  in
+  check cb "combined optimisation engaged" true
+    (contains "combined" (Option.get r.SQL.note));
+  let outs = List.map (fun row -> V.to_string (List.hd row)) r.SQL.rows in
+  (* paper Table 11's result rows *)
+  check Alcotest.(list string) "Table 11 results"
+    [
+      "<tr><td>7782</td><td>CLARK</td><td>2450</td></tr>";
+      "<tr><td>7954</td><td>SMITH</td><td>4900</td></tr>";
+    ]
+    outs
+
+let test_mixed_items () =
+  let s = make_session () in
+  let r =
+    SQL.execute s
+      {|SELECT dname, XMLQuery('fn:string(count(./dept/employees/emp))'
+PASSING dept_emp.dept_content RETURNING CONTENT) AS n FROM dept_emp|}
+  in
+  check Alcotest.(list string) "columns" [ "dname"; "n" ] r.SQL.columns;
+  let rows = List.map (List.map V.to_string) r.SQL.rows in
+  check Alcotest.(list (list string)) "values"
+    [ [ "ACCOUNTING"; "2" ]; [ "OPERATIONS"; "1" ] ]
+    rows
+
+let test_errors () =
+  let s = make_session () in
+  let fails q = match SQL.execute s q with exception SQL.Sql_error _ -> true | _ -> false in
+  check cb "unknown relation" true (fails "SELECT a FROM nope");
+  check cb "xml fn over base table" true
+    (fails "SELECT XMLTransform(x, 'y') FROM emp");
+  check cb "create view over table" true
+    (fails "CREATE VIEW v AS SELECT ename FROM emp")
+
+(* fuzz: the SQL parser must be total over printable garbage *)
+let prop_sql_parser_total =
+  QCheck.Test.make ~name:"sql parser is total" ~count:300
+    QCheck.(string_gen_of_size Gen.(int_bound 60) Gen.printable)
+    (fun s ->
+      match Xdb_sql.Parser.parse s with
+      | _ -> true
+      | exception Xdb_sql.Parser.Parse_error _ -> true)
+
+let () =
+  Alcotest.run "sql"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "statements" `Quick test_parser;
+          Alcotest.test_case "comments" `Quick test_tokenizer_comments;
+        ] );
+      ( "execution",
+        [
+          Alcotest.test_case "table select + index" `Quick test_table_select;
+          Alcotest.test_case "star" `Quick test_star_select;
+          Alcotest.test_case "paper Table 5 (XMLTransform)" `Quick test_xmltransform_table5;
+          Alcotest.test_case "XMLQuery over view" `Quick test_xmlquery_over_view;
+          Alcotest.test_case "paper Tables 9-11 (combined)" `Quick test_example2_combined;
+          Alcotest.test_case "mixed select items" `Quick test_mixed_items;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+      ("fuzz", [ QCheck_alcotest.to_alcotest prop_sql_parser_total ]);
+    ]

@@ -1,0 +1,284 @@
+(* Tests for xdb_xml: node model, parser, serializer, builder. *)
+
+module T = Xdb_xml.Types
+module P = Xdb_xml.Parser
+module S = Xdb_xml.Serializer
+module B = Xdb_xml.Builder
+
+let check = Alcotest.check
+let cs = Alcotest.string
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+let parse_root s = P.document_element (P.parse s)
+
+(* ------------------------------------------------------------------ *)
+(* node model                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_string_value () =
+  let root = parse_root "<a>x<b>y<c>z</c></b>w</a>" in
+  check cs "concatenated text" "xyzw" (T.string_value root);
+  let b = List.nth root.T.children 1 in
+  check cs "subtree value" "yz" (T.string_value b)
+
+let test_qname_equal () =
+  check cb "same uri+local" true
+    (T.qname_equal (T.qname ~prefix:"a" ~uri:"u" "x") (T.qname ~prefix:"b" ~uri:"u" "x"));
+  check cb "different uri" false
+    (T.qname_equal (T.qname ~uri:"u1" "x") (T.qname ~uri:"u2" "x"))
+
+let test_document_order () =
+  let doc = P.parse "<a><b/><c><d/></c><e/></a>" in
+  let a = P.document_element doc in
+  let b = List.nth a.T.children 0 in
+  let c = List.nth a.T.children 1 in
+  let d = List.nth c.T.children 0 in
+  let e = List.nth a.T.children 2 in
+  check cb "b before c" true (T.compare_order b c < 0);
+  check cb "d before e" true (T.compare_order d e < 0);
+  check cb "a before d" true (T.compare_order a d < 0);
+  check ci "self equal" 0 (T.compare_order d d)
+
+let test_order_without_stamps () =
+  (* nodes built by hand have order = 0: structural comparison kicks in *)
+  let x = B.elem "x" [ B.elem "p" []; B.elem "q" [] ] in
+  let p = List.nth x.T.children 0 and q = List.nth x.T.children 1 in
+  check cb "path-based order" true (T.compare_order p q < 0)
+
+let test_deep_copy_and_equal () =
+  let root = parse_root "<a k=\"1\"><b>t</b><!--c--></a>" in
+  let copy = T.deep_copy root in
+  check cb "copy equals original" true (T.deep_equal root copy);
+  check cb "copy is fresh" true (copy != root);
+  (* mutating the copy leaves the original intact *)
+  (match copy.T.children with
+  | b :: _ -> b.T.kind <- T.Text "mutated"
+  | [] -> Alcotest.fail "expected children");
+  check cb "divergence detected" false (T.deep_equal root copy)
+
+let test_attributes () =
+  let el = parse_root "<a x=\"1\" y=\"2\"/>" in
+  check cs "attr x" "1" (Option.get (T.attribute el "x"));
+  check cb "missing attr" true (T.attribute el "z" = None);
+  (* replacement on same expanded name *)
+  T.add_attribute el (T.make (T.Attribute (T.qname "x", "9")));
+  check cs "attr replaced" "9" (Option.get (T.attribute el "x"));
+  check ci "still two attrs" 2 (List.length el.T.attributes)
+
+let test_descendants () =
+  let root = parse_root "<a><b><c/></b><d/></a>" in
+  check ci "descendant count" 3 (List.length (T.descendants root))
+
+(* ------------------------------------------------------------------ *)
+(* parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_basic () =
+  let root = parse_root "<dept><dname>ACCOUNTING</dname></dept>" in
+  check cs "root name" "dept" (T.local_name root);
+  check ci "one child" 1 (List.length root.T.children)
+
+let test_parse_entities () =
+  let root = parse_root "<a>&lt;&amp;&gt;&quot;&apos;&#65;&#x42;</a>" in
+  check cs "entities decoded" "<&>\"'AB" (T.string_value root)
+
+let test_parse_cdata () =
+  let root = parse_root "<a><![CDATA[<not-a-tag> & raw]]></a>" in
+  check cs "cdata literal" "<not-a-tag> & raw" (T.string_value root)
+
+let test_parse_comments_pis () =
+  let doc = P.parse "<?xml version=\"1.0\"?><!--before--><a><?target data?><!--in--></a>" in
+  let kinds =
+    List.map (fun n -> match n.T.kind with
+      | T.Comment _ -> "comment" | T.Element _ -> "element" | _ -> "other")
+      doc.T.children
+  in
+  check Alcotest.(list string) "prolog comment kept" [ "comment"; "element" ] kinds;
+  let a = P.document_element doc in
+  (match (List.nth a.T.children 0).T.kind with
+  | T.Pi (t, d) ->
+      check cs "pi target" "target" t;
+      check cs "pi data" "data" d
+  | _ -> Alcotest.fail "expected PI")
+
+let test_parse_namespaces () =
+  let root =
+    parse_root
+      "<x:a xmlns:x=\"http://one\" xmlns=\"http://def\"><b/><x:c/></x:a>"
+  in
+  (match root.T.kind with
+  | T.Element q ->
+      check cs "prefixed uri" "http://one" q.T.uri;
+      check cs "prefix kept" "x" q.T.prefix
+  | _ -> Alcotest.fail "expected element");
+  let b = List.nth root.T.children 0 and c = List.nth root.T.children 1 in
+  (match (b.T.kind, c.T.kind) with
+  | T.Element qb, T.Element qc ->
+      check cs "default ns inherited" "http://def" qb.T.uri;
+      check cs "prefixed child" "http://one" qc.T.uri
+  | _ -> Alcotest.fail "expected elements")
+
+let test_parse_doctype_skipped () =
+  let root = parse_root "<!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><a>ok</a>" in
+  check cs "content parsed" "ok" (T.string_value root)
+
+let test_parse_self_closing () =
+  let root = parse_root "<a><b/><c x=\"1\"/></a>" in
+  check ci "two children" 2 (List.length root.T.children)
+
+let test_parse_errors () =
+  let fails s =
+    match P.parse s with
+    | exception P.Parse_error _ -> true
+    | _ -> false
+  in
+  check cb "mismatched tags" true (fails "<a></b>");
+  check cb "unterminated" true (fails "<a>");
+  check cb "trailing garbage" true (fails "<a/><b/>extra");
+  check cb "bad entity" true (fails "<a>&nope;</a>");
+  check cb "lt in attribute" true (fails "<a x=\"<\"/>");
+  check cb "undeclared prefix" true (fails "<p:a/>")
+
+let test_parse_fragment () =
+  let doc = P.parse_fragment "<a/>text<b/>" in
+  let wrapper = P.document_element doc in
+  check ci "three nodes" 3 (List.length wrapper.T.children)
+
+(* ------------------------------------------------------------------ *)
+(* serializer                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_serialize_escaping () =
+  let el = B.elem "a" ~attrs:[ ("k", "a\"b<c") ] [ B.text "x<y&z" ] in
+  check cs "escaped" "<a k=\"a&quot;b&lt;c\">x&lt;y&amp;z</a>" (S.to_string el)
+
+let test_serialize_methods () =
+  let el = B.elem "br" [] in
+  check cs "xml self-close" "<br/>" (S.to_string ~meth:S.Xml el);
+  check cs "html void" "<br>" (S.to_string ~meth:S.Html el);
+  let div = B.elem "div" [] in
+  check cs "html non-void empty" "<div></div>" (S.to_string ~meth:S.Html div);
+  let t = B.elem "a" [ B.text "x<y" ] in
+  check cs "text method unescaped" "x<y" (S.to_string ~meth:S.Text_output t)
+
+let test_serialize_roundtrip () =
+  let src = "<a k=\"v\"><b>one</b><c><d/>two</c><!--note--></a>" in
+  let root = parse_root src in
+  check cs "roundtrip" src (S.to_string root)
+
+(* ------------------------------------------------------------------ *)
+(* property tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let gen_tree =
+  let open QCheck.Gen in
+  let name = oneofl [ "a"; "b"; "c"; "item"; "row" ] in
+  let text = oneofl [ "x"; "hello"; "1 2 3"; "<&>" ] in
+  let rec tree depth =
+    if depth = 0 then map B.text text
+    else
+      frequency
+        [
+          (2, map B.text text);
+          ( 3,
+            map2
+              (fun n kids -> B.elem n kids)
+              name
+              (list_size (int_bound 3) (tree (depth - 1))) );
+        ]
+  in
+  map (fun kids -> B.elem "root" kids) (list_size (int_bound 4) (tree 3))
+
+let arb_tree = QCheck.make ~print:(fun t -> S.to_string t) gen_tree
+
+(* adjacent text nodes merge on reparse; normalise before comparing *)
+let normalize n =
+  let n = T.deep_copy n in
+  let rec merge = function
+    | { T.kind = T.Text a; _ } :: { T.kind = T.Text b; _ } :: rest ->
+        merge (T.make (T.Text (a ^ b)) :: rest)
+    | x :: rest -> normalize_in_place x :: merge rest
+    | [] -> []
+  and normalize_in_place x =
+    T.set_children x (merge x.T.children);
+    x
+  in
+  T.set_children n (merge n.T.children);
+  n
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"serialize ∘ parse = id (modulo text merging)" ~count:200 arb_tree
+    (fun tree ->
+      let tree = normalize tree in
+      let src = S.to_string tree in
+      let back = parse_root src in
+      T.deep_equal tree back)
+
+let prop_deep_copy_equal =
+  QCheck.Test.make ~name:"deep_copy produces deep_equal tree" ~count:100 arb_tree (fun tree ->
+      T.deep_equal tree (T.deep_copy tree))
+
+let prop_string_value_stable =
+  QCheck.Test.make ~name:"string_value survives roundtrip" ~count:100 arb_tree (fun tree ->
+      let src = S.to_string tree in
+      String.equal (T.string_value tree) (T.string_value (parse_root src)))
+
+(* fuzz: arbitrary bytes must either parse or raise Parse_error — nothing
+   else (no assertion failures, no stack overflows on small inputs) *)
+let prop_parser_total =
+  QCheck.Test.make ~name:"parser is total (Parse_error or success)" ~count:500
+    QCheck.(string_gen_of_size Gen.(int_bound 80) Gen.printable)
+    (fun s ->
+      match P.parse s with
+      | _ -> true
+      | exception P.Parse_error _ -> true)
+
+(* fuzz near-XML inputs: take a valid doc and mutate one byte *)
+let prop_parser_mutation =
+  QCheck.Test.make ~name:"single-byte mutations never escape Parse_error" ~count:300
+    QCheck.(pair (int_bound 1000) (int_bound 255))
+    (fun (pos, byte) ->
+      let src = "<a k=\"v\"><b>one</b><c><d/>two&amp;</c><!--n--></a>" in
+      let b = Bytes.of_string src in
+      Bytes.set b (pos mod Bytes.length b) (Char.chr byte);
+      let s = Bytes.to_string b in
+      match P.parse s with _ -> true | exception P.Parse_error _ -> true)
+
+let () =
+  Alcotest.run "xml"
+    [
+      ( "types",
+        [
+          Alcotest.test_case "string_value" `Quick test_string_value;
+          Alcotest.test_case "qname_equal" `Quick test_qname_equal;
+          Alcotest.test_case "document order" `Quick test_document_order;
+          Alcotest.test_case "order without stamps" `Quick test_order_without_stamps;
+          Alcotest.test_case "deep copy/equal" `Quick test_deep_copy_and_equal;
+          Alcotest.test_case "attributes" `Quick test_attributes;
+          Alcotest.test_case "descendants" `Quick test_descendants;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "basic" `Quick test_parse_basic;
+          Alcotest.test_case "entities" `Quick test_parse_entities;
+          Alcotest.test_case "cdata" `Quick test_parse_cdata;
+          Alcotest.test_case "comments and PIs" `Quick test_parse_comments_pis;
+          Alcotest.test_case "namespaces" `Quick test_parse_namespaces;
+          Alcotest.test_case "doctype skipped" `Quick test_parse_doctype_skipped;
+          Alcotest.test_case "self closing" `Quick test_parse_self_closing;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "fragment" `Quick test_parse_fragment;
+        ] );
+      ( "serializer",
+        [
+          Alcotest.test_case "escaping" `Quick test_serialize_escaping;
+          Alcotest.test_case "output methods" `Quick test_serialize_methods;
+          Alcotest.test_case "roundtrip" `Quick test_serialize_roundtrip;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip; prop_deep_copy_equal; prop_string_value_stable ] );
+      ( "fuzz",
+        List.map QCheck_alcotest.to_alcotest [ prop_parser_total; prop_parser_mutation ] );
+    ]

@@ -1,0 +1,587 @@
+(* Tests for xdb_xquery: parser, pretty-printer round-trip, evaluator,
+   static typing, composition, SQL/XML rewrite. *)
+
+module Q = Xdb_xquery.Ast
+module QP = Xdb_xquery.Parser
+module QE = Xdb_xquery.Eval
+module QV = Xdb_xquery.Value
+module Pretty = Xdb_xquery.Pretty
+module Typing = Xdb_xquery.Typing
+module Compose = Xdb_xquery.Compose
+module SQL = Xdb_xquery.Sql_rewrite
+module S = Xdb_schema.Types
+module A = Xdb_rel.Algebra
+module P = Xdb_rel.Publish
+module V = Xdb_rel.Value
+module T = Xdb_rel.Table
+module X = Xdb_xml.Types
+
+let check = Alcotest.check
+let cs = Alcotest.string
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+let doc =
+  Xdb_xml.Parser.parse
+    {|<dept><dname>ACCOUNTING</dname><loc>NEW YORK</loc><employees><emp><empno>7782</empno><ename>CLARK</ename><sal>2450</sal></emp><emp><empno>7934</empno><ename>MILLER</ename><sal>1300</sal></emp><emp><empno>7954</empno><ename>SMITH</ename><sal>4900</sal></emp></employees></dept>|}
+
+let run_str src =
+  let prog = QP.parse_prog src in
+  Xdb_xml.Serializer.node_list_to_string (QE.run_to_nodes prog ~context:doc)
+
+(* ------------------------------------------------------------------ *)
+(* parser & evaluator                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_flwor_basics () =
+  check cs "let and path" "ACCOUNTING" (run_str "let $d := ./dept return fn:string($d/dname)");
+  check cs "for iteration" "<e>CLARK</e><e>MILLER</e><e>SMITH</e>"
+    (run_str "for $e in ./dept/employees/emp return <e>{fn:string($e/ename)}</e>");
+  check cs "where clause" "<e>SMITH</e>"
+    (run_str "for $e in ./dept/employees/emp where $e/sal > 4000 return <e>{fn:string($e/ename)}</e>");
+  check cs "order by descending" "4900 2450 1300"
+    (run_str
+       "for $e in ./dept/employees/emp order by fn:number($e/sal) descending return fn:string($e/sal)");
+  check cs "positional variable" "1:CLARK  2:MILLER  3:SMITH "
+    (run_str
+       {|for $e at $i in ./dept/employees/emp return fn:concat(fn:string($i), ":", fn:string($e/ename), " ")|})
+
+let test_conditionals () =
+  check cs "if then else" "big" (run_str {|if (count(./dept/employees/emp) > 2) then "big" else "small"|});
+  check cs "instance of" "true"
+    (run_str "for $x in ./dept/dname return if ($x instance of element(dname)) then \"true\" else \"false\"")
+
+let test_constructors () =
+  check cs "direct with attrs" "<a x=\"1\" y=\"v-ACCOUNTING\"><b/></a>"
+    (run_str {|<a x="1" y="v-{./dept/dname}"><b/></a>|});
+  check cs "computed element" "<dyn>inner</dyn>"
+    (run_str {|element {fn:concat("d", "yn")} {"inner"}|});
+  check cs "computed attribute" "<w k=\"3\"/>" (run_str "<w>{attribute k {1 + 2}}</w>");
+  check cs "text constructor" "5" (run_str "text {2 + 3}");
+  check cs "comment constructor" "<!--note-->" (run_str {|comment {"note"}|});
+  check cs "sequence flattening" "a b c" (run_str {|("a", ("b", "c"))|});
+  check cs "empty sequence" "" (run_str "()")
+
+let test_atomization_spacing () =
+  (* adjacent atoms in content join with a single space (XQuery semantics) *)
+  check cs "atoms joined" "<s>1 2</s>" (run_str "<s>{(1, 2)}</s>");
+  check cs "nodes not joined" "<s><a/><b/></s>" (run_str "<s>{(<a/>, <b/>)}</s>")
+
+let test_functions () =
+  check cs "string-join" "CLARK|MILLER|SMITH"
+    (run_str {|fn:string-join(for $e in ./dept/employees/emp return fn:string($e/ename), "|")|});
+  check cs "sum" "8650" (run_str "fn:string(fn:sum(./dept/employees/emp/sal))");
+  check cs "avg" "2883.33333333" (run_str "fn:string(fn:avg(./dept/employees/emp/sal))");
+  check cs "min max" "1300 4900"
+    (run_str
+       {|fn:concat(fn:string(fn:min(./dept/employees/emp/sal)), " ", fn:string(fn:max(./dept/employees/emp/sal)))|});
+  check cs "exists / empty" "truefalse"
+    (run_str {|fn:concat(fn:string(fn:exists(./dept)), fn:string(fn:empty(./dept)))|})
+
+let test_quantifiers () =
+  check cs "some true" "yes"
+    (run_str {|if (some $e in ./dept/employees/emp satisfies $e/sal > 4000) then "yes" else "no"|});
+  check cs "every false" "no"
+    (run_str {|if (every $e in ./dept/employees/emp satisfies $e/sal > 4000) then "yes" else "no"|});
+  check cs "every true" "yes"
+    (run_str {|if (every $e in ./dept/employees/emp satisfies $e/sal > 1000) then "yes" else "no"|});
+  (* round trip *)
+  let src = "some $x in ./dept/employees/emp satisfies $x/sal > 2000" in
+  let p1 = QP.parse_prog src in
+  let printed = Pretty.prog_syntax p1 in
+  let v1 = QE.run p1 ~context:doc and v2 = QE.run (QP.parse_prog printed) ~context:doc in
+  check cb "pretty round-trips" true (QV.equal v1 v2)
+
+let test_user_functions () =
+  let src =
+    {|declare function local:fact($n) {
+  if ($n <= 1) then 1 else $n * local:fact($n - 1)
+};
+fn:string(local:fact(5))|}
+  in
+  check cs "recursive function" "120" (run_str src)
+
+let test_construction_copies () =
+  (* constructed content holds copies: mutating the source afterwards must
+     not affect the result (XQuery node-copy semantics) *)
+  let src = Xdb_xml.Parser.parse "<a><b>x</b></a>" in
+  let prog = QP.parse_prog "<wrap>{./a/b}</wrap>" in
+  let out = QE.run_to_nodes prog ~context:src in
+  (match (Xdb_xml.Parser.document_element src).X.children with
+  | b :: _ -> b.X.kind <- X.Text "mutated"
+  | [] -> Alcotest.fail "no children");
+  check cs "copy unaffected by mutation" "<wrap><b>x</b></wrap>"
+    (Xdb_xml.Serializer.node_list_to_string out)
+
+let test_order_by_stability () =
+  (* equal keys keep input order (stable sort) *)
+  let doc2 = Xdb_xml.Parser.parse "<l><i k=\"1\">a</i><i k=\"1\">b</i><i k=\"0\">c</i></l>" in
+  let prog =
+    QP.parse_prog "for $i in ./l/i order by fn:string($i/@k) return fn:string($i)"
+  in
+  let out =
+    String.concat "," (List.map QV.item_string (QE.run prog ~context:doc2))
+  in
+  check cs "stable" "c,a,b" out
+
+let test_eval_errors () =
+  let fails src =
+    match run_str src with
+    | exception (QE.Eval_error _ | QV.Xquery_type_error _) -> true
+    | _ -> false
+  in
+  check cb "unbound variable" true (fails "$nope");
+  check cb "undefined function" true (fails "local:ghost()");
+  check cb "runaway recursion guarded" true
+    (fails "declare function local:loop($n) { local:loop($n + 1) }; local:loop(0)")
+
+let test_parser_errors () =
+  let fails src = match QP.parse_prog src with exception QP.Parse_error _ -> true | _ -> false in
+  check cb "missing return" true (fails "for $x in y");
+  check cb "mismatched constructor" true (fails "<a></b>");
+  check cb "unterminated brace" true (fails "<a>{1</a>");
+  check cb "flwor in predicate" true (fails "a[for $x in b return $x]")
+
+let test_pretty_roundtrip () =
+  let sources =
+    [
+      "let $d := ./dept return (fn:string($d/dname), <x a=\"{$d/loc}\">{1 + 2}</x>)";
+      "for $e in ./dept/employees/emp[sal > 2000] order by fn:string($e/ename) return <r>{fn:string($e/empno)}</r>";
+      {|if (fn:exists(./dept/loc)) then "y" else "n"|};
+      "declare function local:f($x) { $x + 1 }; fn:string(local:f(41))";
+      "fn:string-join(for $t in .//text() return fn:string($t), \"\")";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let p1 = QP.parse_prog src in
+      let out1 = Xdb_xml.Serializer.node_list_to_string (QE.run_to_nodes p1 ~context:doc) in
+      let printed = Pretty.prog_syntax p1 in
+      let p2 = QP.parse_prog printed in
+      let out2 = Xdb_xml.Serializer.node_list_to_string (QE.run_to_nodes p2 ~context:doc) in
+      check cs ("roundtrip: " ^ src) out1 out2)
+    sources
+
+(* ------------------------------------------------------------------ *)
+(* static typing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let input_schema =
+  S.make ~root:"dept"
+    [
+      S.node "dept" [ S.particle "dname"; S.particle "employees" ];
+      S.node "employees" [ S.particle ~occurs:S.many "emp" ];
+      S.node "emp" [ S.particle "ename" ];
+      S.leaf "dname";
+      S.leaf "ename";
+    ]
+
+let test_typing_constructed () =
+  let p = QP.parse_prog "<out><h/>{for $e in ./dept/employees/emp return <r/>}</out>" in
+  let schema = Typing.result_schema ~input:input_schema p in
+  let result = S.find_exn schema "#result" in
+  check ci "one top element" 1 (List.length result.S.particles);
+  let out = S.find_exn schema "out" in
+  check ci "out has h and r" 2 (List.length out.S.particles);
+  let r = List.nth out.S.particles 1 in
+  check cs "r unbounded" "many" (S.occurs_name r.S.occurs)
+
+let test_typing_forwarded () =
+  let p = QP.parse_prog "./dept/employees/emp" in
+  let schema = Typing.result_schema ~input:input_schema p in
+  let result = S.find_exn schema "#result" in
+  check Alcotest.(list string) "emp forwarded" [ "emp" ]
+    (List.map (fun pt -> pt.S.child) result.S.particles);
+  (* the forwarded declaration is copied *)
+  check ci "emp decl copied" 1 (List.length (S.find_exn schema "emp").S.particles)
+
+(* ------------------------------------------------------------------ *)
+(* composition (paper Example 2)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_compose_static () =
+  let p =
+    QP.parse_prog
+      {|let $d := ./dept return (<h1>x</h1>, <table>{for $e in $d/employees/emp return <tr>{fn:string($e/ename)}</tr>}</table>)|}
+  in
+  let steps = [ Xdb_xpath.Ast.child_step "table"; Xdb_xpath.Ast.child_step "tr" ] in
+  let composed = Compose.navigate p steps in
+  (* navigating away from <h1> drops it; result contains only the FLWOR *)
+  let out = Xdb_xml.Serializer.node_list_to_string (QE.run_to_nodes composed ~context:doc) in
+  check cs "composed result" "<tr>CLARK</tr><tr>MILLER</tr><tr>SMITH</tr>" out;
+  (* the composed body must not contain the h1 constructor *)
+  let printed = Pretty.prog_syntax composed in
+  check cb "h1 eliminated" false
+    (let rec contains s sub i =
+       i + String.length sub <= String.length s
+       && (String.sub s i (String.length sub) = sub || contains s sub (i + 1))
+     in
+     contains printed "h1" 0)
+
+let test_compose_equivalence () =
+  (* static navigation ≡ dynamic path application *)
+  let p =
+    QP.parse_prog
+      {|<table>{for $e in ./dept/employees/emp return <tr><td>{fn:string($e/ename)}</td></tr>}</table>|}
+  in
+  let steps =
+    [ Xdb_xpath.Ast.child_step "table"; Xdb_xpath.Ast.child_step "tr";
+      Xdb_xpath.Ast.child_step "td" ]
+  in
+  let composed = Compose.navigate p steps in
+  let static = Xdb_xml.Serializer.node_list_to_string (QE.run_to_nodes composed ~context:doc) in
+  (* dynamic: materialise then navigate *)
+  let nodes = QE.run_to_nodes p ~context:doc in
+  let frag = Xdb_xml.Builder.document_of_nodes nodes in
+  let ctx = Xdb_xpath.Eval.make_context frag in
+  let dynamic =
+    Xdb_xpath.Eval.select ctx "table/tr/td"
+    |> List.map (Xdb_xml.Serializer.to_string ~meth:Xdb_xml.Serializer.Xml)
+    |> String.concat ""
+  in
+  check cs "static = dynamic" dynamic static
+
+let test_simplify () =
+  let p = QP.parse_prog "let $unused := ./dept return (<a/>, ())" in
+  match Compose.simplify p.Q.body with
+  | Q.Direct_elem ("a", _, _) -> ()
+  | e -> Alcotest.failf "expected bare <a/>, got %s" (Pretty.expr_syntax 0 e)
+
+(* ------------------------------------------------------------------ *)
+(* SQL rewrite                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let setup_view () =
+  let db = Xdb_rel.Database.create () in
+  let dept =
+    Xdb_rel.Database.create_table db "dept"
+      [ { T.col_name = "deptno"; col_type = V.Tint }; { T.col_name = "dname"; col_type = V.Tstr } ]
+  in
+  let emp =
+    Xdb_rel.Database.create_table db "emp"
+      [
+        { T.col_name = "ename"; col_type = V.Tstr };
+        { T.col_name = "sal"; col_type = V.Tint };
+        { T.col_name = "deptno"; col_type = V.Tint };
+      ]
+  in
+  T.insert_values dept [ V.Int 10; V.Str "ACCOUNTING" ];
+  T.insert_values emp [ V.Str "CLARK"; V.Int 2450; V.Int 10 ];
+  T.insert_values emp [ V.Str "MILLER"; V.Int 1300; V.Int 10 ];
+  ignore (T.create_index emp ~name:"emp_sal" ~column:"sal");
+  let view =
+    {
+      P.view_name = "v";
+      base_table = "dept";
+      base_alias = "dept";
+      column = "c";
+      spec =
+        P.Elem
+          {
+            name = "dept";
+            attrs = [];
+            content =
+              [
+                P.Elem { name = "dname"; attrs = []; content = [ P.Text_col "dname" ] };
+                P.Agg
+                  {
+                    table = "emp";
+                    alias = "emp";
+                    correlate = [ ("deptno", "deptno") ];
+                    where = None;
+                    order_by = [ ("ename", A.Asc) ];
+                    body =
+                      P.Elem
+                        {
+                          name = "emp";
+                          attrs = [];
+                          content =
+                            [
+                              P.Elem { name = "ename"; attrs = []; content = [ P.Text_col "ename" ] };
+                              P.Elem { name = "sal"; attrs = []; content = [ P.Text_col "sal" ] };
+                            ];
+                        };
+                  };
+              ];
+          };
+    }
+  in
+  (db, view)
+
+let rewrite_and_run src =
+  let db, view = setup_view () in
+  let prog = QP.parse_prog src in
+  let plan = SQL.rewrite_view_plan db view prog in
+  let rows = Xdb_rel.Exec.run db plan in
+  (plan, List.map (fun r -> V.to_string (List.assoc "result" r)) rows)
+
+let test_rewrite_scalar () =
+  let _, out = rewrite_and_run "<h>{fn:string(./dept/dname)}</h>" in
+  check Alcotest.(list string) "scalar path" [ "<h>ACCOUNTING</h>" ] out
+
+let test_rewrite_for_with_predicate () =
+  let plan, out =
+    rewrite_and_run "for $e in ./dept/emp[sal > 2000] return <r>{fn:string($e/ename)}</r>"
+  in
+  check Alcotest.(list string) "predicate applied" [ "<r>CLARK</r>" ] out;
+  (* predicate became an index scan inside the subquery *)
+  let explain = A.explain plan in
+  let contains sub s =
+    let rec go i =
+      i + String.length sub <= String.length s && (String.sub s i (String.length sub) = sub || go (i + 1))
+    in
+    go 0
+  in
+  check cb "index scan used" true (contains "IndexScan" explain)
+
+let test_rewrite_aggregates () =
+  let _, out =
+    rewrite_and_run
+      {|<s c="{count(./dept/emp)}">{fn:string(sum(./dept/emp/sal))}</s>|}
+  in
+  check Alcotest.(list string) "count and sum" [ "<s c=\"2\">3750</s>" ] out
+
+let test_rewrite_where_and_if () =
+  let _, out =
+    rewrite_and_run
+      {|for $e in ./dept/emp return if ($e/sal > 2000) then <hi/> else <lo/>|}
+  in
+  check Alcotest.(list string) "conditional per row" [ "<hi/><lo/>" ] out
+
+let test_rewrite_copy_of () =
+  let _, out = rewrite_and_run "./dept/emp[sal > 2000]" in
+  check Alcotest.(list string) "republication"
+    [ "<emp><ename>CLARK</ename><sal>2450</sal></emp>" ]
+    out
+
+let test_rewrite_order_by () =
+  let plan, out =
+    rewrite_and_run
+      "for $e in ./dept/emp order by fn:number($e/sal) descending return <s>{fn:string($e/sal)}</s>"
+  in
+  ignore plan;
+  check Alcotest.(list string) "descending" [ "<s>2450</s><s>1300</s>" ] out
+
+let test_rewrite_where_hoisting () =
+  (* a where clause directly after the for hoists into the subplan *)
+  let plan, out =
+    rewrite_and_run
+      "for $e in ./dept/emp where $e/sal > 2000 return <r>{fn:string($e/ename)}</r>"
+  in
+  check Alcotest.(list string) "where applied" [ "<r>CLARK</r>" ] out;
+  let explain = A.explain plan in
+  let contains sub s =
+    let rec go i =
+      i + String.length sub <= String.length s && (String.sub s i (String.length sub) = sub || go (i + 1))
+    in
+    go 0
+  in
+  check cb "hoisted into an index scan" true (contains "IndexScan" explain)
+
+let test_rewrite_exists_condition () =
+  let _, out =
+    rewrite_and_run
+      {|if (fn:exists(./dept/emp)) then <has/> else <none/>|}
+  in
+  check Alcotest.(list string) "exists over detail" [ "<has/>" ] out
+
+let test_rewrite_fallbacks () =
+  let db, view = setup_view () in
+  let fails src =
+    match SQL.rewrite_view_plan db view (QP.parse_prog src) with
+    | exception SQL.Not_rewritable _ -> true
+    | _ -> false
+  in
+  check cb "descendant axis" true (fails "<x>{fn:string(.//ename)}</x>");
+  check cb "unknown element" true (fails "fn:string(./dept/ghost)");
+  check cb "user functions" true
+    (fails "declare function local:f($x) { $x }; local:f(./dept)");
+  check cb "computed element name" true
+    (fails "element {fn:string(./dept/dname)} {\"x\"}")
+
+let test_rewrite_matches_dynamic () =
+  (* differential: SQL result = dynamic evaluation over materialised doc *)
+  let db, view = setup_view () in
+  let srcs =
+    [
+      "<h>{fn:string(./dept/dname)}</h>";
+      "for $e in ./dept/emp return <r>{fn:string($e/ename)}:{fn:string($e/sal)}</r>";
+      "for $e in ./dept/emp[sal > 2000] return <r>{fn:string($e/ename)}</r>";
+      {|<s>{fn:string(count(./dept/emp))}</s>|};
+    ]
+  in
+  let docs = P.materialize db view in
+  List.iter
+    (fun src ->
+      let prog = QP.parse_prog src in
+      let plan = SQL.rewrite_view_plan db view prog in
+      let sql = List.map (fun r -> V.to_string (List.assoc "result" r)) (Xdb_rel.Exec.run db plan) in
+      let dyn =
+        List.map
+          (fun d -> Xdb_xml.Serializer.node_list_to_string (QE.run_to_nodes prog ~context:d))
+          docs
+      in
+      check Alcotest.(list string) ("differential: " ^ src) dyn sql)
+    srcs
+
+let prop_xquery_parser_total =
+  QCheck.Test.make ~name:"xquery parser is total" ~count:400
+    QCheck.(string_gen_of_size Gen.(int_bound 50) Gen.printable)
+    (fun s ->
+      match QP.parse_prog s with
+      | _ -> true
+      | exception
+          ( QP.Parse_error _ | Xdb_xpath.Parser.Parse_error _ | Xdb_xpath.Lexer.Lex_error _ ) ->
+          true)
+
+(* property: for randomly shaped publishing views (random scalar columns,
+   random nesting of XMLAgg levels, random row counts), republication of
+   the root element through the SQL rewriter equals materialisation, and a
+   detail-level for-loop rewrite equals its dynamic evaluation *)
+let random_view_property =
+  QCheck.Test.make ~name:"random view shapes: rewrite ≡ materialise" ~count:40
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rand =
+        let state = ref (seed land 0x3FFFFFFF) in
+        fun bound ->
+          state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+          !state mod bound
+      in
+      let db = Xdb_rel.Database.create () in
+      let base =
+        Xdb_rel.Database.create_table db "base"
+          [ { T.col_name = "bid"; col_type = V.Tint };
+            { T.col_name = "a"; col_type = V.Tstr };
+            { T.col_name = "b"; col_type = V.Tint } ]
+      in
+      let detail =
+        Xdb_rel.Database.create_table db "detail"
+          [ { T.col_name = "fk"; col_type = V.Tint };
+            { T.col_name = "x"; col_type = V.Tint };
+            { T.col_name = "y"; col_type = V.Tstr } ]
+      in
+      let sub =
+        Xdb_rel.Database.create_table db "sub"
+          [ { T.col_name = "fk2"; col_type = V.Tint };
+            { T.col_name = "z"; col_type = V.Tint } ]
+      in
+      let n_base = 1 + rand 3 in
+      for i = 1 to n_base do
+        T.insert_values base [ V.Int i; V.Str (Printf.sprintf "s%d" (rand 100)); V.Int (rand 1000) ];
+        for _ = 1 to rand 4 do
+          let x = rand 1000 in
+          T.insert_values detail [ V.Int i; V.Int x; V.Str (Printf.sprintf "y%d" (rand 10)) ];
+          for _ = 1 to rand 3 do
+            T.insert_values sub [ V.Int x; V.Int (rand 50) ]
+          done
+        done
+      done;
+      if rand 2 = 0 then ignore (T.create_index detail ~name:"d_fk" ~column:"fk");
+      if rand 2 = 0 then ignore (T.create_index sub ~name:"s_fk2" ~column:"fk2");
+      let leaf name col = P.Elem { name; attrs = []; content = [ P.Text_col col ] } in
+      let sub_agg =
+        P.Agg
+          { table = "sub"; alias = "sub"; correlate = [ ("fk2", "x") ]; where = None;
+            order_by = [ ("z", A.Asc) ];
+            body = P.Elem { name = "s"; attrs = []; content = [ leaf "z" "z" ] } }
+      in
+      let detail_content =
+        [ leaf "x" "x"; leaf "y" "y" ] @ (if rand 2 = 0 then [ sub_agg ] else [])
+      in
+      let detail_agg =
+        P.Agg
+          { table = "detail"; alias = "detail"; correlate = [ ("fk", "bid") ]; where = None;
+            order_by = [ ("x", A.Asc) ];
+            body = P.Elem { name = "d"; attrs = []; content = detail_content } }
+      in
+      let root_content =
+        (if rand 2 = 0 then [ leaf "a" "a" ] else [])
+        @ [ leaf "b" "b" ]
+        @ (if rand 2 = 0 then [ detail_agg ] else [])
+      in
+      let view =
+        { P.view_name = "rv"; base_table = "base"; base_alias = "base"; column = "doc";
+          spec = P.Elem { name = "root"; attrs = []; content = root_content } }
+      in
+      (* 1. republication: XMLQuery('./root') ≡ materialise *)
+      let prog = QP.parse_prog "./root" in
+      let plan = SQL.rewrite_view_plan db view prog in
+      let sql =
+        List.map (fun r -> V.to_string (List.assoc "result" r)) (Xdb_rel.Exec.run db plan)
+      in
+      let mat =
+        List.map
+          (fun d ->
+            Xdb_xml.Serializer.node_list_to_string
+              (List.map Xdb_xml.Types.deep_copy d.Xdb_xml.Types.children))
+          (P.materialize db view)
+      in
+      let republication_ok = sql = mat in
+      (* 2. a detail loop, when the view publishes one *)
+      let loop_ok =
+        if List.exists (function P.Agg _ -> true | _ -> false) root_content then (
+          let q = QP.parse_prog "for $d in ./root/d return <o>{fn:string($d/x)}</o>" in
+          let plan = SQL.rewrite_view_plan db view q in
+          let sql =
+            List.map (fun r -> V.to_string (List.assoc "result" r)) (Xdb_rel.Exec.run db plan)
+          in
+          let dyn =
+            List.map
+              (fun d ->
+                Xdb_xml.Serializer.node_list_to_string (QE.run_to_nodes q ~context:d))
+              (P.materialize db view)
+          in
+          sql = dyn)
+        else true
+      in
+      republication_ok && loop_ok)
+
+let () =
+  Alcotest.run "xquery"
+    [
+      ( "eval",
+        [
+          Alcotest.test_case "FLWOR basics" `Quick test_flwor_basics;
+          Alcotest.test_case "conditionals" `Quick test_conditionals;
+          Alcotest.test_case "constructors" `Quick test_constructors;
+          Alcotest.test_case "atomization spacing" `Quick test_atomization_spacing;
+          Alcotest.test_case "functions" `Quick test_functions;
+          Alcotest.test_case "quantifiers" `Quick test_quantifiers;
+          Alcotest.test_case "user functions" `Quick test_user_functions;
+          Alcotest.test_case "construction copies" `Quick test_construction_copies;
+          Alcotest.test_case "order-by stability" `Quick test_order_by_stability;
+          Alcotest.test_case "eval errors" `Quick test_eval_errors;
+        ] );
+      ( "syntax",
+        [
+          Alcotest.test_case "parser errors" `Quick test_parser_errors;
+          Alcotest.test_case "pretty round-trip" `Quick test_pretty_roundtrip;
+        ] );
+      ( "typing",
+        [
+          Alcotest.test_case "constructed" `Quick test_typing_constructed;
+          Alcotest.test_case "forwarded" `Quick test_typing_forwarded;
+        ] );
+      ( "compose",
+        [
+          Alcotest.test_case "static navigation" `Quick test_compose_static;
+          Alcotest.test_case "equivalence" `Quick test_compose_equivalence;
+          Alcotest.test_case "simplify" `Quick test_simplify;
+        ] );
+      ("fuzz", [ QCheck_alcotest.to_alcotest prop_xquery_parser_total ]);
+      ("random-views", [ QCheck_alcotest.to_alcotest random_view_property ]);
+      ( "sql-rewrite",
+        [
+          Alcotest.test_case "scalar" `Quick test_rewrite_scalar;
+          Alcotest.test_case "for + predicate" `Quick test_rewrite_for_with_predicate;
+          Alcotest.test_case "aggregates" `Quick test_rewrite_aggregates;
+          Alcotest.test_case "where/if" `Quick test_rewrite_where_and_if;
+          Alcotest.test_case "copy-of" `Quick test_rewrite_copy_of;
+          Alcotest.test_case "order by" `Quick test_rewrite_order_by;
+          Alcotest.test_case "where hoisting" `Quick test_rewrite_where_hoisting;
+          Alcotest.test_case "exists condition" `Quick test_rewrite_exists_condition;
+          Alcotest.test_case "fallbacks" `Quick test_rewrite_fallbacks;
+          Alcotest.test_case "differential" `Quick test_rewrite_matches_dynamic;
+        ] );
+    ]

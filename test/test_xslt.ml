@@ -1,0 +1,370 @@
+(* Tests for xdb_xslt: stylesheet parsing, compilation, the XSLTVM. *)
+
+module A = Xdb_xslt.Ast
+module SP = Xdb_xslt.Parser
+module C = Xdb_xslt.Compile
+module VM = Xdb_xslt.Vm
+module X = Xdb_xml.Types
+
+let check = Alcotest.check
+let cs = Alcotest.string
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+let wrap body =
+  Printf.sprintf
+    {|<?xml version="1.0"?><xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">%s</xsl:stylesheet>|}
+    body
+
+let transform stylesheet_body doc_src =
+  let doc = Xdb_xml.Parser.parse doc_src in
+  let frag = VM.run_stylesheet (wrap stylesheet_body) doc in
+  Xdb_xml.Serializer.node_list_to_string frag.X.children
+
+(* ------------------------------------------------------------------ *)
+(* stylesheet parsing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_structure () =
+  let ss =
+    SP.parse
+      (wrap
+         {|<xsl:output method="html" indent="yes"/>
+<xsl:variable name="g" select="1"/>
+<xsl:template match="a"><x/></xsl:template>
+<xsl:template name="named"><y/></xsl:template>|})
+  in
+  check ci "two templates" 2 (List.length ss.A.templates);
+  check ci "one global" 1 (List.length ss.A.global_vars);
+  check cb "html output" true (ss.A.output = A.Out_html);
+  check cb "indent" true ss.A.indent
+
+let test_parse_avt () =
+  let avt = SP.parse_avt "pre-{1 + 2}-mid-{{literal}}-post" in
+  check ci "three pieces" 3 (List.length avt);
+  (match avt with
+  | [ A.Avt_str "pre-"; A.Avt_expr _; A.Avt_str "-mid-{literal}-post" ] -> ()
+  | _ -> Alcotest.fail "unexpected AVT shape");
+  match SP.parse_avt "dangling{" with
+  | exception SP.Stylesheet_error _ -> ()
+  | _ -> Alcotest.fail "unterminated AVT must fail"
+
+let test_parse_errors () =
+  let fails body = match SP.parse (wrap body) with exception SP.Stylesheet_error _ -> true | _ -> false in
+  check cb "template without match/name" true (fails "<xsl:template><x/></xsl:template>");
+  check cb "value-of without select" true
+    (fails "<xsl:template match=\"a\"><xsl:value-of/></xsl:template>");
+  check cb "unknown instruction" true
+    (fails "<xsl:template match=\"a\"><xsl:frobnicate/></xsl:template>");
+  check cb "bad xpath" true
+    (fails "<xsl:template match=\"a\"><xsl:value-of select=\"1 +\"/></xsl:template>")
+
+let test_xslt2_rejected () =
+  (* paper §7.1: for-each-group is an open issue — rejected with a clear error *)
+  match
+    SP.parse
+      (wrap
+         {|<xsl:template match="a"><xsl:for-each-group select="b" group-by="c"/></xsl:template>|})
+  with
+  | exception A.Unsupported msg ->
+      check cb "mentions 2.0" true
+        (String.length msg > 0
+        &&
+        let rec contains i =
+          i + 3 <= String.length msg && (String.sub msg i 3 = "2.0" || contains (i + 1))
+        in
+        contains 0)
+  | _ -> Alcotest.fail "for-each-group must raise Unsupported"
+
+(* ------------------------------------------------------------------ *)
+(* compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_compile_dispatch () =
+  let ss =
+    SP.parse
+      (wrap
+         {|<xsl:template match="a | b"><x/></xsl:template>
+<xsl:template match="text()"/>
+<xsl:template match="*"><y/></xsl:template>|})
+  in
+  let prog = C.compile ss in
+  (* union split: a|b becomes two compiled templates *)
+  check ci "four compiled templates" 4 (Array.length prog.C.templates);
+  check cb "has sites" true (prog.C.n_apply_sites = 0);
+  check cb "bytecode non-empty" true (C.program_size prog > 0)
+
+let test_compile_call_unknown () =
+  let ss =
+    SP.parse (wrap {|<xsl:template match="a"><xsl:call-template name="ghost"/></xsl:template>|})
+  in
+  match C.compile ss with
+  | exception C.Compile_error _ -> ()
+  | _ -> Alcotest.fail "unknown call target must fail at compile time"
+
+(* ------------------------------------------------------------------ *)
+(* VM execution                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_value_of_and_literals () =
+  check cs "basic" "<out><v>hi</v></out>"
+    (transform
+       {|<xsl:template match="doc"><out><v><xsl:value-of select="a"/></v></out></xsl:template>|}
+       "<doc><a>hi</a></doc>")
+
+let test_builtin_rules () =
+  (* no templates: built-in rules copy text through *)
+  check cs "builtin text copy" "xy" (transform "" "<doc><a>x</a><b>y</b></doc>")
+
+let test_template_conflict_resolution () =
+  (* higher priority wins; later document order breaks ties *)
+  check cs "priority wins" "<hi/>"
+    (transform
+       {|<xsl:template match="doc"><xsl:apply-templates select="a"/></xsl:template>
+<xsl:template match="a" priority="2"><hi/></xsl:template>
+<xsl:template match="a" priority="1"><lo/></xsl:template>
+<xsl:template match="text()"/>|}
+       "<doc><a>x</a></doc>");
+  check cs "later wins ties" "<second/>"
+    (transform
+       {|<xsl:template match="doc"><xsl:apply-templates select="a"/></xsl:template>
+<xsl:template match="a"><first/></xsl:template>
+<xsl:template match="a"><second/></xsl:template>
+<xsl:template match="text()"/>|}
+       "<doc><a>x</a></doc>")
+
+let test_for_each_sort () =
+  check cs "numeric descending"
+    "<s>10</s><s>2</s><s>9</s>|<s>10</s><s>9</s><s>2</s>"
+    (transform
+       {|<xsl:template match="doc"><xsl:for-each select="n"><xsl:sort select="."/><s><xsl:value-of select="."/></s></xsl:for-each>|<xsl:for-each select="n"><xsl:sort select="." data-type="number" order="descending"/><s><xsl:value-of select="."/></s></xsl:for-each></xsl:template>|}
+       "<doc><n>10</n><n>9</n><n>2</n></doc>")
+
+let test_choose_if () =
+  check cs "choose branches" "<big/>|<small/>"
+    (transform
+       {|<xsl:template match="doc"><xsl:apply-templates select="n"/></xsl:template>
+<xsl:template match="n"><xsl:if test="position() = 2">|</xsl:if><xsl:choose><xsl:when test=". &gt; 5"><big/></xsl:when><xsl:otherwise><small/></xsl:otherwise></xsl:choose></xsl:template>
+<xsl:template match="text()"/>|}
+       "<doc><n>10</n><n>2</n></doc>")
+
+let test_variables_and_params () =
+  check cs "variable scope" "6"
+    (transform
+       {|<xsl:template match="doc"><xsl:variable name="x" select="2"/><xsl:variable name="y" select="$x * 3"/><xsl:value-of select="$y"/></xsl:template>|}
+       "<doc/>");
+  check cs "call-template params" "7|42"
+    (transform
+       {|<xsl:template match="doc">
+<xsl:call-template name="t"><xsl:with-param name="a" select="7"/></xsl:call-template>|<xsl:call-template name="t"><xsl:with-param name="a" select="7"/><xsl:with-param name="b" select="6"/></xsl:call-template>
+</xsl:template>
+<xsl:template name="t"><xsl:param name="a" select="0"/><xsl:param name="b" select="1"/><xsl:value-of select="$a * $b"/></xsl:template>|}
+       "<doc/>")
+
+let test_apply_with_params () =
+  check cs "with-param through apply" "[x:7]"
+    (transform
+       {|<xsl:template match="doc"><xsl:apply-templates select="a"><xsl:with-param name="p" select="7"/></xsl:apply-templates></xsl:template>
+<xsl:template match="a"><xsl:param name="p" select="0"/>[<xsl:value-of select="."/>:<xsl:value-of select="$p"/>]</xsl:template>
+<xsl:template match="text()"/>|}
+       "<doc><a>x</a></doc>")
+
+let test_copy_and_copy_of () =
+  check cs "copy-of deep" "<keep><a k=\"1\"><b/></a></keep>"
+    (transform
+       {|<xsl:template match="doc"><keep><xsl:copy-of select="a"/></keep></xsl:template>|}
+       "<doc><a k=\"1\"><b/></a></doc>");
+  check cs "copy shallow" "<a><inner/></a>"
+    (transform
+       {|<xsl:template match="doc"><xsl:apply-templates select="a"/></xsl:template>
+<xsl:template match="a"><xsl:copy><inner/></xsl:copy></xsl:template>|}
+       "<doc><a k=\"1\">text</a></doc>")
+
+let test_element_attribute_cons () =
+  check cs "computed constructors" "<e-a at=\"v1\">body</e-a>"
+    (transform
+       {|<xsl:template match="doc"><xsl:element name="e-{name(a)}"><xsl:attribute name="at">v<xsl:value-of select="count(*)"/></xsl:attribute>body</xsl:element></xsl:template>|}
+       "<doc><a/></doc>")
+
+let test_avt_in_literal () =
+  check cs "avt" "<r id=\"1-A\"/>"
+    (transform
+       {|<xsl:template match="doc"><r id="{count(a)}-{a}"/></xsl:template>|}
+       "<doc><a>A</a></doc>")
+
+let test_modes () =
+  check cs "mode dispatch" "<m1>x</m1><m2>x</m2>"
+    (transform
+       {|<xsl:template match="doc"><xsl:apply-templates select="a" mode="one"/><xsl:apply-templates select="a" mode="two"/></xsl:template>
+<xsl:template match="a" mode="one"><m1><xsl:value-of select="."/></m1></xsl:template>
+<xsl:template match="a" mode="two"><m2><xsl:value-of select="."/></m2></xsl:template>|}
+       "<doc><a>x</a></doc>")
+
+let test_number_instruction () =
+  check cs "xsl:number" "<i>1</i><i>2</i><i>3</i>"
+    (transform
+       {|<xsl:template match="doc"><xsl:apply-templates select="n"/></xsl:template>
+<xsl:template match="n"><i><xsl:number/></i></xsl:template>
+<xsl:template match="text()"/>|}
+       "<doc><n/><n/><n/></doc>")
+
+let test_text_output_method () =
+  let ss = SP.parse (wrap {|<xsl:output method="text"/>
+<xsl:template match="doc">A&amp;B<xsl:value-of select="a"/></xsl:template>|}) in
+  let prog = C.compile ss in
+  let doc = Xdb_xml.Parser.parse "<doc><a>&lt;tag&gt;</a></doc>" in
+  check cs "text method does not escape" "A&B<tag>" (VM.transform_to_string prog doc)
+
+let test_comment_pi_output () =
+  check cs "comment and pi" "<!--note--><?t d?>"
+    (transform
+       {|<xsl:template match="doc"><xsl:comment>note</xsl:comment><xsl:processing-instruction name="t">d</xsl:processing-instruction></xsl:template>|}
+       "<doc/>")
+
+let test_message () =
+  let ss =
+    SP.parse (wrap {|<xsl:template match="doc"><xsl:message>warned</xsl:message><ok/></xsl:template>|})
+  in
+  let prog = C.compile ss in
+  let doc = Xdb_xml.Parser.parse "<doc/>" in
+  let frag = VM.transform prog doc in
+  check cs "output unaffected" "<ok/>" (Xdb_xml.Serializer.node_list_to_string frag.X.children)
+
+let test_recursion_limit () =
+  let ss =
+    SP.parse
+      (wrap
+         {|<xsl:template match="doc"><xsl:call-template name="loop"/></xsl:template>
+<xsl:template name="loop"><xsl:call-template name="loop"/></xsl:template>|})
+  in
+  let prog = C.compile ss in
+  let doc = Xdb_xml.Parser.parse "<doc/>" in
+  match VM.transform prog doc with
+  | exception VM.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "infinite recursion must be stopped"
+
+let test_key_function () =
+  check cs "key lookup" "<found>beta</found><found>delta</found>"
+    (transform
+       {|<xsl:key name="bycat" match="item" use="cat"/>
+<xsl:template match="doc"><xsl:apply-templates select="key('bycat', 'x')"/></xsl:template>
+<xsl:template match="item"><found><xsl:value-of select="name"/></found></xsl:template>
+<xsl:template match="text()"/>|}
+       "<doc><item><cat>x</cat><name>beta</name></item><item><cat>y</cat><name>gamma</name></item><item><cat>x</cat><name>delta</name></item></doc>");
+  (* unknown key name is an error *)
+  let ss = SP.parse (wrap {|<xsl:template match="doc"><xsl:value-of select="count(key('ghost', 1))"/></xsl:template>|}) in
+  let prog = C.compile ss in
+  match VM.transform prog (Xdb_xml.Parser.parse "<doc/>") with
+  | exception (VM.Runtime_error _ | Xdb_xpath.Eval.Eval_error _) -> ()
+  | _ -> Alcotest.fail "unknown key must fail"
+
+(* ------------------------------------------------------------------ *)
+(* trace events                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_balanced () =
+  let ss =
+    SP.parse
+      (wrap
+         {|<xsl:template match="doc"><xsl:apply-templates/></xsl:template>
+<xsl:template match="a"><x/></xsl:template>|})
+  in
+  let prog = C.compile ss in
+  let doc = Xdb_xml.Parser.parse "<doc><a/><a/><b/></doc>" in
+  let enters = ref 0 and exits = ref 0 and builtin = ref 0 in
+  let sink = function
+    | VM.Ev_enter { template = None; _ } ->
+        incr builtin;
+        incr enters
+    | VM.Ev_enter _ -> incr enters
+    | VM.Ev_exit -> incr exits
+  in
+  ignore (VM.transform ~trace:sink prog doc);
+  check ci "balanced" !enters !exits;
+  (* builtin fires for the document root, for <b/>, and for b's absence of
+     children is nothing; also not for matched a's *)
+  check cb "builtin fired" true (!builtin >= 2);
+  check ci "total activations" 5 !enters
+
+let test_strip_space () =
+  (* without stripping, the builtin rules copy the indentation whitespace *)
+  let src = "<doc>\n  <a>x</a>\n  <a>y</a>\n</doc>" in
+  check cs "no stripping keeps whitespace" "\n  x\n  y\n"
+    (transform {|<xsl:template match="a"><xsl:value-of select="."/></xsl:template>|} src);
+  check cs "strip-space *" "xy"
+    (transform
+       ({|<xsl:strip-space elements="*"/>|}
+       ^ {|<xsl:template match="a"><xsl:value-of select="."/></xsl:template>|})
+       src);
+  (* preserve-space wins over strip-space *)
+  check cs "preserve overrides" "\n  x\n  y\n"
+    (transform
+       ({|<xsl:strip-space elements="*"/><xsl:preserve-space elements="doc"/>|}
+       ^ {|<xsl:template match="a"><xsl:value-of select="."/></xsl:template>|})
+       src);
+  (* non-whitespace text survives stripping *)
+  check cs "real text kept" "k-x"
+    (transform
+       ({|<xsl:strip-space elements="*"/>|}
+       ^ {|<xsl:template match="a">-<xsl:value-of select="."/></xsl:template>|})
+       "<doc>k<a>x</a> </doc>")
+
+(* stylesheet-level fuzz: mutate one byte of a valid stylesheet; only the
+   documented exception families may escape *)
+let prop_stylesheet_mutation =
+  QCheck.Test.make ~name:"stylesheet mutations stay in documented errors" ~count:200
+    QCheck.(pair (int_bound 2000) (int_bound 255))
+    (fun (pos, byte) ->
+      let src =
+        wrap
+          {|<xsl:template match="a"><x k="{@v}"><xsl:value-of select="b"/></x></xsl:template>|}
+      in
+      let b = Bytes.of_string src in
+      Bytes.set b (pos mod Bytes.length b) (Char.chr byte);
+      match SP.parse (Bytes.to_string b) with
+      | _ -> true
+      | exception
+          ( SP.Stylesheet_error _ | A.Unsupported _ | Xdb_xml.Parser.Parse_error _
+          | Xdb_xpath.Parser.Parse_error _ | Xdb_xpath.Lexer.Lex_error _
+          | Xdb_xpath.Pattern.Invalid_pattern _ ) ->
+          true)
+
+let () =
+  Alcotest.run "xslt"
+    [
+      ( "parsing",
+        [
+          Alcotest.test_case "structure" `Quick test_parse_structure;
+          Alcotest.test_case "AVT" `Quick test_parse_avt;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "XSLT 2.0 rejected" `Quick test_xslt2_rejected;
+        ] );
+      ( "compile",
+        [
+          Alcotest.test_case "dispatch tables" `Quick test_compile_dispatch;
+          Alcotest.test_case "unknown call target" `Quick test_compile_call_unknown;
+        ] );
+      ( "vm",
+        [
+          Alcotest.test_case "value-of/literals" `Quick test_value_of_and_literals;
+          Alcotest.test_case "builtin rules" `Quick test_builtin_rules;
+          Alcotest.test_case "conflict resolution" `Quick test_template_conflict_resolution;
+          Alcotest.test_case "for-each + sort" `Quick test_for_each_sort;
+          Alcotest.test_case "choose/if" `Quick test_choose_if;
+          Alcotest.test_case "variables/params" `Quick test_variables_and_params;
+          Alcotest.test_case "apply with params" `Quick test_apply_with_params;
+          Alcotest.test_case "copy / copy-of" `Quick test_copy_and_copy_of;
+          Alcotest.test_case "element/attribute" `Quick test_element_attribute_cons;
+          Alcotest.test_case "AVT in literal" `Quick test_avt_in_literal;
+          Alcotest.test_case "modes" `Quick test_modes;
+          Alcotest.test_case "xsl:number" `Quick test_number_instruction;
+          Alcotest.test_case "text output" `Quick test_text_output_method;
+          Alcotest.test_case "comment/PI" `Quick test_comment_pi_output;
+          Alcotest.test_case "xsl:message" `Quick test_message;
+          Alcotest.test_case "recursion limit" `Quick test_recursion_limit;
+          Alcotest.test_case "xsl:key / key()" `Quick test_key_function;
+          Alcotest.test_case "strip/preserve-space" `Quick test_strip_space;
+        ] );
+      ("trace", [ Alcotest.test_case "balanced events" `Quick test_trace_balanced ]);
+      ("fuzz", [ QCheck_alcotest.to_alcotest prop_stylesheet_mutation ]);
+    ]

@@ -1,0 +1,161 @@
+(* Differential test suite over all XSLTMark-style cases.
+
+   For every case: the functional XSLTVM output must equal the output of
+   the generated XQuery (dynamic evaluation); for database-capable cases
+   the SQL/XML plan's output must also match; the translation mode must be
+   the expected one; and the paper's 23/40 inline statistic must hold
+   exactly. *)
+
+module M = Xdb_xsltmark.Cases
+module D = Xdb_xsltmark.Data
+module PL = Xdb_core.Pipeline
+module GEN = Xdb_core.Xslt2xquery
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let cs = Alcotest.string
+let ci = Alcotest.int
+
+let size = 120
+
+let is_inline = function
+  | GEN.Mode_inline | GEN.Mode_builtin_compact -> true
+  | GEN.Mode_partial_inline | GEN.Mode_functions -> false
+
+let doc_case (c : M.case) () =
+  let c = if c.M.name = "dbonerow" then M.dbonerow_for size else c in
+  let doc = M.doc_for c size in
+  let dc = PL.compile_for_document c.M.stylesheet ~example_doc:doc in
+  let functional = PL.transform_functional dc doc in
+  let via_xquery = PL.transform_via_xquery dc doc in
+  check cs "functional = generated XQuery" functional via_xquery;
+  check cb
+    (Printf.sprintf "expected inline=%b" c.M.expect_inline)
+    c.M.expect_inline
+    (is_inline dc.PL.d_translation.GEN.mode);
+  (* straightforward translation must agree too (it shares no structural
+     information with the optimised path) *)
+  let sf = GEN.translate_straightforward dc.PL.d_prog ~schema:dc.PL.d_schema in
+  let sf_out =
+    Xdb_xml.Serializer.node_list_to_string
+      (Xdb_xquery.Eval.run_to_nodes sf.GEN.query ~context:doc)
+  in
+  check cs "functional = straightforward [9]" functional sf_out
+
+let db_case (c : M.case) () =
+  let c = if c.M.name = "dbonerow" then M.dbonerow_for size else c in
+  let dv = M.dbview_for c size in
+  let comp = PL.compile dv.D.db dv.D.view c.M.stylesheet in
+  let f = PL.run_functional dv.D.db comp in
+  let r = PL.run_rewrite dv.D.db comp in
+  check Alcotest.(list string) "functional = rewrite (DB)" f r;
+  check cb "SQL plan produced" true (comp.PL.sql_plan <> None)
+
+let inline_statistic () =
+  let inline =
+    List.filter
+      (fun (c : M.case) ->
+        let doc = M.doc_for c 60 in
+        let dc = PL.compile_for_document c.M.stylesheet ~example_doc:doc in
+        is_inline dc.PL.d_translation.GEN.mode)
+      M.all
+  in
+  check ci "paper statistic: 23 of 40 inline" 23 (List.length inline);
+  check ci "suite has exactly 40 cases" 40 (List.length M.all)
+
+(* ------------------------------------------------------------------ *)
+(* Random-stylesheet equivalence property                               *)
+(*                                                                      *)
+(* Build a random (but deterministic per seed) stylesheet over the      *)
+(* records shape and require: functional VM output = optimised-XQuery   *)
+(* output = straightforward-translation output = SQL-plan output (when  *)
+(* the plan exists).                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let random_stylesheet seed =
+  let rand = D.lcg seed in
+  let pick a = a.(rand (Array.length a)) in
+  let col () = pick [| "id"; "name"; "value"; "category" |] in
+  let pred () =
+    match rand 4 with
+    | 0 -> ""
+    | 1 -> Printf.sprintf "[value &gt; %d]" (rand 9000)
+    | 2 -> Printf.sprintf "[id = %d]" (1 + rand 60)
+    | _ -> Printf.sprintf "[category = '%s']" (pick [| "A"; "B"; "C" |])
+  in
+  let sort () =
+    match rand 3 with
+    | 0 -> ""
+    | 1 -> {|<xsl:sort select="name"/>|}
+    | _ -> {|<xsl:sort select="value" data-type="number" order="descending"/>|}
+  in
+  let piece () =
+    match rand 6 with
+    | 0 -> Printf.sprintf {|<v><xsl:value-of select="%s"/></v>|} (col ())
+    | 1 -> Printf.sprintf {|<w a="{%s}"/>|} (col ())
+    | 2 ->
+        Printf.sprintf
+          {|<xsl:if test="value &gt; %d"><big><xsl:value-of select="id"/></big></xsl:if>|}
+          (rand 9000)
+    | 3 ->
+        Printf.sprintf
+          {|<xsl:choose><xsl:when test="value &gt; %d"><hi/></xsl:when><xsl:otherwise><lo><xsl:value-of select="%s"/></lo></xsl:otherwise></xsl:choose>|}
+          (rand 9000) (col ())
+    | 4 -> Printf.sprintf {|<xsl:element name="e%d"><xsl:value-of select="%s"/></xsl:element>|} (rand 3) (col ())
+    | _ -> "<sep/>"
+  in
+  let row_body = String.concat "" (List.init (1 + rand 3) (fun _ -> piece ())) in
+  let decoys =
+    String.concat ""
+      (List.init (rand 3) (fun i ->
+           Printf.sprintf {|<xsl:template match="ghost%d"><never/></xsl:template>|} i))
+  in
+  Printf.sprintf
+    {|<?xml version="1.0"?>
+<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+<xsl:template match="table">
+<out><xsl:apply-templates select="row%s">%s</xsl:apply-templates></out>
+</xsl:template>
+<xsl:template match="row">%s</xsl:template>
+%s<xsl:template match="text()"/>
+</xsl:stylesheet>|}
+    (pred ()) (sort ()) row_body decoys
+
+let prop_random_stylesheets =
+  QCheck.Test.make ~name:"random stylesheets: VM = XQuery = straightforward = SQL" ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let ss = random_stylesheet seed in
+      let n = 60 in
+      let dv = D.records_db n in
+      let comp = PL.compile dv.D.db dv.D.view ss in
+      let functional = PL.run_functional dv.D.db comp in
+      let xquery_stage = PL.run_xquery_stage dv.D.db comp in
+      let rewrite = PL.run_rewrite dv.D.db comp in
+      let doc = List.hd (Xdb_rel.Publish.materialize dv.D.db dv.D.view) in
+      let sf =
+        GEN.translate_straightforward comp.PL.vm_prog ~schema:comp.PL.schema
+      in
+      let sf_out =
+        [ Xdb_xml.Serializer.node_list_to_string
+            (Xdb_xquery.Eval.run_to_nodes sf.GEN.query ~context:doc) ]
+      in
+      functional = xquery_stage && functional = rewrite && functional = sf_out)
+
+let () =
+  let all = M.all @ M.extras in
+  Alcotest.run "xsltmark"
+    [
+      ( "differential-doc",
+        List.map
+          (fun (c : M.case) -> Alcotest.test_case c.M.name `Quick (doc_case c))
+          all );
+      ( "differential-db",
+        List.filter_map
+          (fun (c : M.case) ->
+            if c.M.db_capable then Some (Alcotest.test_case c.M.name `Quick (db_case c))
+            else None)
+          all );
+      ("statistics", [ Alcotest.test_case "23/40 inline" `Quick inline_statistic ]);
+      ("properties", [ QCheck_alcotest.to_alcotest prop_random_stylesheets ]);
+    ]
