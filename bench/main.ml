@@ -50,30 +50,59 @@ let csv_out name header rows =
   close_out oc;
   Printf.printf "(written %s)\n" path
 
-let fig2 () =
+(* BENCH_PR1.json accumulator: one JSON object per (figure, leg) with the
+   pipeline stage timings, end-to-end leg times and operator stats *)
+let bench_records : string list ref = ref []
+
+let record_leg ~figure ~case ~rows ~rewrite_ms ~norewrite_ms ~compile_json ~operators_json =
+  bench_records :=
+    Printf.sprintf
+      {|{"figure":"%s","case":"%s","rows":%d,"rewrite_ms":%.4f,"norewrite_ms":%.4f,"speedup":%.2f,"pipeline":%s,"operators":%s}|}
+      figure case rows rewrite_ms norewrite_ms
+      (norewrite_ms /. rewrite_ms)
+      compile_json operators_json
+    :: !bench_records
+
+let write_bench_json () =
+  if !bench_records <> [] then begin
+    let oc = open_out "BENCH_PR1.json" in
+    output_string oc "{\"bench\":\"BENCH_PR1\",\"legs\":[\n  ";
+    output_string oc (String.concat ",\n  " (List.rev !bench_records));
+    output_string oc "\n]}\n";
+    close_out oc;
+    print_endline "(written BENCH_PR1.json)"
+  end
+
+(* one dbonerow leg: compile with metrics, verify functional ≡ rewrite,
+   time both, and capture the instrumented operator stats *)
+let fig2_leg ~figure n =
+  let case = M.dbonerow_for n in
+  let dv = M.dbview_for case n in
+  let metrics = Xdb_core.Metrics.create () in
+  let comp = PL.compile ~metrics dv.D.db dv.D.view case.M.stylesheet in
+  assert (comp.PL.sql_plan <> None);
+  (* correctness check once before timing *)
+  let f0 = PL.run_functional dv.D.db comp in
+  let r0, stats = PL.run_rewrite_analyzed ~metrics dv.D.db comp in
+  assert (f0 = r0);
+  let rewrite_ms = time_ms (fun () -> PL.run_rewrite dv.D.db comp) in
+  let norewrite_ms = time_ms (fun () -> PL.run_functional dv.D.db comp) in
+  Printf.printf "%8d %14.3f %14.3f %9.1fx\n" n rewrite_ms norewrite_ms
+    (norewrite_ms /. rewrite_ms);
+  record_leg ~figure ~case:case.M.name ~rows:n ~rewrite_ms ~norewrite_ms
+    ~compile_json:(Xdb_core.Metrics.to_json metrics)
+    ~operators_json:
+      (match stats with Some s -> Xdb_rel.Stats.to_json s | None -> "[]");
+  Printf.sprintf "%d,%.4f,%.4f" n rewrite_ms norewrite_ms
+
+let fig2 ?(figure = "fig2") ?(sizes = [ 8_000; 16_000; 32_000; 64_000 ]) () =
   Printf.printf "%s\nFigure 2 — dbonerow: XSLT rewrite vs no-rewrite (value predicate)\n%s\n"
     hrule hrule;
   Printf.printf "%8s %14s %14s %10s\n" "rows" "rewrite(ms)" "no-rewrite(ms)" "speedup";
-  let sizes = [ 8_000; 16_000; 32_000; 64_000 ] in
-  let rows =
-    List.map
-      (fun n ->
-        let case = M.dbonerow_for n in
-        let dv = M.dbview_for case n in
-        let comp = PL.compile dv.D.db dv.D.view case.M.stylesheet in
-        assert (comp.PL.sql_plan <> None);
-        (* correctness check once before timing *)
-        let f0 = PL.run_functional dv.D.db comp in
-        let r0 = PL.run_rewrite dv.D.db comp in
-        assert (f0 = r0);
-        let rewrite_ms = time_ms (fun () -> PL.run_rewrite dv.D.db comp) in
-        let norewrite_ms = time_ms (fun () -> PL.run_functional dv.D.db comp) in
-        Printf.printf "%8d %14.3f %14.3f %9.1fx\n" n rewrite_ms norewrite_ms
-          (norewrite_ms /. rewrite_ms);
-        Printf.sprintf "%d,%.4f,%.4f" n rewrite_ms norewrite_ms)
-      sizes
-  in
-  csv_out "fig2.csv" "rows,rewrite_ms,norewrite_ms" rows;
+  let rows = List.map (fun n -> fig2_leg ~figure n) sizes in
+  csv_out
+    (if figure = "fig2" then "fig2.csv" else figure ^ ".csv")
+    "rows,rewrite_ms,norewrite_ms" rows;
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -90,15 +119,20 @@ let fig3 ?(n = 8_000) () =
       (fun name ->
         let case = Option.get (M.find name) in
         let dv = M.dbview_for case n in
-        let comp = PL.compile dv.D.db dv.D.view case.M.stylesheet in
+        let metrics = Xdb_core.Metrics.create () in
+        let comp = PL.compile ~metrics dv.D.db dv.D.view case.M.stylesheet in
         assert (comp.PL.sql_plan <> None);
         let f0 = PL.run_functional dv.D.db comp in
-        let r0 = PL.run_rewrite dv.D.db comp in
+        let r0, stats = PL.run_rewrite_analyzed ~metrics dv.D.db comp in
         assert (f0 = r0);
         let rewrite_ms = time_ms (fun () -> PL.run_rewrite dv.D.db comp) in
         let norewrite_ms = time_ms (fun () -> PL.run_functional dv.D.db comp) in
         Printf.printf "%12s %14.3f %14.3f %9.1fx\n" name rewrite_ms norewrite_ms
           (norewrite_ms /. rewrite_ms);
+        record_leg ~figure:"fig3" ~case:name ~rows:n ~rewrite_ms ~norewrite_ms
+          ~compile_json:(Xdb_core.Metrics.to_json metrics)
+          ~operators_json:
+            (match stats with Some s -> Xdb_rel.Stats.to_json s | None -> "[]");
         Printf.sprintf "%s,%.4f,%.4f" name rewrite_ms norewrite_ms)
       [ "avts"; "chart"; "metric"; "total" ]
   in
@@ -342,10 +376,14 @@ let () =
   let run name = targets = [] || List.mem name targets in
   if run "inline-stat" then inline_stat ();
   if run "fig2" then fig2 ();
+  (* CI smoke leg: one small fig2 size, still exercising the full
+     instrumented pipeline and the BENCH_PR1.json artifact *)
+  if List.mem "fig2-smoke" targets then fig2 ~figure:"fig2-smoke" ~sizes:[ 2_000 ] ();
   if run "fig3" then fig3 ();
   if run "ablation" then ablation ();
   if run "storage" then storage ();
   if run "partial" then partial_inline ();
   if List.mem "micro" targets then micro ();
+  write_bench_json ();
   if targets = [] then
     print_endline "(micro-benchmarks skipped by default: run `dune exec bench/main.exe -- micro`)"

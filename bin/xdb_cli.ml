@@ -120,7 +120,21 @@ let translate_cmd =
 let explain_cmd =
   let case = Arg.(required & pos 0 (some string) None & info [] ~docv:"CASE") in
   let size = Arg.(value & opt int 100 & info [ "n"; "size" ] ~doc:"Workload size (rows)") in
-  let run verbose name size =
+  let analyze =
+    Arg.(
+      value & flag
+      & info [ "explain-analyze" ]
+          ~doc:
+            "Execute the SQL/XML plan with instrumentation and print estimated vs actual rows, \
+             loops, B-tree probes and wall time per operator.")
+  in
+  let metrics_flag =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the pipeline metrics record (per-stage timings and counters) as JSON.")
+  in
+  let run verbose name size analyze metrics_flag =
     setup_logs verbose;
     match Xdb_xsltmark.Cases.find name with
     | None ->
@@ -133,12 +147,23 @@ let explain_cmd =
         in
         if case.Xdb_xsltmark.Cases.db_capable then (
           let dv = Xdb_xsltmark.Cases.dbview_for case size in
+          let m = Xdb_core.Metrics.create () in
           let c =
-            Xdb_core.Pipeline.compile dv.Xdb_xsltmark.Data.db dv.Xdb_xsltmark.Data.view
-              case.Xdb_xsltmark.Cases.stylesheet
+            Xdb_core.Pipeline.compile ~metrics:m dv.Xdb_xsltmark.Data.db
+              dv.Xdb_xsltmark.Data.view case.Xdb_xsltmark.Cases.stylesheet
           in
-          print_endline (Xdb_core.Pipeline.explain c))
-        else
+          print_endline (Xdb_core.Pipeline.explain c);
+          if analyze then (
+            print_endline "-- EXPLAIN ANALYZE:";
+            print_endline
+              (Xdb_core.Metrics.time m "sql_exec" (fun () ->
+                   Xdb_core.Pipeline.explain_analyze dv.Xdb_xsltmark.Data.db c)));
+          if metrics_flag then (
+            print_endline "-- pipeline metrics:";
+            print_endline (Xdb_core.Metrics.to_json m)))
+        else (
+          if analyze || metrics_flag then
+            prerr_endline "(case has no database form; --explain-analyze/--metrics ignored)";
           let doc = Xdb_xsltmark.Cases.doc_for case size in
           let dc =
             Xdb_core.Pipeline.compile_for_document case.Xdb_xsltmark.Cases.stylesheet
@@ -147,11 +172,11 @@ let explain_cmd =
           Printf.printf "-- translation mode: %s\n-- generated XQuery:\n%s\n"
             (Xdb_core.Pipeline.mode_name dc.Xdb_core.Pipeline.d_translation.Xdb_core.Xslt2xquery.mode)
             (Xdb_xquery.Pretty.prog_syntax
-               dc.Xdb_core.Pipeline.d_translation.Xdb_core.Xslt2xquery.query)
+               dc.Xdb_core.Pipeline.d_translation.Xdb_core.Xslt2xquery.query))
   in
   Cmd.v
     (Cmd.info "explain" ~doc:"Explain the pipeline for a built-in benchmark case")
-    Term.(const run $ verbose $ case $ size)
+    Term.(const run $ verbose $ case $ size $ analyze $ metrics_flag)
 
 let shell_cmd =
   let workload =

@@ -1,0 +1,73 @@
+(** Pipeline metrics: named stage timings plus named counters, collected
+    across one compile/run and rendered as stable JSON.
+
+    Stages and counters keep insertion order so JSON output is
+    deterministic for a given pipeline shape; timing the same stage name
+    twice accumulates (e.g. per-document execution legs). *)
+
+type t = {
+  mutable stages : (string * float) list;  (** reversed insertion order, ms *)
+  mutable counters : (string * int) list;  (** reversed insertion order *)
+}
+
+let create () = { stages = []; counters = [] }
+
+(* update an assoc entry in place (preserving position) or append *)
+let update_assoc l key f init =
+  let rec go = function
+    | [] -> None
+    | (k, v) :: rest when String.equal k key -> Some ((k, f v) :: rest)
+    | kv :: rest -> Option.map (fun r -> kv :: r) (go rest)
+  in
+  match go l with Some l' -> l' | None -> (key, f init) :: l
+
+let add_ms t stage ms = t.stages <- update_assoc t.stages stage (fun v -> v +. ms) 0.0
+
+(** [time t stage f] — run [f], accumulate its wall time under [stage].
+    The stage is charged even when [f] raises. *)
+let time t stage f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> add_ms t stage ((Unix.gettimeofday () -. t0) *. 1000.0)) f
+
+let incr ?(by = 1) t name = t.counters <- update_assoc t.counters name (fun v -> v + by) 0
+
+let set_counter t name v =
+  t.counters <- update_assoc t.counters name (fun _ -> v) 0
+
+let stages t = List.rev t.stages
+let counters t = List.rev t.counters
+
+let total_ms t = List.fold_left (fun acc (_, ms) -> acc +. ms) 0.0 t.stages
+
+(* JSON string escaping for the keys (values are numbers) *)
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(** Stable JSON: [{"stages":{…},"counters":{…}}], insertion-ordered. *)
+let to_json t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf {|{"stages":{|};
+  List.iteri
+    (fun i (name, ms) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf {|"%s":%.4f|} (escape name) ms))
+    (stages t);
+  Buffer.add_string buf {|},"counters":{|};
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf {|"%s":%d|} (escape name) v))
+    (counters t);
+  Buffer.add_string buf "}}";
+  Buffer.contents buf

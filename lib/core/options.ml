@@ -58,3 +58,19 @@ let to_string o =
       f "dead-removal" o.remove_dead_templates;
       f "partial-inline" o.partial_inline;
     ]
+
+(** Stable JSON object of the toggles, paper-section order. *)
+let to_json o =
+  let f n b = Printf.sprintf {|"%s":%b|} n b in
+  "{"
+  ^ String.concat ","
+      [
+        f "inline_templates" o.inline_templates;
+        f "use_model_groups" o.use_model_groups;
+        f "use_cardinality" o.use_cardinality;
+        f "remove_backward_tests" o.remove_backward_tests;
+        f "builtin_compaction" o.builtin_compaction;
+        f "remove_dead_templates" o.remove_dead_templates;
+        f "partial_inline" o.partial_inline;
+      ]
+  ^ "}"

@@ -24,3 +24,6 @@ val straightforward : t
 (** The straightforward translation of [9]: no structural information. *)
 
 val to_string : t -> string
+
+val to_json : t -> string
+(** Stable JSON object of the toggles, paper-section order. *)

@@ -37,18 +37,25 @@ type compiled = {
   sql_fallback_reason : string option;
 }
 
-(** [compile ?options db view stylesheet_text] — full compilation:
+(* time a compile stage when a metrics collector is present *)
+let staged metrics name f =
+  match metrics with None -> f () | Some m -> Metrics.time m name f
+
+(** [compile ?options ?metrics db view stylesheet_text] — full compilation:
     stylesheet → bytecode → (partial evaluation over the view's structural
-    info) → XQuery → SQL/XML plan. *)
-let compile ?(options = Options.default) db (view : P.view) stylesheet_text : compiled =
-  let stylesheet = Xdb_xslt.Parser.parse stylesheet_text in
-  let vm_prog = Xdb_xslt.Compile.compile stylesheet in
+    info) → XQuery → SQL/XML plan.  With [metrics], each stage's wall time
+    is recorded under [parse]/[bytecode]/[schema]/[translate]/[sql_rewrite]. *)
+let compile ?(options = Options.default) ?metrics db (view : P.view) stylesheet_text : compiled =
+  let stylesheet = staged metrics "parse" (fun () -> Xdb_xslt.Parser.parse stylesheet_text) in
+  let vm_prog = staged metrics "bytecode" (fun () -> Xdb_xslt.Compile.compile stylesheet) in
   Log.debug (fun m ->
       m "compiled stylesheet for view %s: %d templates, %d bytecode ops" view.P.view_name
         (Array.length vm_prog.Xdb_xslt.Compile.templates)
         (Xdb_xslt.Compile.program_size vm_prog));
-  let schema = P.to_schema view in
-  let translation = Xslt2xquery.translate ~options vm_prog ~schema in
+  let schema = staged metrics "schema" (fun () -> P.to_schema view) in
+  let translation =
+    staged metrics "translate" (fun () -> Xslt2xquery.translate ~options vm_prog ~schema)
+  in
   Log.info (fun m ->
       m "XSLT→XQuery translation: %s mode, %d user functions"
         (match translation.Xslt2xquery.mode with
@@ -58,44 +65,69 @@ let compile ?(options = Options.default) db (view : P.view) stylesheet_text : co
         | Xslt2xquery.Mode_builtin_compact -> "builtin-compact")
         (List.length translation.Xslt2xquery.query.Q.funs));
   let sql_plan, sql_fallback_reason =
-    match Xdb_xquery.Sql_rewrite.rewrite_view_plan db view translation.Xslt2xquery.query with
-    | plan ->
-        Log.info (fun m -> m "XQuery→SQL/XML rewrite succeeded");
-        (Some plan, None)
-    | exception Xdb_xquery.Sql_rewrite.Not_rewritable reason ->
-        Log.info (fun m -> m "not SQL-rewritable (%s); dynamic fallback armed" reason);
-        (None, Some reason)
+    staged metrics "sql_rewrite" (fun () ->
+        match Xdb_xquery.Sql_rewrite.rewrite_view_plan db view translation.Xslt2xquery.query with
+        | plan ->
+            Log.info (fun m -> m "XQuery→SQL/XML rewrite succeeded");
+            (Some plan, None)
+        | exception Xdb_xquery.Sql_rewrite.Not_rewritable reason ->
+            Log.info (fun m -> m "not SQL-rewritable (%s); dynamic fallback armed" reason);
+            (None, Some reason))
   in
+  (match metrics with
+  | Some m ->
+      Metrics.incr ~by:(Xdb_xslt.Compile.program_size vm_prog) m "bytecode_ops";
+      Metrics.incr ~by:(List.length translation.Xslt2xquery.query.Q.funs) m "xquery_functions";
+      Metrics.incr ~by:(match sql_plan with Some _ -> 1 | None -> 0) m "sql_rewritable"
+  | None -> ());
   { stylesheet; vm_prog; view; schema; translation; sql_plan; sql_fallback_reason }
 
-(** Functional evaluation: materialise + XSLTVM (the no-rewrite baseline). *)
-let run_functional db (c : compiled) : string list =
-  let docs = P.materialize db c.view in
-  List.map
-    (fun doc ->
-      let frag = Xdb_xslt.Vm.transform c.vm_prog doc in
-      Xdb_xml.Serializer.node_list_to_string frag.X.children)
-    docs
+(** Functional evaluation: materialise + XSLTVM (the no-rewrite baseline).
+    With [metrics], materialisation and transformation times are recorded
+    under [materialize]/[vm_transform]. *)
+let run_functional ?metrics db (c : compiled) : string list =
+  let docs = staged metrics "materialize" (fun () -> P.materialize db c.view) in
+  staged metrics "vm_transform" (fun () ->
+      List.map
+        (fun doc ->
+          let frag = Xdb_xslt.Vm.transform c.vm_prog doc in
+          Xdb_xml.Serializer.node_list_to_string frag.X.children)
+        docs)
 
 (** Dynamic evaluation of the generated XQuery over materialised documents
     (whitespace stripping applied, mirroring the VM). *)
-let run_xquery_stage db (c : compiled) : string list =
-  let docs = P.materialize db c.view in
-  List.map
-    (fun doc ->
-      let doc = Xdb_xslt.Strip.apply c.vm_prog.Xdb_xslt.Compile.space doc in
-      let nodes = Xdb_xquery.Eval.run_to_nodes c.translation.Xslt2xquery.query ~context:doc in
-      Xdb_xml.Serializer.node_list_to_string nodes)
-    docs
+let run_xquery_stage ?metrics db (c : compiled) : string list =
+  let docs = staged metrics "materialize" (fun () -> P.materialize db c.view) in
+  staged metrics "xquery_eval" (fun () ->
+      List.map
+        (fun doc ->
+          let doc = Xdb_xslt.Strip.apply c.vm_prog.Xdb_xslt.Compile.space doc in
+          let nodes = Xdb_xquery.Eval.run_to_nodes c.translation.Xslt2xquery.query ~context:doc in
+          Xdb_xml.Serializer.node_list_to_string nodes)
+        docs)
 
 (** Rewrite evaluation: the SQL/XML plan when available, XQuery stage
-    otherwise. *)
-let run_rewrite db (c : compiled) : string list =
+    otherwise.  With [metrics], plan execution time is recorded under
+    [sql_exec] (or the fallback's stages). *)
+let run_rewrite ?metrics db (c : compiled) : string list =
   match c.sql_plan with
   | Some plan ->
-      Xdb_rel.Exec.run db plan
-      |> List.map (fun row -> V.to_string (List.assoc "result" row))
-  | None -> run_xquery_stage db c
+      staged metrics "sql_exec" (fun () ->
+          Xdb_rel.Exec.run db plan
+          |> List.map (fun row -> V.to_string (List.assoc "result" row)))
+  | None -> run_xquery_stage ?metrics db c
+
+(** Rewrite evaluation with per-operator instrumentation: returns the
+    results and the operator stats when a SQL/XML plan exists. *)
+let run_rewrite_analyzed ?metrics db (c : compiled) :
+    string list * Xdb_rel.Stats.t option =
+  match c.sql_plan with
+  | Some plan ->
+      let rows, stats =
+        staged metrics "sql_exec" (fun () -> Xdb_rel.Exec.run_analyzed db plan)
+      in
+      (List.map (fun row -> V.to_string (List.assoc "result" row)) rows, Some stats)
+  | None -> (run_xquery_stage ?metrics db c, None)
 
 (** Example 2: compose an XQuery child path over the XSLT view result and
     rewrite the composition down to one relational plan (paper Table 11). *)
@@ -180,3 +212,17 @@ let explain (c : compiled) : string =
       Buffer.add_string buf (Printf.sprintf "-- not SQL-rewritable: %s\n" reason)
   | None, None -> ());
   Buffer.contents buf
+
+(** EXPLAIN ANALYZE: execute the SQL/XML plan with instrumentation and
+    render estimated vs actual rows, loops, B-tree probes and wall time
+    per operator.  Reports the fallback reason when no plan exists. *)
+let explain_analyze db (c : compiled) : string =
+  match c.sql_plan with
+  | Some plan ->
+      let _, stats = Xdb_rel.Exec.run_analyzed db plan in
+      Xdb_rel.Optimizer.explain_analyze db plan stats
+  | None ->
+      Printf.sprintf "-- no SQL/XML plan to analyze%s\n"
+        (match c.sql_fallback_reason with
+        | Some r -> " (not SQL-rewritable: " ^ r ^ ")"
+        | None -> "")

@@ -14,22 +14,40 @@ type compiled = {
 }
 
 val compile :
-  ?options:Options.t -> Xdb_rel.Database.t -> Xdb_rel.Publish.view -> string -> compiled
+  ?options:Options.t ->
+  ?metrics:Metrics.t ->
+  Xdb_rel.Database.t ->
+  Xdb_rel.Publish.view ->
+  string ->
+  compiled
 (** Full compilation: stylesheet text → bytecode → partial evaluation over
-    the view's structural information → XQuery → SQL/XML plan. *)
+    the view's structural information → XQuery → SQL/XML plan.  With
+    [metrics], per-stage wall times are recorded under
+    [parse]/[bytecode]/[schema]/[translate]/[sql_rewrite], plus
+    [bytecode_ops]/[xquery_functions]/[sql_rewritable] counters. *)
 
-val run_functional : Xdb_rel.Database.t -> compiled -> string list
+val run_functional : ?metrics:Metrics.t -> Xdb_rel.Database.t -> compiled -> string list
 (** "XSLT no rewrite": materialise each view document, run the XSLTVM.
-    One serialized result per base-table row. *)
+    One serialized result per base-table row.  Stages: [materialize],
+    [vm_transform]. *)
 
-val run_xquery_stage : Xdb_rel.Database.t -> compiled -> string list
+val run_xquery_stage : ?metrics:Metrics.t -> Xdb_rel.Database.t -> compiled -> string list
 (** Evaluate the generated XQuery dynamically over materialised documents
-    (differential testing of the translation itself). *)
+    (differential testing of the translation itself).  Stages:
+    [materialize], [xquery_eval]. *)
 
-val run_rewrite : Xdb_rel.Database.t -> compiled -> string list
+val run_rewrite : ?metrics:Metrics.t -> Xdb_rel.Database.t -> compiled -> string list
 (** "XSLT rewrite": execute the SQL/XML plan (B-tree access, no input
     materialisation); falls back to {!run_xquery_stage} when no plan
-    exists. *)
+    exists.  Stage: [sql_exec] (or the fallback's stages). *)
+
+val run_rewrite_analyzed :
+  ?metrics:Metrics.t ->
+  Xdb_rel.Database.t ->
+  compiled ->
+  string list * Xdb_rel.Stats.t option
+(** {!run_rewrite} with per-operator instrumentation; the stats collector
+    is [None] when the pipeline fell back to the XQuery stage. *)
 
 val compose :
   Xdb_rel.Database.t ->
@@ -68,3 +86,8 @@ val mode_name : Xslt2xquery.mode_used -> string
 val explain : compiled -> string
 (** Multi-section EXPLAIN: translation mode, execution graph, generated
     XQuery, SQL/XML plan (or the fallback reason). *)
+
+val explain_analyze : Xdb_rel.Database.t -> compiled -> string
+(** Execute the SQL/XML plan with instrumentation and render estimated vs
+    actual rows, loops, B-tree probes and wall time per operator; reports
+    the fallback reason when no plan exists. *)

@@ -23,11 +23,23 @@ type t = {
   mutable views : (string * P.view) list;
   cache : (string * string, entry) Hashtbl.t;  (** (view name, stylesheet) *)
   mutable recompilations : int;  (** observability for tests/benches *)
+  mutable cache_hits : int;  (** fresh cache entry served *)
+  mutable cache_misses : int;  (** no cache entry — first compile *)
+  mutable cache_stale : int;  (** entry invalidated by schema evolution *)
 }
 
 exception Registry_error of string
 
-let create db = { db; views = []; cache = Hashtbl.create 8; recompilations = 0 }
+let create db =
+  {
+    db;
+    views = [];
+    cache = Hashtbl.create 8;
+    recompilations = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_stale = 0;
+  }
 
 (* canonical textual form of a view's structural information: declaration
    lines sorted so hash-table order does not leak into the fingerprint *)
@@ -54,8 +66,13 @@ let compile ?(options = Options.default) t ~view_name ~stylesheet : Pipeline.com
   let fp = fingerprint_of_view view in
   let key = (view_name, stylesheet) in
   match Hashtbl.find_opt t.cache key with
-  | Some entry when entry.fingerprint = fp -> entry.compiled
-  | _ ->
+  | Some entry when entry.fingerprint = fp ->
+      t.cache_hits <- t.cache_hits + 1;
+      entry.compiled
+  | found ->
+      (match found with
+      | Some _ -> t.cache_stale <- t.cache_stale + 1 (* schema evolution *)
+      | None -> t.cache_misses <- t.cache_misses + 1);
       let compiled = Pipeline.compile ~options t.db view stylesheet in
       Hashtbl.replace t.cache key { stylesheet_text = stylesheet; fingerprint = fp; compiled };
       t.recompilations <- t.recompilations + 1;
@@ -67,3 +84,13 @@ let run ?options t ~view_name ~stylesheet : string list =
   Pipeline.run_rewrite t.db compiled
 
 let recompilations t = t.recompilations
+
+(** Cache observability counters, stable order.  [recompilations] equals
+    [cache_misses + cache_stale]. *)
+let counters t =
+  [
+    ("cache_hits", t.cache_hits);
+    ("cache_misses", t.cache_misses);
+    ("cache_stale", t.cache_stale);
+    ("recompilations", t.recompilations);
+  ]

@@ -24,3 +24,9 @@ val run : ?options:Options.t -> t -> view_name:string -> stylesheet:string -> st
 
 val recompilations : t -> int
 (** Number of (re)compilations performed — observability for tests. *)
+
+val counters : t -> (string * int) list
+(** Cache observability counters in stable order: [cache_hits] (fresh
+    entry served), [cache_misses] (first compile), [cache_stale] (entry
+    invalidated by schema evolution), [recompilations]
+    (= misses + stale). *)

@@ -210,8 +210,10 @@ let subplans_of_agg = function
   | Count e | Sum e | Min e | Max e | Avg e | String_agg (e, _) -> subplans_of_expr e
   | Count_star -> []
 
-(** Tree-shaped EXPLAIN output, descending into correlated subqueries. *)
-let explain plan =
+(** Tree-shaped EXPLAIN output, descending into correlated subqueries.
+    [annot] supplies a per-node suffix (cardinality estimates, runtime
+    stats); it is appended to the operator's own line between parens. *)
+let explain_annotated ?(annot = fun (_ : plan) -> None) plan =
   let buf = Buffer.create 256 in
   let rec subs depth es =
     List.iter
@@ -224,7 +226,10 @@ let explain plan =
       es
   and go depth p =
     let pad = String.make (2 * depth) ' ' in
-    let line s = Buffer.add_string buf (pad ^ s ^ "\n") in
+    let line s =
+      let suffix = match annot p with None -> "" | Some a -> "  (" ^ a ^ ")" in
+      Buffer.add_string buf (pad ^ s ^ suffix ^ "\n")
+    in
     match p with
     | Seq_scan { table; alias } -> line (Printf.sprintf "SeqScan %s as %s" table alias)
     | Index_scan { table; alias; index_column; lo; hi } ->
@@ -274,6 +279,8 @@ let explain plan =
   in
   go 0 plan;
   Buffer.contents buf
+
+let explain plan = explain_annotated plan
 
 (* convenient constructors *)
 let col c = Col (None, c)

@@ -17,9 +17,12 @@ type node =
 type t = {
   mutable root : node;
   mutable count : int;  (** number of (key, row) insertions *)
+  mutable probes : int;  (** find/range invocations — observability *)
+  mutable node_visits : int;  (** nodes touched while probing *)
 }
 
-let create () = { root = Leaf { keys = [||]; rows = [||] }; count = 0 }
+let create () =
+  { root = Leaf { keys = [||]; rows = [||] }; count = 0; probes = 0; node_visits = 0 }
 
 let cmp = Value.compare_key
 
@@ -82,7 +85,10 @@ let insert t k row =
 
 (** [find t k] — row ids with key exactly [k], in insertion order. *)
 let find t k =
-  let rec go = function
+  t.probes <- t.probes + 1;
+  let rec go n =
+    t.node_visits <- t.node_visits + 1;
+    match n with
     | Leaf l ->
         let i = lower_bound l.keys k in
         if i < Array.length l.keys && cmp l.keys.(i) k = 0 then List.rev l.rows.(i) else []
@@ -110,8 +116,11 @@ let below_hi hi k =
 (** [range t ~lo ~hi] — (key, row-id) pairs in key order within the bounds.
     Row ids under one key come back in insertion order. *)
 let range t ~lo ~hi =
+  t.probes <- t.probes + 1;
   let out = ref [] in
-  let rec go = function
+  let rec go n =
+    t.node_visits <- t.node_visits + 1;
+    match n with
     | Leaf l ->
         Array.iteri
           (fun i k ->
@@ -146,6 +155,12 @@ let range t ~lo ~hi =
 let to_list t = range t ~lo:Unbounded ~hi:Unbounded
 
 let size t = t.count
+let probes t = t.probes
+let node_visits t = t.node_visits
+
+let reset_counters t =
+  t.probes <- 0;
+  t.node_visits <- 0
 
 (** Tree height, for tests and EXPLAIN cost estimates. *)
 let height t =

@@ -28,6 +28,16 @@ val to_list : t -> (key * int) list
 val size : t -> int
 (** Number of insertions performed. *)
 
+val probes : t -> int
+(** Cumulative [find]/[range] invocations since creation (or the last
+    {!reset_counters}) — EXPLAIN ANALYZE observability. *)
+
+val node_visits : t -> int
+(** Cumulative nodes touched while answering probes. *)
+
+val reset_counters : t -> unit
+(** Zero {!probes} and {!node_visits}. *)
+
 val height : t -> int
 (** Tree height (≥ 1), for tests and cost estimates. *)
 

@@ -3,7 +3,12 @@
     Rows at runtime are association lists from column names to values; each
     scan binds both the bare column name and the [alias.column] qualified
     form, so correlated subqueries can reference outer tables the way
-    paper Table 7 does ([DEPTNO = DEPT.DEPTNO]). *)
+    paper Table 7 does ([DEPTNO = DEPT.DEPTNO]).
+
+    Evaluation is parameterised by an execution context carrying the
+    database and an optional {!Stats.t} collector; when a collector is
+    present every operator records rows produced, loops, B-tree probe
+    counts and inclusive wall time (EXPLAIN ANALYZE). *)
 
 module X = Xdb_xml.Types
 open Algebra
@@ -13,6 +18,9 @@ type row = (string * Value.t) list
 exception Exec_error of string
 
 let err fmt = Printf.ksprintf (fun m -> raise (Exec_error m)) fmt
+
+(** Execution context: database plus optional instrumentation. *)
+type ctx = { db : Database.t; stats : Stats.t option }
 
 let lookup (env : row) alias name =
   match alias with
@@ -28,7 +36,9 @@ let lookup (env : row) alias name =
 let bool_of_value = function
   | Value.Null -> false
   | Value.Int i -> i <> 0
-  | Value.Float f -> f <> 0.0
+  (* XPath/SQL boolean semantics: NaN is false (NaN <> 0.0 holds in OCaml,
+     so the naive test would make NaN truthy) *)
+  | Value.Float f -> f <> 0.0 && not (Float.is_nan f)
   | Value.Str s -> s <> ""
   | Value.Xml ns -> ns <> []
 
@@ -38,35 +48,43 @@ let xml_content = function
   | Value.Xml nodes -> List.map X.deep_copy nodes
   | v -> [ X.make (X.Text (Value.to_string v)) ]
 
-let rec eval_expr db (env : row) (e : expr) : Value.t =
+(* XPath 1.0 round(): round(-0.2) and round(-0.5) are negative zero;
+   NaN, ±∞, ±0 and integers pass through unchanged *)
+let xpath_round f =
+  if Float.is_nan f || Float.is_integer f then f
+  else if f >= -0.5 && f < 0.0 then -0.0
+  else Float.floor (f +. 0.5)
+
+let rec eval_expr_in ctx (env : row) (e : expr) : Value.t =
   match e with
   | Const v -> v
   | Col (alias, name) -> lookup env alias name
-  | Not e -> Value.Int (if bool_of_value (eval_expr db env e) then 0 else 1)
-  | Is_null e -> Value.Int (if Value.is_null (eval_expr db env e) then 1 else 0)
-  | Binop (op, a, b) -> eval_binop db env op a b
-  | Fn (f, args) -> eval_fn db env f args
+  | Not e -> Value.Int (if bool_of_value (eval_expr_in ctx env e) then 0 else 1)
+  | Is_null e -> Value.Int (if Value.is_null (eval_expr_in ctx env e) then 1 else 0)
+  | Binop (op, a, b) -> eval_binop ctx env op a b
+  | Fn (f, args) -> eval_fn ctx env f args
   | Case (whens, els) -> (
       let rec go = function
-        | [] -> ( match els with Some e -> eval_expr db env e | None -> Value.Null)
-        | (c, r) :: rest -> if bool_of_value (eval_expr db env c) then eval_expr db env r else go rest
+        | [] -> ( match els with Some e -> eval_expr_in ctx env e | None -> Value.Null)
+        | (c, r) :: rest ->
+            if bool_of_value (eval_expr_in ctx env c) then eval_expr_in ctx env r else go rest
       in
       go whens)
   | Xml_element (name, attrs, kids) ->
       let el = X.make (X.Element (X.qname name)) in
       List.iter
         (fun (an, ae) ->
-          match eval_expr db env ae with
+          match eval_expr_in ctx env ae with
           | Value.Null -> ()
           | v -> X.add_attribute el (X.make (X.Attribute (X.qname an, Value.to_string v))))
         attrs;
-      X.set_children el (List.concat_map (fun ke -> xml_content (eval_expr db env ke)) kids);
+      X.set_children el (List.concat_map (fun ke -> xml_content (eval_expr_in ctx env ke)) kids);
       Value.Xml [ el ]
   | Xml_forest fields ->
       Value.Xml
         (List.concat_map
            (fun (n, fe) ->
-             match eval_expr db env fe with
+             match eval_expr_in ctx env fe with
              | Value.Null -> []
              | v ->
                  let el = X.make (X.Element (X.qname n)) in
@@ -76,37 +94,42 @@ let rec eval_expr db (env : row) (e : expr) : Value.t =
   | Xml_concat es ->
       Value.Xml
         (List.concat_map
-           (fun e -> match eval_expr db env e with Value.Null -> [] | v -> xml_content v)
+           (fun e -> match eval_expr_in ctx env e with Value.Null -> [] | v -> xml_content v)
            es)
   | Xml_text e -> (
-      match eval_expr db env e with
+      match eval_expr_in ctx env e with
       | Value.Null -> Value.Xml []
       | v -> Value.Xml [ X.make (X.Text (Value.to_string v)) ])
-  | Xml_comment e -> Value.Xml [ X.make (X.Comment (Value.to_string (eval_expr db env e))) ]
-  | Xml_pi (t, e) -> Value.Xml [ X.make (X.Pi (t, Value.to_string (eval_expr db env e))) ]
+  | Xml_comment e -> Value.Xml [ X.make (X.Comment (Value.to_string (eval_expr_in ctx env e))) ]
+  | Xml_pi (t, e) -> Value.Xml [ X.make (X.Pi (t, Value.to_string (eval_expr_in ctx env e))) ]
   | Scalar_subquery p -> (
-      match run db ~outer:env p with
+      match run_in ctx ~outer:env p with
       | [] -> Value.Null
       | r :: _ -> ( match r with [] -> Value.Null | (_, v) :: _ -> v))
-  | Exists p -> Value.Int (if run db ~outer:env p = [] then 0 else 1)
+  | Exists p -> Value.Int (if run_in ctx ~outer:env p = [] then 0 else 1)
 
-and eval_binop db env op a b =
+and eval_binop ctx env op a b =
   match op with
   | And ->
       Value.Int
-        (if bool_of_value (eval_expr db env a) && bool_of_value (eval_expr db env b) then 1 else 0)
+        (if bool_of_value (eval_expr_in ctx env a) && bool_of_value (eval_expr_in ctx env b)
+         then 1
+         else 0)
   | Or ->
       Value.Int
-        (if bool_of_value (eval_expr db env a) || bool_of_value (eval_expr db env b) then 1 else 0)
+        (if bool_of_value (eval_expr_in ctx env a) || bool_of_value (eval_expr_in ctx env b)
+         then 1
+         else 0)
   | Concat ->
-      Value.Str (Value.to_string (eval_expr db env a) ^ Value.to_string (eval_expr db env b))
+      Value.Str
+        (Value.to_string (eval_expr_in ctx env a) ^ Value.to_string (eval_expr_in ctx env b))
   | Fdiv ->
-      let va = eval_expr db env a and vb = eval_expr db env b in
+      let va = eval_expr_in ctx env a and vb = eval_expr_in ctx env b in
       (match (va, vb) with
       | Value.Null, _ | _, Value.Null -> Value.Null
       | _ -> Value.Float (Value.to_float va /. Value.to_float vb))
   | Add | Sub | Mul | Div | Mod -> (
-      let va = eval_expr db env a and vb = eval_expr db env b in
+      let va = eval_expr_in ctx env a and vb = eval_expr_in ctx env b in
       match (va, vb) with
       | Value.Null, _ | _, Value.Null -> Value.Null
       | Value.Int x, Value.Int y -> (
@@ -130,7 +153,7 @@ and eval_binop db env op a b =
           in
           Value.Float f)
   | Eq | Neq | Lt | Leq | Gt | Geq -> (
-      let va = eval_expr db env a and vb = eval_expr db env b in
+      let va = eval_expr_in ctx env a and vb = eval_expr_in ctx env b in
       match Value.compare_sql va vb with
       | None -> Value.Null
       | Some c ->
@@ -146,10 +169,12 @@ and eval_binop db env op a b =
           in
           Value.Int (if b then 1 else 0))
 
-and eval_fn db env f args =
-  let v i = eval_expr db env (List.nth args i) in
+and eval_fn ctx env f args =
+  let v i = eval_expr_in ctx env (List.nth args i) in
   match (String.lowercase_ascii f, List.length args) with
-  | "concat", _ -> Value.Str (String.concat "" (List.map (fun a -> Value.to_string (eval_expr db env a)) args))
+  | "concat", _ ->
+      Value.Str
+        (String.concat "" (List.map (fun a -> Value.to_string (eval_expr_in ctx env a)) args))
   | "upper", 1 -> Value.Str (String.uppercase_ascii (Value.to_string (v 0)))
   | "lower", 1 -> Value.Str (String.lowercase_ascii (Value.to_string (v 0)))
   | "length", 1 -> Value.Int (String.length (Value.to_string (v 0)))
@@ -160,9 +185,7 @@ and eval_fn db env f args =
   | "round", 1 -> (
       match v 0 with
       | Value.Null -> Value.Null
-      | x ->
-          let f = Value.to_float x in
-          Value.Float (if Float.is_nan f then f else Float.floor (f +. 0.5)))
+      | x -> Value.Float (xpath_round (Value.to_float x)))
   | "floor", 1 -> (
       match v 0 with Value.Null -> Value.Null | x -> Value.Float (Float.floor (Value.to_float x)))
   | "ceiling", 1 -> (
@@ -170,7 +193,7 @@ and eval_fn db env f args =
   | "coalesce", _ ->
       let rec go = function
         | [] -> Value.Null
-        | a :: rest -> ( match eval_expr db env a with Value.Null -> go rest | x -> x)
+        | a :: rest -> ( match eval_expr_in ctx env a with Value.Null -> go rest | x -> x)
       in
       go args
   | name, n -> err "unknown scalar function %s/%d" name n
@@ -188,7 +211,9 @@ and scan_bindings (tbl : Table.t) alias (r : Value.t array) : row =
     tbl.Table.columns;
   List.rev !out
 
-and run db ?(outer = []) (p : plan) : row list =
+(* one operator, uninstrumented *)
+and run_node ctx (outer : row) (p : plan) : row list =
+  let db = ctx.db in
   match p with
   | Seq_scan { table; alias } ->
       let tbl = Database.table db table in
@@ -200,36 +225,36 @@ and run db ?(outer = []) (p : plan) : row list =
       | Some idx ->
           let bound = function
             | Unbounded -> Btree.Unbounded
-            | Incl e -> Btree.Inclusive (eval_expr db outer e)
-            | Excl e -> Btree.Exclusive (eval_expr db outer e)
+            | Incl e -> Btree.Inclusive (eval_expr_in ctx outer e)
+            | Excl e -> Btree.Exclusive (eval_expr_in ctx outer e)
           in
           Btree.range idx.Table.tree ~lo:(bound lo) ~hi:(bound hi)
           |> List.map (fun (_, rid) -> scan_bindings tbl alias (Table.row tbl rid) @ outer))
   | Filter (cond, input) ->
-      List.filter (fun r -> bool_of_value (eval_expr db r cond)) (run db ~outer input)
+      List.filter (fun r -> bool_of_value (eval_expr_in ctx r cond)) (run_in ctx ~outer input)
   | Project (fields, input) ->
       List.map
-        (fun r -> List.map (fun (e, n) -> (n, eval_expr db r e)) fields @ outer)
-        (run db ~outer input)
+        (fun r -> List.map (fun (e, n) -> (n, eval_expr_in ctx r e)) fields @ outer)
+        (run_in ctx ~outer input)
   | Nested_loop { outer = op; inner = ip; join_cond } ->
-      let outer_rows = run db ~outer op in
+      let outer_rows = run_in ctx ~outer op in
       List.concat_map
         (fun orow ->
-          let inner_rows = run db ~outer:orow ip in
+          let inner_rows = run_in ctx ~outer:orow ip in
           let joined = List.map (fun irow -> irow @ orow) inner_rows in
           match join_cond with
           | None -> joined
-          | Some c -> List.filter (fun r -> bool_of_value (eval_expr db r c)) joined)
+          | Some c -> List.filter (fun r -> bool_of_value (eval_expr_in ctx r c)) joined)
         outer_rows
   | Aggregate { group_by; aggs; input } ->
-      let rows = run db ~outer input in
-      if group_by = [] then [ eval_agg_group db outer group_by aggs rows [] ]
+      let rows = run_in ctx ~outer input in
+      if group_by = [] then [ eval_agg_group ctx outer group_by aggs rows [] ]
       else
         let groups = Hashtbl.create 16 in
         let order = ref [] in
         List.iter
           (fun r ->
-            let key = List.map (fun (e, _) -> Value.to_string (eval_expr db r e)) group_by in
+            let key = List.map (fun (e, _) -> Value.to_string (eval_expr_in ctx r e)) group_by in
             (match Hashtbl.find_opt groups key with
             | None ->
                 order := key :: !order;
@@ -239,12 +264,12 @@ and run db ?(outer = []) (p : plan) : row list =
         List.rev_map
           (fun key ->
             let members = List.rev !(Hashtbl.find groups key) in
-            eval_agg_group db outer group_by aggs members key)
+            eval_agg_group ctx outer group_by aggs members key)
           !order
   | Sort (keys, input) ->
-      let rows = run db ~outer input in
+      let rows = run_in ctx ~outer input in
       let decorated =
-        List.map (fun r -> (List.map (fun (k, d) -> (eval_expr db r k, d)) keys, r)) rows
+        List.map (fun r -> (List.map (fun (k, d) -> (eval_expr_in ctx r k, d)) keys, r)) rows
       in
       let cmp (ka, _) (kb, _) =
         let rec go = function
@@ -258,17 +283,61 @@ and run db ?(outer = []) (p : plan) : row list =
       in
       List.map snd (List.stable_sort cmp decorated)
   | Limit (n, input) ->
-      let rec take n = function [] -> [] | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest in
-      take n (run db ~outer input)
-  | Values { cols; rows } ->
-      List.map (fun vs -> List.combine cols vs @ outer) rows
+      let rec take n = function
+        | [] -> []
+        | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+      in
+      take n (run_in ctx ~outer input)
+  | Values { cols; rows } -> List.map (fun vs -> List.combine cols vs @ outer) rows
 
-and eval_agg_group db outer group_by aggs members key =
+(* operator dispatch: the instrumented path wraps [run_node] with wall-time
+   and row accounting; the plain path adds no overhead *)
+and run_in ctx ?(outer = []) (p : plan) : row list =
+  match ctx.stats with
+  | None -> run_node ctx outer p
+  | Some st -> (
+      match Stats.find st p with
+      | None -> run_node ctx outer p
+      | Some s ->
+          (* snapshot B-tree counters so probe/node-visit deltas can be
+             attributed to this index-scan execution *)
+          let tree =
+            match p with
+            | Index_scan { table; index_column; _ } -> (
+                match Table.find_index (Database.table ctx.db table) index_column with
+                | Some idx -> Some idx.Table.tree
+                | None -> None)
+            | _ -> None
+          in
+          let probes0, nodes0 =
+            match tree with Some t -> (Btree.probes t, Btree.node_visits t) | None -> (0, 0)
+          in
+          let t0 = Unix.gettimeofday () in
+          let rows = run_node ctx outer p in
+          s.Stats.time_ms <- s.Stats.time_ms +. ((Unix.gettimeofday () -. t0) *. 1000.0);
+          s.Stats.loops <- s.Stats.loops + 1;
+          let produced = List.length rows in
+          s.Stats.rows <- s.Stats.rows + produced;
+          (match p with
+          | Seq_scan { table; _ } ->
+              s.Stats.heap_rows <-
+                s.Stats.heap_rows + Table.size (Database.table ctx.db table)
+          | Index_scan _ ->
+              s.Stats.heap_rows <- s.Stats.heap_rows + produced;
+              (match tree with
+              | Some t ->
+                  s.Stats.btree_probes <- s.Stats.btree_probes + (Btree.probes t - probes0);
+                  s.Stats.btree_nodes <- s.Stats.btree_nodes + (Btree.node_visits t - nodes0)
+              | None -> ())
+          | _ -> ());
+          rows)
+
+and eval_agg_group ctx outer group_by aggs members key =
   (* group columns: re-evaluate on a member row to keep value types; fall
      back to the string key for an (impossible in practice) empty group *)
   let group_cols =
     match members with
-    | m :: _ -> List.map (fun (e, n) -> (n, eval_expr db m e)) group_by
+    | m :: _ -> List.map (fun (e, n) -> (n, eval_expr_in ctx m e)) group_by
     | [] -> List.map2 (fun (_, n) k -> (n, Value.Str k)) group_by key
   in
   let agg_cols =
@@ -280,9 +349,14 @@ and eval_agg_group db outer group_by aggs members key =
           | Count e ->
               Value.Int
                 (List.length
-                   (List.filter (fun r -> not (Value.is_null (eval_expr db r e))) members))
+                   (List.filter (fun r -> not (Value.is_null (eval_expr_in ctx r e))) members))
           | Sum e ->
-              let vs = List.filter_map (fun r -> match eval_expr db r e with Value.Null -> None | v -> Some v) members in
+              let vs =
+                List.filter_map
+                  (fun r ->
+                    match eval_expr_in ctx r e with Value.Null -> None | v -> Some v)
+                  members
+              in
               if vs = [] then Value.Null
               else if List.for_all (function Value.Int _ -> true | _ -> false) vs then
                 Value.Int (List.fold_left (fun acc v -> acc + Value.to_int v) 0 vs)
@@ -290,7 +364,7 @@ and eval_agg_group db outer group_by aggs members key =
           | Min e ->
               List.fold_left
                 (fun acc r ->
-                  let v = eval_expr db r e in
+                  let v = eval_expr_in ctx r e in
                   match (acc, v) with
                   | _, Value.Null -> acc
                   | Value.Null, v -> v
@@ -299,14 +373,21 @@ and eval_agg_group db outer group_by aggs members key =
           | Max e ->
               List.fold_left
                 (fun acc r ->
-                  let v = eval_expr db r e in
+                  let v = eval_expr_in ctx r e in
                   match (acc, v) with
                   | _, Value.Null -> acc
                   | Value.Null, v -> v
                   | acc, v -> if Value.compare_key v acc > 0 then v else acc)
                 Value.Null members
           | Avg e ->
-              let vs = List.filter_map (fun r -> match eval_expr db r e with Value.Null -> None | v -> Some (Value.to_float v)) members in
+              let vs =
+                List.filter_map
+                  (fun r ->
+                    match eval_expr_in ctx r e with
+                    | Value.Null -> None
+                    | v -> Some (Value.to_float v))
+                  members
+              in
               if vs = [] then Value.Null
               else Value.Float (List.fold_left ( +. ) 0.0 vs /. float_of_int (List.length vs))
           | Xml_agg (e, order) ->
@@ -314,7 +395,9 @@ and eval_agg_group db outer group_by aggs members key =
                 if order = [] then members
                 else
                   let decorated =
-                    List.map (fun r -> (List.map (fun (k, d) -> (eval_expr db r k, d)) order, r)) members
+                    List.map
+                      (fun r -> (List.map (fun (k, d) -> (eval_expr_in ctx r k, d)) order, r))
+                      members
                   in
                   let cmp (ka, _) (kb, _) =
                     let rec go = function
@@ -330,14 +413,15 @@ and eval_agg_group db outer group_by aggs members key =
               in
               Value.Xml
                 (List.concat_map
-                   (fun r -> match eval_expr db r e with Value.Null -> [] | v -> xml_content v)
+                   (fun r ->
+                     match eval_expr_in ctx r e with Value.Null -> [] | v -> xml_content v)
                    members)
           | String_agg (e, sep) ->
               Value.Str
                 (String.concat sep
                    (List.filter_map
                       (fun r ->
-                        match eval_expr db r e with
+                        match eval_expr_in ctx r e with
                         | Value.Null -> None
                         | v -> Some (Value.to_string v))
                       members))
@@ -346,6 +430,22 @@ and eval_agg_group db outer group_by aggs members key =
       aggs
   in
   group_cols @ agg_cols @ outer
+
+(* ------------------------------------------------------------------ *)
+(* Public entry points                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let eval_expr db (env : row) (e : expr) : Value.t =
+  eval_expr_in { db; stats = None } env e
+
+let run db ?(outer = []) (p : plan) : row list = run_in { db; stats = None } ~outer p
+
+(** [run_analyzed db plan] — execute with per-operator instrumentation;
+    returns the rows and the filled collector (EXPLAIN ANALYZE). *)
+let run_analyzed db ?(outer = []) (p : plan) : row list * Stats.t =
+  let stats = Stats.create p in
+  let rows = run_in { db; stats = Some stats } ~outer p in
+  (rows, stats)
 
 (** First column of each result row — convenient for single-column queries. *)
 let run_column db ?(outer = []) p =

@@ -10,7 +10,7 @@ type row = (string * Value.t) list
 exception Exec_error of string
 
 val bool_of_value : Value.t -> bool
-(** SQL truthiness: NULL/0/""/empty-XML are false. *)
+(** SQL truthiness: NULL/0/NaN/""/empty-XML are false. *)
 
 val xml_content : Value.t -> Xdb_xml.Types.node list
 (** SQL/XML content conversion: XML values are deep-copied, scalars become
@@ -26,6 +26,12 @@ val scan_bindings : Table.t -> string -> Value.t array -> row
 
 val run : Database.t -> ?outer:row -> Algebra.plan -> row list
 (** Execute a plan; [outer] supplies correlation bindings. *)
+
+val run_analyzed : Database.t -> ?outer:row -> Algebra.plan -> row list * Stats.t
+(** [run] with per-operator instrumentation: every operator of the plan
+    (correlated subqueries included) records rows produced, loops,
+    B-tree probe counts and inclusive wall time into the returned
+    collector — the input to {!Optimizer.explain_analyze}. *)
 
 val run_column : Database.t -> ?outer:row -> Algebra.plan -> Value.t list
 (** First column of each result row. *)

@@ -197,7 +197,22 @@ let rec optimize_deep db plan =
 
 (** EXPLAIN with per-operator cardinality estimates appended. *)
 let explain_with_estimates db plan =
-  let base = Algebra.explain plan in
-  (* annotate each line's operator by re-walking the plan in the same
-     order the printer emits it; simpler: append a summary header *)
+  let base =
+    Algebra.explain_annotated
+      ~annot:(fun p -> Some (Printf.sprintf "est=%.0f" (estimate_rows db p)))
+      plan
+  in
   Printf.sprintf "-- estimated rows: %.0f\n%s" (estimate_rows db plan) base
+
+(** EXPLAIN ANALYZE: estimated vs actual rows, loops, B-tree probe and heap
+    row counts, and inclusive wall time per operator.  [stats] is the
+    collector filled by {!Exec.run_analyzed} over the same plan tree. *)
+let explain_analyze db plan (stats : Stats.t) =
+  let annot p =
+    let est = Printf.sprintf "est=%.0f" (estimate_rows db p) in
+    match Stats.find stats p with
+    | None -> Some est
+    | Some s -> Some (est ^ " " ^ Stats.annotation s)
+  in
+  Printf.sprintf "-- actual rows: %d\n%s" (Stats.root_rows stats)
+    (Algebra.explain_annotated ~annot plan)

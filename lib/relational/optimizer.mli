@@ -20,5 +20,10 @@ val optimize_deep : Database.t -> Algebra.plan -> Algebra.plan
     expressions — what the XQuery→SQL/XML rewrite output needs. *)
 
 val explain_with_estimates : Database.t -> Algebra.plan -> string
-(** {!Algebra.explain} output prefixed with the root cardinality
-    estimate. *)
+(** {!Algebra.explain} output with per-operator [est=N] annotations,
+    prefixed with the root cardinality estimate. *)
+
+val explain_analyze : Database.t -> Algebra.plan -> Stats.t -> string
+(** EXPLAIN ANALYZE rendering: per-operator estimated vs actual rows,
+    loops, B-tree probe / heap row counts and inclusive wall time.  The
+    collector comes from {!Exec.run_analyzed} over the same plan tree. *)

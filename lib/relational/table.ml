@@ -77,6 +77,10 @@ let create_index t ~name ~column =
 let find_index t column =
   List.find_opt (fun i -> String.equal i.idx_column column) t.indexes
 
+(** [drop_index t ~name] removes the index; no-op when absent. *)
+let drop_index t ~name =
+  t.indexes <- List.filter (fun i -> not (String.equal i.idx_name name)) t.indexes
+
 let iter f t =
   for rid = 0 to t.nrows - 1 do
     f rid t.rows.(rid)

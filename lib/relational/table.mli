@@ -44,5 +44,8 @@ val create_index : t -> name:string -> column:string -> index
 val find_index : t -> string -> index option
 (** Index on a column, if one exists. *)
 
+val drop_index : t -> name:string -> unit
+(** Remove an index by name; no-op when absent. *)
+
 val iter : (int -> Value.t array -> unit) -> t -> unit
 val fold : ('a -> int -> Value.t array -> 'a) -> 'a -> t -> 'a

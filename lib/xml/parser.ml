@@ -154,7 +154,9 @@ let read_entity st =
   expect st ";";
   decode_entity st name
 
-(** Attribute value: quoted string with entity expansion. *)
+(** Attribute value: quoted string with entity expansion and value
+    normalization (XML §3.3.3): literal tab/newline/CR become spaces,
+    while the same characters written as character references survive. *)
 let read_attr_value st =
   let quote = next st in
   if quote <> '"' && quote <> '\'' then error st "expected quoted attribute value";
@@ -167,6 +169,10 @@ let read_attr_value st =
         Buffer.add_string buf (read_entity st);
         go ()
     | Some '<' -> error st "'<' not allowed in attribute value"
+    | Some ('\t' | '\n' | '\r') ->
+        advance st;
+        Buffer.add_char buf ' ';
+        go ()
     | Some c ->
         advance st;
         Buffer.add_char buf c;

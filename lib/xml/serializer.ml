@@ -15,6 +15,8 @@ let escape_text buf s =
       | c -> Buffer.add_char buf c)
     s
 
+(* whitespace becomes character references so a re-parse's attribute-value
+   normalization (XML §3.3.3) cannot fold it into spaces *)
 let escape_attr buf s =
   String.iter
     (fun c ->
@@ -22,7 +24,9 @@ let escape_attr buf s =
       | '<' -> Buffer.add_string buf "&lt;"
       | '&' -> Buffer.add_string buf "&amp;"
       | '"' -> Buffer.add_string buf "&quot;"
+      | '\t' -> Buffer.add_string buf "&#9;"
       | '\n' -> Buffer.add_string buf "&#10;"
+      | '\r' -> Buffer.add_string buf "&#13;"
       | c -> Buffer.add_char buf c)
     s
 

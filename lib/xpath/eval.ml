@@ -505,8 +505,7 @@ and eval_call ctx name args =
       Value.Num (Float.ceil (num_arg 0))
   | "round" ->
       fn_arity name 1 nargs;
-      let f = num_arg 0 in
-      Value.Num (if Float.is_nan f then f else Float.floor (f +. 0.5))
+      Value.Num (Value.round_number (num_arg 0))
   | "format-number" ->
       fn_arity name 2 nargs;
       Value.Str (format_number (num_arg 0) (str_arg 1))

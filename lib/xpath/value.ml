@@ -47,6 +47,14 @@ let number_of_string s =
     | Some f -> f
     | None -> Float.nan
 
+(* XPath 1.0 §4.4 round(): half rounds up, except that arguments in
+   [-0.5, 0) return negative zero; NaN, ±∞ and ±0 pass through
+   (is_integer covers all three pass-through cases but NaN) *)
+let round_number f =
+  if Float.is_nan f || Float.is_integer f then f
+  else if f >= -0.5 && f < 0.0 then -0.0
+  else Float.floor (f +. 0.5)
+
 (** [string_value v] — the XPath [string()] conversion. *)
 let string_value = function
   | Str s -> s

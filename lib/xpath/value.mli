@@ -21,6 +21,10 @@ val string_of_number : float -> string
 val number_of_string : string -> float
 (** XPath string→number: trimmed; NaN on failure. *)
 
+val round_number : float -> float
+(** XPath 1.0 §4.4 [round()]: half rounds up, except that arguments in
+    [[-0.5, 0)] return negative zero; NaN, ±∞ and ±0 pass through. *)
+
 val string_value : t -> string
 (** The [string()] conversion (first node's string-value for node-sets). *)
 

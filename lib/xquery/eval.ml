@@ -367,8 +367,7 @@ and eval_fn env name args =
       Value.singleton_num (Float.ceil (Value.number_value (v 0)))
   | "round" ->
       arity 1;
-      let f = Value.number_value (v 0) in
-      Value.singleton_num (if Float.is_nan f then f else Float.floor (f +. 0.5))
+      Value.singleton_num (Xdb_xpath.Value.round_number (Value.number_value (v 0)))
   | _ -> err "unknown function fn:%s" name
 
 (* ------------------------------------------------------------------ *)

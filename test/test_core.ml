@@ -535,6 +535,90 @@ let test_schema_evolution_registry () =
   | exception Xdb_core.Registry.Registry_error _ -> ()
   | _ -> Alcotest.fail "unknown view must raise"
 
+let test_registry_counters () =
+  (* one recompilation — and exactly one — after schema evolution, with
+     hit/miss/stale accounting to match *)
+  let db, view = setup_example1 () in
+  let reg = Xdb_core.Registry.create db in
+  Xdb_core.Registry.register_view reg view;
+  let counter name = List.assoc name (Xdb_core.Registry.counters reg) in
+  ignore (Xdb_core.Registry.compile reg ~view_name:"dept_emp" ~stylesheet:example1_stylesheet);
+  check ci "first use is a miss" 1 (counter "cache_misses");
+  check ci "no hits yet" 0 (counter "cache_hits");
+  ignore (Xdb_core.Registry.compile reg ~view_name:"dept_emp" ~stylesheet:example1_stylesheet);
+  ignore (Xdb_core.Registry.compile reg ~view_name:"dept_emp" ~stylesheet:example1_stylesheet);
+  check ci "reuses hit the cache" 2 (counter "cache_hits");
+  check ci "still one miss" 1 (counter "cache_misses");
+  check ci "nothing stale yet" 0 (counter "cache_stale");
+  (* evolve the schema: drop <loc>; the next compile is stale, not a miss *)
+  let evolved =
+    match view.P.spec with
+    | P.Elem ({ content = dname :: _loc :: rest; _ } as e) ->
+        { view with P.spec = P.Elem { e with content = dname :: rest } }
+    | _ -> Alcotest.fail "unexpected spec shape"
+  in
+  Xdb_core.Registry.register_view reg evolved;
+  ignore (Xdb_core.Registry.compile reg ~view_name:"dept_emp" ~stylesheet:example1_stylesheet);
+  check ci "exactly one stale entry" 1 (counter "cache_stale");
+  check ci "misses unchanged" 1 (counter "cache_misses");
+  check ci "recompilations = misses + stale" 2 (counter "recompilations");
+  (* the recompiled entry serves hits again *)
+  ignore (Xdb_core.Registry.compile reg ~view_name:"dept_emp" ~stylesheet:example1_stylesheet);
+  check ci "hit after recompilation" 3 (counter "cache_hits");
+  check ci "recompilation count settled" 2 (counter "recompilations")
+
+let test_dbonerow_explain_analyze () =
+  (* acceptance: the dbonerow plan shows a B-tree index probe with actual
+     row count 1; dropping the index flips it to a full scan *)
+  let n = 500 in
+  let case = Xdb_xsltmark.Cases.dbonerow_for n in
+  let dv = Xdb_xsltmark.Cases.dbview_for case n in
+  let db = dv.Xdb_xsltmark.Data.db in
+  let c = PL.compile db dv.Xdb_xsltmark.Data.view case.Xdb_xsltmark.Cases.stylesheet in
+  check cb "SQL plan produced" true (c.PL.sql_plan <> None);
+  let text = PL.explain_analyze db c in
+  check cb "index scan in plan" true (contains "IndexScan rows" text);
+  check cb "probe with one actual row" true (contains "actual=1" text);
+  check cb "one btree probe" true (contains "probes=1" text);
+  let f = PL.run_functional db c in
+  check Alcotest.(list string) "indexed rewrite correct" f (PL.run_rewrite db c);
+  (* drop the id index and recompile: full scan, no probes *)
+  T.drop_index (Xdb_rel.Database.table db "rows") ~name:"rows_id_idx";
+  let c2 = PL.compile db dv.Xdb_xsltmark.Data.view case.Xdb_xsltmark.Cases.stylesheet in
+  check cb "still SQL-rewritable" true (c2.PL.sql_plan <> None);
+  let text2 = PL.explain_analyze db c2 in
+  check cb "no index scan after drop" false (contains "IndexScan rows" text2);
+  check cb "full scan after drop" true (contains "SeqScan rows" text2);
+  check cb "no probes after drop" false (contains "probes=" text2);
+  (* the full-scan plan still matches the functional baseline *)
+  check Alcotest.(list string) "full-scan rewrite correct" f (PL.run_rewrite db c2)
+
+let test_nan_condition_differential () =
+  (* regression: 0/0 = NaN reaching a CASE condition in the SQL path; the
+     executor treated NaN as true while the functional baseline (XPath
+     boolean semantics) treats it as false *)
+  let nan_stylesheet =
+    {|<?xml version="1.0"?>
+<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+<xsl:template match="table">
+<out><xsl:apply-templates select="row"/></out>
+</xsl:template>
+<xsl:template match="row">
+<xsl:if test="(value - value) div (value - value)"><hit><xsl:value-of select="name"/></hit></xsl:if>
+</xsl:template>
+<xsl:template match="text()"/>
+</xsl:stylesheet>|}
+  in
+  let dv = Xdb_xsltmark.Data.records_db 20 in
+  let db = dv.Xdb_xsltmark.Data.db in
+  let c = PL.compile db dv.Xdb_xsltmark.Data.view nan_stylesheet in
+  check cb "SQL plan produced" true (c.PL.sql_plan <> None);
+  let f = PL.run_functional db c in
+  let r = PL.run_rewrite db c in
+  check Alcotest.(list string) "functional = rewrite under NaN condition" f r;
+  (* NaN is false: no <hit> elements anywhere *)
+  check cb "no hits emitted" false (contains "<hit>" (String.concat "" f))
+
 (* property: pipeline equivalence across random dept/emp instances *)
 let prop_pipeline_equivalence =
   QCheck.Test.make ~name:"functional = rewrite on random instances" ~count:20
@@ -575,6 +659,9 @@ let () =
           Alcotest.test_case "Example 2 combined optimisation" `Quick test_example2_combined;
           Alcotest.test_case "explain" `Quick test_explain_sections;
           Alcotest.test_case "schema evolution registry (§7.3)" `Quick test_schema_evolution_registry;
+          Alcotest.test_case "registry cache counters" `Quick test_registry_counters;
+          Alcotest.test_case "dbonerow EXPLAIN ANALYZE" `Quick test_dbonerow_explain_analyze;
+          Alcotest.test_case "NaN condition differential" `Quick test_nan_condition_differential;
           QCheck_alcotest.to_alcotest prop_pipeline_equivalence;
         ] );
     ]

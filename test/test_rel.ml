@@ -16,6 +16,11 @@ let cs = Alcotest.string
 let cb = Alcotest.bool
 let ci = Alcotest.int
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
 (* ------------------------------------------------------------------ *)
 (* values                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -275,6 +280,155 @@ let test_division_semantics () =
   | exception E.Exec_error _ -> ()
   | _ -> Alcotest.fail "division by zero must raise"
 
+let test_nan_truthiness () =
+  (* regression: Float NaN must be false (XPath/SQL boolean semantics);
+     the naive [f <> 0.0] test made NaN truthy *)
+  check cb "NaN is false" false (E.bool_of_value (V.Float Float.nan));
+  check cb "0.0 is false" false (E.bool_of_value (V.Float 0.0));
+  check cb "-0.0 is false" false (E.bool_of_value (V.Float (-0.0)));
+  check cb "1.5 is true" true (E.bool_of_value (V.Float 1.5));
+  check cb "inf is true" true (E.bool_of_value (V.Float Float.infinity));
+  (* a 0/0 filter condition evaluates to NaN and must reject every row *)
+  let db = setup_db () in
+  let nan_cond = A.Binop (A.Fdiv, A.Const (V.Float 0.0), A.Const (V.Float 0.0)) in
+  check ci "NaN filter rejects all" 0
+    (List.length (E.run db (A.Filter (nan_cond, A.Seq_scan { table = "emp"; alias = "e" }))));
+  (* and a NaN CASE condition must fall through to the ELSE branch *)
+  let case_plan =
+    A.Project
+      ( [ (A.Case ([ (nan_cond, A.const_str "then") ], Some (A.const_str "else")), "v") ],
+        A.Values { cols = [ "d" ]; rows = [ [ V.Int 0 ] ] } )
+  in
+  match E.run db case_plan with
+  | [ row ] -> check cs "NaN case takes else" "else" (V.to_string (List.assoc "v" row))
+  | _ -> Alcotest.fail "expected one row"
+
+let test_sql_round_negative_zero () =
+  (* XPath §4.4 semantics mirrored in the SQL executor: round(-0.2) and
+     round(-0.5) are negative zero, not plain 0 with the wrong sign *)
+  let db = DB.create () in
+  let round v =
+    let plan =
+      A.Project
+        ( [ (A.Fn ("round", [ A.Const (V.Float v) ]), "r") ],
+          A.Values { cols = [ "d" ]; rows = [ [ V.Int 0 ] ] } )
+    in
+    match E.run db plan with
+    | [ row ] -> ( match List.assoc "r" row with V.Float f -> f | _ -> Alcotest.fail "not float")
+    | _ -> Alcotest.fail "expected one row"
+  in
+  let is_neg_zero f = f = 0.0 && 1.0 /. f = Float.neg_infinity in
+  check cb "round(-0.2) is -0" true (is_neg_zero (round (-0.2)));
+  check cb "round(-0.5) is -0" true (is_neg_zero (round (-0.5)));
+  check (Alcotest.float 0.0) "round(-0.51)" (-1.0) (round (-0.51));
+  check (Alcotest.float 0.0) "round(2.5)" 3.0 (round 2.5);
+  check cb "round(nan) is nan" true (Float.is_nan (round Float.nan));
+  check (Alcotest.float 0.0) "round(inf)" Float.infinity (round Float.infinity)
+
+(* ------------------------------------------------------------------ *)
+(* instrumentation (EXPLAIN ANALYZE)                                   *)
+(* ------------------------------------------------------------------ *)
+
+module ST = Xdb_rel.Stats
+
+let test_btree_counters () =
+  let t = BT.create () in
+  for i = 1 to 1000 do
+    BT.insert t (V.Int i) i
+  done;
+  check ci "fresh probes" 0 (BT.probes t);
+  ignore (BT.find t (V.Int 500));
+  check ci "one probe" 1 (BT.probes t);
+  check cb "visits >= height" true (BT.node_visits t >= BT.height t);
+  let v1 = BT.node_visits t in
+  ignore (BT.range t ~lo:(BT.Inclusive (V.Int 10)) ~hi:(BT.Inclusive (V.Int 20)));
+  check ci "range counts a probe" 2 (BT.probes t);
+  check cb "range visits nodes" true (BT.node_visits t > v1);
+  BT.reset_counters t;
+  check ci "reset probes" 0 (BT.probes t);
+  check ci "reset visits" 0 (BT.node_visits t)
+
+let test_run_analyzed_index_scan () =
+  let db = setup_db () in
+  let plan =
+    A.Index_scan
+      {
+        table = "emp";
+        alias = "e";
+        index_column = "sal";
+        lo = A.Incl (A.const_int 2450);
+        hi = A.Incl (A.const_int 2450);
+      }
+  in
+  let rows, stats = E.run_analyzed db plan in
+  check ci "one row" 1 (List.length rows);
+  (match ST.find stats plan with
+  | Some s ->
+      check ci "actual rows" 1 s.ST.rows;
+      check ci "one loop" 1 s.ST.loops;
+      check ci "one btree probe" 1 s.ST.btree_probes;
+      check cb "nodes visited" true (s.ST.btree_nodes >= 1);
+      check ci "heap rows = produced" 1 s.ST.heap_rows
+  | None -> Alcotest.fail "root operator not in stats");
+  let text = O.explain_analyze db plan stats in
+  check cb "annotated line present" true (contains text "actual=1 loops=1");
+  check cb "probe count rendered" true (contains text "probes=1");
+  check cb "estimate on same line" true (contains text "est=")
+
+let test_run_analyzed_subplans_and_json () =
+  let db = setup_db () in
+  (* correlated subquery: the inner aggregate must appear in the stats
+     with one loop per outer row *)
+  let sub =
+    A.Aggregate
+      {
+        group_by = [];
+        aggs = [ (A.Count_star, "n") ];
+        input =
+          A.Filter
+            ( A.(qcol "e" "deptno" =. qcol "d" "deptno"),
+              A.Seq_scan { table = "emp"; alias = "e" } );
+      }
+  in
+  let plan =
+    A.Project ([ (A.Scalar_subquery sub, "n") ], A.Seq_scan { table = "dept"; alias = "d" })
+  in
+  let rows, stats = E.run_analyzed db plan in
+  check ci "two dept rows" 2 (List.length rows);
+  (match ST.find stats sub with
+  | Some s ->
+      check ci "subquery executed per outer row" 2 s.ST.loops;
+      check ci "one aggregate row per loop" 2 s.ST.rows
+  | None -> Alcotest.fail "subplan not registered in stats");
+  check ci "all operators registered" 5 (List.length (ST.entries stats));
+  check ci "root rows" 2 (ST.root_rows stats);
+  (* JSON rendering is well-formed enough to keep field order stable *)
+  let json = ST.to_json stats in
+  check cb "json array" true
+    (String.length json > 2 && json.[0] = '[' && json.[String.length json - 1] = ']');
+  check cb "json mentions SeqScan" true (contains json {|"op":"SeqScan dept"|})
+
+let test_drop_index_changes_plan () =
+  let db = setup_db () in
+  let plan =
+    A.Filter (A.(col "sal" =. const_int 2450), A.Seq_scan { table = "emp"; alias = "e" })
+  in
+  (match O.optimize db plan with
+  | A.Index_scan { index_column = "sal"; _ } -> ()
+  | p -> Alcotest.failf "expected index scan before drop, got %s" (A.plan_sql p));
+  T.drop_index (DB.table db "emp") ~name:"emp_sal";
+  (match O.optimize db plan with
+  | A.Filter (_, A.Seq_scan _) -> ()
+  | p -> Alcotest.failf "expected full scan after drop, got %s" (A.plan_sql p));
+  (* instrumented full scan touches every heap row *)
+  let rows, stats = E.run_analyzed db (O.optimize db plan) in
+  check ci "same result" 1 (List.length rows);
+  match ST.entries stats with
+  | _ :: { ST.node = A.Seq_scan _; op; _ } :: _ ->
+      check ci "full scan heap rows" 3 op.ST.heap_rows;
+      check ci "no btree probes" 0 op.ST.btree_probes
+  | _ -> Alcotest.fail "expected Filter over SeqScan entries"
+
 (* ------------------------------------------------------------------ *)
 (* optimizer                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -501,6 +655,15 @@ let () =
           Alcotest.test_case "case/exists/null" `Quick test_exists_case_nulls;
           Alcotest.test_case "SQL/XML publishing" `Quick test_xml_publishing_exprs;
           Alcotest.test_case "division semantics" `Quick test_division_semantics;
+          Alcotest.test_case "NaN truthiness" `Quick test_nan_truthiness;
+          Alcotest.test_case "round negative zero" `Quick test_sql_round_negative_zero;
+        ] );
+      ( "instrumentation",
+        [
+          Alcotest.test_case "btree counters" `Quick test_btree_counters;
+          Alcotest.test_case "analyzed index scan" `Quick test_run_analyzed_index_scan;
+          Alcotest.test_case "subplans + json" `Quick test_run_analyzed_subplans_and_json;
+          Alcotest.test_case "drop index flips plan" `Quick test_drop_index_changes_plan;
         ] );
       ( "optimizer",
         [

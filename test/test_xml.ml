@@ -167,6 +167,24 @@ let test_serialize_roundtrip () =
   let root = parse_root src in
   check cs "roundtrip" src (S.to_string root)
 
+let test_attr_whitespace_escaping () =
+  (* regression: tab and CR in attribute values must become character
+     references, or a re-parse's attribute-value normalization (XML
+     §3.3.3) folds them into spaces *)
+  let el = B.elem "a" ~attrs:[ ("k", "a\tb\r\nc") ] [] in
+  check cs "tab/cr/lf escaped" "<a k=\"a&#9;b&#13;&#10;c\"/>" (S.to_string el);
+  (* the full cycle preserves the exact value *)
+  let back = parse_root (S.to_string el) in
+  check cs "attr survives roundtrip" "a\tb\r\nc" (Option.get (T.attribute back "k"))
+
+let test_attr_value_normalization () =
+  (* literal whitespace in attribute values normalizes to spaces … *)
+  let el = parse_root "<a k=\"x\ty\nz\"/>" in
+  check cs "literal tab/newline -> space" "x y z" (Option.get (T.attribute el "k"));
+  (* … while character references survive *)
+  let el = parse_root "<a k=\"x&#9;y&#10;z\"/>" in
+  check cs "char refs survive" "x\ty\nz" (Option.get (T.attribute el "k"))
+
 (* ------------------------------------------------------------------ *)
 (* property tests                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -175,6 +193,15 @@ let gen_tree =
   let open QCheck.Gen in
   let name = oneofl [ "a"; "b"; "c"; "item"; "row" ] in
   let text = oneofl [ "x"; "hello"; "1 2 3"; "<&>" ] in
+  (* attribute values include whitespace and quote characters: the
+     roundtrip property depends on the serializer emitting them as
+     character references (XML §3.3.3 attribute-value normalization) *)
+  let attrs =
+    list_size (int_bound 2)
+      (pair
+         (oneofl [ "k"; "id"; "n" ])
+         (oneofl [ "v"; "a b"; "t\tb"; "n\nb"; "r\rb"; "q\"x"; "<&>" ]))
+  in
   let rec tree depth =
     if depth = 0 then map B.text text
     else
@@ -182,13 +209,16 @@ let gen_tree =
         [
           (2, map B.text text);
           ( 3,
-            map2
-              (fun n kids -> B.elem n kids)
-              name
+            map3
+              (fun n ats kids -> B.elem n ~attrs:ats kids)
+              name attrs
               (list_size (int_bound 3) (tree (depth - 1))) );
         ]
   in
-  map (fun kids -> B.elem "root" kids) (list_size (int_bound 4) (tree 3))
+  map2
+    (fun ats kids -> B.elem "root" ~attrs:ats kids)
+    attrs
+    (list_size (int_bound 4) (tree 3))
 
 let arb_tree = QCheck.make ~print:(fun t -> S.to_string t) gen_tree
 
@@ -275,6 +305,8 @@ let () =
           Alcotest.test_case "escaping" `Quick test_serialize_escaping;
           Alcotest.test_case "output methods" `Quick test_serialize_methods;
           Alcotest.test_case "roundtrip" `Quick test_serialize_roundtrip;
+          Alcotest.test_case "attr whitespace escaping" `Quick test_attr_whitespace_escaping;
+          Alcotest.test_case "attr value normalization" `Quick test_attr_value_normalization;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -180,6 +180,28 @@ let test_number_functions () =
   check cf "mod" 1.0 (eval_num "7 mod 2");
   check cf "div" 3.5 (eval_num "7 div 2")
 
+let test_rounding_edge_cases () =
+  let is_neg_zero f = f = 0.0 && 1.0 /. f = Float.neg_infinity in
+  let is_pos_zero f = f = 0.0 && 1.0 /. f = Float.infinity in
+  (* XPath 1.0 §4.4: round() of [-0.5, 0) is negative zero *)
+  check cb "round(-0.2) is -0" true (is_neg_zero (eval_num "round(-0.2)"));
+  check cb "round(-0.5) is -0" true (is_neg_zero (eval_num "round(-0.5)"));
+  check cf "round(-0.51)" (-1.0) (eval_num "round(-0.51)");
+  check cb "round(0) is +0" true (is_pos_zero (eval_num "round(0)"));
+  check cb "round(0.4) is +0" true (is_pos_zero (eval_num "round(0.4)"));
+  check cf "round(0.5)" 1.0 (eval_num "round(0.5)");
+  (* NaN and infinities pass through round/floor/ceiling *)
+  check cb "round(NaN)" true (Float.is_nan (eval_num "round(0 div 0)"));
+  check cf "round(+inf)" Float.infinity (eval_num "round(1 div 0)");
+  check cf "round(-inf)" Float.neg_infinity (eval_num "round(-1 div 0)");
+  check cb "floor(NaN)" true (Float.is_nan (eval_num "floor(0 div 0)"));
+  check cf "floor(+inf)" Float.infinity (eval_num "floor(1 div 0)");
+  check cb "ceiling(NaN)" true (Float.is_nan (eval_num "ceiling(0 div 0)"));
+  check cf "ceiling(-inf)" Float.neg_infinity (eval_num "ceiling(-1 div 0)");
+  (* negative zero propagates through floor/ceiling of itself *)
+  check cb "floor(-0)" true (eval_num "floor(-0.0)" = 0.0);
+  check cb "ceiling(-0.5) is -0" true (is_neg_zero (eval_num "ceiling(-0.5)"))
+
 let test_format_number () =
   check cs "basic" "1234" (eval_str "format-number(1234, '0')");
   check cs "grouping" "1,234,567" (eval_str "format-number(1234567, '#,##0')");
@@ -331,6 +353,7 @@ let () =
         [
           Alcotest.test_case "string functions" `Quick test_string_functions;
           Alcotest.test_case "number functions" `Quick test_number_functions;
+          Alcotest.test_case "rounding edge cases" `Quick test_rounding_edge_cases;
           Alcotest.test_case "format-number" `Quick test_format_number;
           Alcotest.test_case "node functions" `Quick test_node_functions;
           Alcotest.test_case "id()" `Quick test_id_function;
