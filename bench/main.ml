@@ -317,6 +317,125 @@ let partial_inline ?(n = 400) () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Plan quality (PR 2): per-operator q-error with vs without ANALYZE   *)
+(* ------------------------------------------------------------------ *)
+
+(* q-error = max(est/actual, actual/est), both clamped to >= 1 row *)
+let qerror est actual =
+  let est = Float.max 1.0 est and actual = Float.max 1.0 actual in
+  Float.max (est /. actual) (actual /. est)
+
+let median = function
+  | [] -> 0.0
+  | xs ->
+      let a = List.sort compare xs in
+      let k = List.length a in
+      if k mod 2 = 1 then List.nth a (k / 2)
+      else (List.nth a ((k / 2) - 1) +. List.nth a (k / 2)) /. 2.0
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* one leg: compile pre-ANALYZE, collect stats, recompile (cost-based),
+   run instrumented, and compare per-operator estimates — System-R
+   defaults vs statistics — against the actual row counts *)
+let planquality ?(n = 2_000) () =
+  Printf.printf
+    "%s\nPlan quality — per-operator q-error, System-R defaults vs ANALYZE stats (%d rows)\n%s\n"
+    hrule n hrule;
+  Printf.printf "%12s %5s %14s %14s %6s %14s\n" "case" "ops" "qerr(default)" "qerr(stats)" "wins"
+    "plan-changed";
+  let legs = ref [] in
+  let all_qerr_stats = ref [] and all_qerr_default = ref [] in
+  let csv_rows =
+    List.map
+      (fun name ->
+        let case = Option.get (M.find name) in
+        let case = if name = "dbonerow" then M.dbonerow_for n else case in
+        let dv = M.dbview_for case n in
+        let db = dv.D.db in
+        (* pre-ANALYZE plan: rule-based, default selectivities *)
+        let comp_default = PL.compile db dv.D.view case.M.stylesheet in
+        let plan_default = Option.get comp_default.PL.sql_plan in
+        (* collect statistics and recompile: cost-based plan *)
+        ignore (Xdb_rel.Analyze.all db);
+        let comp_stats = PL.compile db dv.D.view case.M.stylesheet in
+        let plan_stats = Option.get comp_stats.PL.sql_plan in
+        let plan_changed =
+          Xdb_rel.Algebra.plan_sql plan_stats <> Xdb_rel.Algebra.plan_sql plan_default
+        in
+        let _rows, stats_opt = PL.run_rewrite_analyzed db comp_stats in
+        let st = Option.get stats_opt in
+        let ops =
+          List.filter_map
+            (fun (e : Xdb_rel.Stats.entry) ->
+              let op = e.Xdb_rel.Stats.op in
+              if op.Xdb_rel.Stats.loops = 0 then None
+              else
+                let actual =
+                  float_of_int op.Xdb_rel.Stats.rows /. float_of_int op.Xdb_rel.Stats.loops
+                in
+                let est_stats = Xdb_rel.Cost.estimate_rows db e.Xdb_rel.Stats.node in
+                let est_default = Xdb_rel.Cost.estimate_rows_default db e.Xdb_rel.Stats.node in
+                Some
+                  ( e.Xdb_rel.Stats.label,
+                    est_default,
+                    est_stats,
+                    actual,
+                    qerror est_default actual,
+                    qerror est_stats actual ))
+            (Xdb_rel.Stats.entries st)
+        in
+        let qd = List.map (fun (_, _, _, _, q, _) -> q) ops in
+        let qs = List.map (fun (_, _, _, _, _, q) -> q) ops in
+        let wins =
+          List.length (List.filter (fun (_, _, _, _, d, s) -> s < d) ops)
+        in
+        all_qerr_stats := qs @ !all_qerr_stats;
+        all_qerr_default := qd @ !all_qerr_default;
+        Printf.printf "%12s %5d %14.2f %14.2f %6d %14b\n" name (List.length ops) (median qd)
+          (median qs) wins plan_changed;
+        let ops_json =
+          String.concat ","
+            (List.map
+               (fun (label, ed, es, a, qd, qs) ->
+                 Printf.sprintf
+                   {|{"op":"%s","est_default":%.2f,"est_stats":%.2f,"actual":%.2f,"qerr_default":%.3f,"qerr_stats":%.3f}|}
+                   (json_escape label) ed es a qd qs)
+               ops)
+        in
+        legs :=
+          Printf.sprintf
+            {|{"case":"%s","rows":%d,"operators":%d,"median_qerr_default":%.3f,"median_qerr_stats":%.3f,"wins":%d,"plan_changed":%b,"per_operator":[%s]}|}
+            name n (List.length ops) (median qd) (median qs) wins plan_changed ops_json
+          :: !legs;
+        Printf.sprintf "%s,%d,%.3f,%.3f,%d,%b" name (List.length ops) (median qd) (median qs)
+          wins plan_changed)
+      [ "dbonerow"; "avts"; "chart"; "metric"; "total" ]
+  in
+  let med_stats = median !all_qerr_stats and med_default = median !all_qerr_default in
+  Printf.printf "%12s %5s %14.2f %14.2f\n" "OVERALL" "" med_default med_stats;
+  csv_out "planquality.csv" "case,operators,median_qerr_default,median_qerr_stats,wins,plan_changed"
+    csv_rows;
+  let oc = open_out "BENCH_PR2.json" in
+  Printf.fprintf oc
+    "{\"bench\":\"BENCH_PR2\",\"rows\":%d,\"median_qerror\":%.3f,\"median_qerror_default\":%.3f,\"legs\":[\n  %s\n]}\n"
+    n med_stats med_default
+    (String.concat ",\n  " (List.rev !legs));
+  close_out oc;
+  print_endline "(written BENCH_PR2.json)";
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -380,6 +499,7 @@ let () =
      instrumented pipeline and the BENCH_PR1.json artifact *)
   if List.mem "fig2-smoke" targets then fig2 ~figure:"fig2-smoke" ~sizes:[ 2_000 ] ();
   if run "fig3" then fig3 ();
+  if run "planquality" then planquality ();
   if run "ablation" then ablation ();
   if run "storage" then storage ();
   if run "partial" then partial_inline ();

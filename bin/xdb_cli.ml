@@ -134,7 +134,16 @@ let explain_cmd =
       & info [ "metrics" ]
           ~doc:"Print the pipeline metrics record (per-stage timings and counters) as JSON.")
   in
-  let run verbose name size analyze metrics_flag =
+  let collect_stats =
+    Arg.(
+      value & flag
+      & info [ "analyze" ]
+          ~doc:
+            "Run ANALYZE over the case database before compiling, so the optimizer costs the \
+             plan from collected statistics (histograms, NDV) instead of the System-R \
+             defaults.")
+  in
+  let run verbose name size analyze metrics_flag collect_stats =
     setup_logs verbose;
     match Xdb_xsltmark.Cases.find name with
     | None ->
@@ -147,6 +156,12 @@ let explain_cmd =
         in
         if case.Xdb_xsltmark.Cases.db_capable then (
           let dv = Xdb_xsltmark.Cases.dbview_for case size in
+          if collect_stats then (
+            let analyzed = Xdb_rel.Analyze.all dv.Xdb_xsltmark.Data.db in
+            Printf.printf "-- ANALYZE: %d table(s), %d rows sampled (stats version %d)\n"
+              (List.length analyzed)
+              (List.fold_left (fun acc (_, n) -> acc + n) 0 analyzed)
+              (Xdb_rel.Database.stats_version dv.Xdb_xsltmark.Data.db));
           let m = Xdb_core.Metrics.create () in
           let c =
             Xdb_core.Pipeline.compile ~metrics:m dv.Xdb_xsltmark.Data.db
@@ -162,8 +177,9 @@ let explain_cmd =
             print_endline "-- pipeline metrics:";
             print_endline (Xdb_core.Metrics.to_json m)))
         else (
-          if analyze || metrics_flag then
-            prerr_endline "(case has no database form; --explain-analyze/--metrics ignored)";
+          if analyze || metrics_flag || collect_stats then
+            prerr_endline
+              "(case has no database form; --explain-analyze/--metrics/--analyze ignored)";
           let doc = Xdb_xsltmark.Cases.doc_for case size in
           let dc =
             Xdb_core.Pipeline.compile_for_document case.Xdb_xsltmark.Cases.stylesheet
@@ -176,7 +192,7 @@ let explain_cmd =
   in
   Cmd.v
     (Cmd.info "explain" ~doc:"Explain the pipeline for a built-in benchmark case")
-    Term.(const run $ verbose $ case $ size $ analyze $ metrics_flag)
+    Term.(const run $ verbose $ case $ size $ analyze $ metrics_flag $ collect_stats)
 
 let shell_cmd =
   let workload =

@@ -14,7 +14,8 @@ module S = Xdb_schema.Types
 
 type entry = {
   stylesheet_text : string;
-  fingerprint : string;  (** structural fingerprint at compile time *)
+  fingerprint : string;
+      (** structural fingerprint + catalog stats version at compile time *)
   compiled : Pipeline.compiled;
 }
 
@@ -42,11 +43,16 @@ let create db =
   }
 
 (* canonical textual form of a view's structural information: declaration
-   lines sorted so hash-table order does not leak into the fingerprint *)
-let fingerprint_of_view view =
+   lines sorted so hash-table order does not leak into the fingerprint.
+   The catalog's statistics version is appended so that a re-ANALYZE
+   invalidates cached plans — they were costed against stale statistics
+   (§7.3 spirit: the database tracks the dependency, the registry
+   recompiles) *)
+let fingerprint_of t view =
   let schema = P.to_schema view in
   let lines = String.split_on_char '\n' (S.to_string schema) in
   String.concat "\n" (List.sort compare lines)
+  ^ Printf.sprintf "\nstats_version=%d" (Xdb_rel.Database.stats_version t.db)
 
 (** [register_view t view] — (re)register; replaces any previous view with
     the same name (schema evolution). *)
@@ -63,7 +69,7 @@ let find_view t name =
     compile (or on first use). *)
 let compile ?(options = Options.default) t ~view_name ~stylesheet : Pipeline.compiled =
   let view = find_view t view_name in
-  let fp = fingerprint_of_view view in
+  let fp = fingerprint_of t view in
   let key = (view_name, stylesheet) in
   match Hashtbl.find_opt t.cache key with
   | Some entry when entry.fingerprint = fp ->
@@ -71,7 +77,7 @@ let compile ?(options = Options.default) t ~view_name ~stylesheet : Pipeline.com
       entry.compiled
   | found ->
       (match found with
-      | Some _ -> t.cache_stale <- t.cache_stale + 1 (* schema evolution *)
+      | Some _ -> t.cache_stale <- t.cache_stale + 1 (* schema evolution or re-ANALYZE *)
       | None -> t.cache_misses <- t.cache_misses + 1);
       let compiled = Pipeline.compile ~options t.db view stylesheet in
       Hashtbl.replace t.cache key { stylesheet_text = stylesheet; fingerprint = fp; compiled };

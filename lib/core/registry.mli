@@ -1,7 +1,9 @@
 (** Compiled-stylesheet registry with automatic recompilation on schema
     evolution (paper §7.3): compilations are cached per (view, stylesheet)
-    together with a fingerprint of the view's structural information;
-    re-registering a view with a different shape invalidates the entry. *)
+    together with a fingerprint of the view's structural information and
+    the catalog's statistics version; re-registering a view with a
+    different shape — or re-ANALYZEing the database — invalidates the
+    entry so plans are re-costed against fresh statistics. *)
 
 type t
 
@@ -28,5 +30,5 @@ val recompilations : t -> int
 val counters : t -> (string * int) list
 (** Cache observability counters in stable order: [cache_hits] (fresh
     entry served), [cache_misses] (first compile), [cache_stale] (entry
-    invalidated by schema evolution), [recompilations]
+    invalidated by schema evolution or re-ANALYZE), [recompilations]
     (= misses + stale). *)

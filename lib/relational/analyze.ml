@@ -1,0 +1,36 @@
+(** ANALYZE: scan (or systematically sample) a table, compute per-column
+    {!Colstats} and store them in the {!Database} catalog with a version
+    stamp.  XMLType columns are skipped — they never appear in sargable
+    predicates. *)
+
+let default_sample = 10_000
+
+(** [table db name] collects statistics for one table and returns the
+    number of rows sampled.
+    @raise Database.Unknown_table when the table does not exist. *)
+let table ?(sample = default_sample) db name =
+  let tbl = Database.table db name in
+  let n = Table.size tbl in
+  let stride = if n <= sample then 1 else (n + sample - 1) / sample in
+  let sampled = ref 0 in
+  let cols =
+    tbl.Table.columns |> Array.to_list
+    |> List.filter (fun c -> c.Table.col_type <> Value.Txml)
+    |> List.map (fun c -> (c.Table.col_name, Table.column_pos tbl c.Table.col_name))
+  in
+  let acc = List.map (fun (cname, pos) -> (cname, pos, ref [])) cols in
+  Table.iter
+    (fun rid row ->
+      if rid mod stride = 0 then begin
+        incr sampled;
+        List.iter (fun (_, pos, values) -> values := row.(pos) :: !values) acc
+      end)
+    tbl;
+  let columns = List.map (fun (cname, _, values) -> (cname, Colstats.compute !values)) acc in
+  Database.set_table_stats db name { Colstats.row_count = n; version = 0; columns };
+  !sampled
+
+(** Analyze every table in the catalog; returns [(table, rows_sampled)]
+    in table-name order. *)
+let all ?sample db =
+  List.map (fun name -> (name, table ?sample db name)) (Database.table_names db)

@@ -1,0 +1,16 @@
+(** ANALYZE: scan (or systematically sample) tables, compute per-column
+    {!Colstats}, and store them in the {!Database} catalog with a version
+    stamp.  Collected statistics switch the {!Optimizer} from rule-based
+    defaults to cost-based decisions. *)
+
+val default_sample : int
+(** Row-sample cap per table (10 000); larger tables are sampled with a
+    fixed stride. *)
+
+val table : ?sample:int -> Database.t -> string -> int
+(** Analyze one table; returns the number of rows sampled.
+    @raise Database.Unknown_table when the table does not exist. *)
+
+val all : ?sample:int -> Database.t -> (string * int) list
+(** Analyze every table in the catalog; [(table, rows_sampled)] pairs in
+    table-name order. *)

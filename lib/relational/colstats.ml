@@ -1,0 +1,184 @@
+(** Per-column statistics: null fraction, NDV, min/max, most-common values
+    and an equi-depth histogram over the remaining values.  Computed by
+    {!Analyze}, consumed by the {!Cost} model for selectivity estimation
+    (paper §2.1: the optimizer must judge how selective [sal > 2000] is
+    before it can prefer the index on [sal]). *)
+
+type t = {
+  n_sampled : int;  (** values examined, including NULLs *)
+  null_frac : float;
+  ndv : int;  (** distinct non-null values in the sample *)
+  min_v : Value.t option;
+  max_v : Value.t option;
+  mcvs : (Value.t * float) list;
+      (** most-common values with their frequency as a fraction of all
+          sampled rows, most frequent first *)
+  bounds : Value.t array;
+      (** equi-depth histogram boundaries over the non-MCV values,
+          ascending in {!Value.compare_key} order; [[||]] when the sample
+          is too small to build one *)
+}
+
+type table_stats = {
+  row_count : int;  (** exact table cardinality at ANALYZE time *)
+  version : int;  (** catalog stats version stamped at ANALYZE time *)
+  columns : (string * t) list;
+}
+
+let empty =
+  {
+    n_sampled = 0;
+    null_frac = 0.0;
+    ndv = 0;
+    min_v = None;
+    max_v = None;
+    mcvs = [];
+    bounds = [||];
+  }
+
+(* treat XMLType like NULL: it has no key order and never appears in a
+   sargable predicate *)
+let is_statable = function Value.Null | Value.Xml _ -> false | _ -> true
+
+let numeric = function
+  | Value.Int i -> Some (float_of_int i)
+  | Value.Float f -> Some f
+  | Value.Str s -> float_of_string_opt (String.trim s)
+  | _ -> None
+
+let compute ?(n_buckets = 32) ?(n_mcvs = 8) (values : Value.t list) : t =
+  let total = List.length values in
+  if total = 0 then empty
+  else
+    let nonnull = List.filter is_statable values in
+    let n_nonnull = List.length nonnull in
+    let null_frac = float_of_int (total - n_nonnull) /. float_of_int total in
+    if n_nonnull = 0 then { empty with n_sampled = total; null_frac }
+    else
+      let sorted = List.sort Value.compare_key nonnull in
+      (* runs of equal values, in key order *)
+      let runs =
+        List.fold_left
+          (fun acc v ->
+            match acc with
+            | (v0, c0) :: rest when Value.compare_key v0 v = 0 -> (v0, c0 + 1) :: rest
+            | _ -> (v, 1) :: acc)
+          [] sorted
+        |> List.rev
+      in
+      let ndv = List.length runs in
+      let freq c = float_of_int c /. float_of_int total in
+      (* MCVs: repeated values strictly more frequent than the average
+         non-null value; keeps unique columns MCV-free *)
+      let avg_freq = (1.0 -. null_frac) /. float_of_int ndv in
+      let mcvs =
+        runs
+        |> List.filter (fun (_, c) -> c >= 2 && freq c > avg_freq)
+        |> List.sort (fun (_, a) (_, b) -> compare b a)
+        |> (fun l -> List.filteri (fun i _ -> i < n_mcvs) l)
+        |> List.map (fun (v, c) -> (v, freq c))
+      in
+      let is_mcv v = List.exists (fun (m, _) -> Value.compare_key m v = 0) mcvs in
+      let rest = List.filter (fun v -> not (is_mcv v)) sorted in
+      let rest_arr = Array.of_list rest in
+      let len = Array.length rest_arr in
+      let bounds =
+        if len < 2 then [||]
+        else
+          let b = min n_buckets (len - 1) in
+          Array.init (b + 1) (fun i -> rest_arr.(i * (len - 1) / b))
+      in
+      {
+        n_sampled = total;
+        null_frac;
+        ndv;
+        min_v = Some (List.hd sorted);
+        max_v = Some (List.nth sorted (n_nonnull - 1));
+        mcvs;
+        bounds;
+      }
+
+let clamp_sel s = Float.min 1.0 (Float.max 1e-9 s)
+
+let mcv_total t = List.fold_left (fun acc (_, f) -> acc +. f) 0.0 t.mcvs
+
+(* fraction of all rows that are non-null and not covered by an MCV *)
+let rest_frac t = Float.max 0.0 (1.0 -. t.null_frac -. mcv_total t)
+
+let selectivity_eq t v =
+  if t.n_sampled = 0 then clamp_sel 0.0
+  else
+    match List.find_opt (fun (m, _) -> Value.compare_key m v = 0) t.mcvs with
+    | Some (_, f) -> clamp_sel f
+    | None ->
+        let out_of_range =
+          match (t.min_v, t.max_v) with
+          | Some lo, Some hi -> Value.compare_key v lo < 0 || Value.compare_key v hi > 0
+          | _ -> true
+        in
+        let ndv_rest = t.ndv - List.length t.mcvs in
+        if out_of_range || ndv_rest <= 0 then
+          clamp_sel (0.5 /. float_of_int (max 1 t.n_sampled))
+        else clamp_sel (rest_frac t /. float_of_int ndv_rest)
+
+(** Average equality selectivity when the probe value is unknown at plan
+    time (correlated index probes): (1 - null_frac) / ndv. *)
+let selectivity_eq_unknown t =
+  if t.ndv <= 0 then clamp_sel 0.0
+  else clamp_sel ((1.0 -. t.null_frac) /. float_of_int t.ndv)
+
+(* position of [v] within a bucket [b_lo, b_hi], by linear interpolation
+   for numeric values, 0.5 otherwise *)
+let within_bucket b_lo b_hi v =
+  match (numeric b_lo, numeric b_hi, numeric v) with
+  | Some lo, Some hi, Some x when hi > lo ->
+      Float.min 1.0 (Float.max 0.0 ((x -. lo) /. (hi -. lo)))
+  | _ -> 0.5
+
+(** Fraction of all rows strictly below [v]. *)
+let selectivity_lt t v =
+  if t.n_sampled = 0 then 0.0
+  else
+    let mcv_part =
+      List.fold_left
+        (fun acc (m, f) -> if Value.compare_key m v < 0 then acc +. f else acc)
+        0.0 t.mcvs
+    in
+    let hist_part =
+      let rf = rest_frac t in
+      let m = Array.length t.bounds in
+      if m >= 2 then begin
+        let nb = m - 1 in
+        if Value.compare_key v t.bounds.(0) <= 0 then 0.0
+        else if Value.compare_key v t.bounds.(nb) > 0 then rf
+        else begin
+          (* find the bucket holding v *)
+          let i = ref 0 in
+          while !i < nb - 1 && Value.compare_key t.bounds.(!i + 1) v < 0 do
+            incr i
+          done;
+          let frac =
+            (float_of_int !i +. within_bucket t.bounds.(!i) t.bounds.(!i + 1) v)
+            /. float_of_int nb
+          in
+          rf *. frac
+        end
+      end
+      else
+        (* no histogram: interpolate over [min, max] when numeric *)
+        match (t.min_v, t.max_v) with
+        | Some lo, Some hi ->
+            if Value.compare_key v lo <= 0 then 0.0
+            else if Value.compare_key v hi > 0 then rf
+            else rf *. within_bucket lo hi v
+        | _ -> rf *. 0.5
+    in
+    Float.min 1.0 (mcv_part +. hist_part)
+
+let selectivity_le t v = Float.min 1.0 (selectivity_lt t v +. selectivity_eq t v)
+
+let describe t =
+  let vs = function Some v -> Value.show v | None -> "-" in
+  Printf.sprintf "n=%d nulls=%.2f ndv=%d min=%s max=%s mcvs=%d buckets=%d" t.n_sampled
+    t.null_frac t.ndv (vs t.min_v) (vs t.max_v) (List.length t.mcvs)
+    (max 0 (Array.length t.bounds - 1))

@@ -1,0 +1,48 @@
+(** Cost model and cardinality estimation for the optimizer.
+
+    Selectivities come from {!Colstats} (histograms, MCVs, NDV) when the
+    table has been ANALYZEd, falling back to the System-R defaults (1/10
+    equality, 1/3 range, 1/4 other) otherwise — with no statistics
+    collected, every estimate matches the rule-based optimizer exactly. *)
+
+(** {2 Predicate analysis} *)
+
+val conjuncts : Algebra.expr -> Algebra.expr list
+(** Split a conjunction into its conjuncts. *)
+
+val conjoin : Algebra.expr list -> Algebra.expr
+(** Rebuild a conjunction; [conjoin []] is the constant true. *)
+
+val sargable : string -> Algebra.expr -> (string * Algebra.binop * Algebra.expr) option
+(** Is the expression a sargable comparison over a bare/base column of the
+    given alias?  Returns (column, op, constant-side expr); references to
+    {e other} aliases count as constant (outer correlation). *)
+
+val bounds_of : Algebra.binop -> Algebra.expr -> Algebra.bound * Algebra.bound
+(** B-tree range bounds for [col op rhs]. *)
+
+(** {2 Default (no-stats) selectivities} *)
+
+val eq_selectivity : float
+val range_selectivity : float
+val default_selectivity : float
+val default_conjunct_selectivity : Algebra.expr -> float
+
+(** {2 Stats-aware estimation} *)
+
+val conjunct_selectivity :
+  Database.t -> table:string -> alias:string -> Algebra.expr -> float
+(** Selectivity of one conjunct over rows of [table] scanned as [alias]:
+    histogram/MCV-based when sargable with collected stats, the System-R
+    default otherwise. *)
+
+val estimate_rows : Database.t -> Algebra.plan -> float
+(** Stats-aware cardinality estimate (defaults when stats are absent). *)
+
+val estimate_rows_default : Database.t -> Algebra.plan -> float
+(** Estimate using only the System-R defaults, ignoring collected stats —
+    the pre-ANALYZE baseline, used for q-error comparison in benches. *)
+
+val plan_cost : Database.t -> Algebra.plan -> float
+(** Estimated execution cost in abstract units (one heap-row fetch = 1);
+    correlated subqueries are charged once per input row. *)

@@ -1,14 +1,27 @@
-(** Table catalog. *)
+(** Table catalog, plus the column-statistics catalog filled by ANALYZE.
 
-type t = { tables : (string, Table.t) Hashtbl.t }
+    [stats_version] is a monotonically increasing stamp bumped every time
+    statistics change; the plan registry keys compiled plans on it so a
+    re-ANALYZE invalidates stale plans (§7.3 spirit). *)
+
+type t = {
+  tables : (string, Table.t) Hashtbl.t;
+  col_stats : (string, Colstats.table_stats) Hashtbl.t;
+  mutable stats_version : int;
+}
 
 exception Unknown_table of string
 
-let create () = { tables = Hashtbl.create 8 }
+let create () = { tables = Hashtbl.create 8; col_stats = Hashtbl.create 8; stats_version = 0 }
 
 let create_table db name columns =
   let t = Table.create name columns in
   Hashtbl.replace db.tables name t;
+  (* replacing a table invalidates any statistics collected for it *)
+  if Hashtbl.mem db.col_stats name then begin
+    Hashtbl.remove db.col_stats name;
+    db.stats_version <- db.stats_version + 1
+  end;
   t
 
 let table db name =
@@ -19,3 +32,22 @@ let table db name =
 let table_opt db name = Hashtbl.find_opt db.tables name
 
 let table_names db = Hashtbl.fold (fun k _ acc -> k :: acc) db.tables [] |> List.sort compare
+
+let stats_version db = db.stats_version
+
+let set_table_stats db name (ts : Colstats.table_stats) =
+  db.stats_version <- db.stats_version + 1;
+  Hashtbl.replace db.col_stats name { ts with Colstats.version = db.stats_version }
+
+let table_stats db name = Hashtbl.find_opt db.col_stats name
+
+let column_stats db name col =
+  match table_stats db name with
+  | None -> None
+  | Some ts -> List.assoc_opt col ts.Colstats.columns
+
+let clear_stats db =
+  if Hashtbl.length db.col_stats > 0 then begin
+    Hashtbl.reset db.col_stats;
+    db.stats_version <- db.stats_version + 1
+  end

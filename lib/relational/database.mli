@@ -1,4 +1,4 @@
-(** Table catalog. *)
+(** Table catalog, plus the column-statistics catalog filled by ANALYZE. *)
 
 type t
 
@@ -7,7 +7,8 @@ exception Unknown_table of string
 val create : unit -> t
 
 val create_table : t -> string -> Table.column list -> Table.t
-(** Create (or replace) a table in the catalog. *)
+(** Create (or replace) a table in the catalog; replacing drops any
+    statistics collected for the old table. *)
 
 val table : t -> string -> Table.t
 (** @raise Unknown_table when absent. *)
@@ -16,3 +17,17 @@ val table_opt : t -> string -> Table.t option
 
 val table_names : t -> string list
 (** Sorted list of registered table names. *)
+
+val stats_version : t -> int
+(** Monotonic stamp bumped whenever statistics change; the plan registry
+    keys compiled plans on it so re-ANALYZE invalidates stale plans. *)
+
+val set_table_stats : t -> string -> Colstats.table_stats -> unit
+(** Store statistics for a table, bumping [stats_version] and stamping it
+    into the record. *)
+
+val table_stats : t -> string -> Colstats.table_stats option
+val column_stats : t -> string -> string -> Colstats.t option
+
+val clear_stats : t -> unit
+(** Drop all collected statistics (bumps [stats_version] if any existed). *)

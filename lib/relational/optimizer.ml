@@ -1,103 +1,139 @@
-(** Rule-based plan optimisation.
+(** Cost-based plan optimisation.
 
-    Two rewrites carry the paper's performance story:
+    Rewrites carrying the paper's performance story:
 
     - {b Index selection} — [Filter(col ⊕ const, Seq_scan t)] becomes an
       [Index_scan] when a B-tree exists on [col] (paper §2.1: "the standard
-      relational optimizer can select the index on the sal column");
+      relational optimizer can select the index on the sal column").  With
+      collected statistics the {e cheapest} access path wins by the {!Cost}
+      model (most selective indexed conjunct, or the sequential scan when
+      no probe pays off); without statistics the first indexed conjunct is
+      taken, exactly as the rule-based optimizer did.
     - {b Filter merging / pushdown} — conjunctive predicates are split so
-      each conjunct can find its own access path, and filters move below
-      projections that do not compute their columns. *)
+      each conjunct can find its own access path; filters move below
+      projections (rename-aware) and limits move below projections.
+    - {b Index nested-loop join} — an equi-join [join_cond] turns the inner
+      [Seq_scan] into a correlated [Index_scan] probe when an index exists
+      on the join column, with cost-based outer/inner ordering.  Applied
+      only with collected statistics so pre-ANALYZE plans are unchanged. *)
 
 open Algebra
 
-(* split a conjunction into conjuncts *)
-let rec conjuncts = function
-  | Binop (And, a, b) -> conjuncts a @ conjuncts b
-  | e -> [ e ]
+let conjuncts = Cost.conjuncts
+let conjoin = Cost.conjoin
 
-let conjoin = function
-  | [] -> Const (Value.Int 1)
-  | e :: rest -> List.fold_left (fun acc c -> Binop (And, acc, c)) e rest
+(** Stats-aware cardinality estimate (System-R defaults when no stats). *)
+let estimate_rows = Cost.estimate_rows
 
-(* is [e] a sargable comparison over a bare/base column of [alias]?
-   returns (column, op, constant-side expr) *)
-let sargable alias e =
-  let col_of = function
-    | Col (None, c) -> Some c
-    | Col (Some a, c) when a = alias -> Some c
+let has_stats db table = Database.table_stats db table <> None
+
+let indexed_columns db table =
+  match Database.table_opt db table with
+  | None -> []
+  | Some t -> List.map (fun i -> i.Table.idx_column) t.Table.indexes
+
+(* every rewrite of [Filter (cs, Seq_scan)] into an index access path —
+   one candidate per indexed sargable conjunct, residual filter on top *)
+let index_candidates db table alias cs =
+  let indexed = indexed_columns db table in
+  let rec go seen = function
+    | [] -> []
+    | c :: rest ->
+        let tail = go (c :: seen) rest in
+        (match Cost.sargable alias c with
+        | Some (col, op, rhs) when List.mem col indexed ->
+            let lo, hi = Cost.bounds_of op rhs in
+            let scan = Index_scan { table; alias; index_column = col; lo; hi } in
+            let remaining = List.rev seen @ rest in
+            let plan = if remaining = [] then scan else Filter (conjoin remaining, scan) in
+            plan :: tail
+        | _ -> tail)
+  in
+  go [] cs
+
+(* access path for [Filter (cond, Seq_scan)]: without stats the first
+   indexed conjunct wins (rule-based); with stats the cheapest of every
+   index candidate and the sequential scan wins *)
+let choose_access_path db table alias cond input cs =
+  match index_candidates db table alias cs with
+  | [] -> Filter (cond, input)
+  | first :: _ as candidates ->
+      if not (has_stats db table) then first
+      else
+        let baseline = Filter (cond, input) in
+        List.fold_left
+          (fun (bp, bc) p ->
+            let c = Cost.plan_cost db p in
+            if c < bc then (p, c) else (bp, bc))
+          (baseline, Cost.plan_cost db baseline)
+          candidates
+        |> fst
+
+(* rename-aware pushdown of filter conjuncts below a projection: a
+   conjunct moves when every bare column it references is a projected
+   field whose defining expression is subplan-free (the definition is
+   substituted, so computed columns push too).  Alias-qualified references
+   resolve in outer scope above the projection — below it they could
+   capture the scan's bindings — so conjuncts using them stay put. *)
+let push_through_project fields cs =
+  let field_expr n = List.find_map (fun (e, fn) -> if fn = n then Some e else None) fields in
+  let rec rewrite e =
+    match e with
+    | Col (None, n) -> (
+        match field_expr n with
+        | Some fe when subplans_of_expr fe = [] -> Some fe
+        | _ -> None)
+    | Col (Some _, _) -> None
+    | Const _ -> Some e
+    | Binop (op, a, b) -> (
+        match (rewrite a, rewrite b) with
+        | Some a', Some b' -> Some (Binop (op, a', b'))
+        | _ -> None)
+    | Not a -> Option.map (fun a' -> Not a') (rewrite a)
+    | Is_null a -> Option.map (fun a' -> Is_null a') (rewrite a)
+    | Fn (f, args) ->
+        let args' = List.filter_map rewrite args in
+        if List.length args' = List.length args then Some (Fn (f, args')) else None
     | _ -> None
   in
-  let rec is_const = function
-    | Const _ -> true
-    | Binop (_, a, b) -> is_const a && is_const b
-    | Fn (_, args) -> List.for_all is_const args
-    | Col (Some a, _) -> a <> alias (* outer correlation: constant per probe *)
-    | _ -> false
-  in
-  match e with
-  | Binop (((Eq | Lt | Leq | Gt | Geq) as op), lhs, rhs) -> (
-      match (col_of lhs, is_const rhs, col_of rhs, is_const lhs) with
-      | Some c, true, _, _ -> Some (c, op, rhs)
-      | _, _, Some c, true ->
-          let flipped =
-            match op with Eq -> Eq | Lt -> Gt | Leq -> Geq | Gt -> Lt | Geq -> Leq | _ -> op
-          in
-          Some (c, flipped, lhs)
-      | _ -> None)
+  List.partition_map
+    (fun c -> match rewrite c with Some c' -> Either.Left c' | None -> Either.Right c)
+    cs
+
+(* equi-join probe: turn the inner [Seq_scan] into a correlated
+   [Index_scan] on an indexed equality conjunct of the join condition; the
+   full condition is kept as a recheck above the probe *)
+let index_nl_candidate db outer inner cond =
+  match inner with
+  | Seq_scan { table; alias } ->
+      let indexed = indexed_columns db table in
+      List.find_map
+        (fun c ->
+          match Cost.sargable alias c with
+          | Some (col, Eq, rhs) when List.mem col indexed ->
+              let probe =
+                Index_scan { table; alias; index_column = col; lo = Incl rhs; hi = Incl rhs }
+              in
+              Some (Nested_loop { outer; inner = probe; join_cond = Some cond })
+          | _ -> None)
+        (conjuncts cond)
   | _ -> None
 
-let bounds_of op rhs =
-  match op with
-  | Eq -> (Incl rhs, Incl rhs)
-  | Lt -> (Unbounded, Excl rhs)
-  | Leq -> (Unbounded, Incl rhs)
-  | Gt -> (Excl rhs, Unbounded)
-  | Geq -> (Incl rhs, Unbounded)
-  | _ -> (Unbounded, Unbounded)
-
-(* System-R-style default selectivities *)
-let eq_selectivity = 0.1
-let range_selectivity = 1.0 /. 3.0
-let default_selectivity = 0.25
-
-let conjunct_selectivity = function
-  | Binop (Eq, _, _) -> eq_selectivity
-  | Binop ((Lt | Leq | Gt | Geq), _, _) -> range_selectivity
-  | _ -> default_selectivity
-
-(** [estimate_rows db plan] — coarse cardinality estimate used by EXPLAIN
-    (System-R default selectivities: 1/10 for equality, 1/3 for ranges). *)
-let rec estimate_rows db (plan : plan) : float =
-  let table_size name =
-    match Database.table_opt db name with
-    | Some t -> float_of_int (max 1 (Table.size t))
-    | None -> 1000.0
-  in
-  match plan with
-  | Seq_scan { table; _ } -> table_size table
-  | Index_scan { table; lo; hi; _ } ->
-      let n = table_size table in
-      let sel =
-        match (lo, hi) with
-        | Incl a, Incl b when a = b -> eq_selectivity
-        | Unbounded, Unbounded -> 1.0
-        | _ -> range_selectivity
-      in
-      Float.max 1.0 (n *. sel)
-  | Filter (cond, input) ->
-      let sel =
-        List.fold_left (fun acc c -> acc *. conjunct_selectivity c) 1.0 (conjuncts cond)
-      in
-      Float.max 1.0 (estimate_rows db input *. sel)
-  | Project (_, input) | Sort (_, input) -> estimate_rows db input
-  | Limit (n, input) -> Float.min (float_of_int n) (estimate_rows db input)
-  | Nested_loop { outer; inner; join_cond } ->
-      let raw = estimate_rows db outer *. estimate_rows db inner in
-      Float.max 1.0 (match join_cond with Some _ -> raw *. eq_selectivity | None -> raw)
-  | Aggregate { group_by = []; _ } -> 1.0
-  | Aggregate { input; _ } -> Float.max 1.0 (estimate_rows db input /. 4.0)
-  | Values { rows; _ } -> float_of_int (List.length rows)
+(* may [Nested_loop {outer; inner}] be reordered?  Both sides must be
+   plain scans (no correlation possible) over distinct tables with
+   disjoint bare column names, so the [irow @ orow] bindings resolve
+   identically in either order *)
+let swappable db o i =
+  match (o, i) with
+  | Seq_scan { table = t1; alias = a1 }, Seq_scan { table = t2; alias = a2 } -> (
+      a1 <> a2 && t1 <> t2
+      &&
+      match (Database.table_opt db t1, Database.table_opt db t2) with
+      | Some x, Some y ->
+          let nx = Table.column_names x in
+          List.for_all (fun c -> not (List.mem c nx)) (Table.column_names y)
+      | _ -> false)
+  | _ -> false
 
 (** [optimize db plan] applies the rewrite rules bottom-up. *)
 let rec optimize db plan =
@@ -106,37 +142,56 @@ let rec optimize db plan =
       let input = optimize db input in
       let cs = conjuncts cond in
       match input with
-      | Seq_scan { table; alias } -> (
-          let tbl = Database.table_opt db table in
-          let indexed_cols =
-            match tbl with
-            | None -> []
-            | Some t -> List.map (fun i -> i.Table.idx_column) t.Table.indexes
-          in
-          (* pick the first conjunct with an index *)
-          let rec pick seen = function
-            | [] -> None
-            | c :: rest -> (
-                match sargable alias c with
-                | Some (col, op, rhs) when List.mem col indexed_cols ->
-                    Some ((col, op, rhs), List.rev seen @ rest)
-                | _ -> pick (c :: seen) rest)
-          in
-          match pick [] cs with
-          | Some ((col, op, rhs), remaining) ->
-              let lo, hi = bounds_of op rhs in
-              let scan = Index_scan { table; alias; index_column = col; lo; hi } in
-              if remaining = [] then scan else Filter (conjoin remaining, scan)
-          | None -> Filter (cond, input))
+      | Seq_scan { table; alias } -> choose_access_path db table alias cond input cs
       | Filter (inner_cond, deeper) ->
           optimize db (Filter (conjoin (cs @ conjuncts inner_cond), deeper))
+      | Project (fields, pinput) -> (
+          match push_through_project fields cs with
+          | [], _ -> Filter (cond, input)
+          | pushed, residual ->
+              let below = optimize db (Filter (conjoin pushed, pinput)) in
+              let proj = Project (fields, below) in
+              if residual = [] then proj else Filter (conjoin residual, proj))
       | _ -> Filter (cond, input))
   | Project (fields, input) -> Project (fields, optimize db input)
-  | Nested_loop { outer; inner; join_cond } ->
-      Nested_loop { outer = optimize db outer; inner = optimize db inner; join_cond }
+  | Nested_loop { outer; inner; join_cond } -> (
+      let outer = optimize db outer in
+      let inner = optimize db inner in
+      let base = Nested_loop { outer; inner; join_cond } in
+      match join_cond with
+      | None -> base
+      | Some cond ->
+          (* cost-based choices (probe conversion, join order) only with
+             collected statistics: pre-ANALYZE plans stay unchanged *)
+          let stats_on p =
+            match p with Seq_scan { table; _ } -> has_stats db table | _ -> false
+          in
+          let candidates =
+            (if stats_on inner then Option.to_list (index_nl_candidate db outer inner cond)
+             else [])
+            @ (if swappable db outer inner && stats_on outer && stats_on inner then
+                 Nested_loop { outer = inner; inner = outer; join_cond }
+                 :: Option.to_list (index_nl_candidate db inner outer cond)
+               else [])
+          in
+          if candidates = [] then base
+          else
+            List.fold_left
+              (fun (bp, bc) p ->
+                let c = Cost.plan_cost db p in
+                if c < bc then (p, c) else (bp, bc))
+              (base, Cost.plan_cost db base)
+              candidates
+            |> fst)
   | Aggregate a -> Aggregate { a with input = optimize db a.input }
   | Sort (keys, input) -> Sort (keys, optimize db input)
-  | Limit (n, input) -> Limit (n, optimize db input)
+  | Limit (n, input) -> (
+      (* projection work is wasted on rows the limit discards: push the
+         limit below the (1:1) projection *)
+      let input = optimize db input in
+      match input with
+      | Project (fields, pinput) -> Project (fields, optimize db (Limit (n, pinput)))
+      | _ -> Limit (n, input))
   | (Seq_scan _ | Index_scan _ | Values _) as leaf -> leaf
 
 (** Recursively optimise plans nested inside expressions (correlated

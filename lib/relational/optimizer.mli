@@ -1,5 +1,10 @@
-(** Rule-based plan optimisation: B-tree index selection for sargable
-    predicates (paper §2.1) and conjunct splitting / filter merging. *)
+(** Plan optimisation: B-tree index selection for sargable predicates
+    (paper §2.1), conjunct splitting / filter merging, rename-aware
+    filter and limit pushdown below projections, and — once statistics
+    have been collected with ANALYZE — cost-based access-path choice and
+    index nested-loop joins via the {!Cost} model.  With no statistics
+    collected the rewrites are purely rule-based and produce exactly the
+    pre-ANALYZE plans. *)
 
 val conjuncts : Algebra.expr -> Algebra.expr list
 (** Split a conjunction into its conjuncts. *)
@@ -8,7 +13,8 @@ val conjoin : Algebra.expr list -> Algebra.expr
 (** Rebuild a conjunction; [conjoin [] ] is the constant true. *)
 
 val estimate_rows : Database.t -> Algebra.plan -> float
-(** Coarse cardinality estimate (System-R default selectivities); used by
+(** Stats-aware cardinality estimate ({!Cost.estimate_rows}): histograms /
+    MCVs / NDV after ANALYZE, System-R defaults otherwise; used by
     EXPLAIN output and tests. *)
 
 val optimize : Database.t -> Algebra.plan -> Algebra.plan

@@ -28,6 +28,9 @@ type select = {
 type statement =
   | Select of select
   | Create_view of string * select  (** [CREATE VIEW name AS SELECT …] *)
+  | Analyze of string option
+      (** [ANALYZE [table]] — collect optimizer statistics for one table,
+          or for every table in the catalog when no name is given *)
 
 let binop_name = function
   | Eq -> "="

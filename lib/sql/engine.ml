@@ -316,10 +316,30 @@ let run_select session (sel : select) : result =
           | Some tbl -> run_table_select session tbl sel
           | None -> err "unknown table or view %S" sel.from_name))
 
+let run_analyze session target : result =
+  let analyzed =
+    match target with
+    | Some name -> (
+        match Xdb_rel.Database.table_opt session.db name with
+        | None -> err "ANALYZE: unknown table %S" name
+        | Some _ -> [ (name, Xdb_rel.Analyze.table session.db name) ])
+    | None -> Xdb_rel.Analyze.all session.db
+  in
+  {
+    columns = [ "table_name"; "rows_sampled" ];
+    rows = List.map (fun (n, c) -> [ V.Str n; V.Int c ]) analyzed;
+    note =
+      Some
+        (Printf.sprintf "statistics collected for %d table(s), stats version %d"
+           (List.length analyzed)
+           (Xdb_rel.Database.stats_version session.db));
+  }
+
 (** [execute session statement_text] — parse and run one statement. *)
 let execute session (text : string) : result =
   match Parser.parse text with
   | Select sel -> run_select session sel
+  | Analyze target -> run_analyze session target
   | Create_view (name, sel) -> (
       (* only XSLT views (a single XMLTransform over a publishing view) can
          be created from SQL; publishing views are registered via the API *)

@@ -270,6 +270,11 @@ let parse (s : string) : statement =
       let name = ident st in
       eat_kw st "AS";
       Create_view (name, parse_select st))
+    else if at_kw st "ANALYZE" then (
+      advance st;
+      match peek st with
+      | Some (Ident _) -> Analyze (Some (ident st))
+      | _ -> Analyze None)
     else Select (parse_select st)
   in
   if at_punct st ";" then advance st;

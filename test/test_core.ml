@@ -567,6 +567,29 @@ let test_registry_counters () =
   check ci "hit after recompilation" 3 (counter "cache_hits");
   check ci "recompilation count settled" 2 (counter "recompilations")
 
+let test_registry_stats_invalidation () =
+  (* re-ANALYZE bumps the catalog's stats version; cached plans were costed
+     against the old statistics and must recompile (§7.3 spirit: the
+     database tracks the dependency, the registry recompiles) *)
+  let db, view = setup_example1 () in
+  let reg = Xdb_core.Registry.create db in
+  Xdb_core.Registry.register_view reg view;
+  let counter name = List.assoc name (Xdb_core.Registry.counters reg) in
+  let out1 = Xdb_core.Registry.run reg ~view_name:"dept_emp" ~stylesheet:example1_stylesheet in
+  ignore (Xdb_core.Registry.run reg ~view_name:"dept_emp" ~stylesheet:example1_stylesheet);
+  check ci "cached before ANALYZE" 1 (counter "recompilations");
+  ignore (Xdb_rel.Analyze.all db);
+  let out2 = Xdb_core.Registry.run reg ~view_name:"dept_emp" ~stylesheet:example1_stylesheet in
+  check ci "entry went stale on re-ANALYZE" 1 (counter "cache_stale");
+  check ci "recompiled once" 2 (counter "recompilations");
+  check Alcotest.(list string) "re-costed plan, same output" out1 out2;
+  (* the fresh entry serves hits until the stats change again *)
+  ignore (Xdb_core.Registry.run reg ~view_name:"dept_emp" ~stylesheet:example1_stylesheet);
+  check ci "steady state" 2 (counter "recompilations");
+  ignore (Xdb_rel.Analyze.table db "emp");
+  ignore (Xdb_core.Registry.run reg ~view_name:"dept_emp" ~stylesheet:example1_stylesheet);
+  check ci "second ANALYZE invalidates again" 3 (counter "recompilations")
+
 let test_dbonerow_explain_analyze () =
   (* acceptance: the dbonerow plan shows a B-tree index probe with actual
      row count 1; dropping the index flips it to a full scan *)
@@ -660,6 +683,8 @@ let () =
           Alcotest.test_case "explain" `Quick test_explain_sections;
           Alcotest.test_case "schema evolution registry (§7.3)" `Quick test_schema_evolution_registry;
           Alcotest.test_case "registry cache counters" `Quick test_registry_counters;
+          Alcotest.test_case "registry stats invalidation (ANALYZE)" `Quick
+            test_registry_stats_invalidation;
           Alcotest.test_case "dbonerow EXPLAIN ANALYZE" `Quick test_dbonerow_explain_analyze;
           Alcotest.test_case "NaN condition differential" `Quick test_nan_condition_differential;
           QCheck_alcotest.to_alcotest prop_pipeline_equivalence;

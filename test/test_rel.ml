@@ -430,6 +430,115 @@ let test_drop_index_changes_plan () =
   | _ -> Alcotest.fail "expected Filter over SeqScan entries"
 
 (* ------------------------------------------------------------------ *)
+(* statistics (ANALYZE / Colstats / Cost)                              *)
+(* ------------------------------------------------------------------ *)
+
+module C = Xdb_rel.Colstats
+module AN = Xdb_rel.Analyze
+module CO = Xdb_rel.Cost
+
+let test_colstats_histogram () =
+  (* 100 distinct values, 4 buckets: equi-depth boundaries land on the
+     quartiles *)
+  let s = C.compute ~n_buckets:4 (List.init 100 (fun i -> V.Int (i + 1))) in
+  check ci "ndv" 100 s.C.ndv;
+  check (Alcotest.float 1e-9) "no nulls" 0.0 s.C.null_frac;
+  check cb "min" true (s.C.min_v = Some (V.Int 1));
+  check cb "max" true (s.C.max_v = Some (V.Int 100));
+  check ci "unique column has no MCVs" 0 (List.length s.C.mcvs);
+  check cb "quartile boundaries" true
+    (Array.to_list s.C.bounds = [ V.Int 1; V.Int 25; V.Int 50; V.Int 75; V.Int 100 ]);
+  let close msg exp got = check (Alcotest.float 0.03) msg exp got in
+  close "lt median" 0.5 (C.selectivity_lt s (V.Int 50));
+  close "lt first quartile" 0.25 (C.selectivity_lt s (V.Int 25));
+  close "lt below min" 0.0 (C.selectivity_lt s (V.Int 0));
+  close "lt above max" 1.0 (C.selectivity_lt s (V.Int 1000));
+  close "le = lt + eq"
+    (C.selectivity_lt s (V.Int 50) +. C.selectivity_eq s (V.Int 50))
+    (C.selectivity_le s (V.Int 50))
+
+let test_colstats_skew_and_mcvs () =
+  (* 90 copies of 1 plus ten singletons: one MCV, NDV counts runs *)
+  let s = C.compute (List.init 90 (fun _ -> V.Int 1) @ List.init 10 (fun i -> V.Int (i + 2))) in
+  check ci "ndv on skewed data" 11 s.C.ndv;
+  (match s.C.mcvs with
+  | [ (V.Int 1, f) ] -> check (Alcotest.float 1e-9) "MCV frequency" 0.9 f
+  | _ -> Alcotest.fail "expected exactly one MCV");
+  check (Alcotest.float 1e-9) "eq on the MCV" 0.9 (C.selectivity_eq s (V.Int 1));
+  check (Alcotest.float 1e-9) "eq uniform over the rest" 0.01 (C.selectivity_eq s (V.Int 5));
+  check (Alcotest.float 1e-9) "eq out of range" 0.005 (C.selectivity_eq s (V.Int 999));
+  check (Alcotest.float 1e-6) "eq unknown = (1-nulls)/ndv" (1.0 /. 11.0)
+    (C.selectivity_eq_unknown s);
+  (* null accounting *)
+  let s2 = C.compute [ V.Int 1; V.Null; V.Null; V.Int 2 ] in
+  check (Alcotest.float 1e-9) "null fraction" 0.5 s2.C.null_frac;
+  check ci "ndv ignores nulls" 2 s2.C.ndv
+
+(* dept/emp scaled up so histogram estimates are distinguishable from the
+   System-R defaults: 90 employees, sal = 100..9000 uniform, three depts *)
+let setup_scaled_db () =
+  let db = DB.create () in
+  let dept =
+    DB.create_table db "dept"
+      [
+        { T.col_name = "deptno"; col_type = V.Tint };
+        { T.col_name = "dname"; col_type = V.Tstr };
+      ]
+  in
+  let emp =
+    DB.create_table db "emp"
+      [
+        { T.col_name = "empno"; col_type = V.Tint };
+        { T.col_name = "ename"; col_type = V.Tstr };
+        { T.col_name = "sal"; col_type = V.Tint };
+        { T.col_name = "deptno"; col_type = V.Tint };
+      ]
+  in
+  List.iter
+    (fun i -> T.insert_values dept [ V.Int i; V.Str (Printf.sprintf "D%d" i) ])
+    [ 1; 2; 3 ];
+  for i = 1 to 90 do
+    T.insert_values emp
+      [ V.Int (7000 + i); V.Str (Printf.sprintf "E%d" i); V.Int (i * 100); V.Int ((i mod 3) + 1) ]
+  done;
+  ignore (T.create_index emp ~name:"emp_sal" ~column:"sal");
+  ignore (T.create_index emp ~name:"emp_deptno" ~column:"deptno");
+  db
+
+let test_analyze_sal_selectivity () =
+  (* the paper's Tables 7/8 predicate, emp.sal > 2000 *)
+  let db = setup_scaled_db () in
+  let pred = A.(col "sal" >. const_int 2000) in
+  let plan = A.Filter (pred, A.Seq_scan { table = "emp"; alias = "e" }) in
+  check (Alcotest.float 1e-6) "System-R default before ANALYZE" 30.0 (O.estimate_rows db plan);
+  check ci "every row sampled" 90 (AN.table db "emp");
+  let actual = float_of_int (List.length (E.run db plan)) in
+  check (Alcotest.float 1e-9) "actual rows" 70.0 actual;
+  let est = O.estimate_rows db plan in
+  check cb "histogram estimate within 15% of actual" true
+    (Float.abs (est -. actual) /. actual < 0.15);
+  (* the default-only path is preserved for q-error baselines *)
+  check (Alcotest.float 1e-6) "default estimate still available" 30.0
+    (CO.estimate_rows_default db plan);
+  let sel = CO.conjunct_selectivity db ~table:"emp" ~alias:"e" pred in
+  check cb "conjunct selectivity ~ 70/90" true (Float.abs (sel -. (70.0 /. 90.0)) < 0.1)
+
+let test_cost_based_conjunct_choice () =
+  let db = setup_scaled_db () in
+  (* deptno = 1 is written first; sal > 8000 is far more selective *)
+  let cond = A.(Binop (And, col "deptno" =. const_int 1, col "sal" >. const_int 8000)) in
+  let plan = A.Filter (cond, A.Seq_scan { table = "emp"; alias = "e" }) in
+  (match O.optimize db plan with
+  | A.Filter (_, A.Index_scan { index_column = "deptno"; _ }) -> ()
+  | p -> Alcotest.failf "pre-ANALYZE must take the first indexed conjunct, got %s" (A.plan_sql p));
+  ignore (AN.table db "emp");
+  (match O.optimize db plan with
+  | A.Filter (_, A.Index_scan { index_column = "sal"; _ }) -> ()
+  | p -> Alcotest.failf "post-ANALYZE must take the most selective index, got %s" (A.plan_sql p));
+  let sorted p = List.sort compare (E.run db p) in
+  check cb "both plans return the same rows" true (sorted plan = sorted (O.optimize db plan))
+
+(* ------------------------------------------------------------------ *)
 (* optimizer                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -490,6 +599,252 @@ let test_cardinality_estimates () =
     < n);
   check cb "global aggregate = 1" true
     (O.estimate_rows db (A.Aggregate { group_by = []; aggs = []; input = scan }) = 1.0)
+
+let test_filter_pushdown_through_project () =
+  let db = setup_db () in
+  let fields = [ (A.col "sal", "s"); (A.col "ename", "en") ] in
+  let plan =
+    A.Filter
+      (A.(col "s" >. const_int 2000), A.Project (fields, A.Seq_scan { table = "emp"; alias = "e" }))
+  in
+  (* the filter on the renamed column moves below the projection and then
+     finds the sal index *)
+  (match O.optimize db plan with
+  | A.Project (_, A.Index_scan { index_column = "sal"; lo = A.Excl _; _ }) -> ()
+  | p -> Alcotest.failf "expected filter pushed below projection, got %s" (A.plan_sql p));
+  let names p =
+    E.run db p |> List.map (fun r -> V.to_string (List.assoc "en" r)) |> List.sort compare
+  in
+  check Alcotest.(list string) "rows preserved" (names plan) (names (O.optimize db plan));
+  (* computed columns push too: the defining expression is substituted *)
+  let plan2 =
+    A.Filter
+      ( A.(col "double_sal" >. const_int 4000),
+        A.Project
+          ( [ (A.Binop (A.Mul, A.col "sal", A.const_int 2), "double_sal"); (A.col "ename", "en") ],
+            A.Seq_scan { table = "emp"; alias = "e" } ) )
+  in
+  (match O.optimize db plan2 with
+  | A.Project (_, A.Filter (_, A.Seq_scan _)) -> ()
+  | p -> Alcotest.failf "computed column should push below the project, got %s" (A.plan_sql p));
+  check ci "computed pushdown rows" 2 (List.length (E.run db (O.optimize db plan2)));
+  (* alias-qualified references resolve in outer scope above the projection
+     and must not be pushed into it *)
+  let plan3 =
+    A.Filter
+      ( A.(qcol "e" "sal" >. const_int 2000),
+        A.Project (fields, A.Seq_scan { table = "emp"; alias = "e" }) )
+  in
+  match O.optimize db plan3 with
+  | A.Filter (_, A.Project _) -> ()
+  | p -> Alcotest.failf "alias-qualified filter must stay above, got %s" (A.plan_sql p)
+
+let test_limit_below_project () =
+  let db = setup_db () in
+  let plan =
+    A.Limit (2, A.Project ([ (A.col "ename", "en") ], A.Seq_scan { table = "emp"; alias = "e" }))
+  in
+  (match O.optimize db plan with
+  | A.Project (_, A.Limit (2, A.Seq_scan _)) -> ()
+  | p -> Alcotest.failf "expected limit below projection, got %s" (A.plan_sql p));
+  check cb "rows unchanged" true (E.run db plan = E.run db (O.optimize db plan))
+
+let test_index_nl_join () =
+  let db = setup_scaled_db () in
+  let plan =
+    A.Nested_loop
+      {
+        outer = A.Seq_scan { table = "dept"; alias = "d" };
+        inner = A.Seq_scan { table = "emp"; alias = "e" };
+        join_cond = Some A.(qcol "e" "deptno" =. qcol "d" "deptno");
+      }
+  in
+  (* without statistics the join is untouched *)
+  (match O.optimize db plan with
+  | A.Nested_loop { inner = A.Seq_scan _; _ } -> ()
+  | p -> Alcotest.failf "pre-ANALYZE join must be unchanged, got %s" (A.plan_sql p));
+  let baseline = List.sort compare (E.run db plan) in
+  ignore (AN.all db);
+  let optimized = O.optimize db plan in
+  (match optimized with
+  | A.Nested_loop { inner = A.Index_scan { index_column = "deptno"; _ }; join_cond = Some _; _ }
+    -> ()
+  | p -> Alcotest.failf "expected correlated index probe on the inner side, got %s" (A.plan_sql p));
+  check ci "join cardinality" 90 (List.length (E.run db optimized));
+  check cb "probe join = scan join" true (List.sort compare (E.run db optimized) = baseline)
+
+let test_join_reorder_by_cost () =
+  let db = DB.create () in
+  let big =
+    DB.create_table db "big"
+      [ { T.col_name = "bid"; col_type = V.Tint }; { T.col_name = "bval"; col_type = V.Tint } ]
+  in
+  let small =
+    DB.create_table db "small"
+      [ { T.col_name = "sid"; col_type = V.Tint }; { T.col_name = "sval"; col_type = V.Tstr } ]
+  in
+  for i = 1 to 100 do
+    T.insert_values big [ V.Int (i mod 5); V.Int i ]
+  done;
+  for i = 0 to 4 do
+    T.insert_values small [ V.Int i; V.Str (Printf.sprintf "s%d" i) ]
+  done;
+  ignore (T.create_index big ~name:"big_bid" ~column:"bid");
+  let plan =
+    A.Nested_loop
+      {
+        outer = A.Seq_scan { table = "big"; alias = "b" };
+        inner = A.Seq_scan { table = "small"; alias = "s" };
+        join_cond = Some A.(qcol "b" "bid" =. qcol "s" "sid");
+      }
+  in
+  (* rows in a canonical binding order so the two join orders compare *)
+  let norm p =
+    E.run db p
+    |> List.map (fun r ->
+           ( V.to_int (List.assoc "bid" r),
+             V.to_int (List.assoc "bval" r),
+             V.to_string (List.assoc "sval" r) ))
+    |> List.sort compare
+  in
+  let baseline = norm plan in
+  (match O.optimize db plan with
+  | A.Nested_loop { outer = A.Seq_scan { table = "big"; _ }; inner = A.Seq_scan _; _ } -> ()
+  | p -> Alcotest.failf "pre-ANALYZE join order must be kept, got %s" (A.plan_sql p));
+  ignore (AN.all db);
+  (match O.optimize db plan with
+  | A.Nested_loop
+      {
+        outer = A.Seq_scan { table = "small"; _ };
+        inner = A.Index_scan { table = "big"; index_column = "bid"; _ };
+        _;
+      } -> ()
+  | p -> Alcotest.failf "expected small as outer probing big's index, got %s" (A.plan_sql p));
+  check cb "reordered join = original" true (norm (O.optimize db plan) = baseline)
+
+(* property: for random publishing views, random data, and a random subset
+   of ANALYZEd tables — including stats gone stale through later inserts —
+   cost-based optimize_deep returns exactly the unoptimized plan's rows *)
+let prop_optimize_equivalence =
+  QCheck.Test.make ~name:"optimize_deep ≡ unoptimized under any stats state" ~count:40
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rand =
+        let state = ref (seed land 0x3FFFFFFF) in
+        fun bound ->
+          state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+          !state mod bound
+      in
+      let db = DB.create () in
+      let base =
+        DB.create_table db "base"
+          [
+            { T.col_name = "bid"; col_type = V.Tint };
+            { T.col_name = "a"; col_type = V.Tstr };
+            { T.col_name = "b"; col_type = V.Tint };
+          ]
+      in
+      let detail =
+        DB.create_table db "detail"
+          [
+            { T.col_name = "fk"; col_type = V.Tint };
+            { T.col_name = "x"; col_type = V.Tint };
+            { T.col_name = "y"; col_type = V.Tstr };
+          ]
+      in
+      (* keep x unique so ordering ties cannot mask plan differences *)
+      let next_x = ref 0 in
+      let fresh_x () =
+        incr next_x;
+        V.Int ((!next_x * 10) + rand 10)
+      in
+      let n_base = 1 + rand 4 in
+      let add_detail fk = T.insert_values detail [ V.Int fk; fresh_x (); V.Str (Printf.sprintf "y%d" (rand 10)) ] in
+      for i = 1 to n_base do
+        T.insert_values base [ V.Int i; V.Str (Printf.sprintf "s%d" (rand 100)); V.Int (rand 1000) ];
+        for _ = 1 to rand 6 do
+          add_detail i
+        done
+      done;
+      if rand 2 = 0 then ignore (T.create_index detail ~name:"d_fk" ~column:"fk");
+      if rand 2 = 0 then ignore (T.create_index detail ~name:"d_x" ~column:"x");
+      (* ANALYZE a random subset: none, one, or both tables *)
+      List.iter (fun t -> if rand 2 = 0 then ignore (AN.table db t)) [ "base"; "detail" ];
+      (* optionally let the stats go stale *)
+      if rand 2 = 0 then
+        for _ = 1 to rand 5 do
+          add_detail (1 + rand n_base)
+        done;
+      (* 1. publishing view with a correlated detail level, through the
+         XQuery→SQL/XML rewrite (exercises optimize_deep on subqueries) *)
+      let leaf name c = P.Elem { name; attrs = []; content = [ P.Text_col c ] } in
+      let detail_agg =
+        P.Agg
+          {
+            table = "detail";
+            alias = "detail";
+            correlate = [ ("fk", "bid") ];
+            where = (if rand 2 = 0 then Some A.(col "x" >. const_int (rand 1000)) else None);
+            order_by = [ ("x", A.Asc) ];
+            body = P.Elem { name = "d"; attrs = []; content = [ leaf "x" "x"; leaf "y" "y" ] };
+          }
+      in
+      let view =
+        {
+          P.view_name = "rv";
+          base_table = "base";
+          base_alias = "base";
+          column = "doc";
+          spec =
+            P.Elem
+              {
+                name = "root";
+                attrs = [];
+                content = (leaf "b" "b" :: (if rand 2 = 0 then [ detail_agg ] else []));
+              };
+        }
+      in
+      let vplan =
+        Xdb_xquery.Sql_rewrite.rewrite_view_plan db view (Xdb_xquery.Parser.parse_prog "./root")
+      in
+      let strings p = List.map (fun r -> V.to_string (List.assoc "result" r)) (E.run db p) in
+      let view_ok = strings vplan = strings (O.optimize_deep db vplan) in
+      (* 2. random conjunctive filter over detail (index selection path) *)
+      let conj =
+        List.init
+          (1 + rand 3)
+          (fun _ ->
+            let c = rand (!next_x * 10) in
+            match rand 4 with
+            | 0 -> A.(col "x" >. const_int c)
+            | 1 -> A.(col "x" <. const_int c)
+            | 2 -> A.(col "x" =. const_int c)
+            | _ -> A.(col "fk" =. const_int (1 + rand n_base)))
+      in
+      let fplan = A.Filter (O.conjoin conj, A.Seq_scan { table = "detail"; alias = "t" }) in
+      let sorted p = List.sort compare (E.run db p) in
+      let filter_ok = sorted fplan = sorted (O.optimize_deep db fplan) in
+      (* 3. equi-join base ⋈ detail (index-NL and reorder paths; disjoint
+         column names, so both orders produce the same bindings) *)
+      let jplan =
+        A.Nested_loop
+          {
+            outer = A.Seq_scan { table = "base"; alias = "bb" };
+            inner = A.Seq_scan { table = "detail"; alias = "dd" };
+            join_cond = Some A.(qcol "dd" "fk" =. qcol "bb" "bid");
+          }
+      in
+      let jnorm p =
+        E.run db p
+        |> List.map (fun r ->
+               ( V.to_int (List.assoc "bid" r),
+                 V.to_int (List.assoc "x" r),
+                 V.to_string (List.assoc "y" r),
+                 V.to_int (List.assoc "b" r) ))
+        |> List.sort compare
+      in
+      let join_ok = jnorm jplan = jnorm (O.optimize_deep db jplan) in
+      view_ok && filter_ok && join_ok)
 
 let test_optimizer_preserves_results () =
   let db = setup_db () in
@@ -665,11 +1020,25 @@ let () =
           Alcotest.test_case "subplans + json" `Quick test_run_analyzed_subplans_and_json;
           Alcotest.test_case "drop index flips plan" `Quick test_drop_index_changes_plan;
         ] );
+      ( "statistics",
+        [
+          Alcotest.test_case "histogram boundaries" `Quick test_colstats_histogram;
+          Alcotest.test_case "skew, NDV and MCVs" `Quick test_colstats_skew_and_mcvs;
+          Alcotest.test_case "sal > 2000 selectivity (Tables 7/8)" `Quick
+            test_analyze_sal_selectivity;
+          Alcotest.test_case "cost-based conjunct choice" `Quick test_cost_based_conjunct_choice;
+        ] );
       ( "optimizer",
         [
           Alcotest.test_case "index selection" `Quick test_optimizer_index_selection;
           Alcotest.test_case "plan equivalence" `Quick test_optimizer_preserves_results;
           Alcotest.test_case "cardinality estimates" `Quick test_cardinality_estimates;
+          Alcotest.test_case "filter pushdown through project" `Quick
+            test_filter_pushdown_through_project;
+          Alcotest.test_case "limit below project" `Quick test_limit_below_project;
+          Alcotest.test_case "index nested-loop join" `Quick test_index_nl_join;
+          Alcotest.test_case "join reorder by cost" `Quick test_join_reorder_by_cost;
+          QCheck_alcotest.to_alcotest prop_optimize_equivalence;
         ] );
       ( "publishing",
         [

@@ -246,6 +246,25 @@ let test_errors () =
   check cb "create view over table" true
     (fails "CREATE VIEW v AS SELECT ename FROM emp")
 
+let test_analyze_statement () =
+  let s = make_session () in
+  let r = SQL.execute s "ANALYZE" in
+  check Alcotest.(list string) "columns" [ "table_name"; "rows_sampled" ] r.SQL.columns;
+  check ci "both tables analyzed" 2 (List.length r.SQL.rows);
+  check cb "note reports the stats version" true (contains "stats version" (Option.get r.SQL.note));
+  (* single-table form *)
+  let r2 = SQL.execute s "ANALYZE emp;" in
+  (match r2.SQL.rows with
+  | [ [ V.Str "emp"; V.Int 3 ] ] -> ()
+  | _ -> Alcotest.fail "ANALYZE emp must report 3 sampled rows");
+  (* queries keep returning the same rows once stats are collected *)
+  let r3 = SQL.execute s "SELECT ename, sal FROM emp WHERE sal > 2000" in
+  check ci "two rows after ANALYZE" 2 (List.length r3.SQL.rows);
+  check cb "index still used" true (contains "INDEX SCAN" (Option.get r3.SQL.note));
+  match SQL.execute s "ANALYZE ghost" with
+  | exception SQL.Sql_error _ -> ()
+  | _ -> Alcotest.fail "ANALYZE of an unknown table must raise"
+
 (* fuzz: the SQL parser must be total over printable garbage *)
 let prop_sql_parser_total =
   QCheck.Test.make ~name:"sql parser is total" ~count:300
@@ -272,6 +291,7 @@ let () =
           Alcotest.test_case "paper Tables 9-11 (combined)" `Quick test_example2_combined;
           Alcotest.test_case "mixed select items" `Quick test_mixed_items;
           Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "ANALYZE statement" `Quick test_analyze_statement;
         ] );
       ("fuzz", [ QCheck_alcotest.to_alcotest prop_sql_parser_total ]);
     ]
