@@ -436,6 +436,115 @@ let planquality ?(n = 2_000) () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* execscale: interpreted vs compiled executor (BENCH_PR3)             *)
+(* ------------------------------------------------------------------ *)
+
+(* Scan-heavy leg timing the executor itself (no XSLT pipeline around
+   it): Project(expressions incl. CASE) over Filter over Seq_scan, at
+   three sizes.  The same plan runs through the interpreted reference
+   executor and the compiled layout/batch executor; rows must match
+   row-for-row and the per-operator actual-row counts (EXPLAIN ANALYZE)
+   must be identical, then the two are timed. *)
+let execscale ?(sizes = [ 2_000; 20_000; 100_000 ]) () =
+  let module R = Xdb_rel in
+  let module A = R.Algebra in
+  let module V = R.Value in
+  let build n =
+    let db = R.Database.create () in
+    let tbl =
+      R.Database.create_table db "items"
+        [
+          { R.Table.col_name = "id"; col_type = V.Tint };
+          { R.Table.col_name = "name"; col_type = V.Tstr };
+          { R.Table.col_name = "value"; col_type = V.Tint };
+          { R.Table.col_name = "category"; col_type = V.Tstr };
+          { R.Table.col_name = "qty"; col_type = V.Tint };
+        ]
+    in
+    let seed = ref 42 in
+    let rand m =
+      seed := ((!seed * 1103515245) + 12345) land 0x3FFFFFFF;
+      !seed mod m
+    in
+    for i = 0 to n - 1 do
+      R.Table.insert_values tbl
+        [
+          V.Int i;
+          V.Str (Printf.sprintf "item-%05d" i);
+          V.Int (rand 1000);
+          V.Str (String.make 1 (Char.chr (Char.code 'A' + rand 5)));
+          V.Int (1 + rand 9);
+        ]
+    done;
+    db
+  in
+  let plan =
+    A.Project
+      ( [
+          (A.Col (Some "i", "id"), "id");
+          (A.Col (None, "name"), "name");
+          (A.Binop (A.Mul, A.Col (None, "value"), A.Col (None, "qty")), "total");
+          ( A.Case
+              ( [
+                  ( A.Binop (A.Gt, A.Col (None, "value"), A.Const (V.Int 900)),
+                    A.Const (V.Str "hot") );
+                  ( A.Binop (A.Gt, A.Col (None, "value"), A.Const (V.Int 500)),
+                    A.Const (V.Str "warm") );
+                ],
+                Some (A.Const (V.Str "cold")) ),
+            "band" );
+          (A.Col (Some "i", "category"), "category");
+        ],
+        A.Filter
+          ( A.Binop
+              ( A.And,
+                A.Binop (A.Gt, A.Col (None, "value"), A.Const (V.Int 100)),
+                A.Binop (A.Neq, A.Col (None, "category"), A.Const (V.Str "E")) ),
+            A.Seq_scan { table = "items"; alias = "i" } ) )
+  in
+  Printf.printf "%s\nexecscale: interpreted vs compiled executor (batch=%d)\n%s\n" hrule
+    R.Exec.default_batch_size hrule;
+  Printf.printf "%8s %15s %13s %8s %10s %9s\n" "rows" "interpreted_ms" "compiled_ms" "speedup"
+    "rows_same" "ops_same";
+  let legs = ref [] and csv_rows = ref [] in
+  List.iter
+    (fun n ->
+      let db = build n in
+      (* correctness first: row-for-row identical results… *)
+      let irows = R.Exec.run_interpreted db plan in
+      let layout, arows = R.Exec.run_arrays db plan in
+      let rows_ok = List.map (R.Layout.to_assoc layout) arows = irows in
+      (* …and identical per-operator actual-row counts under ANALYZE *)
+      let _, st_i = R.Exec.run_interpreted_analyzed db plan in
+      let (_, _), st_c = R.Exec.run_arrays_analyzed db plan in
+      let ops_ok = R.Stats.rows_signature st_i = R.Stats.rows_signature st_c in
+      let interpreted_ms = time_ms (fun () -> ignore (R.Exec.run_interpreted db plan)) in
+      (* compiled time includes the column-resolution/compile pass *)
+      let compiled_ms = time_ms (fun () -> ignore (R.Exec.run_arrays db plan)) in
+      let speedup = interpreted_ms /. compiled_ms in
+      Printf.printf "%8d %15.2f %13.2f %7.2fx %10b %9b\n" n interpreted_ms compiled_ms speedup
+        rows_ok ops_ok;
+      legs :=
+        Printf.sprintf
+          {|{"rows":%d,"interpreted_ms":%.4f,"compiled_ms":%.4f,"speedup":%.2f,"rows_identical":%b,"operators_identical":%b,"batch_size":%d}|}
+          n interpreted_ms compiled_ms speedup rows_ok ops_ok R.Exec.default_batch_size
+        :: !legs;
+      csv_rows :=
+        Printf.sprintf "%d,%.4f,%.4f,%.2f,%b,%b" n interpreted_ms compiled_ms speedup rows_ok
+          ops_ok
+        :: !csv_rows)
+    sizes;
+  csv_out "execscale.csv"
+    "rows,interpreted_ms,compiled_ms,speedup,rows_identical,operators_identical"
+    (List.rev !csv_rows);
+  let oc = open_out "BENCH_PR3.json" in
+  Printf.fprintf oc "{\"bench\":\"BENCH_PR3\",\"legs\":[\n  %s\n]}\n"
+    (String.concat ",\n  " (List.rev !legs));
+  close_out oc;
+  print_endline "(written BENCH_PR3.json)";
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -500,6 +609,7 @@ let () =
   if List.mem "fig2-smoke" targets then fig2 ~figure:"fig2-smoke" ~sizes:[ 2_000 ] ();
   if run "fig3" then fig3 ();
   if run "planquality" then planquality ();
+  if run "execscale" then execscale ();
   if run "ablation" then ablation ();
   if run "storage" then storage ();
   if run "partial" then partial_inline ();

@@ -143,7 +143,16 @@ let explain_cmd =
              plan from collected statistics (histograms, NDV) instead of the System-R \
              defaults.")
   in
-  let run verbose name size analyze metrics_flag collect_stats =
+  let interpreted =
+    Arg.(
+      value & flag
+      & info [ "interpreted" ]
+          ~doc:
+            "With $(b,--explain-analyze): execute the reference interpreted executor instead \
+             of the compiled batch executor (per-operator actual-row counts are identical; \
+             timings differ).")
+  in
+  let run verbose name size analyze metrics_flag collect_stats interpreted =
     setup_logs verbose;
     match Xdb_xsltmark.Cases.find name with
     | None ->
@@ -172,7 +181,7 @@ let explain_cmd =
             print_endline "-- EXPLAIN ANALYZE:";
             print_endline
               (Xdb_core.Metrics.time m "sql_exec" (fun () ->
-                   Xdb_core.Pipeline.explain_analyze dv.Xdb_xsltmark.Data.db c)));
+                   Xdb_core.Pipeline.explain_analyze ~interpreted dv.Xdb_xsltmark.Data.db c)));
           if metrics_flag then (
             print_endline "-- pipeline metrics:";
             print_endline (Xdb_core.Metrics.to_json m)))
@@ -192,7 +201,7 @@ let explain_cmd =
   in
   Cmd.v
     (Cmd.info "explain" ~doc:"Explain the pipeline for a built-in benchmark case")
-    Term.(const run $ verbose $ case $ size $ analyze $ metrics_flag $ collect_stats)
+    Term.(const run $ verbose $ case $ size $ analyze $ metrics_flag $ collect_stats $ interpreted)
 
 let shell_cmd =
   let workload =

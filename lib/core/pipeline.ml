@@ -106,15 +106,24 @@ let run_xquery_stage ?metrics db (c : compiled) : string list =
           Xdb_xml.Serializer.node_list_to_string nodes)
         docs)
 
+(* the rewrite plans project a single "result" column; resolve its slot
+   once against the plan's layout instead of List.assoc per row *)
+let result_column (layout, rows) =
+  match Xdb_rel.Layout.slot_opt layout "result" with
+  | Some s -> List.map (fun (r : V.t array) -> V.to_string r.(s)) rows
+  | None ->
+      raise
+        (Xdb_rel.Exec.Exec_error
+           (Printf.sprintf "plan produced no result column (available columns: %s)"
+              (Xdb_rel.Layout.describe layout)))
+
 (** Rewrite evaluation: the SQL/XML plan when available, XQuery stage
     otherwise.  With [metrics], plan execution time is recorded under
     [sql_exec] (or the fallback's stages). *)
 let run_rewrite ?metrics db (c : compiled) : string list =
   match c.sql_plan with
   | Some plan ->
-      staged metrics "sql_exec" (fun () ->
-          Xdb_rel.Exec.run db plan
-          |> List.map (fun row -> V.to_string (List.assoc "result" row)))
+      staged metrics "sql_exec" (fun () -> result_column (Xdb_rel.Exec.run_arrays db plan))
   | None -> run_xquery_stage ?metrics db c
 
 (** Rewrite evaluation with per-operator instrumentation: returns the
@@ -123,10 +132,10 @@ let run_rewrite_analyzed ?metrics db (c : compiled) :
     string list * Xdb_rel.Stats.t option =
   match c.sql_plan with
   | Some plan ->
-      let rows, stats =
-        staged metrics "sql_exec" (fun () -> Xdb_rel.Exec.run_analyzed db plan)
+      let out, stats =
+        staged metrics "sql_exec" (fun () -> Xdb_rel.Exec.run_arrays_analyzed db plan)
       in
-      (List.map (fun row -> V.to_string (List.assoc "result" row)) rows, Some stats)
+      (result_column out, Some stats)
   | None -> (run_xquery_stage ?metrics db c, None)
 
 (** Example 2: compose an XQuery child path over the XSLT view result and
@@ -215,11 +224,17 @@ let explain (c : compiled) : string =
 
 (** EXPLAIN ANALYZE: execute the SQL/XML plan with instrumentation and
     render estimated vs actual rows, loops, B-tree probes and wall time
-    per operator.  Reports the fallback reason when no plan exists. *)
-let explain_analyze db (c : compiled) : string =
+    per operator.  [interpreted] runs the reference assoc-row executor
+    instead of the compiled one (the per-operator actual-row counts are
+    identical either way).  Reports the fallback reason when no plan
+    exists. *)
+let explain_analyze ?(interpreted = false) db (c : compiled) : string =
   match c.sql_plan with
   | Some plan ->
-      let _, stats = Xdb_rel.Exec.run_analyzed db plan in
+      let stats =
+        if interpreted then snd (Xdb_rel.Exec.run_interpreted_analyzed db plan)
+        else snd (Xdb_rel.Exec.run_arrays_analyzed db plan)
+      in
       Xdb_rel.Optimizer.explain_analyze db plan stats
   | None ->
       Printf.sprintf "-- no SQL/XML plan to analyze%s\n"

@@ -87,7 +87,9 @@ val explain : compiled -> string
 (** Multi-section EXPLAIN: translation mode, execution graph, generated
     XQuery, SQL/XML plan (or the fallback reason). *)
 
-val explain_analyze : Xdb_rel.Database.t -> compiled -> string
+val explain_analyze : ?interpreted:bool -> Xdb_rel.Database.t -> compiled -> string
 (** Execute the SQL/XML plan with instrumentation and render estimated vs
     actual rows, loops, B-tree probes and wall time per operator; reports
-    the fallback reason when no plan exists. *)
+    the fallback reason when no plan exists.  [interpreted] (default
+    false) runs the reference assoc-row executor instead of the compiled
+    batch executor; per-operator actual-row counts are identical. *)

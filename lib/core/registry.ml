@@ -7,7 +7,11 @@
     records a fingerprint of the view's structural information; when a view
     is re-registered with a different shape — schema evolution — the next
     use recompiles against the new structure instead of serving the stale
-    plan. *)
+    plan.
+
+    The cache is bounded: entries carry a last-use tick and when the
+    number of entries exceeds the configured capacity the least recently
+    used entry is evicted (counted in [cache_evictions]). *)
 
 module P = Xdb_rel.Publish
 module S = Xdb_schema.Types
@@ -17,30 +21,61 @@ type entry = {
   fingerprint : string;
       (** structural fingerprint + catalog stats version at compile time *)
   compiled : Pipeline.compiled;
+  mutable last_used : int;  (** recency tick for LRU eviction *)
 }
 
 type t = {
   db : Xdb_rel.Database.t;
   mutable views : (string * P.view) list;
   cache : (string * string, entry) Hashtbl.t;  (** (view name, stylesheet) *)
+  capacity : int;  (** max cached entries before LRU eviction *)
+  mutable tick : int;  (** monotonic use counter *)
   mutable recompilations : int;  (** observability for tests/benches *)
   mutable cache_hits : int;  (** fresh cache entry served *)
   mutable cache_misses : int;  (** no cache entry — first compile *)
   mutable cache_stale : int;  (** entry invalidated by schema evolution *)
+  mutable cache_evictions : int;  (** entries dropped by LRU bounding *)
 }
 
 exception Registry_error of string
 
-let create db =
+let default_capacity = 64
+
+let create ?(capacity = default_capacity) db =
   {
     db;
     views = [];
     cache = Hashtbl.create 8;
+    capacity = max 1 capacity;
+    tick = 0;
     recompilations = 0;
     cache_hits = 0;
     cache_misses = 0;
     cache_stale = 0;
+    cache_evictions = 0;
   }
+
+let touch t entry =
+  t.tick <- t.tick + 1;
+  entry.last_used <- t.tick
+
+(* drop least-recently-used entries until within capacity *)
+let evict_over_capacity t =
+  while Hashtbl.length t.cache > t.capacity do
+    let victim =
+      Hashtbl.fold
+        (fun key e acc ->
+          match acc with
+          | Some (_, best) when best.last_used <= e.last_used -> acc
+          | _ -> Some (key, e))
+        t.cache None
+    in
+    match victim with
+    | None -> assert false (* non-empty: length > capacity >= 1 *)
+    | Some (key, _) ->
+        Hashtbl.remove t.cache key;
+        t.cache_evictions <- t.cache_evictions + 1
+  done
 
 (* canonical textual form of a view's structural information: declaration
    lines sorted so hash-table order does not leak into the fingerprint.
@@ -74,13 +109,17 @@ let compile ?(options = Options.default) t ~view_name ~stylesheet : Pipeline.com
   match Hashtbl.find_opt t.cache key with
   | Some entry when entry.fingerprint = fp ->
       t.cache_hits <- t.cache_hits + 1;
+      touch t entry;
       entry.compiled
   | found ->
       (match found with
       | Some _ -> t.cache_stale <- t.cache_stale + 1 (* schema evolution or re-ANALYZE *)
       | None -> t.cache_misses <- t.cache_misses + 1);
       let compiled = Pipeline.compile ~options t.db view stylesheet in
-      Hashtbl.replace t.cache key { stylesheet_text = stylesheet; fingerprint = fp; compiled };
+      let entry = { stylesheet_text = stylesheet; fingerprint = fp; compiled; last_used = 0 } in
+      touch t entry;
+      Hashtbl.replace t.cache key entry;
+      evict_over_capacity t;
       t.recompilations <- t.recompilations + 1;
       compiled
 
@@ -99,4 +138,5 @@ let counters t =
     ("cache_misses", t.cache_misses);
     ("cache_stale", t.cache_stale);
     ("recompilations", t.recompilations);
+    ("cache_evictions", t.cache_evictions);
   ]

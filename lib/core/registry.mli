@@ -9,7 +9,9 @@ type t
 
 exception Registry_error of string
 
-val create : Xdb_rel.Database.t -> t
+val create : ?capacity:int -> Xdb_rel.Database.t -> t
+(** [capacity] bounds the number of cached compilations (default 64,
+    minimum 1); the least recently used entry is evicted when exceeded. *)
 
 val register_view : t -> Xdb_rel.Publish.view -> unit
 (** (Re)register a view; replacing a view of the same name models schema
@@ -31,4 +33,5 @@ val counters : t -> (string * int) list
 (** Cache observability counters in stable order: [cache_hits] (fresh
     entry served), [cache_misses] (first compile), [cache_stale] (entry
     invalidated by schema evolution or re-ANALYZE), [recompilations]
-    (= misses + stale). *)
+    (= misses + stale), [cache_evictions] (entries dropped by LRU
+    bounding). *)

@@ -151,6 +151,54 @@ let range t ~lo ~hi =
   go t.root;
   List.rev !out
 
+(** [range_rids t ~lo ~hi] — row ids only, in the same order {!range}
+    yields them, collected without the intermediate (key, rid) list.
+    This is the batch executor's index-scan cursor: the rid array is
+    filled in one traversal and then chunked into row batches. *)
+let range_rids t ~lo ~hi =
+  t.probes <- t.probes + 1;
+  let buf = ref (Array.make 64 0) in
+  let n = ref 0 in
+  let push rid =
+    if !n = Array.length !buf then (
+      let bigger = Array.make (2 * !n) 0 in
+      Array.blit !buf 0 bigger 0 !n;
+      buf := bigger);
+    !buf.(!n) <- rid;
+    incr n
+  in
+  let rec go node =
+    t.node_visits <- t.node_visits + 1;
+    match node with
+    | Leaf l ->
+        Array.iteri
+          (fun i k ->
+            if above_lo lo k && below_hi hi k then
+              List.iter push (List.rev l.rows.(i)))
+          l.keys
+    | Internal nd ->
+        Array.iteri
+          (fun i kid ->
+            let lo_ok =
+              i = Array.length nd.keys
+              ||
+              match lo with
+              | Unbounded -> true
+              | Inclusive b | Exclusive b -> cmp nd.keys.(i) b >= 0
+            in
+            let hi_ok =
+              i = 0
+              ||
+              match hi with
+              | Unbounded -> true
+              | Inclusive b | Exclusive b -> cmp nd.keys.(i - 1) b <= 0
+            in
+            if lo_ok && hi_ok then go kid)
+          nd.kids
+  in
+  go t.root;
+  Array.sub !buf 0 !n
+
 (** All entries in key order. *)
 let to_list t = range t ~lo:Unbounded ~hi:Unbounded
 

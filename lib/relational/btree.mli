@@ -22,6 +22,11 @@ val range : t -> lo:bound -> hi:bound -> (key * int) list
 (** Entries within the bounds, in key order (row ids under one key in
     insertion order).  Only subtrees intersecting the range are visited. *)
 
+val range_rids : t -> lo:bound -> hi:bound -> int array
+(** Row ids within the bounds, in {!range} order, without the
+    intermediate (key, rid) list — the batch executor's index cursor.
+    Counts as one probe. *)
+
 val to_list : t -> (key * int) list
 (** All entries in key order. *)
 

@@ -1,7 +1,15 @@
 (** Plan and expression evaluation.
 
-    Rows at runtime are association lists from column names to values;
-    each scan binds both the bare column name and the [alias.column]
+    Two executors live here.  The {b compiled} executor (behind {!run},
+    {!run_arrays} and friends) resolves every column reference to a slot
+    in a fixed {!Layout.t} when the plan is opened, compiles expressions
+    into closures over [Value.t array] rows, and pulls batches of
+    ~{!default_batch_size} rows between operators.  The {b interpreted}
+    executor ({!run_interpreted}) keeps the original association-list
+    row semantics and serves as the executable reference for
+    differential tests and benchmarks.
+
+    Each scan binds both the bare column name and the [alias.column]
     qualified form, so correlated subqueries can reference outer tables
     the way paper Table 7 does. *)
 
@@ -17,15 +25,60 @@ val xml_content : Value.t -> Xdb_xml.Types.node list
     text nodes, NULL vanishes. *)
 
 val eval_expr : Database.t -> row -> Algebra.expr -> Value.t
-(** Evaluate a scalar/XML expression against a row environment.  Correlated
-    subqueries run with the row as their outer environment.
+(** Evaluate a scalar/XML expression against a row environment, resolving
+    names per access (interpreted semantics — used by view
+    materialisation).  Correlated subqueries run with the row as their
+    outer environment.
     @raise Exec_error on unknown columns or type errors. *)
 
 val scan_bindings : Table.t -> string -> Value.t array -> row
 (** Row bindings a scan produces: bare and alias-qualified names. *)
 
+(** {1 Compiled execution} *)
+
+val default_batch_size : int
+(** Rows per batch exchanged between operators (1024). *)
+
+type cursor = unit -> Value.t array array option
+(** Batch cursor: [None] at end of stream; batches are never empty. *)
+
+type compiled
+(** A plan after the column-resolution pass: fixed output layout,
+    expressions compiled to closures, ready to open. *)
+
+val compile :
+  Database.t ->
+  ?stats:Stats.t ->
+  ?outer:Layout.t ->
+  ?batch_size:int ->
+  Algebra.plan ->
+  compiled
+(** Resolve every column reference (including inside CASE branches and
+    correlated subqueries) against the operator layouts; compile
+    expressions to closures; build batch cursors.
+    @raise Exec_error at plan-open time for unknown or ambiguous
+    columns, listing the columns that are available. *)
+
+val compiled_layout : compiled -> Layout.t
+(** Output layout: own columns first, outer correlation row as tail. *)
+
+val open_cursor : compiled -> ?outer:Value.t array -> unit -> cursor
+(** Open one execution over the physical outer row (default empty). *)
+
+val run_arrays : Database.t -> ?batch_size:int -> Algebra.plan -> Layout.t * Value.t array list
+(** Compiled execution to physical rows plus their layout — the
+    allocation-light entry point for hot paths. *)
+
+val run_arrays_analyzed :
+  Database.t -> ?batch_size:int -> Algebra.plan -> (Layout.t * Value.t array list) * Stats.t
+(** {!run_arrays} with per-operator instrumentation. *)
+
+(** {1 Assoc-row entry points (compiled underneath)} *)
+
 val run : Database.t -> ?outer:row -> Algebra.plan -> row list
-(** Execute a plan; [outer] supplies correlation bindings. *)
+(** Execute a plan; [outer] supplies correlation bindings.  Runs the
+    compiled executor and converts each physical row back to an
+    association list via the output layout. *)
 
 val run_analyzed : Database.t -> ?outer:row -> Algebra.plan -> row list * Stats.t
 (** [run] with per-operator instrumentation: every operator of the plan
@@ -35,3 +88,14 @@ val run_analyzed : Database.t -> ?outer:row -> Algebra.plan -> row list * Stats.
 
 val run_column : Database.t -> ?outer:row -> Algebra.plan -> Value.t list
 (** First column of each result row. *)
+
+(** {1 Interpreted reference executor} *)
+
+val run_interpreted : Database.t -> ?outer:row -> Algebra.plan -> row list
+(** The original assoc-row executor: names resolved per row with
+    [List.assoc], one row at a time.  Reference semantics for
+    differential tests and the [execscale] benchmark baseline. *)
+
+val run_interpreted_analyzed : Database.t -> ?outer:row -> Algebra.plan -> row list * Stats.t
+(** {!run_interpreted} with per-operator instrumentation; produces the
+    same per-operator actual-row counts as {!run_analyzed}. *)

@@ -91,6 +91,11 @@ let entries t = t.entries
 (** Total rows produced by the root operator (entry 0). *)
 let root_rows t = match t.entries with [] -> 0 | e :: _ -> e.op.rows
 
+(** [(label, actual rows)] per operator, pre-order — the executor-agnostic
+    shape of a run: two executions of the same plan agree on actual row
+    counts iff their signatures are equal (bench/CI check). *)
+let rows_signature t = List.map (fun e -> (e.label, e.op.rows)) t.entries
+
 (* ------------------------------------------------------------------ *)
 (* Renderings                                                          *)
 (* ------------------------------------------------------------------ *)

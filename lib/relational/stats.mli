@@ -29,6 +29,10 @@ val entries : t -> entry list
 val root_rows : t -> int
 (** Rows produced by the root operator. *)
 
+val rows_signature : t -> (string * int) list
+(** [(label, actual rows)] per operator, pre-order — equal signatures
+    mean two executions agreed on every per-operator actual row count. *)
+
 val label_of_plan : Algebra.plan -> string
 (** Short operator label ("IndexScan rows(id)", "Filter", …). *)
 

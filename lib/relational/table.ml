@@ -60,6 +60,10 @@ let row t rid =
   if rid < 0 || rid >= t.nrows then err "row id %d out of range for table %s" rid t.tbl_name;
   t.rows.(rid)
 
+(* row access without the range check, for cursors iterating rids that
+   came out of the table or one of its indexes *)
+let unsafe_row t rid = Array.unsafe_get t.rows rid
+
 let size t = t.nrows
 
 (** [create_index t ~name ~column] builds a B-tree over existing rows and

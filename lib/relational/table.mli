@@ -36,6 +36,10 @@ val insert_values : t -> Value.t list -> unit
 val row : t -> int -> Value.t array
 (** @raise Table_error when the row id is out of range. *)
 
+val unsafe_row : t -> int -> Value.t array
+(** {!row} without the range check — for executor cursors whose row ids
+    come from the table itself or one of its indexes. *)
+
 val size : t -> int
 
 val create_index : t -> name:string -> column:string -> index

@@ -109,14 +109,13 @@ let run_table_select session (tbl : Xdb_rel.Table.t) (sel : select) : result =
     | items -> List.mapi (fun i (e, alias) -> (plain_expr e, item_name i (e, alias))) items
   in
   let plan = Xdb_rel.Optimizer.optimize_deep session.db (A.Project (fields, filtered)) in
-  let rows = E.run session.db plan in
+  (* projected fields occupy slots 0..n-1 of the compiled layout, in order *)
+  let _, rows = E.run_arrays session.db plan in
   {
     columns = List.map snd fields;
-    rows = List.map (fun r -> List.map (fun (_, n) -> List.assoc n r) fields) rows;
+    rows = List.map (fun (r : V.t array) -> List.mapi (fun i _ -> r.(i)) fields) rows;
     note = Some (A.plan_sql plan);
   }
-
-(* interpret [r] using projection names *)
 
 (* ------------------------------------------------------------------ *)
 (* XMLType-view selects                                                *)
@@ -192,7 +191,7 @@ let run_xml_view_select session (view : P.view) (sel : select) : result =
   let plan =
     Xdb_rel.Optimizer.optimize_deep session.db (A.Project (sql_fields, filtered))
   in
-  let sql_rows = E.run session.db plan in
+  let layout, sql_rows = E.run_arrays session.db plan in
   (* functional items evaluate over materialised documents, row-aligned *)
   let functional_items =
     List.filter_map (function n, `Functional f -> Some (n, f) | _ -> None) items
@@ -205,16 +204,20 @@ let run_xml_view_select session (view : P.view) (sel : select) : result =
       else P.materialize session.db view
   in
   let columns = List.map fst items in
+  (* resolve every SQL item's output slot once against the plan layout *)
+  let extractors =
+    List.map
+      (fun (n, kind) ->
+        match kind with
+        | `Sql _ -> (
+            match Xdb_rel.Layout.slot_opt layout n with
+            | Some s -> fun (r : V.t array) _ -> r.(s)
+            | None -> err "plan lost column %s" n)
+        | `Functional f -> fun _ row_idx -> V.Str (f (List.nth docs row_idx)))
+      items
+  in
   let rows =
-    List.mapi
-      (fun row_idx sql_row ->
-        List.map
-          (fun (n, kind) ->
-            match kind with
-            | `Sql _ -> List.assoc n sql_row
-            | `Functional f -> V.Str (f (List.nth docs row_idx)))
-          items)
-      sql_rows
+    List.mapi (fun row_idx sql_row -> List.map (fun ex -> ex sql_row row_idx) extractors) sql_rows
   in
   { columns; rows; note = Some (String.concat "; " (List.rev !notes)) }
 
@@ -267,10 +270,15 @@ let run_xslt_view_select session (xv : xslt_view) (sel : select) : result =
       in
       match (combined_plan, composed) with
       | Some plan, _ ->
-          let rows = E.run session.db plan in
+          let layout, rows = E.run_arrays session.db plan in
+          let slot =
+            match Xdb_rel.Layout.slot_opt layout "result" with
+            | Some s -> s
+            | None -> err "combined plan produced no result column"
+          in
           {
             columns = [ name ];
-            rows = List.map (fun r -> [ List.assoc "result" r ]) rows;
+            rows = List.map (fun (r : V.t array) -> [ r.(slot) ]) rows;
             note = Some (note ^ " (paper Table 11 plan)");
           }
       | None, Some composed ->

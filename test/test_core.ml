@@ -590,6 +590,36 @@ let test_registry_stats_invalidation () =
   ignore (Xdb_core.Registry.run reg ~view_name:"dept_emp" ~stylesheet:example1_stylesheet);
   check ci "second ANALYZE invalidates again" 3 (counter "recompilations")
 
+let test_registry_lru_eviction () =
+  (* capacity-bounded cache: the least recently used entry is evicted and
+     counted; a later use of the victim is a fresh miss *)
+  let db, view = setup_example1 () in
+  let reg = Xdb_core.Registry.create ~capacity:2 db in
+  Xdb_core.Registry.register_view reg view;
+  let counter name = List.assoc name (Xdb_core.Registry.counters reg) in
+  (* same semantics, distinct cache keys: a tagging comment in the sheet *)
+  let variant tag =
+    Printf.sprintf
+      {|<?xml version="1.0"?><xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">%s<!-- %s --></xsl:stylesheet>|}
+      example1_body tag
+  in
+  let ss_a = variant "a" and ss_b = variant "b" and ss_c = variant "c" in
+  let compile ss = ignore (Xdb_core.Registry.compile reg ~view_name:"dept_emp" ~stylesheet:ss) in
+  compile ss_a;
+  compile ss_b;
+  check ci "within capacity: no evictions" 0 (counter "cache_evictions");
+  compile ss_a;
+  (* touch A so B is the LRU victim *)
+  compile ss_c;
+  check ci "third entry evicts the LRU one" 1 (counter "cache_evictions");
+  compile ss_a;
+  check ci "A survived (recently used)" 2 (counter "cache_hits");
+  compile ss_b;
+  (* B was evicted: compiling it again is a miss, and inserting it pushes
+     out the current LRU entry *)
+  check ci "evicted entry misses" 4 (counter "cache_misses");
+  check ci "reinsert evicts again" 2 (counter "cache_evictions")
+
 let test_dbonerow_explain_analyze () =
   (* acceptance: the dbonerow plan shows a B-tree index probe with actual
      row count 1; dropping the index flips it to a full scan *)
@@ -685,6 +715,7 @@ let () =
           Alcotest.test_case "registry cache counters" `Quick test_registry_counters;
           Alcotest.test_case "registry stats invalidation (ANALYZE)" `Quick
             test_registry_stats_invalidation;
+          Alcotest.test_case "registry LRU eviction" `Quick test_registry_lru_eviction;
           Alcotest.test_case "dbonerow EXPLAIN ANALYZE" `Quick test_dbonerow_explain_analyze;
           Alcotest.test_case "NaN condition differential" `Quick test_nan_condition_differential;
           QCheck_alcotest.to_alcotest prop_pipeline_equivalence;

@@ -982,6 +982,110 @@ let test_pathindex () =
   check ci "docs indexed" 2 n_docs;
   check cb "entries counted" true (n_entries >= 6)
 
+(* ------------------------------------------------------------------ *)
+(* compiled executor: plan-open resolution, batch boundaries           *)
+(* ------------------------------------------------------------------ *)
+
+let expect_compile_error db plan needles =
+  match E.compile db plan with
+  | exception E.Exec_error m ->
+      List.iter
+        (fun needle ->
+          check cb (Printf.sprintf "error %S mentions %S" m needle) true (contains m needle))
+        needles
+  | _ -> Alcotest.fail "expected plan-open Exec_error"
+
+let test_compile_unknown_column () =
+  let db = setup_db () in
+  (* unknown bare column: fails before any row is produced, listing what
+     is in scope *)
+  expect_compile_error db
+    (A.Project ([ (A.col "ghost", "g") ], A.Seq_scan { table = "emp"; alias = "e" }))
+    [ "ghost"; "available columns"; "ename" ];
+  (* wrong alias on an existing column is just as unresolvable *)
+  expect_compile_error db
+    (A.Filter (A.(qcol "d" "sal" >. const_int 0), A.Seq_scan { table = "emp"; alias = "e" }))
+    [ "d.sal"; "available columns" ];
+  (* the compiled executor and the interpreted one agree that the plan is
+     bad — the difference is only when: plan-open vs per-row *)
+  match
+    E.run_interpreted db
+      (A.Project ([ (A.col "ghost", "g") ], A.Seq_scan { table = "emp"; alias = "e" }))
+  with
+  | exception E.Exec_error _ -> ()
+  | _ -> Alcotest.fail "interpreted executor must also reject"
+
+let test_compile_ambiguous_output () =
+  let db = setup_db () in
+  expect_compile_error db
+    (A.Project
+       ( [ (A.col "sal", "x"); (A.col "ename", "x") ],
+         A.Seq_scan { table = "emp"; alias = "e" } ))
+    [ "ambiguous"; "x" ];
+  expect_compile_error db
+    (A.Aggregate
+       {
+         group_by = [ (A.col "deptno", "n") ];
+         aggs = [ (A.Count_star, "n") ];
+         input = A.Seq_scan { table = "emp"; alias = "e" };
+       })
+    [ "ambiguous"; "n" ]
+
+let test_compile_dead_case_branch () =
+  let db = setup_db () in
+  (* the losing CASE branch never evaluates at runtime, but its column
+     references still must resolve at plan-open time *)
+  expect_compile_error db
+    (A.Project
+       ( [
+           ( A.Case ([ (A.(const_int 0 >. const_int 1), A.col "ghost") ], Some (A.const_int 7)),
+             "c" );
+         ],
+         A.Seq_scan { table = "emp"; alias = "e" } ))
+    [ "ghost"; "available columns" ]
+
+let test_batch_boundaries () =
+  (* row counts straddling batch edges: exactly one batch, one short of a
+     boundary, one over, and a non-multiple — compiled results must equal
+     the interpreted reference row for row *)
+  let bs = E.default_batch_size in
+  List.iter
+    (fun n ->
+      let db = DB.create () in
+      let t =
+        DB.create_table db "nums"
+          [ { T.col_name = "k"; col_type = V.Tint }; { T.col_name = "v"; col_type = V.Tint } ]
+      in
+      for i = 0 to n - 1 do
+        T.insert_values t [ V.Int i; V.Int (i * 7 mod 101) ]
+      done;
+      let plan =
+        A.Project
+          ( [ (A.col "k", "k"); (A.Binop (A.Add, A.col "v", A.const_int 1), "v1") ],
+            A.Filter (A.(col "v" >. const_int 3), A.Seq_scan { table = "nums"; alias = "n" }) )
+      in
+      check cb
+        (Printf.sprintf "compiled = interpreted at %d rows" n)
+        true
+        (E.run db plan = E.run_interpreted db plan))
+    [ 0; 1; bs - 1; bs; bs + 1; (2 * bs) + 2 ]
+
+let test_run_arrays_layout () =
+  let db = setup_db () in
+  let plan =
+    A.Project ([ (A.col "ename", "ename") ], A.Seq_scan { table = "emp"; alias = "e" })
+  in
+  let layout, rows = E.run_arrays db plan in
+  check ci "one slot" 1 (Xdb_rel.Layout.width layout);
+  (match Xdb_rel.Layout.slot_opt layout "ename" with
+  | Some s ->
+      check Alcotest.(list string) "values via slot"
+        [ "CLARK"; "MILLER"; "SMITH" ]
+        (List.map (fun r -> V.to_string r.(s)) rows)
+  | None -> Alcotest.fail "ename must resolve");
+  check cb "qualified name absent above projection" true
+    (Xdb_rel.Layout.slot_opt layout ~alias:"e" "ename" = None)
+
 let () =
   Alcotest.run "relational"
     [
@@ -1012,6 +1116,11 @@ let () =
           Alcotest.test_case "division semantics" `Quick test_division_semantics;
           Alcotest.test_case "NaN truthiness" `Quick test_nan_truthiness;
           Alcotest.test_case "round negative zero" `Quick test_sql_round_negative_zero;
+          Alcotest.test_case "plan-open unknown column" `Quick test_compile_unknown_column;
+          Alcotest.test_case "plan-open ambiguous output" `Quick test_compile_ambiguous_output;
+          Alcotest.test_case "plan-open dead CASE branch" `Quick test_compile_dead_case_branch;
+          Alcotest.test_case "batch boundaries" `Quick test_batch_boundaries;
+          Alcotest.test_case "run_arrays layout" `Quick test_run_arrays_layout;
         ] );
       ( "instrumentation",
         [

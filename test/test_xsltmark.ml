@@ -142,6 +142,54 @@ let prop_random_stylesheets =
       in
       functional = xquery_stage && functional = rewrite && functional = sf_out)
 
+(* the compiled layout/batch executor against the interpreted reference,
+   across all five db-capable bench cases, with and without ANALYZE
+   statistics (statistics change the chosen plan, not the answer).
+   Row-for-row: same cardinality, same value for every column name the
+   plan's layout exposes (values compared serialized — XML nodes carry
+   parent pointers, so structural equality is out), and identical
+   per-operator actual-row counts under instrumentation. *)
+let bench_db_case_names = [ "dbonerow"; "avts"; "chart"; "metric"; "total" ]
+
+let prop_compiled_executor_differential =
+  QCheck.Test.make ~name:"compiled executor = interpreted reference (db cases)" ~count:40
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let name = List.nth bench_db_case_names (seed mod 5) in
+      let with_stats = seed / 5 mod 2 = 1 in
+      let n = 20 + (seed / 10 mod 4 * 35) in
+      let c = Option.get (M.find name) in
+      let c = if c.M.name = "dbonerow" then M.dbonerow_for n else c in
+      let dv = M.dbview_for c n in
+      if with_stats then ignore (Xdb_rel.Analyze.all dv.D.db);
+      let comp = PL.compile dv.D.db dv.D.view c.M.stylesheet in
+      match comp.PL.sql_plan with
+      | None -> false (* all five cases are SQL-rewritable *)
+      | Some plan ->
+          let module E = Xdb_rel.Exec in
+          let module L = Xdb_rel.Layout in
+          let irows = E.run_interpreted dv.D.db plan in
+          let layout, arows = E.run_arrays dv.D.db plan in
+          let names = L.names layout in
+          let slots =
+            List.map (fun nm -> (nm, Option.get (L.slot_opt layout nm))) names
+          in
+          let rows_same =
+            List.length irows = List.length arows
+            && List.for_all2
+                 (fun ir (ar : Xdb_rel.Value.t array) ->
+                   List.for_all
+                     (fun (nm, s) ->
+                       Xdb_rel.Value.to_string (List.assoc nm ir)
+                       = Xdb_rel.Value.to_string ar.(s))
+                     slots)
+                 irows arows
+          in
+          let _, st_i = E.run_interpreted_analyzed dv.D.db plan in
+          let _, st_c = E.run_arrays_analyzed dv.D.db plan in
+          rows_same
+          && Xdb_rel.Stats.rows_signature st_i = Xdb_rel.Stats.rows_signature st_c)
+
 let () =
   let all = M.all @ M.extras in
   Alcotest.run "xsltmark"
@@ -157,5 +205,9 @@ let () =
             else None)
           all );
       ("statistics", [ Alcotest.test_case "23/40 inline" `Quick inline_statistic ]);
-      ("properties", [ QCheck_alcotest.to_alcotest prop_random_stylesheets ]);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_random_stylesheets;
+          QCheck_alcotest.to_alcotest prop_compiled_executor_differential;
+        ] );
     ]
