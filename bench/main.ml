@@ -11,6 +11,9 @@
                       statistic;
     - [ablation]    — each §3.3–3.7 optimisation toggled off individually:
                       generated-query size and dynamic evaluation time;
+    - [pubstream]   — DOM vs streamed output events on publishing and the
+                      SQL/XML rewrite, wall time and GC allocation
+                      (BENCH_PR4.json);
     - [micro]       — Bechamel micro-benchmarks of the pipeline stages
                       (one [Test.make] per reproduced figure leg).
 
@@ -545,6 +548,91 @@ let execscale ?(sizes = [ 2_000; 20_000; 100_000 ]) () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* pubstream: DOM vs streaming result construction (BENCH_PR4)         *)
+(* ------------------------------------------------------------------ *)
+
+let alloc_bytes f =
+  let a0 = Gc.allocated_bytes () in
+  ignore (f ());
+  Gc.allocated_bytes () -. a0
+
+(* Every db-capable bench case, publish and rewrite, with result
+   construction through the DOM vs streamed output events.  Outputs are
+   asserted byte-identical first; then wall time (median of 3) and
+   allocation (Gc.allocated_bytes delta over one run) per leg.  The
+   per-size totals are what CI gates on: streaming must not be slower
+   and must allocate strictly less at the large size. *)
+let pubstream ?(sizes = [ 8_000; 64_000 ]) () =
+  Printf.printf "%s\npubstream: DOM vs streamed output events (publish + rewrite)\n%s\n" hrule
+    hrule;
+  Printf.printf "%8s %10s %8s %11s %11s %11s %11s\n" "rows" "case" "leg" "dom_ms" "stream_ms"
+    "dom_MB" "stream_MB";
+  let legs = ref [] and csv_rows = ref [] in
+  let summaries =
+    List.map
+      (fun n ->
+        let tot = Array.make 4 0.0 in
+        (* dom_ms, stream_ms, dom_alloc, stream_alloc *)
+        List.iter
+          (fun name ->
+            let case = Option.get (M.find name) in
+            let case = if name = "dbonerow" then M.dbonerow_for n else case in
+            let dv = M.dbview_for case n in
+            let db = dv.D.db and view = dv.D.view in
+            let comp = PL.compile db view case.M.stylesheet in
+            assert (comp.PL.sql_plan <> None);
+            let publish_dom () =
+              List.map
+                (fun d -> Xdb_xml.Serializer.node_list_to_string d.Xdb_xml.Types.children)
+                (Xdb_rel.Publish.materialize db view)
+            in
+            let publish_stream () = Xdb_rel.Publish.materialize_serialized db view in
+            let rewrite_dom () = PL.run_rewrite ~streaming:false db comp in
+            let rewrite_stream () = PL.run_rewrite ~streaming:true db comp in
+            let leg label dom stream =
+              assert (dom () = stream ());
+              let dom_ms = time_ms dom and stream_ms = time_ms stream in
+              let dom_alloc = alloc_bytes dom and stream_alloc = alloc_bytes stream in
+              tot.(0) <- tot.(0) +. dom_ms;
+              tot.(1) <- tot.(1) +. stream_ms;
+              tot.(2) <- tot.(2) +. dom_alloc;
+              tot.(3) <- tot.(3) +. stream_alloc;
+              Printf.printf "%8d %10s %8s %11.3f %11.3f %11.2f %11.2f\n" n name label dom_ms
+                stream_ms
+                (dom_alloc /. 1048576.0)
+                (stream_alloc /. 1048576.0);
+              legs :=
+                Printf.sprintf
+                  {|{"rows":%d,"case":"%s","leg":"%s","dom_ms":%.4f,"stream_ms":%.4f,"dom_alloc_bytes":%.0f,"stream_alloc_bytes":%.0f}|}
+                  n name label dom_ms stream_ms dom_alloc stream_alloc
+                :: !legs;
+              csv_rows :=
+                Printf.sprintf "%d,%s,%s,%.4f,%.4f,%.0f,%.0f" n name label dom_ms stream_ms
+                  dom_alloc stream_alloc
+                :: !csv_rows
+            in
+            leg "publish" publish_dom publish_stream;
+            leg "rewrite" rewrite_dom rewrite_stream)
+          [ "dbonerow"; "avts"; "chart"; "metric"; "total" ];
+        Printf.printf "%8d %10s %8s %11.3f %11.3f %11.2f %11.2f\n" n "TOTAL" "" tot.(0) tot.(1)
+          (tot.(2) /. 1048576.0)
+          (tot.(3) /. 1048576.0);
+        Printf.sprintf
+          {|{"rows":%d,"dom_ms":%.4f,"stream_ms":%.4f,"dom_alloc_bytes":%.0f,"stream_alloc_bytes":%.0f}|}
+          n tot.(0) tot.(1) tot.(2) tot.(3))
+      sizes
+  in
+  csv_out "pubstream.csv" "rows,case,leg,dom_ms,stream_ms,dom_alloc_bytes,stream_alloc_bytes"
+    (List.rev !csv_rows);
+  let oc = open_out "BENCH_PR4.json" in
+  Printf.fprintf oc "{\"bench\":\"BENCH_PR4\",\"legs\":[\n  %s\n],\"summary\":[\n  %s\n]}\n"
+    (String.concat ",\n  " (List.rev !legs))
+    (String.concat ",\n  " summaries);
+  close_out oc;
+  print_endline "(written BENCH_PR4.json)";
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -610,6 +698,7 @@ let () =
   if run "fig3" then fig3 ();
   if run "planquality" then planquality ();
   if run "execscale" then execscale ();
+  if run "pubstream" then pubstream ();
   if run "ablation" then ablation ();
   if run "storage" then storage ();
   if run "partial" then partial_inline ();

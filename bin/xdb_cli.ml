@@ -9,6 +9,9 @@
     - [explain]    — run one of the built-in XSLTMark-style cases against
                      its generated database and print the full pipeline
                      explanation (execution graph, XQuery, SQL plan);
+    - [publish]    — print a case's XMLType view documents, either by
+                     materializing trees or streaming output events
+                     straight into the serializer;
     - [cases]      — list the built-in benchmark cases. *)
 
 open Cmdliner
@@ -259,6 +262,50 @@ let shell_cmd =
     (Cmd.info "shell" ~doc:"Interactive SQL/XML shell over a demo database")
     Term.(const run $ workload $ size)
 
+let publish_cmd =
+  let case = Arg.(required & pos 0 (some string) None & info [] ~docv:"CASE") in
+  let size = Arg.(value & opt int 100 & info [ "n"; "size" ] ~doc:"Workload size (rows)") in
+  let stream =
+    Arg.(
+      value & flag
+      & info [ "stream" ]
+          ~doc:
+            "Serialize publishing events straight into the output buffer (no intermediate \
+             DOM) instead of materializing each document tree first.  Output is \
+             byte-identical either way.")
+  in
+  let indent = Arg.(value & flag & info [ "indent" ] ~doc:"Indented output") in
+  let run verbose name size stream indent =
+    setup_logs verbose;
+    match Xdb_xsltmark.Cases.find name with
+    | None ->
+        Printf.eprintf "unknown case %S (see `xdb_cli cases`)\n" name;
+        exit 2
+    | Some case ->
+        let case =
+          if case.Xdb_xsltmark.Cases.name = "dbonerow" then Xdb_xsltmark.Cases.dbonerow_for size
+          else case
+        in
+        if not case.Xdb_xsltmark.Cases.db_capable then (
+          Printf.eprintf "case %S has no database form\n" name;
+          exit 2);
+        let dv = Xdb_xsltmark.Cases.dbview_for case size in
+        let db = dv.Xdb_xsltmark.Data.db and view = dv.Xdb_xsltmark.Data.view in
+        let docs =
+          if stream then Xdb_rel.Publish.materialize_serialized db ~indent view
+          else
+            List.map
+              (fun d ->
+                Xdb_xml.Serializer.node_list_to_string ~indent d.Xdb_xml.Types.children)
+              (Xdb_rel.Publish.materialize db view)
+        in
+        List.iter print_endline docs
+  in
+  Cmd.v
+    (Cmd.info "publish"
+       ~doc:"Print a case's XMLType view documents (DOM or streamed serialization)")
+    Term.(const run $ verbose $ case $ size $ stream $ indent)
+
 let cases_cmd =
   let run () =
     List.iter
@@ -272,4 +319,7 @@ let cases_cmd =
 
 let () =
   let info = Cmd.info "xdb_cli" ~doc:"XSLT processing in a relational database (VLDB'06 repro)" in
-  exit (Cmd.eval (Cmd.group info [ transform_cmd; translate_cmd; explain_cmd; cases_cmd; shell_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ transform_cmd; translate_cmd; explain_cmd; publish_cmd; cases_cmd; shell_cmd ]))

@@ -95,22 +95,37 @@ let run_functional ?metrics db (c : compiled) : string list =
         docs)
 
 (** Dynamic evaluation of the generated XQuery over materialised documents
-    (whitespace stripping applied, mirroring the VM). *)
+    (whitespace stripping applied, mirroring the VM).  Each document's
+    result serializes in one pass ({!Xdb_xquery.Eval.run_serialized}) —
+    no copy of the result forest is built. *)
 let run_xquery_stage ?metrics db (c : compiled) : string list =
   let docs = staged metrics "materialize" (fun () -> P.materialize db c.view) in
   staged metrics "xquery_eval" (fun () ->
       List.map
         (fun doc ->
           let doc = Xdb_xslt.Strip.apply c.vm_prog.Xdb_xslt.Compile.space doc in
-          let nodes = Xdb_xquery.Eval.run_to_nodes c.translation.Xslt2xquery.query ~context:doc in
-          Xdb_xml.Serializer.node_list_to_string nodes)
+          Xdb_xquery.Eval.run_serialized c.translation.Xslt2xquery.query ~context:doc)
         docs)
 
 (* the rewrite plans project a single "result" column; resolve its slot
-   once against the plan's layout instead of List.assoc per row *)
+   once against the plan's layout instead of List.assoc per row.  Streamed
+   XMLType results drain into one reused buffer per document — the "no
+   intermediate tree" half of the Figure 3 argument, applied to output. *)
 let result_column (layout, rows) =
   match Xdb_rel.Layout.slot_opt layout "result" with
-  | Some s -> List.map (fun (r : V.t array) -> V.to_string r.(s)) rows
+  | Some s ->
+      let buf = Buffer.create 1024 in
+      List.map
+        (fun (r : V.t array) ->
+          match r.(s) with
+          | V.Xml_stream produce ->
+              Buffer.clear buf;
+              let sink = Xdb_xml.Events.serializing_sink buf in
+              produce sink;
+              sink.Xdb_xml.Events.finish ();
+              Buffer.contents buf
+          | v -> V.to_string v)
+        rows
   | None ->
       raise
         (Xdb_rel.Exec.Exec_error
@@ -119,21 +134,25 @@ let result_column (layout, rows) =
 
 (** Rewrite evaluation: the SQL/XML plan when available, XQuery stage
     otherwise.  With [metrics], plan execution time is recorded under
-    [sql_exec] (or the fallback's stages). *)
-let run_rewrite ?metrics db (c : compiled) : string list =
+    [sql_exec] (or the fallback's stages).  [streaming] (default true)
+    routes the plan's XML constructors through the event stream — output
+    is byte-identical to the DOM path, with no per-row result tree. *)
+let run_rewrite ?metrics ?(streaming = true) db (c : compiled) : string list =
   match c.sql_plan with
   | Some plan ->
-      staged metrics "sql_exec" (fun () -> result_column (Xdb_rel.Exec.run_arrays db plan))
+      staged metrics "sql_exec" (fun () ->
+          result_column (Xdb_rel.Exec.run_arrays db ~xml_streaming:streaming plan))
   | None -> run_xquery_stage ?metrics db c
 
 (** Rewrite evaluation with per-operator instrumentation: returns the
     results and the operator stats when a SQL/XML plan exists. *)
-let run_rewrite_analyzed ?metrics db (c : compiled) :
+let run_rewrite_analyzed ?metrics ?(streaming = true) db (c : compiled) :
     string list * Xdb_rel.Stats.t option =
   match c.sql_plan with
   | Some plan ->
       let out, stats =
-        staged metrics "sql_exec" (fun () -> Xdb_rel.Exec.run_arrays_analyzed db plan)
+        staged metrics "sql_exec" (fun () ->
+            Xdb_rel.Exec.run_arrays_analyzed db ~xml_streaming:streaming plan)
       in
       (result_column out, Some stats)
   | None -> (run_xquery_stage ?metrics db c, None)
@@ -184,11 +203,10 @@ let transform_functional (dc : doc_compiled) doc =
   Xdb_xml.Serializer.node_list_to_string frag.X.children
 
 (** Transformation through the generated XQuery (whitespace stripping
-    applied, mirroring the VM). *)
+    applied, mirroring the VM); serializes in one pass. *)
 let transform_via_xquery (dc : doc_compiled) doc =
   let doc = Xdb_xslt.Strip.apply dc.d_prog.Xdb_xslt.Compile.space doc in
-  Xdb_xml.Serializer.node_list_to_string
-    (Xdb_xquery.Eval.run_to_nodes dc.d_translation.Xslt2xquery.query ~context:doc)
+  Xdb_xquery.Eval.run_serialized dc.d_translation.Xslt2xquery.query ~context:doc
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                            *)

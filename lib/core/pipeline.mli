@@ -36,13 +36,18 @@ val run_xquery_stage : ?metrics:Metrics.t -> Xdb_rel.Database.t -> compiled -> s
     (differential testing of the translation itself).  Stages:
     [materialize], [xquery_eval]. *)
 
-val run_rewrite : ?metrics:Metrics.t -> Xdb_rel.Database.t -> compiled -> string list
+val run_rewrite :
+  ?metrics:Metrics.t -> ?streaming:bool -> Xdb_rel.Database.t -> compiled -> string list
 (** "XSLT rewrite": execute the SQL/XML plan (B-tree access, no input
     materialisation); falls back to {!run_xquery_stage} when no plan
-    exists.  Stage: [sql_exec] (or the fallback's stages). *)
+    exists.  Stage: [sql_exec] (or the fallback's stages).  [streaming]
+    (default true) makes the plan's XML constructors emit output events
+    drained straight into the result buffer — byte-identical to the DOM
+    path ([streaming:false]) with no per-row result tree. *)
 
 val run_rewrite_analyzed :
   ?metrics:Metrics.t ->
+  ?streaming:bool ->
   Xdb_rel.Database.t ->
   compiled ->
   string list * Xdb_rel.Stats.t option

@@ -38,7 +38,9 @@ let empty =
 
 (* treat XMLType like NULL: it has no key order and never appears in a
    sargable predicate *)
-let is_statable = function Value.Null | Value.Xml _ -> false | _ -> true
+let is_statable = function
+  | Value.Null | Value.Xml _ | Value.Xml_stream _ -> false
+  | _ -> true
 
 let numeric = function
   | Value.Int i -> Some (float_of_int i)

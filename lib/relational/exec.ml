@@ -27,6 +27,7 @@
     identical per-operator actual-row counts. *)
 
 module X = Xdb_xml.Types
+module E = Xdb_xml.Events
 open Algebra
 
 type row = (string * Value.t) list
@@ -35,8 +36,10 @@ exception Exec_error of string
 
 let err fmt = Printf.ksprintf (fun m -> raise (Exec_error m)) fmt
 
-(** Execution context: database plus optional instrumentation. *)
-type ctx = { db : Database.t; stats : Stats.t option }
+(** Execution context: database plus optional instrumentation.
+    [xml_streaming] selects the streamed XMLType representation for
+    constructor results (events on demand instead of node trees). *)
+type ctx = { db : Database.t; stats : Stats.t option; xml_streaming : bool }
 
 let lookup (env : row) alias name =
   match alias with
@@ -57,12 +60,34 @@ let bool_of_value = function
   | Value.Float f -> f <> 0.0 && not (Float.is_nan f)
   | Value.Str s -> s <> ""
   | Value.Xml ns -> ns <> []
+  | Value.Xml_stream produce ->
+      (* probe for a first event — the streamed image of [ns <> []] *)
+      let exception Non_empty in
+      (try
+         produce { E.emit = (fun _ -> raise Non_empty); finish = (fun () -> ()) };
+         false
+       with Non_empty -> true)
 
 (* scalar value → XML content node list (SQL/XML: scalars become text) *)
 let xml_content = function
   | Value.Null -> []
   | Value.Xml nodes -> List.map X.deep_copy nodes
+  | Value.Xml_stream produce -> Value.stream_to_nodes produce
   | v -> [ X.make (X.Text (Value.to_string v)) ]
+
+(* value → XML content events (the streamed image of [xml_content]) *)
+let emit_content sink = function
+  | Value.Null -> ()
+  | Value.Xml nodes -> List.iter (E.emit_tree sink) nodes
+  | Value.Xml_stream produce -> produce sink
+  | v -> sink.E.emit (E.Text (Value.to_string v))
+
+(* Constructor results: every SQL/XML constructor describes its output as
+   an event producer; streaming mode returns the producer itself, DOM mode
+   drains it through the tree builder — one construction path, two
+   representations. *)
+let xml_value ~streaming produce =
+  if streaming then Value.Xml_stream produce else Value.Xml (Value.stream_to_nodes produce)
 
 (* XPath 1.0 round(): round(-0.2) and round(-0.5) are negative zero;
    NaN, ±∞, ±0 and integers pass through unchanged *)
@@ -87,37 +112,41 @@ let rec eval_expr_in ctx (env : row) (e : expr) : Value.t =
       in
       go whens)
   | Xml_element (name, attrs, kids) ->
-      let el = X.make (X.Element (X.qname name)) in
-      List.iter
-        (fun (an, ae) ->
-          match eval_expr_in ctx env ae with
-          | Value.Null -> ()
-          | v -> X.add_attribute el (X.make (X.Attribute (X.qname an, Value.to_string v))))
-        attrs;
-      X.set_children el (List.concat_map (fun ke -> xml_content (eval_expr_in ctx env ke)) kids);
-      Value.Xml [ el ]
+      xml_value ~streaming:ctx.xml_streaming (fun sink ->
+          sink.E.emit (E.Start_element (X.qname name));
+          List.iter
+            (fun (an, ae) ->
+              match eval_expr_in ctx env ae with
+              | Value.Null -> ()
+              | v -> sink.E.emit (E.Attr (X.qname an, Value.to_string v)))
+            attrs;
+          List.iter (fun ke -> emit_content sink (eval_expr_in ctx env ke)) kids;
+          sink.E.emit E.End_element)
   | Xml_forest fields ->
-      Value.Xml
-        (List.concat_map
-           (fun (n, fe) ->
-             match eval_expr_in ctx env fe with
-             | Value.Null -> []
-             | v ->
-                 let el = X.make (X.Element (X.qname n)) in
-                 X.set_children el (xml_content v);
-                 [ el ])
-           fields)
+      xml_value ~streaming:ctx.xml_streaming (fun sink ->
+          List.iter
+            (fun (n, fe) ->
+              match eval_expr_in ctx env fe with
+              | Value.Null -> ()
+              | v ->
+                  sink.E.emit (E.Start_element (X.qname n));
+                  emit_content sink v;
+                  sink.E.emit E.End_element)
+            fields)
   | Xml_concat es ->
-      Value.Xml
-        (List.concat_map
-           (fun e -> match eval_expr_in ctx env e with Value.Null -> [] | v -> xml_content v)
-           es)
-  | Xml_text e -> (
-      match eval_expr_in ctx env e with
-      | Value.Null -> Value.Xml []
-      | v -> Value.Xml [ X.make (X.Text (Value.to_string v)) ])
-  | Xml_comment e -> Value.Xml [ X.make (X.Comment (Value.to_string (eval_expr_in ctx env e))) ]
-  | Xml_pi (t, e) -> Value.Xml [ X.make (X.Pi (t, Value.to_string (eval_expr_in ctx env e))) ]
+      xml_value ~streaming:ctx.xml_streaming (fun sink ->
+          List.iter (fun e -> emit_content sink (eval_expr_in ctx env e)) es)
+  | Xml_text e ->
+      xml_value ~streaming:ctx.xml_streaming (fun sink ->
+          match eval_expr_in ctx env e with
+          | Value.Null -> ()
+          | v -> sink.E.emit (E.Text (Value.to_string v)))
+  | Xml_comment e ->
+      xml_value ~streaming:ctx.xml_streaming (fun sink ->
+          sink.E.emit (E.Comment (Value.to_string (eval_expr_in ctx env e))))
+  | Xml_pi (t, e) ->
+      xml_value ~streaming:ctx.xml_streaming (fun sink ->
+          sink.E.emit (E.Pi (t, Value.to_string (eval_expr_in ctx env e))))
   | Scalar_subquery p -> (
       match run_in ctx ~outer:env p with
       | [] -> Value.Null
@@ -427,11 +456,8 @@ and eval_agg_group ctx outer group_by aggs members key =
                   in
                   List.map snd (List.stable_sort cmp decorated)
               in
-              Value.Xml
-                (List.concat_map
-                   (fun r ->
-                     match eval_expr_in ctx r e with Value.Null -> [] | v -> xml_content v)
-                   members)
+              xml_value ~streaming:ctx.xml_streaming (fun sink ->
+                  List.iter (fun r -> emit_content sink (eval_expr_in ctx r e)) members)
           | String_agg (e, sep) ->
               Value.Str
                 (String.concat sep
@@ -462,7 +488,12 @@ type cursor = unit -> Value.t array array option
     once per outer row). *)
 type compiled = { c_layout : Layout.t; c_open : Value.t array -> cursor }
 
-type cctx = { cdb : Database.t; cstats : Stats.t option; cbatch : int }
+type cctx = {
+  cdb : Database.t;
+  cstats : Stats.t option;
+  cbatch : int;
+  cxml_streaming : bool;
+}
 
 let resolve_slot lay alias name =
   match Layout.slot_opt lay ?alias name with
@@ -591,46 +622,52 @@ let rec cexpr ctx (lay : Layout.t) (e : expr) : Value.t array -> Value.t =
       let qn = X.qname name in
       let attrs = List.map (fun (an, ae) -> (X.qname an, cexpr ctx lay ae)) attrs in
       let kids = List.map (cexpr ctx lay) kids in
+      let streaming = ctx.cxml_streaming in
       fun r ->
-        let el = X.make (X.Element qn) in
-        List.iter
-          (fun (aq, af) ->
-            match af r with
-            | Value.Null -> ()
-            | v -> X.add_attribute el (X.make (X.Attribute (aq, Value.to_string v))))
-          attrs;
-        X.set_children el (List.concat_map (fun kf -> xml_content (kf r)) kids);
-        Value.Xml [ el ]
+        xml_value ~streaming (fun sink ->
+            sink.E.emit (E.Start_element qn);
+            List.iter
+              (fun (aq, af) ->
+                match af r with
+                | Value.Null -> ()
+                | v -> sink.E.emit (E.Attr (aq, Value.to_string v)))
+              attrs;
+            List.iter (fun kf -> emit_content sink (kf r)) kids;
+            sink.E.emit E.End_element)
   | Xml_forest fields ->
       let fields = List.map (fun (n, fe) -> (X.qname n, cexpr ctx lay fe)) fields in
+      let streaming = ctx.cxml_streaming in
       fun r ->
-        Value.Xml
-          (List.concat_map
-             (fun (qn, ff) ->
-               match ff r with
-               | Value.Null -> []
-               | v ->
-                   let el = X.make (X.Element qn) in
-                   X.set_children el (xml_content v);
-                   [ el ])
-             fields)
+        xml_value ~streaming (fun sink ->
+            List.iter
+              (fun (qn, ff) ->
+                match ff r with
+                | Value.Null -> ()
+                | v ->
+                    sink.E.emit (E.Start_element qn);
+                    emit_content sink v;
+                    sink.E.emit E.End_element)
+              fields)
   | Xml_concat es ->
       let fs = List.map (cexpr ctx lay) es in
-      fun r ->
-        Value.Xml
-          (List.concat_map (fun f -> match f r with Value.Null -> [] | v -> xml_content v) fs)
+      let streaming = ctx.cxml_streaming in
+      fun r -> xml_value ~streaming (fun sink -> List.iter (fun f -> emit_content sink (f r)) fs)
   | Xml_text e ->
       let f = cexpr ctx lay e in
+      let streaming = ctx.cxml_streaming in
       fun r ->
-        (match f r with
-        | Value.Null -> Value.Xml []
-        | v -> Value.Xml [ X.make (X.Text (Value.to_string v)) ])
+        xml_value ~streaming (fun sink ->
+            match f r with
+            | Value.Null -> ()
+            | v -> sink.E.emit (E.Text (Value.to_string v)))
   | Xml_comment e ->
       let f = cexpr ctx lay e in
-      fun r -> Value.Xml [ X.make (X.Comment (Value.to_string (f r))) ]
+      let streaming = ctx.cxml_streaming in
+      fun r -> xml_value ~streaming (fun sink -> sink.E.emit (E.Comment (Value.to_string (f r))))
   | Xml_pi (t, e) ->
       let f = cexpr ctx lay e in
-      fun r -> Value.Xml [ X.make (X.Pi (t, Value.to_string (f r))) ]
+      let streaming = ctx.cxml_streaming in
+      fun r -> xml_value ~streaming (fun sink -> sink.E.emit (E.Pi (t, Value.to_string (f r))))
   | Scalar_subquery p ->
       let cp = cplan ctx lay p in
       let first =
@@ -798,8 +835,8 @@ and cagg ctx lay (a : agg) : Value.t array list -> Value.t =
             Array.stable_sort (fun (ka, _) (kb, _) -> sort_cmp_keys kfs ka kb) dec;
             Array.to_list (Array.map snd dec)
         in
-        Value.Xml
-          (List.concat_map (fun r -> match f r with Value.Null -> [] | v -> xml_content v) ms)
+        xml_value ~streaming:ctx.cxml_streaming (fun sink ->
+            List.iter (fun r -> emit_content sink (f r)) ms)
   | String_agg (e, sep) ->
       let f = cexpr ctx lay e in
       fun ms ->
@@ -1072,23 +1109,27 @@ and cplan ctx (outer_lay : Layout.t) (p : plan) : compiled =
 (* ------------------------------------------------------------------ *)
 
 let eval_expr db (env : row) (e : expr) : Value.t =
-  eval_expr_in { db; stats = None } env e
+  eval_expr_in { db; stats = None; xml_streaming = false } env e
 
 (** Reference (interpreted) executor — the original assoc-row semantics. *)
-let run_interpreted db ?(outer = []) (p : plan) : row list =
-  run_in { db; stats = None } ~outer p
+let run_interpreted db ?(outer = []) ?(xml_streaming = false) (p : plan) : row list =
+  run_in { db; stats = None; xml_streaming } ~outer p
 
 let run_interpreted_analyzed db ?(outer = []) (p : plan) : row list * Stats.t =
   let stats = Stats.create p in
-  let rows = run_in { db; stats = Some stats } ~outer p in
+  let rows = run_in { db; stats = Some stats; xml_streaming = false } ~outer p in
   (rows, stats)
 
 (** [compile db plan] — the plan-open pass: resolve every column
     reference to a slot, compile expressions to closures, build batch
-    cursors.  @raise Exec_error for unresolvable or ambiguous columns. *)
-let compile db ?stats ?(outer = Layout.empty) ?(batch_size = default_batch_size) (p : plan) :
-    compiled =
-  cplan { cdb = db; cstats = stats; cbatch = max 1 batch_size } outer p
+    cursors.  [xml_streaming] makes XML constructors produce
+    [Value.Xml_stream] (events on demand) instead of node trees.
+    @raise Exec_error for unresolvable or ambiguous columns. *)
+let compile db ?stats ?(outer = Layout.empty) ?(batch_size = default_batch_size)
+    ?(xml_streaming = false) (p : plan) : compiled =
+  cplan
+    { cdb = db; cstats = stats; cbatch = max 1 batch_size; cxml_streaming = xml_streaming }
+    outer p
 
 let compiled_layout (c : compiled) = c.c_layout
 
@@ -1096,14 +1137,14 @@ let open_cursor (c : compiled) ?(outer = [||]) () : cursor = c.c_open outer
 
 (** [run_arrays db plan] — compiled execution to physical rows plus their
     layout; the allocation-light entry point for hot paths. *)
-let run_arrays db ?batch_size (p : plan) : Layout.t * Value.t array list =
-  let c = compile db ?batch_size p in
+let run_arrays db ?batch_size ?xml_streaming (p : plan) : Layout.t * Value.t array list =
+  let c = compile db ?batch_size ?xml_streaming p in
   (c.c_layout, drain_cursor (c.c_open [||]))
 
-let run_arrays_analyzed db ?batch_size (p : plan) :
+let run_arrays_analyzed db ?batch_size ?xml_streaming (p : plan) :
     (Layout.t * Value.t array list) * Stats.t =
   let stats = Stats.create p in
-  let c = compile db ~stats ?batch_size p in
+  let c = compile db ~stats ?batch_size ?xml_streaming p in
   ((c.c_layout, drain_cursor (c.c_open [||])), stats)
 
 (* an externally supplied assoc environment becomes a physical outer row *)

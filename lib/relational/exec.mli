@@ -18,11 +18,17 @@ type row = (string * Value.t) list
 exception Exec_error of string
 
 val bool_of_value : Value.t -> bool
-(** SQL truthiness: NULL/0/NaN/""/empty-XML are false. *)
+(** SQL truthiness: NULL/0/NaN/""/empty-XML are false.  Streamed XMLType
+    values probe their producer for a first event. *)
 
 val xml_content : Value.t -> Xdb_xml.Types.node list
-(** SQL/XML content conversion: XML values are deep-copied, scalars become
-    text nodes, NULL vanishes. *)
+(** SQL/XML content conversion: XML values are deep-copied (streamed ones
+    materialized), scalars become text nodes, NULL vanishes. *)
+
+val emit_content : Xdb_xml.Events.sink -> Value.t -> unit
+(** The streamed image of {!xml_content}: replay a value as output events
+    (XML forests replay node by node, scalars emit one text event, NULL
+    emits nothing). *)
 
 val eval_expr : Database.t -> row -> Algebra.expr -> Value.t
 (** Evaluate a scalar/XML expression against a row environment, resolving
@@ -51,11 +57,15 @@ val compile :
   ?stats:Stats.t ->
   ?outer:Layout.t ->
   ?batch_size:int ->
+  ?xml_streaming:bool ->
   Algebra.plan ->
   compiled
 (** Resolve every column reference (including inside CASE branches and
     correlated subqueries) against the operator layouts; compile
-    expressions to closures; build batch cursors.
+    expressions to closures; build batch cursors.  [xml_streaming]
+    (default false) makes XML constructors produce [Value.Xml_stream]
+    event producers instead of materialized node trees — same bytes on
+    serialization, no per-row DOM.
     @raise Exec_error at plan-open time for unknown or ambiguous
     columns, listing the columns that are available. *)
 
@@ -65,12 +75,21 @@ val compiled_layout : compiled -> Layout.t
 val open_cursor : compiled -> ?outer:Value.t array -> unit -> cursor
 (** Open one execution over the physical outer row (default empty). *)
 
-val run_arrays : Database.t -> ?batch_size:int -> Algebra.plan -> Layout.t * Value.t array list
+val run_arrays :
+  Database.t ->
+  ?batch_size:int ->
+  ?xml_streaming:bool ->
+  Algebra.plan ->
+  Layout.t * Value.t array list
 (** Compiled execution to physical rows plus their layout — the
     allocation-light entry point for hot paths. *)
 
 val run_arrays_analyzed :
-  Database.t -> ?batch_size:int -> Algebra.plan -> (Layout.t * Value.t array list) * Stats.t
+  Database.t ->
+  ?batch_size:int ->
+  ?xml_streaming:bool ->
+  Algebra.plan ->
+  (Layout.t * Value.t array list) * Stats.t
 (** {!run_arrays} with per-operator instrumentation. *)
 
 (** {1 Assoc-row entry points (compiled underneath)} *)
@@ -91,7 +110,8 @@ val run_column : Database.t -> ?outer:row -> Algebra.plan -> Value.t list
 
 (** {1 Interpreted reference executor} *)
 
-val run_interpreted : Database.t -> ?outer:row -> Algebra.plan -> row list
+val run_interpreted :
+  Database.t -> ?outer:row -> ?xml_streaming:bool -> Algebra.plan -> row list
 (** The original assoc-row executor: names resolved per row with
     [List.assoc], one row at a time.  Reference semantics for
     differential tests and the [execscale] benchmark baseline. *)

@@ -15,6 +15,7 @@
       to map path steps to columns and nested scans (paper Tables 7/11). *)
 
 module X = Xdb_xml.Types
+module E = Xdb_xml.Events
 module S = Xdb_schema.Types
 
 type spec =
@@ -49,89 +50,101 @@ let err fmt = Printf.ksprintf (fun m -> raise (Publish_error m)) fmt
 (* Materialisation                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let rec materialize_spec db (env : Exec.row) spec : X.node list =
+(* detail rows an [Agg] iterates for one outer row: probe a B-tree on a
+   correlation column when one exists (what the RDBMS does when evaluating
+   the view), fall back to a scan; then residual correlations, the WHERE
+   predicate and ORDER BY *)
+let agg_rows db (env : Exec.row) ~table ~alias ~correlate ~where ~order_by : Exec.row list =
+  let tbl = Database.table db table in
+  let indexed_correlation =
+    List.find_map
+      (fun (inner_col, outer_col) ->
+        match Table.find_index tbl inner_col with
+        | Some idx -> Some (idx, inner_col, outer_col)
+        | None -> None)
+      correlate
+  in
+  let rows =
+    match indexed_correlation with
+    | Some (idx, _, outer_col) ->
+        let key =
+          match List.assoc_opt outer_col env with
+          | Some v -> v
+          | None -> err "correlation column missing (outer %s)" outer_col
+        in
+        List.map
+          (fun rid -> Exec.scan_bindings tbl alias (Table.row tbl rid))
+          (Btree.find idx.Table.tree key)
+    | None ->
+        List.rev (Table.fold (fun acc _ r -> Exec.scan_bindings tbl alias r :: acc) [] tbl)
+  in
+  let rows =
+    List.filter
+      (fun irow ->
+        List.for_all
+          (fun (inner_col, outer_col) ->
+            match (List.assoc_opt inner_col irow, List.assoc_opt outer_col env) with
+            | Some iv, Some ov -> Value.equal_sql iv ov
+            | _ -> err "correlation column missing (%s = outer %s)" inner_col outer_col)
+          correlate)
+      rows
+  in
+  let rows =
+    match where with
+    | None -> rows
+    | Some cond ->
+        List.filter (fun irow -> Exec.bool_of_value (Exec.eval_expr db (irow @ env) cond)) rows
+  in
+  if order_by = [] then rows
+  else
+    let key r = List.map (fun (c, d) -> (List.assoc c r, d)) order_by in
+    List.stable_sort
+      (fun a b ->
+        let rec go = function
+          | [] -> 0
+          | ((va, d), (vb, _)) :: rest -> (
+              let c = Value.compare_key va vb in
+              let c = match d with Algebra.Asc -> c | Algebra.Desc -> -c in
+              match c with 0 -> go rest | c -> c)
+        in
+        go (List.combine (key a) (key b)))
+      rows
+
+(** [emit_spec db env spec sink] — the publishing spec as an event stream:
+    the single construction path.  Feeding a serializing sink publishes
+    with no intermediate tree; feeding a tree builder is exactly
+    {!materialize_spec}. *)
+let rec emit_spec db (env : Exec.row) spec (sink : E.sink) : unit =
   match spec with
-  | Text_const s -> [ X.make (X.Text s) ]
+  | Text_const s -> sink.E.emit (E.Text s)
   | Text_col c -> (
       match List.assoc_opt c env with
       | None -> err "publishing spec references unknown column %s" c
-      | Some Value.Null -> []
-      | Some v -> [ X.make (X.Text (Value.to_string v)) ])
+      | Some Value.Null -> ()
+      | Some v -> sink.E.emit (E.Text (Value.to_string v)))
   | Text_expr e -> (
       match Exec.eval_expr db env e with
-      | Value.Null -> []
-      | v -> [ X.make (X.Text (Value.to_string v)) ])
+      | Value.Null -> ()
+      | v -> sink.E.emit (E.Text (Value.to_string v)))
   | Elem { name; attrs; content } ->
-      let el = X.make (X.Element (X.qname name)) in
+      sink.E.emit (E.Start_element (X.qname name));
       List.iter
         (fun (an, ae) ->
           match Exec.eval_expr db env ae with
           | Value.Null -> ()
-          | v -> X.add_attribute el (X.make (X.Attribute (X.qname an, Value.to_string v))))
+          | v -> sink.E.emit (E.Attr (X.qname an, Value.to_string v)))
         attrs;
-      X.set_children el (List.concat_map (fun c -> materialize_spec db env c) content);
-      [ el ]
+      List.iter (fun c -> emit_spec db env c sink) content;
+      sink.E.emit E.End_element
   | Agg { table; alias; correlate; where; order_by; body } ->
-      let tbl = Database.table db table in
-      (* correlated detail access: probe a B-tree on a correlation column
-         when one exists (what the RDBMS does when evaluating the view),
-         fall back to a scan + filter *)
-      let indexed_correlation =
-        List.find_map
-          (fun (inner_col, outer_col) ->
-            match Table.find_index tbl inner_col with
-            | Some idx -> Some (idx, inner_col, outer_col)
-            | None -> None)
-          correlate
-      in
-      let rows =
-        match indexed_correlation with
-        | Some (idx, _, outer_col) ->
-            let key =
-              match List.assoc_opt outer_col env with
-              | Some v -> v
-              | None -> err "correlation column missing (outer %s)" outer_col
-            in
-            List.map
-              (fun rid -> Exec.scan_bindings tbl alias (Table.row tbl rid))
-              (Btree.find idx.Table.tree key)
-        | None ->
-            List.rev (Table.fold (fun acc _ r -> Exec.scan_bindings tbl alias r :: acc) [] tbl)
-      in
-      let rows =
-        List.filter
-          (fun irow ->
-            List.for_all
-              (fun (inner_col, outer_col) ->
-                match (List.assoc_opt inner_col irow, List.assoc_opt outer_col env) with
-                | Some iv, Some ov -> Value.equal_sql iv ov
-                | _ -> err "correlation column missing (%s = outer %s)" inner_col outer_col)
-              correlate)
-          rows
-      in
-      let rows =
-        match where with
-        | None -> rows
-        | Some cond ->
-            List.filter (fun irow -> Exec.bool_of_value (Exec.eval_expr db (irow @ env) cond)) rows
-      in
-      let rows =
-        if order_by = [] then rows
-        else
-          let key r = List.map (fun (c, d) -> (List.assoc c r, d)) order_by in
-          List.stable_sort
-            (fun a b ->
-              let rec go = function
-                | [] -> 0
-                | ((va, d), (vb, _)) :: rest -> (
-                    let c = Value.compare_key va vb in
-                    let c = match d with Algebra.Asc -> c | Algebra.Desc -> -c in
-                    match c with 0 -> go rest | c -> c)
-              in
-              go (List.combine (key a) (key b)))
-            rows
-      in
-      List.concat_map (fun irow -> materialize_spec db (irow @ env) body) rows
+      List.iter
+        (fun irow -> emit_spec db (irow @ env) body sink)
+        (agg_rows db env ~table ~alias ~correlate ~where ~order_by)
+
+let materialize_spec db (env : Exec.row) spec : X.node list =
+  let b = E.tree_builder () in
+  emit_spec db env spec (E.builder_sink b);
+  E.builder_result b
 
 (** [materialize db view] — one XML document (as a document node) per base
     table row, in table order.  This is the input the functional XSLT
@@ -146,6 +159,23 @@ let materialize db view =
       List.iter (X.append_child doc) nodes;
       X.reindex doc;
       doc :: acc)
+    [] tbl
+  |> List.rev
+
+(** [materialize_serialized db view] — the documents of {!materialize} as
+    serialized strings, one per base row, streaming spec events straight
+    into a reused buffer: no tree is ever built. *)
+let materialize_serialized db ?(meth = E.Xml) ?(indent = false) view : string list =
+  let tbl = Database.table db view.base_table in
+  let buf = Buffer.create 1024 in
+  Table.fold
+    (fun acc _ r ->
+      let env = Exec.scan_bindings tbl view.base_alias r in
+      Buffer.clear buf;
+      let sink = E.serializing_sink ~meth ~indent buf in
+      emit_spec db env view.spec sink;
+      sink.E.finish ();
+      Buffer.contents buf :: acc)
     [] tbl
   |> List.rev
 
@@ -225,10 +255,20 @@ let scalar_column = function
 (* Catalog of views                                                    *)
 (* ------------------------------------------------------------------ *)
 
-type catalog = { db : Database.t; mutable views : view list }
+type catalog = {
+  db : Database.t;
+  by_name : (string, view) Hashtbl.t;
+  mutable rev_order : view list;  (** registration order, newest first *)
+}
 
-let create_catalog db = { db; views = [] }
+let create_catalog db = { db; by_name = Hashtbl.create 8; rev_order = [] }
 
-let register cat view = cat.views <- cat.views @ [ view ]
+let register cat view =
+  if Hashtbl.mem cat.by_name view.view_name then
+    err "view %s is already registered" view.view_name;
+  Hashtbl.add cat.by_name view.view_name view;
+  cat.rev_order <- view :: cat.rev_order
 
-let find_view cat name = List.find_opt (fun v -> String.equal v.view_name name) cat.views
+let find_view cat name = Hashtbl.find_opt cat.by_name name
+let catalog_views cat = List.rev cat.rev_order
+let catalog_db cat = cat.db

@@ -32,14 +32,29 @@ type view = {
 
 exception Publish_error of string
 
+val emit_spec :
+  Database.t -> Exec.row -> spec -> Xdb_xml.Events.sink -> unit
+(** Evaluate a spec against a row environment as a stream of output
+    events — the single construction path.  Correlated [Agg] scans probe
+    a B-tree on a correlation column when one exists. *)
+
 val materialize_spec :
   Database.t -> Exec.row -> spec -> Xdb_xml.Types.node list
-(** Evaluate a spec against a row environment.  Correlated [Agg] scans
-    probe a B-tree on a correlation column when one exists. *)
+(** {!emit_spec} drained through the tree builder. *)
 
 val materialize : Database.t -> view -> Xdb_xml.Types.node list
 (** One XML document (a document node) per base-table row, in table
     order — the input of the functional (no-rewrite) evaluation. *)
+
+val materialize_serialized :
+  Database.t ->
+  ?meth:Xdb_xml.Events.output_method ->
+  ?indent:bool ->
+  view ->
+  string list
+(** The documents of {!materialize}, already serialized: spec events
+    stream into a reused buffer, one string per base row, no
+    intermediate tree.  Defaults: [meth = Xml], [indent = false]. *)
 
 val to_schema : view -> Xdb_schema.Types.t
 (** Structural information of the published documents: scalar content has
@@ -60,8 +75,19 @@ val scalar_column : spec -> string option
 
 (** Catalog of views alongside a database: *)
 
-type catalog = { db : Database.t; mutable views : view list }
+type catalog
 
 val create_catalog : Database.t -> catalog
+
 val register : catalog -> view -> unit
+(** Register a view under its name (O(1)).
+    @raise Publish_error if a view of that name is already registered —
+    evolution replaces views through {!Xdb_core.Registry}, not by silent
+    shadowing here. *)
+
 val find_view : catalog -> string -> view option
+
+val catalog_views : catalog -> view list
+(** All registered views, in registration order. *)
+
+val catalog_db : catalog -> Database.t

@@ -4,6 +4,7 @@
     sequence of top-level nodes) are first-class, as in SQL/XML. *)
 
 module X = Xdb_xml.Types
+module E = Xdb_xml.Events
 
 type t =
   | Null
@@ -11,6 +12,7 @@ type t =
   | Float of float
   | Str of string
   | Xml of X.node list
+  | Xml_stream of (E.sink -> unit)
 
 type column_type = Tint | Tfloat | Tstr | Txml
 
@@ -21,7 +23,7 @@ let value_type_name = function
   | Int _ -> "INT"
   | Float _ -> "FLOAT"
   | Str _ -> "VARCHAR"
-  | Xml _ -> "XMLTYPE"
+  | Xml _ | Xml_stream _ -> "XMLTYPE"
 
 exception Type_error of string
 
@@ -51,12 +53,20 @@ let float_to_string f =
   else if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%.12g" f
 
+(** Materialize a streamed XMLType into nodes (for paths that need a DOM,
+    e.g. casting back into XPath context). *)
+let stream_to_nodes produce =
+  let b = E.tree_builder () in
+  produce (E.builder_sink b);
+  E.builder_result b
+
 let to_string = function
   | Null -> ""
   | Int i -> string_of_int i
   | Float f -> float_to_string f
   | Str s -> s
   | Xml nodes -> Xdb_xml.Serializer.node_list_to_string nodes
+  | Xml_stream produce -> E.to_string produce
 
 let is_null = function Null -> true | _ -> false
 
@@ -70,11 +80,17 @@ let compare_sql a b : int option =
   | Str x, Str y -> Some (compare x y)
   | Str _, (Int _ | Float _) | (Int _ | Float _), Str _ ->
       Some (compare (to_float a) (to_float b))
-  | Xml _, _ | _, Xml _ -> terr "XMLTYPE values are not comparable"
+  | (Xml _ | Xml_stream _), _ | _, (Xml _ | Xml_stream _) ->
+      terr "XMLTYPE values are not comparable"
 
 (** Total order for B-tree keys: NULLs sort first, numerics before strings. *)
 let compare_key a b =
-  let rank = function Null -> 0 | Int _ | Float _ -> 1 | Str _ -> 2 | Xml _ -> 3 in
+  let rank = function
+    | Null -> 0
+    | Int _ | Float _ -> 1
+    | Str _ -> 2
+    | Xml _ | Xml_stream _ -> 3
+  in
   match (a, b) with
   | Null, Null -> 0
   | Int x, Int y -> compare x y
@@ -91,3 +107,4 @@ let show = function
   | Float f -> string_of_float f
   | Str s -> "'" ^ s ^ "'"
   | Xml nodes -> Xdb_xml.Serializer.node_list_to_string nodes
+  | Xml_stream produce -> E.to_string produce

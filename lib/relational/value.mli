@@ -7,6 +7,10 @@ type t =
   | Float of float
   | Str of string
   | Xml of Xdb_xml.Types.node list
+  | Xml_stream of (Xdb_xml.Events.sink -> unit)
+      (** streamed XMLType: a producer that replays the forest as output
+          events on demand — no DOM is ever built unless the consumer
+          asks for one via {!stream_to_nodes} *)
 
 type column_type = Tint | Tfloat | Tstr | Txml
 
@@ -22,6 +26,9 @@ val to_float : t -> float
 
 val float_to_string : float -> string
 (** Float → string matching XPath 1.0 [string(number)]. *)
+
+val stream_to_nodes : (Xdb_xml.Events.sink -> unit) -> Xdb_xml.Types.node list
+(** Materialize a streamed XMLType producer into a node forest. *)
 
 val to_string : t -> string
 (** SQL→text conversion; floats print in XPath number format so SQL results

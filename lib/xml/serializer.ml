@@ -1,129 +1,20 @@
 (** Serialization of node trees: XML, HTML and text output methods
-    (mirroring the XSLT 1.0 [xsl:output method] values). *)
+    (mirroring the XSLT 1.0 [xsl:output method] values).
 
-open Types
+    A thin DOM→event adapter: trees replay through {!Events.emit_tree}
+    into the shared serializing sink, so the DOM path and the streaming
+    path share one emit core byte for byte. *)
 
-type output_method = Xml | Html | Text_output
+type output_method = Events.output_method = Xml | Html | Text_output
 
-(* escaping copies runs of clean characters into the output buffer with
-   [Buffer.add_substring] and only switches to entity references at the
-   characters that need them — no intermediate strings, no per-character
-   closure *)
-let escape_text buf s =
-  let n = String.length s in
-  let start = ref 0 in
-  for i = 0 to n - 1 do
-    match String.unsafe_get s i with
-    | '<' | '>' | '&' ->
-        if i > !start then Buffer.add_substring buf s !start (i - !start);
-        start := i + 1;
-        Buffer.add_string buf
-          (match String.unsafe_get s i with
-          | '<' -> "&lt;"
-          | '>' -> "&gt;"
-          | _ -> "&amp;")
-    | _ -> ()
-  done;
-  if n > !start then Buffer.add_substring buf s !start (n - !start)
-
-(* whitespace becomes character references so a re-parse's attribute-value
-   normalization (XML §3.3.3) cannot fold it into spaces *)
-let escape_attr buf s =
-  let n = String.length s in
-  let start = ref 0 in
-  for i = 0 to n - 1 do
-    match String.unsafe_get s i with
-    | '<' | '&' | '"' | '\t' | '\n' | '\r' ->
-        if i > !start then Buffer.add_substring buf s !start (i - !start);
-        start := i + 1;
-        Buffer.add_string buf
-          (match String.unsafe_get s i with
-          | '<' -> "&lt;"
-          | '&' -> "&amp;"
-          | '"' -> "&quot;"
-          | '\t' -> "&#9;"
-          | '\n' -> "&#10;"
-          | _ -> "&#13;")
-    | _ -> ()
-  done;
-  if n > !start then Buffer.add_substring buf s !start (n - !start)
-
-(* HTML void elements: no closing tag, no self-closing slash. *)
-let html_void = [ "br"; "hr"; "img"; "input"; "meta"; "link"; "area"; "base"; "col"; "embed" ]
-
-let is_html_void name = List.mem (String.lowercase_ascii name) html_void
-
-(* [base] is where this node's output starts in the (shared) buffer, so
-   indentation can tell "first thing this node emits" from "first thing in
-   the buffer" when several nodes serialize into one buffer *)
-let rec emit ~meth ~indent ~depth ~base buf n =
-  let pad () =
-    if indent then (
-      if Buffer.length buf > base then Buffer.add_char buf '\n';
-      Buffer.add_string buf (String.make (2 * depth) ' '))
-  in
-  match n.kind with
-  | Document -> List.iter (emit ~meth ~indent ~depth ~base buf) n.children
-  | Text s -> ( match meth with Text_output -> Buffer.add_string buf s | _ -> escape_text buf s)
-  | Comment s ->
-      if meth <> Text_output then (
-        pad ();
-        Buffer.add_string buf "<!--";
-        Buffer.add_string buf s;
-        Buffer.add_string buf "-->")
-  | Pi (t, d) ->
-      if meth <> Text_output then (
-        pad ();
-        Buffer.add_string buf "<?";
-        Buffer.add_string buf t;
-        if d <> "" then (
-          Buffer.add_char buf ' ';
-          Buffer.add_string buf d);
-        Buffer.add_string buf "?>")
-  | Attribute (q, v) ->
-      Buffer.add_char buf ' ';
-      Buffer.add_string buf (string_of_qname q);
-      Buffer.add_string buf "=\"";
-      escape_attr buf v;
-      Buffer.add_char buf '"'
-  | Element q ->
-      if meth = Text_output then List.iter (emit ~meth ~indent ~depth ~base buf) n.children
-      else (
-        pad ();
-        Buffer.add_char buf '<';
-        Buffer.add_string buf (string_of_qname q);
-        List.iter (emit ~meth ~indent ~depth ~base buf) n.attributes;
-        let name = string_of_qname q in
-        if n.children = [] then
-          match meth with
-          | Html when is_html_void q.local -> Buffer.add_char buf '>'
-          | Html ->
-              Buffer.add_string buf "></";
-              Buffer.add_string buf name;
-              Buffer.add_char buf '>'
-          | Xml | Text_output -> Buffer.add_string buf "/>"
-        else (
-          Buffer.add_char buf '>';
-          let kids_are_elements = List.for_all (fun c -> not (is_text c)) n.children in
-          List.iter
-            (emit ~meth ~indent:(indent && kids_are_elements) ~depth:(depth + 1) ~base buf)
-            n.children;
-          if indent && kids_are_elements then (
-            Buffer.add_char buf '\n';
-            Buffer.add_string buf (String.make (2 * depth) ' '));
-          Buffer.add_string buf "</";
-          Buffer.add_string buf name;
-          Buffer.add_char buf '>'))
+let escape_text = Events.escape_text
+let escape_attr = Events.escape_attr
 
 (** [to_string ?meth ?indent n] serializes the subtree at [n]. *)
 let to_string ?(meth = Xml) ?(indent = false) n =
-  let buf = Buffer.create 256 in
-  emit ~meth ~indent ~depth:0 ~base:0 buf n;
-  Buffer.contents buf
+  Events.to_string ~meth ~indent (fun sink -> Events.emit_tree sink n)
 
 (** [node_list_to_string nodes] serializes a flat sequence of nodes into
     one shared buffer (each node indents relative to its own start). *)
 let node_list_to_string ?(meth = Xml) ?(indent = false) nodes =
-  let buf = Buffer.create 256 in
-  List.iter (fun n -> emit ~meth ~indent ~depth:0 ~base:(Buffer.length buf) buf n) nodes;
-  Buffer.contents buf
+  Events.to_string ~meth ~indent (fun sink -> Events.emit_forest sink nodes)

@@ -1,7 +1,14 @@
 (** Serialization of node trees: XML, HTML and text output methods
-    (mirroring the XSLT 1.0 [xsl:output method] values). *)
+    (mirroring the XSLT 1.0 [xsl:output method] values).
 
-type output_method =
+    A thin adapter over {!Events}: trees replay as output events into the
+    shared serializing sink, so DOM serialization and the streaming
+    output path produce byte-identical markup.  Ill-formed content
+    (comments containing ["--"], PI data containing ["?>"]) raises
+    {!Events.Serialize_error} instead of emitting markup that cannot
+    re-parse. *)
+
+type output_method = Events.output_method =
   | Xml  (** escaped markup, self-closing empty elements *)
   | Html  (** void elements without [/>], otherwise like XML *)
   | Text_output  (** text nodes only, unescaped *)
@@ -15,8 +22,10 @@ val escape_attr : Buffer.t -> string -> unit
 
 val to_string : ?meth:output_method -> ?indent:bool -> Types.node -> string
 (** [to_string n] serializes the subtree at [n]. [indent] pretty-prints
-    element-only content (text-bearing content is never re-indented). *)
+    element-only content (text-bearing content is never re-indented).
+    @raise Events.Serialize_error for ill-formed comment/PI content. *)
 
 val node_list_to_string :
   ?meth:output_method -> ?indent:bool -> Types.node list -> string
-(** Serialize a flat sequence of nodes (e.g. a result fragment's children). *)
+(** Serialize a flat sequence of nodes (e.g. a result fragment's children).
+    @raise Events.Serialize_error for ill-formed comment/PI content. *)

@@ -7,6 +7,7 @@
     same variables. *)
 
 module X = Xdb_xml.Types
+module E = Xdb_xml.Events
 module XP = Xdb_xpath.Ast
 module XE = Xdb_xpath.Eval
 open Ast
@@ -46,39 +47,46 @@ let xpath_ctx env node =
 (* Construction helpers                                                *)
 (* ------------------------------------------------------------------ *)
 
+(* sequence → content events into a tree builder (XQuery content semantics):
+   nodes are deep-copied and adopted; adjacent atoms join with " " into one
+   text event.  Node copies go through [builder_add_node] rather than an
+   event replay so document-node items keep their exact shape. *)
+let build_content (b : E.builder) (v : Value.t) : unit =
+  let flush pending =
+    if pending <> [] then E.builder_emit b (E.Text (String.concat " " (List.rev pending)))
+  in
+  let rec go pending = function
+    | [] -> flush pending
+    | Value.Atom a :: rest -> go (Value.atom_string a :: pending) rest
+    | Value.Node n :: rest ->
+        flush pending;
+        E.builder_add_node b (X.deep_copy n);
+        go [] rest
+  in
+  go [] v
+
 (* sequence → content node list: copy nodes; adjacent atoms join with " " *)
 let content_nodes (v : Value.t) : X.node list =
-  let rec go acc pending_atoms = function
-    | [] ->
-        let acc =
-          if pending_atoms = [] then acc
-          else X.make (X.Text (String.concat " " (List.rev pending_atoms))) :: acc
-        in
-        List.rev acc
-    | Value.Atom a :: rest -> go acc (Value.atom_string a :: pending_atoms) rest
-    | Value.Node n :: rest ->
-        let acc =
-          if pending_atoms = [] then acc
-          else X.make (X.Text (String.concat " " (List.rev pending_atoms))) :: acc
-        in
-        go (X.deep_copy n :: acc) [] rest
-  in
-  go [] [] v
+  let b = E.tree_builder () in
+  build_content b v;
+  E.builder_result b
 
-(* attach content to a constructed element: leading attribute nodes become
-   attributes, the rest become children (batched — construction stays linear) *)
-let attach el nodes =
-  let kids = ref [] in
-  List.iter
-    (fun n ->
-      match n.X.kind with
-      | X.Attribute _ ->
-          if !kids <> [] || el.X.children <> [] then
-            err "attribute node constructed after non-attribute content"
-          else X.add_attribute el n
-      | _ -> kids := n :: !kids)
-    nodes;
-  if !kids <> [] then X.set_children el (el.X.children @ List.rev !kids)
+(* run builder events for one constructed element, translating the event
+   core's attribute-placement error into XQuery's wording *)
+let build_element (f : E.builder -> unit) : X.node =
+  let b = E.tree_builder () in
+  (try f b
+   with E.Serialize_error _ -> err "attribute node constructed after non-attribute content");
+  match E.builder_result b with
+  | [ n ] -> n
+  | _ -> err "element constructor produced no single node"
+
+(* single-event constructors (attribute / text / comment) share the same
+   construction path *)
+let constructed_node ev =
+  let b = E.tree_builder () in
+  E.builder_emit b ev;
+  match E.builder_result b with [ n ] -> n | _ -> assert false
 
 (* ------------------------------------------------------------------ *)
 (* Expression evaluation                                               *)
@@ -131,33 +139,45 @@ let rec eval (env : env) (e : expr) : Value.t =
           eval env' f.body)
   | Flwor (clauses, return_) -> eval_flwor env clauses return_
   | Direct_elem (name, attrs, content) ->
-      let el = X.make (X.Element (X.qname name)) in
-      List.iter
-        (fun (an, pieces) ->
-          let v =
-            String.concat ""
-              (List.map
-                 (function
-                   | Attr_str s -> s
-                   | Attr_expr e ->
-                       String.concat " " (List.map Value.item_string (eval env e)))
-                 pieces)
-          in
-          X.add_attribute el (X.make (X.Attribute (X.qname an, v))))
-        attrs;
-      List.iter (fun ce -> attach el (content_nodes (eval env ce))) content;
+      let el =
+        build_element (fun b ->
+            E.builder_emit b (E.Start_element (X.qname name));
+            List.iter
+              (fun (an, pieces) ->
+                let v =
+                  String.concat ""
+                    (List.map
+                       (function
+                         | Attr_str s -> s
+                         | Attr_expr e ->
+                             String.concat " " (List.map Value.item_string (eval env e)))
+                       pieces)
+                in
+                E.builder_emit b (E.Attr (X.qname an, v)))
+              attrs;
+            List.iter (fun ce -> build_content b (eval env ce)) content;
+            E.builder_emit b E.End_element)
+      in
       [ Value.Node el ]
   | Comp_elem (name_e, content_e) ->
       let name = Value.string_value (eval env name_e) in
-      let el = X.make (X.Element (X.qname name)) in
-      attach el (content_nodes (eval env content_e));
+      let el =
+        build_element (fun b ->
+            E.builder_emit b (E.Start_element (X.qname name));
+            build_content b (eval env content_e);
+            E.builder_emit b E.End_element)
+      in
       [ Value.Node el ]
   | Comp_attr (name, e) ->
       let v = String.concat " " (List.map Value.item_string (eval env e)) in
-      [ Value.Node (X.make (X.Attribute (X.qname name, v))) ]
+      [ Value.Node (constructed_node (E.Attr (X.qname name, v))) ]
   | Comp_text e ->
-      [ Value.Node (X.make (X.Text (String.concat " " (List.map Value.item_string (eval env e))))) ]
-  | Comp_comment e -> [ Value.Node (X.make (X.Comment (Value.string_value (eval env e)))) ]
+      [
+        Value.Node
+          (constructed_node (E.Text (String.concat " " (List.map Value.item_string (eval env e)))));
+      ]
+  | Comp_comment e ->
+      [ Value.Node (constructed_node (E.Comment (Value.string_value (eval env e)))) ]
   | Quantified { every; var; source; satisfies } ->
       let items = eval env source in
       let holds item = Value.boolean_value (eval (bind env var [ item ]) satisfies) in
@@ -387,3 +407,27 @@ let run (p : prog) ~context : Value.t =
 (** [run_to_nodes prog ~context] — result as a constructed node forest
     (atoms become text nodes), the shape XMLQuery RETURNING CONTENT gives. *)
 let run_to_nodes p ~context = content_nodes (run p ~context)
+
+(** [emit_result sink v] — a top-level result sequence as output events:
+    atoms join with spaces into text events, nodes replay in place (no
+    copy — the streamed image of {!content_nodes}). *)
+let emit_result (sink : E.sink) (v : Value.t) : unit =
+  let flush pending =
+    if pending <> [] then sink.E.emit (E.Text (String.concat " " (List.rev pending)))
+  in
+  let rec go pending = function
+    | [] -> flush pending
+    | Value.Atom a :: rest -> go (Value.atom_string a :: pending) rest
+    | Value.Node n :: rest ->
+        flush pending;
+        E.emit_tree sink n;
+        go [] rest
+  in
+  go [] v
+
+(** [run_serialized prog ~context] — evaluate and serialize in one pass:
+    result nodes stream into the buffer without the copy
+    {!run_to_nodes} makes.  Byte-identical to serializing
+    [run_to_nodes]. *)
+let run_serialized ?(meth = E.Xml) ?(indent = false) (p : prog) ~context : string =
+  E.to_string ~meth ~indent (fun sink -> emit_result sink (run p ~context))

@@ -35,3 +35,18 @@ val run : Ast.prog -> context:Xdb_xml.Types.node -> Value.t
 val run_to_nodes : Ast.prog -> context:Xdb_xml.Types.node -> Xdb_xml.Types.node list
 (** [run] followed by {!content_nodes} — the shape
     [XMLQuery(... RETURNING CONTENT)] yields. *)
+
+val emit_result : Xdb_xml.Events.sink -> Value.t -> unit
+(** A top-level result sequence as output events: atoms space-join into
+    text events, nodes replay in place without copying — the streamed
+    image of {!content_nodes}. *)
+
+val run_serialized :
+  ?meth:Xdb_xml.Events.output_method ->
+  ?indent:bool ->
+  Ast.prog ->
+  context:Xdb_xml.Types.node ->
+  string
+(** Evaluate and serialize in one pass (no result-tree copy);
+    byte-identical to serializing {!run_to_nodes}.  Defaults:
+    [meth = Xml], [indent = false]. *)

@@ -7,6 +7,7 @@
     template instantiation events — the input of the partial evaluator. *)
 
 module X = Xdb_xml.Types
+module E = Xdb_xml.Events
 module XP = Xdb_xpath.Ast
 module XV = Xdb_xpath.Value
 module XE = Xdb_xpath.Eval
@@ -27,13 +28,11 @@ type trace_event =
 
 type trace_sink = trace_event -> unit
 
-(** Output frame: children accumulate in reverse and are attached to
-    [target] when the frame closes — keeps result construction linear. *)
-type out_frame = { target : X.node; mutable rev_children : X.node list }
-
 type state = {
   prog : program;
-  mutable output_stack : out_frame list;  (** innermost constructed parent first *)
+  mutable builders : E.builder list;
+      (** result-construction stack, innermost fragment first; every op
+          emits output events into the head builder *)
   trace : trace_sink option;
   mutable messages : string list;
   mutable recursion : int;
@@ -45,43 +44,29 @@ let max_recursion = 2000
 (* Output construction                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let out_frame st =
-  match st.output_stack with f :: _ -> f | [] -> err "no output context"
+(* XSLT result-tree semantics as builder options: adjacent text merges
+   (empty text vanishes) and attributes at fragment top level are dropped
+   per the XSLT error-recovery rule *)
+let result_builder () = E.tree_builder ~merge_text:true ~drop_top_attrs:true ()
 
-let push_frame st target = st.output_stack <- { target; rev_children = [] } :: st.output_stack
+let cur_builder st = match st.builders with b :: _ -> b | [] -> err "no output context"
 
-let pop_frame st =
-  match st.output_stack with
-  | f :: rest ->
-      st.output_stack <- rest;
-      X.set_children f.target (List.rev f.rev_children);
-      f.target
-  | [] -> err "no output context"
+let b_emit st ev =
+  try E.builder_emit (cur_builder st) ev with E.Serialize_error m -> err "%s" m
 
-let emit_node st n =
-  let frame = out_frame st in
-  match n.X.kind with
-  | X.Attribute _ ->
-      if X.is_element frame.target && frame.rev_children = [] then
-        X.add_attribute frame.target n
-      else if X.is_element frame.target then err "attribute added after children"
-      else () (* attribute at fragment top level: dropped, per XSLT recovery *)
-  | _ -> frame.rev_children <- n :: frame.rev_children
+(* existing (copied) nodes are adopted, not replayed: text copied as a node
+   stays a separate node, only text *events* merge — the out_frame rules *)
+let b_add st n = try E.builder_add_node (cur_builder st) n with E.Serialize_error m -> err "%s" m
 
-let emit_text st s =
-  if s <> "" then
-    let frame = out_frame st in
-    match frame.rev_children with
-    | { X.kind = X.Text t; _ } :: rest ->
-        (* merge with the preceding text node *)
-        frame.rev_children <- X.make (X.Text (t ^ s)) :: rest
-    | _ -> frame.rev_children <- X.make (X.Text s) :: frame.rev_children
+let emit_text st s = b_emit st (E.Text s)
 
 let with_fragment st f =
-  let frag = X.make X.Document in
-  push_frame st frag;
+  let b = result_builder () in
+  st.builders <- b :: st.builders;
   f ();
-  ignore (pop_frame st);
+  st.builders <- List.tl st.builders;
+  let frag = X.make X.Document in
+  X.set_children frag (E.builder_result b);
   frag
 
 (* ------------------------------------------------------------------ *)
@@ -234,53 +219,45 @@ and exec_op_binding st ctx op : ctx option =
           List.iter
             (fun n ->
               match n.X.kind with
-              | X.Document -> List.iter (fun c -> emit_node st (X.deep_copy c)) n.X.children
-              | _ -> emit_node st (X.deep_copy n))
+              | X.Document -> List.iter (fun c -> b_add st (X.deep_copy c)) n.X.children
+              | _ -> b_add st (X.deep_copy n))
             ns
       | v -> emit_text st (XV.string_value v));
       None
   | O_copy body ->
       (match ctx.node.X.kind with
       | X.Element q ->
-          let el = X.make (X.Element q) in
-          emit_node st el;
-          push_frame st el;
+          b_emit st (E.Start_element q);
           exec_ops_with_vars st ctx body;
-          ignore (pop_frame st)
+          b_emit st E.End_element
       | X.Document -> exec_ops_with_vars st ctx body
       | X.Text s -> emit_text st s
-      | X.Comment c -> emit_node st (X.make (X.Comment c))
-      | X.Pi (t, d) -> emit_node st (X.make (X.Pi (t, d)))
-      | X.Attribute (q, v) -> emit_node st (X.make (X.Attribute (q, v))));
+      | X.Comment c -> b_emit st (E.Comment c)
+      | X.Pi (t, d) -> b_emit st (E.Pi (t, d))
+      | X.Attribute (q, v) -> b_emit st (E.Attr (q, v)));
       None
   | O_literal_elem (name, attrs, body) ->
-      let el = X.make (X.Element (X.qname name)) in
-      List.iter
-        (fun (an, avt) -> X.add_attribute el (X.make (X.Attribute (X.qname an, eval_avt ctx avt))))
-        attrs;
-      emit_node st el;
-      push_frame st el;
+      b_emit st (E.Start_element (X.qname name));
+      List.iter (fun (an, avt) -> b_emit st (E.Attr (X.qname an, eval_avt ctx avt))) attrs;
       exec_ops_with_vars st ctx body;
-      ignore (pop_frame st);
+      b_emit st E.End_element;
       None
   | O_elem (name_avt, body) ->
-      let el = X.make (X.Element (X.qname (eval_avt ctx name_avt))) in
-      emit_node st el;
-      push_frame st el;
+      b_emit st (E.Start_element (X.qname (eval_avt ctx name_avt)));
       exec_ops_with_vars st ctx body;
-      ignore (pop_frame st);
+      b_emit st E.End_element;
       None
   | O_attr (name_avt, body) ->
       let frag = with_fragment st (fun () -> exec_ops_with_vars st ctx body) in
-      emit_node st (X.make (X.Attribute (X.qname (eval_avt ctx name_avt), X.string_value frag)));
+      b_emit st (E.Attr (X.qname (eval_avt ctx name_avt), X.string_value frag));
       None
   | O_comment body ->
       let frag = with_fragment st (fun () -> exec_ops_with_vars st ctx body) in
-      emit_node st (X.make (X.Comment (X.string_value frag)));
+      b_emit st (E.Comment (X.string_value frag));
       None
   | O_pi (target_avt, body) ->
       let frag = with_fragment st (fun () -> exec_ops_with_vars st ctx body) in
-      emit_node st (X.make (X.Pi (eval_avt ctx target_avt, X.string_value frag)));
+      b_emit st (E.Pi (eval_avt ctx target_avt, X.string_value frag));
       None
   | O_if (test, body) ->
       if XV.boolean_value (eval_xpath ctx test) then exec_ops_with_vars st ctx body;
@@ -477,7 +454,7 @@ let key_extension ?(conservative = false) (prog : program) (root : X.node) : XE.
 
 (** [transform ?trace prog doc] — result fragment (a document node). *)
 let transform ?trace (prog : program) (doc : X.node) : X.node =
-  let st = { prog; output_stack = []; trace; messages = []; recursion = 0 } in
+  let st = { prog; builders = []; trace; messages = []; recursion = 0 } in
   let doc = Strip.apply prog.space doc in
   let root = X.root_of doc in
   let base_ctx =
@@ -495,17 +472,19 @@ let transform ?trace (prog : program) (doc : X.node) : X.node =
     }
   in
   (* global variables *)
-  let st0 = { st with output_stack = [ { target = X.make X.Document; rev_children = [] } ] } in
+  let st0 = { st with builders = [ result_builder () ] } in
   let vars =
     List.fold_left
       (fun vars (n, v) -> Smap.add n (eval_cvalue st0 { base_ctx with vars } v) vars)
       Smap.empty prog.globals
   in
   let ctx = { base_ctx with vars } in
-  let frag = X.make X.Document in
-  push_frame st frag;
+  let b = result_builder () in
+  st.builders <- [ b ];
   apply_one st ctx ~site:None root [];
-  ignore (pop_frame st);
+  st.builders <- [];
+  let frag = X.make X.Document in
+  X.set_children frag (E.builder_result b);
   X.reindex frag;
   frag
 

@@ -535,6 +535,35 @@ let test_schema_evolution_registry () =
   | exception Xdb_core.Registry.Registry_error _ -> ()
   | _ -> Alcotest.fail "unknown view must raise"
 
+let test_evolution_vs_catalog_duplicates () =
+  (* schema evolution replaces a view by re-registering it through the
+     registry; the publishing catalog itself never silently shadows — a
+     second register of the same name raises Publish_error *)
+  let db, view = setup_example1 () in
+  let cat = P.create_catalog db in
+  P.register cat view;
+  (match P.register cat view with
+  | exception P.Publish_error _ -> ()
+  | () -> Alcotest.fail "catalog must reject duplicate view names");
+  let reg = Xdb_core.Registry.create db in
+  Xdb_core.Registry.register_view reg view;
+  let out1 =
+    Xdb_core.Registry.run reg ~view_name:"dept_emp" ~stylesheet:example1_stylesheet
+  in
+  let evolved =
+    match view.P.spec with
+    | P.Elem ({ content = dname :: _loc :: rest; _ } as e) ->
+        { view with P.spec = P.Elem { e with content = dname :: rest } }
+    | _ -> Alcotest.fail "unexpected spec shape"
+  in
+  (* registry re-registration is the evolution path: replaces, no error *)
+  Xdb_core.Registry.register_view reg evolved;
+  let out2 =
+    Xdb_core.Registry.run reg ~view_name:"dept_emp" ~stylesheet:example1_stylesheet
+  in
+  check ci "recompiled on evolution" 2 (Xdb_core.Registry.recompilations reg);
+  check cb "evolved output differs" true (out1 <> out2)
+
 let test_registry_counters () =
   (* one recompilation — and exactly one — after schema evolution, with
      hit/miss/stale accounting to match *)
@@ -712,6 +741,8 @@ let () =
           Alcotest.test_case "Example 2 combined optimisation" `Quick test_example2_combined;
           Alcotest.test_case "explain" `Quick test_explain_sections;
           Alcotest.test_case "schema evolution registry (§7.3)" `Quick test_schema_evolution_registry;
+          Alcotest.test_case "evolution vs catalog duplicates" `Quick
+            test_evolution_vs_catalog_duplicates;
           Alcotest.test_case "registry cache counters" `Quick test_registry_counters;
           Alcotest.test_case "registry stats invalidation (ANALYZE)" `Quick
             test_registry_stats_invalidation;

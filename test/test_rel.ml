@@ -950,6 +950,32 @@ let test_materialize_index_probe_consistency () =
   let with_idx = List.map Xdb_xml.Serializer.to_string (P.materialize db dept_view) in
   check cb "index-probe materialisation identical" true (without = with_idx)
 
+let test_materialize_serialized () =
+  (* streaming the spec straight into a buffer matches tree-then-serialize *)
+  let db = setup_db () in
+  let dom = List.map Xdb_xml.Serializer.to_string (P.materialize db dept_view) in
+  let streamed = P.materialize_serialized db dept_view in
+  check Alcotest.(list string) "streamed = DOM" dom streamed
+
+let test_catalog_register () =
+  let db = setup_db () in
+  let cat = P.create_catalog db in
+  P.register cat dept_view;
+  check cb "registered view found" true (P.find_view cat "dept_emp" <> None);
+  check cb "unknown view absent" true (P.find_view cat "nope" = None);
+  (* duplicate names are rejected, not silently shadowed *)
+  (match P.register cat { dept_view with P.column = "other" } with
+  | exception P.Publish_error _ -> ()
+  | () -> Alcotest.fail "duplicate registration must raise Publish_error");
+  (* the rejected duplicate neither replaced nor doubled the entry *)
+  check cs "original view intact" "dept_content"
+    (Option.get (P.find_view cat "dept_emp")).P.column;
+  check ci "one view listed" 1 (List.length (P.catalog_views cat));
+  let second = { dept_view with P.view_name = "dept_emp2" } in
+  P.register cat second;
+  check Alcotest.(list string) "registration order preserved" [ "dept_emp"; "dept_emp2" ]
+    (List.map (fun v -> v.P.view_name) (P.catalog_views cat))
+
 let test_clob_roundtrip () =
   let db = setup_db () in
   let docs =
@@ -1155,6 +1181,8 @@ let () =
           Alcotest.test_case "derived schema" `Quick test_view_schema;
           Alcotest.test_case "spec navigation" `Quick test_spec_navigation;
           Alcotest.test_case "index-probe consistency" `Quick test_materialize_index_probe_consistency;
+          Alcotest.test_case "streamed serialization" `Quick test_materialize_serialized;
+          Alcotest.test_case "catalog registration" `Quick test_catalog_register;
         ] );
       ( "storage",
         [

@@ -4,6 +4,7 @@ module T = Xdb_xml.Types
 module P = Xdb_xml.Parser
 module S = Xdb_xml.Serializer
 module B = Xdb_xml.Builder
+module E = Xdb_xml.Events
 
 let check = Alcotest.check
 let cs = Alcotest.string
@@ -186,6 +187,65 @@ let test_attr_value_normalization () =
   check cs "char refs survive" "x\ty\nz" (Option.get (T.attribute el "k"))
 
 (* ------------------------------------------------------------------ *)
+(* output events                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_events_streaming () =
+  let out =
+    E.to_string (fun sink ->
+        sink.E.emit (E.Start_element (T.qname "a"));
+        sink.E.emit (E.Attr (T.qname "k", "v<w"));
+        sink.E.emit (E.Text "x&y");
+        sink.E.emit (E.Start_element (T.qname "b"));
+        sink.E.emit E.End_element;
+        sink.E.emit E.End_element)
+  in
+  check cs "streamed markup" "<a k=\"v&lt;w\">x&amp;y<b/></a>" out
+
+let test_events_ill_formed () =
+  let raises f = match f () with exception E.Serialize_error _ -> true | _ -> false in
+  check cb "comment with --" true
+    (raises (fun () -> E.to_string (fun s -> s.E.emit (E.Comment "a--b"))));
+  check cb "comment trailing -" true
+    (raises (fun () -> E.to_string (fun s -> s.E.emit (E.Comment "ab-"))));
+  check cb "pi data with ?>" true
+    (raises (fun () -> E.to_string (fun s -> s.E.emit (E.Pi ("t", "a?>b")))));
+  check cb "unbalanced end" true (raises (fun () -> E.to_string (fun s -> s.E.emit E.End_element)));
+  check cb "unclosed element" true
+    (raises (fun () -> E.to_string (fun s -> s.E.emit (E.Start_element (T.qname "a")))));
+  check cb "attr after content" true
+    (raises (fun () ->
+         E.to_string (fun s ->
+             s.E.emit (E.Start_element (T.qname "a"));
+             s.E.emit (E.Text "x");
+             s.E.emit (E.Attr (T.qname "k", "v")))));
+  (* the DOM serializer routes through the same checks *)
+  check cb "dom comment --" true (raises (fun () -> S.to_string (T.make (T.Comment "x--y"))));
+  check cb "dom pi ?>" true (raises (fun () -> S.to_string (T.make (T.Pi ("t", "d?>e")))))
+
+let test_events_wellformed_reparse () =
+  (* valid comments/PIs (single hyphens, no "?>") serialize and re-parse *)
+  let el =
+    B.elem "a" [ T.make (T.Comment "note - ok"); T.make (T.Pi ("t", "d-a-t-a")); B.text "x" ]
+  in
+  let src = S.to_string el in
+  check cs "stable reparse" src (S.to_string (parse_root src))
+
+let test_html_void_elements () =
+  List.iter
+    (fun n ->
+      check cs (n ^ " is void") ("<" ^ n ^ ">") (S.to_string ~meth:S.Html (B.elem n []));
+      check cb (n ^ " in void list") true (E.is_html_void n))
+    [ "br"; "hr"; "img"; "input"; "source"; "track"; "wbr"; "param" ];
+  List.iter
+    (fun n ->
+      check cs (n ^ " not void")
+        ("<" ^ n ^ "></" ^ n ^ ">")
+        (S.to_string ~meth:S.Html (B.elem n []));
+      check cb (n ^ " not in void list") false (E.is_html_void n))
+    [ "div"; "span"; "video"; "audio" ]
+
+(* ------------------------------------------------------------------ *)
 (* property tests                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -254,6 +314,40 @@ let prop_string_value_stable =
       let src = S.to_string tree in
       String.equal (T.string_value tree) (T.string_value (parse_root src)))
 
+(* the serializing sink must agree byte-for-byte with building a DOM from
+   the same events and serializing that, for every method × indent *)
+let arb_tree_mode =
+  QCheck.pair arb_tree
+    (QCheck.make
+       (QCheck.Gen.oneofl [ (E.Xml, false); (E.Xml, true); (E.Html, false); (E.Html, true) ]))
+
+let prop_sink_equals_dom =
+  QCheck.Test.make ~name:"serializing sink = DOM-then-serialize" ~count:200 arb_tree_mode
+    (fun (tree, (meth, indent)) ->
+      let streamed = E.to_string ~meth ~indent (fun sink -> E.emit_tree sink tree) in
+      let b = E.tree_builder () in
+      E.emit_tree (E.builder_sink b) tree;
+      let dom = S.node_list_to_string ~meth ~indent (E.builder_result b) in
+      String.equal streamed dom)
+
+(* whatever the sink accepts must re-parse; ill-formed comment/PI content
+   must instead raise Serialize_error (never emit broken markup) *)
+let prop_output_reparses =
+  QCheck.Test.make ~name:"accepted output always re-parses" ~count:200
+    QCheck.(
+      pair arb_tree (pair (oneofl [ "ok"; "a-b"; "a--b"; "ab-"; "-"; ""; "x?" ]) (oneofl [ "d"; "a?>b"; "?"; "" ])))
+    (fun (tree, (cdata, pdata)) ->
+      match
+        E.to_string (fun sink ->
+            sink.E.emit (E.Start_element (T.qname "r"));
+            E.emit_tree sink tree;
+            sink.E.emit (E.Comment cdata);
+            sink.E.emit (E.Pi ("t", pdata));
+            sink.E.emit E.End_element)
+      with
+      | out -> ( match P.parse out with _ -> true | exception P.Parse_error _ -> false)
+      | exception E.Serialize_error _ -> true)
+
 (* fuzz: arbitrary bytes must either parse or raise Parse_error — nothing
    else (no assertion failures, no stack overflows on small inputs) *)
 let prop_parser_total =
@@ -308,9 +402,22 @@ let () =
           Alcotest.test_case "attr whitespace escaping" `Quick test_attr_whitespace_escaping;
           Alcotest.test_case "attr value normalization" `Quick test_attr_value_normalization;
         ] );
+      ( "events",
+        [
+          Alcotest.test_case "streaming sink" `Quick test_events_streaming;
+          Alcotest.test_case "ill-formed events rejected" `Quick test_events_ill_formed;
+          Alcotest.test_case "well-formed comment/pi reparse" `Quick test_events_wellformed_reparse;
+          Alcotest.test_case "html void elements" `Quick test_html_void_elements;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_roundtrip; prop_deep_copy_equal; prop_string_value_stable ] );
+          [
+            prop_roundtrip;
+            prop_deep_copy_equal;
+            prop_string_value_stable;
+            prop_sink_equals_dom;
+            prop_output_reparses;
+          ] );
       ( "fuzz",
         List.map QCheck_alcotest.to_alcotest [ prop_parser_total; prop_parser_mutation ] );
     ]

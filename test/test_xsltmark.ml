@@ -51,6 +51,28 @@ let db_case (c : M.case) () =
   check Alcotest.(list string) "functional = rewrite (DB)" f r;
   check cb "SQL plan produced" true (comp.PL.sql_plan <> None)
 
+(* golden streaming differential: result construction through output
+   events must be byte-identical to the DOM path on every case — the
+   XQuery serializer for all cases, and the SQL/XML rewrite with
+   streaming on vs off for the db-capable ones *)
+let streaming_case (c : M.case) () =
+  let c = if c.M.name = "dbonerow" then M.dbonerow_for size else c in
+  let doc = M.doc_for c size in
+  let dc = PL.compile_for_document c.M.stylesheet ~example_doc:doc in
+  let q = dc.PL.d_translation.GEN.query in
+  let dom =
+    Xdb_xml.Serializer.node_list_to_string (Xdb_xquery.Eval.run_to_nodes q ~context:doc)
+  in
+  let streamed = Xdb_xquery.Eval.run_serialized q ~context:doc in
+  check cs "streamed XQuery = DOM XQuery" dom streamed;
+  if c.M.db_capable then begin
+    let dv = M.dbview_for c size in
+    let comp = PL.compile dv.D.db dv.D.view c.M.stylesheet in
+    let off = PL.run_rewrite ~streaming:false dv.D.db comp in
+    let on = PL.run_rewrite ~streaming:true dv.D.db comp in
+    check Alcotest.(list string) "rewrite streaming on = off" off on
+  end
+
 let inline_statistic () =
   let inline =
     List.filter
@@ -203,6 +225,10 @@ let () =
           (fun (c : M.case) ->
             if c.M.db_capable then Some (Alcotest.test_case c.M.name `Quick (db_case c))
             else None)
+          all );
+      ( "streaming-golden",
+        List.map
+          (fun (c : M.case) -> Alcotest.test_case c.M.name `Quick (streaming_case c))
           all );
       ("statistics", [ Alcotest.test_case "23/40 inline" `Quick inline_statistic ]);
       ( "properties",
