@@ -14,6 +14,9 @@
     - [pubstream]   — DOM vs streamed output events on publishing and the
                       SQL/XML rewrite, wall time and GC allocation
                       (BENCH_PR4.json);
+    - [parscale]    — domain-parallel rewrite execution at 1/2/4 domains,
+                      many-documents sharding, byte-identity asserted
+                      (BENCH_PR5.json);
     - [micro]       — Bechamel micro-benchmarks of the pipeline stages
                       (one [Test.make] per reproduced figure leg).
 
@@ -633,6 +636,94 @@ let pubstream ?(sizes = [ 8_000; 64_000 ]) () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* parscale: domain-parallel transform execution (BENCH_PR5)           *)
+(* ------------------------------------------------------------------ *)
+
+(* Every db-capable case, sharded into ~100-row documents (the paper's
+   many-documents-in-an-XMLType-column scenario), run through the SQL/XML
+   rewrite path with 1, 2 and 4 domains.  Byte-identity against the
+   sequential run is asserted on every leg — correctness holds at any
+   core count — then wall time (median of 3) per leg and per-size totals
+   land in BENCH_PR5.json.  CI gates the 4-domain 64k-row total at
+   >= 1.5x, skipped when the machine has fewer than 4 cores (a pool can
+   only oversubscribe there). *)
+let parscale ?(sizes = [ 8_000; 64_000 ]) ?(jobs_list = [ 1; 2; 4 ]) () =
+  let nproc = Xdb_core.Parallel.default_jobs () in
+  Printf.printf "%s\nparscale: domain-parallel rewrite execution (recommended domains: %d)\n%s\n"
+    hrule nproc hrule;
+  Printf.printf "%8s %10s %6s %5s %12s %8s %10s\n" "rows" "case" "docs" "jobs" "time(ms)"
+    "speedup" "identical";
+  let legs = ref [] and csv_rows = ref [] in
+  let summaries =
+    List.map
+      (fun n ->
+        let docs = max 4 (n / 100) in
+        let totals = List.map (fun j -> (j, ref 0.0)) jobs_list in
+        List.iter
+          (fun name ->
+            let case = Option.get (M.find name) in
+            let case = if name = "dbonerow" then M.dbonerow_for n else case in
+            let dv = M.dbview_for ~docs case n in
+            let comp = PL.compile dv.D.db dv.D.view case.M.stylesheet in
+            assert (comp.PL.sql_plan <> None);
+            let partitionable = PL.partition_table comp <> None in
+            let seq = PL.run_rewrite dv.D.db comp in
+            let base_ms = ref 0.0 in
+            List.iter
+              (fun jobs ->
+                Xdb_core.Parallel.with_pool ~jobs (fun pool ->
+                    let out = PL.run_rewrite_parallel ~pool dv.D.db comp in
+                    let identical = out = seq in
+                    assert identical;
+                    let ms =
+                      time_ms (fun () -> ignore (PL.run_rewrite_parallel ~pool dv.D.db comp))
+                    in
+                    if jobs = List.hd jobs_list then base_ms := ms;
+                    let tot = List.assoc jobs totals in
+                    tot := !tot +. ms;
+                    let speedup = !base_ms /. ms in
+                    Printf.printf "%8d %10s %6d %5d %12.3f %7.2fx %10b\n" n name docs jobs ms
+                      speedup identical;
+                    legs :=
+                      Printf.sprintf
+                        {|{"rows":%d,"case":"%s","docs":%d,"jobs":%d,"ms":%.4f,"speedup":%.3f,"identical":%b,"partitionable":%b}|}
+                        n name docs jobs ms speedup identical partitionable
+                      :: !legs;
+                    csv_rows :=
+                      Printf.sprintf "%d,%s,%d,%d,%.4f,%.3f,%b,%b" n name docs jobs ms speedup
+                        identical partitionable
+                      :: !csv_rows))
+              jobs_list)
+          [ "dbonerow"; "avts"; "chart"; "metric"; "total" ];
+        let base_total = !(List.assoc (List.hd jobs_list) totals) in
+        let jobs_json =
+          String.concat ","
+            (List.map
+               (fun (j, tot) ->
+                 Printf.sprintf {|{"jobs":%d,"total_ms":%.4f,"speedup":%.3f}|} j !tot
+                   (base_total /. !tot))
+               totals)
+        in
+        List.iter
+          (fun (j, tot) ->
+            Printf.printf "%8d %10s %6d %5d %12.3f %7.2fx\n" n "TOTAL" docs j !tot
+              (base_total /. !tot))
+          totals;
+        Printf.sprintf {|{"rows":%d,"docs":%d,"jobs":[%s]}|} n docs jobs_json)
+      sizes
+  in
+  csv_out "parscale.csv" "rows,case,docs,jobs,ms,speedup,identical,partitionable"
+    (List.rev !csv_rows);
+  let oc = open_out "BENCH_PR5.json" in
+  Printf.fprintf oc
+    "{\"bench\":\"BENCH_PR5\",\"nproc\":%d,\"legs\":[\n  %s\n],\"summary\":[\n  %s\n]}\n" nproc
+    (String.concat ",\n  " (List.rev !legs))
+    (String.concat ",\n  " summaries);
+  close_out oc;
+  print_endline "(written BENCH_PR5.json)";
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -699,6 +790,7 @@ let () =
   if run "planquality" then planquality ();
   if run "execscale" then execscale ();
   if run "pubstream" then pubstream ();
+  if run "parscale" then parscale ();
   if run "ablation" then ablation ();
   if run "storage" then storage ();
   if run "partial" then partial_inline ();

@@ -31,42 +31,155 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 (* ------------------------------------------------------------------ *)
+(* Shared run options (transform / explain / publish)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* one flag set, one record, identical semantics in every subcommand *)
+let run_options_term =
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the pipeline metrics record (per-stage timings and counters) as JSON.")
+  in
+  let stream =
+    Arg.(
+      value & flag
+      & info [ "stream" ]
+          ~doc:
+            "Stream XML result construction through output events straight into the output \
+             buffer (no intermediate DOM).  Output is byte-identical either way.")
+  in
+  let interpreted =
+    Arg.(
+      value & flag
+      & info [ "interpreted" ]
+          ~doc:
+            "Use the reference paths: the functional VM evaluation for transforms, the \
+             interpreted assoc-row executor for $(b,--explain-analyze) (per-operator \
+             actual-row counts are identical; timings differ).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Number of domains for parallel execution (default 1 = sequential).  The base \
+             table is partitioned into row ranges executed concurrently; output is \
+             byte-identical to the sequential run.")
+  in
+  let mk metrics stream interpreted jobs =
+    {
+      Xdb_core.Engine.streaming = stream;
+      jobs = max 1 jobs;
+      collect_metrics = metrics;
+      interpreted;
+    }
+  in
+  Term.(const mk $ metrics $ stream $ interpreted $ jobs)
+
+(* run [f], rendering facade errors as one line instead of a backtrace *)
+let with_engine_errors f =
+  try f () with
+  | Xdb_core.Xdb_error.Error e ->
+      Printf.eprintf "xdb: %s\n" (Xdb_core.Xdb_error.to_string e);
+      exit 1
+
+let print_metrics = function
+  | None -> ()
+  | Some m ->
+      print_endline "-- pipeline metrics:";
+      print_endline (Xdb_core.Metrics.to_json m)
+
+(* resolve a db-capable built-in case to an engine + registered view *)
+let engine_for_case name size =
+  match Xdb_xsltmark.Cases.find name with
+  | None ->
+      Printf.eprintf "unknown case %S (see `xdb_cli cases`)\n" name;
+      exit 2
+  | Some case ->
+      let case =
+        if case.Xdb_xsltmark.Cases.name = "dbonerow" then Xdb_xsltmark.Cases.dbonerow_for size
+        else case
+      in
+      if not case.Xdb_xsltmark.Cases.db_capable then None
+      else (
+        let dv = Xdb_xsltmark.Cases.dbview_for case size in
+        let engine = Xdb_core.Engine.create dv.Xdb_xsltmark.Data.db in
+        Xdb_core.Engine.register_view engine dv.Xdb_xsltmark.Data.view;
+        Some
+          ( engine,
+            dv.Xdb_xsltmark.Data.view.Xdb_rel.Publish.view_name,
+            case.Xdb_xsltmark.Cases.stylesheet,
+            case ))
+
+(* ------------------------------------------------------------------ *)
 (* transform                                                           *)
 (* ------------------------------------------------------------------ *)
 
 let transform_cmd =
-  let stylesheet = Arg.(required & pos 0 (some file) None & info [] ~docv:"STYLESHEET") in
-  let document = Arg.(required & pos 1 (some file) None & info [] ~docv:"DOCUMENT") in
+  let stylesheet = Arg.(value & pos 0 (some file) None & info [] ~docv:"STYLESHEET") in
+  let document = Arg.(value & pos 1 (some file) None & info [] ~docv:"DOCUMENT") in
   let mode =
     Arg.(
       value
       & opt (enum [ ("vm", `Vm); ("xquery", `Xquery); ("both", `Both) ]) `Vm
-      & info [ "m"; "mode" ] ~doc:"Evaluation mode: vm (functional), xquery (rewrite), both")
+      & info [ "m"; "mode" ] ~doc:"File mode evaluation: vm (functional), xquery (rewrite), both")
   in
-  let run stylesheet document mode =
-    let ss_text = read_file stylesheet in
-    let doc = Xdb_xml.Parser.parse (read_file document) in
-    match mode with
-    | `Vm ->
-        let frag = Xdb_xslt.Vm.run_stylesheet ss_text doc in
-        print_endline (Xdb_xml.Serializer.node_list_to_string frag.Xdb_xml.Types.children)
-    | `Xquery ->
-        let dc = Xdb_core.Pipeline.compile_for_document ss_text ~example_doc:doc in
-        print_endline (Xdb_core.Pipeline.transform_via_xquery dc doc)
-    | `Both ->
-        let dc = Xdb_core.Pipeline.compile_for_document ss_text ~example_doc:doc in
-        let f = Xdb_core.Pipeline.transform_functional dc doc in
-        let x = Xdb_core.Pipeline.transform_via_xquery dc doc in
-        print_endline f;
-        if f = x then prerr_endline "(rewrite output identical)"
-        else (
-          prerr_endline "!! rewrite output DIFFERS:";
-          print_endline x;
-          exit 1)
+  let case =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "case" ] ~docv:"CASE"
+          ~doc:
+            "Transform a built-in db-capable benchmark case through the engine instead of a \
+             stylesheet/document file pair ($(b,--metrics)/$(b,--stream)/\
+             $(b,--interpreted)/$(b,--jobs) apply).")
+  in
+  let size = Arg.(value & opt int 100 & info [ "n"; "size" ] ~doc:"Workload size (rows), with --case") in
+  let run verbose stylesheet document mode case size opts =
+    setup_logs verbose;
+    match case with
+    | Some name ->
+        with_engine_errors (fun () ->
+            match engine_for_case name size with
+            | None ->
+                Printf.eprintf "case %S has no database form\n" name;
+                exit 2
+            | Some (engine, view_name, stylesheet, _) ->
+                let r = Xdb_core.Engine.transform ~options:opts engine ~view_name ~stylesheet in
+                List.iter print_endline r.Xdb_core.Engine.output;
+                print_metrics r.Xdb_core.Engine.metrics;
+                Xdb_core.Engine.shutdown engine)
+    | None -> (
+        match (stylesheet, document) with
+        | Some stylesheet, Some document ->
+            let ss_text = read_file stylesheet in
+            let doc = Xdb_xml.Parser.parse (read_file document) in
+            (match mode with
+            | `Vm ->
+                let frag = Xdb_xslt.Vm.run_stylesheet ss_text doc in
+                print_endline (Xdb_xml.Serializer.node_list_to_string frag.Xdb_xml.Types.children)
+            | `Xquery ->
+                let dc = Xdb_core.Pipeline.compile_for_document ss_text ~example_doc:doc in
+                print_endline (Xdb_core.Pipeline.transform_via_xquery dc doc)
+            | `Both ->
+                let dc = Xdb_core.Pipeline.compile_for_document ss_text ~example_doc:doc in
+                let f = Xdb_core.Pipeline.transform_functional dc doc in
+                let x = Xdb_core.Pipeline.transform_via_xquery dc doc in
+                print_endline f;
+                if f = x then prerr_endline "(rewrite output identical)"
+                else (
+                  prerr_endline "!! rewrite output DIFFERS:";
+                  print_endline x;
+                  exit 1))
+        | _ ->
+            prerr_endline "transform: provide STYLESHEET DOCUMENT files, or --case NAME";
+            exit 2)
   in
   Cmd.v
-    (Cmd.info "transform" ~doc:"Apply an XSLT stylesheet to a document")
-    Term.(const run $ stylesheet $ document $ mode)
+    (Cmd.info "transform" ~doc:"Apply an XSLT stylesheet to a document or a built-in case")
+    Term.(const run $ verbose $ stylesheet $ document $ mode $ case $ size $ run_options_term)
 
 (* ------------------------------------------------------------------ *)
 (* translate                                                           *)
@@ -129,13 +242,9 @@ let explain_cmd =
       & info [ "explain-analyze" ]
           ~doc:
             "Execute the SQL/XML plan with instrumentation and print estimated vs actual rows, \
-             loops, B-tree probes and wall time per operator.")
-  in
-  let metrics_flag =
-    Arg.(
-      value & flag
-      & info [ "metrics" ]
-          ~doc:"Print the pipeline metrics record (per-stage timings and counters) as JSON.")
+             loops, B-tree probes and wall time per operator ($(b,--interpreted) selects the \
+             reference executor; $(b,--jobs) runs the instrumented execution domain-parallel \
+             with per-domain stats merged by operator).")
   in
   let collect_stats =
     Arg.(
@@ -146,65 +255,58 @@ let explain_cmd =
              plan from collected statistics (histograms, NDV) instead of the System-R \
              defaults.")
   in
-  let interpreted =
-    Arg.(
-      value & flag
-      & info [ "interpreted" ]
-          ~doc:
-            "With $(b,--explain-analyze): execute the reference interpreted executor instead \
-             of the compiled batch executor (per-operator actual-row counts are identical; \
-             timings differ).")
-  in
-  let run verbose name size analyze metrics_flag collect_stats interpreted =
+  let run verbose name size analyze collect_stats (opts : Xdb_core.Engine.run_options) =
     setup_logs verbose;
     match Xdb_xsltmark.Cases.find name with
     | None ->
         Printf.eprintf "unknown case %S (see `xdb_cli cases`)\n" name;
         exit 2
-    | Some case ->
-        let case =
-          if case.Xdb_xsltmark.Cases.name = "dbonerow" then Xdb_xsltmark.Cases.dbonerow_for size
-          else case
+    | Some case when not case.Xdb_xsltmark.Cases.db_capable ->
+        if analyze || opts.collect_metrics || collect_stats then
+          prerr_endline
+            "(case has no database form; --explain-analyze/--metrics/--analyze ignored)";
+        let doc = Xdb_xsltmark.Cases.doc_for case size in
+        let dc =
+          Xdb_core.Pipeline.compile_for_document case.Xdb_xsltmark.Cases.stylesheet
+            ~example_doc:doc
         in
-        if case.Xdb_xsltmark.Cases.db_capable then (
-          let dv = Xdb_xsltmark.Cases.dbview_for case size in
-          if collect_stats then (
-            let analyzed = Xdb_rel.Analyze.all dv.Xdb_xsltmark.Data.db in
-            Printf.printf "-- ANALYZE: %d table(s), %d rows sampled (stats version %d)\n"
-              (List.length analyzed)
-              (List.fold_left (fun acc (_, n) -> acc + n) 0 analyzed)
-              (Xdb_rel.Database.stats_version dv.Xdb_xsltmark.Data.db));
-          let m = Xdb_core.Metrics.create () in
-          let c =
-            Xdb_core.Pipeline.compile ~metrics:m dv.Xdb_xsltmark.Data.db
-              dv.Xdb_xsltmark.Data.view case.Xdb_xsltmark.Cases.stylesheet
-          in
-          print_endline (Xdb_core.Pipeline.explain c);
-          if analyze then (
-            print_endline "-- EXPLAIN ANALYZE:";
-            print_endline
-              (Xdb_core.Metrics.time m "sql_exec" (fun () ->
-                   Xdb_core.Pipeline.explain_analyze ~interpreted dv.Xdb_xsltmark.Data.db c)));
-          if metrics_flag then (
-            print_endline "-- pipeline metrics:";
-            print_endline (Xdb_core.Metrics.to_json m)))
-        else (
-          if analyze || metrics_flag || collect_stats then
-            prerr_endline
-              "(case has no database form; --explain-analyze/--metrics/--analyze ignored)";
-          let doc = Xdb_xsltmark.Cases.doc_for case size in
-          let dc =
-            Xdb_core.Pipeline.compile_for_document case.Xdb_xsltmark.Cases.stylesheet
-              ~example_doc:doc
-          in
-          Printf.printf "-- translation mode: %s\n-- generated XQuery:\n%s\n"
-            (Xdb_core.Pipeline.mode_name dc.Xdb_core.Pipeline.d_translation.Xdb_core.Xslt2xquery.mode)
-            (Xdb_xquery.Pretty.prog_syntax
-               dc.Xdb_core.Pipeline.d_translation.Xdb_core.Xslt2xquery.query))
+        Printf.printf "-- translation mode: %s\n-- generated XQuery:\n%s\n"
+          (Xdb_core.Pipeline.mode_name dc.Xdb_core.Pipeline.d_translation.Xdb_core.Xslt2xquery.mode)
+          (Xdb_xquery.Pretty.prog_syntax
+             dc.Xdb_core.Pipeline.d_translation.Xdb_core.Xslt2xquery.query)
+    | Some _ ->
+        with_engine_errors (fun () ->
+            match engine_for_case name size with
+            | None -> assert false (* db_capable checked above *)
+            | Some (engine, view_name, stylesheet, _) ->
+                let db = Xdb_core.Engine.database engine in
+                if collect_stats then (
+                  let analyzed = Xdb_rel.Analyze.all db in
+                  Printf.printf "-- ANALYZE: %d table(s), %d rows sampled (stats version %d)\n"
+                    (List.length analyzed)
+                    (List.fold_left (fun acc (_, n) -> acc + n) 0 analyzed)
+                    (Xdb_rel.Database.stats_version db));
+                let m =
+                  if opts.collect_metrics then Some (Xdb_core.Metrics.create ()) else None
+                in
+                let staged name f =
+                  match m with None -> f () | Some m -> Xdb_core.Metrics.time m name f
+                in
+                print_endline
+                  (staged "prepare" (fun () ->
+                       Xdb_core.Engine.explain engine ~view_name ~stylesheet));
+                if analyze then (
+                  print_endline "-- EXPLAIN ANALYZE:";
+                  print_endline
+                    (staged "sql_exec" (fun () ->
+                         Xdb_core.Engine.explain_analyze ~options:opts engine ~view_name
+                           ~stylesheet)));
+                print_metrics m;
+                Xdb_core.Engine.shutdown engine)
   in
   Cmd.v
     (Cmd.info "explain" ~doc:"Explain the pipeline for a built-in benchmark case")
-    Term.(const run $ verbose $ case $ size $ analyze $ metrics_flag $ collect_stats $ interpreted)
+    Term.(const run $ verbose $ case $ size $ analyze $ collect_stats $ run_options_term)
 
 let shell_cmd =
   let workload =
@@ -265,46 +367,24 @@ let shell_cmd =
 let publish_cmd =
   let case = Arg.(required & pos 0 (some string) None & info [] ~docv:"CASE") in
   let size = Arg.(value & opt int 100 & info [ "n"; "size" ] ~doc:"Workload size (rows)") in
-  let stream =
-    Arg.(
-      value & flag
-      & info [ "stream" ]
-          ~doc:
-            "Serialize publishing events straight into the output buffer (no intermediate \
-             DOM) instead of materializing each document tree first.  Output is \
-             byte-identical either way.")
-  in
   let indent = Arg.(value & flag & info [ "indent" ] ~doc:"Indented output") in
-  let run verbose name size stream indent =
+  let run verbose name size indent opts =
     setup_logs verbose;
-    match Xdb_xsltmark.Cases.find name with
-    | None ->
-        Printf.eprintf "unknown case %S (see `xdb_cli cases`)\n" name;
-        exit 2
-    | Some case ->
-        let case =
-          if case.Xdb_xsltmark.Cases.name = "dbonerow" then Xdb_xsltmark.Cases.dbonerow_for size
-          else case
-        in
-        if not case.Xdb_xsltmark.Cases.db_capable then (
-          Printf.eprintf "case %S has no database form\n" name;
-          exit 2);
-        let dv = Xdb_xsltmark.Cases.dbview_for case size in
-        let db = dv.Xdb_xsltmark.Data.db and view = dv.Xdb_xsltmark.Data.view in
-        let docs =
-          if stream then Xdb_rel.Publish.materialize_serialized db ~indent view
-          else
-            List.map
-              (fun d ->
-                Xdb_xml.Serializer.node_list_to_string ~indent d.Xdb_xml.Types.children)
-              (Xdb_rel.Publish.materialize db view)
-        in
-        List.iter print_endline docs
+    with_engine_errors (fun () ->
+        match engine_for_case name size with
+        | None ->
+            Printf.eprintf "case %S has no database form\n" name;
+            exit 2
+        | Some (engine, view_name, _, _) ->
+            let r = Xdb_core.Engine.publish ~options:opts ~indent engine ~view_name in
+            List.iter print_endline r.Xdb_core.Engine.output;
+            print_metrics r.Xdb_core.Engine.metrics;
+            Xdb_core.Engine.shutdown engine)
   in
   Cmd.v
     (Cmd.info "publish"
        ~doc:"Print a case's XMLType view documents (DOM or streamed serialization)")
-    Term.(const run $ verbose $ case $ size $ stream $ indent)
+    Term.(const run $ verbose $ case $ size $ indent $ run_options_term)
 
 let cases_cmd =
   let run () =

@@ -1,0 +1,157 @@
+(* The Xdb.Engine facade: Registry + Pipeline + Parallel behind
+   create/prepare/transform with one run_options record.  All errors
+   leave through Xdb_error.Error (see engine.mli). *)
+
+module P = Xdb_rel.Publish
+
+type run_options = {
+  streaming : bool;
+  jobs : int;
+  collect_metrics : bool;
+  interpreted : bool;
+}
+
+let default_run_options =
+  { streaming = true; jobs = 1; collect_metrics = false; interpreted = false }
+
+type run_result = { output : string list; metrics : Metrics.t option }
+
+type t = {
+  db : Xdb_rel.Database.t;
+  registry : Registry.t;
+  options : Options.t;
+  pool_lock : Mutex.t;
+  mutable pool : Parallel.t option;  (** created lazily on first jobs > 1 run *)
+}
+
+let create ?capacity ?(options = Options.default) db =
+  {
+    db;
+    registry = Registry.create ?capacity db;
+    options;
+    pool_lock = Mutex.create ();
+    pool = None;
+  }
+
+let database t = t.db
+let register_view t view = Registry.register_view t.registry view
+
+(* the pool matching [jobs], reusing the cached one when its size fits;
+   a size change joins the old pool and spawns a fresh one *)
+let pool_for t jobs =
+  Mutex.lock t.pool_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.pool_lock)
+    (fun () ->
+      match t.pool with
+      | Some p when Parallel.jobs p = jobs -> p
+      | existing ->
+          (match existing with Some p -> Parallel.shutdown p | None -> ());
+          let p = Parallel.create ~jobs in
+          t.pool <- Some p;
+          p)
+
+let shutdown t =
+  Mutex.lock t.pool_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.pool_lock)
+    (fun () ->
+      match t.pool with
+      | None -> ()
+      | Some p ->
+          Parallel.shutdown p;
+          t.pool <- None)
+
+let prepare t ~view_name ~stylesheet =
+  Xdb_error.wrap ~stage:"compile" (fun () ->
+      Registry.compile ~options:t.options t.registry ~view_name ~stylesheet)
+
+let metrics_of opts = if opts.collect_metrics then Some (Metrics.create ()) else None
+
+let transform ?(options = default_run_options) t ~view_name ~stylesheet =
+  let compiled = prepare t ~view_name ~stylesheet in
+  let metrics = metrics_of options in
+  let output =
+    Xdb_error.wrap ~stage:"exec" (fun () ->
+        if options.jobs > 1 then (
+          let pool = pool_for t options.jobs in
+          if options.interpreted then
+            Pipeline.run_functional_parallel ?metrics ~pool t.db compiled
+          else
+            Pipeline.run_rewrite_parallel ?metrics ~streaming:options.streaming ~pool t.db
+              compiled)
+        else if options.interpreted then Pipeline.run_functional ?metrics t.db compiled
+        else Pipeline.run_rewrite ?metrics ~streaming:options.streaming t.db compiled)
+  in
+  { output; metrics }
+
+let publish ?(options = default_run_options) ?(indent = false) t ~view_name =
+  let metrics = metrics_of options in
+  (* publishing shares the registry's view table *)
+  let view =
+    Xdb_error.wrap ~stage:"publish" (fun () -> Registry.find_view t.registry view_name)
+  in
+  let serialize_range ?metrics ~lo ~hi () =
+    let staged name f = match metrics with None -> f () | Some m -> Metrics.time m name f in
+    if options.streaming then
+      staged "publish_stream" (fun () ->
+          P.materialize_serialized t.db ~indent ~row_range:(lo, hi) view)
+    else
+      staged "publish_dom" (fun () ->
+          List.map
+            (fun d ->
+              Xdb_xml.Serializer.node_list_to_string ~indent d.Xdb_xml.Types.children)
+            (P.materialize t.db ~row_range:(lo, hi) view))
+  in
+  let output =
+    Xdb_error.wrap ~stage:"serialize" (fun () ->
+        let total = Xdb_rel.Table.size (Xdb_rel.Database.table t.db view.P.base_table) in
+        if options.jobs > 1 then (
+          let pool = pool_for t options.jobs in
+          let ranges =
+            Array.of_list
+              (Parallel.chunk_ranges ~total ~chunks:(4 * Parallel.jobs pool))
+          in
+          let n = Array.length ranges in
+          let task_metrics =
+            match metrics with
+            | None -> [||]
+            | Some _ -> Array.init n (fun _ -> Metrics.create ())
+          in
+          let results =
+            Parallel.run pool
+              (fun i ->
+                let m = if task_metrics = [||] then None else Some task_metrics.(i) in
+                let lo, hi = ranges.(i) in
+                serialize_range ?metrics:m ~lo ~hi ())
+              n
+          in
+          (match metrics with
+          | Some m -> Array.iter (fun tm -> Metrics.merge_into ~into:m tm) task_metrics
+          | None -> ());
+          List.concat (Array.to_list results))
+        else serialize_range ?metrics ~lo:0 ~hi:total ())
+  in
+  { output; metrics }
+
+let explain t ~view_name ~stylesheet =
+  Pipeline.explain (prepare t ~view_name ~stylesheet)
+
+let explain_analyze ?(options = default_run_options) t ~view_name ~stylesheet =
+  let compiled = prepare t ~view_name ~stylesheet in
+  Xdb_error.wrap ~stage:"exec" (fun () ->
+      if options.jobs > 1 && not options.interpreted then (
+        let pool = pool_for t options.jobs in
+        match
+          Pipeline.run_rewrite_parallel_analyzed ~streaming:options.streaming ~pool t.db
+            compiled
+        with
+        | _, Some stats ->
+            (* per-domain collectors merged by operator id: actual row
+               counts match a sequential analyzed run *)
+            let plan = Option.get compiled.Pipeline.sql_plan in
+            Xdb_rel.Optimizer.explain_analyze t.db plan stats
+        | _, None -> Pipeline.explain_analyze ~interpreted:false t.db compiled)
+      else Pipeline.explain_analyze ~interpreted:options.interpreted t.db compiled)
+
+let registry_counters t = Registry.counters t.registry

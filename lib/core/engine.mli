@@ -1,0 +1,93 @@
+(** [Xdb.Engine] — the single front door for database-backed XSLT
+    processing.
+
+    Wraps the {!Pipeline} entry points, the {!Registry} plan cache and
+    the {!Parallel} domain pool behind three verbs — {!create},
+    {!prepare}, {!transform} — with one {!run_options} record replacing
+    the [?metrics]/[?streaming]/[?interpreted] optional-label sprawl the
+    lower layers accreted.  All errors cross this boundary as
+    {!Xdb_error.Error}; library internals keep their own exceptions.
+
+    One engine owns one registry and at most one domain pool (created on
+    first use of [jobs > 1], resized when [jobs] changes, joined by
+    {!shutdown}). *)
+
+type t
+
+(** How a transform (or publish) runs.  [streaming] (default true) routes
+    XML result construction through output events instead of per-row
+    DOMs; [jobs] (default 1) is the number of domains the run may use —
+    partitioned base-table execution when the plan admits it, sequential
+    fallback otherwise; [collect_metrics] (default false) attaches a
+    fresh {!Metrics.t} to the run, returned in {!run_result};
+    [interpreted] (default false) selects the reference paths: the
+    functional VM evaluation for {!transform}, the interpreted assoc-row
+    executor for {!explain_analyze}. *)
+type run_options = {
+  streaming : bool;
+  jobs : int;
+  collect_metrics : bool;
+  interpreted : bool;
+}
+
+val default_run_options : run_options
+(** [{ streaming = true; jobs = 1; collect_metrics = false;
+      interpreted = false }] *)
+
+type run_result = {
+  output : string list;  (** one serialized result per base-table row *)
+  metrics : Metrics.t option;  (** present iff [collect_metrics] *)
+}
+
+val create : ?capacity:int -> ?options:Options.t -> Xdb_rel.Database.t -> t
+(** An engine over a loaded database.  [capacity] bounds the compiled
+    plan cache ({!Registry.create}); [options] are the translation
+    options applied to every compile. *)
+
+val database : t -> Xdb_rel.Database.t
+
+val register_view : t -> Xdb_rel.Publish.view -> unit
+(** (Re)register an XMLType view; re-registering a name models schema
+    evolution and invalidates cached plans for it. *)
+
+val prepare : t -> view_name:string -> stylesheet:string -> Pipeline.compiled
+(** Cached compilation of [stylesheet] against the view's structural
+    information (fingerprinted, auto-recompiled on evolution/ANALYZE).
+    @raise Xdb_error.Error on parse/translation/registry failures. *)
+
+val transform :
+  ?options:run_options -> t -> view_name:string -> stylesheet:string -> run_result
+(** Prepare and evaluate: the SQL/XML rewrite path (with dynamic-XQuery
+    fallback) by default, the functional VM path when [interpreted].
+    [jobs > 1] partitions the base table across domains; output is
+    byte-identical to the sequential run.
+    @raise Xdb_error.Error on any pipeline failure. *)
+
+val publish :
+  ?options:run_options -> ?indent:bool -> t -> view_name:string -> run_result
+(** Materialise the view's documents (one string per base row):
+    streamed serialization when [streaming], DOM-then-serialize
+    otherwise; [jobs > 1] partitions the base rows across domains.
+    @raise Xdb_error.Error on publish/serialize failures. *)
+
+val explain : t -> view_name:string -> stylesheet:string -> string
+(** {!Pipeline.explain} of the prepared compilation.
+    @raise Xdb_error.Error on compile failures. *)
+
+val explain_analyze :
+  ?options:run_options -> t -> view_name:string -> stylesheet:string -> string
+(** Execute the SQL/XML plan with per-operator instrumentation and
+    render estimated vs actual ({!Pipeline.explain_analyze});
+    [interpreted] selects the reference executor.  With [jobs > 1] the
+    instrumented run itself is domain-parallel and the rendered stats are
+    the per-domain collectors merged by operator id — actual row counts
+    match a sequential run.
+    @raise Xdb_error.Error on compile/execution failures. *)
+
+val registry_counters : t -> (string * int) list
+(** The plan cache's observability counters ({!Registry.counters}). *)
+
+val shutdown : t -> unit
+(** Join the engine's domain pool, if one was created.  Idempotent; the
+    engine remains usable afterwards with [jobs = 1] semantics (a new
+    pool is created on the next [jobs > 1] run). *)

@@ -3,14 +3,24 @@
 
     Stages and counters keep insertion order so JSON output is
     deterministic for a given pipeline shape; timing the same stage name
-    twice accumulates (e.g. per-document execution legs). *)
+    twice accumulates (e.g. per-document execution legs).
+
+    Every update and read takes the collector's mutex, so a collector may
+    be shared across domains (the Engine hands one to a parallel run and
+    merges the per-domain collectors into it with {!merge_into}).  The
+    mutex is uncontended in sequential use. *)
 
 type t = {
+  lock : Mutex.t;
   mutable stages : (string * float) list;  (** reversed insertion order, ms *)
   mutable counters : (string * int) list;  (** reversed insertion order *)
 }
 
-let create () = { stages = []; counters = [] }
+let create () = { lock = Mutex.create (); stages = []; counters = [] }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 (* update an assoc entry in place (preserving position) or append *)
 let update_assoc l key f init =
@@ -21,7 +31,8 @@ let update_assoc l key f init =
   in
   match go l with Some l' -> l' | None -> (key, f init) :: l
 
-let add_ms t stage ms = t.stages <- update_assoc t.stages stage (fun v -> v +. ms) 0.0
+let add_ms t stage ms =
+  locked t (fun () -> t.stages <- update_assoc t.stages stage (fun v -> v +. ms) 0.0)
 
 (** [time t stage f] — run [f], accumulate its wall time under [stage].
     The stage is charged even when [f] raises. *)
@@ -29,15 +40,33 @@ let time t stage f =
   let t0 = Unix.gettimeofday () in
   Fun.protect ~finally:(fun () -> add_ms t stage ((Unix.gettimeofday () -. t0) *. 1000.0)) f
 
-let incr ?(by = 1) t name = t.counters <- update_assoc t.counters name (fun v -> v + by) 0
+let incr ?(by = 1) t name =
+  locked t (fun () -> t.counters <- update_assoc t.counters name (fun v -> v + by) 0)
 
 let set_counter t name v =
-  t.counters <- update_assoc t.counters name (fun _ -> v) 0
+  locked t (fun () -> t.counters <- update_assoc t.counters name (fun _ -> v) 0)
 
-let stages t = List.rev t.stages
-let counters t = List.rev t.counters
+let stages t = locked t (fun () -> List.rev t.stages)
+let counters t = locked t (fun () -> List.rev t.counters)
 
-let total_ms t = List.fold_left (fun acc (_, ms) -> acc +. ms) 0.0 t.stages
+let total_ms t =
+  locked t (fun () -> List.fold_left (fun acc (_, ms) -> acc +. ms) 0.0 t.stages)
+
+(** [merge_into ~into src] — fold [src]'s stages and counters into
+    [into], summing on name collision and appending new names in [src]'s
+    insertion order.  Domain-parallel runs give each domain its own
+    collector and merge them after the join, so per-stage totals reflect
+    aggregate work across domains. *)
+let merge_into ~into src =
+  let src_stages = stages src and src_counters = counters src in
+  locked into (fun () ->
+      List.iter
+        (fun (name, ms) -> into.stages <- update_assoc into.stages name (fun v -> v +. ms) 0.0)
+        src_stages;
+      List.iter
+        (fun (name, v) ->
+          into.counters <- update_assoc into.counters name (fun x -> x + v) 0)
+        src_counters)
 
 (* JSON string escaping for the keys (values are numbers) *)
 let escape s =

@@ -157,6 +157,158 @@ let run_rewrite_analyzed ?metrics ?(streaming = true) db (c : compiled) :
       (result_column out, Some stats)
   | None -> (run_xquery_stage ?metrics db c, None)
 
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel evaluation                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Seq_scans of [table] anywhere in the plan tree, correlated subplans
+   included.  Exec.compile windows *every* matching Seq_scan, so the
+   partitioned table must be seq-scanned exactly once; index probes into
+   the same table are harmless (they read whole rows by rid). *)
+let rec seq_scans_of table (p : A.plan) : int =
+  let in_exprs es =
+    List.fold_left
+      (fun acc e ->
+        List.fold_left (fun acc sp -> acc + seq_scans_of table sp) acc (A.subplans_of_expr e))
+      0 es
+  in
+  match p with
+  | A.Seq_scan { table = t; _ } -> if t = table then 1 else 0
+  | A.Index_scan _ | A.Values _ -> 0
+  | A.Filter (c, i) -> in_exprs [ c ] + seq_scans_of table i
+  | A.Project (fs, i) -> in_exprs (List.map fst fs) + seq_scans_of table i
+  | A.Nested_loop { outer; inner; join_cond } ->
+      (match join_cond with Some c -> in_exprs [ c ] | None -> 0)
+      + seq_scans_of table outer + seq_scans_of table inner
+  | A.Aggregate { group_by; aggs; input } ->
+      in_exprs (List.map fst group_by)
+      + List.fold_left
+          (fun acc (a, _) ->
+            List.fold_left (fun acc sp -> acc + seq_scans_of table sp) acc (A.subplans_of_agg a))
+          0 aggs
+      + seq_scans_of table input
+  | A.Sort (ks, i) -> in_exprs (List.map fst ks) + seq_scans_of table i
+  | A.Limit (_, i) -> seq_scans_of table i
+
+(* Is [table]'s Seq_scan the plan's driving scan, reachable through
+   operators that commute with row-range partitioning?  Project and
+   Filter are per-row; a Nested_loop driven by the table on its outer
+   side enumerates outer-order × inner, so partitioning the outer and
+   concatenating preserves row order.  Sort/Aggregate/Limit do not
+   commute (a per-partition sort or limit is not the global one). *)
+let rec drives_partition table (p : A.plan) : bool =
+  match p with
+  | A.Seq_scan { table = t; _ } -> t = table
+  | A.Filter (_, i) | A.Project (_, i) -> drives_partition table i
+  | A.Nested_loop { outer; _ } -> drives_partition table outer
+  | A.Index_scan _ | A.Values _ | A.Aggregate _ | A.Sort _ | A.Limit _ -> false
+
+(** [partition_table c] — the base table whose row ranges a domain-parallel
+    execution may partition the SQL/XML plan over, or [None] when the plan
+    shape does not admit it (no plan, the base table is not the driving
+    scan, or it is seq-scanned more than once). *)
+let partition_table (c : compiled) : string option =
+  match c.sql_plan with
+  | None -> None
+  | Some plan ->
+      let table = c.view.P.base_table in
+      if drives_partition table plan && seq_scans_of table plan = 1 then Some table else None
+
+(* split [total] rows into ranges for [pool]: a few chunks per domain so a
+   skewed chunk cannot serialise the tail, but not so many that per-chunk
+   plan opens dominate *)
+let pool_ranges pool total =
+  Parallel.chunk_ranges ~total ~chunks:(4 * Parallel.jobs pool)
+
+(* run [task] over row ranges of [table] across the pool's domains, each
+   with a private Metrics collector (merged after the join, so stage times
+   reflect aggregate work), concatenating per-range results in order *)
+let parallel_over_ranges ?metrics pool db table task : string list =
+  let total = Xdb_rel.Table.size (Xdb_rel.Database.table db table) in
+  let ranges = Array.of_list (pool_ranges pool total) in
+  let n = Array.length ranges in
+  let task_metrics =
+    match metrics with
+    | None -> [||]
+    | Some _ -> Array.init n (fun _ -> Metrics.create ())
+  in
+  let results =
+    Parallel.run pool
+      (fun i ->
+        let m = if task_metrics = [||] then None else Some task_metrics.(i) in
+        let lo, hi = ranges.(i) in
+        task ?metrics:m ~lo ~hi ())
+      n
+  in
+  (match metrics with
+  | Some m -> Array.iter (fun tm -> Metrics.merge_into ~into:m tm) task_metrics
+  | None -> ());
+  List.concat (Array.to_list results)
+
+(** Domain-parallel {!run_functional}: partitions the base-table rows
+    across the pool, each domain materialising and transforming its own
+    row range (private sinks and collectors), results concatenated in
+    table order — byte-identical to the sequential path.  With
+    [Parallel.jobs pool = 1] this is plain sequential execution. *)
+let run_functional_parallel ?metrics ~pool db (c : compiled) : string list =
+  if Parallel.jobs pool <= 1 then run_functional ?metrics db c
+  else
+    parallel_over_ranges ?metrics pool db c.view.P.base_table
+      (fun ?metrics ~lo ~hi () ->
+        let docs =
+          staged metrics "materialize" (fun () ->
+              P.materialize db ~row_range:(lo, hi) c.view)
+        in
+        staged metrics "vm_transform" (fun () ->
+            List.map
+              (fun doc ->
+                let frag = Xdb_xslt.Vm.transform c.vm_prog doc in
+                Xdb_xml.Serializer.node_list_to_string frag.X.children)
+              docs))
+
+(** Domain-parallel {!run_rewrite}: partitions the driving Seq_scan of the
+    SQL/XML plan by row-id ranges ({!Exec.compile}'s [partition]), one
+    compiled execution per range, each with its own streaming sink;
+    per-range results concatenate in row order, so output is
+    byte-identical to sequential.  Falls back to the sequential path when
+    the plan is not partitionable ({!partition_table}) or the pool has one
+    domain. *)
+let run_rewrite_parallel ?metrics ?(streaming = true) ~pool db (c : compiled) : string list =
+  match (c.sql_plan, partition_table c) with
+  | Some plan, Some table when Parallel.jobs pool > 1 ->
+      parallel_over_ranges ?metrics pool db table (fun ?metrics ~lo ~hi () ->
+          staged metrics "sql_exec" (fun () ->
+              result_column
+                (Xdb_rel.Exec.run_arrays db ~xml_streaming:streaming
+                   ~partition:(table, lo, hi) plan)))
+  | _ -> run_rewrite ?metrics ~streaming db c
+
+(** {!run_rewrite_parallel} with per-operator instrumentation: each domain
+    fills a private {!Xdb_rel.Stats.t}; the collectors are summed by
+    operator id after the join ({!Xdb_rel.Stats.merge_into}), so actual
+    row counts match a sequential analyzed run. *)
+let run_rewrite_parallel_analyzed ?metrics ?(streaming = true) ~pool db (c : compiled) :
+    string list * Xdb_rel.Stats.t option =
+  match (c.sql_plan, partition_table c) with
+  | Some plan, Some table when Parallel.jobs pool > 1 ->
+      let merged = Xdb_rel.Stats.create plan in
+      let lock = Mutex.create () in
+      let out =
+        parallel_over_ranges ?metrics pool db table (fun ?metrics ~lo ~hi () ->
+            let (res, stats) =
+              staged metrics "sql_exec" (fun () ->
+                  Xdb_rel.Exec.run_arrays_analyzed db ~xml_streaming:streaming
+                    ~partition:(table, lo, hi) plan)
+            in
+            let strings = result_column res in
+            Mutex.lock lock;
+            Xdb_rel.Stats.merge_into ~into:merged stats;
+            Mutex.unlock lock;
+            strings)
+      in
+      (out, Some merged)
+  | _ -> run_rewrite_analyzed ?metrics ~streaming db c
+
 (** Example 2: compose an XQuery child path over the XSLT view result and
     rewrite the composition down to one relational plan (paper Table 11). *)
 let compose db (c : compiled) (steps : Xdb_xpath.Ast.step list) :

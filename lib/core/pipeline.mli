@@ -29,7 +29,10 @@ val compile :
 val run_functional : ?metrics:Metrics.t -> Xdb_rel.Database.t -> compiled -> string list
 (** "XSLT no rewrite": materialise each view document, run the XSLTVM.
     One serialized result per base-table row.  Stages: [materialize],
-    [vm_transform]. *)
+    [vm_transform].
+
+    Prefer {!Engine.transform} with [interpreted = true]: this entry point
+    is kept as the facade's engine room (and for existing tests). *)
 
 val run_xquery_stage : ?metrics:Metrics.t -> Xdb_rel.Database.t -> compiled -> string list
 (** Evaluate the generated XQuery dynamically over materialised documents
@@ -43,7 +46,11 @@ val run_rewrite :
     exists.  Stage: [sql_exec] (or the fallback's stages).  [streaming]
     (default true) makes the plan's XML constructors emit output events
     drained straight into the result buffer — byte-identical to the DOM
-    path ([streaming:false]) with no per-row result tree. *)
+    path ([streaming:false]) with no per-row result tree.
+
+    Prefer {!Engine.transform}: the facade folds [metrics]/[streaming]
+    (and the parallelism knob) into one [run_options] record; this entry
+    point remains as its engine room. *)
 
 val run_rewrite_analyzed :
   ?metrics:Metrics.t ->
@@ -53,6 +60,52 @@ val run_rewrite_analyzed :
   string list * Xdb_rel.Stats.t option
 (** {!run_rewrite} with per-operator instrumentation; the stats collector
     is [None] when the pipeline fell back to the XQuery stage. *)
+
+(** {1 Domain-parallel evaluation}
+
+    The rewrite path turns one transform call into a per-base-table-row
+    relational plan (paper §3) — embarrassingly parallel.  These variants
+    split the base table's row ids into contiguous ranges, run one
+    execution per range across a {!Parallel} pool (each with private
+    sinks and collectors), and concatenate results in range order, so
+    output is byte-identical to the sequential paths. *)
+
+val partition_table : compiled -> string option
+(** The table whose rows a parallel execution may partition the SQL/XML
+    plan over: the view's base table, provided it is the plan's driving
+    scan (through Project/Filter/NestedLoop-outer only) and is
+    seq-scanned exactly once in the whole tree (correlated subplans
+    included).  [None] otherwise — parallel entry points then fall back
+    to sequential execution. *)
+
+val run_functional_parallel :
+  ?metrics:Metrics.t -> pool:Parallel.t -> Xdb_rel.Database.t -> compiled -> string list
+(** Domain-parallel {!run_functional}: each domain materialises and
+    transforms its own base-row range.  Sequential when the pool has one
+    domain. *)
+
+val run_rewrite_parallel :
+  ?metrics:Metrics.t ->
+  ?streaming:bool ->
+  pool:Parallel.t ->
+  Xdb_rel.Database.t ->
+  compiled ->
+  string list
+(** Domain-parallel {!run_rewrite}: partitions the plan's driving
+    Seq_scan by row-id ranges ({!Xdb_rel.Exec.compile}'s [partition]).
+    Falls back to the sequential path when {!partition_table} is [None]
+    or the pool has one domain. *)
+
+val run_rewrite_parallel_analyzed :
+  ?metrics:Metrics.t ->
+  ?streaming:bool ->
+  pool:Parallel.t ->
+  Xdb_rel.Database.t ->
+  compiled ->
+  string list * Xdb_rel.Stats.t option
+(** {!run_rewrite_parallel} with per-operator instrumentation; per-domain
+    collectors are summed by operator id after the join, so actual row
+    counts match a sequential analyzed run. *)
 
 val compose :
   Xdb_rel.Database.t ->

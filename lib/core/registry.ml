@@ -11,7 +11,15 @@
 
     The cache is bounded: entries carry a last-use tick and when the
     number of entries exceeds the configured capacity the least recently
-    used entry is evicted (counted in [cache_evictions]). *)
+    used entry is evicted (counted in [cache_evictions]).
+
+    Thread safety: the view list, the cache table and the LRU tick are
+    guarded by one mutex, so many domains can {!compile}/{!run}
+    concurrently (Engine keeps a single registry per instance).  The
+    actual stylesheet compilation runs {e outside} the lock — two domains
+    missing on the same key may both compile; the loser's entry is simply
+    replaced, and the counters (atomics) count both recompilations, so
+    [recompilations = cache_misses + cache_stale] still holds. *)
 
 module P = Xdb_rel.Publish
 module S = Xdb_schema.Types
@@ -26,15 +34,16 @@ type entry = {
 
 type t = {
   db : Xdb_rel.Database.t;
+  lock : Mutex.t;  (** guards [views], [cache], [tick] and entry recency *)
   mutable views : (string * P.view) list;
   cache : (string * string, entry) Hashtbl.t;  (** (view name, stylesheet) *)
   capacity : int;  (** max cached entries before LRU eviction *)
   mutable tick : int;  (** monotonic use counter *)
-  mutable recompilations : int;  (** observability for tests/benches *)
-  mutable cache_hits : int;  (** fresh cache entry served *)
-  mutable cache_misses : int;  (** no cache entry — first compile *)
-  mutable cache_stale : int;  (** entry invalidated by schema evolution *)
-  mutable cache_evictions : int;  (** entries dropped by LRU bounding *)
+  recompilations : int Atomic.t;  (** observability for tests/benches *)
+  cache_hits : int Atomic.t;  (** fresh cache entry served *)
+  cache_misses : int Atomic.t;  (** no cache entry — first compile *)
+  cache_stale : int Atomic.t;  (** entry invalidated by schema evolution *)
+  cache_evictions : int Atomic.t;  (** entries dropped by LRU bounding *)
 }
 
 exception Registry_error of string
@@ -44,22 +53,28 @@ let default_capacity = 64
 let create ?(capacity = default_capacity) db =
   {
     db;
+    lock = Mutex.create ();
     views = [];
     cache = Hashtbl.create 8;
     capacity = max 1 capacity;
     tick = 0;
-    recompilations = 0;
-    cache_hits = 0;
-    cache_misses = 0;
-    cache_stale = 0;
-    cache_evictions = 0;
+    recompilations = Atomic.make 0;
+    cache_hits = Atomic.make 0;
+    cache_misses = Atomic.make 0;
+    cache_stale = Atomic.make 0;
+    cache_evictions = Atomic.make 0;
   }
 
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* callers hold t.lock *)
 let touch t entry =
   t.tick <- t.tick + 1;
   entry.last_used <- t.tick
 
-(* drop least-recently-used entries until within capacity *)
+(* drop least-recently-used entries until within capacity; holds t.lock *)
 let evict_over_capacity t =
   while Hashtbl.length t.cache > t.capacity do
     let victim =
@@ -74,7 +89,7 @@ let evict_over_capacity t =
     | None -> assert false (* non-empty: length > capacity >= 1 *)
     | Some (key, _) ->
         Hashtbl.remove t.cache key;
-        t.cache_evictions <- t.cache_evictions + 1
+        Atomic.incr t.cache_evictions
   done
 
 (* canonical textual form of a view's structural information: declaration
@@ -92,35 +107,50 @@ let fingerprint_of t view =
 (** [register_view t view] — (re)register; replaces any previous view with
     the same name (schema evolution). *)
 let register_view t (view : P.view) =
-  t.views <- (view.P.view_name, view) :: List.remove_assoc view.P.view_name t.views
+  locked t (fun () ->
+      t.views <- (view.P.view_name, view) :: List.remove_assoc view.P.view_name t.views)
 
 let find_view t name =
-  match List.assoc_opt name t.views with
+  match locked t (fun () -> List.assoc_opt name t.views) with
   | Some v -> v
   | None -> raise (Registry_error (Printf.sprintf "unknown view %S" name))
 
 (** [compile t ~view_name ~stylesheet] — cached compilation; recompiles
     when the view's structural fingerprint has changed since the cached
-    compile (or on first use). *)
+    compile (or on first use).  Safe to call from several domains at
+    once; compilation itself runs outside the registry lock. *)
 let compile ?(options = Options.default) t ~view_name ~stylesheet : Pipeline.compiled =
   let view = find_view t view_name in
   let fp = fingerprint_of t view in
   let key = (view_name, stylesheet) in
-  match Hashtbl.find_opt t.cache key with
-  | Some entry when entry.fingerprint = fp ->
-      t.cache_hits <- t.cache_hits + 1;
-      touch t entry;
-      entry.compiled
-  | found ->
-      (match found with
-      | Some _ -> t.cache_stale <- t.cache_stale + 1 (* schema evolution or re-ANALYZE *)
-      | None -> t.cache_misses <- t.cache_misses + 1);
+  let cached =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.cache key with
+        | Some entry when entry.fingerprint = fp ->
+            touch t entry;
+            Some entry.compiled
+        | found ->
+            (match found with
+            | Some _ ->
+                (* schema evolution or re-ANALYZE *)
+                Atomic.incr t.cache_stale
+            | None -> Atomic.incr t.cache_misses);
+            None)
+  in
+  match cached with
+  | Some compiled ->
+      Atomic.incr t.cache_hits;
+      compiled
+  | None ->
       let compiled = Pipeline.compile ~options t.db view stylesheet in
-      let entry = { stylesheet_text = stylesheet; fingerprint = fp; compiled; last_used = 0 } in
-      touch t entry;
-      Hashtbl.replace t.cache key entry;
-      evict_over_capacity t;
-      t.recompilations <- t.recompilations + 1;
+      locked t (fun () ->
+          let entry =
+            { stylesheet_text = stylesheet; fingerprint = fp; compiled; last_used = 0 }
+          in
+          touch t entry;
+          Hashtbl.replace t.cache key entry;
+          evict_over_capacity t);
+      Atomic.incr t.recompilations;
       compiled
 
 (** [run t ~view_name ~stylesheet] — rewrite-evaluate with auto-recompile. *)
@@ -128,15 +158,15 @@ let run ?options t ~view_name ~stylesheet : string list =
   let compiled = compile ?options t ~view_name ~stylesheet in
   Pipeline.run_rewrite t.db compiled
 
-let recompilations t = t.recompilations
+let recompilations t = Atomic.get t.recompilations
 
 (** Cache observability counters, stable order.  [recompilations] equals
     [cache_misses + cache_stale]. *)
 let counters t =
   [
-    ("cache_hits", t.cache_hits);
-    ("cache_misses", t.cache_misses);
-    ("cache_stale", t.cache_stale);
-    ("recompilations", t.recompilations);
-    ("cache_evictions", t.cache_evictions);
+    ("cache_hits", Atomic.get t.cache_hits);
+    ("cache_misses", Atomic.get t.cache_misses);
+    ("cache_stale", Atomic.get t.cache_stale);
+    ("recompilations", Atomic.get t.recompilations);
+    ("cache_evictions", Atomic.get t.cache_evictions);
   ]

@@ -3,7 +3,13 @@
     together with a fingerprint of the view's structural information and
     the catalog's statistics version; re-registering a view with a
     different shape — or re-ANALYZEing the database — invalidates the
-    entry so plans are re-costed against fresh statistics. *)
+    entry so plans are re-costed against fresh statistics.
+
+    Thread safety: lookup, insert and LRU eviction are guarded by an
+    internal mutex and the observability counters are atomics, so many
+    domains may {!compile}/{!run} against one registry concurrently.
+    Stylesheet compilation runs outside the lock; concurrent misses on
+    the same key may compile twice (both counted), last insert wins. *)
 
 type t
 
@@ -16,6 +22,10 @@ val create : ?capacity:int -> Xdb_rel.Database.t -> t
 val register_view : t -> Xdb_rel.Publish.view -> unit
 (** (Re)register a view; replacing a view of the same name models schema
     evolution. *)
+
+val find_view : t -> string -> Xdb_rel.Publish.view
+(** The registered view of that name.
+    @raise Registry_error when absent. *)
 
 val compile :
   ?options:Options.t -> t -> view_name:string -> stylesheet:string -> Pipeline.compiled

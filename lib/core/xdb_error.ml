@@ -1,0 +1,57 @@
+(* Unified error payloads for the Engine boundary. See xdb_error.mli. *)
+
+type t =
+  | Parse of { what : string; message : string }
+  | Compile of string
+  | Publish of string
+  | Serialize of string
+  | Exec of string
+
+exception Error of t
+
+let to_string = function
+  | Parse { what; message } -> Printf.sprintf "%s parse error: %s" what message
+  | Compile m -> "compile error: " ^ m
+  | Publish m -> "publish error: " ^ m
+  | Serialize m -> "serialize error: " ^ m
+  | Exec m -> "execution error: " ^ m
+
+(* map each library exception to its stage; the internals keep raising
+   their own exceptions — classification happens only at the facade *)
+let of_exn = function
+  | Xdb_xml.Parser.Parse_error { line; col; message } ->
+      Some (Parse { what = "XML"; message = Printf.sprintf "line %d, col %d: %s" line col message })
+  | Xdb_xslt.Parser.Stylesheet_error m -> Some (Parse { what = "XSLT"; message = m })
+  | Xdb_xquery.Parser.Parse_error m -> Some (Parse { what = "XQuery"; message = m })
+  | Xdb_xpath.Parser.Parse_error m | Xdb_xpath.Lexer.Lex_error m ->
+      Some (Parse { what = "XPath"; message = m })
+  | Xdb_xslt.Compile.Compile_error m -> Some (Compile m)
+  | Xslt2xquery.Not_translatable m -> Some (Compile ("not translatable: " ^ m))
+  | Xdb_xquery.Sql_rewrite.Not_rewritable m -> Some (Compile ("not SQL-rewritable: " ^ m))
+  | Registry.Registry_error m -> Some (Compile m)
+  | Xdb_xquery.Typing.Typing_error m -> Some (Compile m)
+  | Xdb_rel.Publish.Publish_error m -> Some (Publish m)
+  | Xdb_xml.Events.Serialize_error m -> Some (Serialize m)
+  | Xdb_rel.Exec.Exec_error m -> Some (Exec m)
+  | Xdb_rel.Database.Unknown_table m -> Some (Exec ("unknown table " ^ m))
+  | Xdb_rel.Table.Table_error m -> Some (Exec m)
+  | Xdb_rel.Value.Type_error m -> Some (Exec m)
+  | Xdb_xquery.Eval.Eval_error m -> Some (Exec ("XQuery evaluation: " ^ m))
+  | Xdb_xquery.Value.Xquery_type_error m -> Some (Exec ("XQuery evaluation: " ^ m))
+  | Xdb_xpath.Eval.Eval_error m -> Some (Exec ("XPath evaluation: " ^ m))
+  | Xdb_xslt.Vm.Runtime_error m -> Some (Exec ("XSLT VM: " ^ m))
+  | _ -> None
+
+let failure_to_stage stage m =
+  match stage with
+  | "parse" -> Parse { what = "input"; message = m }
+  | "compile" -> Compile m
+  | "publish" -> Publish m
+  | "serialize" -> Serialize m
+  | _ -> Exec m
+
+let wrap ~stage f =
+  try f () with
+  | Error _ as e -> raise e
+  | Failure m -> raise (Error (failure_to_stage stage m))
+  | e -> ( match of_exn e with Some t -> raise (Error t) | None -> raise e)

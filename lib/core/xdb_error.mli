@@ -1,0 +1,38 @@
+(** Unified error type raised at the {!Engine} facade boundary.
+
+    Internals keep their own exceptions ([Publish_error],
+    [Serialize_error], [Exec_error], [Failure], …) — this module {e
+    wraps} them into one typed payload per pipeline stage so CLI and
+    embedding callers handle a single exception ({!Error}) with a stable
+    rendering ({!to_string}) instead of matching a dozen library
+    exceptions or printing raw backtraces. *)
+
+(** Which pipeline stage failed, with what the stage said. *)
+type t =
+  | Parse of { what : string; message : string }
+      (** source-text parsing: XML documents, XSLT stylesheets, XQuery,
+          XPath, SQL ([what] names the language/input) *)
+  | Compile of string
+      (** stylesheet → bytecode → XQuery → plan compilation, including
+          registry/view resolution and translation failures *)
+  | Publish of string  (** view definition or materialisation *)
+  | Serialize of string  (** output event stream violations *)
+  | Exec of string
+      (** plan or query execution: executor, XQuery/XPath evaluation,
+          XSLT VM, catalog lookups *)
+
+exception Error of t
+
+val to_string : t -> string
+(** One-line human rendering: ["<stage> error: <details>"]. *)
+
+val of_exn : exn -> t option
+(** Classify a library exception into a payload; [None] for exceptions
+    this module does not own (e.g. [Out_of_memory], [Stack_overflow] —
+    those propagate unwrapped). *)
+
+val wrap : stage:string -> (unit -> 'a) -> 'a
+(** [wrap ~stage f] runs [f], re-raising any classified library exception
+    as {!Error}.  Unclassified exceptions propagate unchanged; [Failure]
+    is attributed to [stage] ([stage] is one of ["parse"], ["compile"],
+    ["publish"], ["serialize"], ["exec"]). *)

@@ -17,12 +17,23 @@ type node =
 type t = {
   mutable root : node;
   mutable count : int;  (** number of (key, row) insertions *)
-  mutable probes : int;  (** find/range invocations — observability *)
-  mutable node_visits : int;  (** nodes touched while probing *)
+  probes : int Atomic.t;  (** find/range invocations — observability *)
+  node_visits : int Atomic.t;  (** nodes touched while probing *)
 }
+(* Concurrency contract: [root]/[count] mutate only during load-time
+   [insert]; after a table's indexes are built the tree structure is
+   immutable and probed concurrently by executor domains.  The probe
+   counters are the one piece of state mutated on the read path, so they
+   are atomics — a plain int would be a data race under domain-parallel
+   execution (and would drop increments). *)
 
 let create () =
-  { root = Leaf { keys = [||]; rows = [||] }; count = 0; probes = 0; node_visits = 0 }
+  {
+    root = Leaf { keys = [||]; rows = [||] };
+    count = 0;
+    probes = Atomic.make 0;
+    node_visits = Atomic.make 0;
+  }
 
 let cmp = Value.compare_key
 
@@ -85,9 +96,9 @@ let insert t k row =
 
 (** [find t k] — row ids with key exactly [k], in insertion order. *)
 let find t k =
-  t.probes <- t.probes + 1;
+  Atomic.incr t.probes;
   let rec go n =
-    t.node_visits <- t.node_visits + 1;
+    Atomic.incr t.node_visits;
     match n with
     | Leaf l ->
         let i = lower_bound l.keys k in
@@ -116,10 +127,10 @@ let below_hi hi k =
 (** [range t ~lo ~hi] — (key, row-id) pairs in key order within the bounds.
     Row ids under one key come back in insertion order. *)
 let range t ~lo ~hi =
-  t.probes <- t.probes + 1;
+  Atomic.incr t.probes;
   let out = ref [] in
   let rec go n =
-    t.node_visits <- t.node_visits + 1;
+    Atomic.incr t.node_visits;
     match n with
     | Leaf l ->
         Array.iteri
@@ -156,7 +167,7 @@ let range t ~lo ~hi =
     This is the batch executor's index-scan cursor: the rid array is
     filled in one traversal and then chunked into row batches. *)
 let range_rids t ~lo ~hi =
-  t.probes <- t.probes + 1;
+  Atomic.incr t.probes;
   let buf = ref (Array.make 64 0) in
   let n = ref 0 in
   let push rid =
@@ -168,7 +179,7 @@ let range_rids t ~lo ~hi =
     incr n
   in
   let rec go node =
-    t.node_visits <- t.node_visits + 1;
+    Atomic.incr t.node_visits;
     match node with
     | Leaf l ->
         Array.iteri
@@ -203,12 +214,12 @@ let range_rids t ~lo ~hi =
 let to_list t = range t ~lo:Unbounded ~hi:Unbounded
 
 let size t = t.count
-let probes t = t.probes
-let node_visits t = t.node_visits
+let probes t = Atomic.get t.probes
+let node_visits t = Atomic.get t.node_visits
 
 let reset_counters t =
-  t.probes <- 0;
-  t.node_visits <- 0
+  Atomic.set t.probes 0;
+  Atomic.set t.node_visits 0
 
 (** Tree height, for tests and EXPLAIN cost estimates. *)
 let height t =

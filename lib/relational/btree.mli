@@ -2,7 +2,13 @@
 
     Duplicate keys accumulate their row ids in insertion order.  Point
     lookups and inclusive/exclusive range scans are the access paths the
-    optimiser uses for sargable predicates (paper §2.1). *)
+    optimiser uses for sargable predicates (paper §2.1).
+
+    Concurrency: the tree mutates only while a table is being loaded
+    ({!insert}); once loaded it is immutable and safe to probe from many
+    domains at once.  The {!probes}/{!node_visits} observability counters —
+    the only state touched on the read path — are atomics, so concurrent
+    probes never drop increments. *)
 
 type key = Value.t
 

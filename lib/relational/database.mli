@@ -1,4 +1,13 @@
-(** Table catalog, plus the column-statistics catalog filled by ANALYZE. *)
+(** Table catalog, plus the column-statistics catalog filled by ANALYZE.
+
+    Concurrency contract (audited for domain-parallel execution): the
+    catalog Hashtbls mutate only through {!create_table} /
+    {!set_table_stats} — i.e. during load and ANALYZE, both of which run
+    on a single domain before any parallel transform starts.  After that
+    point the catalog, every {!Table.t} (rows, indexes) and every
+    {!Colstats.table_stats} record are immutable, so executor domains
+    read them without locks.  The one read-path exception, the B-tree
+    probe counters, is handled inside {!Btree} with atomics. *)
 
 type t
 

@@ -493,6 +493,11 @@ type cctx = {
   cstats : Stats.t option;
   cbatch : int;
   cxml_streaming : bool;
+  cpartition : (string * int * int) option;
+      (* (table, lo, hi): restrict the Seq_scan over [table] to the
+         half-open row-id range [lo, hi).  Domain-parallel execution
+         compiles one plan per range; the caller guarantees [table] is the
+         plan's single driving scan (Pipeline.partition_table). *)
 }
 
 let resolve_slot lay alias name =
@@ -858,13 +863,22 @@ and cplan ctx (outer_lay : Layout.t) (p : plan) : compiled =
         let tbl = Database.table ctx.cdb table in
         let names = Array.map (fun c -> c.Table.col_name) tbl.Table.columns in
         let lay = Layout.concat (Layout.of_columns ~alias names) outer_lay in
+        (* row-id window of this scan: the whole table, unless it is the
+           partitioned driving scan of a domain-parallel execution *)
+        let base, count =
+          match ctx.cpartition with
+          | Some (t, lo, hi) when t = table ->
+              let lo = max 0 lo in
+              (lo, fun () -> max 0 (min hi (Table.size tbl) - lo))
+          | _ -> (0, fun () -> Table.size tbl)
+        in
         let open_ outer =
           (match sopt with
-          | Some s -> s.Stats.heap_rows <- s.Stats.heap_rows + Table.size tbl
+          | Some s -> s.Stats.heap_rows <- s.Stats.heap_rows + count ()
           | None -> ());
-          chunked_cursor ~batch:ctx.cbatch
-            ~count:(fun () -> Table.size tbl)
-            ~get:(Table.unsafe_row tbl) outer
+          chunked_cursor ~batch:ctx.cbatch ~count
+            ~get:(fun i -> Table.unsafe_row tbl (base + i))
+            outer
         in
         { c_layout = lay; c_open = open_ }
     | Index_scan { table; alias; index_column; lo; hi } ->
@@ -1126,9 +1140,15 @@ let run_interpreted_analyzed db ?(outer = []) (p : plan) : row list * Stats.t =
     [Value.Xml_stream] (events on demand) instead of node trees.
     @raise Exec_error for unresolvable or ambiguous columns. *)
 let compile db ?stats ?(outer = Layout.empty) ?(batch_size = default_batch_size)
-    ?(xml_streaming = false) (p : plan) : compiled =
+    ?(xml_streaming = false) ?partition (p : plan) : compiled =
   cplan
-    { cdb = db; cstats = stats; cbatch = max 1 batch_size; cxml_streaming = xml_streaming }
+    {
+      cdb = db;
+      cstats = stats;
+      cbatch = max 1 batch_size;
+      cxml_streaming = xml_streaming;
+      cpartition = partition;
+    }
     outer p
 
 let compiled_layout (c : compiled) = c.c_layout
@@ -1137,14 +1157,15 @@ let open_cursor (c : compiled) ?(outer = [||]) () : cursor = c.c_open outer
 
 (** [run_arrays db plan] — compiled execution to physical rows plus their
     layout; the allocation-light entry point for hot paths. *)
-let run_arrays db ?batch_size ?xml_streaming (p : plan) : Layout.t * Value.t array list =
-  let c = compile db ?batch_size ?xml_streaming p in
+let run_arrays db ?batch_size ?xml_streaming ?partition (p : plan) :
+    Layout.t * Value.t array list =
+  let c = compile db ?batch_size ?xml_streaming ?partition p in
   (c.c_layout, drain_cursor (c.c_open [||]))
 
-let run_arrays_analyzed db ?batch_size ?xml_streaming (p : plan) :
+let run_arrays_analyzed db ?batch_size ?xml_streaming ?partition (p : plan) :
     (Layout.t * Value.t array list) * Stats.t =
   let stats = Stats.create p in
-  let c = compile db ~stats ?batch_size ?xml_streaming p in
+  let c = compile db ~stats ?batch_size ?xml_streaming ?partition p in
   ((c.c_layout, drain_cursor (c.c_open [||])), stats)
 
 (* an externally supplied assoc environment becomes a physical outer row *)

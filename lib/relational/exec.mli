@@ -58,6 +58,7 @@ val compile :
   ?outer:Layout.t ->
   ?batch_size:int ->
   ?xml_streaming:bool ->
+  ?partition:string * int * int ->
   Algebra.plan ->
   compiled
 (** Resolve every column reference (including inside CASE branches and
@@ -66,6 +67,13 @@ val compile :
     (default false) makes XML constructors produce [Value.Xml_stream]
     event producers instead of materialized node trees — same bytes on
     serialization, no per-row DOM.
+
+    [partition:(table, lo, hi)] restricts the [Seq_scan] over [table] to
+    the half-open row-id window [lo, hi) — the hook domain-parallel
+    execution uses to split the driving scan of a rewrite plan across
+    domains ({!Pipeline}).  The caller must ensure [table] is scanned
+    exactly once in the plan (correlated subplans included); otherwise
+    every matching scan is windowed and results change.
     @raise Exec_error at plan-open time for unknown or ambiguous
     columns, listing the columns that are available. *)
 
@@ -79,15 +87,18 @@ val run_arrays :
   Database.t ->
   ?batch_size:int ->
   ?xml_streaming:bool ->
+  ?partition:string * int * int ->
   Algebra.plan ->
   Layout.t * Value.t array list
 (** Compiled execution to physical rows plus their layout — the
-    allocation-light entry point for hot paths. *)
+    allocation-light entry point for hot paths.  [partition] as in
+    {!compile}. *)
 
 val run_arrays_analyzed :
   Database.t ->
   ?batch_size:int ->
   ?xml_streaming:bool ->
+  ?partition:string * int * int ->
   Algebra.plan ->
   (Layout.t * Value.t array list) * Stats.t
 (** {!run_arrays} with per-operator instrumentation. *)

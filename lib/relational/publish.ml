@@ -146,13 +146,28 @@ let materialize_spec db (env : Exec.row) spec : X.node list =
   emit_spec db env spec (E.builder_sink b);
   E.builder_result b
 
+(* iterate the base rows a materialisation covers: the whole table, or the
+   half-open row-id window [lo, hi) when [row_range] is given (the
+   partition hook domain-parallel functional execution uses) *)
+let fold_base_rows ?row_range f acc tbl =
+  match row_range with
+  | None -> Table.fold (fun acc _ r -> f acc r) acc tbl
+  | Some (lo, hi) ->
+      let lo = max 0 lo and hi = min hi (Table.size tbl) in
+      let acc = ref acc in
+      for rid = lo to hi - 1 do
+        acc := f !acc (Table.unsafe_row tbl rid)
+      done;
+      !acc
+
 (** [materialize db view] — one XML document (as a document node) per base
     table row, in table order.  This is the input the functional XSLT
-    evaluation consumes. *)
-let materialize db view =
+    evaluation consumes.  [row_range:(lo, hi)] restricts to that row-id
+    window (domain-parallel partitioning). *)
+let materialize db ?row_range view =
   let tbl = Database.table db view.base_table in
-  Table.fold
-    (fun acc _ r ->
+  fold_base_rows ?row_range
+    (fun acc r ->
       let env = Exec.scan_bindings tbl view.base_alias r in
       let nodes = materialize_spec db env view.spec in
       let doc = X.make X.Document in
@@ -165,11 +180,12 @@ let materialize db view =
 (** [materialize_serialized db view] — the documents of {!materialize} as
     serialized strings, one per base row, streaming spec events straight
     into a reused buffer: no tree is ever built. *)
-let materialize_serialized db ?(meth = E.Xml) ?(indent = false) view : string list =
+let materialize_serialized db ?(meth = E.Xml) ?(indent = false) ?row_range view :
+    string list =
   let tbl = Database.table db view.base_table in
   let buf = Buffer.create 1024 in
-  Table.fold
-    (fun acc _ r ->
+  fold_base_rows ?row_range
+    (fun acc r ->
       let env = Exec.scan_bindings tbl view.base_alias r in
       Buffer.clear buf;
       let sink = E.serializing_sink ~meth ~indent buf in

@@ -42,19 +42,23 @@ val materialize_spec :
   Database.t -> Exec.row -> spec -> Xdb_xml.Types.node list
 (** {!emit_spec} drained through the tree builder. *)
 
-val materialize : Database.t -> view -> Xdb_xml.Types.node list
+val materialize : Database.t -> ?row_range:int * int -> view -> Xdb_xml.Types.node list
 (** One XML document (a document node) per base-table row, in table
-    order — the input of the functional (no-rewrite) evaluation. *)
+    order — the input of the functional (no-rewrite) evaluation.
+    [row_range:(lo, hi)] restricts to the half-open row-id window
+    [lo, hi) — the partition hook domain-parallel execution uses. *)
 
 val materialize_serialized :
   Database.t ->
   ?meth:Xdb_xml.Events.output_method ->
   ?indent:bool ->
+  ?row_range:int * int ->
   view ->
   string list
 (** The documents of {!materialize}, already serialized: spec events
     stream into a reused buffer, one string per base row, no
-    intermediate tree.  Defaults: [meth = Xml], [indent = false]. *)
+    intermediate tree.  Defaults: [meth = Xml], [indent = false];
+    [row_range] as in {!materialize}. *)
 
 val to_schema : view -> Xdb_schema.Types.t
 (** Structural information of the published documents: scalar content has

@@ -88,6 +88,27 @@ let find (t : t) (p : A.plan) : op_stats option =
 
 let entries t = t.entries
 
+(** [merge_into ~into src] — add [src]'s per-operator counters into
+    [into], matching entries by [id].  Both collectors must have been
+    built from the same plan shape (same pre-order traversal), as the
+    per-domain collectors of a partitioned parallel execution are: each
+    domain compiles the identical plan, so entry [i] names the same
+    operator everywhere.  Entries of [src] with no [id] match are
+    ignored. *)
+let merge_into ~(into : t) (src : t) : unit =
+  List.iter
+    (fun (se : entry) ->
+      match List.find_opt (fun (de : entry) -> de.id = se.id) into.entries with
+      | None -> ()
+      | Some de ->
+          de.op.loops <- de.op.loops + se.op.loops;
+          de.op.rows <- de.op.rows + se.op.rows;
+          de.op.btree_probes <- de.op.btree_probes + se.op.btree_probes;
+          de.op.btree_nodes <- de.op.btree_nodes + se.op.btree_nodes;
+          de.op.heap_rows <- de.op.heap_rows + se.op.heap_rows;
+          de.op.time_ms <- de.op.time_ms +. se.op.time_ms)
+    src.entries
+
 (** Total rows produced by the root operator (entry 0). *)
 let root_rows t = match t.entries with [] -> 0 | e :: _ -> e.op.rows
 

@@ -26,6 +26,12 @@ val find : t -> Algebra.plan -> op_stats option
 val entries : t -> entry list
 (** All entries in pre-order (root first). *)
 
+val merge_into : into:t -> t -> unit
+(** Add a collector's per-operator counters into another, matching
+    entries by id.  Both must come from the same plan shape (identical
+    pre-order traversal) — how domain-parallel execution folds its
+    per-domain collectors into one after the join. *)
+
 val root_rows : t -> int
 (** Rows produced by the root operator. *)
 

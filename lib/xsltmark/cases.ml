@@ -1305,11 +1305,13 @@ let doc_for case n : X.node =
   | Numbers -> Data.numbers_doc (max 4 (min n 64))
 
 (** Database + view for a [db_capable] case. *)
-let dbview_for case n : Data.dbview =
+let dbview_for ?(docs = 1) case n : Data.dbview =
   match case.shape with
-  | Records -> Data.records_db n
-  | Sales -> Data.sales_db (max 1 (n / 20)) 20
-  | Dept_emp -> Data.dept_emp_db (max 1 (n / 10)) 10
+  | Records -> Data.records_db ~docs n
+  | Sales -> Data.sales_db ~docs (max 1 (n / 20)) 20
+  | Dept_emp ->
+      (* one published document per dept row already: many base rows *)
+      Data.dept_emp_db (max 1 (n / 10)) 10
   | Text | Tree | Numbers -> invalid_arg "no database form for this case"
 
 (** Size-parameterised dbonerow case (predicate targets the middle row). *)

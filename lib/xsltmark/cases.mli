@@ -25,8 +25,12 @@ val find : string -> case option
 val doc_for : case -> int -> Xdb_xml.Types.node
 (** Standalone document for a case at a given size (row count). *)
 
-val dbview_for : case -> int -> Data.dbview
-(** Database + publishing view for a [db_capable] case.
+val dbview_for : ?docs:int -> case -> int -> Data.dbview
+(** Database + publishing view for a [db_capable] case.  [docs]
+    (default 1) shards Records/Sales data across that many base-table
+    rows — one published document each — so domain-parallel runs have
+    base rows to partition (Dept_emp shapes already publish one document
+    per dept).
     @raise Invalid_argument for cases without a database form. *)
 
 val dbonerow_for : int -> case

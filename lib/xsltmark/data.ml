@@ -61,12 +61,20 @@ let records_doc n =
   in
   B.document (B.elem "table" rows)
 
-(** Database + view producing the same documents (one per [meta] row — the
-    view base table has a single row so one document is published). *)
-let records_db n : dbview =
+(** Database + view producing the same content as {!records_doc}: one
+    published document per [tables] row.  [docs] (default 1) shards the
+    [n] records across that many base-table rows — the paper's
+    XMLType-column scenario of many documents in one table, and the shape
+    domain-parallel execution partitions.  [docs = 1] publishes exactly
+    {!records_doc}[ n]. *)
+let records_db ?(docs = 1) n : dbview =
+  let docs = max 1 (min (max 1 n) docs) in
+  let per_doc = (n + docs - 1) / docs in
   let db = Xdb_rel.Database.create () in
   let meta = Xdb_rel.Database.create_table db "tables" [ int_col "tid" ] in
-  T.insert_values meta [ V.Int 1 ];
+  for d = 1 to docs do
+    T.insert_values meta [ V.Int d ]
+  done;
   let rows =
     Xdb_rel.Database.create_table db "rows"
       [ int_col "tid"; int_col "id"; str_col "name"; int_col "value"; str_col "category" ]
@@ -74,8 +82,12 @@ let records_db n : dbview =
   let rand = lcg (n + 17) in
   for i = 0 to n - 1 do
     let id, name, value, category = records_row rand i in
-    T.insert_values rows [ V.Int 1; V.Int id; V.Str name; V.Int value; V.Str category ]
+    let tid = (i / per_doc) + 1 in
+    T.insert_values rows [ V.Int tid; V.Int id; V.Str name; V.Int value; V.Str category ]
   done;
+  (* correlation index only when sharded: with one document every row
+     matches [tid] and the index would just shadow the value predicates *)
+  if docs > 1 then ignore (T.create_index rows ~name:"rows_tid_idx" ~column:"tid");
   ignore (T.create_index rows ~name:"rows_id_idx" ~column:"id");
   ignore (T.create_index rows ~name:"rows_value_idx" ~column:"value");
   ignore (T.create_index rows ~name:"rows_category_idx" ~column:"category");
@@ -142,10 +154,17 @@ let sales_doc n_regions items_per_region =
   in
   B.document (B.elem "sales" regions)
 
-let sales_db n_regions items_per_region : dbview =
+(** [docs] as in {!records_db}: shard the regions across that many
+    [salesdoc] base rows (one published document each); [rid] stays
+    globally unique so items never leak across documents. *)
+let sales_db ?(docs = 1) n_regions items_per_region : dbview =
+  let docs = max 1 (min (max 1 n_regions) docs) in
+  let per_doc = (n_regions + docs - 1) / docs in
   let db = Xdb_rel.Database.create () in
   let meta = Xdb_rel.Database.create_table db "salesdoc" [ int_col "sid" ] in
-  T.insert_values meta [ V.Int 1 ];
+  for d = 1 to docs do
+    T.insert_values meta [ V.Int d ]
+  done;
   let region =
     Xdb_rel.Database.create_table db "region" [ int_col "sid"; int_col "rid"; str_col "rname" ]
   in
@@ -155,7 +174,8 @@ let sales_db n_regions items_per_region : dbview =
   in
   let rand = lcg (n_regions + (31 * items_per_region)) in
   for r = 0 to n_regions - 1 do
-    T.insert_values region [ V.Int 1; V.Int r; V.Str (Printf.sprintf "region%03d" r) ];
+    let sid = (r / per_doc) + 1 in
+    T.insert_values region [ V.Int sid; V.Int r; V.Str (Printf.sprintf "region%03d" r) ];
     for i = 0 to items_per_region - 1 do
       T.insert_values item
         [ V.Int r;
@@ -163,6 +183,7 @@ let sales_db n_regions items_per_region : dbview =
           V.Int (1 + rand 500) ]
     done
   done;
+  if docs > 1 then ignore (T.create_index region ~name:"region_sid_idx" ~column:"sid");
   ignore (T.create_index item ~name:"item_rid_idx" ~column:"rid");
   let view =
     {

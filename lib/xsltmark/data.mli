@@ -14,7 +14,12 @@ type dbview = { db : Xdb_rel.Database.t; view : Xdb_rel.Publish.view }
     indexes [id], [value] and [category]. *)
 
 val records_doc : int -> Xdb_xml.Types.node
-val records_db : int -> dbview
+
+val records_db : ?docs:int -> int -> dbview
+(** [docs] (default 1) shards the rows across that many base-table rows,
+    one published document each — the many-documents XMLType-column shape
+    domain-parallel execution partitions.  [docs = 1] publishes exactly
+    [records_doc n]. *)
 
 val dbonerow_target : int -> int
 (** The row id dbonerow's predicate selects at a given size (middle row). *)
@@ -23,7 +28,10 @@ val dbonerow_target : int -> int
     (chart/total). *)
 
 val sales_doc : int -> int -> Xdb_xml.Types.node
-val sales_db : int -> int -> dbview
+
+val sales_db : ?docs:int -> int -> int -> dbview
+(** [docs] as in {!records_db}: regions sharded across that many
+    [salesdoc] base rows. *)
 
 (** dept/emp master-detail (paper Example 1), [sal] and [deptno] indexed. *)
 

@@ -701,6 +701,287 @@ let test_nan_condition_differential () =
   (* NaN is false: no <hit> elements anywhere *)
   check cb "no hits emitted" false (contains "<hit>" (String.concat "" f))
 
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel execution (PR 5)                                    *)
+(* ------------------------------------------------------------------ *)
+
+module PAR = Xdb_core.Parallel
+module EN = Xdb_core.Engine
+module XE = Xdb_core.Xdb_error
+
+(* CI sets XDB_TEST_JOBS to exercise the locked registry under more
+   domains than the default *)
+let test_jobs =
+  match Option.bind (Sys.getenv_opt "XDB_TEST_JOBS") int_of_string_opt with
+  | Some n when n > 1 -> n
+  | _ -> 4
+
+let test_chunk_ranges () =
+  check (Alcotest.list (Alcotest.pair ci ci)) "empty when total 0" []
+    (PAR.chunk_ranges ~total:0 ~chunks:4);
+  check (Alcotest.list (Alcotest.pair ci ci)) "fewer chunks than total" [ (0, 1); (1, 2) ]
+    (PAR.chunk_ranges ~total:2 ~chunks:5);
+  List.iter
+    (fun (total, chunks) ->
+      let ranges = PAR.chunk_ranges ~total ~chunks in
+      (* contiguous cover of [0, total) in order *)
+      let expected_next = ref 0 in
+      List.iter
+        (fun (lo, hi) ->
+          check ci "contiguous" !expected_next lo;
+          check cb "non-empty range" true (hi > lo);
+          expected_next := hi)
+        ranges;
+      check ci "covers total" total !expected_next;
+      check cb "at most requested chunks" true (List.length ranges <= chunks);
+      (* balanced to within one element *)
+      let sizes = List.map (fun (lo, hi) -> hi - lo) ranges in
+      let mn = List.fold_left min max_int sizes and mx = List.fold_left max 0 sizes in
+      check cb "balanced" true (mx - mn <= 1))
+    [ (1, 1); (7, 3); (100, 4); (3, 8); (1024, 7) ]
+
+let test_pool_run () =
+  PAR.with_pool ~jobs:test_jobs (fun pool ->
+      check ci "pool size" test_jobs (PAR.jobs pool);
+      (* deterministic index order regardless of executing domain *)
+      let r = PAR.run pool (fun i -> i * i) 100 in
+      Array.iteri (fun i v -> check ci "ordered result" (i * i) v) r;
+      check (Alcotest.list cs) "map_list preserves order" [ "a!"; "b!"; "c!" ]
+        (PAR.map_list pool (fun s -> s ^ "!") [ "a"; "b"; "c" ]);
+      check cb "empty run" true (PAR.run pool (fun i -> i) 0 = [||]);
+      (* the pool is reusable across runs *)
+      check ci "second run" 10 (Array.length (PAR.run pool (fun i -> i) 10)));
+  (* jobs = 1: no domains, still correct *)
+  PAR.with_pool ~jobs:1 (fun pool ->
+      check ci "degenerate pool" 1 (PAR.jobs pool);
+      check cb "sequential run" true (PAR.run pool (fun i -> i + 1) 5 = [| 1; 2; 3; 4; 5 |]))
+
+let test_pool_exception () =
+  PAR.with_pool ~jobs:3 (fun pool ->
+      (match PAR.run pool (fun i -> if i = 7 then failwith "boom" else i) 16 with
+      | _ -> Alcotest.fail "expected the task exception to re-raise"
+      | exception Failure m -> check cs "task exception propagates" "boom" m);
+      (* the pool survives a failed batch *)
+      check ci "usable after failure" 4 (Array.length (PAR.run pool (fun i -> i) 4)));
+  let pool = PAR.create ~jobs:2 in
+  PAR.shutdown pool;
+  PAR.shutdown pool (* idempotent *);
+  match PAR.run pool (fun i -> i) 3 with
+  | _ -> Alcotest.fail "run on a shut-down pool must raise"
+  | exception Invalid_argument _ -> ()
+
+let db_case_names = [ "dbonerow"; "avts"; "chart"; "metric"; "total" ]
+
+let case_env ?(docs = 1) name size =
+  let case =
+    match Xdb_xsltmark.Cases.find name with
+    | Some c -> c
+    | None -> Alcotest.fail ("unknown case " ^ name)
+  in
+  let case =
+    if case.Xdb_xsltmark.Cases.name = "dbonerow" then Xdb_xsltmark.Cases.dbonerow_for size
+    else case
+  in
+  let dv = Xdb_xsltmark.Cases.dbview_for ~docs case size in
+  (dv.Xdb_xsltmark.Data.db, dv.Xdb_xsltmark.Data.view, case.Xdb_xsltmark.Cases.stylesheet)
+
+(* qcheck differential: the parallel paths must be byte-identical to the
+   sequential ones over every db-capable case — sharded into several
+   documents so partitioning really happens — jobs 2 and 4, with and
+   without ANALYZE statistics *)
+let prop_parallel_equiv_sequential =
+  QCheck.Test.make ~name:"parallel(jobs=2,4) = sequential over db cases" ~count:25
+    QCheck.(
+      quad (oneofl db_case_names) (oneofl [ 2; 4 ])
+        (pair (int_range 3 40) (int_range 1 7))
+        bool)
+    (fun (name, jobs, (size, docs), analyze) ->
+      let db, view, ss = case_env ~docs name size in
+      if analyze then ignore (Xdb_rel.Analyze.all db);
+      let c = PL.compile db view ss in
+      let seq_r = PL.run_rewrite db c in
+      let seq_f = PL.run_functional db c in
+      PAR.with_pool ~jobs (fun pool ->
+          PL.run_rewrite_parallel ~pool db c = seq_r
+          && PL.run_functional_parallel ~pool db c = seq_f))
+
+let test_exec_partition () =
+  (* the Exec partition hook: per-range executions concatenate to the full
+     run, and per-domain stats collectors merge to the sequential counts *)
+  let db, view, ss = case_env ~docs:8 "dbonerow" 40 in
+  let c = PL.compile db view ss in
+  let plan = match c.PL.sql_plan with Some p -> p | None -> Alcotest.fail "no plan" in
+  let table =
+    match PL.partition_table c with Some t -> t | None -> Alcotest.fail "not partitionable"
+  in
+  let strings (layout, rows) =
+    let s =
+      match Xdb_rel.Layout.slot_opt layout "result" with
+      | Some s -> s
+      | None -> Alcotest.fail "no result column"
+    in
+    List.map (fun (r : V.t array) -> V.to_string r.(s)) rows
+  in
+  let full = strings (Xdb_rel.Exec.run_arrays db plan) in
+  let total = T.size (Xdb_rel.Database.table db table) in
+  check cb "several rows" true (total > 3);
+  let mid = total / 2 in
+  let part lo hi = strings (Xdb_rel.Exec.run_arrays db ~partition:(table, lo, hi) plan) in
+  check (Alcotest.list cs) "ranges concatenate to the full run" full
+    (part 0 mid @ part mid total);
+  (* out-of-range windows clamp *)
+  check (Alcotest.list cs) "clamped window" full (part 0 (total + 100));
+  check (Alcotest.list cs) "empty window" [] (part total total);
+  (* per-operator stats merge by id to the sequential signature *)
+  let (_, seq_stats) = Xdb_rel.Exec.run_arrays_analyzed db plan in
+  let (_, s1) = Xdb_rel.Exec.run_arrays_analyzed db ~partition:(table, 0, mid) plan in
+  let (_, s2) = Xdb_rel.Exec.run_arrays_analyzed db ~partition:(table, mid, total) plan in
+  let merged = Xdb_rel.Stats.create plan in
+  Xdb_rel.Stats.merge_into ~into:merged s1;
+  Xdb_rel.Stats.merge_into ~into:merged s2;
+  check
+    (Alcotest.list (Alcotest.pair cs ci))
+    "merged stats = sequential signature"
+    (Xdb_rel.Stats.rows_signature seq_stats)
+    (Xdb_rel.Stats.rows_signature merged)
+
+let test_metrics_merge () =
+  let a = Xdb_core.Metrics.create () and b = Xdb_core.Metrics.create () in
+  Xdb_core.Metrics.add_ms a "exec" 2.0;
+  Xdb_core.Metrics.incr a "rows";
+  Xdb_core.Metrics.add_ms b "exec" 3.0;
+  Xdb_core.Metrics.add_ms b "merge" 1.0;
+  Xdb_core.Metrics.incr ~by:4 b "rows";
+  Xdb_core.Metrics.merge_into ~into:a b;
+  check (Alcotest.list (Alcotest.pair cs (Alcotest.float 0.001))) "stages summed"
+    [ ("exec", 5.0); ("merge", 1.0) ]
+    (Xdb_core.Metrics.stages a);
+  check (Alcotest.list (Alcotest.pair cs ci)) "counters summed" [ ("rows", 5) ]
+    (Xdb_core.Metrics.counters a)
+
+let test_registry_concurrent () =
+  (* [test_jobs] domains hammer one capacity-bounded registry; afterwards
+     the counters must be torn-state-free: every compile call is either a
+     hit or a recompilation, and recompilations = misses + stale *)
+  let db, view = setup_example1 () in
+  let reg = Xdb_core.Registry.create ~capacity:3 db in
+  Xdb_core.Registry.register_view reg view;
+  let variant tag =
+    Printf.sprintf
+      {|<?xml version="1.0"?><xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">%s<!-- v%d --></xsl:stylesheet>|}
+      example1_body tag
+  in
+  let variants = Array.init 6 variant in
+  let per_domain = 40 in
+  let outputs =
+    PAR.with_pool ~jobs:test_jobs (fun pool ->
+        PAR.run pool
+          (fun d ->
+            List.init per_domain (fun i ->
+                let ss = variants.((d + (3 * i)) mod Array.length variants) in
+                Xdb_core.Registry.run reg ~view_name:"dept_emp" ~stylesheet:ss))
+          test_jobs)
+  in
+  (* all variants differ only in a comment: identical output everywhere *)
+  let reference = List.hd outputs.(0) in
+  Array.iter
+    (List.iter (fun out -> check cb "consistent output under contention" true (out = reference)))
+    outputs;
+  let counter name = List.assoc name (Xdb_core.Registry.counters reg) in
+  let calls = test_jobs * per_domain in
+  check ci "every call was a hit or a recompilation" calls
+    (counter "cache_hits" + counter "recompilations");
+  check ci "recompilations = misses + stale" (counter "recompilations")
+    (counter "cache_misses" + counter "cache_stale");
+  check cb "bounded cache kept evicting" true (counter "cache_evictions" > 0);
+  (* the cache still works sequentially afterwards (no torn LRU state) *)
+  let after = Xdb_core.Registry.run reg ~view_name:"dept_emp" ~stylesheet:variants.(0) in
+  check cb "usable after the hammering" true (after = reference)
+
+let test_engine_facade () =
+  let db, view = setup_example1 () in
+  let engine = EN.create db in
+  EN.register_view engine view;
+  let t ?(options = EN.default_run_options) () =
+    EN.transform ~options engine ~view_name:"dept_emp" ~stylesheet:example1_stylesheet
+  in
+  let base = (t ()).EN.output in
+  check cb "engine produces documents" true (base <> []);
+  check cb "no metrics unless asked" true ((t ()).EN.metrics = None);
+  (* every run_options combination agrees byte-for-byte *)
+  List.iter
+    (fun options ->
+      let r = t ~options () in
+      check (Alcotest.list cs) "options-invariant output" base r.EN.output;
+      check cb "metrics iff collect_metrics" (options.EN.collect_metrics)
+        (r.EN.metrics <> None))
+    [
+      { EN.default_run_options with EN.streaming = false };
+      { EN.default_run_options with EN.interpreted = true };
+      { EN.default_run_options with EN.jobs = 3 };
+      { EN.default_run_options with EN.jobs = 3; interpreted = true };
+      { EN.streaming = false; jobs = 2; collect_metrics = true; interpreted = false };
+    ];
+  (* publish through the facade: DOM, streamed and parallel agree *)
+  let pub ?(options = EN.default_run_options) () =
+    (EN.publish ~options engine ~view_name:"dept_emp").EN.output
+  in
+  let dom = pub () in
+  check cb "published documents" true (dom <> []);
+  check (Alcotest.list cs) "streamed publish identical" dom
+    (pub ~options:{ EN.default_run_options with EN.streaming = true } ());
+  check (Alcotest.list cs) "parallel publish identical" dom
+    (pub ~options:{ EN.default_run_options with EN.streaming = true; jobs = 4 } ());
+  (* explain / explain_analyze work and agree on actual row counts *)
+  check cb "explain has a plan section" true
+    (contains "SQL/XML plan" (EN.explain engine ~view_name:"dept_emp" ~stylesheet:example1_stylesheet));
+  let ea options =
+    EN.explain_analyze ~options engine ~view_name:"dept_emp" ~stylesheet:example1_stylesheet
+  in
+  check cb "explain_analyze reports actuals" true
+    (contains "actual=" (ea EN.default_run_options));
+  check cb "parallel explain_analyze reports actuals" true
+    (contains "actual=" (ea { EN.default_run_options with EN.jobs = 3 }));
+  check ci "cache served repeated prepares"
+    (List.assoc "cache_misses" (EN.registry_counters engine))
+    1;
+  EN.shutdown engine;
+  EN.shutdown engine (* idempotent *);
+  (* the engine stays usable after shutdown (fresh pool on demand) *)
+  check (Alcotest.list cs) "usable after shutdown" base
+    (t ~options:{ EN.default_run_options with EN.jobs = 2 } ()).EN.output
+
+let test_xdb_error () =
+  let db, view = setup_example1 () in
+  let engine = EN.create db in
+  EN.register_view engine view;
+  (* unknown view: a Compile error, rendered without a backtrace *)
+  (match EN.prepare engine ~view_name:"nope" ~stylesheet:example1_stylesheet with
+  | _ -> Alcotest.fail "unknown view must raise"
+  | exception XE.Error (XE.Compile m) ->
+      check cb "names the view" true (contains "nope" m);
+      check cb "stable rendering" true
+        (contains "compile error:" (XE.to_string (XE.Compile m)))
+  | exception e -> Alcotest.fail ("expected Xdb_error.Error, got " ^ Printexc.to_string e));
+  (* unparsable stylesheet: a Parse error naming the language *)
+  (match EN.prepare engine ~view_name:"dept_emp" ~stylesheet:"<xsl:not-a-stylesheet" with
+  | _ -> Alcotest.fail "bad stylesheet must raise"
+  | exception XE.Error e ->
+      check cb "classified as parse" true
+        (match e with XE.Parse _ -> true | _ -> false));
+  (* of_exn classifies library exceptions; foreign ones pass through *)
+  check cb "exec classified" true
+    (XE.of_exn (Xdb_rel.Exec.Exec_error "x") = Some (XE.Exec "x"));
+  check cb "foreign exception unclassified" true (XE.of_exn Exit = None);
+  (match XE.wrap ~stage:"exec" (fun () -> raise Exit) with
+  | _ -> Alcotest.fail "wrap must re-raise"
+  | exception Exit -> ());
+  (match XE.wrap ~stage:"publish" (fun () -> failwith "f") with
+  | _ -> Alcotest.fail "wrap must classify Failure"
+  | exception XE.Error (XE.Publish m) -> check cs "failure attributed to stage" "f" m
+  | exception e -> Alcotest.fail ("expected Publish error, got " ^ Printexc.to_string e));
+  EN.shutdown engine
+
 (* property: pipeline equivalence across random dept/emp instances *)
 let prop_pipeline_equivalence =
   QCheck.Test.make ~name:"functional = rewrite on random instances" ~count:20
@@ -750,5 +1031,17 @@ let () =
           Alcotest.test_case "dbonerow EXPLAIN ANALYZE" `Quick test_dbonerow_explain_analyze;
           Alcotest.test_case "NaN condition differential" `Quick test_nan_condition_differential;
           QCheck_alcotest.to_alcotest prop_pipeline_equivalence;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "chunk_ranges" `Quick test_chunk_ranges;
+          Alcotest.test_case "pool run / map_list" `Quick test_pool_run;
+          Alcotest.test_case "pool exceptions & shutdown" `Quick test_pool_exception;
+          Alcotest.test_case "Exec partition windows" `Quick test_exec_partition;
+          Alcotest.test_case "Metrics merge" `Quick test_metrics_merge;
+          Alcotest.test_case "registry under contention" `Quick test_registry_concurrent;
+          Alcotest.test_case "Engine facade" `Quick test_engine_facade;
+          Alcotest.test_case "Xdb_error boundary" `Quick test_xdb_error;
+          QCheck_alcotest.to_alcotest prop_parallel_equiv_sequential;
         ] );
     ]
