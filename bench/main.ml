@@ -17,6 +17,10 @@
     - [parscale]    — domain-parallel rewrite execution at 1/2/4 domains,
                       many-documents sharding, byte-identity asserted
                       (BENCH_PR5.json);
+    - [shredscale]  — DOM tree walk vs interval-encoded shredded storage
+                      with axis range scans, 8k/64k-node documents,
+                      descendant and value-predicate lookups, byte-identity
+                      asserted (BENCH_PR6.json);
     - [micro]       — Bechamel micro-benchmarks of the pipeline stages
                       (one [Test.make] per reproduced figure leg).
 
@@ -724,6 +728,95 @@ let parscale ?(sizes = [ 8_000; 64_000 ]) ?(jobs_list = [ 1; 2; 4 ]) () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* shredscale: DOM walk vs shredded index range scan (BENCH_PR6)       *)
+(* ------------------------------------------------------------------ *)
+
+(* The records document shredded into interval-encoded node rows
+   (Xdb_rel.Shred), then XPath lookups answered two ways: the DOM
+   interpreter walking the resident tree vs axis range scans over the
+   B-tree indexed rows.  Byte-identity (through the common attribute
+   rendering of Shred.serialize/serialize_dom) is asserted on every leg
+   before timing.  CI gates the large-size descendant lookups: the
+   shredded range scan must beat the DOM walk. *)
+let shredscale ?(sizes = [ 800; 6_400 ]) () =
+  let module SH = Xdb_rel.Shred in
+  Printf.printf "%s\nshredscale: DOM tree walk vs shredded index range scan\n%s\n" hrule hrule;
+  Printf.printf "%8s %12s %12s %12s %8s %10s\n" "nodes" "query" "dom_ms" "shred_ms" "speedup"
+    "identical";
+  let legs = ref [] and csv_rows = ref [] in
+  let summaries =
+    List.map
+      (fun n ->
+        let doc = D.records_doc n in
+        let t = SH.create (Xdb_rel.Database.create ()) in
+        let docid = SH.shred t doc in
+        let _, nodes = SH.stats t in
+        let ctx = Xdb_xpath.Eval.make_context doc in
+        (* a second document where the looked-up name is rare (one <name>
+           per region, ~1/500 nodes): the descendant lookup the dnk index
+           exists for, vs a full DOM walk *)
+        let sales = D.sales_doc (n / 50) 100 in
+        let ts = SH.create (Xdb_rel.Database.create ()) in
+        let sales_docid = SH.shred ts sales in
+        let sales_ctx = Xdb_xpath.Eval.make_context sales in
+        let target = string_of_int (n / 2) in
+        (* broad name-tested descendant fetch (every 10th node matches),
+           selective descendant lookup, and two value-predicate forms *)
+        let queries =
+          [
+            ("descendant", t, docid, ctx, "descendant::name");
+            ("lookup", ts, sales_docid, sales_ctx, "descendant::name");
+            ("desc-value", t, docid, ctx, Printf.sprintf "descendant::id[.='%s']" target);
+            ("child-value", t, docid, ctx, Printf.sprintf "descendant::row[id='%s']" target);
+          ]
+        in
+        let tot_dom = ref 0.0 and tot_shred = ref 0.0 and lookup_speedup = ref 0.0 in
+        let all_identical = ref true in
+        List.iter
+          (fun (label, t, docid, ctx, q) ->
+            let _, nodes = SH.stats t in
+            let shred_out = SH.serialize t (SH.select t ~docid q) in
+            let dom_out = SH.serialize_dom (Xdb_xpath.Eval.select ctx q) in
+            let identical = shred_out = dom_out in
+            all_identical := !all_identical && identical;
+            assert identical;
+            let dom_ms = time_ms (fun () -> ignore (Xdb_xpath.Eval.select ctx q)) in
+            let shred_ms = time_ms (fun () -> ignore (SH.select t ~docid q)) in
+            let speedup = dom_ms /. shred_ms in
+            if label = "lookup" then lookup_speedup := speedup;
+            tot_dom := !tot_dom +. dom_ms;
+            tot_shred := !tot_shred +. shred_ms;
+            Printf.printf "%8d %12s %12.4f %12.4f %7.2fx %10b\n" nodes label dom_ms shred_ms
+              speedup identical;
+            legs :=
+              Printf.sprintf
+                {|{"nodes":%d,"query":"%s","xpath":"%s","dom_ms":%.4f,"shred_ms":%.4f,"speedup":%.3f,"identical":%b}|}
+                nodes label (json_escape q) dom_ms shred_ms speedup identical
+              :: !legs;
+            csv_rows :=
+              Printf.sprintf "%d,%s,%.4f,%.4f,%.3f,%b" nodes label dom_ms shred_ms speedup
+                identical
+              :: !csv_rows)
+          queries;
+        Printf.printf "%8d %12s %12.4f %12.4f %7.2fx\n" nodes "TOTAL" !tot_dom !tot_shred
+          (!tot_dom /. !tot_shred);
+        Printf.sprintf
+          {|{"nodes":%d,"dom_ms":%.4f,"shred_ms":%.4f,"total_speedup":%.3f,"lookup_speedup":%.3f,"all_identical":%b}|}
+          nodes !tot_dom !tot_shred
+          (!tot_dom /. !tot_shred)
+          !lookup_speedup !all_identical)
+      sizes
+  in
+  csv_out "shredscale.csv" "nodes,query,dom_ms,shred_ms,speedup,identical" (List.rev !csv_rows);
+  let oc = open_out "BENCH_PR6.json" in
+  Printf.fprintf oc "{\"bench\":\"BENCH_PR6\",\"legs\":[\n  %s\n],\"summary\":[\n  %s\n]}\n"
+    (String.concat ",\n  " (List.rev !legs))
+    (String.concat ",\n  " summaries);
+  close_out oc;
+  print_endline "(written BENCH_PR6.json)";
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -791,6 +884,7 @@ let () =
   if run "execscale" then execscale ();
   if run "pubstream" then pubstream ();
   if run "parscale" then parscale ();
+  if run "shredscale" then shredscale ();
   if run "ablation" then ablation ();
   if run "storage" then storage ();
   if run "partial" then partial_inline ();

@@ -137,9 +137,42 @@ let transform_cmd =
              $(b,--interpreted)/$(b,--jobs) apply).")
   in
   let size = Arg.(value & opt int 100 & info [ "n"; "size" ] ~doc:"Workload size (rows), with --case") in
-  let run verbose stylesheet document mode case size opts =
+  let shredded =
+    Arg.(
+      value & flag
+      & info [ "shredded" ]
+          ~doc:
+            "Store the input document interval-encoded (one node row per XML node, see \
+             $(b,shred)) and transform through the shredded path: reconstruction from node \
+             rows, then the XSLTVM.  Output is byte-identical to the direct paths.")
+  in
+  (* shred [doc] into a fresh engine and transform through the store *)
+  let run_shredded opts stylesheet doc =
+    with_engine_errors (fun () ->
+        let engine = Xdb_core.Engine.create (Xdb_rel.Database.create ()) in
+        ignore (Xdb_core.Engine.store_shredded engine doc);
+        let r = Xdb_core.Engine.transform_shredded ~options:opts engine ~stylesheet in
+        List.iter print_endline r.Xdb_core.Engine.output;
+        print_metrics r.Xdb_core.Engine.metrics;
+        Xdb_core.Engine.shutdown engine)
+  in
+  let run verbose stylesheet document mode case size shredded opts =
     setup_logs verbose;
     match case with
+    | Some name when shredded -> (
+        match Xdb_xsltmark.Cases.find name with
+        | None ->
+            Printf.eprintf "unknown case %S (see `xdb_cli cases`)\n" name;
+            exit 2
+        | Some case ->
+            (* dbonerow's selected id is baked into the stylesheet per size *)
+            let case =
+              if case.Xdb_xsltmark.Cases.name = "dbonerow" then
+                Xdb_xsltmark.Cases.dbonerow_for size
+              else case
+            in
+            run_shredded opts case.Xdb_xsltmark.Cases.stylesheet
+              (Xdb_xsltmark.Cases.doc_for case size))
     | Some name ->
         with_engine_errors (fun () ->
             match engine_for_case name size with
@@ -153,6 +186,9 @@ let transform_cmd =
                 Xdb_core.Engine.shutdown engine)
     | None -> (
         match (stylesheet, document) with
+        | Some stylesheet, Some document when shredded ->
+            run_shredded opts (read_file stylesheet)
+              (Xdb_xml.Parser.parse (read_file document))
         | Some stylesheet, Some document ->
             let ss_text = read_file stylesheet in
             let doc = Xdb_xml.Parser.parse (read_file document) in
@@ -179,7 +215,97 @@ let transform_cmd =
   in
   Cmd.v
     (Cmd.info "transform" ~doc:"Apply an XSLT stylesheet to a document or a built-in case")
-    Term.(const run $ verbose $ stylesheet $ document $ mode $ case $ size $ run_options_term)
+    Term.(
+      const run $ verbose $ stylesheet $ document $ mode $ case $ size $ shredded
+      $ run_options_term)
+
+(* ------------------------------------------------------------------ *)
+(* shred                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let shred_cmd =
+  let files = Arg.(value & pos_all file [] & info [] ~docv:"XMLFILE") in
+  let case =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "case" ] ~docv:"CASE"
+          ~doc:"Shred a built-in benchmark case's document instead of XML files.")
+  in
+  let size = Arg.(value & opt int 100 & info [ "n"; "size" ] ~doc:"Workload size (rows), with --case") in
+  let query =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "q"; "query" ] ~docv:"XPATH"
+          ~doc:
+            "Evaluate an XPath expression over each stored document by relational axis range \
+             scans, print the serialized result nodes, and differential-check them against \
+             the DOM interpreter.")
+  in
+  let explain_steps =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:"With $(b,--query), print the access path each location step compiles to.")
+  in
+  let run verbose files case size query explain_steps =
+    setup_logs verbose;
+    let docs =
+      match case with
+      | Some name -> (
+          match Xdb_xsltmark.Cases.find name with
+          | None ->
+              Printf.eprintf "unknown case %S (see `xdb_cli cases`)\n" name;
+              exit 2
+          | Some c -> [ Xdb_xsltmark.Cases.doc_for c size ])
+      | None -> List.map (fun f -> Xdb_xml.Parser.parse (read_file f)) files
+    in
+    if docs = [] then (
+      prerr_endline "shred: provide XML files or --case NAME";
+      exit 2);
+    with_engine_errors (fun () ->
+        let engine = Xdb_core.Engine.create (Xdb_rel.Database.create ()) in
+        let ids = List.map (Xdb_core.Engine.store_shredded engine) docs in
+        let s = Xdb_core.Engine.shred_store engine in
+        let ndocs, nrows = Xdb_rel.Shred.stats s in
+        Printf.printf "shredded %d document(s) into %d node row(s) (table %s)\n" ndocs nrows
+          (Xdb_rel.Shred.table_name s);
+        match query with
+        | None -> ()
+        | Some q ->
+            List.iter2
+              (fun docid doc ->
+                let out = Xdb_rel.Shred.serialize s (Xdb_rel.Shred.select s ~docid q) in
+                Printf.printf "-- doc %d: %d node(s)\n" docid (List.length out);
+                List.iter print_endline out;
+                let dom =
+                  Xdb_rel.Shred.serialize_dom
+                    (Xdb_xpath.Eval.select (Xdb_xpath.Eval.make_context doc) q)
+                in
+                if out <> dom then (
+                  prerr_endline "!! shredded result DIFFERS from the DOM interpreter";
+                  exit 1))
+              ids docs;
+            let rel, fb = Xdb_rel.Shred.counters s in
+            Printf.printf "-- %d relational step(s), %d DOM fallback(s)\n" rel fb;
+            if explain_steps then (
+              match Xdb_xpath.Parser.parse q with
+              | Xdb_xpath.Ast.Path { steps; _ } ->
+                  List.iter
+                    (fun (st : Xdb_xpath.Ast.step) ->
+                      Printf.printf "-- step %s\n%s\n"
+                        (Xdb_xpath.Ast.step_to_string st)
+                        (Xdb_rel.Shred.explain_step s st))
+                    steps
+              | _ -> prerr_endline "(--explain: not a path expression)"))
+  in
+  Cmd.v
+    (Cmd.info "shred"
+       ~doc:
+         "Store documents interval-encoded (one node row per XML node, B-tree indexed) and \
+          query them with XPath axis range scans")
+    Term.(const run $ verbose $ files $ case $ size $ query $ explain_steps)
 
 (* ------------------------------------------------------------------ *)
 (* translate                                                           *)
@@ -402,4 +528,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ transform_cmd; translate_cmd; explain_cmd; publish_cmd; cases_cmd; shell_cmd ]))
+          [ transform_cmd; translate_cmd; explain_cmd; publish_cmd; cases_cmd; shell_cmd;
+            shred_cmd ]))

@@ -22,6 +22,8 @@ type t = {
   options : Options.t;
   pool_lock : Mutex.t;
   mutable pool : Parallel.t option;  (** created lazily on first jobs > 1 run *)
+  shred_lock : Mutex.t;
+  mutable shred : Xdb_rel.Shred.t option;  (** created lazily on first store *)
 }
 
 let create ?capacity ?(options = Options.default) db =
@@ -31,6 +33,8 @@ let create ?capacity ?(options = Options.default) db =
     options;
     pool_lock = Mutex.create ();
     pool = None;
+    shred_lock = Mutex.create ();
+    shred = None;
   }
 
 let database t = t.db
@@ -133,6 +137,54 @@ let publish ?(options = default_run_options) ?(indent = false) t ~view_name =
         else serialize_range ?metrics ~lo:0 ~hi:total ())
   in
   { output; metrics }
+
+(* ------------------------------------------------------------------ *)
+(* Shredded storage                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* one shred store per engine, its node table living in the engine's
+   database next to the published views' base tables *)
+let shred_store t =
+  Mutex.lock t.shred_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.shred_lock)
+    (fun () ->
+      match t.shred with
+      | Some s -> s
+      | None ->
+          let s = Xdb_error.wrap ~stage:"shred" (fun () -> Xdb_rel.Shred.create t.db) in
+          t.shred <- Some s;
+          s)
+
+let store_shredded t doc =
+  let s = shred_store t in
+  Xdb_error.wrap ~stage:"shred" (fun () -> Xdb_rel.Shred.shred s doc)
+
+let transform_shredded ?(options = default_run_options) ?docids t ~stylesheet =
+  let s = shred_store t in
+  let docids =
+    match docids with Some ids -> ids | None -> Xdb_rel.Shred.doc_ids s
+  in
+  let metrics = metrics_of options in
+  match docids with
+  | [] -> { output = []; metrics }
+  | first :: _ ->
+      let dc =
+        Xdb_error.wrap ~stage:"compile" (fun () ->
+            let example_doc = Xdb_rel.Shred.reconstruct s first in
+            Pipeline.compile_for_document ~options:t.options stylesheet ~example_doc)
+      in
+      let output =
+        Xdb_error.wrap ~stage:"exec" (fun () ->
+            let pool = if options.jobs > 1 then Some (pool_for t options.jobs) else None in
+            Pipeline.run_shredded ?metrics ?pool s dc docids)
+      in
+      { output; metrics }
+
+let query_shredded t ~docid expr =
+  let s = shred_store t in
+  Xdb_error.wrap ~stage:"exec" (fun () ->
+      Xdb_rel.Shred.serialize s (Xdb_rel.Shred.select s ~docid expr))
 
 let explain t ~view_name ~stylesheet =
   Pipeline.explain (prepare t ~view_name ~stylesheet)

@@ -70,6 +70,40 @@ val publish :
     otherwise; [jobs > 1] partitions the base rows across domains.
     @raise Xdb_error.Error on publish/serialize failures. *)
 
+(** {1 Shredded document storage}
+
+    Documents stored node-per-row with interval (pre/post) numbering
+    ({!Xdb_rel.Shred}): XPath axes over them become B-tree range scans
+    instead of tree walks, and transforms run over the reconstructed
+    trees.  One engine owns at most one shred store, created lazily in
+    the engine's database on first use. *)
+
+val shred_store : t -> Xdb_rel.Shred.t
+(** The engine's shred store (created on first call).
+    @raise Xdb_error.Error when the node table cannot be created. *)
+
+val store_shredded : t -> Xdb_xml.Types.node -> int
+(** Decompose a document into interval-encoded node rows; returns its
+    docid.  @raise Xdb_error.Error on capacity overflow. *)
+
+val transform_shredded :
+  ?options:run_options -> ?docids:int list -> t -> stylesheet:string -> run_result
+(** Run a stylesheet over stored documents (all of them unless [docids]
+    narrows the set): each is reconstructed from its rows, then
+    transformed by the XSLTVM — across domains when [jobs > 1].  The
+    stylesheet is compiled once, partially evaluated against the first
+    document's inferred structure.  [streaming]/[interpreted] do not
+    apply to this path; [collect_metrics] records [reconstruct] and
+    [vm_transform] stages.  Output is byte-identical to transforming the
+    original documents directly.
+    @raise Xdb_error.Error on compile or execution failures. *)
+
+val query_shredded : t -> docid:int -> string -> string list
+(** Evaluate an XPath expression over a stored document by relational
+    axis range scans (DOM-interpreter fallback outside the supported
+    subset — identical answers either way) and serialize each result
+    node.  @raise Xdb_error.Error on parse/evaluation failures. *)
+
 val explain : t -> view_name:string -> stylesheet:string -> string
 (** {!Pipeline.explain} of the prepared compilation.
     @raise Xdb_error.Error on compile failures. *)

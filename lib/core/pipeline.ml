@@ -360,6 +360,25 @@ let transform_via_xquery (dc : doc_compiled) doc =
   let doc = Xdb_xslt.Strip.apply dc.d_prog.Xdb_xslt.Compile.space doc in
   Xdb_xquery.Eval.run_serialized dc.d_translation.Xslt2xquery.query ~context:doc
 
+(** Shredded evaluation: reconstruct each stored document from its node
+    rows (sequential — the shred handle's reconstruction cache is not
+    domain-safe), then run the XSLTVM over each tree, domain-parallel
+    across documents when a multi-domain [pool] is given.  Stage times
+    are recorded under [reconstruct]/[vm_transform]; output is
+    byte-identical to {!transform_functional} over the original
+    documents. *)
+let run_shredded ?metrics ?pool (shred : Xdb_rel.Shred.t) (dc : doc_compiled) docids :
+    string list =
+  let docs =
+    staged metrics "reconstruct" (fun () ->
+        List.map (Xdb_rel.Shred.reconstruct shred) docids)
+  in
+  staged metrics "vm_transform" (fun () ->
+      match pool with
+      | Some pool when Parallel.jobs pool > 1 && List.length docs > 1 ->
+          Parallel.map_list pool (transform_functional dc) docs
+      | _ -> List.map (transform_functional dc) docs)
+
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                            *)
 (* ------------------------------------------------------------------ *)

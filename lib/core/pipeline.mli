@@ -139,6 +139,20 @@ val compile_for_document :
 val transform_functional : doc_compiled -> Xdb_xml.Types.node -> string
 val transform_via_xquery : doc_compiled -> Xdb_xml.Types.node -> string
 
+val run_shredded :
+  ?metrics:Metrics.t ->
+  ?pool:Parallel.t ->
+  Xdb_rel.Shred.t ->
+  doc_compiled ->
+  int list ->
+  string list
+(** Shredded evaluation: reconstruct each stored document from its
+    interval-encoded node rows ({!Xdb_rel.Shred.reconstruct}, cached and
+    sequential), then run the XSLTVM over each tree — domain-parallel
+    across documents when a multi-domain [pool] is given.  Stages:
+    [reconstruct], [vm_transform].  Byte-identical to
+    {!transform_functional} over the original documents. *)
+
 val mode_name : Xslt2xquery.mode_used -> string
 
 val explain : compiled -> string

@@ -33,9 +33,39 @@ let indexed_columns db table =
   | Some t -> List.map (fun i -> i.Table.idx_column) t.Table.indexes
 
 (* every rewrite of [Filter (cs, Seq_scan)] into an index access path —
-   one candidate per indexed sargable conjunct, residual filter on top *)
+   one candidate per indexed sargable conjunct, residual filter on top.
+   When one indexed column carries both a lower- and an upper-bound
+   conjunct (the interval-containment predicates of shredded XML axes:
+   [pre > c.pre ∧ pre < c.post]), a merged candidate scanning the closed
+   two-sided range is emitted first, so the rule-based choice probes the
+   interval instead of walking half the index with a residual filter. *)
 let index_candidates db table alias cs =
-  let indexed = indexed_columns db table in
+  let indexed = List.sort_uniq compare (indexed_columns db table) in
+  let bound_of col want c =
+    match Cost.sargable alias c with
+    | Some (col', op, rhs) when col' = col -> (
+        match (want, op) with
+        | `Lower, Gt -> Some (Excl rhs)
+        | `Lower, Geq -> Some (Incl rhs)
+        | `Upper, Lt -> Some (Excl rhs)
+        | `Upper, Leq -> Some (Incl rhs)
+        | _ -> None)
+    | _ -> None
+  in
+  let merged =
+    List.filter_map
+      (fun col ->
+        let pick want = List.find_opt (fun c -> bound_of col want c <> None) cs in
+        match (pick `Lower, pick `Upper) with
+        | Some lc, Some uc ->
+            let lo = Option.get (bound_of col `Lower lc) in
+            let hi = Option.get (bound_of col `Upper uc) in
+            let scan = Index_scan { table; alias; index_column = col; lo; hi } in
+            let remaining = List.filter (fun c -> c != lc && c != uc) cs in
+            Some (if remaining = [] then scan else Filter (conjoin remaining, scan))
+        | _ -> None)
+      indexed
+  in
   let rec go seen = function
     | [] -> []
     | c :: rest ->
@@ -49,7 +79,7 @@ let index_candidates db table alias cs =
             plan :: tail
         | _ -> tail)
   in
-  go [] cs
+  merged @ go [] cs
 
 (* access path for [Filter (cond, Seq_scan)]: without stats the first
    indexed conjunct wins (rule-based); with stats the cheapest of every

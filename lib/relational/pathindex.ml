@@ -20,10 +20,21 @@ type t = {
 let create () = { entries = Hashtbl.create 1024; n_docs = 0; n_entries = 0 }
 
 let add_entry t key docid =
-  (match Hashtbl.find_opt t.entries key with
-  | Some cell -> if (match !cell with d :: _ -> d <> docid | [] -> true) then cell := docid :: !cell
-  | None -> Hashtbl.add t.entries key (ref [ docid ]));
-  t.n_entries <- t.n_entries + 1
+  let inserted =
+    match Hashtbl.find_opt t.entries key with
+    | Some cell ->
+        (* consecutive re-indexing of the same leaf in the same document is
+           deduplicated — and must not count towards [n_entries] *)
+        if match !cell with d :: _ -> d <> docid | [] -> true then begin
+          cell := docid :: !cell;
+          true
+        end
+        else false
+    | None ->
+        Hashtbl.add t.entries key (ref [ docid ]);
+        true
+  in
+  if inserted then t.n_entries <- t.n_entries + 1
 
 (** [index t docid doc] — index every text leaf and attribute of [doc]. *)
 let index t docid (doc : X.node) =

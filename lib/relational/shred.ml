@@ -1,0 +1,746 @@
+(* Interval-encoded XML shredding: node-per-row storage with pre/post
+   numbering, packed composite keys, and location steps compiled once per
+   shape into correlated plans the optimizer answers with B-tree range
+   scans.  See shred.mli for the encoding contract. *)
+
+module X = Xdb_xml.Types
+module XA = Xdb_xpath.Ast
+module AR = Xdb_xpath.Axis_range
+module XE = Xdb_xpath.Eval
+module XV = Xdb_xpath.Value
+module A = Algebra
+
+exception Shred_error of string
+exception Unsupported of string
+
+let err fmt = Printf.ksprintf (fun m -> raise (Shred_error m)) fmt
+
+type node = {
+  docid : int;
+  pre : int;
+  post : int;
+  parent : int;
+  level : int;
+  kind : string;
+  name : string;
+  prefix : string;
+  uri : string;
+  value : string;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Packed keys                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let pre_bits = 24
+let name_bits = 12
+let max_ticks = 1 lsl pre_bits
+let max_names = 1 lsl name_bits
+let pack_dpre docid pre = (docid lsl pre_bits) lor pre
+let pack_dnk docid nid pre = (((docid lsl name_bits) lor nid) lsl pre_bits) lor pre
+
+(* ------------------------------------------------------------------ *)
+(* Handle                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type plan_key = {
+  pk_axis : XA.axis;
+  pk_kinds : AR.kind_filter;
+  pk_named : bool;
+  pk_dnk : bool;
+}
+
+(* a reconstructed document: the DOM tree plus both directions of the
+   pre ↔ node correspondence (DOM orders are stamped with [pre], so a DOM
+   interpreter result maps back to its row through [order]) *)
+type rebuilt = {
+  dom : X.node;
+  rows : node array;  (** pre order *)
+  row_ix : int array;  (** pre → index into [rows], -1 for post-only ticks *)
+  by_pre : X.node option array;
+}
+
+type t = {
+  db : Database.t;
+  tbl : Table.t;
+  names_tbl : Table.t;
+  names : (string, int) Hashtbl.t;
+  mutable next_nid : int;
+  mutable next_docid : int;
+  doc_meta : (int, node) Hashtbl.t;
+  plans : (plan_key, Exec.compiled) Hashtbl.t;
+  rebuilt_cache : (int, rebuilt) Hashtbl.t;
+  outer_layout : Layout.t;
+  mutable n_rel : int;
+  mutable n_fallback : int;
+}
+
+let scan_alias = "s"
+let outer_alias = "c"
+
+(* per-context-node correlation row; plans reference these via [c.*] *)
+let outer_cols =
+  [| "pre"; "post"; "parent"; "dpre"; "dpost"; "dparent"; "doclo"; "dochi"; "nklo"; "nkhi"; "name" |]
+
+let int_col n = { Table.col_name = n; col_type = Value.Tint }
+let str_col n = { Table.col_name = n; col_type = Value.Tstr }
+
+let columns =
+  [
+    int_col "docid"; int_col "pre"; int_col "post"; int_col "parent"; int_col "level";
+    str_col "kind"; str_col "name"; str_col "prefix"; str_col "uri"; str_col "value";
+    int_col "dpre"; int_col "dparent"; int_col "dnk";
+  ]
+
+let create ?(table = "xmlnodes") db =
+  let tbl = Database.create_table db table columns in
+  ignore (Table.create_index tbl ~name:(table ^ "_dpre_idx") ~column:"dpre");
+  ignore (Table.create_index tbl ~name:(table ^ "_dparent_idx") ~column:"dparent");
+  ignore (Table.create_index tbl ~name:(table ^ "_dnk_idx") ~column:"dnk");
+  let names_tbl =
+    Database.create_table db (table ^ "_names") [ int_col "nid"; str_col "name" ]
+  in
+  let t =
+    {
+      db;
+      tbl;
+      names_tbl;
+      names = Hashtbl.create 64;
+      next_nid = 0;
+      next_docid = 1;
+      doc_meta = Hashtbl.create 16;
+      plans = Hashtbl.create 32;
+      rebuilt_cache = Hashtbl.create 16;
+      outer_layout = Layout.of_columns ~alias:outer_alias outer_cols;
+      n_rel = 0;
+      n_fallback = 0;
+    }
+  in
+  (* nid 0 is the unnamed kinds' slot, so packed [dnk] keys cluster them *)
+  Hashtbl.add t.names "" 0;
+  t.next_nid <- 1;
+  Table.insert_values names_tbl [ Value.Int 0; Value.Str "" ];
+  t
+
+let table_name t = t.tbl.Table.tbl_name
+
+let intern t name =
+  match Hashtbl.find_opt t.names name with
+  | Some nid -> nid
+  | None ->
+      let nid = t.next_nid in
+      if nid >= max_names then
+        err "name dictionary overflow: more than %d distinct names" max_names;
+      t.next_nid <- nid + 1;
+      Hashtbl.add t.names name nid;
+      Table.insert_values t.names_tbl [ Value.Int nid; Value.Str name ];
+      nid
+
+(* ------------------------------------------------------------------ *)
+(* Shredding                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* mutable only during the numbering walk: [post] is patched on exit *)
+type pending = {
+  p_pre : int;
+  mutable p_post : int;
+  p_parent : int;
+  p_level : int;
+  p_kind : string;
+  p_name : string;
+  p_prefix : string;
+  p_uri : string;
+  p_value : string;
+}
+
+let shred t (doc : X.node) : int =
+  let docid = t.next_docid in
+  let acc = ref [] (* reversed pre order *) in
+  let counter = ref 0 in
+  let tick () =
+    let v = !counter in
+    incr counter;
+    v
+  in
+  let emit ~pre ~parent ~level ~kind ~name ~prefix ~uri ~value =
+    let p =
+      { p_pre = pre; p_post = pre; p_parent = parent; p_level = level; p_kind = kind;
+        p_name = name; p_prefix = prefix; p_uri = uri; p_value = value }
+    in
+    acc := p :: !acc;
+    p
+  in
+  (* post = pre when the node consumed no further ticks (a leaf), a fresh
+     exit tick otherwise — attributes and children both count, so an
+     attribute's interval always nests strictly inside its owner's *)
+  let close p = p.p_post <- (if !counter = p.p_pre + 1 then p.p_pre else tick ()) in
+  let rec go parent level (n : X.node) =
+    match n.X.kind with
+    | X.Document ->
+        let pre = tick () in
+        let p =
+          emit ~pre ~parent ~level ~kind:"doc" ~name:"" ~prefix:"" ~uri:""
+            ~value:(X.string_value n)
+        in
+        List.iter (go pre (level + 1)) n.X.children;
+        close p
+    | X.Element q ->
+        let pre = tick () in
+        let p =
+          emit ~pre ~parent ~level ~kind:"elem" ~name:q.X.local ~prefix:q.X.prefix
+            ~uri:q.X.uri ~value:(X.string_value n)
+        in
+        List.iter (go pre (level + 1)) n.X.attributes;
+        List.iter (go pre (level + 1)) n.X.children;
+        close p
+    | X.Attribute (q, v) ->
+        let pre = tick () in
+        ignore
+          (emit ~pre ~parent ~level ~kind:"attr" ~name:q.X.local ~prefix:q.X.prefix
+             ~uri:q.X.uri ~value:v)
+    | X.Text s ->
+        ignore (emit ~pre:(tick ()) ~parent ~level ~kind:"text" ~name:"" ~prefix:"" ~uri:"" ~value:s)
+    | X.Comment s ->
+        ignore
+          (emit ~pre:(tick ()) ~parent ~level ~kind:"comment" ~name:"" ~prefix:"" ~uri:"" ~value:s)
+    | X.Pi (target, data) ->
+        ignore
+          (emit ~pre:(tick ()) ~parent ~level ~kind:"pi" ~name:target ~prefix:"" ~uri:""
+             ~value:data)
+  in
+  (if X.is_document doc then go (-1) 0 doc
+   else begin
+     (* synthesize the document row so absolute paths anchor uniformly *)
+     let pre = tick () in
+     let p =
+       emit ~pre ~parent:(-1) ~level:0 ~kind:"doc" ~name:"" ~prefix:"" ~uri:""
+         ~value:(X.string_value doc)
+     in
+     go pre 1 doc;
+     close p
+   end);
+  if !counter > max_ticks then
+    err "document too large to shred: %d counter ticks exceed 2^%d" !counter pre_bits;
+  let pending = List.rev !acc in
+  List.iter
+    (fun p ->
+      let nid = intern t p.p_name in
+      ignore
+        (Table.insert t.tbl
+           [|
+             Value.Int docid; Value.Int p.p_pre; Value.Int p.p_post; Value.Int p.p_parent;
+             Value.Int p.p_level; Value.Str p.p_kind; Value.Str p.p_name;
+             Value.Str p.p_prefix; Value.Str p.p_uri; Value.Str p.p_value;
+             Value.Int (pack_dpre docid p.p_pre);
+             Value.Int (if p.p_parent < 0 then -1 else pack_dpre docid p.p_parent);
+             Value.Int (pack_dnk docid nid p.p_pre);
+           |]))
+    pending;
+  let doc_row =
+    match pending with
+    | p :: _ ->
+        { docid; pre = p.p_pre; post = p.p_post; parent = p.p_parent; level = p.p_level;
+          kind = p.p_kind; name = p.p_name; prefix = p.p_prefix; uri = p.p_uri;
+          value = p.p_value }
+    | [] -> err "empty document"
+  in
+  Hashtbl.replace t.doc_meta docid doc_row;
+  t.next_docid <- docid + 1;
+  docid
+
+let doc_ids t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.doc_meta [])
+
+let doc_node t docid =
+  match Hashtbl.find_opt t.doc_meta docid with
+  | Some d -> d
+  | None -> err "unknown docid %d" docid
+
+let stats t = (Hashtbl.length t.doc_meta, Table.size t.tbl)
+let counters t = (t.n_rel, t.n_fallback)
+
+(* ------------------------------------------------------------------ *)
+(* Row decoding                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let slot_int a i =
+  match a.(i) with Value.Int n -> n | _ -> err "malformed shred row (int slot %d)" i
+
+let slot_str a i =
+  match a.(i) with Value.Str s -> s | _ -> err "malformed shred row (str slot %d)" i
+
+(* scan rows keep the table's column order in slots 0..9 (outer
+   correlation values, if appended, sit past them) *)
+let node_of_slots a =
+  {
+    docid = slot_int a 0; pre = slot_int a 1; post = slot_int a 2; parent = slot_int a 3;
+    level = slot_int a 4; kind = slot_str a 5; name = slot_str a 6; prefix = slot_str a 7;
+    uri = slot_str a 8; value = slot_str a 9;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reconstruction                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let doc_rows t docid =
+  let doc = doc_node t docid in
+  match Table.find_index t.tbl "dpre" with
+  | None -> err "missing dpre index on %s" (table_name t)
+  | Some idx ->
+      let lo = Btree.Inclusive (Value.Int (pack_dpre docid 0)) in
+      let hi = Btree.Inclusive (Value.Int (pack_dpre docid doc.post)) in
+      let rids = Btree.range_rids idx.Table.tree ~lo ~hi in
+      Array.map (fun rid -> node_of_slots (Table.unsafe_row t.tbl rid)) rids
+
+let kind_of_row r =
+  match r.kind with
+  | "doc" -> X.Document
+  | "elem" -> X.Element (X.qname ~prefix:r.prefix ~uri:r.uri r.name)
+  | "attr" -> X.Attribute (X.qname ~prefix:r.prefix ~uri:r.uri r.name, r.value)
+  | "text" -> X.Text r.value
+  | "comment" -> X.Comment r.value
+  | "pi" -> X.Pi (r.name, r.value)
+  | k -> err "unknown node kind %S" k
+
+let rebuild t docid : rebuilt =
+  let rows = doc_rows t docid in
+  let n = Array.length rows in
+  if n = 0 then err "no rows for docid %d" docid;
+  let span = rows.(0).post + 1 in
+  let row_ix = Array.make span (-1) in
+  Array.iteri (fun i r -> row_ix.(r.pre) <- i) rows;
+  let by_pre = Array.make span None in
+  let i = ref 0 in
+  let rec build () : X.node =
+    let r = rows.(!i) in
+    incr i;
+    let xn = X.make (kind_of_row r) in
+    xn.X.order <- r.pre;
+    by_pre.(r.pre) <- Some xn;
+    (match r.kind with
+    | "doc" | "elem" ->
+        let attrs = ref [] in
+        while !i < n && rows.(!i).kind = "attr" && rows.(!i).parent = r.pre do
+          let a = rows.(!i) in
+          incr i;
+          let an = X.make (kind_of_row a) in
+          an.X.order <- a.pre;
+          an.X.parent <- Some xn;
+          by_pre.(a.pre) <- Some an;
+          attrs := an :: !attrs
+        done;
+        xn.X.attributes <- List.rev !attrs;
+        let kids = ref [] in
+        while !i < n && rows.(!i).pre < r.post do
+          let k = build () in
+          k.X.parent <- Some xn;
+          kids := k :: !kids
+        done;
+        xn.X.children <- List.rev !kids
+    | _ -> ());
+    xn
+  in
+  let dom = build () in
+  { dom; rows; row_ix; by_pre }
+
+let rebuilt t docid =
+  match Hashtbl.find_opt t.rebuilt_cache docid with
+  | Some rb -> rb
+  | None ->
+      let rb = rebuild t docid in
+      Hashtbl.add t.rebuilt_cache docid rb;
+      rb
+
+let reconstruct t docid = (rebuilt t docid).dom
+
+(* ------------------------------------------------------------------ *)
+(* Step plans                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let s_ c = A.qcol scan_alias c
+let c_ c = A.qcol outer_alias c
+
+let aop : AR.op -> A.binop = function
+  | AR.Eq -> A.Eq
+  | AR.Lt -> A.Lt
+  | AR.Leq -> A.Leq
+  | AR.Gt -> A.Gt
+  | AR.Geq -> A.Geq
+
+(* the packed image of a context anchor *)
+let packed_anchor = function
+  | AR.Ctx_pre -> "dpre"
+  | AR.Ctx_post -> "dpost"
+  | AR.Ctx_parent -> "dparent"
+
+let plain_anchor = function
+  | AR.Ctx_pre -> "pre"
+  | AR.Ctx_post -> "post"
+  | AR.Ctx_parent -> "parent"
+
+(* name-tested descendants scan the [dnk] index: the name id is packed
+   into the key, so the interval probe lands only on rows already
+   carrying the right name *)
+let use_dnk axis (spec : AR.spec) =
+  spec.name <> None
+  && (spec.kinds = AR.K_elem || spec.kinds = AR.K_attr)
+  && match axis with XA.Descendant | XA.Descendant_or_self -> true | _ -> false
+
+let build_plan t axis (spec : AR.spec) ~via_dnk =
+  let conds =
+    List.map
+      (fun { AR.col; op; anchor } ->
+        match col with
+        | AR.Pre when via_dnk ->
+            let rhs = match anchor with AR.Ctx_pre -> "nklo" | _ -> "nkhi" in
+            A.Binop (aop op, s_ "dnk", c_ rhs)
+        | AR.Pre -> A.Binop (aop op, s_ "dpre", c_ (packed_anchor anchor))
+        | AR.Parent -> A.Binop (aop op, s_ "dparent", c_ (packed_anchor anchor))
+        | AR.Post -> A.Binop (aop op, s_ "post", c_ (plain_anchor anchor)))
+      spec.conds
+  in
+  (* close one-sided document-order ranges with the document's bounds so a
+     range probe never leaks into neighbouring documents *)
+  let has op_test col_test =
+    List.exists (fun c -> col_test c.AR.col && op_test c.AR.op) spec.conds
+  in
+  let eq_confined =
+    has (fun o -> o = AR.Eq) (fun c -> c = AR.Pre || c = AR.Parent)
+  in
+  let guards =
+    if eq_confined || via_dnk then []
+    else
+      (if has (fun o -> o = AR.Gt || o = AR.Geq) (fun c -> c = AR.Pre) then []
+       else [ A.Binop (A.Geq, s_ "dpre", c_ "doclo") ])
+      @
+      if has (fun o -> o = AR.Lt || o = AR.Leq) (fun c -> c = AR.Pre) then []
+      else [ A.Binop (A.Leq, s_ "dpre", c_ "dochi") ]
+  in
+  let kind_conj =
+    match spec.kinds with
+    | AR.K_elem -> [ A.(s_ "kind" =. const_str "elem") ]
+    | AR.K_attr -> [ A.(s_ "kind" =. const_str "attr") ]
+    | AR.K_text -> [ A.(s_ "kind" =. const_str "text") ]
+    | AR.K_comment -> [ A.(s_ "kind" =. const_str "comment") ]
+    | AR.K_pi -> [ A.(s_ "kind" =. const_str "pi") ]
+    | AR.K_non_attr -> [ A.Binop (A.Neq, s_ "kind", A.const_str "attr") ]
+  in
+  let name_conj =
+    if spec.name <> None && not via_dnk then [ A.(s_ "name" =. c_ "name") ] else []
+  in
+  ignore axis;
+  A.Filter
+    ( Cost.conjoin (conds @ guards @ kind_conj @ name_conj),
+      A.Seq_scan { table = table_name t; alias = scan_alias } )
+
+let compiled_plan t axis (spec : AR.spec) ~via_dnk =
+  let key =
+    { pk_axis = axis; pk_kinds = spec.kinds; pk_named = spec.name <> None; pk_dnk = via_dnk }
+  in
+  match Hashtbl.find_opt t.plans key with
+  | Some c -> c
+  | None ->
+      let plan = Optimizer.optimize t.db (build_plan t axis spec ~via_dnk) in
+      let compiled = Exec.compile t.db ~outer:t.outer_layout plan in
+      Hashtbl.add t.plans key compiled;
+      compiled
+
+let explain_step t (step : XA.step) =
+  match AR.compile step.axis step.test with
+  | None -> "<empty>"
+  | Some spec ->
+      let via_dnk = use_dnk step.axis spec in
+      A.explain (Optimizer.optimize t.db (build_plan t step.axis spec ~via_dnk))
+
+(* ------------------------------------------------------------------ *)
+(* Step evaluation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let doc_order_cmp a b =
+  let c = Int.compare a.docid b.docid in
+  if c <> 0 then c else Int.compare a.pre b.pre
+
+(* a single forward step from one context node arrives already sorted and
+   distinct (B-tree rids come back in key = document order), so the common
+   case is a linear scan that confirms order and allocates nothing *)
+let doc_order_dedup rows =
+  let rec strictly_sorted = function
+    | a :: (b :: _ as rest) -> doc_order_cmp a b < 0 && strictly_sorted rest
+    | _ -> true
+  in
+  if strictly_sorted rows then rows
+  else
+    let sorted = List.sort doc_order_cmp rows in
+    let rec dedup = function
+      | a :: (b :: _ as rest) when a.docid = b.docid && a.pre = b.pre -> dedup rest
+      | a :: rest -> a :: dedup rest
+      | [] -> []
+    in
+    dedup sorted
+
+let collect_cursor cur =
+  let acc = ref [] in
+  let rec loop () =
+    match cur () with
+    | None -> ()
+    | Some batch ->
+        Array.iter (fun row -> acc := node_of_slots row :: !acc) batch;
+        loop ()
+  in
+  loop ();
+  List.rev !acc
+
+let kind_matches (kf : AR.kind_filter) (r : node) =
+  match kf with
+  | AR.K_elem -> r.kind = "elem"
+  | AR.K_attr -> r.kind = "attr"
+  | AR.K_text -> r.kind = "text"
+  | AR.K_comment -> r.kind = "comment"
+  | AR.K_pi -> r.kind = "pi"
+  | AR.K_non_attr -> r.kind <> "attr"
+
+(* the kind/name residual of a spec, decided on a row we already hold (the
+   self axis: [pre = ctx.pre] is the context row itself, no scan needed) *)
+let row_matches (spec : AR.spec) (r : node) =
+  kind_matches spec.kinds r
+  && match spec.name with None -> true | Some n -> String.equal r.name n
+
+(* candidate source of one step, with everything per-step — spec analysis,
+   name-id resolution, the compiled plan — hoisted out of the per-context
+   closure; candidates arrive in proximity order *)
+let step_source t (axis : XA.axis) (spec : AR.spec) : node -> node list =
+  if axis = XA.Self then fun r -> if row_matches spec r then [ r ] else []
+  else
+    let needs_parent = List.exists (fun c -> c.AR.anchor = AR.Ctx_parent) spec.conds in
+    let via_dnk = use_dnk axis spec in
+    let nid =
+      if not via_dnk then Some 0
+      else Hashtbl.find_opt t.names (Option.get spec.name)
+    in
+    match nid with
+    | None -> fun _ -> [] (* name never seen: statically empty *)
+    | Some nid ->
+        let compiled = compiled_plan t axis spec ~via_dnk in
+        let name = Value.Str (Option.value spec.name ~default:"") in
+        fun r ->
+          if r.kind = "attr" && not spec.attr_ok then
+            raise
+              (Unsupported
+                 (Printf.sprintf "%s axis from an attribute context node"
+                    (XA.axis_name axis)));
+          if needs_parent && r.parent < 0 then []
+          else (
+            t.n_rel <- t.n_rel + 1;
+            let doc = doc_node t r.docid in
+            let nklo = if via_dnk then pack_dnk r.docid nid r.pre else 0
+            and nkhi = if via_dnk then pack_dnk r.docid nid r.post else 0 in
+            let outer =
+              [|
+                Value.Int r.pre; Value.Int r.post; Value.Int r.parent;
+                Value.Int (pack_dpre r.docid r.pre); Value.Int (pack_dpre r.docid r.post);
+                Value.Int (if r.parent < 0 then -1 else pack_dpre r.docid r.parent);
+                Value.Int (pack_dpre r.docid 0); Value.Int (pack_dpre r.docid doc.post);
+                Value.Int nklo; Value.Int nkhi; name;
+              |]
+            in
+            let cands = collect_cursor (Exec.open_cursor compiled ~outer ()) in
+            if spec.reverse then List.rev cands else cands)
+
+(* ---- the relational predicate subset (mirrors Eval/Value semantics) - *)
+
+type pv = P_num of float | P_str of string | P_bool of bool | P_rows of node list
+
+let unsupported fmt = Printf.ksprintf (fun m -> raise (Unsupported m)) fmt
+
+let pnum = function
+  | P_num f -> f
+  | P_str s -> XV.number_value (XV.Str s)
+  | P_bool b -> if b then 1.0 else 0.0
+  | P_rows [] -> Float.nan
+  | P_rows (r :: _) -> XV.number_value (XV.Str r.value)
+
+let pbool = function
+  | P_bool b -> b
+  | P_num f -> f <> 0.0 && not (Float.is_nan f)
+  | P_str s -> String.length s > 0
+  | P_rows rs -> rs <> []
+
+let num_cmp op x y =
+  match op with
+  | `Eq -> x = y
+  | `Neq -> x <> y
+  | `Lt -> x < y
+  | `Leq -> x <= y
+  | `Gt -> x > y
+  | `Geq -> x >= y
+
+let str_cmp op (x : string) (y : string) =
+  match op with
+  | `Eq -> String.equal x y
+  | `Neq -> not (String.equal x y)
+  | `Lt | `Leq | `Gt | `Geq ->
+      num_cmp op (XV.number_value (XV.Str x)) (XV.number_value (XV.Str y))
+
+let flip = function
+  | `Lt -> `Gt
+  | `Leq -> `Geq
+  | `Gt -> `Lt
+  | `Geq -> `Leq
+  | (`Eq | `Neq) as e -> e
+
+let cmp_of : XA.binop -> _ = function
+  | XA.Eq -> `Eq
+  | XA.Neq -> `Neq
+  | XA.Lt -> `Lt
+  | XA.Leq -> `Leq
+  | XA.Gt -> `Gt
+  | XA.Geq -> `Geq
+  | op -> unsupported "comparison %s" (XA.binop_name op)
+
+(* XPath 1.0 §3.4 with node-sets existentially quantified over row
+   string-values — the same decision procedure as {!XV.compare_values} *)
+let pcompare op a b =
+  let one_side op rs other =
+    match other with
+    | P_num f -> List.exists (fun r -> num_cmp op (XV.number_value (XV.Str r.value)) f) rs
+    | P_str s -> List.exists (fun r -> str_cmp op r.value s) rs
+    | P_bool b -> num_cmp op (if rs <> [] then 1.0 else 0.0) (if b then 1.0 else 0.0)
+    | P_rows _ -> assert false
+  in
+  match (a, b) with
+  | P_rows r1, P_rows r2 ->
+      List.exists (fun x -> List.exists (fun y -> str_cmp op x.value y.value) r2) r1
+  | P_rows rs, other -> one_side op rs other
+  | other, P_rows rs -> one_side (flip op) rs other
+  | P_bool _, _ | _, P_bool _ ->
+      num_cmp op (if pbool a then 1.0 else 0.0) (if pbool b then 1.0 else 0.0)
+  | P_num _, _ | _, P_num _ -> num_cmp op (pnum a) (pnum b)
+  | P_str s1, P_str s2 -> str_cmp op s1 s2
+
+let rec eval_step t rows (step : XA.step) =
+  match AR.compile step.axis step.test with
+  | None -> []
+  | Some spec ->
+      let candidates = step_source t step.axis spec in
+      let out =
+        List.concat_map
+          (fun r ->
+            let cands = candidates r in
+            List.fold_left (fun cs p -> filter_pred t cs p) cands step.XA.predicates)
+          rows
+      in
+      doc_order_dedup out
+
+(* candidates arrive in proximity order, so position is [i + 1]; a
+   number-valued predicate selects by position (XPath §2.4) *)
+and filter_pred t cands pred =
+  let size = List.length cands in
+  List.filteri
+    (fun i r ->
+      match peval t r ~position:(i + 1) ~size pred with
+      | P_num f -> Float.of_int (i + 1) = f
+      | v -> pbool v)
+    cands
+
+and peval t r ~position ~size (e : XA.expr) : pv =
+  let recur = peval t r ~position ~size in
+  match e with
+  | XA.Number f -> P_num f
+  | XA.Literal s -> P_str s
+  | XA.Neg e -> P_num (-.pnum (recur e))
+  | XA.Call ("position", []) -> P_num (Float.of_int position)
+  | XA.Call ("last", []) -> P_num (Float.of_int size)
+  | XA.Call ("true", []) -> P_bool true
+  | XA.Call ("false", []) -> P_bool false
+  | XA.Call ("count", [ a ]) -> (
+      match recur a with
+      | P_rows rs -> P_num (Float.of_int (List.length rs))
+      | _ -> unsupported "count() over a non-node-set")
+  | XA.Call ("not", [ a ]) -> P_bool (not (pbool (recur a)))
+  | XA.Call ("string-length", [ a ]) -> (
+      match recur a with
+      | P_str s -> P_num (Float.of_int (String.length s))
+      | P_rows [] -> P_num 0.0
+      | P_rows (x :: _) -> P_num (Float.of_int (String.length x.value))
+      | v -> P_num (Float.of_int (String.length (XV.string_value (XV.Num (pnum v))))))
+  | XA.Path { absolute; steps } ->
+      let start = if absolute then [ doc_node t r.docid ] else [ r ] in
+      P_rows (List.fold_left (eval_step t) start steps)
+  | XA.Binop (op, a, b) -> (
+      match op with
+      | XA.Or -> P_bool (pbool (recur a) || pbool (recur b))
+      | XA.And -> P_bool (pbool (recur a) && pbool (recur b))
+      | XA.Eq | XA.Neq | XA.Lt | XA.Leq | XA.Gt | XA.Geq ->
+          P_bool (pcompare (cmp_of op) (recur a) (recur b))
+      | XA.Plus -> P_num (pnum (recur a) +. pnum (recur b))
+      | XA.Minus -> P_num (pnum (recur a) -. pnum (recur b))
+      | XA.Mul -> P_num (pnum (recur a) *. pnum (recur b))
+      | XA.Div -> P_num (pnum (recur a) /. pnum (recur b))
+      | XA.Mod -> P_num (Float.rem (pnum (recur a)) (pnum (recur b)))
+      | XA.Union -> (
+          match (recur a, recur b) with
+          | P_rows x, P_rows y -> P_rows (doc_order_dedup (x @ y))
+          | _ -> unsupported "union of non-node-sets"))
+  | XA.Var v -> unsupported "variable $%s" v
+  | XA.Call (f, _) -> unsupported "function %s()" f
+  | XA.Filter _ -> unsupported "filter expression"
+
+let axis_step t rows step = eval_step t rows step
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let select t ~docid expr_s =
+  let doc = doc_node t docid in
+  try
+    match Xdb_xpath.Parser.parse expr_s with
+    | XA.Path { absolute = _; steps } -> List.fold_left (eval_step t) [ doc ] steps
+    | _ -> raise (Unsupported "non-path expression")
+  with Unsupported _ ->
+    (* outside the relational subset: answer over the reconstructed tree
+       and map the DOM result back through its pre stamps *)
+    t.n_fallback <- t.n_fallback + 1;
+    let rb = rebuilt t docid in
+    let nodes = XE.select (XE.make_context rb.dom) expr_s in
+    List.map
+      (fun (n : X.node) ->
+        let ix = if n.X.order >= 0 && n.X.order < Array.length rb.row_ix then rb.row_ix.(n.X.order) else -1 in
+        if ix < 0 then err "DOM fallback produced a node outside the stored document";
+        rb.rows.(ix))
+      nodes
+
+(* ------------------------------------------------------------------ *)
+(* Serialization (differential-test form)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* bare attribute nodes are not serializable markup; both sides of the
+   differential comparison render them as [name="value"] *)
+let attr_string ~prefix ~name ~value =
+  let b = Buffer.create (String.length name + String.length value + 4) in
+  if prefix <> "" then (
+    Buffer.add_string b prefix;
+    Buffer.add_char b ':');
+  Buffer.add_string b name;
+  Buffer.add_string b "=\"";
+  Xdb_xml.Serializer.escape_attr b value;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let serialize t nodes =
+  List.map
+    (fun r ->
+      if r.kind = "attr" then attr_string ~prefix:r.prefix ~name:r.name ~value:r.value
+      else
+        let rb = rebuilt t r.docid in
+        match rb.by_pre.(r.pre) with
+        | Some n -> Xdb_xml.Serializer.to_string n
+        | None -> err "result row %d/%d has no reconstructed node" r.docid r.pre)
+    nodes
+
+let serialize_dom nodes =
+  List.map
+    (fun (n : X.node) ->
+      match n.X.kind with
+      | X.Attribute (q, v) -> attr_string ~prefix:q.X.prefix ~name:q.X.local ~value:v
+      | _ -> Xdb_xml.Serializer.to_string n)
+    nodes

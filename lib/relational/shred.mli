@@ -1,0 +1,122 @@
+(** Interval-encoded ("shredded") XML storage: one relational row per XML
+    node, pre/post numbered, with B-tree indexes that turn XPath axes
+    into range scans (paper §7.4 "tree storage"; the numbering scheme of
+    the DOM-based mapping and RadegastXDB lines of work in PAPERS.md).
+
+    A document decomposes into rows
+    [(docid, pre, post, parent, level, kind, name, prefix, uri, value)]
+    plus three derived packed-key columns kept index-friendly as single
+    integers:
+
+    - [dpre    = docid·2^24 + pre] — document-order key,
+    - [dparent = docid·2^24 + parent] — child/sibling clustering key,
+    - [dnk     = (docid·2^12 + nid)·2^24 + pre] — name-interval key,
+      where [nid] is the dictionary id of the node's name.
+
+    Location steps compile (via {!Xdb_xpath.Axis_range}) to conjunctive
+    filters over these columns — emitted sargable, so {!Optimizer} turns
+    them into {!Algebra.Index_scan} range probes answered by
+    {!Btree.range_rids}: child is a [dparent] point probe, descendant a
+    two-sided [dpre] (or, name-tested, [dnk]) range, ancestor the inverse
+    containment.  Each step compiles {e once} per shape into a correlated
+    plan (outer alias ["c"] carries the context node's values) and is
+    opened per context node.
+
+    Predicates outside the relational subset, and the sibling/following/
+    preceding axes from attribute context nodes, raise {!Unsupported};
+    {!select} then falls back to the DOM interpreter over the
+    reconstructed document, so answers never degrade — only speed. *)
+
+exception Shred_error of string
+
+exception Unsupported of string
+(** A construct outside the relationally-evaluable subset. *)
+
+type t
+
+(** One stored node, decoded from its row.  [parent] is the parent's
+    [pre], [-1] on document rows.  [kind] is one of ["doc"], ["elem"],
+    ["attr"], ["text"], ["comment"], ["pi"].  [value] is the node's XPath
+    string-value ([name] holds the PI target). *)
+type node = {
+  docid : int;
+  pre : int;
+  post : int;
+  parent : int;
+  level : int;
+  kind : string;
+  name : string;
+  prefix : string;
+  uri : string;
+  value : string;
+}
+
+val pre_bits : int
+(** Bits of [pre] inside the packed keys (24: ≤ 16M counter ticks per
+    document). *)
+
+val name_bits : int
+(** Bits of the name-dictionary id inside [dnk] (12: ≤ 4096 distinct
+    names per store). *)
+
+val create : ?table:string -> Database.t -> t
+(** Create the node table (default name ["xmlnodes"]), its three indexes
+    and the [<table>_names] dictionary table in [db]. *)
+
+val table_name : t -> string
+
+val shred : t -> Xdb_xml.Types.node -> int
+(** Decompose a document into rows (pre-order insertion, so index scans
+    yield document order) and return its docid (1-based).  A non-document
+    root is wrapped in a synthetic document row.
+    @raise Shred_error when a capacity bound ({!pre_bits}/{!name_bits})
+    would be exceeded. *)
+
+val doc_ids : t -> int list
+(** Stored docids, ascending. *)
+
+val doc_node : t -> int -> node
+(** The document row of [docid]. @raise Shred_error for unknown ids. *)
+
+val stats : t -> int * int
+(** (documents, node rows) stored. *)
+
+val counters : t -> int * int
+(** (relational step evaluations, DOM fallbacks) since creation. *)
+
+val reconstruct : t -> int -> Xdb_xml.Types.node
+(** Rebuild the document tree from its rows (cached per docid; document
+    order stamped from [pre], so node order comparisons work).  The
+    inverse of {!shred}: reconstruct ∘ shred is deep-equal to the
+    original. *)
+
+val axis_step : t -> node list -> Xdb_xpath.Ast.step -> node list
+(** Evaluate one location step over a context node-set: per context node
+    an index range scan in document order (reversed to proximity order
+    for reverse axes), predicates applied per the XPath positional rules,
+    results merged in document order without duplicates.
+    @raise Unsupported for predicates outside the relational subset or
+    sibling/following/preceding steps from attribute contexts. *)
+
+val select : t -> docid:int -> string -> node list
+(** Parse and evaluate a path expression with the document row as context
+    node.  Falls back to the (DOM) {!Xdb_xpath.Eval} interpreter over the
+    reconstructed document when translation raises {!Unsupported} — the
+    result is identical either way, in document order.
+    @raise Xdb_xpath.Parser.Parse_error on malformed expressions;
+    @raise Invalid_argument when the expression is not a node-set. *)
+
+val serialize : t -> node list -> string list
+(** Serialize each result node from the reconstructed tree (attributes
+    render as [name="value"], which bare attribute nodes cannot via
+    {!Xdb_xml.Serializer}) — the byte-comparison form of the differential
+    tests. *)
+
+val serialize_dom : Xdb_xml.Types.node list -> string list
+(** The same rendering applied to DOM interpreter results — the other
+    side of the byte comparison. *)
+
+val explain_step : t -> Xdb_xpath.Ast.step -> string
+(** The optimised access path a step compiles to ({!Algebra.explain}),
+    or ["<empty>"] for statically empty steps — lets tests assert an
+    [Index_scan] was chosen. *)

@@ -36,10 +36,13 @@ let bind_var ctx name v = { ctx with vars = Smap.add name v ctx.vars }
 (* Axes                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* nearest-first (reverse document order): parent, grandparent, …, root *)
 let rec ancestors n acc =
   match n.T.parent with None -> List.rev acc | Some p -> ancestors p (p :: acc)
 
-(* nodes yielded in axis order (reverse axes yield reverse document order) *)
+(* nodes yielded in axis order (reverse axes yield reverse document order,
+   i.e. proximity order, which is what positional predicates count in;
+   [eval_step] re-sorts final node-sets to document order afterwards) *)
 let axis_nodes axis n =
   match axis with
   | Self -> [ n ]
@@ -49,8 +52,8 @@ let axis_nodes axis n =
   | Namespace -> []
   | Descendant -> T.descendants n
   | Descendant_or_self -> n :: T.descendants n
-  | Ancestor -> List.rev (ancestors n [])
-  | Ancestor_or_self -> n :: List.rev (ancestors n [])
+  | Ancestor -> ancestors n []
+  | Ancestor_or_self -> n :: ancestors n []
   | Following_sibling -> (
       match n.T.parent with
       | None -> []

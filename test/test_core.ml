@@ -951,6 +951,47 @@ let test_engine_facade () =
   check (Alcotest.list cs) "usable after shutdown" base
     (t ~options:{ EN.default_run_options with EN.jobs = 2 } ()).EN.output
 
+let identity_stylesheet =
+  {|<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+<xsl:template match="@*|node()"><xsl:copy><xsl:apply-templates select="@*|node()"/></xsl:copy></xsl:template>
+</xsl:stylesheet>|}
+
+let test_engine_shredded () =
+  let engine = EN.create (Xdb_rel.Database.create ()) in
+  let docs = List.init 3 (fun i -> Xdb_xsltmark.Data.records_doc (10 + (5 * i))) in
+  let ids = List.map (EN.store_shredded engine) docs in
+  check (Alcotest.list ci) "docids are sequential" [ 1; 2; 3 ] ids;
+  let dc = PL.compile_for_document identity_stylesheet ~example_doc:(List.hd docs) in
+  let direct = List.map (PL.transform_functional dc) docs in
+  let r = EN.transform_shredded engine ~stylesheet:identity_stylesheet in
+  check (Alcotest.list cs) "shredded transform ≡ direct VM transform" direct r.EN.output;
+  let rp =
+    EN.transform_shredded
+      ~options:{ EN.default_run_options with EN.jobs = 3; collect_metrics = true }
+      engine ~stylesheet:identity_stylesheet
+  in
+  check (Alcotest.list cs) "parallel shredded transform identical" direct rp.EN.output;
+  (match rp.EN.metrics with
+  | None -> Alcotest.fail "metrics requested but absent"
+  | Some m ->
+      check cb "reconstruct stage timed" true
+        (List.mem_assoc "reconstruct" (Xdb_core.Metrics.stages m)));
+  let r2 = EN.transform_shredded ~docids:[ 2 ] engine ~stylesheet:identity_stylesheet in
+  check (Alcotest.list cs) "docids narrow the run" [ List.nth direct 1 ] r2.EN.output;
+  (* relational XPath over the store answers like the DOM interpreter *)
+  let q = "//row[2]/id" in
+  let dom =
+    Xdb_rel.Shred.serialize_dom
+      (Xdb_xpath.Eval.select (Xdb_xpath.Eval.make_context (List.hd docs)) q)
+  in
+  check (Alcotest.list cs) "query_shredded ≡ DOM" dom (EN.query_shredded engine ~docid:1 q);
+  (* an empty store transforms to nothing rather than failing *)
+  let empty = EN.create (Xdb_rel.Database.create ()) in
+  check (Alcotest.list cs) "empty store" []
+    (EN.transform_shredded empty ~stylesheet:identity_stylesheet).EN.output;
+  EN.shutdown empty;
+  EN.shutdown engine
+
 let test_xdb_error () =
   let db, view = setup_example1 () in
   let engine = EN.create db in
@@ -1041,6 +1082,7 @@ let () =
           Alcotest.test_case "Metrics merge" `Quick test_metrics_merge;
           Alcotest.test_case "registry under contention" `Quick test_registry_concurrent;
           Alcotest.test_case "Engine facade" `Quick test_engine_facade;
+          Alcotest.test_case "Engine shredded storage" `Quick test_engine_shredded;
           Alcotest.test_case "Xdb_error boundary" `Quick test_xdb_error;
           QCheck_alcotest.to_alcotest prop_parallel_equiv_sequential;
         ] );

@@ -1008,6 +1008,144 @@ let test_pathindex () =
   check ci "docs indexed" 2 n_docs;
   check cb "entries counted" true (n_entries >= 6)
 
+(* indexing the same leaf of the same document twice is deduplicated and
+   must not inflate the entry counter (regression: [add_entry] counted
+   before checking) *)
+let test_pathindex_dedup () =
+  let doc = Xdb_xml.Parser.parse "<t><id>1</id></t>" in
+  let idx = Xdb_rel.Pathindex.create () in
+  Xdb_rel.Pathindex.index idx 1 doc;
+  let _, n1 = Xdb_rel.Pathindex.stats idx in
+  Xdb_rel.Pathindex.index idx 1 doc;
+  let _, n2 = Xdb_rel.Pathindex.stats idx in
+  check ci "re-indexing the same doc adds no entries" n1 n2;
+  check
+    Alcotest.(list int)
+    "no duplicate docids" [ 1 ]
+    (Xdb_rel.Pathindex.lookup idx ~path:"/t/id" ~value:"1");
+  Xdb_rel.Pathindex.index idx 2 doc;
+  let _, n3 = Xdb_rel.Pathindex.stats idx in
+  check ci "a second document still counts" (2 * n1) n3;
+  check
+    Alcotest.(list int)
+    "both docs found" [ 1; 2 ]
+    (Xdb_rel.Pathindex.lookup idx ~path:"/t/id" ~value:"1")
+
+(* ------------------------------------------------------------------ *)
+(* interval-encoded shredding                                          *)
+(* ------------------------------------------------------------------ *)
+
+module SH = Xdb_rel.Shred
+module XB = Xdb_xml.Builder
+
+let test_shred_roundtrip () =
+  let db = DB.create () in
+  let t = SH.create db in
+  let doc =
+    Xdb_xml.Parser.parse "<a b=\"1\"><c>x<d/>y</c><?pi data?><!--n--><e>z</e></a>"
+  in
+  let id = SH.shred t doc in
+  check ci "docids are 1-based" 1 id;
+  check cb "reconstruct ∘ shred = id" true (X.deep_equal doc (SH.reconstruct t id));
+  let doc2 = Xdb_xml.Parser.parse "<f><g/></f>" in
+  let id2 = SH.shred t doc2 in
+  check cb "second doc roundtrips too" true (X.deep_equal doc2 (SH.reconstruct t id2));
+  let n_docs, n_rows = SH.stats t in
+  check ci "two docs" 2 n_docs;
+  (* 11 nodes (incl. document + attribute rows) + 3 nodes *)
+  check ci "one row per node" 14 n_rows;
+  check Alcotest.(list int) "doc ids" [ 1; 2 ] (SH.doc_ids t)
+
+let test_shred_axis_plans () =
+  let t = SH.create (DB.create ()) in
+  ignore (SH.shred t (Xdb_xml.Parser.parse "<r><a><b/></a></r>"));
+  let step s =
+    match Xdb_xpath.Parser.parse s with
+    | Xdb_xpath.Ast.Path { steps = [ st ]; _ } -> st
+    | _ -> Alcotest.fail "expected a one-step path"
+  in
+  let ex s = SH.explain_step t (step s) in
+  check cb "child = dparent point probe" true (contains (ex "child::a") "idx(dparent)");
+  check cb "unnamed descendant = dpre range" true
+    (contains (ex "descendant::node()") "idx(dpre)");
+  check cb "named descendant = dnk range" true (contains (ex "descendant::a") "idx(dnk)");
+  check cb "ancestor = dpre range" true (contains (ex "ancestor::node()") "idx(dpre)");
+  check cb "following is index-driven" true (contains (ex "following::node()") "IndexScan");
+  check cb "preceding is index-driven" true (contains (ex "preceding::node()") "IndexScan");
+  check cs "namespace axis is statically empty" "<empty>" (ex "namespace::node()")
+
+let test_shred_name_capacity () =
+  let kids = List.init 5000 (fun i -> XB.elem (Printf.sprintf "n%d" i) []) in
+  let doc = XB.document (XB.elem "r" kids) in
+  let t = SH.create (DB.create ()) in
+  check cb "name dictionary overflow raises" true
+    (match SH.shred t doc with exception SH.Shred_error _ -> true | _ -> false)
+
+(* queries covering every supported axis and predicate form, plus a few
+   that must fall back to the DOM interpreter *)
+let diff_exprs =
+  [
+    "/a"; "//*"; "//node()"; "//text()"; "//a"; "//a/b"; "//a/@id"; "//@id";
+    "//a[@id]"; "//a[@id='1']"; "//*[b]"; "//a[2]"; "//a[last()]"; "//a[position()>1]";
+    "//b/ancestor::*"; "//b/ancestor::*[1]"; "//b/ancestor-or-self::*[2]";
+    "//a/descendant::text()"; "//a/descendant-or-self::*"; "//a/parent::*";
+    "//a/following-sibling::*"; "//a/preceding-sibling::*[1]"; "//b/following::text()";
+    "//b/preceding::*"; "//a[.='7']"; "//a[b='7']"; "//a[not(@id)]"; "//*[count(b)>1]";
+    (* outside the relational subset: DOM fallback, still byte-identical *)
+    "//a[contains(.,'1')]"; "//a[starts-with(name(),'a')]";
+  ]
+
+let shred_matches_dom doc exprs =
+  let t = SH.create (DB.create ()) in
+  let docid = SH.shred t doc in
+  let ctx = Xdb_xpath.Eval.make_context doc in
+  List.for_all
+    (fun q ->
+      let shredded = SH.serialize t (SH.select t ~docid q) in
+      let dom = SH.serialize_dom (Xdb_xpath.Eval.select ctx q) in
+      shredded = dom
+      || QCheck.Test.fail_reportf "query %s: shredded %s / dom %s" q
+           (String.concat "|" shredded) (String.concat "|" dom))
+    exprs
+
+let gen_doc : X.node QCheck.Gen.t =
+  let open QCheck.Gen in
+  let name = oneofl [ "a"; "b"; "c" ] in
+  let rec go depth =
+    if depth <= 0 then map (fun n -> XB.text (string_of_int n)) (int_bound 20)
+    else
+      name >>= fun nm ->
+      int_bound 3 >>= fun n_kids ->
+      list_repeat n_kids (go (depth - 1)) >>= fun kids ->
+      bool >>= fun with_attr ->
+      (if with_attr then map (fun v -> [ ("id", string_of_int v) ]) (int_bound 5)
+       else return [])
+      >>= fun attrs -> return (XB.elem ~attrs nm kids)
+  in
+  map XB.document (go 3)
+
+let prop_shred_differential =
+  QCheck.Test.make ~name:"shredded ≡ DOM interpreter over random documents" ~count:25
+    (QCheck.make gen_doc ~print:Xdb_xml.Serializer.to_string)
+    (fun doc -> shred_matches_dom doc diff_exprs)
+
+let test_shred_differential_xsltmark () =
+  let doc = Xdb_xsltmark.Data.records_doc 40 in
+  check cb "records doc: all queries byte-identical" true
+    (shred_matches_dom doc
+       [
+         "//row"; "//row/id"; "//row[3]"; "//row[id]"; "//row/@*"; "//table/row[last()]";
+         "//id/ancestor::row"; "//id/ancestor::*[1]"; "//row[id='5']"; "//row[value>500]";
+         "//row/category/preceding-sibling::*[1]"; "//name/following-sibling::value";
+         "//row[position()=2]/name"; "//category[.='A']";
+       ]);
+  let t = SH.create (DB.create ()) in
+  let docid = SH.shred t doc in
+  ignore (SH.select t ~docid "//row[id]");
+  let rel, fb = SH.counters t in
+  check cb "evaluated relationally" true (rel > 0);
+  check ci "no fallback needed" 0 fb
+
 (* ------------------------------------------------------------------ *)
 (* compiled executor: plan-open resolution, batch boundaries           *)
 (* ------------------------------------------------------------------ *)
@@ -1188,5 +1326,14 @@ let () =
         [
           Alcotest.test_case "CLOB roundtrip" `Quick test_clob_roundtrip;
           Alcotest.test_case "path/value index" `Quick test_pathindex;
+          Alcotest.test_case "path/value index dedup counting" `Quick test_pathindex_dedup;
+        ] );
+      ( "shredding",
+        [
+          Alcotest.test_case "shred/reconstruct roundtrip" `Quick test_shred_roundtrip;
+          Alcotest.test_case "axis steps pick index range scans" `Quick test_shred_axis_plans;
+          Alcotest.test_case "name dictionary capacity" `Quick test_shred_name_capacity;
+          Alcotest.test_case "XSLTMark differential" `Quick test_shred_differential_xsltmark;
+          QCheck_alcotest.to_alcotest prop_shred_differential;
         ] );
     ]

@@ -148,6 +148,32 @@ let test_positional_predicates () =
   check cs "nearest preceding sibling" "loc"
     (T.local_name (List.hd (E.select (E.make_context root) "employees/preceding-sibling::*[1]")))
 
+(* positional predicates count in proximity order on every reverse axis
+   (XPath 1.0 §2.4) — regression for ancestor/ancestor-or-self, which
+   used to yield root-first *)
+let test_reverse_axis_proximity () =
+  let sel s = E.select (E.make_context root) s in
+  let name_of s = T.local_name (List.hd (sel s)) in
+  check cs "ancestor::*[1] is the nearest" "emp" (name_of "employees/emp[1]/sal/ancestor::*[1]");
+  check cs "ancestor::*[2]" "employees" (name_of "employees/emp[1]/sal/ancestor::*[2]");
+  check cs "ancestor::*[last()] is the root" "dept"
+    (name_of "employees/emp[1]/sal/ancestor::*[last()]");
+  check cs "ancestor-or-self::*[1] is self" "sal"
+    (name_of "employees/emp[1]/sal/ancestor-or-self::*[1]");
+  check cs "ancestor-or-self::*[2]" "emp"
+    (name_of "employees/emp[1]/sal/ancestor-or-self::*[2]");
+  check ci "name test before the position" 1
+    (count "employees/emp[1]/sal/ancestor::employees[1]");
+  check cs "preceding-sibling::*[1] is the nearest" "ename"
+    (name_of "employees/emp[1]/sal/preceding-sibling::*[1]");
+  check cs "preceding-sibling::*[2]" "empno"
+    (name_of "employees/emp[1]/sal/preceding-sibling::*[2]");
+  check cs "preceding::emp[1] is the nearest" "MILLER"
+    (eval_str "employees/emp[3]/preceding::emp[1]/ename");
+  (* ...while the final node-set is still in document order *)
+  check cs "reverse-axis result sorts to document order" "empno"
+    (name_of "employees/emp[1]/sal/preceding-sibling::*")
+
 let test_chained_predicates () =
   check ci "two predicates" 1 (count "employees/emp[sal > 2000][2]");
   check cs "second highly paid" "SMITH" (eval_str "employees/emp[sal > 2000][2]/ename")
@@ -347,6 +373,7 @@ let () =
         [
           Alcotest.test_case "all axes" `Quick test_axes;
           Alcotest.test_case "positional predicates" `Quick test_positional_predicates;
+          Alcotest.test_case "reverse-axis proximity order" `Quick test_reverse_axis_proximity;
           Alcotest.test_case "chained predicates" `Quick test_chained_predicates;
         ] );
       ( "functions",
