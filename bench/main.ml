@@ -21,6 +21,11 @@
                       with axis range scans, 8k/64k-node documents,
                       descendant and value-predicate lookups, byte-identity
                       asserted (BENCH_PR6.json);
+    - [servebench]  — closed-loop concurrent serving: N client domains ×
+                      a mixed case set over one shared Engine through
+                      Xdb.Server sessions, throughput + p50/p95/p99, an
+                      admission-control overload scenario, byte-identity
+                      asserted (BENCH_PR7.json);
     - [micro]       — Bechamel micro-benchmarks of the pipeline stages
                       (one [Test.make] per reproduced figure leg).
 
@@ -45,6 +50,29 @@ let time_ms ?(repeat = 3) f =
   List.nth sorted (repeat / 2)
 
 let hrule = String.make 72 '-'
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Host metadata stamped into every BENCH_*.json artifact, so
+   self-skipping CI gates (e.g. the parallel-speedup gates that only
+   apply when enough cores exist) are visible in the artifact instead of
+   silent.  The timestamp is passed in by the harness (XDB_BENCH_TS) —
+   benchmarks themselves stay deterministic. *)
+let host_json () =
+  Printf.sprintf {|{"nproc":%d,"ocaml":"%s","timestamp":"%s"}|}
+    (Xdb_core.Parallel.default_jobs ())
+    (json_escape Sys.ocaml_version)
+    (json_escape (Option.value (Sys.getenv_opt "XDB_BENCH_TS") ~default:""))
 
 (* ------------------------------------------------------------------ *)
 (* Figure 2                                                            *)
@@ -76,7 +104,7 @@ let record_leg ~figure ~case ~rows ~rewrite_ms ~norewrite_ms ~compile_json ~oper
 let write_bench_json () =
   if !bench_records <> [] then begin
     let oc = open_out "BENCH_PR1.json" in
-    output_string oc "{\"bench\":\"BENCH_PR1\",\"legs\":[\n  ";
+    Printf.fprintf oc "{\"bench\":\"BENCH_PR1\",\"host\":%s,\"legs\":[\n  " (host_json ());
     output_string oc (String.concat ",\n  " (List.rev !bench_records));
     output_string oc "\n]}\n";
     close_out oc;
@@ -343,18 +371,6 @@ let median = function
       if k mod 2 = 1 then List.nth a (k / 2)
       else (List.nth a ((k / 2) - 1) +. List.nth a (k / 2)) /. 2.0
 
-let json_escape s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
 (* one leg: compile pre-ANALYZE, collect stats, recompile (cost-based),
    run instrumented, and compare per-operator estimates — System-R
    defaults vs statistics — against the actual row counts *)
@@ -438,8 +454,8 @@ let planquality ?(n = 2_000) () =
     csv_rows;
   let oc = open_out "BENCH_PR2.json" in
   Printf.fprintf oc
-    "{\"bench\":\"BENCH_PR2\",\"rows\":%d,\"median_qerror\":%.3f,\"median_qerror_default\":%.3f,\"legs\":[\n  %s\n]}\n"
-    n med_stats med_default
+    "{\"bench\":\"BENCH_PR2\",\"host\":%s,\"rows\":%d,\"median_qerror\":%.3f,\"median_qerror_default\":%.3f,\"legs\":[\n  %s\n]}\n"
+    (host_json ()) n med_stats med_default
     (String.concat ",\n  " (List.rev !legs));
   close_out oc;
   print_endline "(written BENCH_PR2.json)";
@@ -548,7 +564,7 @@ let execscale ?(sizes = [ 2_000; 20_000; 100_000 ]) () =
     "rows,interpreted_ms,compiled_ms,speedup,rows_identical,operators_identical"
     (List.rev !csv_rows);
   let oc = open_out "BENCH_PR3.json" in
-  Printf.fprintf oc "{\"bench\":\"BENCH_PR3\",\"legs\":[\n  %s\n]}\n"
+  Printf.fprintf oc "{\"bench\":\"BENCH_PR3\",\"host\":%s,\"legs\":[\n  %s\n]}\n" (host_json ())
     (String.concat ",\n  " (List.rev !legs));
   close_out oc;
   print_endline "(written BENCH_PR3.json)";
@@ -632,7 +648,9 @@ let pubstream ?(sizes = [ 8_000; 64_000 ]) () =
   csv_out "pubstream.csv" "rows,case,leg,dom_ms,stream_ms,dom_alloc_bytes,stream_alloc_bytes"
     (List.rev !csv_rows);
   let oc = open_out "BENCH_PR4.json" in
-  Printf.fprintf oc "{\"bench\":\"BENCH_PR4\",\"legs\":[\n  %s\n],\"summary\":[\n  %s\n]}\n"
+  Printf.fprintf oc
+    "{\"bench\":\"BENCH_PR4\",\"host\":%s,\"legs\":[\n  %s\n],\"summary\":[\n  %s\n]}\n"
+    (host_json ())
     (String.concat ",\n  " (List.rev !legs))
     (String.concat ",\n  " summaries);
   close_out oc;
@@ -720,7 +738,8 @@ let parscale ?(sizes = [ 8_000; 64_000 ]) ?(jobs_list = [ 1; 2; 4 ]) () =
     (List.rev !csv_rows);
   let oc = open_out "BENCH_PR5.json" in
   Printf.fprintf oc
-    "{\"bench\":\"BENCH_PR5\",\"nproc\":%d,\"legs\":[\n  %s\n],\"summary\":[\n  %s\n]}\n" nproc
+    "{\"bench\":\"BENCH_PR5\",\"host\":%s,\"nproc\":%d,\"legs\":[\n  %s\n],\"summary\":[\n  %s\n]}\n"
+    (host_json ()) nproc
     (String.concat ",\n  " (List.rev !legs))
     (String.concat ",\n  " summaries);
   close_out oc;
@@ -809,11 +828,194 @@ let shredscale ?(sizes = [ 800; 6_400 ]) () =
   in
   csv_out "shredscale.csv" "nodes,query,dom_ms,shred_ms,speedup,identical" (List.rev !csv_rows);
   let oc = open_out "BENCH_PR6.json" in
-  Printf.fprintf oc "{\"bench\":\"BENCH_PR6\",\"legs\":[\n  %s\n],\"summary\":[\n  %s\n]}\n"
+  Printf.fprintf oc
+    "{\"bench\":\"BENCH_PR6\",\"host\":%s,\"legs\":[\n  %s\n],\"summary\":[\n  %s\n]}\n"
+    (host_json ())
     (String.concat ",\n  " (List.rev !legs))
     (String.concat ",\n  " summaries);
   close_out oc;
   print_endline "(written BENCH_PR6.json)";
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* servebench: closed-loop concurrent serving workload (BENCH_PR7)     *)
+(* ------------------------------------------------------------------ *)
+
+module SV = Xdb_core.Server
+module EN = Xdb_core.Engine
+
+(* nearest-rank percentile over an unsorted sample list, ms *)
+let pct samples q =
+  match samples with
+  | [] -> 0.0
+  | _ ->
+      let a = Array.of_list samples in
+      Array.sort compare a;
+      let n = Array.length a in
+      a.(min (n - 1) (max 0 (int_of_float (ceil (q *. float_of_int n)) - 1)))
+
+(* Closed-loop workload: N client domains over one Xdb.Server, each
+   looping a mixed stylesheet set (the three Records-shape cases, so one
+   shared engine/view serves all of them) back-to-back for a fixed total
+   request count per leg.  Per (clients, case): throughput and
+   p50/p95/p99 latency; every response is checked byte-identical to the
+   single-client reference.  A final deterministic overload scenario
+   (max_in_flight 1, queue 2, five concurrent requests) demonstrates
+   that admission control rejects with Overloaded instead of
+   deadlocking.  CI gates: all responses identical, rejections > 0 with
+   everything accounted for, and — when the host has ≥ 2 cores —
+   concurrent throughput at the highest client count no worse than the
+   single-client run. *)
+let servebench ?(size = 2_000) ?(clients_list = [ 1; 2; 4 ]) ?(per_case = 24) () =
+  let nproc = Xdb_core.Parallel.default_jobs () in
+  Printf.printf "%s\nservebench: closed-loop serving over one shared Engine (nproc %d)\n%s\n"
+    hrule nproc hrule;
+  let dv = D.records_db size in
+  let engine = EN.create dv.D.db in
+  EN.register_view engine dv.D.view;
+  let view_name = dv.D.view.Xdb_rel.Publish.view_name in
+  let cases =
+    List.map
+      (fun name ->
+        let c =
+          if name = "dbonerow" then M.dbonerow_for size
+          else Option.get (M.find name)
+        in
+        (name, c.M.stylesheet))
+      [ "dbonerow"; "avts"; "metric" ]
+  in
+  (* single-client reference outputs (and plan-cache warmup) *)
+  let reference =
+    List.map
+      (fun (name, ss) ->
+        (name, (EN.transform engine ~view_name ~stylesheet:ss).EN.output))
+      cases
+  in
+  Printf.printf "%8s %10s %9s %12s %9s %9s %9s %10s\n" "clients" "case" "requests"
+    "thrpt(r/s)" "p50(ms)" "p95(ms)" "p99(ms)" "identical";
+  let legs = ref [] and csv_rows = ref [] in
+  let summaries =
+    List.map
+      (fun clients ->
+        (* in-flight bounded to the core count: admission control's job is
+           to keep offered load from oversubscribing domains (running more
+           mutating domains than cores collapses under the stop-the-world
+           GC); excess clients wait in the queue, descheduled *)
+        let server = SV.create ~max_in_flight:nproc ~max_queue:256 engine in
+        let iters = max 1 (per_case / clients) in
+        (* each client: its own session, [iters] closed-loop passes over
+           the mixed case set, per-request latency + identity checks *)
+        let run_client i =
+          let sess = SV.open_session ~name:(Printf.sprintf "c%d" i) server in
+          let out = ref [] in
+          for _ = 1 to iters do
+            List.iter
+              (fun (name, ss) ->
+                let t0 = Unix.gettimeofday () in
+                let r = SV.transform sess ~view_name ~stylesheet:ss in
+                let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+                out := (name, ms, r.EN.output = List.assoc name reference) :: !out)
+              cases
+          done;
+          SV.close_session sess;
+          !out
+        in
+        let t0 = Unix.gettimeofday () in
+        let per_client =
+          if clients = 1 then [ run_client 0 ]
+          else
+            List.map Domain.join
+              (List.init clients (fun i -> Domain.spawn (fun () -> run_client i)))
+        in
+        let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+        let snap = SV.snapshot server in
+        SV.shutdown server;
+        let samples = List.concat per_client in
+        let total = List.length samples in
+        List.iter
+          (fun (case, _) ->
+            let ours = List.filter (fun (n, _, _) -> n = case) samples in
+            let lats = List.map (fun (_, ms, _) -> ms) ours in
+            let identical = List.for_all (fun (_, _, ok) -> ok) ours in
+            assert identical;
+            let k = List.length ours in
+            let thrpt = float_of_int k /. (wall_ms /. 1000.0) in
+            let p50 = pct lats 0.50 and p95 = pct lats 0.95 and p99 = pct lats 0.99 in
+            Printf.printf "%8d %10s %9d %12.1f %9.3f %9.3f %9.3f %10b\n" clients case k
+              thrpt p50 p95 p99 identical;
+            legs :=
+              Printf.sprintf
+                {|{"clients":%d,"case":"%s","requests":%d,"throughput_rps":%.3f,"p50_ms":%.4f,"p95_ms":%.4f,"p99_ms":%.4f,"identical":%b}|}
+                clients case k thrpt p50 p95 p99 identical
+              :: !legs;
+            csv_rows :=
+              Printf.sprintf "%d,%s,%d,%.3f,%.4f,%.4f,%.4f,%b" clients case k thrpt p50
+                p95 p99 identical
+              :: !csv_rows)
+          cases;
+        let thrpt = float_of_int total /. (wall_ms /. 1000.0) in
+        Printf.printf "%8d %10s %9d %12.1f   (wall %.1fms, queued %d, rejected %d)\n"
+          clients "TOTAL" total thrpt wall_ms snap.SV.queued snap.SV.rejected;
+        Printf.sprintf
+          {|{"clients":%d,"requests":%d,"wall_ms":%.4f,"throughput_rps":%.3f,"queued":%d,"rejected":%d}|}
+          clients total wall_ms thrpt snap.SV.queued snap.SV.rejected)
+      clients_list
+  in
+  (* deterministic overload: one slot, a queue of two, five concurrent
+     requests — two must be rejected with Overloaded, none may hang *)
+  let overload_json =
+    let server = SV.create ~max_in_flight:1 ~max_queue:2 engine in
+    let blocker = Mutex.create () in
+    Mutex.lock blocker;
+    let sess = SV.open_session ~name:"hot" server in
+    let blocked () =
+      Domain.spawn (fun () ->
+          SV.submit sess (fun _ ->
+              Mutex.lock blocker;
+              Mutex.unlock blocker))
+    in
+    let wait_for what cond =
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      while not (cond (SV.snapshot server)) do
+        if Unix.gettimeofday () > deadline then failwith ("servebench overload: " ^ what);
+        Unix.sleepf 0.002
+      done
+    in
+    let d1 = blocked () in
+    wait_for "first request never started" (fun s -> s.SV.in_flight = 1);
+    let d2 = blocked () and d3 = blocked () in
+    wait_for "queue never filled" (fun s -> s.SV.queue_depth = 2);
+    let rejections = ref 0 in
+    for _ = 1 to 2 do
+      match SV.submit sess (fun _ -> ()) with
+      | () -> ()
+      | exception Xdb_core.Xdb_error.Error (Xdb_core.Xdb_error.Overloaded _) ->
+          incr rejections
+    done;
+    Mutex.unlock blocker;
+    List.iter Domain.join [ d1; d2; d3 ];
+    let snap = SV.snapshot server in
+    SV.shutdown server;
+    Printf.printf
+      "overload: attempted 5, accepted %d, queued %d, rejected %d (no deadlock)\n"
+      snap.SV.accepted snap.SV.queued snap.SV.rejected;
+    Printf.sprintf
+      {|{"max_in_flight":1,"max_queue":2,"attempted":5,"accepted":%d,"queued":%d,"rejected":%d,"completed":%d,"deadlock_free":true}|}
+      snap.SV.accepted snap.SV.queued snap.SV.rejected snap.SV.completed
+  in
+  EN.shutdown engine;
+  csv_out "servebench.csv" "clients,case,requests,throughput_rps,p50_ms,p95_ms,p99_ms,identical"
+    (List.rev !csv_rows);
+  let oc = open_out "BENCH_PR7.json" in
+  Printf.fprintf oc
+    "{\"bench\":\"BENCH_PR7\",\"host\":%s,\"rows\":%d,\"legs\":[\n  %s\n],\"summary\":[\n  \
+     %s\n],\"overload\":%s}\n"
+    (host_json ()) size
+    (String.concat ",\n  " (List.rev !legs))
+    (String.concat ",\n  " summaries)
+    overload_json;
+  close_out oc;
+  print_endline "(written BENCH_PR7.json)";
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -885,6 +1087,7 @@ let () =
   if run "pubstream" then pubstream ();
   if run "parscale" then parscale ();
   if run "shredscale" then shredscale ();
+  if run "servebench" then servebench ();
   if run "ablation" then ablation ();
   if run "storage" then storage ();
   if run "partial" then partial_inline ();

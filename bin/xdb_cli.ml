@@ -12,6 +12,11 @@
     - [publish]    — print a case's XMLType view documents, either by
                      materializing trees or streaming output events
                      straight into the serializer;
+    - [serve]      — run a closed-loop concurrent workload (N client
+                     domains × a mixed case set) through [Xdb.Server]
+                     sessions over one shared engine, with admission
+                     control, and report throughput, latency
+                     percentiles and the server metrics;
     - [cases]      — list the built-in benchmark cases. *)
 
 open Cmdliner
@@ -512,6 +517,156 @@ let publish_cmd =
        ~doc:"Print a case's XMLType view documents (DOM or streamed serialization)")
     Term.(const run $ verbose $ case $ size $ indent $ run_options_term)
 
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let clients =
+    Arg.(
+      value & opt int 4
+      & info [ "c"; "clients" ] ~docv:"N"
+          ~doc:"Concurrent client domains, one server session each.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 60
+      & info [ "r"; "requests" ] ~docv:"N"
+          ~doc:"Total requests, split evenly across clients (closed loop: each client \
+                issues its next request as soon as the previous one returns).")
+  in
+  let size = Arg.(value & opt int 2000 & info [ "n"; "size" ] ~doc:"Workload size (rows)") in
+  let max_in_flight =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-in-flight" ] ~docv:"N"
+          ~doc:"Admission control: requests executing at once (default: the core count).")
+  in
+  let max_queue =
+    Arg.(
+      value & opt int 64
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:"Admission control: waiters beyond $(b,--max-in-flight); past this bound \
+                requests are rejected immediately with an overloaded error instead of \
+                blocking.")
+  in
+  let session_cap =
+    Arg.(
+      value & opt (some int) None
+      & info [ "session-cap" ] ~docv:"N"
+          ~doc:"Fairness: one session's requests executing at once (default: \
+                $(b,--max-in-flight)); a capped session's waiters let later sessions \
+                overtake them.")
+  in
+  let server_metrics =
+    Arg.(
+      value & flag
+      & info [ "server-metrics" ]
+          ~doc:"Print the server's metrics collector (counters, queue-wait and \
+                service-time histograms and percentiles, per-session counters) as JSON \
+                after the run.")
+  in
+  let run verbose clients requests size max_in_flight max_queue session_cap server_metrics
+      (opts : Xdb_core.Engine.run_options) =
+    setup_logs verbose;
+    let clients = max 1 clients and requests = max 1 requests in
+    with_engine_errors (fun () ->
+        (* one Records-shape database/view serves all three stylesheets:
+           a genuinely mixed workload over one shared engine *)
+        let dv = Xdb_xsltmark.Data.records_db size in
+        let engine = Xdb_core.Engine.create dv.Xdb_xsltmark.Data.db in
+        Xdb_core.Engine.register_view engine dv.Xdb_xsltmark.Data.view;
+        let view_name = dv.Xdb_xsltmark.Data.view.Xdb_rel.Publish.view_name in
+        let cases =
+          List.map
+            (fun name ->
+              let c =
+                if name = "dbonerow" then Xdb_xsltmark.Cases.dbonerow_for size
+                else Option.get (Xdb_xsltmark.Cases.find name)
+              in
+              (name, c.Xdb_xsltmark.Cases.stylesheet))
+            [ "dbonerow"; "avts"; "metric" ]
+        in
+        let ncases = List.length cases in
+        let server =
+          Xdb_core.Server.create ?max_in_flight ~max_queue ?per_session_cap:session_cap
+            ~defaults:opts engine
+        in
+        let per_client = requests / clients and extra = requests mod clients in
+        (* each client: its own session, looping the mixed case set *)
+        let run_client i =
+          let sess =
+            Xdb_core.Server.open_session ~name:(Printf.sprintf "c%d" i) server
+          in
+          let n = per_client + if i < extra then 1 else 0 in
+          let out = ref [] in
+          for k = 0 to n - 1 do
+            let name, ss = List.nth cases ((i + k) mod ncases) in
+            let t0 = Unix.gettimeofday () in
+            (match Xdb_core.Server.transform sess ~view_name ~stylesheet:ss with
+            | (_ : Xdb_core.Engine.run_result) ->
+                out := (name, (Unix.gettimeofday () -. t0) *. 1000.0, true) :: !out
+            | exception Xdb_core.Xdb_error.Error (Xdb_core.Xdb_error.Overloaded _) ->
+                out := (name, (Unix.gettimeofday () -. t0) *. 1000.0, false) :: !out);
+            ()
+          done;
+          Xdb_core.Server.close_session sess;
+          !out
+        in
+        let t0 = Unix.gettimeofday () in
+        let samples =
+          if clients = 1 then run_client 0
+          else
+            List.concat_map Domain.join
+              (List.init clients (fun i -> Domain.spawn (fun () -> run_client i)))
+        in
+        let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+        let snap = Xdb_core.Server.snapshot server in
+        let pct lats q =
+          match lats with
+          | [] -> 0.0
+          | _ ->
+              let a = Array.of_list lats in
+              Array.sort compare a;
+              let n = Array.length a in
+              a.(min (n - 1) (max 0 (int_of_float (ceil (q *. float_of_int n)) - 1)))
+        in
+        Printf.printf "%-10s %9s %12s %9s %9s %9s\n" "case" "requests" "thrpt(r/s)"
+          "p50(ms)" "p95(ms)" "p99(ms)";
+        List.iter
+          (fun (case, _) ->
+            let lats =
+              List.filter_map (fun (n, ms, ok) -> if n = case && ok then Some ms else None)
+                samples
+            in
+            let k = List.length lats in
+            Printf.printf "%-10s %9d %12.1f %9.3f %9.3f %9.3f\n" case k
+              (float_of_int k /. (wall_ms /. 1000.0))
+              (pct lats 0.50) (pct lats 0.95) (pct lats 0.99))
+          cases;
+        let done_ = List.length (List.filter (fun (_, _, ok) -> ok) samples) in
+        Printf.printf
+          "%d client(s), %d request(s) in %.1fms (%.1f r/s); accepted %d, queued %d, \
+           rejected %d\n"
+          clients done_ wall_ms
+          (float_of_int done_ /. (wall_ms /. 1000.0))
+          snap.Xdb_core.Server.accepted snap.Xdb_core.Server.queued
+          snap.Xdb_core.Server.rejected;
+        if server_metrics then (
+          print_endline "-- server metrics:";
+          print_endline (Xdb_core.Server.metrics_json server));
+        Xdb_core.Server.shutdown server;
+        Xdb_core.Engine.shutdown engine)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a closed-loop concurrent workload through server sessions with admission \
+          control over one shared engine")
+    Term.(
+      const run $ verbose $ clients $ requests $ size $ max_in_flight $ max_queue
+      $ session_cap $ server_metrics $ run_options_term)
+
 let cases_cmd =
   let run () =
     List.iter
@@ -528,5 +683,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ transform_cmd; translate_cmd; explain_cmd; publish_cmd; cases_cmd; shell_cmd;
-            shred_cmd ]))
+          [ transform_cmd; translate_cmd; explain_cmd; publish_cmd; serve_cmd; cases_cmd;
+            shell_cmd; shred_cmd ]))

@@ -21,6 +21,9 @@ type t = {
   registry : Registry.t;
   options : Options.t;
   pool_lock : Mutex.t;
+      (** held for the whole of every pool use, not just creation: a
+          concurrent caller asking for a different [jobs] must not shut
+          the cached pool down under a run still draining it *)
   mutable pool : Parallel.t option;  (** created lazily on first jobs > 1 run *)
   shred_lock : Mutex.t;
   mutable shred : Xdb_rel.Shred.t option;  (** created lazily on first store *)
@@ -40,20 +43,27 @@ let create ?capacity ?(options = Options.default) db =
 let database t = t.db
 let register_view t view = Registry.register_view t.registry view
 
-(* the pool matching [jobs], reusing the cached one when its size fits;
-   a size change joins the old pool and spawns a fresh one *)
-let pool_for t jobs =
+(* Run [f] over the pool matching [jobs], reusing the cached one when
+   its size fits; a size change joins the old pool and spawns a fresh
+   one.  The lock is held for the whole of [f]: concurrent callers
+   serialize their parallel phases (the pool runs one batch at a time
+   anyway), and — critically — a caller asking for a different [jobs]
+   cannot shut the cached pool down under a run that is still using it. *)
+let use_pool t jobs f =
   Mutex.lock t.pool_lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.pool_lock)
     (fun () ->
-      match t.pool with
-      | Some p when Parallel.jobs p = jobs -> p
-      | existing ->
-          (match existing with Some p -> Parallel.shutdown p | None -> ());
-          let p = Parallel.create ~jobs in
-          t.pool <- Some p;
-          p)
+      let pool =
+        match t.pool with
+        | Some p when Parallel.jobs p = jobs -> p
+        | existing ->
+            (match existing with Some p -> Parallel.shutdown p | None -> ());
+            let p = Parallel.create ~jobs in
+            t.pool <- Some p;
+            p
+      in
+      f pool)
 
 let shutdown t =
   Mutex.lock t.pool_lock;
@@ -77,13 +87,13 @@ let transform ?(options = default_run_options) t ~view_name ~stylesheet =
   let metrics = metrics_of options in
   let output =
     Xdb_error.wrap ~stage:"exec" (fun () ->
-        if options.jobs > 1 then (
-          let pool = pool_for t options.jobs in
-          if options.interpreted then
-            Pipeline.run_functional_parallel ?metrics ~pool t.db compiled
-          else
-            Pipeline.run_rewrite_parallel ?metrics ~streaming:options.streaming ~pool t.db
-              compiled)
+        if options.jobs > 1 then
+          use_pool t options.jobs (fun pool ->
+              if options.interpreted then
+                Pipeline.run_functional_parallel ?metrics ~pool t.db compiled
+              else
+                Pipeline.run_rewrite_parallel ?metrics ~streaming:options.streaming ~pool
+                  t.db compiled)
         else if options.interpreted then Pipeline.run_functional ?metrics t.db compiled
         else Pipeline.run_rewrite ?metrics ~streaming:options.streaming t.db compiled)
   in
@@ -110,30 +120,30 @@ let publish ?(options = default_run_options) ?(indent = false) t ~view_name =
   let output =
     Xdb_error.wrap ~stage:"serialize" (fun () ->
         let total = Xdb_rel.Table.size (Xdb_rel.Database.table t.db view.P.base_table) in
-        if options.jobs > 1 then (
-          let pool = pool_for t options.jobs in
-          let ranges =
-            Array.of_list
-              (Parallel.chunk_ranges ~total ~chunks:(4 * Parallel.jobs pool))
-          in
-          let n = Array.length ranges in
-          let task_metrics =
-            match metrics with
-            | None -> [||]
-            | Some _ -> Array.init n (fun _ -> Metrics.create ())
-          in
-          let results =
-            Parallel.run pool
-              (fun i ->
-                let m = if task_metrics = [||] then None else Some task_metrics.(i) in
-                let lo, hi = ranges.(i) in
-                serialize_range ?metrics:m ~lo ~hi ())
-              n
-          in
-          (match metrics with
-          | Some m -> Array.iter (fun tm -> Metrics.merge_into ~into:m tm) task_metrics
-          | None -> ());
-          List.concat (Array.to_list results))
+        if options.jobs > 1 then
+          use_pool t options.jobs (fun pool ->
+              let ranges =
+                Array.of_list
+                  (Parallel.chunk_ranges ~total ~chunks:(4 * Parallel.jobs pool))
+              in
+              let n = Array.length ranges in
+              let task_metrics =
+                match metrics with
+                | None -> [||]
+                | Some _ -> Array.init n (fun _ -> Metrics.create ())
+              in
+              let results =
+                Parallel.run pool
+                  (fun i ->
+                    let m = if task_metrics = [||] then None else Some task_metrics.(i) in
+                    let lo, hi = ranges.(i) in
+                    serialize_range ?metrics:m ~lo ~hi ())
+                  n
+              in
+              (match metrics with
+              | Some m -> Array.iter (fun tm -> Metrics.merge_into ~into:m tm) task_metrics
+              | None -> ());
+              List.concat (Array.to_list results))
         else serialize_range ?metrics ~lo:0 ~hi:total ())
   in
   { output; metrics }
@@ -176,8 +186,10 @@ let transform_shredded ?(options = default_run_options) ?docids t ~stylesheet =
       in
       let output =
         Xdb_error.wrap ~stage:"exec" (fun () ->
-            let pool = if options.jobs > 1 then Some (pool_for t options.jobs) else None in
-            Pipeline.run_shredded ?metrics ?pool s dc docids)
+            if options.jobs > 1 then
+              use_pool t options.jobs (fun pool ->
+                  Pipeline.run_shredded ?metrics ~pool s dc docids)
+            else Pipeline.run_shredded ?metrics s dc docids)
       in
       { output; metrics }
 
@@ -192,18 +204,18 @@ let explain t ~view_name ~stylesheet =
 let explain_analyze ?(options = default_run_options) t ~view_name ~stylesheet =
   let compiled = prepare t ~view_name ~stylesheet in
   Xdb_error.wrap ~stage:"exec" (fun () ->
-      if options.jobs > 1 && not options.interpreted then (
-        let pool = pool_for t options.jobs in
-        match
-          Pipeline.run_rewrite_parallel_analyzed ~streaming:options.streaming ~pool t.db
-            compiled
-        with
-        | _, Some stats ->
-            (* per-domain collectors merged by operator id: actual row
-               counts match a sequential analyzed run *)
-            let plan = Option.get compiled.Pipeline.sql_plan in
-            Xdb_rel.Optimizer.explain_analyze t.db plan stats
-        | _, None -> Pipeline.explain_analyze ~interpreted:false t.db compiled)
+      if options.jobs > 1 && not options.interpreted then
+        use_pool t options.jobs (fun pool ->
+            match
+              Pipeline.run_rewrite_parallel_analyzed ~streaming:options.streaming ~pool
+                t.db compiled
+            with
+            | _, Some stats ->
+                (* per-domain collectors merged by operator id: actual row
+                   counts match a sequential analyzed run *)
+                let plan = Option.get compiled.Pipeline.sql_plan in
+                Xdb_rel.Optimizer.explain_analyze t.db plan stats
+            | _, None -> Pipeline.explain_analyze ~interpreted:false t.db compiled)
       else Pipeline.explain_analyze ~interpreted:options.interpreted t.db compiled)
 
 let registry_counters t = Registry.counters t.registry

@@ -10,7 +10,16 @@
 
     One engine owns one registry and at most one domain pool (created on
     first use of [jobs > 1], resized when [jobs] changes, joined by
-    {!shutdown}). *)
+    {!shutdown}).
+
+    Thread safety: one engine may be shared by concurrent callers
+    (threads or domains) — the registry and metrics collectors are
+    internally locked, and the domain pool is checked out under a lock
+    held for the whole parallel phase, so concurrent [jobs > 1] runs
+    serialize on the pool (and a run racing a [jobs] resize can never
+    have its pool shut down underneath it) while [jobs = 1] runs proceed
+    independently.  {!Server} builds session multiplexing and admission
+    control on top of this guarantee. *)
 
 type t
 

@@ -6,6 +6,7 @@ type t =
   | Publish of string
   | Serialize of string
   | Exec of string
+  | Overloaded of string
 
 exception Error of t
 
@@ -15,6 +16,7 @@ let to_string = function
   | Publish m -> "publish error: " ^ m
   | Serialize m -> "serialize error: " ^ m
   | Exec m -> "execution error: " ^ m
+  | Overloaded m -> "overloaded: " ^ m
 
 (* map each library exception to its stage; the internals keep raising
    their own exceptions — classification happens only at the facade *)

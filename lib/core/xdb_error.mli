@@ -20,6 +20,11 @@ type t =
   | Exec of string
       (** plan or query execution: executor, XQuery/XPath evaluation,
           XSLT VM, catalog lookups *)
+  | Overloaded of string
+      (** admission control rejected the request: the server's in-flight
+          limit is reached and the wait queue is full (or the server is
+          shutting down).  Raised by {!Server} instead of blocking
+          unboundedly — a client seeing it should back off and retry *)
 
 exception Error of t
 

@@ -1023,6 +1023,345 @@ let test_xdb_error () =
   | exception e -> Alcotest.fail ("expected Publish error, got " ^ Printexc.to_string e));
   EN.shutdown engine
 
+(* ------------------------------------------------------------------ *)
+(* Concurrent serving (PR 7)                                           *)
+(* ------------------------------------------------------------------ *)
+
+module SV = Xdb_core.Server
+
+(* poll a server-state condition with a deadline, so a scheduling
+   regression fails the test instead of hanging the suite *)
+let wait_until ?(timeout = 10.0) what cond =
+  let deadline = Unix.gettimeofday () +. timeout in
+  while not (cond ()) do
+    if Unix.gettimeofday () > deadline then Alcotest.fail ("timed out waiting for " ^ what);
+    Unix.sleepf 0.002
+  done
+
+(* a Records-shape engine whose one view serves three different
+   stylesheets — a mixed workload without multiple databases *)
+let serving_env size =
+  let dv = Xdb_xsltmark.Data.records_db size in
+  let engine = EN.create dv.Xdb_xsltmark.Data.db in
+  EN.register_view engine dv.Xdb_xsltmark.Data.view;
+  let view_name = dv.Xdb_xsltmark.Data.view.Xdb_rel.Publish.view_name in
+  let cases =
+    List.map
+      (fun name ->
+        let c =
+          if name = "dbonerow" then Xdb_xsltmark.Cases.dbonerow_for size
+          else Option.get (Xdb_xsltmark.Cases.find name)
+        in
+        (name, c.Xdb_xsltmark.Cases.stylesheet))
+      [ "dbonerow"; "avts"; "metric" ]
+  in
+  (engine, view_name, cases)
+
+let test_server_sessions () =
+  let engine, view_name, cases = serving_env 40 in
+  let server = SV.create ~max_in_flight:2 engine in
+  check cb "server exposes its engine" true (SV.engine server == engine);
+  let sess = SV.open_session ~name:"alice" server in
+  check cs "session name" "alice" (SV.session_name sess);
+  (* a session's requests are the engine's requests, admitted *)
+  List.iter
+    (fun (_, ss) ->
+      check (Alcotest.list cs) "server transform ≡ engine transform"
+        (EN.transform engine ~view_name ~stylesheet:ss).EN.output
+        (SV.transform sess ~view_name ~stylesheet:ss).EN.output)
+    cases;
+  (* per-session default options apply to every call… *)
+  let mopts = { EN.default_run_options with EN.collect_metrics = true } in
+  let msess = SV.open_session ~options:mopts server in
+  let avts = List.assoc "avts" cases in
+  check cb "session options apply" true
+    ((SV.transform msess ~view_name ~stylesheet:avts).EN.metrics <> None);
+  (* …and a per-call override beats them *)
+  check cb "per-call override wins" true
+    ((SV.transform ~options:EN.default_run_options msess ~view_name ~stylesheet:avts)
+       .EN.metrics
+    = None);
+  (* publish / explain ride the same admission path *)
+  check cb "publish admitted" true ((SV.publish sess ~view_name).EN.output <> []);
+  check cb "explain admitted" true
+    (contains "SQL/XML plan"
+       (SV.explain sess ~view_name ~stylesheet:(List.assoc "metric" cases)));
+  let snap = SV.snapshot server in
+  check ci "server accepted every request" 7 snap.SV.accepted;
+  check ci "…and completed them" 7 snap.SV.completed;
+  check ci "none rejected" 0 snap.SV.rejected;
+  check ci "alice's share" 5 (SV.session_snapshot sess).SV.completed;
+  check ci "latency samples recorded" 7 snap.SV.service.SV.count;
+  check cb "service times are positive" true (snap.SV.service.SV.p50_ms >= 0.0);
+  (* closed sessions refuse further work; in flight nothing to drain *)
+  SV.close_session sess;
+  SV.close_session sess (* idempotent *);
+  (match SV.submit sess (fun _ -> ()) with
+  | () -> Alcotest.fail "closed session must refuse"
+  | exception XE.Error (XE.Exec m) -> check cb "names the session" true (contains "alice" m));
+  (* shutdown drains and rejects, but leaves the engine alone *)
+  SV.shutdown server;
+  SV.shutdown server (* idempotent *);
+  (match SV.submit msess (fun _ -> ()) with
+  | () -> Alcotest.fail "shut-down server must refuse"
+  | exception XE.Error (XE.Overloaded _) -> ());
+  (match SV.open_session server with
+  | _ -> Alcotest.fail "shut-down server must refuse sessions"
+  | exception XE.Error (XE.Exec _) -> ());
+  check cb "engine survives server shutdown" true
+    ((EN.transform engine ~view_name ~stylesheet:avts).EN.output <> []);
+  EN.shutdown engine
+
+let test_server_concurrent () =
+  let engine, view_name, cases = serving_env 60 in
+  (* reference outputs (also warms the plan cache) *)
+  let reference =
+    List.map
+      (fun (n, ss) -> (n, (EN.transform engine ~view_name ~stylesheet:ss).EN.output))
+      cases
+  in
+  let server = SV.create ~max_in_flight:2 ~max_queue:256 engine in
+  let iters = 8 in
+  let run_client i () =
+    let sess = SV.open_session ~name:(Printf.sprintf "c%d" i) server in
+    let ok = ref 0 in
+    for _ = 1 to iters do
+      List.iter
+        (fun (name, ss) ->
+          let r = SV.transform sess ~view_name ~stylesheet:ss in
+          if r.EN.output = List.assoc name reference then incr ok)
+        cases
+    done;
+    SV.close_session sess;
+    !ok
+  in
+  let oks =
+    List.map Domain.join (List.init test_jobs (fun i -> Domain.spawn (run_client i)))
+  in
+  let total = test_jobs * iters * List.length cases in
+  check ci "every response byte-identical" total (List.fold_left ( + ) 0 oks);
+  let snap = SV.snapshot server in
+  check ci "all accepted" total snap.SV.accepted;
+  check ci "all completed" total snap.SV.completed;
+  check ci "none failed" 0 snap.SV.failed;
+  check ci "none rejected" 0 snap.SV.rejected;
+  check ci "nothing left in flight" 0 snap.SV.in_flight;
+  check ci "queue drained" 0 snap.SV.queue_depth;
+  (* the rendered metrics account for every request *)
+  let counters = Xdb_core.Metrics.counters (SV.metrics server) in
+  check ci "metrics accepted counter" total (List.assoc "accepted" counters);
+  let bucket_sum prefix =
+    List.fold_left
+      (fun acc (k, v) ->
+        if String.length k > String.length prefix
+           && String.sub k 0 (String.length prefix) = prefix
+        then acc + v
+        else acc)
+      0 counters
+  in
+  check ci "service histogram covers every request" total (bucket_sum "service_");
+  check ci "queue-wait histogram covers every request" total (bucket_sum "queue_wait_");
+  check ci "per-session counters sum to the server's" total
+    (List.fold_left
+       (fun acc i -> acc + List.assoc (Printf.sprintf "session.c%d.completed" i) counters)
+       0
+       (List.init test_jobs Fun.id));
+  SV.shutdown server;
+  EN.shutdown engine
+
+(* a request parked on [blocker] occupies its slot for as long as the
+   test wants; [release] is idempotent so failures still unblock it *)
+let with_blocker f =
+  let blocker = Mutex.create () in
+  Mutex.lock blocker;
+  let held = ref true in
+  let release () =
+    if !held then (
+      held := false;
+      Mutex.unlock blocker)
+  in
+  Fun.protect ~finally:release (fun () ->
+      f
+        (fun _ ->
+          Mutex.lock blocker;
+          Mutex.unlock blocker)
+        release)
+
+let test_server_overload () =
+  let engine, view_name, cases = serving_env 20 in
+  let _, ss = List.hd cases in
+  let server = SV.create ~max_in_flight:1 ~max_queue:1 engine in
+  let sess = SV.open_session ~name:"hot" server in
+  with_blocker (fun park release ->
+      let d1 = Domain.spawn (fun () -> SV.submit sess park) in
+      wait_until "the first request to start" (fun () ->
+          (SV.snapshot server).SV.in_flight = 1);
+      let d2 = Domain.spawn (fun () -> SV.submit sess (fun _ -> ())) in
+      wait_until "the queue to fill" (fun () -> (SV.snapshot server).SV.queue_depth = 1);
+      (* past the bound: refused immediately, not blocked *)
+      (match SV.transform sess ~view_name ~stylesheet:ss with
+      | _ -> Alcotest.fail "expected Overloaded"
+      | exception XE.Error (XE.Overloaded m) ->
+          check cb "stable rendering" true
+            (contains "overloaded:" (XE.to_string (XE.Overloaded m))));
+      release ();
+      Domain.join d1;
+      Domain.join d2);
+  let snap = SV.snapshot server in
+  check ci "two executed" 2 snap.SV.completed;
+  check ci "one waited" 1 snap.SV.queued;
+  check ci "one rejected" 1 snap.SV.rejected;
+  check ci "attempts all accounted for" 3 (snap.SV.accepted + snap.SV.rejected);
+  check ci "queue-wait recorded per accepted request" 2 snap.SV.queue_wait.SV.count;
+  SV.shutdown server;
+  EN.shutdown engine
+
+let test_server_fairness () =
+  let engine, _, _ = serving_env 20 in
+  let server = SV.create ~max_in_flight:2 ~per_session_cap:1 engine in
+  let hot = SV.open_session ~name:"hot" server in
+  let other = SV.open_session ~name:"other" server in
+  with_blocker (fun park release ->
+      let d1 = Domain.spawn (fun () -> SV.submit hot park) in
+      wait_until "hot's request to start" (fun () -> (SV.snapshot server).SV.in_flight = 1);
+      (* hot's second request: a global slot is free, but the session is
+         at its cap, so it must wait *)
+      let d2 = Domain.spawn (fun () -> SV.submit hot (fun _ -> ())) in
+      wait_until "the cap-blocked waiter" (fun () ->
+          (SV.snapshot server).SV.queue_depth = 1);
+      check ci "global slot still free" 1 (SV.snapshot server).SV.in_flight;
+      (* the other session overtakes the earlier cap-blocked waiter *)
+      let d3 = Domain.spawn (fun () -> SV.submit other (fun _ -> ())) in
+      wait_until "the other session to overtake" (fun () ->
+          (SV.session_snapshot other).SV.completed = 1);
+      check ci "hot's waiter is still queued" 1 (SV.snapshot server).SV.queue_depth;
+      check ci "hot has completed nothing" 0 (SV.session_snapshot hot).SV.completed;
+      release ();
+      List.iter Domain.join [ d1; d2; d3 ]);
+  check ci "everything drained" 3 (SV.snapshot server).SV.completed;
+  SV.shutdown server;
+  EN.shutdown engine
+
+let test_engine_pool_race () =
+  (* regression: a parallel transform racing another caller's [jobs]
+     resize must not have the shared pool shut down underneath it *)
+  let db, view = setup_example1 () in
+  let engine = EN.create db in
+  EN.register_view engine view;
+  let expect =
+    (EN.transform engine ~view_name:"dept_emp" ~stylesheet:example1_stylesheet).EN.output
+  in
+  let iters = 6 in
+  let run_client i () =
+    List.init iters (fun k ->
+        (* alternate jobs 2 / 3: every step asks for a resize *)
+        let jobs = 2 + ((i + k) mod 2) in
+        (EN.transform
+           ~options:{ EN.default_run_options with EN.jobs }
+           engine ~view_name:"dept_emp" ~stylesheet:example1_stylesheet)
+          .EN.output)
+  in
+  let outs =
+    List.concat_map Domain.join
+      (List.init test_jobs (fun i -> Domain.spawn (run_client i)))
+  in
+  check ci "every racing run finished" (test_jobs * iters) (List.length outs);
+  List.iter (fun o -> check (Alcotest.list cs) "identical under pool races" expect o) outs;
+  EN.shutdown engine
+
+let test_server_mixed_smoke () =
+  (* four domains hammer transform / publish / explain through sessions
+     on one engine; afterwards the registry counters must be
+     torn-state-free, exactly as in the single-registry hammering test *)
+  let engine, view_name, cases = serving_env 30 in
+  let reference =
+    List.map
+      (fun (n, ss) -> (n, (EN.transform engine ~view_name ~stylesheet:ss).EN.output))
+      cases
+  in
+  let pub_ref = (EN.publish engine ~view_name).EN.output in
+  let server = SV.create ~max_in_flight:4 ~max_queue:256 engine in
+  let domains = 4 and iters = 5 in
+  let run_client i () =
+    let sess = SV.open_session ~name:(Printf.sprintf "w%d" i) server in
+    let ok = ref 0 in
+    for k = 1 to iters do
+      List.iter
+        (fun (name, ss) ->
+          if (SV.transform sess ~view_name ~stylesheet:ss).EN.output
+             = List.assoc name reference
+          then incr ok)
+        cases;
+      if (SV.publish sess ~view_name).EN.output = pub_ref then incr ok;
+      if contains "SQL/XML plan"
+           (SV.explain sess ~view_name ~stylesheet:(snd (List.nth cases (k mod 3))))
+      then incr ok
+    done;
+    SV.close_session sess;
+    !ok
+  in
+  let oks =
+    List.map Domain.join (List.init domains (fun i -> Domain.spawn (run_client i)))
+  in
+  check ci "every mixed call checked out"
+    (domains * iters * (List.length cases + 2))
+    (List.fold_left ( + ) 0 oks);
+  (* prepares = warmup transforms + per-iteration transforms and explains *)
+  let counter n = List.assoc n (EN.registry_counters engine) in
+  let prepares = List.length cases + (domains * iters * (List.length cases + 1)) in
+  check ci "every prepare a hit or a recompilation" prepares
+    (counter "cache_hits" + counter "recompilations");
+  check ci "recompilations = misses + stale" (counter "recompilations")
+    (counter "cache_misses" + counter "cache_stale");
+  SV.shutdown server;
+  EN.shutdown engine
+
+(* property: under random admission bounds and client mixes, a batch of
+   concurrent sessions never deadlocks, never loses a request, and every
+   response stays byte-identical to the sequential reference *)
+let prop_server_accounting =
+  QCheck.Test.make ~name:"server accounting under random bounds" ~count:12
+    QCheck.(
+      quad (int_range 1 3) (int_range 0 4) (int_range 1 3) (int_range 1 4))
+    (fun (max_in_flight, max_queue, per_session_cap, clients) ->
+      let engine, view_name, cases = serving_env 12 in
+      let reference =
+        List.map
+          (fun (n, ss) -> (n, (EN.transform engine ~view_name ~stylesheet:ss).EN.output))
+          cases
+      in
+      let server =
+        SV.create ~max_in_flight ~max_queue ~per_session_cap:(min per_session_cap max_in_flight)
+          engine
+      in
+      let run_client i () =
+        let sess = SV.open_session ~name:(Printf.sprintf "p%d" i) server in
+        let ok = ref 0 and rejected = ref 0 in
+        List.iter
+          (fun (name, ss) ->
+            match SV.transform sess ~view_name ~stylesheet:ss with
+            | r -> if r.EN.output = List.assoc name reference then incr ok
+            | exception XE.Error (XE.Overloaded _) -> incr rejected)
+          cases;
+        SV.close_session sess;
+        (!ok, !rejected)
+      in
+      let per_client =
+        if clients = 1 then [ run_client 0 () ]
+        else List.map Domain.join (List.init clients (fun i -> Domain.spawn (run_client i)))
+      in
+      let ok = List.fold_left (fun a (o, _) -> a + o) 0 per_client in
+      let rejected = List.fold_left (fun a (_, r) -> a + r) 0 per_client in
+      let snap = SV.snapshot server in
+      SV.shutdown server;
+      EN.shutdown engine;
+      ok + rejected = clients * List.length cases
+      && snap.SV.completed = ok
+      && snap.SV.rejected = rejected
+      && snap.SV.failed = 0
+      && snap.SV.in_flight = 0
+      && snap.SV.queue_depth = 0)
+
 (* property: pipeline equivalence across random dept/emp instances *)
 let prop_pipeline_equivalence =
   QCheck.Test.make ~name:"functional = rewrite on random instances" ~count:20
@@ -1085,5 +1424,19 @@ let () =
           Alcotest.test_case "Engine shredded storage" `Quick test_engine_shredded;
           Alcotest.test_case "Xdb_error boundary" `Quick test_xdb_error;
           QCheck_alcotest.to_alcotest prop_parallel_equiv_sequential;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "sessions over one engine" `Quick test_server_sessions;
+          Alcotest.test_case "concurrent clients byte-identical" `Quick
+            test_server_concurrent;
+          Alcotest.test_case "overload rejects, never deadlocks" `Quick
+            test_server_overload;
+          Alcotest.test_case "per-session cap fairness" `Quick test_server_fairness;
+          Alcotest.test_case "engine pool vs jobs-resize race" `Quick
+            test_engine_pool_race;
+          Alcotest.test_case "mixed-verb smoke under 4 domains" `Quick
+            test_server_mixed_smoke;
+          QCheck_alcotest.to_alcotest prop_server_accounting;
         ] );
     ]
