@@ -148,8 +148,9 @@ let transform_cmd =
       & info [ "shredded" ]
           ~doc:
             "Store the input document interval-encoded (one node row per XML node, see \
-             $(b,shred)) and transform through the shredded path: reconstruction from node \
-             rows, then the XSLTVM.  Output is byte-identical to the direct paths.")
+             $(b,shred)) and transform through the shredded path: the XSLTVM running \
+             template match and select as relational scans over the node rows.  Output is \
+             byte-identical to the direct paths.")
   in
   (* shred [doc] into a fresh engine and transform through the store *)
   let run_shredded opts stylesheet doc =
@@ -292,15 +293,19 @@ let shred_cmd =
                   prerr_endline "!! shredded result DIFFERS from the DOM interpreter";
                   exit 1))
               ids docs;
-            let rel, fb = Xdb_rel.Shred.counters s in
-            Printf.printf "-- %d relational step(s), %d DOM fallback(s)\n" rel fb;
+            let c = Xdb_rel.Shred.counters s in
+            Printf.printf
+              "-- %d batched step(s), %d per-context step(s), %d DOM fallback(s)\n"
+              c.Xdb_rel.Shred.batch_steps c.Xdb_rel.Shred.rel_steps
+              c.Xdb_rel.Shred.dom_fallbacks;
             if explain_steps then (
               match Xdb_xpath.Parser.parse q with
               | Xdb_xpath.Ast.Path { steps; _ } ->
                   List.iter
                     (fun (st : Xdb_xpath.Ast.step) ->
-                      Printf.printf "-- step %s\n%s\n"
+                      Printf.printf "-- step %s\n   batch: %s\n%s\n"
                         (Xdb_xpath.Ast.step_to_string st)
+                        (Xdb_rel.Shred.batch_explain st)
                         (Xdb_rel.Shred.explain_step s st))
                     steps
               | _ -> prerr_endline "(--explain: not a path expression)"))

@@ -178,18 +178,19 @@ let transform_shredded ?(options = default_run_options) ?docids t ~stylesheet =
   let metrics = metrics_of options in
   match docids with
   | [] -> { output = []; metrics }
-  | first :: _ ->
-      let dc =
+  | _ :: _ ->
+      (* bytecode only: the shredded VM needs no example document, so
+         nothing is reconstructed at compile time *)
+      let prog =
         Xdb_error.wrap ~stage:"compile" (fun () ->
-            let example_doc = Xdb_rel.Shred.reconstruct s first in
-            Pipeline.compile_for_document ~options:t.options stylesheet ~example_doc)
+            Xdb_xslt.Compile.compile (Xdb_xslt.Parser.parse stylesheet))
       in
       let output =
         Xdb_error.wrap ~stage:"exec" (fun () ->
             if options.jobs > 1 then
               use_pool t options.jobs (fun pool ->
-                  Pipeline.run_shredded ?metrics ~pool s dc docids)
-            else Pipeline.run_shredded ?metrics s dc docids)
+                  Pipeline.run_shredded ?metrics ~pool s prog docids)
+            else Pipeline.run_shredded ?metrics s prog docids)
       in
       { output; metrics }
 

@@ -83,9 +83,10 @@ val publish :
 
     Documents stored node-per-row with interval (pre/post) numbering
     ({!Xdb_rel.Shred}): XPath axes over them become B-tree range scans
-    instead of tree walks, and transforms run over the reconstructed
-    trees.  One engine owns at most one shred store, created lazily in
-    the engine's database on first use. *)
+    instead of tree walks, and transforms run directly over the node
+    rows through the shredded XSLTVM ({!Shred_vm}).  One engine owns at
+    most one shred store, created lazily in the engine's database on
+    first use. *)
 
 val shred_store : t -> Xdb_rel.Shred.t
 (** The engine's shred store (created on first call).
@@ -98,13 +99,18 @@ val store_shredded : t -> Xdb_xml.Types.node -> int
 val transform_shredded :
   ?options:run_options -> ?docids:int list -> t -> stylesheet:string -> run_result
 (** Run a stylesheet over stored documents (all of them unless [docids]
-    narrows the set): each is reconstructed from its rows, then
-    transformed by the XSLTVM — across domains when [jobs > 1].  The
-    stylesheet is compiled once, partially evaluated against the first
-    document's inferred structure.  [streaming]/[interpreted] do not
-    apply to this path; [collect_metrics] records [reconstruct] and
-    [vm_transform] stages.  Output is byte-identical to transforming the
-    original documents directly.
+    narrows the set) through the shredded XSLTVM: template matching and
+    select iteration execute as set-at-a-time scans over the node rows,
+    with no document reconstruction on that path.  Documents whose
+    evaluation leaves the relational subset fall back per document to
+    reconstruct + DOM VM ([shred_vm_fallback_docs] in metrics), so
+    output is always byte-identical to transforming the original
+    documents directly.  With [jobs > 1] the legacy reconstruct-then-VM
+    strategy runs domain-parallel across documents instead (the shred
+    store is not domain-safe).  [streaming]/[interpreted] do not apply
+    to this path; [collect_metrics] records the [shred_vm] stage plus
+    the [shred_batch_steps]/[shred_rel_steps]/[shred_dom_fallbacks]
+    strategy counters.
     @raise Xdb_error.Error on compile or execution failures. *)
 
 val query_shredded : t -> docid:int -> string -> string list

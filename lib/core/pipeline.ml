@@ -360,24 +360,81 @@ let transform_via_xquery (dc : doc_compiled) doc =
   let doc = Xdb_xslt.Strip.apply dc.d_prog.Xdb_xslt.Compile.space doc in
   Xdb_xquery.Eval.run_serialized dc.d_translation.Xslt2xquery.query ~context:doc
 
-(** Shredded evaluation: reconstruct each stored document from its node
-    rows (sequential — the shred handle's reconstruction cache is not
-    domain-safe), then run the XSLTVM over each tree, domain-parallel
-    across documents when a multi-domain [pool] is given.  Stage times
-    are recorded under [reconstruct]/[vm_transform]; output is
-    byte-identical to {!transform_functional} over the original
-    documents. *)
-let run_shredded ?metrics ?pool (shred : Xdb_rel.Shred.t) (dc : doc_compiled) docids :
-    string list =
-  let docs =
-    staged metrics "reconstruct" (fun () ->
-        List.map (Xdb_rel.Shred.reconstruct shred) docids)
+(** Shredded evaluation: run the shredded XSLTVM ({!Shred_vm}) per stored
+    document — template matching and select iteration execute as
+    set-at-a-time scans over the node table, the input document is never
+    rebuilt.  A document whose stylesheet evaluation leaves the
+    relational subset ({!Shred_vm.Fallback}) is reconstructed and run
+    through the DOM VM instead, so output is always byte-identical to
+    {!transform_functional} over the original documents.
+
+    The shred handle's caches are not domain-safe, so the relational
+    path is sequential; a multi-domain [pool] selects the legacy
+    reconstruct-then-VM strategy, domain-parallel across documents.
+
+    Stages: [shred_vm] (plus [reconstruct]/[vm_transform] for fallback
+    documents).  Counters: [shred_vm_docs], [shred_vm_fallback_docs],
+    and the shred handle's strategy deltas [shred_batch_steps] /
+    [shred_rel_steps] / [shred_dom_fallbacks]. *)
+let run_shredded ?metrics ?pool (shred : Xdb_rel.Shred.t)
+    (prog : Xdb_xslt.Compile.program) docids : string list =
+  let transform_dom docid =
+    let doc =
+      staged metrics "reconstruct" (fun () -> Xdb_rel.Shred.reconstruct shred docid)
+    in
+    staged metrics "vm_transform" (fun () ->
+        let frag = Xdb_xslt.Vm.transform prog doc in
+        Xdb_xml.Serializer.node_list_to_string frag.X.children)
   in
-  staged metrics "vm_transform" (fun () ->
-      match pool with
-      | Some pool when Parallel.jobs pool > 1 && List.length docs > 1 ->
-          Parallel.map_list pool (transform_functional dc) docs
-      | _ -> List.map (transform_functional dc) docs)
+  let c0 = Xdb_rel.Shred.counters shred in
+  let out =
+    match pool with
+    | Some pool when Parallel.jobs pool > 1 && List.length docids > 1 ->
+        (* Shred.t is not domain-safe: parallel runs keep the legacy
+           reconstruct-then-VM strategy (reconstruction itself stays
+           sequential for the same reason) *)
+        let docs =
+          staged metrics "reconstruct" (fun () ->
+              List.map (Xdb_rel.Shred.reconstruct shred) docids)
+        in
+        staged metrics "vm_transform" (fun () ->
+            Parallel.map_list pool
+              (fun doc ->
+                let frag = Xdb_xslt.Vm.transform prog doc in
+                Xdb_xml.Serializer.node_list_to_string frag.X.children)
+              docs)
+    | _ ->
+        List.map
+          (fun docid ->
+            match
+              staged metrics "shred_vm" (fun () ->
+                  try Some (Shred_vm.transform_to_string prog shred docid)
+                  with Shred_vm.Fallback reason ->
+                    Log.debug (fun m ->
+                        m "shredded VM fallback for doc %d: %s" docid reason);
+                    None)
+            with
+            | Some s ->
+                (match metrics with Some m -> Metrics.incr m "shred_vm_docs" | None -> ());
+                s
+            | None ->
+                (match metrics with
+                | Some m -> Metrics.incr m "shred_vm_fallback_docs"
+                | None -> ());
+                transform_dom docid)
+          docids
+  in
+  (match metrics with
+  | Some m ->
+      let c1 = Xdb_rel.Shred.counters shred in
+      Metrics.incr ~by:(c1.Xdb_rel.Shred.batch_steps - c0.Xdb_rel.Shred.batch_steps) m
+        "shred_batch_steps";
+      Metrics.incr ~by:(c1.Xdb_rel.Shred.rel_steps - c0.Xdb_rel.Shred.rel_steps) m
+        "shred_rel_steps";
+      Metrics.incr ~by:(c1.Xdb_rel.Shred.dom_fallbacks - c0.Xdb_rel.Shred.dom_fallbacks) m
+        "shred_dom_fallbacks"
+  | None -> ());
+  out
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                            *)

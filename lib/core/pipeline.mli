@@ -143,15 +143,22 @@ val run_shredded :
   ?metrics:Metrics.t ->
   ?pool:Parallel.t ->
   Xdb_rel.Shred.t ->
-  doc_compiled ->
+  Xdb_xslt.Compile.program ->
   int list ->
   string list
-(** Shredded evaluation: reconstruct each stored document from its
-    interval-encoded node rows ({!Xdb_rel.Shred.reconstruct}, cached and
-    sequential), then run the XSLTVM over each tree — domain-parallel
-    across documents when a multi-domain [pool] is given.  Stages:
-    [reconstruct], [vm_transform].  Byte-identical to
-    {!transform_functional} over the original documents. *)
+(** Shredded evaluation: run the shredded XSLTVM ({!Shred_vm}) per stored
+    document — template matching and select iteration execute as
+    set-at-a-time scans over the node table; the input document is never
+    rebuilt.  A document whose evaluation leaves the relational subset
+    ({!Shred_vm.Fallback}) is reconstructed and run through the DOM VM,
+    so output is always byte-identical to {!transform_functional} over
+    the original documents.  A multi-domain [pool] selects the legacy
+    reconstruct-then-VM strategy (the shred handle is not domain-safe),
+    parallel across documents.
+
+    Stages: [shred_vm] (plus [reconstruct]/[vm_transform] for fallback
+    documents).  Counters: [shred_vm_docs], [shred_vm_fallback_docs],
+    [shred_batch_steps], [shred_rel_steps], [shred_dom_fallbacks]. *)
 
 val mode_name : Xslt2xquery.mode_used -> string
 

@@ -210,6 +210,46 @@ let range_rids t ~lo ~hi =
   go t.root;
   Array.sub !buf 0 !n
 
+(** [iter_range t ~lo ~hi f] — apply [f key rid] to each entry within the
+    bounds, in {!range} order, materialising nothing.  The structural-join
+    passes of [Shred] drive their staircase interval sweeps and merged
+    point probes through this, so a batch step never allocates an
+    intermediate rid list — and a caller whose key encodes the row's
+    position (the packed [dpre]/[dnk] keys) can resolve the row without
+    fetching it.  Counts as one probe. *)
+let iter_range t ~lo ~hi f =
+  Atomic.incr t.probes;
+  let rec go node =
+    Atomic.incr t.node_visits;
+    match node with
+    | Leaf l ->
+        Array.iteri
+          (fun i k ->
+            if above_lo lo k && below_hi hi k then
+              List.iter (f k) (List.rev l.rows.(i)))
+          l.keys
+    | Internal nd ->
+        Array.iteri
+          (fun i kid ->
+            let lo_ok =
+              i = Array.length nd.keys
+              ||
+              match lo with
+              | Unbounded -> true
+              | Inclusive b | Exclusive b -> cmp nd.keys.(i) b >= 0
+            in
+            let hi_ok =
+              i = 0
+              ||
+              match hi with
+              | Unbounded -> true
+              | Inclusive b | Exclusive b -> cmp nd.keys.(i - 1) b <= 0
+            in
+            if lo_ok && hi_ok then go kid)
+          nd.kids
+  in
+  go t.root
+
 (** All entries in key order. *)
 let to_list t = range t ~lo:Unbounded ~hi:Unbounded
 

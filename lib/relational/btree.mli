@@ -33,6 +33,14 @@ val range_rids : t -> lo:bound -> hi:bound -> int array
     intermediate (key, rid) list — the batch executor's index cursor.
     Counts as one probe. *)
 
+val iter_range : t -> lo:bound -> hi:bound -> (key -> int -> unit) -> unit
+(** Apply [f key rid] to each entry within the bounds, in {!range} order,
+    materialising nothing — the cursor of [Shred]'s set-at-a-time
+    structural joins (staircase interval sweeps, merged [dparent]
+    probes).  A caller whose key encodes the row's position (the packed
+    [dpre]/[dnk] keys) can resolve the row from the key alone, skipping
+    the heap fetch.  Counts as one probe. *)
+
 val to_list : t -> (key * int) list
 (** All entries in key order. *)
 

@@ -70,7 +70,11 @@ type t = {
   doc_meta : (int, node) Hashtbl.t;
   plans : (plan_key, Exec.compiled) Hashtbl.t;
   rebuilt_cache : (int, rebuilt) Hashtbl.t;
+  rows_cache : (int, node array * int array) Hashtbl.t;
+      (** pre-ordered decoded rows + pre → index, per docid — the batch
+          evaluator's working set, built {e without} the DOM *)
   outer_layout : Layout.t;
+  mutable n_batch : int;
   mutable n_rel : int;
   mutable n_fallback : int;
 }
@@ -111,7 +115,9 @@ let create ?(table = "xmlnodes") db =
       doc_meta = Hashtbl.create 16;
       plans = Hashtbl.create 32;
       rebuilt_cache = Hashtbl.create 16;
+      rows_cache = Hashtbl.create 16;
       outer_layout = Layout.of_columns ~alias:outer_alias outer_cols;
+      n_batch = 0;
       n_rel = 0;
       n_fallback = 0;
     }
@@ -256,7 +262,11 @@ let doc_node t docid =
   | None -> err "unknown docid %d" docid
 
 let stats t = (Hashtbl.length t.doc_meta, Table.size t.tbl)
-let counters t = (t.n_rel, t.n_fallback)
+
+type counter_totals = { batch_steps : int; rel_steps : int; dom_fallbacks : int }
+
+let counters t =
+  { batch_steps = t.n_batch; rel_steps = t.n_rel; dom_fallbacks = t.n_fallback }
 
 (* ------------------------------------------------------------------ *)
 (* Row decoding                                                        *)
@@ -351,6 +361,59 @@ let rebuilt t docid =
       rb
 
 let reconstruct t docid = (rebuilt t docid).dom
+
+(* the batch evaluator's working set: decoded rows in pre order plus the
+   pre → index map, without building the DOM (reusing the rebuilt cache's
+   arrays when a reconstruction already paid for them) *)
+let doc_rows_ix t docid =
+  match Hashtbl.find_opt t.rows_cache docid with
+  | Some v -> v
+  | None ->
+      let rows, row_ix =
+        match Hashtbl.find_opt t.rebuilt_cache docid with
+        | Some rb -> (rb.rows, rb.row_ix)
+        | None ->
+            let rows = doc_rows t docid in
+            if Array.length rows = 0 then err "no rows for docid %d" docid;
+            let row_ix = Array.make (rows.(0).post + 1) (-1) in
+            Array.iteri (fun i r -> row_ix.(r.pre) <- i) rows;
+            (rows, row_ix)
+      in
+      Hashtbl.add t.rows_cache docid (rows, row_ix);
+      (rows, row_ix)
+
+let row_by_pre t docid pre =
+  let rows, row_ix = doc_rows_ix t docid in
+  if pre < 0 || pre >= Array.length row_ix then None
+  else
+    let ix = row_ix.(pre) in
+    if ix < 0 then None else Some rows.(ix)
+
+let parent_row t (r : node) = if r.parent < 0 then None else row_by_pre t r.docid r.parent
+
+(* direct children (attributes included) off the pre-ordered rows array:
+   first owned row sits right after the owner, each sibling starts at the
+   tick after the previous subtree's last — O(1) per child, no probe *)
+let iter_owned t (c : node) (f : node -> unit) =
+  if c.post > c.pre then begin
+    let rows, row_ix = doc_rows_ix t c.docid in
+    let rec go ix =
+      if ix >= 0 && ix < Array.length rows then begin
+        let r = rows.(ix) in
+        if r.parent = c.pre then begin
+          f r;
+          let nxt = r.post + 1 in
+          if nxt < Array.length row_ix then go row_ix.(nxt)
+        end
+      end
+    in
+    go (row_ix.(c.pre) + 1)
+  end
+
+let children t (c : node) =
+  let acc = ref [] in
+  iter_owned t c (fun r -> if r.kind <> "attr" then acc := r :: !acc);
+  List.rev !acc
 
 (* ------------------------------------------------------------------ *)
 (* Step plans                                                          *)
@@ -545,24 +608,43 @@ let step_source t (axis : XA.axis) (spec : AR.spec) : node -> node list =
             let cands = collect_cursor (Exec.open_cursor compiled ~outer ()) in
             if spec.reverse then List.rev cands else cands)
 
-(* ---- the relational predicate subset (mirrors Eval/Value semantics) - *)
+(* ---- the relational expression subset (mirrors Eval/Value semantics) - *)
 
-type pv = P_num of float | P_str of string | P_bool of bool | P_rows of node list
+module Smap = XE.Smap
+
+type value = V_num of float | V_str of string | V_bool of bool | V_rows of node list
 
 let unsupported fmt = Printf.ksprintf (fun m -> raise (Unsupported m)) fmt
 
-let pnum = function
-  | P_num f -> f
-  | P_str s -> XV.number_value (XV.Str s)
-  | P_bool b -> if b then 1.0 else 0.0
-  | P_rows [] -> Float.nan
-  | P_rows (r :: _) -> XV.number_value (XV.Str r.value)
+let value_number = function
+  | V_num f -> f
+  | V_str s -> XV.number_value (XV.Str s)
+  | V_bool b -> if b then 1.0 else 0.0
+  | V_rows [] -> Float.nan
+  | V_rows (r :: _) -> XV.number_value (XV.Str r.value)
 
-let pbool = function
-  | P_bool b -> b
-  | P_num f -> f <> 0.0 && not (Float.is_nan f)
-  | P_str s -> String.length s > 0
-  | P_rows rs -> rs <> []
+let value_bool = function
+  | V_bool b -> b
+  | V_num f -> f <> 0.0 && not (Float.is_nan f)
+  | V_str s -> String.length s > 0
+  | V_rows rs -> rs <> []
+
+let value_string = function
+  | V_str s -> s
+  | V_num f -> XV.string_value (XV.Num f)
+  | V_bool b -> XV.string_value (XV.Bool b)
+  | V_rows [] -> ""
+  | V_rows (r :: _) -> r.value
+
+let value_rows = function V_rows rs -> Some rs | _ -> None
+
+(* the evaluation environment threaded through every step: [batch]
+   selects the set-at-a-time engine, [vars]/[current] come from the XSLT
+   VM ([current] stays on the instruction's context node while predicate
+   evaluation moves [r], mirroring Eval's context record) *)
+type env = { batch : bool; vars : value Smap.t; current : node option }
+
+let base_env = { batch = true; vars = Smap.empty; current = None }
 
 let num_cmp op x y =
   match op with
@@ -601,100 +683,598 @@ let cmp_of : XA.binop -> _ = function
 let pcompare op a b =
   let one_side op rs other =
     match other with
-    | P_num f -> List.exists (fun r -> num_cmp op (XV.number_value (XV.Str r.value)) f) rs
-    | P_str s -> List.exists (fun r -> str_cmp op r.value s) rs
-    | P_bool b -> num_cmp op (if rs <> [] then 1.0 else 0.0) (if b then 1.0 else 0.0)
-    | P_rows _ -> assert false
+    | V_num f -> List.exists (fun r -> num_cmp op (XV.number_value (XV.Str r.value)) f) rs
+    | V_str s -> List.exists (fun r -> str_cmp op r.value s) rs
+    | V_bool b -> num_cmp op (if rs <> [] then 1.0 else 0.0) (if b then 1.0 else 0.0)
+    | V_rows _ -> assert false
   in
   match (a, b) with
-  | P_rows r1, P_rows r2 ->
+  | V_rows r1, V_rows r2 ->
       List.exists (fun x -> List.exists (fun y -> str_cmp op x.value y.value) r2) r1
-  | P_rows rs, other -> one_side op rs other
-  | other, P_rows rs -> one_side (flip op) rs other
-  | P_bool _, _ | _, P_bool _ ->
-      num_cmp op (if pbool a then 1.0 else 0.0) (if pbool b then 1.0 else 0.0)
-  | P_num _, _ | _, P_num _ -> num_cmp op (pnum a) (pnum b)
-  | P_str s1, P_str s2 -> str_cmp op s1 s2
+  | V_rows rs, other -> one_side op rs other
+  | other, V_rows rs -> one_side (flip op) rs other
+  | V_bool _, _ | _, V_bool _ ->
+      num_cmp op (if value_bool a then 1.0 else 0.0) (if value_bool b then 1.0 else 0.0)
+  | V_num _, _ | _, V_num _ -> num_cmp op (value_number a) (value_number b)
+  | V_str s1, V_str s2 -> str_cmp op s1 s2
 
-let rec eval_step t rows (step : XA.step) =
+(* ------------------------------------------------------------------ *)
+(* Set-at-a-time steps (structural joins over sorted contexts)          *)
+(* ------------------------------------------------------------------ *)
+
+(* Between steps a context is a sorted, duplicate-free node list (the
+   doc_order_dedup invariant), i.e. an ascending sequence of (docid, pre)
+   intervals — exactly what the staircase merges below exploit.  Each
+   batch step costs one pass over the context instead of one compiled
+   plan open per context node. *)
+
+let index_tree t col =
+  match Table.find_index t.tbl col with
+  | Some idx -> idx.Table.tree
+  | None -> err "missing %s index on %s" col (table_name t)
+
+let decode t rid = node_of_slots (Table.unsafe_row t.tbl rid)
+
+let batch_axis_ok : XA.axis -> bool = function
+  | XA.Self | XA.Child | XA.Attribute | XA.Parent | XA.Descendant
+  | XA.Descendant_or_self | XA.Ancestor | XA.Ancestor_or_self ->
+      true
+  | _ -> false
+
+(* one merged [dparent]-index sweep: ascending context nodes, one point
+   probe each ({!Btree.iter_range}, nothing materialised); distinct
+   parents own disjoint child blocks ordered like their parents, so the
+   result is already in document order unless the contexts nest *)
+let batch_child t (spec : AR.spec) (ctx : node list) : node list =
+  let tree = index_tree t "dparent" in
+  let acc = ref [] in
+  let nested = ref false in
+  let curdoc = ref min_int and maxpost = ref min_int in
+  List.iter
+    (fun c ->
+      if c.docid <> !curdoc then begin
+        curdoc := c.docid;
+        maxpost := min_int
+      end
+      else if c.pre < !maxpost then nested := true;
+      if c.post > !maxpost then maxpost := c.post;
+      let key = Value.Int (pack_dpre c.docid c.pre) in
+      Btree.iter_range tree ~lo:(Btree.Inclusive key) ~hi:(Btree.Inclusive key)
+        (fun _key rid ->
+          let r = decode t rid in
+          if row_matches spec r then acc := r :: !acc))
+    ctx;
+  let out = List.rev !acc in
+  if !nested then List.sort doc_order_cmp out else out
+
+(* the staircase merge: a context interval starting inside the running
+   cover is nested in an earlier context's interval, so its descendants
+   were already swept — skip it.  Each maximal interval costs one index
+   range sweep ([dnk] when the name id is packed into the key, [dpre]
+   otherwise); output is sorted and distinct by construction. *)
+let batch_descendant t axis (spec : AR.spec) (ctx : node list) : node list =
+  let or_self = axis = XA.Descendant_or_self in
+  let via_dnk = use_dnk axis spec in
+  let nid =
+    if via_dnk then Hashtbl.find_opt t.names (Option.get spec.name) else Some 0
+  in
+  match nid with
+  | None -> [] (* name never seen: statically empty *)
+  | Some nid ->
+      let tree = index_tree t (if via_dnk then "dnk" else "dpre") in
+      let acc = ref [] in
+      let curdoc = ref min_int and cover = ref min_int in
+      let rows = ref [||] and row_ix = ref [||] in
+      let pre_mask = max_ticks - 1 in
+      List.iter
+        (fun c ->
+          if c.docid <> !curdoc then begin
+            curdoc := c.docid;
+            cover := min_int;
+            let r, ix = doc_rows_ix t c.docid in
+            rows := r;
+            row_ix := ix
+          end;
+          if c.pre > !cover then begin
+            let key pre =
+              Value.Int
+                (if via_dnk then pack_dnk c.docid nid pre else pack_dpre c.docid pre)
+            in
+            let lo =
+              if or_self then Btree.Inclusive (key c.pre) else Btree.Exclusive (key c.pre)
+            and hi =
+              if or_self then Btree.Inclusive (key c.post) else Btree.Exclusive (key c.post)
+            in
+            (* the sweep's keys carry the row's pre in their low bits, so
+               each hit resolves through the cached pre-ordered rows
+               array — no per-entry heap fetch or decode *)
+            Btree.iter_range tree ~lo ~hi (fun key _rid ->
+                match key with
+                | Value.Int k ->
+                    let r = !rows.(!row_ix.(k land pre_mask)) in
+                    if row_matches spec r then acc := r :: !acc
+                | _ -> ());
+            cover := c.post
+          end)
+        ctx;
+      List.rev !acc
+
+let batch_parent t (spec : AR.spec) (ctx : node list) : node list =
+  let acc = ref [] in
+  List.iter
+    (fun c ->
+      match parent_row t c with
+      | Some r when row_matches spec r -> acc := r :: !acc
+      | _ -> ())
+    ctx;
+  doc_order_dedup (List.rev !acc)
+
+(* parent-chain walk with per-document seen marks: a walk stops at the
+   first node an earlier walk marked (everything above it was marked and
+   collected by that walk), so total work is bounded by rows touched,
+   not |ctx| · depth *)
+let batch_ancestor t axis (spec : AR.spec) (ctx : node list) : node list =
+  let or_self = axis = XA.Ancestor_or_self in
+  let seen : (int, Bytes.t) Hashtbl.t = Hashtbl.create 4 in
+  let acc = ref [] in
+  List.iter
+    (fun c ->
+      let _, row_ix = doc_rows_ix t c.docid in
+      let marks =
+        match Hashtbl.find_opt seen c.docid with
+        | Some b -> b
+        | None ->
+            let b = Bytes.make (Array.length row_ix) '\000' in
+            Hashtbl.add seen c.docid b;
+            b
+      in
+      let rec walk pre =
+        if pre >= 0 && Bytes.get marks pre = '\000' then begin
+          Bytes.set marks pre '\001';
+          match row_by_pre t c.docid pre with
+          | None -> ()
+          | Some r ->
+              if row_matches spec r then acc := r :: !acc;
+              walk r.parent
+        end
+      in
+      if or_self then walk c.pre else walk c.parent)
+    ctx;
+  List.sort doc_order_cmp !acc
+
+let batch_axis t axis (spec : AR.spec) (ctx : node list) : node list =
+  t.n_batch <- t.n_batch + 1;
+  match axis with
+  | XA.Self -> List.filter (row_matches spec) ctx
+  | XA.Child | XA.Attribute -> batch_child t spec ctx
+  | XA.Descendant | XA.Descendant_or_self -> batch_descendant t axis spec ctx
+  | XA.Parent -> batch_parent t spec ctx
+  | XA.Ancestor | XA.Ancestor_or_self -> batch_ancestor t axis spec ctx
+  | _ -> assert false
+
+(* ---- batchable predicates: position-insensitive boolean row tests --- *)
+
+(* position()/last() at the predicate's own scope; a nested path step's
+   predicates count positions among their own candidates, so the scan
+   does not descend into Path steps or Filter predicates *)
+let rec uses_position (e : XA.expr) =
+  match e with
+  | XA.Call (("position" | "last"), []) -> true
+  | XA.Number _ | XA.Literal _ | XA.Var _ | XA.Path _ -> false
+  | XA.Neg a -> uses_position a
+  | XA.Binop (_, a, b) -> uses_position a || uses_position b
+  | XA.Call (_, args) -> List.exists uses_position args
+  | XA.Filter (prim, _, _) -> uses_position prim
+
+(* a predicate whose top-level value cannot be a number is a boolean row
+   test, never a positional selection (XPath §2.4) *)
+let boolean_valued (e : XA.expr) =
+  match e with
+  | XA.Literal _ | XA.Path _ | XA.Filter _ -> true
+  | XA.Binop
+      ( (XA.Or | XA.And | XA.Eq | XA.Neq | XA.Lt | XA.Leq | XA.Gt | XA.Geq | XA.Union),
+        _,
+        _ ) ->
+      true
+  | XA.Call (("not" | "true" | "false" | "boolean" | "contains" | "starts-with" | "lang"), _)
+    ->
+      true
+  | _ -> false
+
+(* row-local boolean predicates commute with the union over context nodes
+   (they depend only on the candidate row), so applying them after the
+   merged step equals applying them per context node *)
+let batchable_pred p = boolean_valued p && not (uses_position p)
+
+(* the sort-merge value-predicate subset: [. cmp lit], [step] and
+   [step cmp lit] for one unpredicated child/attribute step *)
+let classify_pred (p : XA.expr) =
+  let source = function
+    | XA.Path
+        {
+          absolute = false;
+          steps = [ ({ XA.axis = XA.Child | XA.Attribute; predicates = []; _ } as s) ];
+        } ->
+        Some (`Step s)
+    | XA.Path
+        {
+          absolute = false;
+          steps =
+            [ { XA.axis = XA.Self; test = XA.Node_type_test XA.Any_node; predicates = [] } ];
+        } ->
+        Some `Self
+    | _ -> None
+  in
+  let lit = function
+    | XA.Literal s -> Some (`Str s)
+    | XA.Number f -> Some (`Num f)
+    | _ -> None
+  in
+  match p with
+  | XA.Binop (op, a, b) -> (
+      match op with
+      | XA.Eq | XA.Neq | XA.Lt | XA.Leq | XA.Gt | XA.Geq -> (
+          let cmp = cmp_of op in
+          match (source a, lit b) with
+          | Some src, Some l -> Some (src, Some (cmp, l))
+          | _ -> (
+              match (lit a, source b) with
+              | Some l, Some src -> Some (src, Some (flip cmp, l))
+              | _ -> None))
+      | _ -> None)
+  | e -> ( match source e with Some src -> Some (src, None) | None -> None)
+
+(* the existential node-set vs literal decision of {!pcompare}, applied
+   to one row's string-value *)
+let lit_holds test (s : string) =
+  match test with
+  | None -> true
+  | Some (cmp, `Str y) -> str_cmp cmp s y
+  | Some (cmp, `Num f) -> num_cmp cmp (XV.number_value (XV.Str s)) f
+
+(* merge the sorted candidates against the pre-ordered rows array: each
+   candidate's owned rows are a contiguous sibling walk starting right
+   after it, so the whole pass is one linear merge — no index probes *)
+let apply_value_pred t (src, test) cands =
+  match src with
+  | `Self -> List.filter (fun r -> lit_holds test r.value) cands
+  | `Step (step : XA.step) -> (
+      match AR.compile step.axis step.test with
+      | None -> []
+      | Some spec ->
+          List.filter
+            (fun c ->
+              let hit = ref false in
+              iter_owned t c (fun r ->
+                  if (not !hit) && row_matches spec r && lit_holds test r.value then
+                    hit := true);
+              !hit)
+            cands)
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let row_local_name (r : node) =
+  match r.kind with "elem" | "attr" | "pi" -> r.name | _ -> ""
+
+let row_qname (r : node) =
+  match r.kind with
+  | "elem" | "attr" -> if r.prefix = "" then r.name else r.prefix ^ ":" ^ r.name
+  | _ -> row_local_name r
+
+let rec eval_step t env rows (step : XA.step) =
   match AR.compile step.axis step.test with
   | None -> []
   | Some spec ->
-      let candidates = step_source t step.axis spec in
-      let out =
-        List.concat_map
-          (fun r ->
-            let cands = candidates r in
-            List.fold_left (fun cs p -> filter_pred t cs p) cands step.XA.predicates)
-          rows
-      in
-      doc_order_dedup out
+      if
+        env.batch && batch_axis_ok step.axis
+        && List.for_all batchable_pred step.XA.predicates
+      then
+        let cands = batch_axis t step.axis spec rows in
+        List.fold_left (fun cs p -> batch_filter t env cs p) cands step.XA.predicates
+      else
+        let candidates = step_source t step.axis spec in
+        let out =
+          List.concat_map
+            (fun r ->
+              let cands = candidates r in
+              List.fold_left (fun cs p -> filter_pred t env cs p) cands step.XA.predicates)
+            rows
+        in
+        doc_order_dedup out
+
+and eval_steps t env rows steps = List.fold_left (eval_step t env) rows steps
+
+(* a batchable predicate is a row-local boolean: the sort-merge form when
+   it fits, else one evaluation per candidate at an arbitrary position
+   (just checked position-insensitive) *)
+and batch_filter t env cands pred =
+  match classify_pred pred with
+  | Some vp -> apply_value_pred t vp cands
+  | None ->
+      List.filter (fun r -> value_bool (peval t env r ~position:1 ~size:1 pred)) cands
 
 (* candidates arrive in proximity order, so position is [i + 1]; a
    number-valued predicate selects by position (XPath §2.4) *)
-and filter_pred t cands pred =
+and filter_pred t env cands pred =
   let size = List.length cands in
   List.filteri
     (fun i r ->
-      match peval t r ~position:(i + 1) ~size pred with
-      | P_num f -> Float.of_int (i + 1) = f
-      | v -> pbool v)
+      match peval t env r ~position:(i + 1) ~size pred with
+      | V_num f -> Float.of_int (i + 1) = f
+      | v -> value_bool v)
     cands
 
-and peval t r ~position ~size (e : XA.expr) : pv =
-  let recur = peval t r ~position ~size in
+and peval t env r ~position ~size (e : XA.expr) : value =
+  let recur = peval t env r ~position ~size in
   match e with
-  | XA.Number f -> P_num f
-  | XA.Literal s -> P_str s
-  | XA.Neg e -> P_num (-.pnum (recur e))
-  | XA.Call ("position", []) -> P_num (Float.of_int position)
-  | XA.Call ("last", []) -> P_num (Float.of_int size)
-  | XA.Call ("true", []) -> P_bool true
-  | XA.Call ("false", []) -> P_bool false
-  | XA.Call ("count", [ a ]) -> (
-      match recur a with
-      | P_rows rs -> P_num (Float.of_int (List.length rs))
-      | _ -> unsupported "count() over a non-node-set")
-  | XA.Call ("not", [ a ]) -> P_bool (not (pbool (recur a)))
-  | XA.Call ("string-length", [ a ]) -> (
-      match recur a with
-      | P_str s -> P_num (Float.of_int (String.length s))
-      | P_rows [] -> P_num 0.0
-      | P_rows (x :: _) -> P_num (Float.of_int (String.length x.value))
-      | v -> P_num (Float.of_int (String.length (XV.string_value (XV.Num (pnum v))))))
+  | XA.Number f -> V_num f
+  | XA.Literal s -> V_str s
+  | XA.Neg e -> V_num (-.value_number (recur e))
+  | XA.Var v -> (
+      match Smap.find_opt v env.vars with
+      | Some x -> x
+      | None -> unsupported "variable $%s" v)
   | XA.Path { absolute; steps } ->
       let start = if absolute then [ doc_node t r.docid ] else [ r ] in
-      P_rows (List.fold_left (eval_step t) start steps)
+      V_rows (eval_steps t env start steps)
+  | XA.Filter (prim, preds, steps) -> (
+      match recur prim with
+      | V_rows rs ->
+          let rs = List.fold_left (fun cs p -> filter_pred t env cs p) rs preds in
+          V_rows (eval_steps t env rs steps)
+      | _ -> unsupported "filter over a non-node-set")
   | XA.Binop (op, a, b) -> (
       match op with
-      | XA.Or -> P_bool (pbool (recur a) || pbool (recur b))
-      | XA.And -> P_bool (pbool (recur a) && pbool (recur b))
+      | XA.Or -> V_bool (value_bool (recur a) || value_bool (recur b))
+      | XA.And -> V_bool (value_bool (recur a) && value_bool (recur b))
       | XA.Eq | XA.Neq | XA.Lt | XA.Leq | XA.Gt | XA.Geq ->
-          P_bool (pcompare (cmp_of op) (recur a) (recur b))
-      | XA.Plus -> P_num (pnum (recur a) +. pnum (recur b))
-      | XA.Minus -> P_num (pnum (recur a) -. pnum (recur b))
-      | XA.Mul -> P_num (pnum (recur a) *. pnum (recur b))
-      | XA.Div -> P_num (pnum (recur a) /. pnum (recur b))
-      | XA.Mod -> P_num (Float.rem (pnum (recur a)) (pnum (recur b)))
+          V_bool (pcompare (cmp_of op) (recur a) (recur b))
+      | XA.Plus -> V_num (value_number (recur a) +. value_number (recur b))
+      | XA.Minus -> V_num (value_number (recur a) -. value_number (recur b))
+      | XA.Mul -> V_num (value_number (recur a) *. value_number (recur b))
+      | XA.Div -> V_num (value_number (recur a) /. value_number (recur b))
+      | XA.Mod -> V_num (Float.rem (value_number (recur a)) (value_number (recur b)))
       | XA.Union -> (
           match (recur a, recur b) with
-          | P_rows x, P_rows y -> P_rows (doc_order_dedup (x @ y))
+          | V_rows x, V_rows y -> V_rows (doc_order_dedup (x @ y))
           | _ -> unsupported "union of non-node-sets"))
-  | XA.Var v -> unsupported "variable $%s" v
-  | XA.Call (f, _) -> unsupported "function %s()" f
-  | XA.Filter _ -> unsupported "filter expression"
+  | XA.Call (f, args) -> pcall t env r ~position ~size f args
 
-let axis_step t rows step = eval_step t rows step
+(* the core function library over rows (same semantics as {!XE}'s, with
+   node string-values read off the [value] column) *)
+and pcall t env r ~position ~size f args =
+  let recur = peval t env r ~position ~size in
+  let str i = value_string (recur (List.nth args i)) in
+  let num i = value_number (recur (List.nth args i)) in
+  let nargs = List.length args in
+  let target_row () =
+    (* 0-arg: the context row; 1-arg: first node of the set, if any *)
+    if nargs = 0 then Some r
+    else
+      match recur (List.nth args 0) with
+      | V_rows rs -> ( match rs with [] -> None | x :: _ -> Some x)
+      | _ -> unsupported "%s() over a non-node-set" f
+  in
+  match (f, nargs) with
+  | "position", 0 -> V_num (Float.of_int position)
+  | "last", 0 -> V_num (Float.of_int size)
+  | "true", 0 -> V_bool true
+  | "false", 0 -> V_bool false
+  | "not", 1 -> V_bool (not (value_bool (recur (List.hd args))))
+  | "boolean", 1 -> V_bool (value_bool (recur (List.hd args)))
+  | "count", 1 -> (
+      match recur (List.hd args) with
+      | V_rows rs -> V_num (Float.of_int (List.length rs))
+      | _ -> unsupported "count() over a non-node-set")
+  | "string", 0 -> V_str r.value
+  | "string", 1 -> V_str (str 0)
+  | "concat", n when n >= 2 ->
+      V_str (String.concat "" (List.map (fun e -> value_string (recur e)) args))
+  | "starts-with", 2 ->
+      let s = str 0 and p = str 1 in
+      V_bool (String.length s >= String.length p && String.sub s 0 (String.length p) = p)
+  | "contains", 2 ->
+      let s = str 0 and sub = str 1 in
+      let found =
+        if sub = "" then true
+        else
+          let ls = String.length s and lb = String.length sub in
+          let rec go i = i + lb <= ls && (String.sub s i lb = sub || go (i + 1)) in
+          go 0
+      in
+      V_bool found
+  | "substring-before", 2 ->
+      let s = str 0 and sub = str 1 in
+      let ls = String.length s and lb = String.length sub in
+      let rec go i =
+        if i + lb > ls then None else if String.sub s i lb = sub then Some i else go (i + 1)
+      in
+      V_str
+        (match if lb = 0 then Some 0 else go 0 with
+        | Some i -> String.sub s 0 i
+        | None -> "")
+  | "substring-after", 2 ->
+      let s = str 0 and sub = str 1 in
+      let ls = String.length s and lb = String.length sub in
+      let rec go i =
+        if i + lb > ls then None else if String.sub s i lb = sub then Some i else go (i + 1)
+      in
+      V_str
+        (match if lb = 0 then Some 0 else go 0 with
+        | Some i -> String.sub s (i + lb) (ls - i - lb)
+        | None -> "")
+  | "substring", (2 | 3) ->
+      V_str (XE.substring_xpath (str 0) (num 1) (if nargs = 3 then Some (num 2) else None))
+  | "string-length", 0 -> V_num (Float.of_int (String.length r.value))
+  | "string-length", 1 -> V_num (Float.of_int (String.length (str 0)))
+  | "normalize-space", 0 -> V_str (XE.normalize_space r.value)
+  | "normalize-space", 1 -> V_str (XE.normalize_space (str 0))
+  | "translate", 3 -> V_str (XE.translate_xpath (str 0) (str 1) (str 2))
+  | "number", 0 -> V_num (XV.number_value (XV.Str r.value))
+  | "number", 1 -> V_num (num 0)
+  | "sum", 1 -> (
+      match recur (List.hd args) with
+      | V_rows rs ->
+          V_num
+            (List.fold_left
+               (fun acc x -> acc +. XV.number_value (XV.Str x.value))
+               0.0 rs)
+      | _ -> unsupported "sum() over a non-node-set")
+  | "floor", 1 -> V_num (Float.floor (num 0))
+  | "ceiling", 1 -> V_num (Float.ceil (num 0))
+  | "round", 1 -> V_num (XV.round_number (num 0))
+  | "name", (0 | 1) ->
+      V_str (match target_row () with None -> "" | Some x -> row_qname x)
+  | "local-name", (0 | 1) ->
+      V_str (match target_row () with None -> "" | Some x -> row_local_name x)
+  | "namespace-uri", (0 | 1) ->
+      V_str
+        (match target_row () with
+        | Some x when x.kind = "elem" || x.kind = "attr" -> x.uri
+        | _ -> "")
+  | "current", 0 -> (
+      match env.current with Some c -> V_rows [ c ] | None -> V_rows [ r ])
+  | _ -> unsupported "function %s()" f
+
+let axis_step t ?(batch = true) rows step = eval_step t { base_env with batch } rows step
+
+let eval_expr t ?(batch = true) ?(vars = Smap.empty) ?(position = 1) ?(size = 1) r e =
+  peval t { batch; vars; current = Some r } r ~position ~size e
+
+(* ------------------------------------------------------------------ *)
+(* Match patterns over rows (the shredded transform path)               *)
+(* ------------------------------------------------------------------ *)
+
+let principal_is_element = function XA.Attribute | XA.Namespace -> false | _ -> true
+
+(* mirrors Eval.test_matches on rows: prefixes are ignored, names match
+   on the local part *)
+let row_test_matches axis test (r : node) =
+  match test with
+  | XA.Star | XA.Prefix_star _ ->
+      if principal_is_element axis then r.kind = "elem" else r.kind = "attr"
+  | XA.Name_test (_, local) ->
+      (if principal_is_element axis then r.kind = "elem" else r.kind = "attr")
+      && String.equal r.name local
+  | XA.Node_type_test XA.Any_node -> true
+  | XA.Node_type_test XA.Text_node -> r.kind = "text"
+  | XA.Node_type_test XA.Comment_node -> r.kind = "comment"
+  | XA.Node_type_test (XA.Pi_node target) -> (
+      r.kind = "pi"
+      && match target with None -> true | Some tg -> String.equal r.name tg)
+
+(* mirrors Pattern.predicates_hold: the candidates are the siblings
+   reachable from the parent by the step's axis and test, positional
+   rules included *)
+let row_predicates_hold t env (step : XA.step) (r : node) =
+  match step.XA.predicates with
+  | [] -> true
+  | preds -> (
+      match parent_row t r with
+      | None ->
+          List.for_all (fun p -> value_bool (peval t env r ~position:1 ~size:1 p)) preds
+      | Some parent ->
+          let matching = eval_step t env [ parent ] { step with XA.predicates = [] } in
+          let survivors =
+            List.fold_left (fun ns p -> filter_pred t env ns p) matching preds
+          in
+          List.exists (fun x -> x.docid = r.docid && x.pre = r.pre) survivors)
+
+let pattern_matches t ?(vars = Smap.empty) (pat : Xdb_xpath.Pattern.t) (r : node) =
+  let env = { batch = true; vars; current = Some r } in
+  let ops =
+    {
+      Xdb_xpath.Pattern.no_parent = parent_row t;
+      no_is_document = (fun (x : node) -> x.kind = "doc");
+      no_test = row_test_matches;
+      no_predicates_hold = (fun step x -> row_predicates_hold t env step x);
+    }
+  in
+  Xdb_xpath.Pattern.matches_gen ops pat r
+
+(* ------------------------------------------------------------------ *)
+(* Subtree copy (what a template's copy-of materialises)                *)
+(* ------------------------------------------------------------------ *)
+
+(* a fresh DOM copy of one row's subtree, built from the rows-array slice
+   [pre .. post] — the only reconstruction the relational transform path
+   ever performs *)
+let subtree t (r0 : node) : X.node =
+  match r0.kind with
+  | "attr" | "text" | "comment" | "pi" -> X.make (kind_of_row r0)
+  | _ ->
+      let rows, row_ix = doc_rows_ix t r0.docid in
+      let n = Array.length rows in
+      let i = ref row_ix.(r0.pre) in
+      let rec build () : X.node =
+        let r = rows.(!i) in
+        incr i;
+        let xn = X.make (kind_of_row r) in
+        (match r.kind with
+        | "doc" | "elem" ->
+            let attrs = ref [] in
+            while !i < n && rows.(!i).kind = "attr" && rows.(!i).parent = r.pre do
+              let an = X.make (kind_of_row rows.(!i)) in
+              incr i;
+              an.X.parent <- Some xn;
+              attrs := an :: !attrs
+            done;
+            xn.X.attributes <- List.rev !attrs;
+            let kids = ref [] in
+            while !i < n && rows.(!i).pre < r.post do
+              let k = build () in
+              k.X.parent <- Some xn;
+              kids := k :: !kids
+            done;
+            xn.X.children <- List.rev !kids
+        | _ -> ());
+        xn
+      in
+      build ()
+
+(* the batch strategy a step evaluates with (CLI --explain) *)
+let batch_explain (step : XA.step) =
+  match AR.compile step.XA.axis step.XA.test with
+  | None -> "statically empty"
+  | Some spec ->
+      if not (batch_axis_ok step.XA.axis) then "per-context plan (axis outside the batch subset)"
+      else if not (List.for_all batchable_pred step.XA.predicates) then
+        "per-context plan (positional predicate)"
+      else
+        let how =
+          match step.XA.axis with
+          | XA.Self -> "context-row filter"
+          | XA.Child | XA.Attribute -> "merged dparent point probes"
+          | XA.Descendant | XA.Descendant_or_self ->
+              if use_dnk step.XA.axis spec then "staircase dnk interval sweep"
+              else "staircase dpre interval sweep"
+          | XA.Parent -> "parent map over the rows array"
+          | XA.Ancestor | XA.Ancestor_or_self -> "marked parent-chain walk"
+          | _ -> assert false
+        in
+        let preds =
+          List.map
+            (fun p ->
+              match classify_pred p with
+              | Some _ -> "sort-merge value filter"
+              | None when batchable_pred p -> "row-local predicate"
+              | None -> "per-candidate predicate")
+            step.XA.predicates
+        in
+        String.concat " + " (how :: preds)
 
 (* ------------------------------------------------------------------ *)
 (* Queries                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let select t ~docid expr_s =
+let select t ?(batch = true) ~docid expr_s =
   let doc = doc_node t docid in
+  let env = { base_env with batch } in
   try
     match Xdb_xpath.Parser.parse expr_s with
-    | XA.Path { absolute = _; steps } -> List.fold_left (eval_step t) [ doc ] steps
+    | XA.Path { absolute = _; steps } -> eval_steps t env [ doc ] steps
     | _ -> raise (Unsupported "non-path expression")
   with Unsupported _ ->
     (* outside the relational subset: answer over the reconstructed tree

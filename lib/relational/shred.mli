@@ -14,18 +14,27 @@
       where [nid] is the dictionary id of the node's name.
 
     Location steps compile (via {!Xdb_xpath.Axis_range}) to conjunctive
-    filters over these columns — emitted sargable, so {!Optimizer} turns
-    them into {!Algebra.Index_scan} range probes answered by
-    {!Btree.range_rids}: child is a [dparent] point probe, descendant a
-    two-sided [dpre] (or, name-tested, [dnk]) range, ancestor the inverse
-    containment.  Each step compiles {e once} per shape into a correlated
-    plan (outer alias ["c"] carries the context node's values) and is
-    opened per context node.
+    filters over these columns.  Two execution strategies share that
+    translation:
 
-    Predicates outside the relational subset, and the sibling/following/
-    preceding axes from attribute context nodes, raise {!Unsupported};
+    - {b Set-at-a-time} (the default): the context node-set is a sorted
+      (docid, pre) sequence, and a whole step is answered in one pass —
+      a staircase merge of [dpre]/[dnk] interval sweeps for descendant
+      (context intervals covered by an earlier interval are skipped), a
+      single merged [dparent]-index sweep of point probes for child, a
+      marked parent-chain walk for ancestor, and a zero-probe sort-merge
+      pass over the pre-ordered rows array for the common value-predicate
+      shapes ([@k='v'], [child='v']).
+    - {b Per-context} (axes or predicates outside the batch subset, or
+      [~batch:false]): each step compiles {e once} per shape into a
+      correlated plan (outer alias ["c"] carries the context node's
+      values) opened per context node, answered by {!Optimizer}-chosen
+      {!Algebra.Index_scan} range probes.
+
+    Constructs outside the relational subset raise {!Unsupported};
     {!select} then falls back to the DOM interpreter over the
-    reconstructed document, so answers never degrade — only speed. *)
+    reconstructed document, so answers never degrade — only speed.
+    {!counters} reports how often each strategy ran. *)
 
 exception Shred_error of string
 
@@ -81,8 +90,15 @@ val doc_node : t -> int -> node
 val stats : t -> int * int
 (** (documents, node rows) stored. *)
 
-val counters : t -> int * int
-(** (relational step evaluations, DOM fallbacks) since creation. *)
+type counter_totals = {
+  batch_steps : int;  (** set-at-a-time step evaluations (one per step) *)
+  rel_steps : int;  (** per-context correlated plan openings *)
+  dom_fallbacks : int;  (** whole-expression DOM fallbacks *)
+}
+
+val counters : t -> counter_totals
+(** Execution-strategy counters since creation — the observability feed
+    of [xdb_cli shred --explain] and the engine metrics. *)
 
 val reconstruct : t -> int -> Xdb_xml.Types.node
 (** Rebuild the document tree from its rows (cached per docid; document
@@ -90,19 +106,71 @@ val reconstruct : t -> int -> Xdb_xml.Types.node
     inverse of {!shred}: reconstruct ∘ shred is deep-equal to the
     original. *)
 
-val axis_step : t -> node list -> Xdb_xpath.Ast.step -> node list
-(** Evaluate one location step over a context node-set: per context node
-    an index range scan in document order (reversed to proximity order
-    for reverse axes), predicates applied per the XPath positional rules,
-    results merged in document order without duplicates.
-    @raise Unsupported for predicates outside the relational subset or
+val children : t -> node -> node list
+(** Direct children (attributes excluded) read off the pre-ordered rows
+    array — O(1) per child, no index probe. *)
+
+val parent_row : t -> node -> node option
+(** The parent row, [None] on document rows. *)
+
+val subtree : t -> node -> Xdb_xml.Types.node
+(** A fresh DOM copy of the node's subtree built from the rows-array
+    slice [pre .. post] — the only materialisation the relational
+    transform path performs (for [xsl:copy-of] and friends). *)
+
+val axis_step : t -> ?batch:bool -> node list -> Xdb_xpath.Ast.step -> node list
+(** Evaluate one location step over a context node-set, set-at-a-time
+    when the axis and predicates allow it (per-context otherwise, or
+    always with [~batch:false]); predicates applied per the XPath
+    positional rules, results merged in document order without
+    duplicates.
+    @raise Unsupported for constructs outside the relational subset or
     sibling/following/preceding steps from attribute contexts. *)
 
-val select : t -> docid:int -> string -> node list
+(** {2 Expression evaluation over rows} *)
+
+module Smap : Map.S with type key = string
+
+(** An XPath 1.0 value over rows — what {!eval_expr} returns and what
+    variable bindings hold. *)
+type value = V_num of float | V_str of string | V_bool of bool | V_rows of node list
+
+val value_number : value -> float
+val value_bool : value -> bool
+val value_string : value -> string
+
+val value_rows : value -> node list option
+(** [Some rows] for node-sets, [None] for atomics. *)
+
+val eval_expr :
+  t ->
+  ?batch:bool ->
+  ?vars:value Smap.t ->
+  ?position:int ->
+  ?size:int ->
+  node ->
+  Xdb_xpath.Ast.expr ->
+  value
+(** Evaluate an XPath expression with [node] as context row — the
+    relational engine behind the shredded XSLT VM's select and test
+    expressions.  [vars] binds variables; [position]/[size] feed
+    [position()]/[last()].
+    @raise Unsupported for constructs outside the relational subset
+    (unbound variables included). *)
+
+val pattern_matches : t -> ?vars:value Smap.t -> Xdb_xpath.Pattern.t -> node -> bool
+(** Does the row match the XSLT pattern?  Runs
+    {!Xdb_xpath.Pattern.matches_gen} over rows: parent lookups through
+    the pre → row map, predicates through {!eval_expr}.
+    @raise Unsupported for pattern predicates outside the relational
+    subset. *)
+
+val select : t -> ?batch:bool -> docid:int -> string -> node list
 (** Parse and evaluate a path expression with the document row as context
-    node.  Falls back to the (DOM) {!Xdb_xpath.Eval} interpreter over the
-    reconstructed document when translation raises {!Unsupported} — the
-    result is identical either way, in document order.
+    node ([~batch:false] forces the per-context strategy).  Falls back to
+    the (DOM) {!Xdb_xpath.Eval} interpreter over the reconstructed
+    document when translation raises {!Unsupported} — the result is
+    identical either way, in document order.
     @raise Xdb_xpath.Parser.Parse_error on malformed expressions;
     @raise Invalid_argument when the expression is not a node-set. *)
 
@@ -117,6 +185,11 @@ val serialize_dom : Xdb_xml.Types.node list -> string list
     side of the byte comparison. *)
 
 val explain_step : t -> Xdb_xpath.Ast.step -> string
-(** The optimised access path a step compiles to ({!Algebra.explain}),
-    or ["<empty>"] for statically empty steps — lets tests assert an
-    [Index_scan] was chosen. *)
+(** The optimised access path a step's per-context plan compiles to
+    ({!Algebra.explain}), or ["<empty>"] for statically empty steps —
+    lets tests assert an [Index_scan] was chosen. *)
+
+val batch_explain : Xdb_xpath.Ast.step -> string
+(** The set-at-a-time strategy the step evaluates with (staircase sweep,
+    merged point probes, …), or why it stays on the per-context plan —
+    the [batch] column of [xdb_cli shred --explain]. *)

@@ -7,7 +7,12 @@
     [pre ∈ (ctx.pre, ctx.post)], ancestor is the inverse containment.
     This module is the pure translation (axis, node test) → condition
     list; the relational layer maps conditions onto B-tree-indexed
-    columns (see [Xdb_rel.Shred]). *)
+    columns (see [Xdb_rel.Shred]).  Consumers read a compiled {!spec}
+    two ways: [Shred]'s per-context plans bind the conditions as
+    correlated sargable conjuncts (one plan open per context node),
+    while its set-at-a-time batch evaluator uses the same spec as the
+    row filter of one merged pass over a whole sorted context
+    (staircase interval sweeps, merged parent probes). *)
 
 (** Candidate-row column a condition constrains. *)
 type col = Pre | Post | Parent

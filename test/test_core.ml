@@ -965,6 +965,27 @@ let test_engine_shredded () =
   let direct = List.map (PL.transform_functional dc) docs in
   let r = EN.transform_shredded engine ~stylesheet:identity_stylesheet in
   check (Alcotest.list cs) "shredded transform ≡ direct VM transform" direct r.EN.output;
+  (* sequential path: the relational VM handles every doc, batched *)
+  let rm =
+    EN.transform_shredded
+      ~options:{ EN.default_run_options with EN.collect_metrics = true }
+      engine ~stylesheet:identity_stylesheet
+  in
+  check (Alcotest.list cs) "metrics run identical" direct rm.EN.output;
+  (match rm.EN.metrics with
+  | None -> Alcotest.fail "metrics requested but absent"
+  | Some m ->
+      let ctr name =
+        match List.assoc_opt name (Xdb_core.Metrics.counters m) with
+        | Some v -> v
+        | None -> 0
+      in
+      check cb "shred_vm stage timed" true
+        (List.mem_assoc "shred_vm" (Xdb_core.Metrics.stages m));
+      check ci "every doc ran relationally" 3 (ctr "shred_vm_docs");
+      check ci "no per-doc DOM fallback" 0 (ctr "shred_vm_fallback_docs");
+      check cb "steps evaluated batched" true (ctr "shred_batch_steps" > 0);
+      check ci "no per-context DOM fallback" 0 (ctr "shred_dom_fallbacks"));
   let rp =
     EN.transform_shredded
       ~options:{ EN.default_run_options with EN.jobs = 3; collect_metrics = true }
@@ -990,6 +1011,47 @@ let test_engine_shredded () =
   check (Alcotest.list cs) "empty store" []
     (EN.transform_shredded empty ~stylesheet:identity_stylesheet).EN.output;
   EN.shutdown empty;
+  EN.shutdown engine
+
+(* every XSLTMark case through the shredded path: byte-identical to the
+   functional VM over the original document, with the relational VM
+   carrying most of the suite (DOM fallbacks counted and bounded) *)
+let test_shredded_xsltmark_parity () =
+  let module MK = Xdb_xsltmark.Cases in
+  let engine = EN.create (Xdb_rel.Database.create ()) in
+  let size = 40 in
+  let total = ref 0 and fallbacks = ref 0 in
+  List.iter
+    (fun (c : MK.case) ->
+      let c = if c.MK.name = "dbonerow" then MK.dbonerow_for size else c in
+      let doc = MK.doc_for c size in
+      let docid = EN.store_shredded engine doc in
+      let dc = PL.compile_for_document c.MK.stylesheet ~example_doc:doc in
+      let expected = PL.transform_functional dc doc in
+      let r =
+        EN.transform_shredded
+          ~options:{ EN.default_run_options with EN.collect_metrics = true }
+          ~docids:[ docid ] engine ~stylesheet:c.MK.stylesheet
+      in
+      check (Alcotest.list cs) ("shredded ≡ DOM: " ^ c.MK.name) [ expected ] r.EN.output;
+      incr total;
+      match r.EN.metrics with
+      | None -> Alcotest.fail "metrics requested but absent"
+      | Some m ->
+          let fb =
+            match List.assoc_opt "shred_vm_fallback_docs" (Xdb_core.Metrics.counters m) with
+            | Some v -> v
+            | None -> 0
+          in
+          fallbacks := !fallbacks + fb)
+    MK.all;
+  check ci "whole suite stored and run" 40 !total;
+  (* the relational subset must carry the bulk of the suite; a growing
+     fallback count means the shredded VM lost coverage *)
+  check cb
+    (Printf.sprintf "DOM fallbacks bounded: %d of %d" !fallbacks !total)
+    true
+    (!fallbacks * 4 <= !total);
   EN.shutdown engine
 
 let test_xdb_error () =
@@ -1422,6 +1484,8 @@ let () =
           Alcotest.test_case "registry under contention" `Quick test_registry_concurrent;
           Alcotest.test_case "Engine facade" `Quick test_engine_facade;
           Alcotest.test_case "Engine shredded storage" `Quick test_engine_shredded;
+          Alcotest.test_case "shredded XSLTMark parity" `Quick
+            test_shredded_xsltmark_parity;
           Alcotest.test_case "Xdb_error boundary" `Quick test_xdb_error;
           QCheck_alcotest.to_alcotest prop_parallel_equiv_sequential;
         ] );

@@ -1129,6 +1129,46 @@ let prop_shred_differential =
     (QCheck.make gen_doc ~print:Xdb_xml.Serializer.to_string)
     (fun doc -> shred_matches_dom doc diff_exprs)
 
+(* three-way differential over every axis in the batch subset: the
+   set-at-a-time evaluator, the per-context plans ([~batch:false]) and
+   the DOM interpreter must agree byte-for-byte, including on each
+   sort-merge value-predicate form *)
+let batch_axis_exprs =
+  [
+    "//a/self::*"; "//b/self::node()";
+    "//a/child::*"; "//a/child::b"; "//a/child::text()";
+    "//a/attribute::id"; "//a/attribute::*";
+    "//b/parent::*"; "//b/parent::a";
+    "//a/descendant::*"; "//a/descendant::b"; "//a/descendant::text()";
+    "//a/descendant-or-self::*"; "//a/descendant-or-self::b";
+    "//b/ancestor::*"; "//b/ancestor::a";
+    "//b/ancestor-or-self::*"; "//b/ancestor-or-self::node()";
+    (* sort-merge value predicates over each classified form *)
+    "//a[.='7']"; "//a[b]"; "//a[b='7']"; "//a[@id]"; "//a[@id='1']";
+    "//a[not(@id)]"; "//a/b[c='2']"; "//a[@id>2]"; "//a[b!='7']";
+  ]
+
+let prop_shred_batch_differential =
+  QCheck.Test.make
+    ~name:"batched ≡ per-context ≡ DOM over random documents (batch axes)" ~count:25
+    (QCheck.make gen_doc ~print:Xdb_xml.Serializer.to_string)
+    (fun doc ->
+      let t = SH.create (DB.create ()) in
+      let docid = SH.shred t doc in
+      let ctx = Xdb_xpath.Eval.make_context doc in
+      List.for_all
+        (fun q ->
+          let batched = SH.serialize t (SH.select t ~docid q) in
+          let percontext = SH.serialize t (SH.select t ~batch:false ~docid q) in
+          let dom = SH.serialize_dom (Xdb_xpath.Eval.select ctx q) in
+          (batched = dom && percontext = dom)
+          || QCheck.Test.fail_reportf "query %s: batched %s / per-context %s / dom %s"
+               q
+               (String.concat "|" batched)
+               (String.concat "|" percontext)
+               (String.concat "|" dom))
+        batch_axis_exprs)
+
 let test_shred_differential_xsltmark () =
   let doc = Xdb_xsltmark.Data.records_doc 40 in
   check cb "records doc: all queries byte-identical" true
@@ -1142,9 +1182,13 @@ let test_shred_differential_xsltmark () =
   let t = SH.create (DB.create ()) in
   let docid = SH.shred t doc in
   ignore (SH.select t ~docid "//row[id]");
-  let rel, fb = SH.counters t in
-  check cb "evaluated relationally" true (rel > 0);
-  check ci "no fallback needed" 0 fb
+  let c = SH.counters t in
+  check cb "evaluated batched" true (c.SH.batch_steps > 0);
+  check ci "no fallback needed" 0 c.SH.dom_fallbacks;
+  (* the same query forced per-context exercises the correlated plans *)
+  ignore (SH.select t ~batch:false ~docid "//row[id]");
+  let c2 = SH.counters t in
+  check cb "per-context plans ran" true (c2.SH.rel_steps > c.SH.rel_steps)
 
 (* ------------------------------------------------------------------ *)
 (* compiled executor: plan-open resolution, batch boundaries           *)
@@ -1335,5 +1379,6 @@ let () =
           Alcotest.test_case "name dictionary capacity" `Quick test_shred_name_capacity;
           Alcotest.test_case "XSLTMark differential" `Quick test_shred_differential_xsltmark;
           QCheck_alcotest.to_alcotest prop_shred_differential;
+          QCheck_alcotest.to_alcotest prop_shred_batch_differential;
         ] );
     ]
