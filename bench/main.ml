@@ -23,6 +23,11 @@
                       asserted (BENCH_PR6.json); each leg also timed
                       through the correlated per-context plans vs the
                       set-at-a-time batch evaluator (BENCH_PR8.json);
+    - [joinscale]   — hash join vs forced nested loop (non-indexed
+                      dimension) and vs index nested loop (indexed
+                      dimension) on a join-heavy publishing shape at
+                      100k/1M outer rows, byte-identity asserted per leg,
+                      planner choice recorded (BENCH_PR9.json);
     - [servebench]  — closed-loop concurrent serving: N client domains ×
                       a mixed case set over one shared Engine through
                       Xdb.Server sessions, throughput + p50/p95/p99, an
@@ -573,6 +578,190 @@ let execscale ?(sizes = [ 2_000; 20_000; 100_000 ]) () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* joinscale: hash join vs (index) nested loop (BENCH_PR9)             *)
+(* ------------------------------------------------------------------ *)
+
+(* Join-heavy publishing shape: a fact table of orders against two
+   dimension tables — one with an index on its key (the index-NL-friendly
+   join) and one without (where a nested loop has to rescan the dimension
+   per probe row).  Each join runs as a hash join and as the nested-loop
+   alternatives over the *same* outer side; results must be byte-identical
+   across physical operators before anything is timed.  The planner's own
+   post-ANALYZE choice for each join region is recorded alongside. *)
+let joinscale ?(sizes = [ 100_000; 1_000_000 ]) () =
+  let module R = Xdb_rel in
+  let module A = R.Algebra in
+  let module V = R.Value in
+  let n_cust = 1_000 and n_tag = 200 in
+  let build n =
+    let db = R.Database.create () in
+    let orders =
+      R.Database.create_table db "orders"
+        [
+          { R.Table.col_name = "oid"; col_type = V.Tint };
+          { R.Table.col_name = "cust"; col_type = V.Tint };
+          { R.Table.col_name = "tag"; col_type = V.Tint };
+          { R.Table.col_name = "amt"; col_type = V.Tint };
+        ]
+    in
+    let dim_cust =
+      R.Database.create_table db "dim_cust"
+        [
+          { R.Table.col_name = "cid"; col_type = V.Tint };
+          { R.Table.col_name = "cname"; col_type = V.Tstr };
+        ]
+    in
+    let dim_tag =
+      R.Database.create_table db "dim_tag"
+        [
+          { R.Table.col_name = "tid"; col_type = V.Tint };
+          { R.Table.col_name = "tname"; col_type = V.Tstr };
+        ]
+    in
+    let seed = ref 7 in
+    let rand m =
+      seed := ((!seed * 1103515245) + 12345) land 0x3FFFFFFF;
+      !seed mod m
+    in
+    for i = 0 to n - 1 do
+      R.Table.insert_values orders
+        [ V.Int i; V.Int (rand n_cust); V.Int (rand n_tag); V.Int (rand 10_000) ]
+    done;
+    for c = 0 to n_cust - 1 do
+      R.Table.insert_values dim_cust [ V.Int c; V.Str (Printf.sprintf "cust-%04d" c) ]
+    done;
+    for t = 0 to n_tag - 1 do
+      R.Table.insert_values dim_tag [ V.Int t; V.Str (Printf.sprintf "tag-%03d" t) ]
+    done;
+    ignore (R.Table.create_index dim_cust ~name:"dim_cust_cid" ~column:"cid");
+    db
+  in
+  let outer = A.Seq_scan { table = "orders"; alias = "o" } in
+  let hash_plan ~dim ~dalias ~okey ~dkey =
+    A.Hash_join
+      {
+        outer;
+        inner = A.Seq_scan { table = dim; alias = dalias };
+        keys = [ (A.qcol "o" okey, A.qcol dalias dkey) ];
+        kind = A.Inner;
+      }
+  in
+  let nl_plan ~dim ~dalias ~okey ~dkey =
+    A.Nested_loop
+      {
+        outer;
+        inner = A.Seq_scan { table = dim; alias = dalias };
+        join_cond = Some A.(qcol "o" okey =. qcol dalias dkey);
+      }
+  in
+  let indexnl_plan ~dim ~dalias ~okey ~dkey ~index =
+    A.Nested_loop
+      {
+        outer;
+        inner =
+          A.Index_scan
+            {
+              table = dim;
+              alias = dalias;
+              index_column = index;
+              lo = A.Incl (A.qcol "o" okey);
+              hi = A.Incl (A.qcol "o" okey);
+            };
+        join_cond = Some A.(qcol "o" okey =. qcol dalias dkey);
+      }
+  in
+  (* (oid, dimension name) rows in output order: equality across the
+     physical operators is the byte-identity assertion of the CI gate *)
+  let norm db name_col plan =
+    let layout, rows = R.Exec.run_arrays db plan in
+    let so = Option.get (R.Layout.slot_opt layout "oid") in
+    let sn = Option.get (R.Layout.slot_opt layout name_col) in
+    List.map (fun (r : V.t array) -> (V.to_int r.(so), V.to_string r.(sn))) rows
+  in
+  Printf.printf "%s\njoinscale: hash join vs (index) nested loop\n%s\n" hrule hrule;
+  Printf.printf "%8s %8s %10s %12s %12s %9s %10s\n" "rows" "dim" "hash_ms" "nl_ms" "indexnl_ms"
+    "identical" "planner";
+  let legs = ref [] and csv_rows = ref [] in
+  List.iter
+    (fun n ->
+      let db = build n in
+      (* planner choice for the same join region, post-ANALYZE *)
+      let planner dim dalias okey dkey =
+        let region =
+          A.Filter
+            ( A.(qcol "o" okey =. qcol dalias dkey),
+              A.Nested_loop
+                {
+                  outer;
+                  inner = A.Seq_scan { table = dim; alias = dalias };
+                  join_cond = None;
+                } )
+        in
+        match R.Optimizer.optimize db region with
+        | A.Hash_join _ -> "hash"
+        | A.Nested_loop { inner = A.Index_scan _; _ } -> "index-nl"
+        | A.Nested_loop _ -> "nested-loop"
+        | A.Filter _ -> "filter(unjoined)"
+        | _ -> "other"
+      in
+      ignore (R.Analyze.all db);
+      (* non-indexable dimension: hash vs forced nested loop *)
+      let tag_hash = hash_plan ~dim:"dim_tag" ~dalias:"t" ~okey:"tag" ~dkey:"tid" in
+      let tag_nl = nl_plan ~dim:"dim_tag" ~dalias:"t" ~okey:"tag" ~dkey:"tid" in
+      let hash_rows = norm db "tname" tag_hash in
+      let tag_planner = planner "dim_tag" "t" "tag" "tid" in
+      (* the nested loop rescans the 200-row dimension n times: time it
+         once, and only at the smaller sizes *)
+      let run_nl = n <= 100_000 in
+      let tag_identical = if run_nl then norm db "tname" tag_nl = hash_rows else true in
+      let tag_hash_ms = time_ms (fun () -> ignore (R.Exec.run_arrays db tag_hash)) in
+      let tag_nl_ms =
+        if run_nl then Some (time_ms ~repeat:1 (fun () -> ignore (R.Exec.run_arrays db tag_nl)))
+        else None
+      in
+      (* indexed dimension: hash vs index nested loop *)
+      let cust_hash = hash_plan ~dim:"dim_cust" ~dalias:"c" ~okey:"cust" ~dkey:"cid" in
+      let cust_inl =
+        indexnl_plan ~dim:"dim_cust" ~dalias:"c" ~okey:"cust" ~dkey:"cid" ~index:"cid"
+      in
+      let cust_identical = norm db "cname" cust_hash = norm db "cname" cust_inl in
+      let cust_planner = planner "dim_cust" "c" "cust" "cid" in
+      let cust_hash_ms = time_ms (fun () -> ignore (R.Exec.run_arrays db cust_hash)) in
+      let cust_inl_ms = time_ms (fun () -> ignore (R.Exec.run_arrays db cust_inl)) in
+      let fmt_opt = function Some ms -> Printf.sprintf "%.2f" ms | None -> "-" in
+      Printf.printf "%8d %8s %10.2f %12s %12s %9b %10s\n" n "tag" tag_hash_ms (fmt_opt tag_nl_ms)
+        "-" tag_identical tag_planner;
+      Printf.printf "%8d %8s %10.2f %12s %12.2f %9b %10s\n" n "cust" cust_hash_ms "-" cust_inl_ms
+        cust_identical cust_planner;
+      let leg ~dim ~hash_ms ~nl_ms ~indexnl_ms ~identical ~planner =
+        let opt = function Some ms -> Printf.sprintf "%.4f" ms | None -> "null" in
+        legs :=
+          Printf.sprintf
+            {|{"rows":%d,"dim":"%s","hash_ms":%.4f,"nl_ms":%s,"indexnl_ms":%s,"speedup_hash_vs_nl":%s,"identical":%b,"planner":"%s"}|}
+            n dim hash_ms (opt nl_ms) (opt indexnl_ms)
+            (match nl_ms with Some ms -> Printf.sprintf "%.2f" (ms /. hash_ms) | None -> "null")
+            identical planner
+          :: !legs;
+        csv_rows :=
+          Printf.sprintf "%d,%s,%.4f,%s,%s,%b,%s" n dim hash_ms (opt nl_ms) (opt indexnl_ms)
+            identical planner
+          :: !csv_rows
+      in
+      leg ~dim:"tag" ~hash_ms:tag_hash_ms ~nl_ms:tag_nl_ms ~indexnl_ms:None
+        ~identical:tag_identical ~planner:tag_planner;
+      leg ~dim:"cust" ~hash_ms:cust_hash_ms ~nl_ms:None ~indexnl_ms:(Some cust_inl_ms)
+        ~identical:cust_identical ~planner:cust_planner)
+    sizes;
+  csv_out "joinscale.csv" "rows,dim,hash_ms,nl_ms,indexnl_ms,identical,planner"
+    (List.rev !csv_rows);
+  let oc = open_out "BENCH_PR9.json" in
+  Printf.fprintf oc "{\"bench\":\"BENCH_PR9\",\"host\":%s,\"legs\":[\n  %s\n]}\n" (host_json ())
+    (String.concat ",\n  " (List.rev !legs));
+  close_out oc;
+  print_endline "(written BENCH_PR9.json)";
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* pubstream: DOM vs streaming result construction (BENCH_PR4)         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1115,6 +1304,9 @@ let () =
   if run "fig3" then fig3 ();
   if run "planquality" then planquality ();
   if run "execscale" then execscale ();
+  if run "joinscale" then joinscale ();
+  (* CI gate leg: 100k rows only, so the forced nested loop stays cheap *)
+  if List.mem "joinscale-smoke" targets then joinscale ~sizes:[ 100_000 ] ();
   if run "pubstream" then pubstream ();
   if run "parscale" then parscale ();
   if run "shredscale" then shredscale ();

@@ -430,7 +430,8 @@ let explain_cmd =
                 in
                 print_endline
                   (staged "prepare" (fun () ->
-                       Xdb_core.Engine.explain engine ~view_name ~stylesheet));
+                       Xdb_core.Pipeline.explain
+                         (Xdb_core.Engine.prepare ?metrics:m engine ~view_name ~stylesheet)));
                 if analyze then (
                   print_endline "-- EXPLAIN ANALYZE:";
                   print_endline

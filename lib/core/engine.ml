@@ -76,15 +76,15 @@ let shutdown t =
           Parallel.shutdown p;
           t.pool <- None)
 
-let prepare t ~view_name ~stylesheet =
+let prepare ?metrics t ~view_name ~stylesheet =
   Xdb_error.wrap ~stage:"compile" (fun () ->
-      Registry.compile ~options:t.options t.registry ~view_name ~stylesheet)
+      Registry.compile ~options:t.options ?metrics t.registry ~view_name ~stylesheet)
 
 let metrics_of opts = if opts.collect_metrics then Some (Metrics.create ()) else None
 
 let transform ?(options = default_run_options) t ~view_name ~stylesheet =
-  let compiled = prepare t ~view_name ~stylesheet in
   let metrics = metrics_of options in
+  let compiled = prepare ?metrics t ~view_name ~stylesheet in
   let output =
     Xdb_error.wrap ~stage:"exec" (fun () ->
         if options.jobs > 1 then
@@ -202,8 +202,8 @@ let query_shredded t ~docid expr =
 let explain t ~view_name ~stylesheet =
   Pipeline.explain (prepare t ~view_name ~stylesheet)
 
-let explain_analyze ?(options = default_run_options) t ~view_name ~stylesheet =
-  let compiled = prepare t ~view_name ~stylesheet in
+let explain_analyze ?(options = default_run_options) ?metrics t ~view_name ~stylesheet =
+  let compiled = prepare ?metrics t ~view_name ~stylesheet in
   Xdb_error.wrap ~stage:"exec" (fun () ->
       if options.jobs > 1 && not options.interpreted then
         use_pool t options.jobs (fun pool ->

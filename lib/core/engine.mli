@@ -59,9 +59,13 @@ val register_view : t -> Xdb_rel.Publish.view -> unit
 (** (Re)register an XMLType view; re-registering a name models schema
     evolution and invalidates cached plans for it. *)
 
-val prepare : t -> view_name:string -> stylesheet:string -> Pipeline.compiled
+val prepare :
+  ?metrics:Metrics.t -> t -> view_name:string -> stylesheet:string -> Pipeline.compiled
 (** Cached compilation of [stylesheet] against the view's structural
     information (fingerprinted, auto-recompiled on evolution/ANALYZE).
+    [metrics] records per-stage compile timings, including the
+    optimiser's [opt_unnest]/[opt_isolate]/[opt_order]/[opt_rewrite]
+    passes — only when the plan cache misses; a hit records nothing.
     @raise Xdb_error.Error on parse/translation/registry failures. *)
 
 val transform :
@@ -124,9 +128,10 @@ val explain : t -> view_name:string -> stylesheet:string -> string
     @raise Xdb_error.Error on compile failures. *)
 
 val explain_analyze :
-  ?options:run_options -> t -> view_name:string -> stylesheet:string -> string
+  ?options:run_options -> ?metrics:Metrics.t -> t -> view_name:string -> stylesheet:string -> string
 (** Execute the SQL/XML plan with per-operator instrumentation and
     render estimated vs actual ({!Pipeline.explain_analyze});
+    [metrics] records compile-stage timings as in {!prepare}.
     [interpreted] selects the reference executor.  With [jobs > 1] the
     instrumented run itself is domain-parallel and the rendered stats are
     the per-domain collectors merged by operator id — actual row counts

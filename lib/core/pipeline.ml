@@ -64,9 +64,17 @@ let compile ?(options = Options.default) ?metrics db (view : P.view) stylesheet_
         | Xslt2xquery.Mode_functions -> "non-inline"
         | Xslt2xquery.Mode_builtin_compact -> "builtin-compact")
         (List.length translation.Xslt2xquery.query.Q.funs));
+  (* per-pass planning time: the optimiser's unnest/isolate/order/rewrite
+     passes appear as their own [opt_*] stages under --metrics *)
+  let opt_timer =
+    Option.map (fun m -> fun name f -> Metrics.time m name f) metrics
+  in
   let sql_plan, sql_fallback_reason =
     staged metrics "sql_rewrite" (fun () ->
-        match Xdb_xquery.Sql_rewrite.rewrite_view_plan db view translation.Xslt2xquery.query with
+        match
+          Xdb_xquery.Sql_rewrite.rewrite_view_plan ?timer:opt_timer db view
+            translation.Xslt2xquery.query
+        with
         | plan ->
             Log.info (fun m -> m "XQuery→SQL/XML rewrite succeeded");
             (Some plan, None)
@@ -180,6 +188,9 @@ let rec seq_scans_of table (p : A.plan) : int =
   | A.Nested_loop { outer; inner; join_cond } ->
       (match join_cond with Some c -> in_exprs [ c ] | None -> 0)
       + seq_scans_of table outer + seq_scans_of table inner
+  | A.Hash_join { outer; inner; keys; _ } ->
+      in_exprs (List.concat_map (fun (ok, ik) -> [ ok; ik ]) keys)
+      + seq_scans_of table outer + seq_scans_of table inner
   | A.Aggregate { group_by; aggs; input } ->
       in_exprs (List.map fst group_by)
       + List.fold_left
@@ -200,7 +211,9 @@ let rec drives_partition table (p : A.plan) : bool =
   match p with
   | A.Seq_scan { table = t; _ } -> t = table
   | A.Filter (_, i) | A.Project (_, i) -> drives_partition table i
-  | A.Nested_loop { outer; _ } -> drives_partition table outer
+  (* the probe side streams in order, so partitioning it and concatenating
+     preserves row order (the build side is evaluated whole per domain) *)
+  | A.Nested_loop { outer; _ } | A.Hash_join { outer; _ } -> drives_partition table outer
   | A.Index_scan _ | A.Values _ | A.Aggregate _ | A.Sort _ | A.Limit _ -> false
 
 (** [partition_table c] — the base table whose row ranges a domain-parallel

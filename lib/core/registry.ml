@@ -118,8 +118,10 @@ let find_view t name =
 (** [compile t ~view_name ~stylesheet] — cached compilation; recompiles
     when the view's structural fingerprint has changed since the cached
     compile (or on first use).  Safe to call from several domains at
-    once; compilation itself runs outside the registry lock. *)
-let compile ?(options = Options.default) t ~view_name ~stylesheet : Pipeline.compiled =
+    once; compilation itself runs outside the registry lock.  [metrics]
+    records per-stage compile timings — only on a cache miss, a hit
+    records nothing. *)
+let compile ?(options = Options.default) ?metrics t ~view_name ~stylesheet : Pipeline.compiled =
   let view = find_view t view_name in
   let fp = fingerprint_of t view in
   let key = (view_name, stylesheet) in
@@ -142,7 +144,7 @@ let compile ?(options = Options.default) t ~view_name ~stylesheet : Pipeline.com
       Atomic.incr t.cache_hits;
       compiled
   | None ->
-      let compiled = Pipeline.compile ~options t.db view stylesheet in
+      let compiled = Pipeline.compile ~options ?metrics t.db view stylesheet in
       locked t (fun () ->
           let entry =
             { stylesheet_text = stylesheet; fingerprint = fp; compiled; last_used = 0 }

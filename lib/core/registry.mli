@@ -28,9 +28,16 @@ val find_view : t -> string -> Xdb_rel.Publish.view
     @raise Registry_error when absent. *)
 
 val compile :
-  ?options:Options.t -> t -> view_name:string -> stylesheet:string -> Pipeline.compiled
+  ?options:Options.t ->
+  ?metrics:Metrics.t ->
+  t ->
+  view_name:string ->
+  stylesheet:string ->
+  Pipeline.compiled
 (** Cached compilation; recompiles when the view's structural fingerprint
-    changed since the cached compile.
+    changed since the cached compile.  [metrics] records per-stage
+    compile timings (incl. the optimiser's [opt_*] passes) — only when
+    the call actually compiles; a cache hit records nothing.
     @raise Registry_error for unknown views. *)
 
 val run : ?options:Options.t -> t -> view_name:string -> stylesheet:string -> string list

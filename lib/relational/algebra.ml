@@ -57,6 +57,8 @@ and agg =
 
 and bound = Unbounded | Incl of expr | Excl of expr
 
+and join_kind = Inner | Left_outer | Semi | Anti
+
 and plan =
   | Seq_scan of { table : string; alias : string }
   | Index_scan of {
@@ -69,6 +71,17 @@ and plan =
   | Filter of expr * plan
   | Project of (expr * string) list * plan
   | Nested_loop of { outer : plan; inner : plan; join_cond : expr option }
+  | Hash_join of {
+      outer : plan;  (** probe side, streamed in batches *)
+      inner : plan;  (** build side, hashed once per open *)
+      keys : (expr * expr) list;  (** (probe-side key, build-side key) pairs *)
+      kind : join_kind;
+    }
+      (** Set-oriented equi-join.  [Inner]/[Left_outer] rows are the build
+          row's own columns followed by the probe row ([irow @ orow] — the
+          {!Nested_loop} binding order); [Semi]/[Anti] emit probe rows
+          only.  NULL keys never match (SQL three-valued equality), so an
+          [Anti] join keeps NULL-key probe rows — NOT EXISTS semantics. *)
   | Aggregate of {
       group_by : (expr * string) list;
       aggs : (agg * string) list;
@@ -152,6 +165,16 @@ and agg_sql = function
       ^ ")"
   | String_agg (e, sep) -> Printf.sprintf "STRING_AGG(%s, '%s')" (expr_sql e) sep
 
+and join_kind_sql = function
+  | Inner -> ""
+  | Left_outer -> "LEFT OUTER "
+  | Semi -> "SEMI "
+  | Anti -> "ANTI "
+
+and hash_keys_sql keys =
+  String.concat " AND "
+    (List.map (fun (ok, ik) -> expr_sql ok ^ " = " ^ expr_sql ik) keys)
+
 and plan_sql = function
   | Seq_scan { table; alias } ->
       if table = alias then "SELECT * FROM " ^ table
@@ -172,6 +195,9 @@ and plan_sql = function
   | Nested_loop { outer; inner; join_cond } ->
       Printf.sprintf "(%s) JOIN (%s)%s" (plan_sql outer) (plan_sql inner)
         (match join_cond with None -> "" | Some c -> " ON " ^ expr_sql c)
+  | Hash_join { outer; inner; keys; kind } ->
+      Printf.sprintf "(%s) %sHASH JOIN (%s) ON %s" (plan_sql outer) (join_kind_sql kind)
+        (plan_sql inner) (hash_keys_sql keys)
   | Aggregate { group_by; aggs; input } ->
       "SELECT "
       ^ String.concat ", "
@@ -188,6 +214,12 @@ and plan_sql = function
   | Limit (n, input) -> plan_sql input ^ Printf.sprintf " LIMIT %d" n
   | Values { cols; rows } ->
       Printf.sprintf "VALUES[%s](%d rows)" (String.concat "," cols) (List.length rows)
+
+let join_kind_name = function
+  | Inner -> "inner"
+  | Left_outer -> "left_outer"
+  | Semi -> "semi"
+  | Anti -> "anti"
 
 (** Plans nested in an expression (correlated subqueries). *)
 let rec subplans_of_expr = function
@@ -253,6 +285,11 @@ let explain_annotated ?(annot = fun (_ : plan) -> None) plan =
         line
           ("NestedLoop"
           ^ match join_cond with None -> "" | Some c -> " on " ^ expr_sql c);
+        go (depth + 1) outer;
+        go (depth + 1) inner
+    | Hash_join { outer; inner; keys; kind } ->
+        line (Printf.sprintf "HashJoin(%s, %s)" (join_kind_name kind) (hash_keys_sql keys));
+        subs (depth + 1) (List.concat_map (fun (ok, ik) -> [ ok; ik ]) keys);
         go (depth + 1) outer;
         go (depth + 1) inner
     | Aggregate { group_by; aggs; input } ->

@@ -210,6 +210,38 @@ let rec estimate ~use_stats db (plan : plan) : float =
             Option.value (equi_stats_sel ()) ~default:eq_selectivity
       in
       Float.max 1.0 (raw *. sel)
+  | Hash_join { outer; inner; keys; kind } ->
+      let ro = estimate ~use_stats db outer and ri = estimate ~use_stats db inner in
+      (* per-key equi selectivity: NDV-based (MCV-weighted) when either
+         side's key column has stats, the System-R default otherwise *)
+      let key_sel side_plan key =
+        match (base_of_plan side_plan, key) with
+        | Some (table, alias), Col (a, col)
+          when (match a with None -> true | Some a -> a = alias) && use_stats -> (
+            match Database.column_stats db table col with
+            | Some cs -> Some (Colstats.selectivity_eq_unknown cs)
+            | None -> None)
+        | _ -> None
+      in
+      let sel =
+        List.fold_left
+          (fun acc (ok, ik) ->
+            let s =
+              match key_sel inner ik with
+              | Some s -> s
+              | None -> Option.value (key_sel outer ok) ~default:eq_selectivity
+            in
+            acc *. s)
+          1.0 keys
+      in
+      (* fraction of probe rows with at least one build match *)
+      let match_frac = Float.min 1.0 (ri *. sel) in
+      Float.max 1.0
+        (match kind with
+        | Inner -> ro *. ri *. sel
+        | Left_outer -> Float.max ro (ro *. ri *. sel)
+        | Semi -> ro *. match_frac
+        | Anti -> ro *. (1.0 -. match_frac))
   | Aggregate { group_by = []; _ } -> 1.0
   | Aggregate { group_by; input; _ } -> (
       let in_rows = estimate ~use_stats db input in
@@ -243,6 +275,13 @@ let heap_row_cost = 1.0
 let btree_descent_cost n = 0.5 +. (0.25 *. (Float.log (Float.max 2.0 n) /. Float.log 2.0))
 let eval_cost = 0.05 (* per row, per expression evaluated *)
 let sort_row_cost n = 0.05 *. (Float.log (Float.max 2.0 n) /. Float.log 2.0)
+
+(* hash join: inserting one build row / probing one key.  Deliberately
+   priced above a couple of expression evaluations so a correlated index
+   probe still wins small joins (the PR2 plans), while the O(n+m) total
+   crushes the O(n·m) nested loop at scale. *)
+let hash_build_row_cost = 0.3
+let hash_probe_cost = 0.25
 
 (** [plan_cost db plan] — estimated execution cost in abstract units,
     using stats-aware cardinalities.  Correlated subqueries nested inside
@@ -286,6 +325,12 @@ let rec plan_cost db (plan : plan) : float =
         | Some _ -> rows outer *. rows inner *. eval_cost
       in
       plan_cost db outer +. (rows outer *. plan_cost db inner) +. cond_cost
+  | Hash_join { outer; inner; keys; _ } as hj ->
+      let nkeys = float_of_int (max 1 (List.length keys)) in
+      plan_cost db outer +. plan_cost db inner
+      +. (rows inner *. (hash_build_row_cost +. (eval_cost *. nkeys)))
+      +. (rows outer *. (hash_probe_cost +. (eval_cost *. nkeys)))
+      +. (rows hj *. eval_cost)
   | Aggregate { group_by; aggs; input } ->
       let agg_subplan_cost =
         List.fold_left

@@ -96,6 +96,58 @@ let xpath_round f =
   else if f >= -0.5 && f < 0.0 then -0.0
   else Float.floor (f +. 0.5)
 
+(* ------------------------------------------------------------------ *)
+(* Hash-join key hashing (shared by both executors)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Bucket key for a tuple of join-key values.  Values that compare equal
+   under {!Value.compare_sql} must land in the same bucket: numerics are
+   normalised through their float image (SQL equality compares Int/Float
+   mixtures as floats), strings keep a distinct tag.  Bucket candidates
+   are re-verified with {!Value.equal_sql}, so a hash collision can never
+   produce a false match — only the converse (equal values in different
+   buckets) would be a bug. *)
+let hash_key_string (vs : Value.t array) : string =
+  let b = Buffer.create 32 in
+  Array.iter
+    (fun v ->
+      (match v with
+      | Value.Int _ | Value.Float _ ->
+          Buffer.add_char b 'n';
+          Buffer.add_string b (Value.float_to_string (Value.to_float v))
+      | Value.Str s ->
+          Buffer.add_char b 's';
+          Buffer.add_string b s
+      | v ->
+          Buffer.add_char b 'x';
+          Buffer.add_string b (Value.to_string v));
+      Buffer.add_char b '\x00')
+    vs;
+  Buffer.contents b
+
+let hash_keys_equal (a : Value.t array) (b : Value.t array) : bool =
+  let n = Array.length a in
+  let rec go i = i >= n || (Value.equal_sql a.(i) b.(i) && go (i + 1)) in
+  go 0
+
+(* Static own-binding names of a plan's rows, without the correlation
+   tail — what the interpreted LEFT OUTER hash join null-pads when a
+   probe row has no match (mirrors the compiled executor's own-slot
+   prefix of the build layout). *)
+let rec own_binding_names db (p : plan) : string list =
+  match p with
+  | Seq_scan { table; alias } | Index_scan { table; alias; _ } ->
+      Array.to_list (Database.table db table).Table.columns
+      |> List.concat_map (fun c -> [ c.Table.col_name; alias ^ "." ^ c.Table.col_name ])
+  | Filter (_, i) | Sort (_, i) | Limit (_, i) -> own_binding_names db i
+  | Project (fields, _) -> List.map snd fields
+  | Nested_loop { outer; inner; _ } -> own_binding_names db inner @ own_binding_names db outer
+  | Hash_join { outer; inner; kind = Inner | Left_outer; _ } ->
+      own_binding_names db inner @ own_binding_names db outer
+  | Hash_join { outer; kind = Semi | Anti; _ } -> own_binding_names db outer
+  | Aggregate { group_by; aggs; _ } -> List.map snd group_by @ List.map snd aggs
+  | Values { cols; _ } -> cols
+
 let rec eval_expr_in ctx (env : row) (e : expr) : Value.t =
   match e with
   | Const v -> v
@@ -291,6 +343,87 @@ and run_node ctx (outer : row) (p : plan) : row list =
           | None -> joined
           | Some c -> List.filter (fun r -> bool_of_value (eval_expr_in ctx r c)) joined)
         outer_rows
+  | Hash_join { outer = op; inner = ip; keys; kind } ->
+      let sop = match ctx.stats with None -> None | Some st -> Stats.find st p in
+      let probe_rows = run_in ctx ~outer op in
+      let build_input = run_in ctx ~outer ip in
+      (* build rows carry the enclosing environment as their tail; strip it
+         so joined rows are [iown @ orow], the Nested_loop binding shape *)
+      let olen = List.length outer in
+      let rec take n l =
+        if n <= 0 then [] else match l with [] -> [] | x :: tl -> x :: take (n - 1) tl
+      in
+      let tbl = Hashtbl.create (max 16 (List.length build_input)) in
+      List.iter
+        (fun irow ->
+          (match sop with Some s -> s.Stats.build_rows <- s.Stats.build_rows + 1 | None -> ());
+          let kvs =
+            Array.of_list (List.map (fun (_, ik) -> eval_expr_in ctx irow ik) keys)
+          in
+          (* NULL keys never satisfy SQL equality: leave them out of the table *)
+          if not (Array.exists Value.is_null kvs) then (
+            let key = hash_key_string kvs in
+            let cell =
+              match Hashtbl.find_opt tbl key with
+              | Some c -> c
+              | None ->
+                  let c = ref [] in
+                  Hashtbl.add tbl key c;
+                  c
+            in
+            cell := (take (List.length irow - olen) irow, kvs) :: !cell))
+        build_input;
+      Hashtbl.iter (fun _ c -> c := List.rev !c) tbl;
+      let probe orow =
+        let kvs = Array.of_list (List.map (fun (ok, _) -> eval_expr_in ctx orow ok) keys) in
+        if Array.exists Value.is_null kvs then []
+        else
+          match Hashtbl.find_opt tbl (hash_key_string kvs) with
+          | None -> []
+          | Some cell ->
+              List.filter_map
+                (fun (iown, ikvs) -> if hash_keys_equal kvs ikvs then Some iown else None)
+                !cell
+      in
+      let hit n =
+        match sop with Some s -> s.Stats.probe_hits <- s.Stats.probe_hits + n | None -> ()
+      in
+      (match kind with
+      | Inner ->
+          List.concat_map
+            (fun orow ->
+              let ms = probe orow in
+              hit (List.length ms);
+              List.map (fun iown -> iown @ orow) ms)
+            probe_rows
+      | Left_outer ->
+          let null_own = List.map (fun n -> (n, Value.Null)) (own_binding_names db ip) in
+          List.concat_map
+            (fun orow ->
+              match probe orow with
+              | [] -> [ null_own @ orow ]
+              | ms ->
+                  hit (List.length ms);
+                  List.map (fun iown -> iown @ orow) ms)
+            probe_rows
+      | Semi ->
+          List.filter
+            (fun orow ->
+              match probe orow with
+              | [] -> false
+              | _ :: _ ->
+                  hit 1;
+                  true)
+            probe_rows
+      | Anti ->
+          List.filter
+            (fun orow ->
+              match probe orow with
+              | [] -> true
+              | _ :: _ ->
+                  hit 1;
+                  false)
+            probe_rows)
   | Aggregate { group_by; aggs; input } ->
       let rows = run_in ctx ~outer input in
       if group_by = [] then [ eval_agg_group ctx outer group_by aggs rows [] ]
@@ -1015,6 +1148,130 @@ and cplan ctx (outer_lay : Layout.t) (p : plan) : compiled =
               Some out)
         in
         { c_layout = ci.c_layout; c_open = open_ }
+    | Hash_join { outer = op; inner = ip; keys; kind } ->
+        let co = cplan ctx outer_lay op in
+        (* both sides are compiled against the enclosing environment only
+           (set-oriented: the build side is evaluated once per open, not
+           once per probe row); key expressions resolve against their own
+           side's layout *)
+        let ci = cplan ctx outer_lay ip in
+        let okeys = Array.of_list (List.map (fun (ok, _) -> cexpr ctx co.c_layout ok) keys) in
+        let ikeys = Array.of_list (List.map (fun (_, ik) -> cexpr ctx ci.c_layout ik) keys) in
+        (* build rows end with the enclosing outer row; only their own
+           slots join the output (the probe row carries the tail) *)
+        let own_w = Layout.width ci.c_layout - Layout.width outer_lay in
+        let pw = Layout.width co.c_layout in
+        let lay =
+          match kind with
+          | Inner | Left_outer -> Layout.concat (Layout.prefix ci.c_layout own_w) co.c_layout
+          | Semi | Anti -> co.c_layout
+        in
+        let open_ outer =
+          (* build phase: hash the whole build side on its key tuple *)
+          let tbl = Hashtbl.create 64 in
+          let inext = ci.c_open outer in
+          let rec build () =
+            match inext () with
+            | None -> ()
+            | Some b ->
+                Array.iter
+                  (fun irow ->
+                    (match sopt with
+                    | Some s -> s.Stats.build_rows <- s.Stats.build_rows + 1
+                    | None -> ());
+                    let kvs = Array.map (fun f -> f irow) ikeys in
+                    if not (Array.exists Value.is_null kvs) then (
+                      let key = hash_key_string kvs in
+                      let cell =
+                        match Hashtbl.find_opt tbl key with
+                        | Some c -> c
+                        | None ->
+                            let c = ref [] in
+                            Hashtbl.add tbl key c;
+                            c
+                      in
+                      cell := (irow, kvs) :: !cell))
+                  b;
+                build ()
+          in
+          build ();
+          Hashtbl.iter (fun _ c -> c := List.rev !c) tbl;
+          let probe prow =
+            let kvs = Array.map (fun f -> f prow) okeys in
+            if Array.exists Value.is_null kvs then []
+            else
+              match Hashtbl.find_opt tbl (hash_key_string kvs) with
+              | None -> []
+              | Some cell -> List.filter (fun (_, ikvs) -> hash_keys_equal kvs ikvs) !cell
+          in
+          let hit n =
+            match sopt with
+            | Some s -> s.Stats.probe_hits <- s.Stats.probe_hits + n
+            | None -> ()
+          in
+          let join_out irow prow =
+            let out = Array.make (own_w + pw) Value.Null in
+            Array.blit irow 0 out 0 own_w;
+            Array.blit prow 0 out own_w pw;
+            out
+          in
+          (* probe phase: stream the probe side in batches *)
+          let onext = co.c_open outer in
+          let obatch = ref [||] and oidx = ref 0 in
+          let outer_done = ref false in
+          let buf = ref [] and nbuf = ref 0 in
+          let push r =
+            buf := r :: !buf;
+            incr nbuf
+          in
+          let rec fill () =
+            if !nbuf >= ctx.cbatch then ()
+            else if !oidx < Array.length !obatch then (
+              let prow = (!obatch).(!oidx) in
+              incr oidx;
+              (match kind with
+              | Inner ->
+                  let ms = probe prow in
+                  hit (List.length ms);
+                  List.iter (fun (irow, _) -> push (join_out irow prow)) ms
+              | Left_outer -> (
+                  match probe prow with
+                  | [] ->
+                      let out = Array.make (own_w + pw) Value.Null in
+                      Array.blit prow 0 out own_w pw;
+                      push out
+                  | ms ->
+                      hit (List.length ms);
+                      List.iter (fun (irow, _) -> push (join_out irow prow)) ms)
+              | Semi -> (
+                  match probe prow with
+                  | [] -> ()
+                  | _ :: _ ->
+                      hit 1;
+                      push prow)
+              | Anti -> (
+                  match probe prow with
+                  | [] -> push prow
+                  | _ :: _ -> hit 1));
+              fill ())
+            else if not !outer_done then
+              match onext () with
+              | None -> outer_done := true
+              | Some b ->
+                  obatch := b;
+                  oidx := 0;
+                  fill ()
+          in
+          fun () ->
+            fill ();
+            if !nbuf = 0 then None
+            else (
+              let out = Array.of_list (List.rev !buf) in
+              buf := [];
+              nbuf := 0;
+              Some out)
+        in
+        { c_layout = lay; c_open = open_ }
     | Aggregate { group_by; aggs; input } ->
         check_distinct "aggregate output" (List.map snd group_by @ List.map snd aggs);
         let ci = cplan ctx outer_lay input in

@@ -50,6 +50,16 @@ let concat a b =
       width = a.width + b.width;
     }
 
+(** [prefix t w] — the layout of the first [w] slots only: entries whose
+    slot lies below [w], resolution order preserved.  Inverse of {!concat}
+    on the left operand — how the hash join recovers the build side's own
+    columns from build rows that carry a correlation tail. *)
+let prefix t w =
+  {
+    entries = Array.of_seq (Seq.filter (fun (_, s) -> s < w) (Array.to_seq t.entries));
+    width = w;
+  }
+
 (** [slot_opt t ?alias name] — resolve a column reference to its slot;
     qualified references resolve the ["alias.name"] entry. *)
 let slot_opt t ?alias name =

@@ -26,6 +26,10 @@ val concat : t -> t -> t
 (** [concat a b] — [a]'s row with [b]'s appended; [b]'s slots shift past
     [a]'s width and [a]'s names shadow [b]'s. *)
 
+val prefix : t -> int -> t
+(** [prefix t w] — the layout of the first [w] slots only (entries with
+    slot < [w], order preserved); left inverse of {!concat}. *)
+
 val slot_opt : t -> ?alias:string -> string -> int option
 (** Resolve a (possibly qualified) column reference to its slot. *)
 

@@ -165,28 +165,32 @@ let swappable db o i =
       | _ -> false)
   | _ -> false
 
-(** [optimize db plan] applies the rewrite rules bottom-up. *)
-let rec optimize db plan =
+(* The bottom-up rewrite (access-path selection, filter merging and
+   pushdown, index nested loop).  It runs {e after} the join-graph passes
+   of {!Joingraph}, so single-relation conjuncts lifted out of a join
+   region — and the interval-containment pairs among them — reach their
+   leaf scans and become (two-sided) index range scans here. *)
+let rec rewrite db plan =
   match plan with
   | Filter (cond, input) -> (
-      let input = optimize db input in
+      let input = rewrite db input in
       let cs = conjuncts cond in
       match input with
       | Seq_scan { table; alias } -> choose_access_path db table alias cond input cs
       | Filter (inner_cond, deeper) ->
-          optimize db (Filter (conjoin (cs @ conjuncts inner_cond), deeper))
+          rewrite db (Filter (conjoin (cs @ conjuncts inner_cond), deeper))
       | Project (fields, pinput) -> (
           match push_through_project fields cs with
           | [], _ -> Filter (cond, input)
           | pushed, residual ->
-              let below = optimize db (Filter (conjoin pushed, pinput)) in
+              let below = rewrite db (Filter (conjoin pushed, pinput)) in
               let proj = Project (fields, below) in
               if residual = [] then proj else Filter (conjoin residual, proj))
       | _ -> Filter (cond, input))
-  | Project (fields, input) -> Project (fields, optimize db input)
+  | Project (fields, input) -> Project (fields, rewrite db input)
   | Nested_loop { outer; inner; join_cond } -> (
-      let outer = optimize db outer in
-      let inner = optimize db inner in
+      let outer = rewrite db outer in
+      let inner = rewrite db inner in
       let base = Nested_loop { outer; inner; join_cond } in
       match join_cond with
       | None -> base
@@ -213,25 +217,39 @@ let rec optimize db plan =
               (base, Cost.plan_cost db base)
               candidates
             |> fst)
-  | Aggregate a -> Aggregate { a with input = optimize db a.input }
-  | Sort (keys, input) -> Sort (keys, optimize db input)
+  | Hash_join { outer; inner; keys; kind } ->
+      Hash_join { outer = rewrite db outer; inner = rewrite db inner; keys; kind }
+  | Aggregate a -> Aggregate { a with input = rewrite db a.input }
+  | Sort (keys, input) -> Sort (keys, rewrite db input)
   | Limit (n, input) -> (
       (* projection work is wasted on rows the limit discards: push the
          limit below the (1:1) projection *)
-      let input = optimize db input in
+      let input = rewrite db input in
       match input with
-      | Project (fields, pinput) -> Project (fields, optimize db (Limit (n, pinput)))
+      | Project (fields, pinput) -> Project (fields, rewrite db (Limit (n, pinput)))
       | _ -> Limit (n, input))
   | (Seq_scan _ | Index_scan _ | Values _) as leaf -> leaf
 
+(** [optimize ?timer db plan] — the full single-level pipeline: the
+    {!Joingraph} passes (subquery unnesting, join-region isolation,
+    greedy join ordering — all stats-gated, identities before ANALYZE)
+    followed by the bottom-up access-path {!rewrite}.  [timer] wraps
+    each named pass for per-pass planning-time metrics. *)
+let optimize ?timer db plan =
+  let timed name f = match timer with Some t -> t name f | None -> f () in
+  let plan = timed "opt_unnest" (fun () -> Joingraph.unnest db plan) in
+  let plan = timed "opt_isolate" (fun () -> Joingraph.isolate db plan) in
+  let plan = timed "opt_order" (fun () -> Joingraph.order db plan) in
+  timed "opt_rewrite" (fun () -> rewrite db plan)
+
 (** Recursively optimise plans nested inside expressions (correlated
     subqueries in publishing output). *)
-let rec optimize_deep db plan =
-  let plan = optimize db plan in
+let rec optimize_deep ?timer db plan =
+  let plan = optimize ?timer db plan in
   let rec fix_expr e =
     match e with
-    | Scalar_subquery p -> Scalar_subquery (optimize_deep db p)
-    | Exists p -> Exists (optimize_deep db p)
+    | Scalar_subquery p -> Scalar_subquery (optimize_deep ?timer db p)
+    | Exists p -> Exists (optimize_deep ?timer db p)
     | Binop (op, a, b) -> Binop (op, fix_expr a, fix_expr b)
     | Not e -> Not (fix_expr e)
     | Is_null e -> Is_null (fix_expr e)
@@ -259,25 +277,33 @@ let rec optimize_deep db plan =
   in
   match plan with
   | Project (fields, input) ->
-      Project (List.map (fun (e, n) -> (fix_expr e, n)) fields, optimize_deep db input)
-  | Filter (c, input) -> Filter (fix_expr c, optimize_deep db input)
+      Project (List.map (fun (e, n) -> (fix_expr e, n)) fields, optimize_deep ?timer db input)
+  | Filter (c, input) -> Filter (fix_expr c, optimize_deep ?timer db input)
   | Aggregate { group_by; aggs; input } ->
       Aggregate
         {
           group_by = List.map (fun (e, n) -> (fix_expr e, n)) group_by;
           aggs = List.map (fun (a, n) -> (fix_agg a, n)) aggs;
-          input = optimize_deep db input;
+          input = optimize_deep ?timer db input;
         }
   | Nested_loop { outer; inner; join_cond } ->
       Nested_loop
         {
-          outer = optimize_deep db outer;
-          inner = optimize_deep db inner;
+          outer = optimize_deep ?timer db outer;
+          inner = optimize_deep ?timer db inner;
           join_cond = Option.map fix_expr join_cond;
         }
+  | Hash_join { outer; inner; keys; kind } ->
+      Hash_join
+        {
+          outer = optimize_deep ?timer db outer;
+          inner = optimize_deep ?timer db inner;
+          keys = List.map (fun (ok, ik) -> (fix_expr ok, fix_expr ik)) keys;
+          kind;
+        }
   | Sort (keys, input) ->
-      Sort (List.map (fun (k, d) -> (fix_expr k, d)) keys, optimize_deep db input)
-  | Limit (n, input) -> Limit (n, optimize_deep db input)
+      Sort (List.map (fun (k, d) -> (fix_expr k, d)) keys, optimize_deep ?timer db input)
+  | Limit (n, input) -> Limit (n, optimize_deep ?timer db input)
   | (Seq_scan _ | Index_scan _ | Values _) as leaf -> leaf
 
 (** EXPLAIN with per-operator cardinality estimates appended. *)

@@ -1,10 +1,12 @@
 (** Plan optimisation: B-tree index selection for sargable predicates
     (paper §2.1), conjunct splitting / filter merging, rename-aware
     filter and limit pushdown below projections, and — once statistics
-    have been collected with ANALYZE — cost-based access-path choice and
-    index nested-loop joins via the {!Cost} model.  With no statistics
-    collected the rewrites are purely rule-based and produce exactly the
-    pre-ANALYZE plans. *)
+    have been collected with ANALYZE — the set-oriented join pipeline
+    ({!Joingraph}: EXISTS unnesting into semi/anti hash joins, join-graph
+    isolation, greedy cost-ordered linearisation over hash / nested-loop
+    / index nested-loop steps) plus cost-based access-path choice via the
+    {!Cost} model.  With no statistics collected the rewrites are purely
+    rule-based and produce exactly the pre-ANALYZE plans. *)
 
 val conjuncts : Algebra.expr -> Algebra.expr list
 (** Split a conjunction into its conjuncts. *)
@@ -17,11 +19,21 @@ val estimate_rows : Database.t -> Algebra.plan -> float
     MCVs / NDV after ANALYZE, System-R defaults otherwise; used by
     EXPLAIN output and tests. *)
 
-val optimize : Database.t -> Algebra.plan -> Algebra.plan
-(** Apply the rewrite rules bottom-up to one plan tree (does not descend
-    into expressions). *)
+val optimize :
+  ?timer:(string -> (unit -> Algebra.plan) -> Algebra.plan) ->
+  Database.t ->
+  Algebra.plan ->
+  Algebra.plan
+(** Apply the {!Joingraph} passes then the bottom-up rewrite rules to one
+    plan tree (does not descend into expressions).  [timer name f] wraps
+    each optimisation pass ([opt_unnest], [opt_isolate], [opt_order],
+    [opt_rewrite]) so callers can record per-pass planning time. *)
 
-val optimize_deep : Database.t -> Algebra.plan -> Algebra.plan
+val optimize_deep :
+  ?timer:(string -> (unit -> Algebra.plan) -> Algebra.plan) ->
+  Database.t ->
+  Algebra.plan ->
+  Algebra.plan
 (** [optimize] plus recursion into correlated subqueries nested inside
     expressions — what the XQuery→SQL/XML rewrite output needs. *)
 

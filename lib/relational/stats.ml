@@ -16,11 +16,22 @@ type op_stats = {
   mutable btree_probes : int;  (** B-tree descents (index scans) *)
   mutable btree_nodes : int;  (** B-tree nodes visited during probes *)
   mutable heap_rows : int;  (** heap rows fetched (scan operators) *)
+  mutable build_rows : int;  (** rows hashed into the build table (hash join) *)
+  mutable probe_hits : int;  (** matches found while probing (hash join) *)
   mutable time_ms : float;  (** inclusive wall time, milliseconds *)
 }
 
 let fresh_op () =
-  { loops = 0; rows = 0; btree_probes = 0; btree_nodes = 0; heap_rows = 0; time_ms = 0.0 }
+  {
+    loops = 0;
+    rows = 0;
+    btree_probes = 0;
+    btree_nodes = 0;
+    heap_rows = 0;
+    build_rows = 0;
+    probe_hits = 0;
+    time_ms = 0.0;
+  }
 
 type entry = { id : int; label : string; node : A.plan; op : op_stats }
 
@@ -34,6 +45,7 @@ let label_of_plan = function
   | A.Filter _ -> "Filter"
   | A.Project _ -> "Project"
   | A.Nested_loop _ -> "NestedLoop"
+  | A.Hash_join { kind; _ } -> Printf.sprintf "HashJoin(%s)" (A.join_kind_name kind)
   | A.Aggregate _ -> "Aggregate"
   | A.Sort _ -> "Sort"
   | A.Limit _ -> "Limit"
@@ -63,6 +75,10 @@ let create (plan : A.plan) : t =
         go i
     | A.Nested_loop { outer; inner; join_cond } ->
         (match join_cond with Some c -> subs [ c ] | None -> ());
+        go outer;
+        go inner
+    | A.Hash_join { outer; inner; keys; _ } ->
+        subs (List.concat_map (fun (ok, ik) -> [ ok; ik ]) keys);
         go outer;
         go inner
     | A.Aggregate { group_by; aggs; input } ->
@@ -106,6 +122,8 @@ let merge_into ~(into : t) (src : t) : unit =
           de.op.btree_probes <- de.op.btree_probes + se.op.btree_probes;
           de.op.btree_nodes <- de.op.btree_nodes + se.op.btree_nodes;
           de.op.heap_rows <- de.op.heap_rows + se.op.heap_rows;
+          de.op.build_rows <- de.op.build_rows + se.op.build_rows;
+          de.op.probe_hits <- de.op.probe_hits + se.op.probe_hits;
           de.op.time_ms <- de.op.time_ms +. se.op.time_ms)
     src.entries
 
@@ -127,7 +145,11 @@ let annotation (s : op_stats) : string =
     (if s.btree_probes > 0 then
        Printf.sprintf " probes=%d btree_nodes=%d" s.btree_probes s.btree_nodes
      else "")
-    ^ if s.heap_rows > 0 then Printf.sprintf " heap_rows=%d" s.heap_rows else ""
+    ^ (if s.heap_rows > 0 then Printf.sprintf " heap_rows=%d" s.heap_rows else "")
+    ^
+    if s.build_rows > 0 || s.probe_hits > 0 then
+      Printf.sprintf " build_rows=%d probe_hits=%d" s.build_rows s.probe_hits
+    else ""
   in
   Printf.sprintf "actual=%d loops=%d time=%.3fms%s" s.rows s.loops s.time_ms extra
 
@@ -140,9 +162,9 @@ let to_json (t : t) : string =
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf
         (Printf.sprintf
-           {|{"id":%d,"op":"%s","rows":%d,"loops":%d,"btree_probes":%d,"btree_nodes":%d,"heap_rows":%d,"time_ms":%.4f}|}
+           {|{"id":%d,"op":"%s","rows":%d,"loops":%d,"btree_probes":%d,"btree_nodes":%d,"heap_rows":%d,"build_rows":%d,"probe_hits":%d,"time_ms":%.4f}|}
            e.id (String.escaped e.label) e.op.rows e.op.loops e.op.btree_probes
-           e.op.btree_nodes e.op.heap_rows e.op.time_ms))
+           e.op.btree_nodes e.op.heap_rows e.op.build_rows e.op.probe_hits e.op.time_ms))
     t.entries;
   Buffer.add_char buf ']';
   Buffer.contents buf

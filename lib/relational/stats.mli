@@ -9,6 +9,8 @@ type op_stats = {
   mutable btree_probes : int;  (** B-tree descents (index scans) *)
   mutable btree_nodes : int;  (** B-tree nodes visited during probes *)
   mutable heap_rows : int;  (** heap rows fetched (scan operators) *)
+  mutable build_rows : int;  (** rows hashed into the build table (hash join) *)
+  mutable probe_hits : int;  (** matches found while probing (hash join) *)
   mutable time_ms : float;  (** inclusive wall time, milliseconds *)
 }
 

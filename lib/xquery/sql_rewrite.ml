@@ -502,13 +502,14 @@ let rewrite_prog (view : P.view) (p : prog) : A.expr =
   in
   tr env p.body
 
-(** [rewrite_view_plan db view prog] — a full relational plan producing one
-    [result] XML column per base-table row, optimised (index selection on
-    the pushed-down predicates). *)
-let rewrite_view_plan db (view : P.view) (p : prog) : A.plan =
+(** [rewrite_view_plan ?timer db view prog] — a full relational plan
+    producing one [result] XML column per base-table row, optimised
+    (index selection on the pushed-down predicates).  [timer] wraps each
+    optimiser pass for per-pass planning-time metrics. *)
+let rewrite_view_plan ?timer db (view : P.view) (p : prog) : A.plan =
   let result = rewrite_prog view p in
   let plan =
     A.Project
       ([ (result, "result") ], A.Seq_scan { table = view.P.base_table; alias = view.P.base_alias })
   in
-  Xdb_rel.Optimizer.optimize_deep db plan
+  Xdb_rel.Optimizer.optimize_deep ?timer db plan

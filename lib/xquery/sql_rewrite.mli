@@ -16,6 +16,12 @@ val rewrite_prog : Xdb_rel.Publish.view -> Ast.prog -> Xdb_rel.Algebra.expr
     @raise Not_rewritable outside the supported fragment. *)
 
 val rewrite_view_plan :
-  Xdb_rel.Database.t -> Xdb_rel.Publish.view -> Ast.prog -> Xdb_rel.Algebra.plan
+  ?timer:(string -> (unit -> Xdb_rel.Algebra.plan) -> Xdb_rel.Algebra.plan) ->
+  Xdb_rel.Database.t ->
+  Xdb_rel.Publish.view ->
+  Ast.prog ->
+  Xdb_rel.Algebra.plan
 (** Full relational plan: one [result] XML column per base-table row,
-    optimised (index selection on pushed-down predicates). *)
+    optimised (index selection on pushed-down predicates).  [timer] wraps
+    each optimiser pass ({!Xdb_rel.Optimizer.optimize}) so callers can
+    record per-pass planning time. *)

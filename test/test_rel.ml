@@ -722,6 +722,291 @@ let test_join_reorder_by_cost () =
   | p -> Alcotest.failf "expected small as outer probing big's index, got %s" (A.plan_sql p));
   check cb "reordered join = original" true (norm (O.optimize db plan) = baseline)
 
+(* hash-join executor semantics: all four kinds, NULL keys on both sides,
+   duplicate build keys, and compiled ≡ interpreted down to per-operator
+   row / build / probe counters *)
+let hash_join_db () =
+  let db = DB.create () in
+  let l =
+    DB.create_table db "l"
+      [ { T.col_name = "lid"; col_type = V.Tint }; { T.col_name = "lk"; col_type = V.Tint } ]
+  in
+  let r =
+    DB.create_table db "r"
+      [ { T.col_name = "rid"; col_type = V.Tint }; { T.col_name = "rk"; col_type = V.Tint } ]
+  in
+  List.iter
+    (fun (i, k) -> T.insert_values l [ V.Int i; k ])
+    [ (1, V.Int 1); (2, V.Int 2); (3, V.Int 2); (4, V.Null); (5, V.Int 5); (6, V.Int 7) ];
+  List.iter
+    (fun (i, k) -> T.insert_values r [ V.Int i; k ])
+    [ (1, V.Int 2); (2, V.Int 2); (3, V.Null); (4, V.Int 5); (5, V.Int 9) ];
+  db
+
+let hj_plan kind =
+  A.Hash_join
+    {
+      outer = A.Seq_scan { table = "l"; alias = "l" };
+      inner = A.Seq_scan { table = "r"; alias = "r" };
+      keys = [ (A.qcol "l" "lk", A.qcol "r" "rk") ];
+      kind;
+    }
+
+let hj_counters stats =
+  List.filter_map
+    (fun (e : Xdb_rel.Stats.entry) ->
+      if String.length e.label >= 8 && String.sub e.label 0 8 = "HashJoin" then
+        Some (e.op.Xdb_rel.Stats.build_rows, e.op.Xdb_rel.Stats.probe_hits)
+      else None)
+    (Xdb_rel.Stats.entries stats)
+
+let test_hash_join_exec () =
+  let db = hash_join_db () in
+  let run_both kind =
+    let plan = hj_plan kind in
+    let crows, cstats = E.run_analyzed db plan in
+    let irows, istats = E.run_interpreted_analyzed db plan in
+    check cb "compiled rows = interpreted rows" true (crows = irows);
+    check cb "rows signature identical" true
+      (Xdb_rel.Stats.rows_signature cstats = Xdb_rel.Stats.rows_signature istats);
+    check cb "build/probe counters identical" true (hj_counters cstats = hj_counters istats);
+    (crows, hj_counters cstats)
+  in
+  let inner_rows, inner_ctr = run_both A.Inner in
+  check ci "inner rows" 5 (List.length inner_rows);
+  check cb "inner counters" true (inner_ctr = [ (5, 5) ]);
+  (* inner hash join ≡ nested loop with an equality join condition,
+     including row order (per-probe-row, build arrival order) *)
+  let nl =
+    A.Nested_loop
+      {
+        outer = A.Seq_scan { table = "l"; alias = "l" };
+        inner = A.Seq_scan { table = "r"; alias = "r" };
+        join_cond = Some A.(qcol "l" "lk" =. qcol "r" "rk");
+      }
+  in
+  let pair r = (V.to_int (List.assoc "lid" r), V.to_int (List.assoc "rid" r)) in
+  check cb "inner ≡ nested loop (same order)" true
+    (List.map pair inner_rows = List.map pair (E.run db nl));
+  let lo_rows, lo_ctr = run_both A.Left_outer in
+  check ci "left outer rows" 8 (List.length lo_rows);
+  check cb "left outer counters" true (lo_ctr = [ (5, 5) ]);
+  let unmatched =
+    List.filter (fun r -> V.is_null (List.assoc "rid" r)) lo_rows
+    |> List.map (fun r -> V.to_int (List.assoc "lid" r))
+    |> List.sort compare
+  in
+  check cb "unmatched probes null-padded" true (unmatched = [ 1; 4; 6 ]);
+  let semi_rows, semi_ctr = run_both A.Semi in
+  check cb "semi = probes with a match" true
+    (List.map (fun r -> V.to_int (List.assoc "lid" r)) semi_rows = [ 2; 3; 5 ]);
+  check cb "semi counters" true (semi_ctr = [ (5, 3) ]);
+  let anti_rows, anti_ctr = run_both A.Anti in
+  (* NOT EXISTS semantics: the NULL-key probe row (lid 4) is kept *)
+  check cb "anti keeps unmatched and NULL-key probes" true
+    (List.map (fun r -> V.to_int (List.assoc "lid" r)) anti_rows = [ 1; 4; 6 ]);
+  check cb "anti counters" true (anti_ctr = [ (5, 3) ]);
+  (* EXPLAIN surfaces: the plan renders as a HashJoin line, EXPLAIN
+     ANALYZE carries the build/probe counters *)
+  let explained = A.explain (hj_plan A.Semi) in
+  check cb "explain shows HashJoin(semi, ...)" true (contains explained "HashJoin(semi");
+  let inner_plan = hj_plan A.Inner in
+  let _, st = E.run_analyzed db inner_plan in
+  let analyzed = O.explain_analyze db inner_plan st in
+  if not (contains analyzed "build_rows=5 probe_hits=5") then
+    Alcotest.failf "explain analyze missing hash counters:\n%s" analyzed
+
+(* EXISTS / NOT EXISTS unnesting into Semi/Anti hash joins — stats-gated,
+   NULL keys preserved through the rewrite *)
+let test_semi_anti_unnest () =
+  let db = hash_join_db () in
+  let exists_cond =
+    A.Exists
+      (A.Filter (A.(qcol "s" "rk" =. qcol "l" "lk"), A.Seq_scan { table = "r"; alias = "s" }))
+  in
+  let semi_plan = A.Filter (exists_cond, A.Seq_scan { table = "l"; alias = "l" }) in
+  let anti_plan = A.Filter (A.Not exists_cond, A.Seq_scan { table = "l"; alias = "l" }) in
+  (* without statistics both plans are byte-unchanged *)
+  check cs "pre-ANALYZE semi fingerprint" (A.plan_sql semi_plan) (A.plan_sql (O.optimize db semi_plan));
+  check cs "pre-ANALYZE anti fingerprint" (A.plan_sql anti_plan) (A.plan_sql (O.optimize db anti_plan));
+  let semi_base = E.run db semi_plan and anti_base = E.run db anti_plan in
+  ignore (AN.all db);
+  (match O.optimize db semi_plan with
+  | A.Hash_join { kind = A.Semi; keys = [ _ ]; _ } -> ()
+  | p -> Alcotest.failf "expected EXISTS to unnest into a semi join, got %s" (A.plan_sql p));
+  (match O.optimize db anti_plan with
+  | A.Hash_join { kind = A.Anti; keys = [ _ ]; _ } -> ()
+  | p -> Alcotest.failf "expected NOT EXISTS to unnest into an anti join, got %s" (A.plan_sql p));
+  check cb "semi join = correlated EXISTS" true (E.run db (O.optimize db semi_plan) = semi_base);
+  check cb "anti join = correlated NOT EXISTS" true (E.run db (O.optimize db anti_plan) = anti_base);
+  (* local build-side predicates stay on the build side *)
+  let local_cond =
+    A.Exists
+      (A.Filter
+         ( A.(qcol "s" "rk" =. qcol "l" "lk" &&. (qcol "s" "rid" >. const_int 1)),
+           A.Seq_scan { table = "r"; alias = "s" } ))
+  in
+  let local_plan = A.Filter (local_cond, A.Seq_scan { table = "l"; alias = "l" }) in
+  let local_base = E.run db local_plan in
+  (match O.optimize db local_plan with
+  | A.Hash_join { kind = A.Semi; inner = A.Filter _ | A.Index_scan _; _ } -> ()
+  | p -> Alcotest.failf "expected local predicate on the build side, got %s" (A.plan_sql p));
+  check cb "local predicate preserved" true (E.run db (O.optimize db local_plan) = local_base)
+
+(* pass-order regression: join-graph isolation runs before the bottom-up
+   rewrite, so a single-relation interval pair lifted out of the join
+   region still becomes a two-sided index range scan, and an equi-join
+   conjunct buried in a filter above a cross product becomes a join *)
+let test_joingraph_pass_order () =
+  let db = DB.create () in
+  let f =
+    DB.create_table db "f"
+      [ { T.col_name = "fid"; col_type = V.Tint }; { T.col_name = "fv"; col_type = V.Tint } ]
+  in
+  let g =
+    DB.create_table db "g"
+      [ { T.col_name = "gid"; col_type = V.Tint }; { T.col_name = "gref"; col_type = V.Tint } ]
+  in
+  for i = 1 to 200 do
+    T.insert_values f [ V.Int i; V.Int i ]
+  done;
+  for i = 1 to 20 do
+    T.insert_values g [ V.Int i; V.Int (i * 10) ]
+  done;
+  ignore (T.create_index f ~name:"f_fv" ~column:"fv");
+  let cond =
+    A.(
+      qcol "f" "fv" >. const_int 10
+      &&. (qcol "f" "fv" <. const_int 90)
+      &&. (qcol "f" "fid" =. qcol "g" "gref"))
+  in
+  let plan =
+    A.Filter
+      ( cond,
+        A.Nested_loop
+          {
+            outer = A.Seq_scan { table = "f"; alias = "f" };
+            inner = A.Seq_scan { table = "g"; alias = "g" };
+            join_cond = None;
+          } )
+  in
+  (* without statistics the whole pipeline is the identity on this shape *)
+  check cs "pre-ANALYZE fingerprint" (A.plan_sql plan) (A.plan_sql (O.optimize db plan));
+  let norm p =
+    E.run db p
+    |> List.map (fun r -> (V.to_int (List.assoc "fid" r), V.to_int (List.assoc "gid" r)))
+    |> List.sort compare
+  in
+  let baseline = norm plan in
+  ignore (AN.all db);
+  let optimized = O.optimize db plan in
+  (* the f leaf must end up as the merged two-sided range probe — only
+     possible if isolation pushed the interval pair onto the leaf before
+     the access-path rewrite ran *)
+  let rec has_two_sided = function
+    | A.Index_scan { table = "f"; index_column = "fv"; lo; hi; _ } ->
+        lo <> A.Unbounded && hi <> A.Unbounded
+    | A.Index_scan _ | A.Seq_scan _ | A.Values _ -> false
+    | A.Filter (_, i) | A.Project (_, i) | A.Sort (_, i) | A.Limit (_, i) -> has_two_sided i
+    | A.Nested_loop { outer; inner; _ } | A.Hash_join { outer; inner; _ } ->
+        has_two_sided outer || has_two_sided inner
+    | A.Aggregate { input; _ } -> has_two_sided input
+  in
+  (match optimized with
+  | A.Hash_join _ | A.Nested_loop { join_cond = Some _; _ }
+  | A.Filter (_, (A.Hash_join _ | A.Nested_loop _)) ->
+      ()
+  | p -> Alcotest.failf "expected the cross product to become a join, got %s" (A.plan_sql p));
+  check cb "two-sided range probe on f.fv" true (has_two_sided optimized);
+  check cb "ordered join = baseline" true (norm optimized = baseline);
+  check cb "compiled = interpreted" true
+    (let c, cs' = E.run_analyzed db optimized and _, is' = E.run_interpreted_analyzed db optimized in
+     ignore c;
+     Xdb_rel.Stats.rows_signature cs' = Xdb_rel.Stats.rows_signature is')
+
+(* property: random three-table join regions and EXISTS shapes, random
+   indexes, NULL keys, any ANALYZE subset — the set-oriented pipeline
+   (hash joins, semi/anti unnesting, greedy ordering) returns exactly the
+   rows of the unoptimized nested-loop plans, on both executors *)
+let prop_hash_join_equivalence =
+  QCheck.Test.make ~name:"hash-join pipeline ≡ nested loops under any stats state" ~count:40
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rand =
+        let state = ref (seed land 0x3FFFFFFF) in
+        fun bound ->
+          state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+          !state mod bound
+      in
+      let db = DB.create () in
+      let bb =
+        DB.create_table db "bb"
+          [ { T.col_name = "bid"; col_type = V.Tint }; { T.col_name = "bv"; col_type = V.Tint } ]
+      in
+      let dd =
+        DB.create_table db "dd"
+          [ { T.col_name = "fk"; col_type = V.Tint }; { T.col_name = "x"; col_type = V.Tint } ]
+      in
+      let ee =
+        DB.create_table db "ee"
+          [ { T.col_name = "ek"; col_type = V.Tint }; { T.col_name = "z"; col_type = V.Tint } ]
+      in
+      let n_base = 1 + rand 5 in
+      for i = 1 to n_base do
+        T.insert_values bb [ V.Int i; V.Int (rand 100) ]
+      done;
+      let nullable k = if rand 6 = 0 then V.Null else V.Int k in
+      for j = 1 to rand 12 do
+        T.insert_values dd [ nullable (1 + rand (n_base + 1)); V.Int j ]
+      done;
+      for j = 1 to rand 8 do
+        T.insert_values ee [ nullable (1 + rand (n_base + 1)); V.Int (j * 7) ]
+      done;
+      if rand 2 = 0 then ignore (T.create_index dd ~name:"dd_fk" ~column:"fk");
+      if rand 2 = 0 then ignore (T.create_index ee ~name:"ee_ek" ~column:"ek");
+      List.iter (fun t -> if rand 2 = 0 then ignore (AN.table db t)) [ "bb"; "dd"; "ee" ];
+      if rand 2 = 0 then
+        for _ = 1 to rand 4 do
+          T.insert_values dd [ nullable (1 + rand (n_base + 1)); V.Int (100 + rand 50) ]
+        done;
+      let scan t a = A.Seq_scan { table = t; alias = a } in
+      let cross o i = A.Nested_loop { outer = o; inner = i; join_cond = None } in
+      (* 1. three-relation join region with a local range conjunct *)
+      let conj =
+        A.(
+          qcol "dd" "fk" =. qcol "bb" "bid"
+          &&. (qcol "ee" "ek" =. qcol "bb" "bid")
+          &&. (qcol "dd" "x" >. const_int (rand 60)))
+      in
+      let region = A.Filter (conj, cross (cross (scan "bb" "bb") (scan "dd" "dd")) (scan "ee" "ee")) in
+      let jnorm p =
+        E.run db p
+        |> List.map (fun r ->
+               ( V.to_int (List.assoc "bid" r),
+                 V.to_int (List.assoc "x" r),
+                 V.to_int (List.assoc "z" r) ))
+        |> List.sort compare
+      in
+      let opt = O.optimize_deep db region in
+      let join_ok = jnorm region = jnorm opt in
+      (* both executors agree operator-by-operator on the optimised plan *)
+      let _, cstats = E.run_analyzed db opt in
+      let _, istats = E.run_interpreted_analyzed db opt in
+      let exec_ok = Xdb_rel.Stats.rows_signature cstats = Xdb_rel.Stats.rows_signature istats in
+      (* 2. EXISTS / NOT EXISTS over a correlated scan with NULL keys *)
+      let exists_cond =
+        A.Exists (A.Filter (A.(qcol "s" "fk" =. qcol "bb" "bid"), scan "dd" "s"))
+      in
+      let sel cond = A.Filter (cond, scan "bb" "bb") in
+      let bnorm p =
+        E.run db p |> List.map (fun r -> V.to_int (List.assoc "bid" r)) |> List.sort compare
+      in
+      let semi_ok =
+        bnorm (sel exists_cond) = bnorm (O.optimize_deep db (sel exists_cond))
+        && bnorm (sel (A.Not exists_cond)) = bnorm (O.optimize_deep db (sel (A.Not exists_cond)))
+      in
+      join_ok && exec_ok && semi_ok)
+
 (* property: for random publishing views, random data, and a random subset
    of ANALYZEd tables — including stats gone stale through later inserts —
    cost-based optimize_deep returns exactly the unoptimized plan's rows *)
@@ -1355,7 +1640,11 @@ let () =
           Alcotest.test_case "limit below project" `Quick test_limit_below_project;
           Alcotest.test_case "index nested-loop join" `Quick test_index_nl_join;
           Alcotest.test_case "join reorder by cost" `Quick test_join_reorder_by_cost;
+          Alcotest.test_case "hash join executors" `Quick test_hash_join_exec;
+          Alcotest.test_case "semi/anti unnesting" `Quick test_semi_anti_unnest;
+          Alcotest.test_case "join-graph pass order" `Quick test_joingraph_pass_order;
           QCheck_alcotest.to_alcotest prop_optimize_equivalence;
+          QCheck_alcotest.to_alcotest prop_hash_join_equivalence;
         ] );
       ( "publishing",
         [
