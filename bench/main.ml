@@ -33,6 +33,12 @@
                       Xdb.Server sessions, throughput + p50/p95/p99, an
                       admission-control overload scenario, byte-identity
                       asserted (BENCH_PR7.json);
+    - [rwbench]     — mixed read/write workload: DML through
+                      [Engine.execute] interleaved with transform reads,
+                      95/5 and 50/50 mixes, cached-read vs recompute
+                      speedup, every read byte-compared against a forced
+                      recompute — zero stale reads asserted
+                      (BENCH_PR10.json);
     - [micro]       — Bechamel micro-benchmarks of the pipeline stages
                       (one [Test.make] per reproduced figure leg).
 
@@ -1239,6 +1245,121 @@ let servebench ?(size = 2_000) ?(clients_list = [ 1; 2; 4 ]) ?(per_case = 24) ()
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* rwbench: mixed read/write workload over the result cache (BENCH_PR10) *)
+(* ------------------------------------------------------------------ *)
+
+(* The DML payoff measured end to end.  Three parts:
+
+   1. cached-read speedup: the same transform served from the result
+      cache vs forced recompute ([result_cache = false]) — the cache hit
+      is a hash probe plus per-table version compares, so the gap is the
+      whole plan execution (CI gates >= 20x);
+   2. mixed legs (95/5 and 50/50 read/write): a deterministic LCG
+      interleaves UPDATEs through [Engine.execute] with transform reads.
+      EVERY read is recomputed with the cache off and compared
+      byte-for-byte against the cached answer — [stale_reads] counts
+      mismatches and must be zero (asserted here and gated in CI);
+   3. per-leg hit ratio from the engine's result-cache counters, showing
+      how write frequency degrades cacheability (95/5 should still hit
+      on most reads, 50/50 mostly misses). *)
+let rwbench ?(size = 2_000) ?(requests = 400) () =
+  Printf.printf "%s\nrwbench: DML + data-versioned result cache (rows %d)\n%s\n" hrule size
+    hrule;
+  let fresh_engine () =
+    let dv = D.records_db size in
+    let engine = EN.create dv.D.db in
+    EN.register_view engine dv.D.view;
+    (engine, dv.D.view.Xdb_rel.Publish.view_name)
+  in
+  (* avts touches every row (recompute is O(n)), and its output renders
+     [name] but not [value] — so name-writes move the published bytes
+     while value-writes only invalidate, trapping any cache that checks
+     output identity instead of data versions *)
+  let stylesheet = (Option.get (M.find "avts")).M.stylesheet in
+  let nocache = { EN.default_run_options with EN.result_cache = false } in
+  (* part 1: cached read vs recompute, same request *)
+  let engine, view_name = fresh_engine () in
+  let read ?options () =
+    (EN.transform ?options engine ~view_name ~stylesheet).EN.output
+  in
+  let reference = read () (* populates the cache *) in
+  let cached_ms = time_ms ~repeat:9 (fun () -> ignore (read ())) in
+  let recompute_ms = time_ms ~repeat:9 (fun () -> ignore (read ~options:nocache ())) in
+  let speedup = recompute_ms /. cached_ms in
+  assert (read () = reference);
+  EN.shutdown engine;
+  Printf.printf "cached read %.4fms   recompute %.4fms   speedup %.1fx\n\n" cached_ms
+    recompute_ms speedup;
+  (* parts 2+3: mixed legs *)
+  Printf.printf "%10s %9s %8s %8s %9s %10s %12s %12s %11s\n" "mix" "requests" "reads"
+    "writes" "hits" "hit_ratio" "read_ms(p50)" "write_ms(p50)" "stale_reads";
+  let csv_rows = ref [] in
+  let legs =
+    List.map
+      (fun write_pct ->
+        let engine, view_name = fresh_engine () in
+        let rand = D.lcg (size + (97 * write_pct)) in
+        let hits0 () = List.assoc "result_cache_hits" (EN.result_cache_counters engine) in
+        let reads = ref 0 and writes = ref 0 and stale = ref 0 in
+        let read_lat = ref [] and write_lat = ref [] in
+        let t0 = Unix.gettimeofday () in
+        for i = 1 to requests do
+          if rand 100 < write_pct then begin
+            (* alternate output-visible (name) and invalidate-only
+               (value) writes *)
+            let id = 1 + rand size in
+            let stmt =
+              if i mod 2 = 0 then
+                Printf.sprintf "UPDATE rows SET name = 'write%06d' WHERE id = %d" i id
+              else Printf.sprintf "UPDATE rows SET value = %d WHERE id = %d" (rand 10_000) id
+            in
+            let _, ms = time_once (fun () -> ignore (EN.execute engine stmt)) in
+            incr writes;
+            write_lat := ms :: !write_lat
+          end
+          else begin
+            let out, ms =
+              time_once (fun () -> (EN.transform engine ~view_name ~stylesheet).EN.output)
+            in
+            let recomputed =
+              (EN.transform ~options:nocache engine ~view_name ~stylesheet).EN.output
+            in
+            incr reads;
+            read_lat := ms :: !read_lat;
+            if out <> recomputed then incr stale
+          end
+        done;
+        let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+        let hits = hits0 () in
+        EN.shutdown engine;
+        (* staleness is a correctness bug, not a performance number *)
+        assert (!stale = 0);
+        let mix = Printf.sprintf "%d/%d" (100 - write_pct) write_pct in
+        let hit_ratio = float_of_int hits /. float_of_int (max 1 !reads) in
+        let rp50 = pct !read_lat 0.50 and wp50 = pct !write_lat 0.50 in
+        Printf.printf "%10s %9d %8d %8d %9d %10.2f %12.4f %12.4f %11d\n" mix requests
+          !reads !writes hits hit_ratio rp50 wp50 !stale;
+        csv_rows :=
+          Printf.sprintf "%s,%d,%d,%d,%d,%.4f,%d" mix requests !reads !writes hits
+            hit_ratio !stale
+          :: !csv_rows;
+        Printf.sprintf
+          {|{"mix":"%s","write_pct":%d,"requests":%d,"reads":%d,"writes":%d,"cache_hits":%d,"hit_ratio":%.4f,"read_p50_ms":%.4f,"write_p50_ms":%.4f,"wall_ms":%.4f,"stale_reads":%d}|}
+          mix write_pct requests !reads !writes hits hit_ratio rp50 wp50 wall_ms !stale)
+      [ 5; 50 ]
+  in
+  csv_out "rwbench.csv" "mix,requests,reads,writes,cache_hits,hit_ratio,stale_reads"
+    (List.rev !csv_rows);
+  let oc = open_out "BENCH_PR10.json" in
+  Printf.fprintf oc
+    "{\"bench\":\"BENCH_PR10\",\"host\":%s,\"rows\":%d,\"cached_read\":{\"cached_ms\":%.4f,\"recompute_ms\":%.4f,\"speedup\":%.2f},\"legs\":[\n  %s\n]}\n"
+    (host_json ()) size cached_ms recompute_ms speedup
+    (String.concat ",\n  " legs);
+  close_out oc;
+  print_endline "(written BENCH_PR10.json)";
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1311,6 +1432,9 @@ let () =
   if run "parscale" then parscale ();
   if run "shredscale" then shredscale ();
   if run "servebench" then servebench ();
+  if run "rwbench" then rwbench ();
+  (* CI gate leg: fewer requests, same mixes, same artifact *)
+  if List.mem "rwbench-smoke" targets then rwbench ~size:1_000 ~requests:120 ();
   if run "ablation" then ablation ();
   if run "storage" then storage ();
   if run "partial" then partial_inline ();

@@ -17,6 +17,10 @@
                      sessions over one shared engine, with admission
                      control, and report throughput, latency
                      percentiles and the server metrics;
+    - [shell]/[sql] — the SQL/XML statement surface over a demo
+                     database: selects, XMLTransform/XMLQuery, CREATE
+                     VIEW, ANALYZE and INSERT/UPDATE/DELETE, all through
+                     [Engine.execute];
     - [cases]      — list the built-in benchmark cases. *)
 
 open Cmdliner
@@ -73,15 +77,25 @@ let run_options_term =
              table is partitioned into row ranges executed concurrently; output is \
              byte-identical to the sequential run.")
   in
-  let mk metrics stream interpreted jobs =
+  let no_result_cache =
+    Arg.(
+      value & flag
+      & info [ "no-result-cache" ]
+          ~doc:
+            "Bypass the data-versioned result cache: always recompute the output instead of \
+             serving cached bytes when the dependency tables are unchanged.")
+  in
+  let mk metrics stream interpreted jobs no_result_cache =
     {
       Xdb_core.Engine.streaming = stream;
       jobs = max 1 jobs;
       collect_metrics = metrics;
       interpreted;
+      result_cache = not no_result_cache;
+      indent = false;
     }
   in
-  Term.(const mk $ metrics $ stream $ interpreted $ jobs)
+  Term.(const mk $ metrics $ stream $ interpreted $ jobs $ no_result_cache)
 
 (* run [f], rendering facade errors as one line instead of a backtrace *)
 let with_engine_errors f =
@@ -428,16 +442,16 @@ let explain_cmd =
                 let staged name f =
                   match m with None -> f () | Some m -> Xdb_core.Metrics.time m name f
                 in
-                print_endline
-                  (staged "prepare" (fun () ->
-                       Xdb_core.Pipeline.explain
-                         (Xdb_core.Engine.prepare ?metrics:m engine ~view_name ~stylesheet)));
+                let stmt =
+                  staged "prepare" (fun () ->
+                      Xdb_core.Engine.prepare ?metrics:m engine ~view_name ~stylesheet)
+                in
+                print_endline (Xdb_core.Engine.explain_stmt engine stmt);
                 if analyze then (
                   print_endline "-- EXPLAIN ANALYZE:";
                   print_endline
                     (staged "sql_exec" (fun () ->
-                         Xdb_core.Engine.explain_analyze ~options:opts engine ~view_name
-                           ~stylesheet)));
+                         Xdb_core.Engine.explain_analyze_stmt ~options:opts engine stmt)));
                 print_metrics m;
                 Xdb_core.Engine.shutdown engine)
   in
@@ -445,24 +459,29 @@ let explain_cmd =
     (Cmd.info "explain" ~doc:"Explain the pipeline for a built-in benchmark case")
     Term.(const run $ verbose $ case $ size $ analyze $ collect_stats $ run_options_term)
 
-let shell_cmd =
-  let workload =
-    Arg.(
-      value
-      & opt (enum [ ("dept-emp", `Dept_emp); ("records", `Records); ("sales", `Sales) ]) `Dept_emp
-      & info [ "w"; "workload" ] ~doc:"Demo database to load (dept-emp, records, sales)")
+(* the statement surface: a demo database behind one engine that owns the
+   view registry, result cache and writer lock — shell and sql share it *)
+let workload_term =
+  Arg.(
+    value
+    & opt (enum [ ("dept-emp", `Dept_emp); ("records", `Records); ("sales", `Sales) ]) `Dept_emp
+    & info [ "w"; "workload" ] ~doc:"Demo database to load (dept-emp, records, sales)")
+
+let sql_engine workload size =
+  let dv =
+    match workload with
+    | `Dept_emp -> Xdb_xsltmark.Data.dept_emp_db (max 1 (size / 10)) 10
+    | `Records -> Xdb_xsltmark.Data.records_db size
+    | `Sales -> Xdb_xsltmark.Data.sales_db (max 1 (size / 20)) 20
   in
+  let engine = Xdb_core.Engine.create dv.Xdb_xsltmark.Data.db in
+  Xdb_core.Engine.register_view engine dv.Xdb_xsltmark.Data.view;
+  (engine, dv)
+
+let shell_cmd =
   let size = Arg.(value & opt int 100 & info [ "n"; "size" ] ~doc:"Workload size") in
   let run workload size =
-    let dv =
-      match workload with
-      | `Dept_emp -> Xdb_xsltmark.Data.dept_emp_db (max 1 (size / 10)) 10
-      | `Records -> Xdb_xsltmark.Data.records_db size
-      | `Sales -> Xdb_xsltmark.Data.sales_db (max 1 (size / 20)) 20
-    in
-    let session =
-      Xdb_sql.Engine.make_session ~views:[ dv.Xdb_xsltmark.Data.view ] dv.Xdb_xsltmark.Data.db
-    in
+    let engine, dv = sql_engine workload size in
     Printf.printf
       "xdb SQL shell — tables: %s; XMLType view: %s(%s)\nStatements end with ';'. Ctrl-D to quit.\n"
       (String.concat ", " (Xdb_rel.Database.table_names dv.Xdb_xsltmark.Data.db))
@@ -489,17 +508,51 @@ let shell_cmd =
          in
          if complete then (
            Buffer.clear buf;
-           match Xdb_sql.Engine.execute session text with
+           match Xdb_core.Engine.execute engine text with
            | r -> print_string (Xdb_sql.Engine.render r)
-           | exception Xdb_sql.Engine.Sql_error m -> Printf.printf "error: %s\n" m
-           | exception Xdb_sql.Parser.Parse_error m -> Printf.printf "parse error: %s\n" m
+           | exception Xdb_core.Xdb_error.Error e ->
+               Printf.printf "error: %s\n" (Xdb_core.Xdb_error.to_string e)
            | exception e -> Printf.printf "error: %s\n" (Printexc.to_string e))
        done
      with End_of_file -> print_newline ())
   in
   Cmd.v
     (Cmd.info "shell" ~doc:"Interactive SQL/XML shell over a demo database")
-    Term.(const run $ workload $ size)
+    Term.(const run $ workload_term $ size)
+
+let sql_cmd =
+  let size = Arg.(value & opt int 100 & info [ "n"; "size" ] ~doc:"Workload size") in
+  let stmts =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"STATEMENT"
+          ~doc:
+            "SQL statements to run in order (each may also be several statements separated \
+             by ';').  SELECT, INSERT/UPDATE/DELETE, ANALYZE, CREATE VIEW, XMLTransform and \
+             XMLQuery are all accepted.")
+  in
+  let run workload size stmts =
+    if stmts = [] then (
+      prerr_endline "sql: provide at least one STATEMENT (or use `xdb_cli shell`)";
+      exit 2);
+    let engine, _ = sql_engine workload size in
+    let pieces =
+      List.concat_map
+        (fun s ->
+          List.filter_map
+            (fun p -> if String.trim p = "" then None else Some p)
+            (String.split_on_char ';' s))
+        stmts
+    in
+    with_engine_errors (fun () ->
+        List.iter
+          (fun text -> print_string (Xdb_sql.Engine.render (Xdb_core.Engine.execute engine text)))
+          pieces)
+  in
+  Cmd.v
+    (Cmd.info "sql"
+       ~doc:"Run SQL statements (including DML) against a demo database and print the results")
+    Term.(const run $ workload_term $ size $ stmts)
 
 let publish_cmd =
   let case = Arg.(required & pos 0 (some string) None & info [] ~docv:"CASE") in
@@ -513,7 +566,10 @@ let publish_cmd =
             Printf.eprintf "case %S has no database form\n" name;
             exit 2
         | Some (engine, view_name, _, _) ->
-            let r = Xdb_core.Engine.publish ~options:opts ~indent engine ~view_name in
+            let r =
+              Xdb_core.Engine.publish ~options:{ opts with Xdb_core.Engine.indent } engine
+                ~view_name
+            in
             List.iter print_endline r.Xdb_core.Engine.output;
             print_metrics r.Xdb_core.Engine.metrics;
             Xdb_core.Engine.shutdown engine)
@@ -690,4 +746,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ transform_cmd; translate_cmd; explain_cmd; publish_cmd; serve_cmd; cases_cmd;
-            shell_cmd; shred_cmd ]))
+            shell_cmd; sql_cmd; shred_cmd ]))

@@ -4,21 +4,26 @@
    view (paper Tables 1-3) and then executes the paper's SQL statements
    verbatim: Table 5's XMLTransform (rewritten to the Table 7 plan),
    Table 9's CREATE VIEW, and Table 10's XMLQuery over the XSLT view
-   (combined-optimised to the Table 11 plan).
+   (combined-optimised to the Table 11 plan) — plus DML: updates flow
+   through the engine's data versioning, so the same XMLTransform
+   re-executed after an UPDATE reflects the write.
 
    Run with: dune exec examples/sql_session.exe *)
 
-module SQL = Xdb_sql.Engine
+module Engine = Xdb_core.Engine
 
-let session () =
+let engine () =
   let dv = Xdb_xsltmark.Data.dept_emp_db 2 3 in
-  SQL.make_session ~views:[ dv.Xdb_xsltmark.Data.view ] dv.Xdb_xsltmark.Data.db
+  let eng = Engine.create dv.Xdb_xsltmark.Data.db in
+  Engine.register_view eng dv.Xdb_xsltmark.Data.view;
+  eng
 
-let run s sql =
+let run eng sql =
   Printf.printf "SQL> %s\n" (String.trim sql);
-  (match SQL.execute s sql with
-  | r -> print_string (SQL.render r)
-  | exception SQL.Sql_error m -> Printf.printf "error: %s\n" m);
+  (match Engine.execute eng sql with
+  | r -> print_string (Xdb_sql.Engine.render r)
+  | exception Xdb_core.Xdb_error.Error e ->
+      Printf.printf "error: %s\n" (Xdb_core.Xdb_error.to_string e));
   print_newline ()
 
 let stylesheet_literal =
@@ -40,28 +45,42 @@ xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
 </xsl:stylesheet>'|}
 
 let () =
-  let s = session () in
+  let eng = engine () in
 
   (* plain relational access with index selection *)
-  run s "SELECT ename, sal FROM emp WHERE sal > 4000";
+  run eng "SELECT ename, sal FROM emp WHERE sal > 4000";
 
   (* paper Table 5: XSLT through XMLTransform — the XSLT rewrite kicks in *)
-  run s
+  run eng
     (Printf.sprintf "SELECT XMLTransform(dept_emp.dept_content, %s) FROM dept_emp"
        stylesheet_literal);
 
   (* XQuery directly over the publishing view *)
-  run s
+  run eng
     {|SELECT dname, XMLQuery('fn:string(sum(./dept/employees/emp/sal))'
 PASSING dept_emp.dept_content RETURNING CONTENT) AS payroll FROM dept_emp|};
 
   (* paper Table 9: wrap the transformation as an XSLT view *)
-  run s
+  run eng
     (Printf.sprintf
        "CREATE VIEW xslt_vu AS SELECT XMLTransform(dept_emp.dept_content, %s) AS xslt_rslt FROM dept_emp"
        stylesheet_literal);
 
   (* paper Table 10: query the XSLT view — combined optimisation (Table 11) *)
-  run s
+  run eng
     {|SELECT XMLQuery('for $tr in ./table/tr return $tr'
-PASSING xslt_vu.xslt_rslt RETURNING CONTENT) FROM xslt_vu|}
+PASSING xslt_vu.xslt_rslt RETURNING CONTENT) FROM xslt_vu|};
+
+  (* DML: a raise for one employee, then the same transform again — the
+     data-version bump invalidates the cached result and the re-executed
+     plan sees the new salary *)
+  run eng "UPDATE emp SET sal = 5200 WHERE ename = 'EMP00002'";
+  run eng "SELECT ename, sal FROM emp WHERE sal > 4000";
+  run eng
+    (Printf.sprintf "SELECT XMLTransform(dept_emp.dept_content, %s) FROM dept_emp"
+       stylesheet_literal);
+
+  (* failed statements are atomic: nothing changed, same data version *)
+  run eng "UPDATE emp SET sal = 'not a number'";
+  run eng "DELETE FROM emp WHERE sal > 5000";
+  run eng "SELECT ename, sal FROM emp"

@@ -1,47 +1,125 @@
-(* The Xdb.Engine facade: Registry + Pipeline + Parallel behind
-   create/prepare/transform with one run_options record.  All errors
-   leave through Xdb_error.Error (see engine.mli). *)
+(* The Xdb.Engine facade: Registry + Result_cache + Pipeline + Parallel +
+   the SQL surface behind create/prepare/run/execute with one run_options
+   record.  All errors leave through Xdb_error.Error (see engine.mli). *)
 
 module P = Xdb_rel.Publish
+
+(* ------------------------------------------------------------------ *)
+(* Reader/writer lock                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* DML serialization: reads (transform/publish/selects) share the lock,
+   writes (DML/ANALYZE/CREATE VIEW/view registration/shredding) exclude
+   everything.  This is what makes result-cache version capture sound:
+   within a read no dependency table's data version can move between
+   computing output and storing it.  No writer preference — the write
+   mix this serves is a few percent, so reader starvation of writers is
+   bounded in practice (rwbench measures exactly this mix). *)
+module Rw = struct
+  type t = {
+    m : Mutex.t;
+    c : Condition.t;
+    mutable readers : int;
+    mutable writer : bool;
+  }
+
+  let create () = { m = Mutex.create (); c = Condition.create (); readers = 0; writer = false }
+
+  let read t f =
+    Mutex.lock t.m;
+    while t.writer do
+      Condition.wait t.c t.m
+    done;
+    t.readers <- t.readers + 1;
+    Mutex.unlock t.m;
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.lock t.m;
+        t.readers <- t.readers - 1;
+        if t.readers = 0 then Condition.broadcast t.c;
+        Mutex.unlock t.m)
+      f
+
+  let write t f =
+    Mutex.lock t.m;
+    while t.writer || t.readers > 0 do
+      Condition.wait t.c t.m
+    done;
+    t.writer <- true;
+    Mutex.unlock t.m;
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.lock t.m;
+        t.writer <- false;
+        Condition.broadcast t.c;
+        Mutex.unlock t.m)
+      f
+end
 
 type run_options = {
   streaming : bool;
   jobs : int;
   collect_metrics : bool;
   interpreted : bool;
+  result_cache : bool;
+  indent : bool;
 }
 
 let default_run_options =
-  { streaming = true; jobs = 1; collect_metrics = false; interpreted = false }
+  {
+    streaming = true;
+    jobs = 1;
+    collect_metrics = false;
+    interpreted = false;
+    result_cache = true;
+    indent = false;
+  }
 
 type run_result = { output : string list; metrics : Metrics.t option }
+
+type source = View of string | Shredded of int list option
 
 type t = {
   db : Xdb_rel.Database.t;
   registry : Registry.t;
+  rc : Result_cache.t;
   options : Options.t;
+  rw : Rw.t;
   pool_lock : Mutex.t;
       (** held for the whole of every pool use, not just creation: a
           concurrent caller asking for a different [jobs] must not shut
           the cached pool down under a run still draining it *)
   mutable pool : Parallel.t option;  (** created lazily on first jobs > 1 run *)
-  shred_lock : Mutex.t;
+  shred_lock : Mutex.t;  (** guards the [shred] field only — never held
+          across an [rw] acquisition (lock order is rw before shred_lock) *)
   mutable shred : Xdb_rel.Shred.t option;  (** created lazily on first store *)
+  sql_lock : Mutex.t;  (** guards [xslt_views] *)
+  mutable xslt_views : Sql_front.xslt_view list;
 }
 
-let create ?capacity ?(options = Options.default) db =
+let create ?capacity ?result_capacity ?(options = Options.default) db =
   {
     db;
     registry = Registry.create ?capacity db;
+    rc = Result_cache.create ?capacity:result_capacity db;
     options;
+    rw = Rw.create ();
     pool_lock = Mutex.create ();
     pool = None;
     shred_lock = Mutex.create ();
     shred = None;
+    sql_lock = Mutex.create ();
+    xslt_views = [];
   }
 
 let database t = t.db
-let register_view t view = Registry.register_view t.registry view
+
+let register_view t view =
+  (* exclusive: evolution must not race in-flight reads, and the view's
+     cached results are invalid even though no data version moved *)
+  Rw.write t.rw (fun () ->
+      Registry.register_view t.registry view;
+      Result_cache.invalidate_view t.rc view.P.view_name)
 
 (* Run [f] over the pool matching [jobs], reusing the cached one when
    its size fits; a size change joins the old pool and spawns a fresh
@@ -76,75 +154,195 @@ let shutdown t =
           Parallel.shutdown p;
           t.pool <- None)
 
-let prepare ?metrics t ~view_name ~stylesheet =
+(* ------------------------------------------------------------------ *)
+(* Prepared statements                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type stmt = {
+  st_view : string;
+  st_stylesheet : string;
+  st_lock : Mutex.t;
+  mutable st_compiled : Pipeline.compiled;
+  mutable st_stats : int;  (** Database.stats_version at (re)compile *)
+  mutable st_views : int;  (** Registry.views_version at (re)compile *)
+}
+
+let compile_view ?metrics t ~view_name ~stylesheet =
   Xdb_error.wrap ~stage:"compile" (fun () ->
       Registry.compile ~options:t.options ?metrics t.registry ~view_name ~stylesheet)
 
+let prepare ?metrics t ~view_name ~stylesheet =
+  Rw.read t.rw (fun () ->
+      let compiled = compile_view ?metrics t ~view_name ~stylesheet in
+      {
+        st_view = view_name;
+        st_stylesheet = stylesheet;
+        st_lock = Mutex.create ();
+        st_compiled = compiled;
+        st_stats = Xdb_rel.Database.stats_version t.db;
+        st_views = Registry.views_version t.registry;
+      })
+
+(* The hot path of a prepared statement: two integer compares.  Only
+   when ANALYZE or a view (re)registration moved a version does the
+   statement go back through the registry (which itself re-fingerprints
+   and serves its cache when the statement's own view is unaffected). *)
+let stmt_compiled ?metrics t stmt =
+  let stats = Xdb_rel.Database.stats_version t.db in
+  let views = Registry.views_version t.registry in
+  Mutex.lock stmt.st_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock stmt.st_lock)
+    (fun () ->
+      if stmt.st_stats <> stats || stmt.st_views <> views then (
+        stmt.st_compiled <-
+          compile_view ?metrics t ~view_name:stmt.st_view ~stylesheet:stmt.st_stylesheet;
+        stmt.st_stats <- stats;
+        stmt.st_views <- views);
+      stmt.st_compiled)
+
+let stmt_view stmt = stmt.st_view
+
+(* ------------------------------------------------------------------ *)
+(* Result cache wiring                                                 *)
+(* ------------------------------------------------------------------ *)
+
 let metrics_of opts = if opts.collect_metrics then Some (Metrics.create ()) else None
 
-let transform ?(options = default_run_options) t ~view_name ~stylesheet =
+let stamp_hit metrics hit =
+  match metrics with
+  | None -> ()
+  | Some m -> Metrics.set_counter m "result_cache_hit" (if hit then 1 else 0)
+
+(* serve from the result cache when enabled; recompute-and-store
+   otherwise.  Callers hold the read lock, so the data versions that
+   [store] snapshots are exactly the versions [run] computed against. *)
+let serve_cached t options ~metrics ~view ~key ~deps run =
+  if not options.result_cache then run ()
+  else
+    match Result_cache.find t.rc ~key with
+    | Some output ->
+        stamp_hit metrics true;
+        output
+    | None ->
+        let output = run () in
+        Result_cache.store t.rc ~view ~key ~deps output;
+        stamp_hit metrics false;
+        output
+
+let dedup tables = List.sort_uniq compare tables
+
+(* every table the transform's output depends on: the view's own tables
+   (base table + any expression/aggregate references — also what the
+   functional fallback materialises from) plus whatever the optimised
+   SQL/XML plan scans or probes *)
+let transform_deps t view_name compiled =
+  let view = Registry.find_view t.registry view_name in
+  let plan_tables =
+    match compiled.Pipeline.sql_plan with
+    | Some plan -> Xdb_rel.Algebra.tables_of plan
+    | None -> []
+  in
+  dedup (P.view_tables view @ plan_tables)
+
+(* ------------------------------------------------------------------ *)
+(* Transform                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let transform_body ~options ?metrics t compiled =
+  Xdb_error.wrap ~stage:"exec" (fun () ->
+      if options.jobs > 1 then
+        use_pool t options.jobs (fun pool ->
+            if options.interpreted then
+              Pipeline.run_functional_parallel ?metrics ~pool t.db compiled
+            else
+              Pipeline.run_rewrite_parallel ?metrics ~streaming:options.streaming ~pool t.db
+                compiled)
+      else if options.interpreted then Pipeline.run_functional ?metrics t.db compiled
+      else Pipeline.run_rewrite ?metrics ~streaming:options.streaming t.db compiled)
+
+(* key ingredients: view + stylesheet text.  streaming/jobs/interpreted
+   are deliberately absent — the engine's execution strategies are
+   byte-identical by invariant (tested), so they may share entries. *)
+let transform_key view_name stylesheet = "T\x00" ^ view_name ^ "\x00" ^ stylesheet
+
+let transform_stmt ?(options = default_run_options) t stmt =
   let metrics = metrics_of options in
-  let compiled = prepare ?metrics t ~view_name ~stylesheet in
   let output =
-    Xdb_error.wrap ~stage:"exec" (fun () ->
-        if options.jobs > 1 then
-          use_pool t options.jobs (fun pool ->
-              if options.interpreted then
-                Pipeline.run_functional_parallel ?metrics ~pool t.db compiled
-              else
-                Pipeline.run_rewrite_parallel ?metrics ~streaming:options.streaming ~pool
-                  t.db compiled)
-        else if options.interpreted then Pipeline.run_functional ?metrics t.db compiled
-        else Pipeline.run_rewrite ?metrics ~streaming:options.streaming t.db compiled)
+    Rw.read t.rw (fun () ->
+        let compiled = stmt_compiled ?metrics t stmt in
+        serve_cached t options ~metrics ~view:stmt.st_view
+          ~key:(transform_key stmt.st_view stmt.st_stylesheet)
+          ~deps:(transform_deps t stmt.st_view compiled)
+          (fun () -> transform_body ~options ?metrics t compiled))
   in
   { output; metrics }
 
-let publish ?(options = default_run_options) ?(indent = false) t ~view_name =
+(* ------------------------------------------------------------------ *)
+(* Publish                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let publish ?(options = default_run_options) t ~view_name =
   let metrics = metrics_of options in
-  (* publishing shares the registry's view table *)
-  let view =
-    Xdb_error.wrap ~stage:"publish" (fun () -> Registry.find_view t.registry view_name)
-  in
-  let serialize_range ?metrics ~lo ~hi () =
-    let staged name f = match metrics with None -> f () | Some m -> Metrics.time m name f in
-    if options.streaming then
-      staged "publish_stream" (fun () ->
-          P.materialize_serialized t.db ~indent ~row_range:(lo, hi) view)
-    else
-      staged "publish_dom" (fun () ->
-          List.map
-            (fun d ->
-              Xdb_xml.Serializer.node_list_to_string ~indent d.Xdb_xml.Types.children)
-            (P.materialize t.db ~row_range:(lo, hi) view))
-  in
+  let indent = options.indent in
   let output =
-    Xdb_error.wrap ~stage:"serialize" (fun () ->
-        let total = Xdb_rel.Table.size (Xdb_rel.Database.table t.db view.P.base_table) in
-        if options.jobs > 1 then
-          use_pool t options.jobs (fun pool ->
-              let ranges =
-                Array.of_list
-                  (Parallel.chunk_ranges ~total ~chunks:(4 * Parallel.jobs pool))
+    Rw.read t.rw (fun () ->
+        (* publishing shares the registry's view table *)
+        let view =
+          Xdb_error.wrap ~stage:"publish" (fun () -> Registry.find_view t.registry view_name)
+        in
+        let serialize_range ?metrics ~lo ~hi () =
+          let staged name f =
+            match metrics with None -> f () | Some m -> Metrics.time m name f
+          in
+          if options.streaming then
+            staged "publish_stream" (fun () ->
+                P.materialize_serialized t.db ~indent ~row_range:(lo, hi) view)
+          else
+            staged "publish_dom" (fun () ->
+                List.map
+                  (fun d ->
+                    Xdb_xml.Serializer.node_list_to_string ~indent d.Xdb_xml.Types.children)
+                  (P.materialize t.db ~row_range:(lo, hi) view))
+        in
+        let run () =
+          Xdb_error.wrap ~stage:"serialize" (fun () ->
+              let total =
+                Xdb_rel.Table.size (Xdb_rel.Database.table t.db view.P.base_table)
               in
-              let n = Array.length ranges in
-              let task_metrics =
-                match metrics with
-                | None -> [||]
-                | Some _ -> Array.init n (fun _ -> Metrics.create ())
-              in
-              let results =
-                Parallel.run pool
-                  (fun i ->
-                    let m = if task_metrics = [||] then None else Some task_metrics.(i) in
-                    let lo, hi = ranges.(i) in
-                    serialize_range ?metrics:m ~lo ~hi ())
-                  n
-              in
-              (match metrics with
-              | Some m -> Array.iter (fun tm -> Metrics.merge_into ~into:m tm) task_metrics
-              | None -> ());
-              List.concat (Array.to_list results))
-        else serialize_range ?metrics ~lo:0 ~hi:total ())
+              if options.jobs > 1 then
+                use_pool t options.jobs (fun pool ->
+                    let ranges =
+                      Array.of_list
+                        (Parallel.chunk_ranges ~total ~chunks:(4 * Parallel.jobs pool))
+                    in
+                    let n = Array.length ranges in
+                    let task_metrics =
+                      match metrics with
+                      | None -> [||]
+                      | Some _ -> Array.init n (fun _ -> Metrics.create ())
+                    in
+                    let results =
+                      Parallel.run pool
+                        (fun i ->
+                          let m =
+                            if task_metrics = [||] then None else Some task_metrics.(i)
+                          in
+                          let lo, hi = ranges.(i) in
+                          serialize_range ?metrics:m ~lo ~hi ())
+                        n
+                    in
+                    (match metrics with
+                    | Some m ->
+                        Array.iter (fun tm -> Metrics.merge_into ~into:m tm) task_metrics
+                    | None -> ());
+                    List.concat (Array.to_list results))
+              else serialize_range ?metrics ~lo:0 ~hi:total ())
+        in
+        (* indent changes the bytes, so it is part of the key *)
+        let key = "P\x00" ^ view_name ^ "\x00" ^ if indent then "i" else "-" in
+        serve_cached t options ~metrics ~view:view_name ~key
+          ~deps:(dedup (P.view_tables view)) run)
   in
   { output; metrics }
 
@@ -153,70 +351,207 @@ let publish ?(options = default_run_options) ?(indent = false) t ~view_name =
 (* ------------------------------------------------------------------ *)
 
 (* one shred store per engine, its node table living in the engine's
-   database next to the published views' base tables *)
+   database next to the published views' base tables.  Creation takes
+   the writer side: it creates tables in the shared catalog. *)
 let shred_store t =
   Mutex.lock t.shred_lock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.shred_lock)
-    (fun () ->
-      match t.shred with
-      | Some s -> s
-      | None ->
-          let s = Xdb_error.wrap ~stage:"shred" (fun () -> Xdb_rel.Shred.create t.db) in
-          t.shred <- Some s;
-          s)
+  let existing = t.shred in
+  Mutex.unlock t.shred_lock;
+  match existing with
+  | Some s -> s
+  | None ->
+      Rw.write t.rw (fun () ->
+          Mutex.lock t.shred_lock;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock t.shred_lock)
+            (fun () ->
+              match t.shred with
+              | Some s -> s
+              | None ->
+                  let s =
+                    Xdb_error.wrap ~stage:"shred" (fun () -> Xdb_rel.Shred.create t.db)
+                  in
+                  t.shred <- Some s;
+                  s))
 
 let store_shredded t doc =
   let s = shred_store t in
-  Xdb_error.wrap ~stage:"shred" (fun () -> Xdb_rel.Shred.shred s doc)
+  Rw.write t.rw (fun () ->
+      let docid = Xdb_error.wrap ~stage:"shred" (fun () -> Xdb_rel.Shred.shred s doc) in
+      (* Shred writes straight through Table.insert, which does not go
+         through the DML layer — version the node tables here so cached
+         shredded transforms over "all documents" notice the new one *)
+      List.iter (Xdb_rel.Database.bump_data_version t.db) (Xdb_rel.Shred.tables s);
+      docid)
 
-let transform_shredded ?(options = default_run_options) ?docids t ~stylesheet =
+let transform_shredded_src ?(options = default_run_options) t ~docids ~stylesheet =
   let s = shred_store t in
-  let docids =
-    match docids with Some ids -> ids | None -> Xdb_rel.Shred.doc_ids s
-  in
   let metrics = metrics_of options in
-  match docids with
-  | [] -> { output = []; metrics }
-  | _ :: _ ->
-      (* bytecode only: the shredded VM needs no example document, so
-         nothing is reconstructed at compile time *)
-      let prog =
-        Xdb_error.wrap ~stage:"compile" (fun () ->
-            Xdb_xslt.Compile.compile (Xdb_xslt.Parser.parse stylesheet))
+  Rw.read t.rw (fun () ->
+      let docids =
+        match docids with Some ids -> ids | None -> Xdb_rel.Shred.doc_ids s
       in
-      let output =
-        Xdb_error.wrap ~stage:"exec" (fun () ->
-            if options.jobs > 1 then
-              use_pool t options.jobs (fun pool ->
-                  Pipeline.run_shredded ?metrics ~pool s prog docids)
-            else Pipeline.run_shredded ?metrics s prog docids)
-      in
-      { output; metrics }
+      match docids with
+      | [] -> { output = []; metrics }
+      | _ :: _ ->
+          (* bytecode only: the shredded VM needs no example document, so
+             nothing is reconstructed at compile time *)
+          let prog =
+            Xdb_error.wrap ~stage:"compile" (fun () ->
+                Xdb_xslt.Compile.compile (Xdb_xslt.Parser.parse stylesheet))
+          in
+          let run () =
+            Xdb_error.wrap ~stage:"exec" (fun () ->
+                if options.jobs > 1 then
+                  use_pool t options.jobs (fun pool ->
+                      Pipeline.run_shredded ?metrics ~pool s prog docids)
+                else Pipeline.run_shredded ?metrics s prog docids)
+          in
+          let key =
+            "S\x00"
+            ^ String.concat "," (List.map string_of_int docids)
+            ^ "\x00" ^ stylesheet
+          in
+          let output =
+            serve_cached t options ~metrics ~view:"" ~key
+              ~deps:(Xdb_rel.Shred.tables s) run
+          in
+          { output; metrics })
 
 let query_shredded t ~docid expr =
   let s = shred_store t in
-  Xdb_error.wrap ~stage:"exec" (fun () ->
-      Xdb_rel.Shred.serialize s (Xdb_rel.Shred.select s ~docid expr))
+  Rw.read t.rw (fun () ->
+      Xdb_error.wrap ~stage:"exec" (fun () ->
+          Xdb_rel.Shred.serialize s (Xdb_rel.Shred.select s ~docid expr)))
 
-let explain t ~view_name ~stylesheet =
-  Pipeline.explain (prepare t ~view_name ~stylesheet)
+(* ------------------------------------------------------------------ *)
+(* The unified verb                                                    *)
+(* ------------------------------------------------------------------ *)
 
-let explain_analyze ?(options = default_run_options) ?metrics t ~view_name ~stylesheet =
-  let compiled = prepare ?metrics t ~view_name ~stylesheet in
-  Xdb_error.wrap ~stage:"exec" (fun () ->
-      if options.jobs > 1 && not options.interpreted then
-        use_pool t options.jobs (fun pool ->
-            match
-              Pipeline.run_rewrite_parallel_analyzed ~streaming:options.streaming ~pool
-                t.db compiled
-            with
-            | _, Some stats ->
-                (* per-domain collectors merged by operator id: actual row
-                   counts match a sequential analyzed run *)
-                let plan = Option.get compiled.Pipeline.sql_plan in
-                Xdb_rel.Optimizer.explain_analyze t.db plan stats
-            | _, None -> Pipeline.explain_analyze ~interpreted:false t.db compiled)
-      else Pipeline.explain_analyze ~interpreted:options.interpreted t.db compiled)
+let transform ?(options = default_run_options) t ~view_name ~stylesheet =
+  let metrics = metrics_of options in
+  let output =
+    Rw.read t.rw (fun () ->
+        let compiled = compile_view ?metrics t ~view_name ~stylesheet in
+        serve_cached t options ~metrics ~view:view_name
+          ~key:(transform_key view_name stylesheet)
+          ~deps:(transform_deps t view_name compiled)
+          (fun () -> transform_body ~options ?metrics t compiled))
+  in
+  { output; metrics }
+
+let run ?options t source ~stylesheet =
+  match source with
+  | View view_name -> transform ?options t ~view_name ~stylesheet
+  | Shredded docids -> transform_shredded_src ?options t ~docids ~stylesheet
+
+let transform_shredded ?options ?docids t ~stylesheet =
+  transform_shredded_src ?options t ~docids ~stylesheet
+
+(* ------------------------------------------------------------------ *)
+(* Explain                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let explain_stmt t stmt = Pipeline.explain (Rw.read t.rw (fun () -> stmt_compiled t stmt))
+
+let explain t ~view_name ~stylesheet = explain_stmt t (prepare t ~view_name ~stylesheet)
+
+let explain_analyze_stmt ?(options = default_run_options) ?metrics t stmt =
+  Rw.read t.rw (fun () ->
+      let compiled = stmt_compiled ?metrics t stmt in
+      Xdb_error.wrap ~stage:"exec" (fun () ->
+          if options.jobs > 1 && not options.interpreted then
+            use_pool t options.jobs (fun pool ->
+                match
+                  Pipeline.run_rewrite_parallel_analyzed ~streaming:options.streaming ~pool
+                    t.db compiled
+                with
+                | _, Some stats ->
+                    (* per-domain collectors merged by operator id: actual row
+                       counts match a sequential analyzed run *)
+                    let plan = Option.get compiled.Pipeline.sql_plan in
+                    Xdb_rel.Optimizer.explain_analyze t.db plan stats
+                | _, None -> Pipeline.explain_analyze ~interpreted:false t.db compiled)
+          else Pipeline.explain_analyze ~interpreted:options.interpreted t.db compiled))
+
+let explain_analyze ?options ?metrics t ~view_name ~stylesheet =
+  explain_analyze_stmt ?options ?metrics t (prepare ?metrics t ~view_name ~stylesheet)
+
+(* ------------------------------------------------------------------ *)
+(* The SQL front door                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let locked_sql t f =
+  Mutex.lock t.sql_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.sql_lock) f
+
+let sql_ctx t : Sql_front.ctx =
+  {
+    Sql_front.db = t.db;
+    find_xml_view =
+      (fun name ->
+        match Registry.find_view_opt t.registry name with
+        | Some v -> Some v
+        | None ->
+            let lname = String.lowercase_ascii name in
+            List.find_opt
+              (fun (n, _) -> String.lowercase_ascii n = lname)
+              (Registry.views t.registry)
+            |> Option.map snd);
+    find_xslt_view =
+      (fun name ->
+        let lname = String.lowercase_ascii name in
+        locked_sql t (fun () ->
+            List.find_opt
+              (fun (xv : Sql_front.xslt_view) ->
+                String.lowercase_ascii xv.Sql_front.xv_name = lname)
+              t.xslt_views));
+    register_xslt_view =
+      (fun xv ->
+        locked_sql t (fun () ->
+            t.xslt_views <-
+              xv
+              :: List.filter
+                   (fun (old : Sql_front.xslt_view) ->
+                     String.lowercase_ascii old.Sql_front.xv_name
+                     <> String.lowercase_ascii xv.Sql_front.xv_name)
+                   t.xslt_views));
+    compile =
+      (fun view stylesheet ->
+        Registry.compile ~options:t.options t.registry ~view_name:view.P.view_name
+          ~stylesheet);
+  }
+
+(* after a DML write to one of the shred store's node tables, its
+   reconstruction/meta caches describe rows that may no longer exist *)
+let invalidate_shred_after_dml t stmt =
+  match Xdb_sql.Engine.dml_target stmt with
+  | None -> ()
+  | Some table -> (
+      Mutex.lock t.shred_lock;
+      let shred = t.shred in
+      Mutex.unlock t.shred_lock;
+      match shred with
+      | Some s when List.mem table (Xdb_rel.Shred.tables s) ->
+          Xdb_rel.Shred.invalidate_caches s
+      | _ -> ())
+
+let execute t text =
+  let stmt =
+    Xdb_error.wrap ~stage:"parse" (fun () -> Xdb_sql.Parser.parse text)
+  in
+  let run_it () =
+    Xdb_error.wrap ~stage:"exec" (fun () -> Sql_front.run (sql_ctx t) stmt)
+  in
+  match stmt with
+  | Xdb_sql.Ast.Select _ -> Rw.read t.rw run_it
+  | Xdb_sql.Ast.Analyze _ | Xdb_sql.Ast.Create_view _ -> Rw.write t.rw run_it
+  | Xdb_sql.Ast.Insert _ | Xdb_sql.Ast.Update _ | Xdb_sql.Ast.Delete _ ->
+      Rw.write t.rw (fun () ->
+          let r = run_it () in
+          invalidate_shred_after_dml t stmt;
+          r)
 
 let registry_counters t = Registry.counters t.registry
+let result_cache_counters t = Result_cache.counters t.rc
+let result_cache_size t = Result_cache.size t.rc

@@ -1,25 +1,40 @@
 (** [Xdb.Engine] — the single front door for database-backed XSLT
     processing.
 
-    Wraps the {!Pipeline} entry points, the {!Registry} plan cache and
-    the {!Parallel} domain pool behind three verbs — {!create},
-    {!prepare}, {!transform} — with one {!run_options} record replacing
-    the [?metrics]/[?streaming]/[?interpreted] optional-label sprawl the
-    lower layers accreted.  All errors cross this boundary as
-    {!Xdb_error.Error}; library internals keep their own exceptions.
+    Wraps the {!Pipeline} entry points, the {!Registry} plan cache, the
+    {!Result_cache} and the {!Parallel} domain pool behind a small verb
+    set — {!create}, {!prepare}, {!run}, {!execute} — with one
+    {!run_options} record replacing the [?metrics]/[?streaming]/
+    [?indent]/[?docids] optional-label sprawl the lower layers accreted.
+    All errors cross this boundary as {!Xdb_error.Error}; library
+    internals keep their own exceptions.
 
-    One engine owns one registry and at most one domain pool (created on
-    first use of [jobs > 1], resized when [jobs] changes, joined by
-    {!shutdown}).
+    One engine owns one registry, one result cache, the SQL statement
+    surface (including XSLT views created by [CREATE VIEW]) and at most
+    one domain pool (created on first use of [jobs > 1], resized when
+    [jobs] changes, joined by {!shutdown}).
+
+    {2 Reads, writes and the result cache}
+
+    {!execute} accepts any SQL statement, including INSERT/UPDATE/DELETE.
+    Internally the engine holds a reader/writer lock: reads
+    ({!transform}, {!publish}, selects, shredded queries) share it,
+    writes (DML, ANALYZE, CREATE VIEW, {!register_view},
+    {!store_shredded}) are exclusive.  Every DML write bumps the target
+    table's {!Xdb_rel.Database.data_version}; cached transform/publish
+    results record the versions of every table their plan read and are
+    served only while all of them still match — so a write is always
+    visible to the next read, cached or not, and repeated reads on
+    unchanged data cost a hash lookup instead of a plan execution.
+    Statistics go stale on write (reported by ANALYZE-aware tooling) but
+    plans stay valid: costs are merely dated until the next ANALYZE.
 
     Thread safety: one engine may be shared by concurrent callers
-    (threads or domains) — the registry and metrics collectors are
-    internally locked, and the domain pool is checked out under a lock
-    held for the whole parallel phase, so concurrent [jobs > 1] runs
-    serialize on the pool (and a run racing a [jobs] resize can never
-    have its pool shut down underneath it) while [jobs = 1] runs proceed
-    independently.  {!Server} builds session multiplexing and admission
-    control on top of this guarantee. *)
+    (threads or domains) — registry, result cache and metrics are
+    internally locked, the domain pool is checked out under a lock held
+    for the whole parallel phase, and the reader/writer lock serializes
+    DML against in-flight reads.  {!Server} builds session multiplexing
+    and admission control on top of this guarantee. *)
 
 type t
 
@@ -31,56 +46,118 @@ type t
     fresh {!Metrics.t} to the run, returned in {!run_result};
     [interpreted] (default false) selects the reference paths: the
     functional VM evaluation for {!transform}, the interpreted assoc-row
-    executor for {!explain_analyze}. *)
+    executor for {!explain_analyze}; [result_cache] (default true)
+    serves/stores data-versioned cached output — disable it to force
+    recomputation (the rwbench byte-identity check runs both ways);
+    [indent] (default false) pretty-prints {!publish} output (transforms
+    ignore it: stylesheet output is never reindented). *)
 type run_options = {
   streaming : bool;
   jobs : int;
   collect_metrics : bool;
   interpreted : bool;
+  result_cache : bool;
+  indent : bool;
 }
 
 val default_run_options : run_options
 (** [{ streaming = true; jobs = 1; collect_metrics = false;
-      interpreted = false }] *)
+      interpreted = false; result_cache = true; indent = false }] *)
 
 type run_result = {
   output : string list;  (** one serialized result per base-table row *)
-  metrics : Metrics.t option;  (** present iff [collect_metrics] *)
+  metrics : Metrics.t option;
+      (** present iff [collect_metrics]; its [result_cache_hit] counter
+          is 1 when the output was served from the result cache *)
 }
 
-val create : ?capacity:int -> ?options:Options.t -> Xdb_rel.Database.t -> t
+(** What a transform reads: a registered XMLType view's published
+    documents, or interval-shredded stored documents ([Shredded None] =
+    all of them).  Collapses the former [transform]/[transform_shredded]
+    + [?docids] split into one {!run} verb. *)
+type source = View of string | Shredded of int list option
+
+val create :
+  ?capacity:int -> ?result_capacity:int -> ?options:Options.t -> Xdb_rel.Database.t -> t
 (** An engine over a loaded database.  [capacity] bounds the compiled
-    plan cache ({!Registry.create}); [options] are the translation
+    plan cache ({!Registry.create}); [result_capacity] bounds the result
+    cache ({!Result_cache.create}); [options] are the translation
     options applied to every compile. *)
 
 val database : t -> Xdb_rel.Database.t
 
 val register_view : t -> Xdb_rel.Publish.view -> unit
 (** (Re)register an XMLType view; re-registering a name models schema
-    evolution and invalidates cached plans for it. *)
+    evolution and invalidates cached plans {e and} cached results for
+    it.  Takes the writer side of the engine lock. *)
 
-val prepare :
-  ?metrics:Metrics.t -> t -> view_name:string -> stylesheet:string -> Pipeline.compiled
-(** Cached compilation of [stylesheet] against the view's structural
-    information (fingerprinted, auto-recompiled on evolution/ANALYZE).
-    [metrics] records per-stage compile timings, including the
-    optimiser's [opt_unnest]/[opt_isolate]/[opt_order]/[opt_rewrite]
-    passes — only when the plan cache misses; a hit records nothing.
+(** {1 Statements}
+
+    {!execute} runs any SQL statement — base-table selects,
+    [SELECT XMLTransform(…)] over views, [XMLQuery], [CREATE VIEW … AS
+    SELECT XMLTransform(…)] (an XSLT view, engine-wide), ANALYZE, and
+    INSERT/UPDATE/DELETE with index maintenance and data versioning. *)
+
+val execute : t -> string -> Xdb_sql.Engine.result
+(** Parse and run one SQL statement, taking the matching side of the
+    engine's reader/writer lock.  @raise Xdb_error.Error ([Parse] for
+    syntax, [Sql] for validation/execution failures). *)
+
+(** {1 Prepared statements}
+
+    A {!stmt} pins a (view, stylesheet) pair with its compiled form.
+    Re-running one skips all registry work while nothing changed: the
+    hot path is two integer version compares (catalog statistics,
+    view registrations); only when one moved does the statement
+    recompile through the {!Registry} (which still serves its cache if
+    the statement's own view is unaffected). *)
+
+type stmt
+
+val prepare : ?metrics:Metrics.t -> t -> view_name:string -> stylesheet:string -> stmt
+(** Compile [stylesheet] against the view's structural information
+    (fingerprinted, auto-recompiled on evolution/ANALYZE) and pin the
+    result.  [metrics] records per-stage compile timings — only when
+    the plan cache misses; a hit records nothing.
     @raise Xdb_error.Error on parse/translation/registry failures. *)
 
-val transform :
-  ?options:run_options -> t -> view_name:string -> stylesheet:string -> run_result
-(** Prepare and evaluate: the SQL/XML rewrite path (with dynamic-XQuery
-    fallback) by default, the functional VM path when [interpreted].
+val stmt_view : stmt -> string
+(** The view the statement was prepared against. *)
+
+val transform_stmt : ?options:run_options -> t -> stmt -> run_result
+(** Evaluate a prepared statement: the SQL/XML rewrite path (with
+    dynamic-XQuery fallback) by default, the functional VM path when
+    [interpreted], served from the result cache when possible.
     [jobs > 1] partitions the base table across domains; output is
     byte-identical to the sequential run.
     @raise Xdb_error.Error on any pipeline failure. *)
 
-val publish :
-  ?options:run_options -> ?indent:bool -> t -> view_name:string -> run_result
+val explain_stmt : t -> stmt -> string
+(** {!Pipeline.explain} of the (revalidated) compilation. *)
+
+val explain_analyze_stmt : ?options:run_options -> ?metrics:Metrics.t -> t -> stmt -> string
+(** Instrumented execution of a prepared statement (see
+    {!explain_analyze}). *)
+
+(** {1 Transforms} *)
+
+val run : ?options:run_options -> t -> source -> stylesheet:string -> run_result
+(** Transform a {!source} with [stylesheet] — the unified verb.
+    [View v] prepares (through the plan cache) and evaluates;
+    [Shredded ids] runs the shredded XSLTVM over stored documents.
+    Cached results are served when [result_cache] and the dependency
+    tables' data versions still match.
+    @raise Xdb_error.Error on any pipeline failure. *)
+
+val transform :
+  ?options:run_options -> t -> view_name:string -> stylesheet:string -> run_result
+(** [run t (View view_name) ~stylesheet]. *)
+
+val publish : ?options:run_options -> t -> view_name:string -> run_result
 (** Materialise the view's documents (one string per base row):
     streamed serialization when [streaming], DOM-then-serialize
-    otherwise; [jobs > 1] partitions the base rows across domains.
+    otherwise; [jobs > 1] partitions the base rows across domains;
+    [indent] pretty-prints.  Cached per (view, indent) like transforms.
     @raise Xdb_error.Error on publish/serialize failures. *)
 
 (** {1 Shredded document storage}
@@ -93,28 +170,27 @@ val publish :
     first use. *)
 
 val shred_store : t -> Xdb_rel.Shred.t
-(** The engine's shred store (created on first call).
-    @raise Xdb_error.Error when the node table cannot be created. *)
+(** The engine's shred store (created on first call, taking the writer
+    side).  @raise Xdb_error.Error when the node table cannot be
+    created. *)
 
 val store_shredded : t -> Xdb_xml.Types.node -> int
 (** Decompose a document into interval-encoded node rows; returns its
-    docid.  @raise Xdb_error.Error on capacity overflow. *)
+    docid.  Takes the writer side and bumps the node tables' data
+    versions, so cached shredded transforms notice the new document.
+    @raise Xdb_error.Error on capacity overflow. *)
 
 val transform_shredded :
   ?options:run_options -> ?docids:int list -> t -> stylesheet:string -> run_result
-(** Run a stylesheet over stored documents (all of them unless [docids]
-    narrows the set) through the shredded XSLTVM: template matching and
-    select iteration execute as set-at-a-time scans over the node rows,
-    with no document reconstruction on that path.  Documents whose
-    evaluation leaves the relational subset fall back per document to
-    reconstruct + DOM VM ([shred_vm_fallback_docs] in metrics), so
-    output is always byte-identical to transforming the original
-    documents directly.  With [jobs > 1] the legacy reconstruct-then-VM
-    strategy runs domain-parallel across documents instead (the shred
-    store is not domain-safe).  [streaming]/[interpreted] do not apply
-    to this path; [collect_metrics] records the [shred_vm] stage plus
-    the [shred_batch_steps]/[shred_rel_steps]/[shred_dom_fallbacks]
-    strategy counters.
+(** [run t (Shredded docids) ~stylesheet] — kept as a thin wrapper.
+    Template matching and select iteration execute as set-at-a-time
+    scans over the node rows, with no document reconstruction on that
+    path; documents whose evaluation leaves the relational subset fall
+    back per document to reconstruct + DOM VM ([shred_vm_fallback_docs]
+    in metrics), so output is always byte-identical to transforming the
+    original documents directly.  With [jobs > 1] the legacy
+    reconstruct-then-VM strategy runs domain-parallel across documents
+    instead (the shred store is not domain-safe).
     @raise Xdb_error.Error on compile or execution failures. *)
 
 val query_shredded : t -> docid:int -> string -> string list
@@ -122,6 +198,8 @@ val query_shredded : t -> docid:int -> string -> string list
     axis range scans (DOM-interpreter fallback outside the supported
     subset — identical answers either way) and serialize each result
     node.  @raise Xdb_error.Error on parse/evaluation failures. *)
+
+(** {1 Inspection} *)
 
 val explain : t -> view_name:string -> stylesheet:string -> string
 (** {!Pipeline.explain} of the prepared compilation.
@@ -140,6 +218,13 @@ val explain_analyze :
 
 val registry_counters : t -> (string * int) list
 (** The plan cache's observability counters ({!Registry.counters}). *)
+
+val result_cache_counters : t -> (string * int) list
+(** The result cache's observability counters
+    ({!Result_cache.counters}). *)
+
+val result_cache_size : t -> int
+(** Current result-cache entry count. *)
 
 val shutdown : t -> unit
 (** Join the engine's domain pool, if one was created.  Idempotent; the

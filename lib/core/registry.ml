@@ -39,6 +39,10 @@ type t = {
   cache : (string * string, entry) Hashtbl.t;  (** (view name, stylesheet) *)
   capacity : int;  (** max cached entries before LRU eviction *)
   mutable tick : int;  (** monotonic use counter *)
+  views_version : int Atomic.t;
+      (** bumped by every {!register_view} — prepared statements compare
+          it (with the stats version) to skip registry lookups on hot
+          paths, falling back to {!compile} only when it moved *)
   recompilations : int Atomic.t;  (** observability for tests/benches *)
   cache_hits : int Atomic.t;  (** fresh cache entry served *)
   cache_misses : int Atomic.t;  (** no cache entry — first compile *)
@@ -58,6 +62,7 @@ let create ?(capacity = default_capacity) db =
     cache = Hashtbl.create 8;
     capacity = max 1 capacity;
     tick = 0;
+    views_version = Atomic.make 0;
     recompilations = Atomic.make 0;
     cache_hits = Atomic.make 0;
     cache_misses = Atomic.make 0;
@@ -108,10 +113,17 @@ let fingerprint_of t view =
     the same name (schema evolution). *)
 let register_view t (view : P.view) =
   locked t (fun () ->
-      t.views <- (view.P.view_name, view) :: List.remove_assoc view.P.view_name t.views)
+      t.views <- (view.P.view_name, view) :: List.remove_assoc view.P.view_name t.views);
+  Atomic.incr t.views_version
+
+let views_version t = Atomic.get t.views_version
+
+let find_view_opt t name = locked t (fun () -> List.assoc_opt name t.views)
+
+let views t = locked t (fun () -> t.views)
 
 let find_view t name =
-  match locked t (fun () -> List.assoc_opt name t.views) with
+  match find_view_opt t name with
   | Some v -> v
   | None -> raise (Registry_error (Printf.sprintf "unknown view %S" name))
 

@@ -27,6 +27,16 @@ val find_view : t -> string -> Xdb_rel.Publish.view
 (** The registered view of that name.
     @raise Registry_error when absent. *)
 
+val find_view_opt : t -> string -> Xdb_rel.Publish.view option
+
+val views : t -> (string * Xdb_rel.Publish.view) list
+(** All registered views, newest first. *)
+
+val views_version : t -> int
+(** Monotonic counter bumped by every {!register_view} — prepared
+    statements compare it (with the catalog's stats version) to skip
+    registry work entirely while nothing changed. *)
+
 val compile :
   ?options:Options.t ->
   ?metrics:Metrics.t ->

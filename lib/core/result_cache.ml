@@ -1,0 +1,113 @@
+(* Data-versioned transform/publish result cache.  See result_cache.mli. *)
+
+type entry = {
+  view : string;  (** owning view name — schema-evolution invalidation handle *)
+  output : string list;
+  deps : (string * int) list;  (** (table, data version when stored) *)
+  mutable last_used : int;  (** recency tick for LRU eviction *)
+}
+
+type t = {
+  db : Xdb_rel.Database.t;
+  lock : Mutex.t;  (** guards [cache], [tick] and entry recency *)
+  cache : (string, entry) Hashtbl.t;
+  capacity : int;
+  mutable tick : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  invalidations : int Atomic.t;
+  evictions : int Atomic.t;
+}
+
+let default_capacity = 256
+
+let create ?(capacity = default_capacity) db =
+  {
+    db;
+    lock = Mutex.create ();
+    cache = Hashtbl.create 32;
+    capacity = max 1 capacity;
+    tick = 0;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    invalidations = Atomic.make 0;
+    evictions = Atomic.make 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* callers hold t.lock *)
+let touch t entry =
+  t.tick <- t.tick + 1;
+  entry.last_used <- t.tick
+
+(* drop least-recently-used entries until within capacity; holds t.lock *)
+let evict_over_capacity t =
+  while Hashtbl.length t.cache > t.capacity do
+    let victim =
+      Hashtbl.fold
+        (fun key e acc ->
+          match acc with
+          | Some (_, best) when best.last_used <= e.last_used -> acc
+          | _ -> Some (key, e))
+        t.cache None
+    in
+    match victim with
+    | None -> assert false (* non-empty: length > capacity >= 1 *)
+    | Some (key, _) ->
+        Hashtbl.remove t.cache key;
+        Atomic.incr t.evictions
+  done
+
+let fresh t entry =
+  List.for_all (fun (tbl, v) -> Xdb_rel.Database.data_version t.db tbl = v) entry.deps
+
+let find t ~key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.cache key with
+      | Some entry when fresh t entry ->
+          touch t entry;
+          Atomic.incr t.hits;
+          Some entry.output
+      | Some _ ->
+          (* some dependency table was written since this was stored *)
+          Hashtbl.remove t.cache key;
+          Atomic.incr t.invalidations;
+          Atomic.incr t.misses;
+          None
+      | None ->
+          Atomic.incr t.misses;
+          None)
+
+let store t ~view ~key ~deps output =
+  let deps =
+    List.map (fun tbl -> (tbl, Xdb_rel.Database.data_version t.db tbl)) deps
+  in
+  locked t (fun () ->
+      let entry = { view; output; deps; last_used = 0 } in
+      touch t entry;
+      Hashtbl.replace t.cache key entry;
+      evict_over_capacity t)
+
+let invalidate_view t name =
+  locked t (fun () ->
+      let victims =
+        Hashtbl.fold (fun key e acc -> if e.view = name then key :: acc else acc) t.cache []
+      in
+      List.iter
+        (fun key ->
+          Hashtbl.remove t.cache key;
+          Atomic.incr t.invalidations)
+        victims)
+
+let size t = locked t (fun () -> Hashtbl.length t.cache)
+
+let counters t =
+  [
+    ("result_cache_hits", Atomic.get t.hits);
+    ("result_cache_misses", Atomic.get t.misses);
+    ("result_cache_invalidations", Atomic.get t.invalidations);
+    ("result_cache_evictions", Atomic.get t.evictions);
+  ]

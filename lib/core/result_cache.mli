@@ -1,0 +1,61 @@
+(** Data-versioned cache of serialized transform/publish output — the
+    read-path payoff of DML: on unchanged data a repeated request is a
+    hash lookup plus a handful of per-table version compares, O(1) in
+    the data size, instead of a plan execution.
+
+    Each entry records the {!Xdb_rel.Database.data_version} of every
+    table its plan read when the output was computed.  {!find} serves
+    the entry only while all of those versions still match — a DML
+    write to any dependency table bumps its version and the next lookup
+    drops the entry (counted as an invalidation), forcing a recompute.
+    That makes staleness impossible by construction: cached bytes and
+    recomputed bytes can only differ if a dependency table was missed,
+    which the rwbench byte-identity gate and the qcheck interleaving
+    property both watch for.
+
+    Entries also carry their owning view name so that re-registering a
+    view (schema evolution — new spec, same table data) can invalidate
+    through {!invalidate_view}, mirroring how {!Registry} fingerprints
+    compiled plans.
+
+    Like {!Registry}, the cache is LRU-bounded: each entry carries a
+    last-use tick and the least recently used entry is evicted past
+    [capacity] (counted in [result_cache_evictions]).
+
+    Thread safety: one mutex guards the table and recency state, so
+    concurrent server sessions share one cache safely.  Counters are
+    atomics.  Version capture is only consistent because the engine
+    serializes DML against reads (writer lock): within a read no
+    dependency version can move between compute and {!store}. *)
+
+type t
+
+val create : ?capacity:int -> Xdb_rel.Database.t -> t
+(** A cache over [db]'s data versions.  [capacity] (default 256) bounds
+    the entry count before LRU eviction. *)
+
+val find : t -> key:string -> string list option
+(** Serve the cached output under [key] iff every dependency table's
+    data version still matches the stored snapshot.  A version mismatch
+    removes the entry and counts an invalidation (and a miss). *)
+
+val store : t -> view:string -> key:string -> deps:string list -> string list -> unit
+(** Store [output] under [key], snapshotting the current data version
+    of every table in [deps].  [view] names the owning view for
+    {!invalidate_view} ([""] for sources without one, e.g. shredded
+    transforms). *)
+
+val invalidate_view : t -> string -> unit
+(** Drop every entry owned by the named view — called when the view is
+    re-registered (schema evolution changes output without touching
+    table data, which data versions cannot see). *)
+
+val size : t -> int
+(** Current entry count. *)
+
+val counters : t -> (string * int) list
+(** Monotonic observability counters, stable order:
+    [result_cache_hits] / [result_cache_misses] /
+    [result_cache_invalidations] / [result_cache_evictions]
+    (invalidated lookups count as both an invalidation and a miss, so
+    [hits + misses] is the total lookup count). *)

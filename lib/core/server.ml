@@ -236,9 +236,20 @@ let transform ?options sess ~view_name ~stylesheet =
   let options = effective_options ?options sess in
   submit sess (fun eng -> Engine.transform ~options eng ~view_name ~stylesheet)
 
-let publish ?options ?indent sess ~view_name =
+let publish ?options sess ~view_name =
   let options = effective_options ?options sess in
-  submit sess (fun eng -> Engine.publish ~options ?indent eng ~view_name)
+  submit sess (fun eng -> Engine.publish ~options eng ~view_name)
+
+let execute sess text = submit sess (fun eng -> Engine.execute eng text)
+
+(* pinned statements: prepared once (under admission control, since
+   compilation shares the registry), reusable across requests *)
+let prepare sess ~view_name ~stylesheet =
+  submit sess (fun eng -> Engine.prepare eng ~view_name ~stylesheet)
+
+let transform_stmt ?options sess stmt =
+  let options = effective_options ?options sess in
+  submit sess (fun eng -> Engine.transform_stmt ~options eng stmt)
 
 let explain sess ~view_name ~stylesheet =
   submit sess (fun eng -> Engine.explain eng ~view_name ~stylesheet)
@@ -363,6 +374,11 @@ let metrics t =
         ];
       bucketize m "queue_wait" side.queue_wait.samples;
       bucketize m "service" side.service.samples;
+      (* the shared engine's result cache, so one scrape sees both the
+         admission picture and the cache hit rate behind it *)
+      List.iter
+        (fun (name, v) -> Metrics.set_counter m name v)
+        (Engine.result_cache_counters t.eng);
       List.iter
         (fun (prefix, l) ->
           let s = summarize l in

@@ -82,9 +82,24 @@ val transform :
     effective options. *)
 
 val publish :
-  ?options:Engine.run_options -> ?indent:bool -> session -> view_name:string ->
-  Engine.run_result
-(** {!Engine.publish} under admission control. *)
+  ?options:Engine.run_options -> session -> view_name:string -> Engine.run_result
+(** {!Engine.publish} under admission control ([options.indent]
+    pretty-prints). *)
+
+val execute : session -> string -> Xdb_sql.Engine.result
+(** {!Engine.execute} under admission control: any SQL statement,
+    including DML — the engine's reader/writer lock serializes writes
+    against concurrent reads, the server only decides admission. *)
+
+val prepare : session -> view_name:string -> stylesheet:string -> Engine.stmt
+(** {!Engine.prepare} under admission control (compilation shares the
+    registry).  The returned statement is engine-wide: it may be pinned
+    by the client and re-run across requests and sessions. *)
+
+val transform_stmt :
+  ?options:Engine.run_options -> session -> Engine.stmt -> Engine.run_result
+(** {!Engine.transform_stmt} under admission control, with the session's
+    effective options. *)
 
 val explain : session -> view_name:string -> stylesheet:string -> string
 (** {!Engine.explain} under admission control (compilation shares the
@@ -128,8 +143,10 @@ val session_snapshot : session -> snapshot
 val metrics : t -> Metrics.t
 (** A fresh collector holding the server-wide counters, queue-wait and
     service-time histogram buckets ([…_le_<bound>ms] / […_gt_1000ms]),
-    percentile stages, and per-session [session.<name>.<counter>]
-    counters — renderable with {!Metrics.to_json}. *)
+    percentile stages, the shared engine's result-cache counters
+    ([result_cache_hits]/[…_misses]/[…_invalidations]/[…_evictions]),
+    and per-session [session.<name>.<counter>] counters — renderable
+    with {!Metrics.to_json}. *)
 
 val metrics_json : t -> string
 (** [Metrics.to_json (metrics t)]. *)

@@ -1,0 +1,43 @@
+(** SQL/XML statement routing over the core pipeline.
+
+    This is the half of the SQL surface that needs XMLType views, XSLT
+    views and compiled transforms — [SELECT XMLTransform(…)],
+    [XMLQuery(… PASSING …)], selects over XSLT views (paper Example 2
+    with the combined XSLT+XQuery optimisation), and [CREATE VIEW … AS
+    SELECT XMLTransform(…)].  Plain-relational statements (base-table
+    SELECTs, ANALYZE, INSERT/UPDATE/DELETE) are delegated down to
+    [Xdb_sql.Engine].
+
+    The module is capability-passing: {!run} receives a {!ctx} record
+    supplying view lookup, XSLT-view registration and stylesheet
+    compilation, so the statement router carries no state of its own.
+    {!Engine.execute} builds the ctx over its registry — compiles go
+    through the plan cache and XSLT views are engine-wide, shared by
+    every server session. *)
+
+type xslt_view = {
+  xv_name : string;
+  xv_column : string;  (** name of the transformed output column *)
+  xv_compiled : Pipeline.compiled;
+}
+(** An XSLT view created by [CREATE VIEW … AS SELECT XMLTransform(…)]:
+    the compiled transform is kept so outer queries can compose over its
+    constructor tree statically (paper Table 11). *)
+
+type ctx = {
+  db : Xdb_rel.Database.t;
+  find_xml_view : string -> Xdb_rel.Publish.view option;
+      (** case-insensitive lookup of a registered XMLType publishing view *)
+  find_xslt_view : string -> xslt_view option;
+  register_xslt_view : xslt_view -> unit;
+  compile : Xdb_rel.Publish.view -> string -> Pipeline.compiled;
+      (** stylesheet compilation — pass the registry's cached compile so
+          repeated statements share plans *)
+}
+
+val run : ctx -> Xdb_sql.Ast.statement -> Xdb_sql.Engine.result
+(** Route one parsed statement.  Select routing order: XSLT view, then
+    XMLType view, then base table.
+    @raise Xdb_sql.Engine.Sql_error on unknown names or unsupported
+    statement shapes (wrapped into [Xdb_error.Sql] at the engine
+    boundary). *)

@@ -6,6 +6,7 @@ type t =
   | Publish of string
   | Serialize of string
   | Exec of string
+  | Sql of string
   | Overloaded of string
 
 exception Error of t
@@ -16,6 +17,7 @@ let to_string = function
   | Publish m -> "publish error: " ^ m
   | Serialize m -> "serialize error: " ^ m
   | Exec m -> "execution error: " ^ m
+  | Sql m -> "SQL error: " ^ m
   | Overloaded m -> "overloaded: " ^ m
 
 (* map each library exception to its stage; the internals keep raising
@@ -25,6 +27,8 @@ let of_exn = function
       Some (Parse { what = "XML"; message = Printf.sprintf "line %d, col %d: %s" line col message })
   | Xdb_xslt.Parser.Stylesheet_error m -> Some (Parse { what = "XSLT"; message = m })
   | Xdb_xquery.Parser.Parse_error m -> Some (Parse { what = "XQuery"; message = m })
+  | Xdb_sql.Parser.Parse_error m -> Some (Parse { what = "SQL"; message = m })
+  | Xdb_sql.Engine.Sql_error m -> Some (Sql m)
   | Xdb_xpath.Parser.Parse_error m | Xdb_xpath.Lexer.Lex_error m ->
       Some (Parse { what = "XPath"; message = m })
   | Xdb_xslt.Compile.Compile_error m -> Some (Compile m)

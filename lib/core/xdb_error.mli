@@ -20,6 +20,10 @@ type t =
   | Exec of string
       (** plan or query execution: executor, XQuery/XPath evaluation,
           XSLT VM, catalog lookups *)
+  | Sql of string
+      (** SQL statement validation/execution ([Xdb_sql.Engine.Sql_error]
+          folded across the facade): unknown tables or columns, DML type
+          mismatches, unsupported select shapes *)
   | Overloaded of string
       (** admission control rejected the request: the server's in-flight
           limit is reached and the wait queue is full (or the server is

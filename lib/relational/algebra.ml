@@ -242,6 +242,53 @@ let subplans_of_agg = function
   | Count e | Sum e | Min e | Max e | Avg e | String_agg (e, _) -> subplans_of_expr e
   | Count_star -> []
 
+(** Base tables a plan reads — scans of the plan tree and of every
+    correlated subplan, deduplicated in first-visit order.  The result
+    cache records the data versions of exactly these tables against a
+    cached transform result, so a write to any of them invalidates it. *)
+let tables_of plan =
+  let acc = ref [] in
+  let add t = if not (List.mem t !acc) then acc := t :: !acc in
+  let rec go_expr e = List.iter go (subplans_of_expr e)
+  and go_bound = function Unbounded -> () | Incl e | Excl e -> go_expr e
+  and go_fields fs = List.iter (fun (e, _) -> go_expr e) fs
+  and go = function
+    | Seq_scan { table; _ } -> add table
+    | Index_scan { table; lo; hi; _ } ->
+        add table;
+        go_bound lo;
+        go_bound hi
+    | Filter (e, p) ->
+        go_expr e;
+        go p
+    | Project (fs, p) ->
+        go_fields fs;
+        go p
+    | Nested_loop { outer; inner; join_cond } ->
+        go outer;
+        go inner;
+        Option.iter go_expr join_cond
+    | Hash_join { outer; inner; keys; _ } ->
+        go outer;
+        go inner;
+        List.iter
+          (fun (a, b) ->
+            go_expr a;
+            go_expr b)
+          keys
+    | Aggregate { group_by; aggs; input } ->
+        go_fields group_by;
+        List.iter (fun (a, _) -> List.iter go (subplans_of_agg a)) aggs;
+        go input
+    | Sort (keys, p) ->
+        List.iter (fun (e, _) -> go_expr e) keys;
+        go p
+    | Limit (_, p) -> go p
+    | Values _ -> ()
+  in
+  go plan;
+  List.rev !acc
+
 (** Tree-shaped EXPLAIN output, descending into correlated subqueries.
     [annot] supplies a per-node suffix (cardinality estimates, runtime
     stats); it is appended to the operator's own line between parens. *)

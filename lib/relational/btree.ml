@@ -94,6 +94,45 @@ let insert t k row =
   | No_split -> ()
   | Split (sep, right) -> t.root <- Internal { keys = [| sep |]; kids = [| t.root; right |] }
 
+let array_remove a i =
+  let n = Array.length a in
+  Array.init (n - 1) (fun j -> if j < i then a.(j) else a.(j + 1))
+
+(* drop one occurrence of [rid] from the list, preserving order *)
+let rec list_remove_one rid = function
+  | [] -> []
+  | r :: rest -> if r = rid then rest else r :: list_remove_one rid rest
+
+(** [remove t k rid] — delete one [(k, rid)] entry; [true] iff it was
+    present.  A key whose rid list empties is dropped from its leaf, but
+    nodes are never rebalanced or merged: UPDATE/DELETE volumes are tiny
+    next to the bulk-loaded tree, so an underfull (even empty) leaf is
+    harmless — every traversal tolerates it — and DELETE-heavy paths
+    rebuild their indexes wholesale ({!Table.delete}).  Mutation, like
+    {!insert}, requires exclusive access (the engine's writer side). *)
+let remove t k rid =
+  let rec go n =
+    match n with
+    | Leaf l ->
+        let i = lower_bound l.keys k in
+        if i < Array.length l.keys && cmp l.keys.(i) k = 0 && List.mem rid l.rows.(i)
+        then (
+          (match list_remove_one rid l.rows.(i) with
+          | [] ->
+              l.keys <- array_remove l.keys i;
+              l.rows <- array_remove l.rows i
+          | rows -> l.rows.(i) <- rows);
+          true)
+        else false
+    | Internal n ->
+        let i = lower_bound n.keys k in
+        let i = if i < Array.length n.keys && cmp n.keys.(i) k <= 0 then i + 1 else i in
+        go n.kids.(i)
+  in
+  let removed = go t.root in
+  if removed then t.count <- t.count - 1;
+  removed
+
 (** [find t k] — row ids with key exactly [k], in insertion order. *)
 let find t k =
   Atomic.incr t.probes;

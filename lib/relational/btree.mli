@@ -4,8 +4,9 @@
     lookups and inclusive/exclusive range scans are the access paths the
     optimiser uses for sargable predicates (paper §2.1).
 
-    Concurrency: the tree mutates only while a table is being loaded
-    ({!insert}); once loaded it is immutable and safe to probe from many
+    Concurrency: the tree mutates through {!insert}/{!remove} only under
+    exclusive access — at load time, or behind the engine's writer lock
+    once DML is live; between writes it is safe to probe from many
     domains at once.  The {!probes}/{!node_visits} observability counters —
     the only state touched on the read path — are atomics, so concurrent
     probes never drop increments. *)
@@ -18,6 +19,14 @@ val create : unit -> t
 
 val insert : t -> key -> int -> unit
 (** [insert t key row_id] — O(log n); splits nodes as needed. *)
+
+val remove : t -> key -> int -> bool
+(** [remove t key row_id] — delete one [(key, row_id)] entry; [true] iff
+    it was present.  Keys whose rid list empties are dropped; nodes are
+    {e not} rebalanced (UPDATE volumes are tiny next to the loaded tree,
+    underfull leaves are tolerated by every traversal, and DELETE-heavy
+    paths rebuild indexes wholesale).  Like {!insert}, mutation requires
+    exclusive access — the engine serializes writers against readers. *)
 
 val find : t -> key -> int list
 (** Row ids stored under exactly [key], in insertion order. *)

@@ -2,17 +2,46 @@
 
     [stats_version] is a monotonically increasing stamp bumped every time
     statistics change; the plan registry keys compiled plans on it so a
-    re-ANALYZE invalidates stale plans (§7.3 spirit). *)
+    re-ANALYZE invalidates stale plans (§7.3 spirit).
+
+    [data_versions] is the DML mirror of that discipline: one monotonic
+    counter per table, bumped whenever a statement changes the table's
+    rows.  The result cache keys served transform output on the data
+    versions of every table a plan reads, so a write invalidates exactly
+    the cached results it can affect.  DML also marks the table's
+    statistics stale ([stats_stale]) without bumping [stats_version]:
+    plans stay valid (they re-execute against current rows, costs are
+    merely dated) until the next ANALYZE refreshes the stats. *)
 
 type t = {
   tables : (string, Table.t) Hashtbl.t;
   col_stats : (string, Colstats.table_stats) Hashtbl.t;
   mutable stats_version : int;
+  data_versions : (string, int) Hashtbl.t;  (** absent = 0 (never written) *)
+  stale_stats : (string, unit) Hashtbl.t;  (** tables written since their ANALYZE *)
 }
 
 exception Unknown_table of string
 
-let create () = { tables = Hashtbl.create 8; col_stats = Hashtbl.create 8; stats_version = 0 }
+let create () =
+  {
+    tables = Hashtbl.create 8;
+    col_stats = Hashtbl.create 8;
+    stats_version = 0;
+    data_versions = Hashtbl.create 8;
+    stale_stats = Hashtbl.create 8;
+  }
+
+let data_version db name =
+  match Hashtbl.find_opt db.data_versions name with Some v -> v | None -> 0
+
+let bump_data_version db name =
+  Hashtbl.replace db.data_versions name (data_version db name + 1);
+  (* collected statistics no longer describe the rows; plans keep their
+     cost-gated behavior until the next ANALYZE *)
+  if Hashtbl.mem db.col_stats name then Hashtbl.replace db.stale_stats name ()
+
+let stats_stale db name = Hashtbl.mem db.stale_stats name
 
 let create_table db name columns =
   let t = Table.create name columns in
@@ -20,8 +49,13 @@ let create_table db name columns =
   (* replacing a table invalidates any statistics collected for it *)
   if Hashtbl.mem db.col_stats name then begin
     Hashtbl.remove db.col_stats name;
+    Hashtbl.remove db.stale_stats name;
     db.stats_version <- db.stats_version + 1
   end;
+  (* a replaced table's rows changed wholesale: cached results over the
+     old contents must not be served *)
+  if Hashtbl.mem db.data_versions name then
+    Hashtbl.replace db.data_versions name (data_version db name + 1);
   t
 
 let table db name =
@@ -37,6 +71,7 @@ let stats_version db = db.stats_version
 
 let set_table_stats db name (ts : Colstats.table_stats) =
   db.stats_version <- db.stats_version + 1;
+  Hashtbl.remove db.stale_stats name;
   Hashtbl.replace db.col_stats name { ts with Colstats.version = db.stats_version }
 
 let table_stats db name = Hashtbl.find_opt db.col_stats name
@@ -49,5 +84,6 @@ let column_stats db name col =
 let clear_stats db =
   if Hashtbl.length db.col_stats > 0 then begin
     Hashtbl.reset db.col_stats;
+    Hashtbl.reset db.stale_stats;
     db.stats_version <- db.stats_version + 1
   end

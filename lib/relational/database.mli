@@ -1,11 +1,13 @@
-(** Table catalog, plus the column-statistics catalog filled by ANALYZE.
+(** Table catalog, plus the column-statistics catalog filled by ANALYZE
+    and the per-table data versions bumped by DML.
 
     Concurrency contract (audited for domain-parallel execution): the
     catalog Hashtbls mutate only through {!create_table} /
-    {!set_table_stats} — i.e. during load and ANALYZE, both of which run
-    on a single domain before any parallel transform starts.  After that
-    point the catalog, every {!Table.t} (rows, indexes) and every
-    {!Colstats.table_stats} record are immutable, so executor domains
+    {!set_table_stats} / {!bump_data_version} — i.e. during load, ANALYZE
+    and DML statements, all of which the engine runs on its writer side
+    (no transform executes concurrently with them).  Between writes the
+    catalog, every {!Table.t} (rows, indexes) and every
+    {!Colstats.table_stats} record are read-only, so executor domains
     read them without locks.  The one read-path exception, the B-tree
     probe counters, is handled inside {!Btree} with atomics. *)
 
@@ -17,7 +19,8 @@ val create : unit -> t
 
 val create_table : t -> string -> Table.column list -> Table.t
 (** Create (or replace) a table in the catalog; replacing drops any
-    statistics collected for the old table. *)
+    statistics collected for the old table and bumps the table's data
+    version (its rows changed wholesale). *)
 
 val table : t -> string -> Table.t
 (** @raise Unknown_table when absent. *)
@@ -31,9 +34,24 @@ val stats_version : t -> int
 (** Monotonic stamp bumped whenever statistics change; the plan registry
     keys compiled plans on it so re-ANALYZE invalidates stale plans. *)
 
+val data_version : t -> string -> int
+(** Monotonic per-table stamp, 0 until the table is first written.
+    Bumped by every effective DML statement (and by table replacement);
+    the result cache validates served transform output against the data
+    versions of every table the plan read. *)
+
+val bump_data_version : t -> string -> unit
+(** Record that [table]'s rows changed: bump its data version and mark
+    its statistics stale (without touching [stats_version] — plans keep
+    their cost-gated behavior until the next ANALYZE). *)
+
+val stats_stale : t -> string -> bool
+(** Has the table been written since its statistics were collected?
+    Cleared by {!set_table_stats} (ANALYZE). *)
+
 val set_table_stats : t -> string -> Colstats.table_stats -> unit
-(** Store statistics for a table, bumping [stats_version] and stamping it
-    into the record. *)
+(** Store statistics for a table, bumping [stats_version], stamping it
+    into the record and clearing the table's staleness mark. *)
 
 val table_stats : t -> string -> Colstats.table_stats option
 val column_stats : t -> string -> string -> Colstats.t option

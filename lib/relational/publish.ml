@@ -267,6 +267,32 @@ let scalar_column = function
       Some c
   | _ -> None
 
+(** Base tables a view's materialisation reads: the base table, every
+    [Agg] subquery table, and any table scanned by an algebra subplan
+    embedded in an attribute or [Text_expr] — deduplicated in spec
+    order.  These are the data-version dependencies of a cached publish
+    (and the floor of a cached transform's dependencies). *)
+let view_tables (v : view) =
+  let acc = ref [] in
+  let add t = if not (List.mem t !acc) then acc := t :: !acc in
+  let add_expr e =
+    List.iter (fun p -> List.iter add (Algebra.tables_of p)) (Algebra.subplans_of_expr e)
+  in
+  let rec go = function
+    | Elem { attrs; content; _ } ->
+        List.iter (fun (_, e) -> add_expr e) attrs;
+        List.iter go content
+    | Text_col _ | Text_const _ -> ()
+    | Text_expr e -> add_expr e
+    | Agg { table; where; body; _ } ->
+        add table;
+        Option.iter add_expr where;
+        go body
+  in
+  add v.base_table;
+  go v.spec;
+  List.rev !acc
+
 (* ------------------------------------------------------------------ *)
 (* Catalog of views                                                    *)
 (* ------------------------------------------------------------------ *)

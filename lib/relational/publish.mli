@@ -77,6 +77,11 @@ val navigate : spec -> string -> spec option
 val scalar_column : spec -> string option
 (** The column bound as the sole text content of an element, if any. *)
 
+val view_tables : view -> string list
+(** Base tables the view's materialisation reads (base table, [Agg]
+    subquery tables, tables of embedded algebra subplans), deduplicated —
+    the data-version dependencies of a cached publish result. *)
+
 (** Catalog of views alongside a database: *)
 
 type catalog

@@ -287,6 +287,42 @@ let node_of_slots a =
     uri = slot_str a 8; value = slot_str a 9;
   }
 
+(** Tables the store owns inside its database: DML against either one
+    goes through the engine's shred-invalidation hook. *)
+let tables t = [ t.tbl.Table.tbl_name; t.names_tbl.Table.tbl_name ]
+
+(** [invalidate_caches t] — resynchronise the in-memory working state
+    with the node table after direct DML against it: the reconstruction
+    and batch-row caches are dropped (they hold decoded copies of rows
+    that may have changed or moved), the docid directory is re-derived
+    from the document rows now present, and the name dictionary is
+    re-read from the names table.  Compiled step plans survive — they
+    depend on the table's shape, not its rows. *)
+let invalidate_caches t =
+  Hashtbl.reset t.rebuilt_cache;
+  Hashtbl.reset t.rows_cache;
+  Hashtbl.reset t.doc_meta;
+  Table.iter
+    (fun _ row ->
+      match row.(5) with
+      | Value.Str "doc" ->
+          let r = node_of_slots row in
+          Hashtbl.replace t.doc_meta r.docid r
+      | _ -> ())
+    t.tbl;
+  let maxdoc = Hashtbl.fold (fun k _ m -> max k m) t.doc_meta 0 in
+  t.next_docid <- max t.next_docid (maxdoc + 1);
+  Hashtbl.reset t.names;
+  t.next_nid <- 1;
+  Table.iter
+    (fun _ row ->
+      match (row.(0), row.(1)) with
+      | Value.Int nid, Value.Str name ->
+          Hashtbl.replace t.names name nid;
+          if nid >= t.next_nid then t.next_nid <- nid + 1
+      | _ -> ())
+    t.names_tbl
+
 (* ------------------------------------------------------------------ *)
 (* Reconstruction                                                      *)
 (* ------------------------------------------------------------------ *)

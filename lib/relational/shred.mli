@@ -74,6 +74,19 @@ val create : ?table:string -> Database.t -> t
 
 val table_name : t -> string
 
+val tables : t -> string list
+(** The tables the store owns in its database — the node table and the
+    name-dictionary table.  DML against either one must be followed by
+    {!invalidate_caches}; these are also the data-version dependencies
+    of cached shredded-transform results. *)
+
+val invalidate_caches : t -> unit
+(** Resynchronise in-memory state with the node table after direct DML
+    against it: drops the reconstruction and batch-row caches,
+    re-derives the docid directory from the document rows present, and
+    re-reads the name dictionary.  Compiled step plans survive (they
+    depend on the table's shape, not its rows). *)
+
 val shred : t -> Xdb_xml.Types.node -> int
 (** Decompose a document into rows (pre-order insertion, so index scans
     yield document order) and return its docid (1-based).  A non-document

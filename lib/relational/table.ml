@@ -56,6 +56,56 @@ let insert t (row : Value.t array) =
 
 let insert_values t values = ignore (insert t (Array.of_list values))
 
+(** [update t rid updates] — set [(column position, value)] pairs in
+    place; indexes over an updated column drop the old key entry and
+    insert the new one, so {!Btree.range_rids} stays consistent. *)
+let update t rid (updates : (int * Value.t) list) =
+  if rid < 0 || rid >= t.nrows then err "row id %d out of range for table %s" rid t.tbl_name;
+  let row = t.rows.(rid) in
+  List.iter
+    (fun (pos, v) ->
+      if pos < 0 || pos >= Array.length t.columns then
+        err "column position %d out of range for table %s" pos t.tbl_name;
+      List.iter
+        (fun idx -> if idx.idx_pos = pos then ignore (Btree.remove idx.tree row.(pos) rid))
+        t.indexes;
+      row.(pos) <- v;
+      List.iter
+        (fun idx -> if idx.idx_pos = pos then Btree.insert idx.tree v rid)
+        t.indexes)
+    updates
+
+(** [delete t rids] — remove the rows, compacting the heap.  Row ids are
+    array positions, so the survivors renumber; surgical B-tree
+    maintenance would have to rewrite every entry anyway, so each index
+    is rebuilt over the compacted heap instead.  Returns the number of
+    rows removed (out-of-range and duplicate ids are ignored). *)
+let delete t rids =
+  let dead = Array.make (max 1 t.nrows) false in
+  List.iter (fun rid -> if rid >= 0 && rid < t.nrows then dead.(rid) <- true) rids;
+  let w = ref 0 in
+  for r = 0 to t.nrows - 1 do
+    if not dead.(r) then (
+      if !w <> r then t.rows.(!w) <- t.rows.(r);
+      incr w)
+  done;
+  let removed = t.nrows - !w in
+  for r = !w to t.nrows - 1 do
+    t.rows.(r) <- [||]
+  done;
+  t.nrows <- !w;
+  if removed > 0 then
+    t.indexes <-
+      List.map
+        (fun idx ->
+          let tree = Btree.create () in
+          for rid = 0 to t.nrows - 1 do
+            Btree.insert tree t.rows.(rid).(idx.idx_pos) rid
+          done;
+          { idx with tree })
+        t.indexes;
+  removed
+
 let row t rid =
   if rid < 0 || rid >= t.nrows then err "row id %d out of range for table %s" rid t.tbl_name;
   t.rows.(rid)

@@ -33,6 +33,19 @@ val insert : t -> Value.t array -> int
 val insert_values : t -> Value.t list -> unit
 (** [insert] with a list, discarding the row id. *)
 
+val update : t -> int -> (int * Value.t) list -> unit
+(** [update t rid [(pos, v); …]] — overwrite columns of one row in
+    place, keeping every index over an updated column consistent
+    (old key entry removed, new one inserted).
+    @raise Table_error on out-of-range row id or column position. *)
+
+val delete : t -> int list -> int
+(** [delete t rids] — remove the rows and compact the heap (row ids
+    renumber: rid [k] of the survivors is its position after
+    compaction); every index is rebuilt over the compacted heap.
+    Returns the number of rows removed; out-of-range and duplicate ids
+    are ignored.  Requires exclusive access, like all mutation. *)
+
 val row : t -> int -> Value.t array
 (** @raise Table_error when the row id is out of range. *)
 

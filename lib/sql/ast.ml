@@ -4,12 +4,15 @@
     9 and 10): single-table SELECTs over tables and XMLType views, the
     SQL/XML query functions [XMLTransform] and [XMLQuery … PASSING …
     RETURNING CONTENT], and [CREATE VIEW] for wrapping a transformation as
-    an XSLT view (Example 2). *)
+    an XSLT view (Example 2) — plus the single-table DML statements
+    ([INSERT]/[UPDATE]/[DELETE]) that make the storage writable, the
+    signal the data-versioned result cache invalidates on. *)
 
 type expr =
   | Col of string option * string  (** [alias.column] or [column] *)
   | Str_lit of string
   | Int_lit of int
+  | Null_lit  (** the [NULL] keyword *)
   | Star  (** [*] in a select list *)
   | Binop of binop * expr * expr
   | Xml_transform of expr * string  (** [XMLTransform(xmltype, 'stylesheet')] *)
@@ -31,6 +34,14 @@ type statement =
   | Analyze of string option
       (** [ANALYZE [table]] — collect optimizer statistics for one table,
           or for every table in the catalog when no name is given *)
+  | Insert of { table : string; columns : string list option; values : expr list list }
+      (** [INSERT INTO t [(c, …)] VALUES (e, …), (e, …), …] — value
+          expressions must be constant (no column references) *)
+  | Update of { table : string; sets : (string * expr) list; where : expr option }
+      (** [UPDATE t SET c = e, … [WHERE p]] — [e] and [p] may reference
+          the row's own columns ([SET qty = qty + 1]) *)
+  | Delete of { table : string; where : expr option }
+      (** [DELETE FROM t [WHERE p]] *)
 
 let binop_name = function
   | Eq -> "="

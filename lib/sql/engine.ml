@@ -1,62 +1,37 @@
-(** Execution of the SQL/XML surface.
+(** Execution of the plain-relational SQL surface.
 
-    A {!session} wraps a database, its registered XMLType publishing views
-    and the XSLT views created at run time.  Execution routes every
-    statement through the paper's machinery:
+    This layer owns every statement that touches only relational state:
+    base-table SELECTs (Volcano executor with index selection), ANALYZE,
+    and the DML statements — INSERT/UPDATE/DELETE with B-tree index
+    maintenance, two-phase validation (nothing mutates until the whole
+    statement has type-checked) and a per-table [data_version] bump so
+    higher layers can invalidate cached transform results precisely.
 
-    - [SELECT XMLTransform(v.col, '…') FROM v] over a publishing view runs
-      the full XSLT rewrite (stylesheet → XQuery → SQL/XML expression over
-      the base tables, B-tree probes included) and falls back to
-      functional evaluation only when the generated query leaves the
-      rewritable fragment;
-    - [XMLQuery('…' PASSING v.col RETURNING CONTENT)] over a publishing
-      view runs the XQuery→SQL/XML rewrite directly;
-    - the same over an {e XSLT view} (Example 2) applies the combined
-      optimisation: the outer path composes statically over the generated
-      constructor tree and the composition is rewritten to one plan;
-    - plain selects over base tables run on the Volcano executor with
-      index selection. *)
+    Statements that involve XMLType or XSLT views route through
+    [Xdb_core.Sql_front], which reuses the scalar translation exported
+    here; the dependency points from the core facade down into this
+    library, never back. *)
 
 module A = Xdb_rel.Algebra
 module V = Xdb_rel.Value
-module P = Xdb_rel.Publish
 module E = Xdb_rel.Exec
-module Q = Xdb_xquery.Ast
+module T = Xdb_rel.Table
 open Ast
 
 exception Sql_error of string
 
 let err fmt = Printf.ksprintf (fun m -> raise (Sql_error m)) fmt
 
-type xslt_view = {
-  xv_name : string;
-  xv_column : string;  (** name of the transformed output column *)
-  xv_compiled : Xdb_core.Pipeline.compiled;
-}
-
-type session = {
-  db : Xdb_rel.Database.t;
-  mutable xml_views : P.view list;
-  mutable xslt_views : xslt_view list;
-}
+(* column resolution failures are statement-validation errors, not
+   executor faults: surface them as Sql_error so a bad column name in
+   DML fails the statement the same way any other validation does *)
+let col_pos tbl name = try T.column_pos tbl name with T.Table_error m -> err "%s" m
 
 type result = {
   columns : string list;
   rows : V.t list list;
   note : string option;  (** execution-strategy remark (rewrite/fallback) *)
 }
-
-let make_session ?(views = []) db = { db; xml_views = views; xslt_views = [] }
-
-let register_view session view = session.xml_views <- view :: session.xml_views
-
-let find_xml_view session name =
-  List.find_opt (fun v -> String.lowercase_ascii v.P.view_name = String.lowercase_ascii name)
-    session.xml_views
-
-let find_xslt_view session name =
-  List.find_opt (fun v -> String.lowercase_ascii v.xv_name = String.lowercase_ascii name)
-    session.xslt_views
 
 (* ------------------------------------------------------------------ *)
 (* Scalar translation to the relational algebra                        *)
@@ -80,6 +55,7 @@ let rec plain_expr = function
   | Col (a, c) -> A.Col (a, c)
   | Str_lit s -> A.Const (V.Str s)
   | Int_lit i -> A.Const (V.Int i)
+  | Null_lit -> A.Const V.Null
   | Binop (op, a, b) -> A.Binop (algebra_binop op, plain_expr a, plain_expr b)
   | Star -> err "* is only allowed alone in a select list"
   | Xml_transform _ | Xml_query _ -> err "XML functions are only supported over XMLType views"
@@ -92,37 +68,9 @@ let item_name i (e, alias) =
       | Col (_, c) -> c
       | _ -> Printf.sprintf "col%d" (i + 1))
 
-(* ------------------------------------------------------------------ *)
-(* Base-table selects                                                  *)
-(* ------------------------------------------------------------------ *)
-
-let run_table_select session (tbl : Xdb_rel.Table.t) (sel : select) : result =
-  let alias = Option.value ~default:sel.from_name sel.from_alias in
-  let scan = A.Seq_scan { table = sel.from_name; alias } in
-  let filtered =
-    match sel.where with None -> scan | Some w -> A.Filter (plain_expr w, scan)
-  in
-  let fields =
-    match sel.items with
-    | [ (Star, _) ] ->
-        List.map (fun c -> (A.Col (None, c), c)) (Xdb_rel.Table.column_names tbl)
-    | items -> List.mapi (fun i (e, alias) -> (plain_expr e, item_name i (e, alias))) items
-  in
-  let plan = Xdb_rel.Optimizer.optimize_deep session.db (A.Project (fields, filtered)) in
-  (* projected fields occupy slots 0..n-1 of the compiled layout, in order *)
-  let _, rows = E.run_arrays session.db plan in
-  {
-    columns = List.map snd fields;
-    rows = List.map (fun (r : V.t array) -> List.mapi (fun i _ -> r.(i)) fields) rows;
-    note = Some (A.plan_sql plan);
-  }
-
-(* ------------------------------------------------------------------ *)
-(* XMLType-view selects                                                *)
-(* ------------------------------------------------------------------ *)
-
 (* Is [e] a reference to the view's XMLType column? *)
-let is_view_column (view : P.view) alias e =
+let is_view_column (view : Xdb_rel.Publish.view) alias e =
+  let module P = Xdb_rel.Publish in
   match e with
   | Col (None, c) -> String.lowercase_ascii c = String.lowercase_ascii view.P.column
   | Col (Some a, c) ->
@@ -131,207 +79,42 @@ let is_view_column (view : P.view) alias e =
          || String.lowercase_ascii a = String.lowercase_ascii view.P.view_name)
   | _ -> false
 
-let run_xml_view_select session (view : P.view) (sel : select) : result =
+(* ------------------------------------------------------------------ *)
+(* Base-table selects                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_table_select db (tbl : T.t) (sel : select) : result =
   let alias = Option.value ~default:sel.from_name sel.from_alias in
-  let notes = ref [] in
-  (* translate each select item into a per-base-row SQL/XML expression; when
-     a translation is impossible, fall back to functional evaluation for
-     that item *)
-  let translate_item i (e, item_alias) :
-      string * [ `Sql of A.expr | `Functional of Xdb_xml.Types.node -> string ] =
-    let name = item_name i (e, item_alias) in
-    match e with
-    | Xml_transform (input, stylesheet) when is_view_column view alias input -> (
-        let compiled = Xdb_core.Pipeline.compile session.db view stylesheet in
-        match compiled.Xdb_core.Pipeline.sql_plan with
-        | Some _ ->
-            notes :=
-              Printf.sprintf "%s: XSLT rewrite (%s mode)" name
-                (Xdb_core.Pipeline.mode_name
-                   compiled.Xdb_core.Pipeline.translation.Xdb_core.Xslt2xquery.mode)
-              :: !notes;
-            ( name,
-              `Sql
-                (Xdb_xquery.Sql_rewrite.rewrite_prog view
-                   compiled.Xdb_core.Pipeline.translation.Xdb_core.Xslt2xquery.query) )
-        | None ->
-            notes :=
-              Printf.sprintf "%s: functional fallback (%s)" name
-                (Option.value ~default:"?" compiled.Xdb_core.Pipeline.sql_fallback_reason)
-              :: !notes;
-            ( name,
-              `Functional
-                (fun doc ->
-                  let frag = Xdb_xslt.Vm.transform compiled.Xdb_core.Pipeline.vm_prog doc in
-                  Xdb_xml.Serializer.node_list_to_string frag.Xdb_xml.Types.children) ))
-    | Xml_query { query; passing } when is_view_column view alias passing -> (
-        let prog = Xdb_xquery.Parser.parse_prog query in
-        match Xdb_xquery.Sql_rewrite.rewrite_prog view prog with
-        | sql ->
-            notes := Printf.sprintf "%s: XQuery rewrite" name :: !notes;
-            (name, `Sql sql)
-        | exception Xdb_xquery.Sql_rewrite.Not_rewritable reason ->
-            notes := Printf.sprintf "%s: dynamic XQuery (%s)" name reason :: !notes;
-            ( name,
-              `Functional
-                (fun doc ->
-                  Xdb_xml.Serializer.node_list_to_string
-                    (Xdb_xquery.Eval.run_to_nodes prog ~context:doc)) ))
-    | Col _ -> (name, `Sql (plain_expr e))
-    | _ -> err "unsupported select item over an XMLType view"
-  in
-  let items = List.mapi translate_item sel.items in
-  let scan = A.Seq_scan { table = view.P.base_table; alias = view.P.base_alias } in
+  let scan = A.Seq_scan { table = sel.from_name; alias } in
   let filtered =
     match sel.where with None -> scan | Some w -> A.Filter (plain_expr w, scan)
   in
-  let sql_fields =
-    List.filter_map (function n, `Sql e -> Some (e, n) | _, `Functional _ -> None) items
-  in
-  let plan =
-    Xdb_rel.Optimizer.optimize_deep session.db (A.Project (sql_fields, filtered))
-  in
-  let layout, sql_rows = E.run_arrays session.db plan in
-  (* functional items evaluate over materialised documents, row-aligned *)
-  let functional_items =
-    List.filter_map (function n, `Functional f -> Some (n, f) | _ -> None) items
-  in
-  let docs =
-    if functional_items = [] then []
-    else
-      if sel.where <> None then
-        err "WHERE is not supported together with non-rewritable XML select items"
-      else P.materialize session.db view
-  in
-  let columns = List.map fst items in
-  (* resolve every SQL item's output slot once against the plan layout *)
-  let extractors =
-    List.map
-      (fun (n, kind) ->
-        match kind with
-        | `Sql _ -> (
-            match Xdb_rel.Layout.slot_opt layout n with
-            | Some s -> fun (r : V.t array) _ -> r.(s)
-            | None -> err "plan lost column %s" n)
-        | `Functional f -> fun _ row_idx -> V.Str (f (List.nth docs row_idx)))
-      items
-  in
-  let rows =
-    List.mapi (fun row_idx sql_row -> List.map (fun ex -> ex sql_row row_idx) extractors) sql_rows
-  in
-  { columns; rows; note = Some (String.concat "; " (List.rev !notes)) }
-
-(* ------------------------------------------------------------------ *)
-(* XSLT-view selects (Example 2)                                        *)
-(* ------------------------------------------------------------------ *)
-
-(* extract a child-step path from "for $x in ./steps return $x" or "./steps" *)
-let forwarding_steps (prog : Q.prog) : Xdb_xpath.Ast.step list option =
-  let plain_child_steps steps =
-    if
-      List.for_all
-        (fun (s : Xdb_xpath.Ast.step) ->
-          s.Xdb_xpath.Ast.axis = Xdb_xpath.Ast.Child && s.Xdb_xpath.Ast.predicates = [])
-        steps
-    then Some steps
-    else None
-  in
-  match (prog.Q.var_decls, prog.Q.funs, prog.Q.body) with
-  | [], [], Q.Path (Q.Context_item, steps) -> plain_child_steps steps
-  | [], [], Q.Flwor ([ Q.For { var; source = Q.Path (Q.Context_item, steps); _ } ], Q.Var v)
-    when v = var ->
-      plain_child_steps steps
-  | _ -> None
-
-let run_xslt_view_select session (xv : xslt_view) (sel : select) : result =
-  if sel.where <> None then err "WHERE over an XSLT view is not supported";
-  let alias = Option.value ~default:sel.from_name sel.from_alias in
-  let item =
+  let fields =
     match sel.items with
-    | [ (e, alias_opt) ] -> (e, item_name 0 (e, alias_opt))
-    | _ -> err "exactly one select item is supported over an XSLT view"
+    | [ (Star, _) ] -> List.map (fun c -> (A.Col (None, c), c)) (T.column_names tbl)
+    | items -> List.mapi (fun i (e, alias) -> (plain_expr e, item_name i (e, alias))) items
   in
-  match item with
-  | Xml_query { query; passing }, name
-    when (match passing with
-         | Col (None, c) -> String.lowercase_ascii c = String.lowercase_ascii xv.xv_column
-         | Col (Some a, c) ->
-             String.lowercase_ascii c = String.lowercase_ascii xv.xv_column
-             && (String.lowercase_ascii a = String.lowercase_ascii alias
-                || String.lowercase_ascii a = String.lowercase_ascii xv.xv_name)
-         | _ -> false) -> (
-      let prog = Xdb_xquery.Parser.parse_prog query in
-      let combined_plan, composed, note =
-        match forwarding_steps prog with
-        | Some steps ->
-            let plan, composed = Xdb_core.Pipeline.compose session.db xv.xv_compiled steps in
-            (plan, Some composed, "combined XSLT+XQuery optimisation")
-        | None -> (None, None, "dynamic evaluation over the XSLT view result")
-      in
-      match (combined_plan, composed) with
-      | Some plan, _ ->
-          let layout, rows = E.run_arrays session.db plan in
-          let slot =
-            match Xdb_rel.Layout.slot_opt layout "result" with
-            | Some s -> s
-            | None -> err "combined plan produced no result column"
-          in
-          {
-            columns = [ name ];
-            rows = List.map (fun (r : V.t array) -> [ r.(slot) ]) rows;
-            note = Some (note ^ " (paper Table 11 plan)");
-          }
-      | None, Some composed ->
-          let outs =
-            Xdb_core.Pipeline.run_composed_dynamic session.db xv.xv_compiled composed
-          in
-          { columns = [ name ]; rows = List.map (fun s -> [ V.Str s ]) outs; note = Some note }
-      | None, None ->
-          (* evaluate the XSLT view, then the outer query on each result *)
-          let inner = Xdb_core.Pipeline.run_rewrite session.db xv.xv_compiled in
-          let outs =
-            List.map
-              (fun text ->
-                let doc = Xdb_xml.Parser.parse_fragment text in
-                let wrapper = Xdb_xml.Parser.document_element doc in
-                V.Str
-                  (Xdb_xml.Serializer.node_list_to_string
-                     (Xdb_xquery.Eval.run_to_nodes prog ~context:wrapper)))
-              inner
-          in
-          { columns = [ name ]; rows = List.map (fun v -> [ v ]) outs; note = Some note })
-  | Col (_, c), name when String.lowercase_ascii c = String.lowercase_ascii xv.xv_column ->
-      let outs = Xdb_core.Pipeline.run_rewrite session.db xv.xv_compiled in
-      {
-        columns = [ name ];
-        rows = List.map (fun s -> [ V.Str s ]) outs;
-        note = Some "XSLT view evaluated through the rewrite";
-      }
-  | _ -> err "unsupported select item over an XSLT view"
+  let plan = Xdb_rel.Optimizer.optimize_deep db (A.Project (fields, filtered)) in
+  (* projected fields occupy slots 0..n-1 of the compiled layout, in order *)
+  let _, rows = E.run_arrays db plan in
+  {
+    columns = List.map snd fields;
+    rows = List.map (fun (r : V.t array) -> List.mapi (fun i _ -> r.(i)) fields) rows;
+    note = Some (A.plan_sql plan);
+  }
 
 (* ------------------------------------------------------------------ *)
-(* Statements                                                          *)
+(* ANALYZE                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_select session (sel : select) : result =
-  match find_xslt_view session sel.from_name with
-  | Some xv -> run_xslt_view_select session xv sel
-  | None -> (
-      match find_xml_view session sel.from_name with
-      | Some view -> run_xml_view_select session view sel
-      | None -> (
-          match Xdb_rel.Database.table_opt session.db sel.from_name with
-          | Some tbl -> run_table_select session tbl sel
-          | None -> err "unknown table or view %S" sel.from_name))
-
-let run_analyze session target : result =
+let run_analyze db target : result =
   let analyzed =
     match target with
     | Some name -> (
-        match Xdb_rel.Database.table_opt session.db name with
+        match Xdb_rel.Database.table_opt db name with
         | None -> err "ANALYZE: unknown table %S" name
-        | Some _ -> [ (name, Xdb_rel.Analyze.table session.db name) ])
-    | None -> Xdb_rel.Analyze.all session.db
+        | Some _ -> [ (name, Xdb_rel.Analyze.table db name) ])
+    | None -> Xdb_rel.Analyze.all db
   in
   {
     columns = [ "table_name"; "rows_sampled" ];
@@ -340,40 +123,186 @@ let run_analyze session target : result =
       Some
         (Printf.sprintf "statistics collected for %d table(s), stats version %d"
            (List.length analyzed)
-           (Xdb_rel.Database.stats_version session.db));
+           (Xdb_rel.Database.stats_version db));
   }
 
-(** [execute session statement_text] — parse and run one statement. *)
-let execute session (text : string) : result =
-  match Parser.parse text with
-  | Select sel -> run_select session sel
-  | Analyze target -> run_analyze session target
-  | Create_view (name, sel) -> (
-      (* only XSLT views (a single XMLTransform over a publishing view) can
-         be created from SQL; publishing views are registered via the API *)
-      match find_xml_view session sel.from_name with
-      | None -> err "CREATE VIEW: FROM must name a registered XMLType view"
-      | Some view -> (
-          match sel.items with
-          | [ (Xml_transform (input, stylesheet), alias) ]
-            when is_view_column view (Option.value ~default:sel.from_name sel.from_alias) input
-            ->
-              if sel.where <> None then err "CREATE VIEW: WHERE is not supported";
-              let compiled = Xdb_core.Pipeline.compile session.db view stylesheet in
-              let column = Option.value ~default:"xslt_rslt" alias in
-              session.xslt_views <-
-                { xv_name = name; xv_column = column; xv_compiled = compiled }
-                :: session.xslt_views;
-              {
-                columns = [];
-                rows = [];
-                note =
-                  Some
-                    (Printf.sprintf "XSLT view %s(%s) created (%s mode)" name column
-                       (Xdb_core.Pipeline.mode_name
-                          compiled.Xdb_core.Pipeline.translation.Xdb_core.Xslt2xquery.mode));
-              }
-          | _ -> err "CREATE VIEW: body must be a single XMLTransform over the view column"))
+(* ------------------------------------------------------------------ *)
+(* DML                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* row-context evaluation of the restricted expression grammar: SET
+   right-hand sides and WHERE predicates over the target table's row.
+   Comparisons yield Int 1/0; NULL propagates SQL-style (a comparison
+   against NULL is false, arithmetic over NULL is NULL). *)
+let rec eval_row (tbl : T.t) (row : V.t array) = function
+  | Col (_, c) -> row.(col_pos tbl c)
+  | Str_lit s -> V.Str s
+  | Int_lit i -> V.Int i
+  | Null_lit -> V.Null
+  | Star -> err "* is not a value"
+  | Xml_transform _ | Xml_query _ -> err "XML functions are not supported in DML"
+  | Binop (op, a, b) -> (
+      let va = eval_row tbl row a and vb = eval_row tbl row b in
+      let bool_v b = if b then V.Int 1 else V.Int 0 in
+      let cmp f = bool_v (match V.compare_sql va vb with Some c -> f c | None -> false) in
+      let truthy = function
+        | V.Null | V.Int 0 -> false
+        | V.Float f -> f <> 0.0
+        | _ -> true
+      in
+      let arith fi ff =
+        match (va, vb) with
+        | V.Null, _ | _, V.Null -> V.Null
+        | V.Int x, V.Int y -> V.Int (fi x y)
+        | (V.Int _ | V.Float _), (V.Int _ | V.Float _) ->
+            V.Float (ff (V.to_float va) (V.to_float vb))
+        | _ -> err "arithmetic over non-numeric values"
+      in
+      match op with
+      | Eq -> cmp (fun c -> c = 0)
+      | Neq -> cmp (fun c -> c <> 0)
+      | Lt -> cmp (fun c -> c < 0)
+      | Leq -> cmp (fun c -> c <= 0)
+      | Gt -> cmp (fun c -> c > 0)
+      | Geq -> cmp (fun c -> c >= 0)
+      | And -> bool_v (truthy va && truthy vb)
+      | Or -> bool_v (truthy va || truthy vb)
+      | Add -> arith ( + ) ( +. )
+      | Sub -> arith ( - ) ( -. )
+      | Mul -> arith ( * ) ( *. )
+      | Div ->
+          if (match vb with V.Int 0 -> true | V.Float 0.0 -> true | _ -> false) then
+            err "division by zero"
+          else arith ( / ) ( /. ))
+
+let truthy = function
+  | V.Null | V.Int 0 -> false
+  | V.Float f -> f <> 0.0
+  | _ -> true
+
+(* coerce an evaluated value to the column's declared type, or fail the
+   whole statement — called during the validation phase, before any
+   mutation *)
+let coerce_to_column tbl (col : T.column) v =
+  match (col.T.col_type, v) with
+  | _, V.Null -> V.Null
+  | V.Tint, V.Int _ -> v
+  | V.Tfloat, V.Float _ -> v
+  | V.Tfloat, V.Int i -> V.Float (float_of_int i)
+  | V.Tstr, V.Str _ -> v
+  | _ ->
+      err "type mismatch for %s.%s: %s value does not fit %s" tbl.T.tbl_name col.T.col_name
+        (V.value_type_name v) (V.type_name col.T.col_type)
+
+let dml_note db table verb n =
+  Printf.sprintf "%d row(s) %s, %s data version %d%s" n verb table
+    (Xdb_rel.Database.data_version db table)
+    (if Xdb_rel.Database.stats_stale db table then " (statistics stale)" else "")
+
+let affected n note = { columns = [ "rows_affected" ]; rows = [ [ V.Int n ] ]; note = Some note }
+
+let target_table db name =
+  match Xdb_rel.Database.table_opt db name with
+  | Some t -> t
+  | None -> err "unknown table %S" name
+
+let run_insert db ~table ~columns ~values : result =
+  let tbl = target_table db table in
+  let ncols = Array.length tbl.T.columns in
+  (* phase 1: resolve positions and evaluate/coerce every row *)
+  let positions =
+    match columns with
+    | None -> Array.init ncols (fun i -> i)
+    | Some cols -> Array.of_list (List.map (col_pos tbl) cols)
+  in
+  let rec check_const = function
+    | Col _ -> err "INSERT values must be constant expressions"
+    | Binop (_, a, b) ->
+        check_const a;
+        check_const b
+    | _ -> ()
+  in
+  let dummy = [||] in
+  let rows =
+    List.map
+      (fun exprs ->
+        if List.length exprs <> Array.length positions then
+          err "INSERT arity mismatch: %d value(s) for %d column(s)" (List.length exprs)
+            (Array.length positions);
+        let row = Array.make ncols V.Null in
+        List.iteri
+          (fun i e ->
+            check_const e;
+            let pos = positions.(i) in
+            row.(pos) <- coerce_to_column tbl tbl.T.columns.(pos) (eval_row tbl dummy e))
+          exprs;
+        row)
+      values
+  in
+  (* phase 2: mutate *)
+  List.iter (fun row -> ignore (T.insert tbl row)) rows;
+  let n = List.length rows in
+  if n > 0 then Xdb_rel.Database.bump_data_version db table;
+  affected n (dml_note db table "inserted" n)
+
+let run_update db ~table ~sets ~where : result =
+  let tbl = target_table db table in
+  (* phase 1: resolve SET columns, select rows, evaluate and coerce every
+     new value — any failure leaves the table untouched *)
+  let sets =
+    List.map
+      (fun (c, e) ->
+        let pos = col_pos tbl c in
+        (pos, tbl.T.columns.(pos), e))
+      sets
+  in
+  let pending = ref [] in
+  T.iter
+    (fun rid row ->
+      let matches = match where with None -> true | Some w -> truthy (eval_row tbl row w) in
+      if matches then
+        let news =
+          List.map (fun (pos, col, e) -> (pos, coerce_to_column tbl col (eval_row tbl row e))) sets
+        in
+        pending := (rid, news) :: !pending)
+    tbl;
+  (* phase 2: mutate (index maintenance inside Table.update) *)
+  let pending = List.rev !pending in
+  List.iter (fun (rid, news) -> T.update tbl rid news) pending;
+  let n = List.length pending in
+  if n > 0 then Xdb_rel.Database.bump_data_version db table;
+  affected n (dml_note db table "updated" n)
+
+let run_delete db ~table ~where : result =
+  let tbl = target_table db table in
+  let rids = ref [] in
+  T.iter
+    (fun rid row ->
+      let matches = match where with None -> true | Some w -> truthy (eval_row tbl row w) in
+      if matches then rids := rid :: !rids)
+    tbl;
+  let n = T.delete tbl (List.rev !rids) in
+  if n > 0 then Xdb_rel.Database.bump_data_version db table;
+  affected n (dml_note db table "deleted" n)
+
+(** [run_dml db stmt] — execute one INSERT/UPDATE/DELETE.  Validation is
+    two-phase: positions, arities and value types are all checked before
+    the first row mutates, so a failed statement leaves the table {e and}
+    its data version untouched. *)
+let run_dml db (stmt : statement) : result =
+  match stmt with
+  | Insert { table; columns; values } -> run_insert db ~table ~columns ~values
+  | Update { table; sets; where } -> run_update db ~table ~sets ~where
+  | Delete { table; where } -> run_delete db ~table ~where
+  | Select _ | Create_view _ | Analyze _ -> invalid_arg "run_dml: not a DML statement"
+
+let dml_target = function
+  | Insert { table; _ } | Update { table; _ } | Delete { table; _ } -> Some table
+  | Select _ | Create_view _ | Analyze _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
 
 (** Fixed-width rendering of a result for CLI/example output. *)
 let render (r : result) : string =

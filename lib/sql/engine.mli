@@ -1,22 +1,12 @@
-(** Execution of the SQL/XML surface: routes [XMLTransform] through the
-    XSLT rewrite, [XMLQuery … PASSING] through the XQuery rewrite, and
-    queries over XSLT views through the combined optimisation (Example 2),
-    with functional fallbacks where the rewrites do not apply. *)
+(** Execution of the plain-relational SQL surface: base-table SELECTs on
+    the Volcano executor, ANALYZE, and INSERT/UPDATE/DELETE with B-tree
+    index maintenance, two-phase validation and per-table [data_version]
+    bumps.  Statements over XMLType/XSLT views route through
+    [Xdb_core.Sql_front], which builds on the translation helpers
+    exported here — the dependency points from the core facade down into
+    this library. *)
 
 exception Sql_error of string
-
-(** An XSLT view created by [CREATE VIEW … AS SELECT XMLTransform(…)]. *)
-type xslt_view = {
-  xv_name : string;
-  xv_column : string;
-  xv_compiled : Xdb_core.Pipeline.compiled;
-}
-
-type session = {
-  db : Xdb_rel.Database.t;
-  mutable xml_views : Xdb_rel.Publish.view list;
-  mutable xslt_views : xslt_view list;
-}
 
 type result = {
   columns : string list;
@@ -24,14 +14,44 @@ type result = {
   note : string option;  (** execution-strategy remark (rewrite/fallback) *)
 }
 
-val make_session : ?views:Xdb_rel.Publish.view list -> Xdb_rel.Database.t -> session
+(** {1 Translation helpers} (shared with [Xdb_core.Sql_front]) *)
 
-val register_view : session -> Xdb_rel.Publish.view -> unit
-(** Register an XMLType publishing view (the SQL surface cannot create
-    publishing views; they come from the API, like Oracle's DBMS views). *)
+val plain_expr : Ast.expr -> Xdb_rel.Algebra.expr
+(** Scalar translation to the relational algebra.
+    @raise Sql_error on [*] or XML functions. *)
 
-val execute : session -> string -> result
-(** Parse and run one statement. @raise Sql_error / {!Parser.Parse_error}. *)
+val item_name : int -> Ast.expr * string option -> string
+(** Output-column name of the [i]-th select item ([AS] alias, column
+    name, or [col<i+1>]). *)
+
+val is_view_column : Xdb_rel.Publish.view -> string -> Ast.expr -> bool
+(** [is_view_column view from_alias e] — is [e] a reference to the
+    view's XMLType column (optionally qualified by the FROM alias or
+    the view name)? *)
+
+(** {1 Statement execution} *)
+
+val run_table_select : Xdb_rel.Database.t -> Xdb_rel.Table.t -> Ast.select -> result
+(** Single-table SELECT through [Optimizer.optimize_deep] and the batch
+    executor; the note carries the optimised plan's SQL rendering. *)
+
+val run_analyze : Xdb_rel.Database.t -> string option -> result
+(** [ANALYZE [table]] — one table or the whole catalog. *)
+
+val run_dml : Xdb_rel.Database.t -> Ast.statement -> result
+(** Execute one INSERT/UPDATE/DELETE against its target table, with
+    index maintenance and a [data_version] bump when at least one row
+    changed.  Validation is two-phase: column positions, arities and
+    value types are all checked {e before} the first row mutates, so a
+    failed statement leaves the table and its data version untouched.
+    The result is one [rows_affected] row; the note reports the table's
+    new data version (and whether its statistics went stale).
+    @raise Sql_error / [Table_error] on validation failures;
+    [Invalid_argument] if the statement is not DML. *)
+
+val dml_target : Ast.statement -> string option
+(** Target table of a DML statement, [None] for non-DML — the hook the
+    engine uses to invalidate shred-store caches after writes. *)
 
 val render : result -> string
 (** Fixed-width rendering for CLI/example output, note included. *)

@@ -189,6 +189,15 @@ and parse_primary st =
   | Some (Punct "*") ->
       advance st;
       Star
+  | Some (Punct "-") -> (
+      (* unary minus: negative literals in DML values *)
+      advance st;
+      match parse_primary st with
+      | Int_lit n -> Int_lit (-n)
+      | e -> Binop (Sub, Int_lit 0, e))
+  | Some (Ident w) when upper w = "NULL" ->
+      advance st;
+      Null_lit
   | Some (Ident w) when upper w = "XMLTRANSFORM" ->
       advance st;
       eat_punct st "(";
@@ -260,6 +269,82 @@ let parse_select st =
   in
   { items; from_name; from_alias; where }
 
+let parse_insert st =
+  eat_kw st "INSERT";
+  eat_kw st "INTO";
+  let table = ident st in
+  let columns =
+    if at_punct st "(" then (
+      advance st;
+      let rec cols acc =
+        let c = ident st in
+        if at_punct st "," then (
+          advance st;
+          cols (c :: acc))
+        else (
+          eat_punct st ")";
+          List.rev (c :: acc))
+      in
+      Some (cols []))
+    else None
+  in
+  eat_kw st "VALUES";
+  let tuple () =
+    eat_punct st "(";
+    let rec vals acc =
+      let e = parse_or st in
+      if at_punct st "," then (
+        advance st;
+        vals (e :: acc))
+      else (
+        eat_punct st ")";
+        List.rev (e :: acc))
+    in
+    vals []
+  in
+  let rec tuples acc =
+    let v = tuple () in
+    if at_punct st "," then (
+      advance st;
+      tuples (v :: acc))
+    else List.rev (v :: acc)
+  in
+  Insert { table; columns; values = tuples [] }
+
+let parse_update st =
+  eat_kw st "UPDATE";
+  let table = ident st in
+  eat_kw st "SET";
+  let rec sets acc =
+    let c = ident st in
+    eat_punct st "=";
+    let e = parse_or st in
+    if at_punct st "," then (
+      advance st;
+      sets ((c, e) :: acc))
+    else List.rev ((c, e) :: acc)
+  in
+  let sets = sets [] in
+  let where =
+    if at_kw st "WHERE" then (
+      advance st;
+      Some (parse_or st))
+    else None
+  in
+  Update { table; sets; where }
+
+let parse_delete st =
+  eat_kw st "DELETE";
+  eat_kw st "FROM";
+  let table = ident st in
+  let where =
+    if at_kw st "WHERE" then (
+      advance st;
+      Some (parse_or st))
+    else None
+  in
+  Delete { table; where }
+
 (** [parse s] — one statement, optionally [;]-terminated. *)
 let parse (s : string) : statement =
   let st = { toks = tokenize s } in
@@ -275,6 +360,9 @@ let parse (s : string) : statement =
       match peek st with
       | Some (Ident _) -> Analyze (Some (ident st))
       | _ -> Analyze None)
+    else if at_kw st "INSERT" then parse_insert st
+    else if at_kw st "UPDATE" then parse_update st
+    else if at_kw st "DELETE" then parse_delete st
     else Select (parse_select st)
   in
   if at_punct st ";" then advance st;

@@ -908,7 +908,9 @@ let test_engine_facade () =
   let base = (t ()).EN.output in
   check cb "engine produces documents" true (base <> []);
   check cb "no metrics unless asked" true ((t ()).EN.metrics = None);
-  (* every run_options combination agrees byte-for-byte *)
+  (* every run_options combination agrees byte-for-byte — with the result
+     cache bypassed, so each strategy genuinely recomputes *)
+  let nc = { EN.default_run_options with EN.result_cache = false } in
   List.iter
     (fun options ->
       let r = t ~options () in
@@ -916,22 +918,29 @@ let test_engine_facade () =
       check cb "metrics iff collect_metrics" (options.EN.collect_metrics)
         (r.EN.metrics <> None))
     [
-      { EN.default_run_options with EN.streaming = false };
-      { EN.default_run_options with EN.interpreted = true };
-      { EN.default_run_options with EN.jobs = 3 };
-      { EN.default_run_options with EN.jobs = 3; interpreted = true };
-      { EN.streaming = false; jobs = 2; collect_metrics = true; interpreted = false };
+      { nc with EN.streaming = false };
+      { nc with EN.interpreted = true };
+      { nc with EN.jobs = 3 };
+      { nc with EN.jobs = 3; interpreted = true };
+      {
+        EN.streaming = false;
+        jobs = 2;
+        collect_metrics = true;
+        interpreted = false;
+        result_cache = false;
+        indent = false;
+      };
     ];
   (* publish through the facade: DOM, streamed and parallel agree *)
   let pub ?(options = EN.default_run_options) () =
     (EN.publish ~options engine ~view_name:"dept_emp").EN.output
   in
-  let dom = pub () in
+  let dom = pub ~options:{ nc with EN.streaming = false } () in
   check cb "published documents" true (dom <> []);
   check (Alcotest.list cs) "streamed publish identical" dom
-    (pub ~options:{ EN.default_run_options with EN.streaming = true } ());
+    (pub ~options:{ nc with EN.streaming = true } ());
   check (Alcotest.list cs) "parallel publish identical" dom
-    (pub ~options:{ EN.default_run_options with EN.streaming = true; jobs = 4 } ());
+    (pub ~options:{ nc with EN.streaming = true; jobs = 4 } ());
   (* explain / explain_analyze work and agree on actual row counts *)
   check cb "explain has a plan section" true
     (contains "SQL/XML plan" (EN.explain engine ~view_name:"dept_emp" ~stylesheet:example1_stylesheet));
@@ -951,6 +960,160 @@ let test_engine_facade () =
   check (Alcotest.list cs) "usable after shutdown" base
     (t ~options:{ EN.default_run_options with EN.jobs = 2 } ()).EN.output
 
+(* ------------------------------------------------------------------ *)
+(* Result cache (PR 10)                                                *)
+(* ------------------------------------------------------------------ *)
+
+module RC = Xdb_core.Result_cache
+
+let test_result_cache_unit () =
+  let db = Xdb_rel.Database.create () in
+  ignore (Xdb_rel.Database.create_table db "t" [ { Xdb_rel.Table.col_name = "a"; col_type = Xdb_rel.Value.Tint } ]);
+  let rc = RC.create ~capacity:2 db in
+  check cb "miss on empty" true (RC.find rc ~key:"k1" = None);
+  RC.store rc ~view:"v" ~key:"k1" ~deps:[ "t" ] [ "out1" ];
+  check cb "hit while fresh" true (RC.find rc ~key:"k1" = Some [ "out1" ]);
+  (* a write to the dependency table invalidates on the next lookup *)
+  Xdb_rel.Database.bump_data_version db "t";
+  check cb "stale after version bump" true (RC.find rc ~key:"k1" = None);
+  check ci "entry dropped" 0 (RC.size rc);
+  (* re-stored entries snapshot the new version *)
+  RC.store rc ~view:"v" ~key:"k1" ~deps:[ "t" ] [ "out2" ];
+  check cb "fresh again" true (RC.find rc ~key:"k1" = Some [ "out2" ]);
+  (* view-level invalidation (schema evolution: no version movement) *)
+  RC.invalidate_view rc "v";
+  check cb "gone after invalidate_view" true (RC.find rc ~key:"k1" = None);
+  (* LRU bounding: capacity 2, third insert evicts the least recent *)
+  RC.store rc ~view:"v" ~key:"a" ~deps:[ "t" ] [ "A" ];
+  RC.store rc ~view:"v" ~key:"b" ~deps:[ "t" ] [ "B" ];
+  ignore (RC.find rc ~key:"a");
+  (* touch a so b is the LRU victim *)
+  RC.store rc ~view:"v" ~key:"c" ~deps:[ "t" ] [ "C" ];
+  check ci "bounded" 2 (RC.size rc);
+  check cb "victim was the LRU entry" true (RC.find rc ~key:"b" = None);
+  check cb "recent survivor" true (RC.find rc ~key:"a" = Some [ "A" ]);
+  let ctr name = List.assoc name (RC.counters rc) in
+  check cb "eviction counted" true (ctr "result_cache_evictions" >= 1);
+  check cb "hits counted" true (ctr "result_cache_hits" >= 3);
+  check cb "invalidations counted" true (ctr "result_cache_invalidations" >= 2)
+
+let test_engine_result_cache () =
+  let db, view = setup_example1 () in
+  let engine = EN.create db in
+  EN.register_view engine view;
+  let ctr name = List.assoc name (EN.result_cache_counters engine) in
+  let with_metrics = { EN.default_run_options with EN.collect_metrics = true } in
+  let t () =
+    EN.transform ~options:with_metrics engine ~view_name:"dept_emp"
+      ~stylesheet:example1_stylesheet
+  in
+  let hit_counter r =
+    match r.EN.metrics with
+    | Some m -> List.assoc "result_cache_hit" (Xdb_core.Metrics.counters m)
+    | None -> Alcotest.fail "metrics requested"
+  in
+  let r1 = t () in
+  check ci "first run is a miss" 0 (hit_counter r1);
+  let r2 = t () in
+  check ci "second run served from cache" 1 (hit_counter r2);
+  check (Alcotest.list cs) "cached bytes identical" r1.EN.output r2.EN.output;
+  check cb "hits counted" true (ctr "result_cache_hits" >= 1);
+  (* DML through execute invalidates: next run recomputes new output *)
+  ignore (EN.execute engine "UPDATE emp SET sal = 9999 WHERE ename = 'CLARK'");
+  let r3 = t () in
+  check ci "post-write run recomputed" 0 (hit_counter r3);
+  check cb "post-write output differs" true (r2.EN.output <> r3.EN.output);
+  check cb "invalidation counted" true (ctr "result_cache_invalidations" >= 1);
+  (* the recompute is cached again *)
+  check ci "re-cached" 1 (hit_counter (t ()));
+  (* publish caches per (view, indent) *)
+  let p indent =
+    EN.publish
+      ~options:{ with_metrics with EN.indent = indent }
+      engine ~view_name:"dept_emp"
+  in
+  check ci "publish first miss" 0 (hit_counter (p false));
+  check ci "publish then hit" 1 (hit_counter (p false));
+  check ci "indent is a different key" 0 (hit_counter (p true));
+  check cb "indent changes bytes" true ((p true).EN.output <> (p false).EN.output);
+  (* re-registering the view (schema evolution) drops its entries even
+     though no data version moved *)
+  EN.register_view engine view;
+  check ci "invalidated by re-registration" 0 (hit_counter (t ()));
+  (* writes to unrelated tables leave entries valid *)
+  ignore
+    (Xdb_rel.Database.create_table db "unrelated"
+       [ { Xdb_rel.Table.col_name = "x"; col_type = Xdb_rel.Value.Tint } ]);
+  ignore (EN.execute engine "INSERT INTO unrelated VALUES (1)");
+  check ci "unrelated write keeps cache entries" 1 (hit_counter (t ()));
+  EN.shutdown engine
+
+let test_prepared_statements () =
+  let db, view = setup_example1 () in
+  let engine = EN.create db in
+  EN.register_view engine view;
+  let stmt = EN.prepare engine ~view_name:"dept_emp" ~stylesheet:example1_stylesheet in
+  check cs "stmt remembers its view" "dept_emp" (EN.stmt_view stmt);
+  let nc = { EN.default_run_options with EN.result_cache = false } in
+  let r1 = EN.transform_stmt ~options:nc engine stmt in
+  let misses0 = List.assoc "cache_misses" (EN.registry_counters engine) in
+  (* re-running the statement does not even consult the registry *)
+  let hits0 = List.assoc "cache_hits" (EN.registry_counters engine) in
+  let r2 = EN.transform_stmt ~options:nc engine stmt in
+  check (Alcotest.list cs) "stmt reruns agree" r1.EN.output r2.EN.output;
+  check ci "no registry lookup on the hot path" hits0
+    (List.assoc "cache_hits" (EN.registry_counters engine));
+  check ci "no recompile either" misses0
+    (List.assoc "cache_misses" (EN.registry_counters engine));
+  (* ANALYZE moves the stats version: the stmt revalidates through the
+     registry (stale entry, recompiled) and still answers identically *)
+  ignore (EN.execute engine "ANALYZE");
+  let r3 = EN.transform_stmt ~options:nc engine stmt in
+  check (Alcotest.list cs) "post-ANALYZE stmt agrees" r1.EN.output r3.EN.output;
+  check cb "revalidation recompiled" true
+    (List.assoc "cache_stale" (EN.registry_counters engine) >= 1);
+  (* explain over the same stmt *)
+  check cb "explain_stmt has a plan" true (contains "SQL/XML plan" (EN.explain_stmt engine stmt));
+  check cb "explain_analyze_stmt reports actuals" true
+    (contains "actual=" (EN.explain_analyze_stmt engine stmt));
+  (* string verbs are wrappers over the same machinery *)
+  let direct =
+    EN.transform ~options:nc engine ~view_name:"dept_emp" ~stylesheet:example1_stylesheet
+  in
+  check (Alcotest.list cs) "string verb ≡ stmt verb" r1.EN.output direct.EN.output;
+  EN.shutdown engine
+
+let test_run_source_verb () =
+  let db, view = setup_example1 () in
+  let engine = EN.create db in
+  EN.register_view engine view;
+  let via_run =
+    EN.run engine (EN.View "dept_emp") ~stylesheet:example1_stylesheet
+  in
+  let via_transform = EN.transform engine ~view_name:"dept_emp" ~stylesheet:example1_stylesheet in
+  check (Alcotest.list cs) "View source ≡ transform" via_transform.EN.output via_run.EN.output;
+  EN.shutdown engine;
+  (* shredded source *)
+  let engine2 = EN.create (Xdb_rel.Database.create ()) in
+  let doc = Xdb_xsltmark.Data.records_doc 10 in
+  let id = EN.store_shredded engine2 doc in
+  let ss =
+    {|<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+<xsl:template match="@*|node()"><xsl:copy><xsl:apply-templates select="@*|node()"/></xsl:copy></xsl:template>
+</xsl:stylesheet>|}
+  in
+  let all = EN.run engine2 (EN.Shredded None) ~stylesheet:ss in
+  let one = EN.run engine2 (EN.Shredded (Some [ id ])) ~stylesheet:ss in
+  check (Alcotest.list cs) "Shredded None = all docs" all.EN.output one.EN.output;
+  let wrapper = EN.transform_shredded engine2 ~stylesheet:ss in
+  check (Alcotest.list cs) "wrapper ≡ run" all.EN.output wrapper.EN.output;
+  (* storing another document bumps the node tables' versions, so the
+     cached all-documents result is invalidated, not served stale *)
+  ignore (EN.store_shredded engine2 (Xdb_xsltmark.Data.records_doc 5));
+  let all2 = EN.run engine2 (EN.Shredded None) ~stylesheet:ss in
+  check ci "new document visible through the cache" 2 (List.length all2.EN.output);
+  EN.shutdown engine2
+
 let identity_stylesheet =
   {|<xsl:stylesheet version="1.0" xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
 <xsl:template match="@*|node()"><xsl:copy><xsl:apply-templates select="@*|node()"/></xsl:copy></xsl:template>
@@ -966,9 +1129,10 @@ let test_engine_shredded () =
   let r = EN.transform_shredded engine ~stylesheet:identity_stylesheet in
   check (Alcotest.list cs) "shredded transform ≡ direct VM transform" direct r.EN.output;
   (* sequential path: the relational VM handles every doc, batched *)
+  (* metric-asserting reruns must recompute, not serve the cached bytes *)
   let rm =
     EN.transform_shredded
-      ~options:{ EN.default_run_options with EN.collect_metrics = true }
+      ~options:{ EN.default_run_options with EN.collect_metrics = true; result_cache = false }
       engine ~stylesheet:identity_stylesheet
   in
   check (Alcotest.list cs) "metrics run identical" direct rm.EN.output;
@@ -988,7 +1152,8 @@ let test_engine_shredded () =
       check ci "no per-context DOM fallback" 0 (ctr "shred_dom_fallbacks"));
   let rp =
     EN.transform_shredded
-      ~options:{ EN.default_run_options with EN.jobs = 3; collect_metrics = true }
+      ~options:
+        { EN.default_run_options with EN.jobs = 3; collect_metrics = true; result_cache = false }
       engine ~stylesheet:identity_stylesheet
   in
   check (Alcotest.list cs) "parallel shredded transform identical" direct rp.EN.output;
@@ -1487,6 +1652,11 @@ let () =
           Alcotest.test_case "shredded XSLTMark parity" `Quick
             test_shredded_xsltmark_parity;
           Alcotest.test_case "Xdb_error boundary" `Quick test_xdb_error;
+          Alcotest.test_case "result cache unit" `Quick test_result_cache_unit;
+          Alcotest.test_case "result cache through engine" `Quick
+            test_engine_result_cache;
+          Alcotest.test_case "prepared statements" `Quick test_prepared_statements;
+          Alcotest.test_case "run source verb" `Quick test_run_source_verb;
           QCheck_alcotest.to_alcotest prop_parallel_equiv_sequential;
         ] );
       ( "server",

@@ -99,6 +99,69 @@ let prop_btree_model =
              BT.find t (V.Int k) = expected)
            pairs)
 
+let test_btree_remove () =
+  let t = BT.create () in
+  for i = 0 to 999 do
+    BT.insert t (V.Int (i mod 100)) i
+  done;
+  (* each key 0..99 has rids [k; k+100; ...; k+900] *)
+  check cb "present entry removed" true (BT.remove t (V.Int 7) 107);
+  check cb "absent rid is a no-op" false (BT.remove t (V.Int 7) 107);
+  check cb "absent key is a no-op" false (BT.remove t (V.Int 12345) 0);
+  check ci "size tracks removals" 999 (BT.size t);
+  check Alcotest.(list int) "other rids of the key survive"
+    [ 7; 207; 307; 407; 507; 607; 707; 807; 907 ]
+    (BT.find t (V.Int 7));
+  check cb "invariants hold" true (BT.check_invariants t);
+  (* empty a key out entirely: it must vanish from range scans *)
+  List.iter (fun rid -> ignore (BT.remove t (V.Int 8) rid)) [ 8; 108; 208; 308; 408; 508; 608; 708; 808; 908 ];
+  check ci "emptied key gone" 0 (List.length (BT.find t (V.Int 8)));
+  let rids = BT.range_rids t ~lo:(BT.Inclusive (V.Int 7)) ~hi:(BT.Inclusive (V.Int 9)) in
+  check cb "range_rids skips the emptied key" true
+    (Array.for_all (fun rid -> rid mod 100 = 7 || rid mod 100 = 9) rids);
+  check ci "range_rids count" 19 (Array.length rids);
+  check cb "invariants after key drop" true (BT.check_invariants t)
+
+(* qcheck: interleaved insert/remove vs a multiset model; range_rids must
+   always agree with a filter over the model *)
+let prop_btree_remove_model =
+  QCheck.Test.make ~name:"btree remove matches model" ~count:100
+    QCheck.(list (pair bool (pair (int_bound 20) (int_bound 30))))
+    (fun ops ->
+      let t = BT.create () in
+      let model = ref [] in
+      List.iter
+        (fun (is_remove, (k, rid)) ->
+          if is_remove then (
+            let present = List.mem (k, rid) !model in
+            let removed = BT.remove t (V.Int k) rid in
+            if removed <> present then QCheck.Test.fail_report "remove result vs model";
+            if present then
+              model :=
+                (let seen = ref false in
+                 List.filter
+                   (fun e ->
+                     if e = (k, rid) && not !seen then (
+                       seen := true;
+                       false)
+                     else true)
+                   !model))
+          else (
+            BT.insert t (V.Int k) rid;
+            model := !model @ [ (k, rid) ]))
+        ops;
+      let in_range lo hi =
+        BT.range_rids t ~lo:(BT.Inclusive (V.Int lo)) ~hi:(BT.Inclusive (V.Int hi))
+        |> Array.to_list |> List.sort compare
+      in
+      let model_range lo hi =
+        List.filter (fun (k, _) -> k >= lo && k <= hi) !model |> List.map snd |> List.sort compare
+      in
+      BT.check_invariants t
+      && BT.size t = List.length !model
+      && in_range 0 30 = model_range 0 30
+      && in_range 5 15 = model_range 5 15)
+
 (* ------------------------------------------------------------------ *)
 (* tables and executor                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -141,6 +204,51 @@ let test_table_errors () =
   match T.column_pos dept "ghost" with
   | exception T.Table_error _ -> ()
   | _ -> Alcotest.fail "unknown column must raise"
+
+let test_table_update_delete () =
+  let db = setup_db () in
+  let emp = DB.table db "emp" in
+  let sal_pos = T.column_pos emp "sal" in
+  let idx = List.hd emp.T.indexes in
+  let rids_at v = BT.find idx.T.tree (V.Int v) in
+  (* update maintains the index: old key entry out, new one in *)
+  let clark = List.hd (rids_at 2450) in
+  T.update emp clark [ (sal_pos, V.Int 2600) ];
+  check ci "old key entry removed" 0 (List.length (rids_at 2450));
+  check Alcotest.(list int) "new key entry present" [ clark ] (rids_at 2600);
+  check cb "row itself updated" true ((T.row emp clark).(sal_pos) = V.Int 2600);
+  check cb "index invariants" true (BT.check_invariants idx.T.tree);
+  (* updating a non-indexed column leaves the tree untouched *)
+  let before = BT.size idx.T.tree in
+  T.update emp clark [ (T.column_pos emp "ename", V.Str "CLARKE") ];
+  check ci "non-indexed update: tree unchanged" before (BT.size idx.T.tree);
+  (* delete compacts the heap and rebuilds the index: every rid the
+     index hands out must address the right surviving row *)
+  let n = T.delete emp (rids_at 2600) in
+  check ci "one row deleted" 1 n;
+  check ci "heap compacted" 2 emp.T.nrows;
+  (* delete replaces the index records wholesale — re-fetch *)
+  let idx = List.hd emp.T.indexes in
+  let rids_at v = BT.find idx.T.tree (V.Int v) in
+  check ci "index rebuilt to survivors" 2 (BT.size idx.T.tree);
+  let all =
+    BT.range_rids idx.T.tree ~lo:BT.Unbounded ~hi:BT.Unbounded |> Array.to_list
+  in
+  List.iter
+    (fun rid ->
+      check cb "rid in compacted range" true (rid >= 0 && rid < emp.T.nrows);
+      let row = T.row emp rid in
+      let keyed = BT.find idx.T.tree row.(sal_pos) in
+      check cb "index key matches the row it points at" true (List.mem rid keyed))
+    all;
+  check Alcotest.(list int) "survivors in key order"
+    (List.sort compare (List.concat_map rids_at [ 1300; 4900 ]))
+    (List.sort compare all);
+  (* deleting everything leaves an empty, still-consistent table *)
+  ignore (T.delete emp (List.init emp.T.nrows Fun.id));
+  let idx = List.hd emp.T.indexes in
+  check ci "empty heap" 0 emp.T.nrows;
+  check ci "empty index" 0 (BT.size idx.T.tree)
 
 let test_scan_filter_project () =
   let db = setup_db () in
@@ -1593,11 +1701,14 @@ let () =
           Alcotest.test_case "duplicates" `Quick test_btree_duplicates;
           Alcotest.test_case "range scans" `Quick test_btree_range;
           Alcotest.test_case "string keys" `Quick test_btree_strings;
+          Alcotest.test_case "remove" `Quick test_btree_remove;
+          QCheck_alcotest.to_alcotest prop_btree_remove_model;
           QCheck_alcotest.to_alcotest prop_btree_model;
         ] );
       ( "executor",
         [
           Alcotest.test_case "table errors" `Quick test_table_errors;
+          Alcotest.test_case "update/delete with index" `Quick test_table_update_delete;
           Alcotest.test_case "scan/filter/project" `Quick test_scan_filter_project;
           Alcotest.test_case "index scan" `Quick test_index_scan;
           Alcotest.test_case "join" `Quick test_join;

@@ -1,10 +1,13 @@
-(* Tests for xdb_sql: the SQL/XML surface running the paper's statements. *)
+(* Tests for the SQL/XML surface running the paper's statements through
+   Engine.execute, plus DML: INSERT/UPDATE/DELETE with index maintenance,
+   two-phase atomicity, data versioning and result-cache consistency. *)
 
 module V = Xdb_rel.Value
 module P = Xdb_rel.Publish
 module T = Xdb_rel.Table
 module A = Xdb_rel.Algebra
 module SQL = Xdb_sql.Engine
+module EN = Xdb_core.Engine
 
 let check = Alcotest.check
 let cs = Alcotest.string
@@ -19,7 +22,7 @@ let contains sub s =
   go 0
 
 (* the paper's dept/emp schema, tables 1-3 *)
-let make_session () =
+let make_engine () =
   let db = Xdb_rel.Database.create () in
   let dept =
     Xdb_rel.Database.create_table db "dept"
@@ -88,7 +91,16 @@ let make_session () =
           };
     }
   in
-  SQL.make_session ~views:[ view ] db
+  let eng = EN.create db in
+  EN.register_view eng view;
+  eng
+
+let exec eng sql = EN.execute eng sql
+
+let sql_fails eng q =
+  match exec eng q with
+  | exception Xdb_core.Xdb_error.Error (Xdb_core.Xdb_error.Sql _) -> true
+  | _ -> false
 
 (* paper Table 5, quoted for SQL ('' escapes) *)
 let table5_sql =
@@ -151,6 +163,25 @@ let test_parser () =
   check cb "missing FROM" true (fails "SELECT 1");
   check cb "trailing garbage" true (fails "SELECT a FROM t extra tokens here")
 
+let test_parser_dml () =
+  (match Xdb_sql.Parser.parse "INSERT INTO t VALUES (1, 'x'), (2, NULL);" with
+  | Xdb_sql.Ast.Insert { table = "t"; columns = None; values = [ [ _; _ ]; [ _; _ ] ] } -> ()
+  | _ -> Alcotest.fail "multi-row insert shape");
+  (match Xdb_sql.Parser.parse "INSERT INTO t (a, b) VALUES (-3, 'y')" with
+  | Xdb_sql.Ast.Insert
+      { columns = Some [ "a"; "b" ]; values = [ [ Xdb_sql.Ast.Int_lit (-3); _ ] ]; _ } ->
+      ()
+  | _ -> Alcotest.fail "column-list insert with negative literal");
+  (match Xdb_sql.Parser.parse "UPDATE t SET a = a + 1, b = 'z' WHERE a > 0" with
+  | Xdb_sql.Ast.Update { table = "t"; sets = [ ("a", _); ("b", _) ]; where = Some _ } -> ()
+  | _ -> Alcotest.fail "update shape");
+  (match Xdb_sql.Parser.parse "DELETE FROM t" with
+  | Xdb_sql.Ast.Delete { table = "t"; where = None } -> ()
+  | _ -> Alcotest.fail "delete shape");
+  match Xdb_sql.Parser.parse "INSERT INTO t VALUES" with
+  | exception Xdb_sql.Parser.Parse_error _ -> ()
+  | _ -> Alcotest.fail "VALUES without tuples must fail"
+
 let test_tokenizer_comments () =
   match Xdb_sql.Parser.parse "SELECT a -- comment\nFROM t" with
   | Xdb_sql.Ast.Select { from_name = "t"; _ } -> ()
@@ -161,22 +192,22 @@ let test_tokenizer_comments () =
 (* ------------------------------------------------------------------ *)
 
 let test_table_select () =
-  let s = make_session () in
-  let r = SQL.execute s "SELECT ename, sal FROM emp WHERE sal > 2000" in
+  let s = make_engine () in
+  let r = exec s "SELECT ename, sal FROM emp WHERE sal > 2000" in
   check Alcotest.(list string) "columns" [ "ename"; "sal" ] r.SQL.columns;
   check ci "two rows" 2 (List.length r.SQL.rows);
   (* index got used *)
   check cb "index scan in note" true (contains "INDEX SCAN" (Option.get r.SQL.note))
 
 let test_star_select () =
-  let s = make_session () in
-  let r = SQL.execute s "SELECT * FROM dept" in
+  let s = make_engine () in
+  let r = exec s "SELECT * FROM dept" in
   check Alcotest.(list string) "all columns" [ "deptno"; "dname"; "loc" ] r.SQL.columns;
   check ci "two rows" 2 (List.length r.SQL.rows)
 
 let test_xmltransform_table5 () =
-  let s = make_session () in
-  let r = SQL.execute s table5_sql in
+  let s = make_engine () in
+  let r = exec s table5_sql in
   check ci "one row per dept" 2 (List.length r.SQL.rows);
   check cb "rewrite engaged" true (contains "XSLT rewrite" (Option.get r.SQL.note));
   let first = V.to_string (List.hd (List.hd r.SQL.rows)) in
@@ -186,9 +217,9 @@ let test_xmltransform_table5 () =
     first
 
 let test_xmlquery_over_view () =
-  let s = make_session () in
+  let s = make_engine () in
   let r =
-    SQL.execute s
+    exec s
       {|SELECT XMLQuery('for $e in ./dept/employees/emp[sal > 4000] return <top>{fn:string($e/ename)}</top>'
 PASSING dept_emp.dept_content RETURNING CONTENT) FROM dept_emp|}
   in
@@ -197,7 +228,7 @@ PASSING dept_emp.dept_content RETURNING CONTENT) FROM dept_emp|}
   check Alcotest.(list string) "per-dept results" [ ""; "<top>SMITH</top>" ] outs
 
 let test_example2_combined () =
-  let s = make_session () in
+  let s = make_engine () in
   (* paper Table 9: wrap the transformation as an XSLT view *)
   let with_alias =
     (* paper Table 9 aliases the item: ... AS xslt_rslt FROM dept_emp *)
@@ -205,11 +236,11 @@ let test_example2_combined () =
     let prefix = String.sub table5_sql 0 (String.length table5_sql - String.length suffix) in
     prefix ^ " AS xslt_rslt" ^ suffix
   in
-  let create = SQL.execute s ("CREATE VIEW xslt_vu AS " ^ with_alias) in
+  let create = exec s ("CREATE VIEW xslt_vu AS " ^ with_alias) in
   ignore create;
   (* paper Table 10: query the view result *)
   let r =
-    SQL.execute s
+    exec s
       {|SELECT XMLQuery('for $tr in ./table/tr return $tr'
 PASSING xslt_vu.xslt_rslt RETURNING CONTENT) FROM xslt_vu|}
   in
@@ -225,9 +256,9 @@ PASSING xslt_vu.xslt_rslt RETURNING CONTENT) FROM xslt_vu|}
     outs
 
 let test_mixed_items () =
-  let s = make_session () in
+  let s = make_engine () in
   let r =
-    SQL.execute s
+    exec s
       {|SELECT dname, XMLQuery('fn:string(count(./dept/employees/emp))'
 PASSING dept_emp.dept_content RETURNING CONTENT) AS n FROM dept_emp|}
   in
@@ -238,32 +269,189 @@ PASSING dept_emp.dept_content RETURNING CONTENT) AS n FROM dept_emp|}
     rows
 
 let test_errors () =
-  let s = make_session () in
-  let fails q = match SQL.execute s q with exception SQL.Sql_error _ -> true | _ -> false in
-  check cb "unknown relation" true (fails "SELECT a FROM nope");
+  let s = make_engine () in
+  check cb "unknown relation" true (sql_fails s "SELECT a FROM nope");
   check cb "xml fn over base table" true
-    (fails "SELECT XMLTransform(x, 'y') FROM emp");
+    (sql_fails s "SELECT XMLTransform(x, 'y') FROM emp");
   check cb "create view over table" true
-    (fails "CREATE VIEW v AS SELECT ename FROM emp")
+    (sql_fails s "CREATE VIEW v AS SELECT ename FROM emp")
 
 let test_analyze_statement () =
-  let s = make_session () in
-  let r = SQL.execute s "ANALYZE" in
+  let s = make_engine () in
+  let r = exec s "ANALYZE" in
   check Alcotest.(list string) "columns" [ "table_name"; "rows_sampled" ] r.SQL.columns;
   check ci "both tables analyzed" 2 (List.length r.SQL.rows);
   check cb "note reports the stats version" true (contains "stats version" (Option.get r.SQL.note));
   (* single-table form *)
-  let r2 = SQL.execute s "ANALYZE emp;" in
+  let r2 = exec s "ANALYZE emp;" in
   (match r2.SQL.rows with
   | [ [ V.Str "emp"; V.Int 3 ] ] -> ()
   | _ -> Alcotest.fail "ANALYZE emp must report 3 sampled rows");
   (* queries keep returning the same rows once stats are collected *)
-  let r3 = SQL.execute s "SELECT ename, sal FROM emp WHERE sal > 2000" in
+  let r3 = exec s "SELECT ename, sal FROM emp WHERE sal > 2000" in
   check ci "two rows after ANALYZE" 2 (List.length r3.SQL.rows);
   check cb "index still used" true (contains "INDEX SCAN" (Option.get r3.SQL.note));
-  match SQL.execute s "ANALYZE ghost" with
-  | exception SQL.Sql_error _ -> ()
-  | _ -> Alcotest.fail "ANALYZE of an unknown table must raise"
+  check cb "ANALYZE of an unknown table must raise" true (sql_fails s "ANALYZE ghost")
+
+(* ------------------------------------------------------------------ *)
+(* DML                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let affected r =
+  match r.SQL.rows with
+  | [ [ V.Int n ] ] -> n
+  | _ -> Alcotest.fail "DML result must be one rows_affected row"
+
+let count_rows s table =
+  List.length (exec s (Printf.sprintf "SELECT * FROM %s" table)).SQL.rows
+
+let data_version s table = Xdb_rel.Database.data_version (EN.database s) table
+
+let test_insert () =
+  let s = make_engine () in
+  let v0 = data_version s "emp" in
+  let r =
+    exec s
+      "INSERT INTO emp VALUES (8001, 'ADAMS', 3100, 40), (8002, 'BAKER', 900, 10)"
+  in
+  check ci "two rows inserted" 2 (affected r);
+  check ci "version bumped once per statement" (v0 + 1) (data_version s "emp");
+  check ci "five emp rows" 5 (count_rows s "emp");
+  (* the new high-salary row is found through the sal B-tree index *)
+  let r2 = exec s "SELECT ename FROM emp WHERE sal > 3000" in
+  check cb "index scan" true (contains "INDEX SCAN" (Option.get r2.SQL.note));
+  check ci "ADAMS joins SMITH" 2 (List.length r2.SQL.rows);
+  (* column-list form with defaults filled as NULL *)
+  let r3 = exec s "INSERT INTO emp (empno, ename, sal, deptno) VALUES (8003, 'COLE', 1, 10)" in
+  check ci "one row" 1 (affected r3);
+  check cb "note reports the data version" true (contains "data version" (Option.get r3.SQL.note))
+
+let test_update_with_index () =
+  let s = make_engine () in
+  let r = exec s "UPDATE emp SET sal = sal + 1000 WHERE deptno = 10" in
+  check ci "two rows updated" 2 (affected r);
+  (* the index must see the new keys: MILLER moved from 1300 to 2300 *)
+  let r2 = exec s "SELECT ename, sal FROM emp WHERE sal > 2000" in
+  check cb "index scan" true (contains "INDEX SCAN" (Option.get r2.SQL.note));
+  check ci "all three qualify now" 3 (List.length r2.SQL.rows);
+  (* ... and no stale key remains under the old value *)
+  let r3 = exec s "SELECT ename FROM emp WHERE sal = 1300" in
+  check ci "old key gone" 0 (List.length r3.SQL.rows)
+
+let test_delete_with_index () =
+  let s = make_engine () in
+  let v0 = data_version s "emp" in
+  let r = exec s "DELETE FROM emp WHERE sal > 2000" in
+  check ci "two rows deleted" 2 (affected r);
+  check ci "version bumped" (v0 + 1) (data_version s "emp");
+  check ci "one row left" 1 (count_rows s "emp");
+  (* the index was rebuilt over the compacted heap *)
+  let r2 = exec s "SELECT ename FROM emp WHERE sal > 1000" in
+  check cb "index scan" true (contains "INDEX SCAN" (Option.get r2.SQL.note));
+  (match List.map (List.map V.to_string) r2.SQL.rows with
+  | [ [ "MILLER" ] ] -> ()
+  | _ -> Alcotest.fail "only MILLER survives");
+  (* empty-match delete: no version movement *)
+  let v1 = data_version s "emp" in
+  check ci "no-op delete" 0 (affected (exec s "DELETE FROM emp WHERE sal > 99999"));
+  check ci "version unchanged on no-op" v1 (data_version s "emp")
+
+let test_dml_atomicity () =
+  let s = make_engine () in
+  let v0 = data_version s "emp" in
+  let before = (exec s "SELECT * FROM emp").SQL.rows in
+  (* third row's type is wrong: nothing may be inserted *)
+  check cb "typed insert fails" true
+    (sql_fails s "INSERT INTO emp VALUES (1, 'A', 1, 10), (2, 'B', 2, 10), (3, 'C', 'x', 10)");
+  (* update hits a type mismatch mid-set: nothing may change *)
+  check cb "typed update fails" true (sql_fails s "UPDATE emp SET sal = 'nope'");
+  check cb "unknown column" true (sql_fails s "UPDATE emp SET ghost = 1");
+  check cb "arity mismatch" true (sql_fails s "INSERT INTO emp VALUES (1, 'A')");
+  check cb "non-constant insert value" true
+    (sql_fails s "INSERT INTO emp VALUES (1, ename, 1, 10)");
+  check Alcotest.(list (list string)) "rows untouched"
+    (List.map (List.map V.to_string) before)
+    (List.map (List.map V.to_string) (exec s "SELECT * FROM emp").SQL.rows);
+  check ci "data version untouched" v0 (data_version s "emp")
+
+let test_dml_marks_stats_stale () =
+  let s = make_engine () in
+  let db = EN.database s in
+  ignore (exec s "ANALYZE emp");
+  check cb "fresh after ANALYZE" false (Xdb_rel.Database.stats_stale db "emp");
+  let sv = Xdb_rel.Database.stats_version db in
+  ignore (exec s "INSERT INTO emp VALUES (9101, 'NEW', 50, 10)");
+  check cb "stale after DML" true (Xdb_rel.Database.stats_stale db "emp");
+  check ci "stats version does NOT move on DML" sv (Xdb_rel.Database.stats_version db);
+  ignore (exec s "ANALYZE emp");
+  check cb "fresh again" false (Xdb_rel.Database.stats_stale db "emp")
+
+(* every DML write must be visible to the very next transform, cached or
+   not — and cached output must stay byte-identical to a recompute *)
+let test_dml_transform_visibility () =
+  let s = make_engine () in
+  (* compare rendered bytes: XMLType rows carry node forests whose parent
+     links make structural compare unusable *)
+  let transform () =
+    List.map (List.map V.to_string) (EN.execute s table5_sql).SQL.rows
+  in
+  let before = transform () in
+  ignore (exec s "UPDATE emp SET sal = 2451 WHERE ename = 'CLARK'");
+  let after = transform () in
+  check cb "update visible through XMLTransform" true (before <> after);
+  check cb "new salary rendered" true (contains "2451" (List.hd (List.hd after)))
+
+(* random DML interleaving: Engine.transform with the cache on must equal
+   a forced recompute after every statement *)
+let prop_dml_cache_consistency =
+  let stmt_gen =
+    QCheck.Gen.(
+      frequency
+        [
+          ( 3,
+            map2
+              (fun empno sal ->
+                Printf.sprintf "INSERT INTO emp VALUES (%d, 'E%d', %d, %d)" empno empno sal
+                  (if empno mod 2 = 0 then 10 else 40))
+              (int_range 8000 8999) (int_range 100 5000) );
+          ( 3,
+            map2
+              (fun sal cut -> Printf.sprintf "UPDATE emp SET sal = %d WHERE sal > %d" sal cut)
+              (int_range 100 5000) (int_range 0 5000) );
+          (2, map (fun cut -> Printf.sprintf "DELETE FROM emp WHERE sal < %d" cut) (int_range 0 3000));
+          (1, return "ANALYZE emp");
+        ])
+  in
+  let ss =
+    {|<?xml version="1.0"?><xsl:stylesheet version="1.0"
+xmlns:xsl="http://www.w3.org/1999/XSL/Transform">
+<xsl:template match="dept"><d><xsl:apply-templates/></d></xsl:template>
+<xsl:template match="dname"><n><xsl:value-of select="."/></n></xsl:template>
+<xsl:template match="loc"/>
+<xsl:template match="employees"><xsl:apply-templates select="emp[sal &gt; 1000]"/></xsl:template>
+<xsl:template match="emp"><e><xsl:value-of select="ename"/>:<xsl:value-of select="sal"/></e></xsl:template>
+<xsl:template match="text()"/>
+</xsl:stylesheet>|}
+  in
+  QCheck.Test.make ~name:"DML interleaving keeps cached = recomputed" ~count:25
+    QCheck.(list_of_size Gen.(int_range 1 8) (make stmt_gen))
+    (fun stmts ->
+      let s = make_engine () in
+      let cached () =
+        (EN.transform s ~view_name:"dept_emp" ~stylesheet:ss).EN.output
+      in
+      let recomputed () =
+        (EN.transform
+           ~options:{ EN.default_run_options with EN.result_cache = false }
+           s ~view_name:"dept_emp" ~stylesheet:ss)
+          .EN.output
+      in
+      ignore (cached ());
+      List.for_all
+        (fun stmt ->
+          ignore (EN.execute s stmt);
+          cached () = recomputed () && cached () = recomputed ())
+        stmts)
 
 (* fuzz: the SQL parser must be total over printable garbage *)
 let prop_sql_parser_total =
@@ -280,6 +468,7 @@ let () =
       ( "parser",
         [
           Alcotest.test_case "statements" `Quick test_parser;
+          Alcotest.test_case "DML statements" `Quick test_parser_dml;
           Alcotest.test_case "comments" `Quick test_tokenizer_comments;
         ] );
       ( "execution",
@@ -293,5 +482,19 @@ let () =
           Alcotest.test_case "errors" `Quick test_errors;
           Alcotest.test_case "ANALYZE statement" `Quick test_analyze_statement;
         ] );
-      ("fuzz", [ QCheck_alcotest.to_alcotest prop_sql_parser_total ]);
+      ( "dml",
+        [
+          Alcotest.test_case "INSERT" `Quick test_insert;
+          Alcotest.test_case "UPDATE maintains indexes" `Quick test_update_with_index;
+          Alcotest.test_case "DELETE rebuilds indexes" `Quick test_delete_with_index;
+          Alcotest.test_case "failed statements are atomic" `Quick test_dml_atomicity;
+          Alcotest.test_case "DML marks stats stale" `Quick test_dml_marks_stats_stale;
+          Alcotest.test_case "writes visible through transforms" `Quick
+            test_dml_transform_visibility;
+        ] );
+      ( "fuzz",
+        [
+          QCheck_alcotest.to_alcotest prop_sql_parser_total;
+          QCheck_alcotest.to_alcotest prop_dml_cache_consistency;
+        ] );
     ]
